@@ -1,0 +1,51 @@
+"""Ablation: which DMVCC mechanism buys what, under high contention.
+
+Variants: full DMVCC, without early-write visibility (-noEW), without
+commutative writes (-noCW), write-versioning only (-wv), plus the DAG
+baseline at both analysis granularities (how much of the win is just
+slot-level precision?).
+"""
+
+import pytest
+
+from repro.bench import ablation_executors, run_feature_ablation
+from repro.workload import high_contention_config
+
+from conftest import FIG7_TXS_PER_BLOCK, WORKLOAD_SIZE, print_result
+
+
+@pytest.fixture(scope="module")
+def ablation_result():
+    result = run_feature_ablation(
+        blocks=1,
+        txs_per_block=FIG7_TXS_PER_BLOCK,
+        thread_counts=(8, 32),
+        config=high_contention_config(**WORKLOAD_SIZE),
+    )
+    print_result(result)
+    assert result.correctness_ok
+    return result
+
+
+def bench_ablation(benchmark, ablation_result):
+    """Timed portion: one full-featured DMVCC execution; the ablation table
+    rides along in extra_info."""
+    from repro.executors import DMVCCExecutor
+    from repro.workload import Workload
+
+    workload = Workload(high_contention_config(**WORKLOAD_SIZE))
+    txs = workload.transactions(FIG7_TXS_PER_BLOCK)
+
+    def execute():
+        return DMVCCExecutor().execute_block(
+            txs, workload.db.latest, workload.db.codes.code_of, threads=32
+        )
+
+    benchmark.pedantic(execute, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["ablation_speedups_at_32"] = {
+        label: round(ablation_result.at(label, 32).speedup, 2)
+        for label in ablation_executors()
+    }
+    full = ablation_result.at("dmvcc", 32).speedup
+    stripped = ablation_result.at("dmvcc-wv", 32).speedup
+    assert full >= stripped

@@ -1,0 +1,48 @@
+"""RQ2 in-text claims: abort behaviour.
+
+Paper: "the abort rate of DMVCC is less than 2% and DMVCC reduces 63%
+unnecessary transaction aborts" relative to OCC.
+"""
+
+import pytest
+
+from repro.executors import DMVCCExecutor, OCCExecutor, SerialExecutor
+from repro.workload import Workload, high_contention_config
+
+from conftest import FIG7_TXS_PER_BLOCK, WORKLOAD_SIZE, print_result
+
+
+@pytest.fixture(scope="module")
+def hot_block():
+    workload = Workload(high_contention_config(**WORKLOAD_SIZE))
+    txs = workload.transactions(FIG7_TXS_PER_BLOCK)
+    reference = SerialExecutor().execute_block(
+        txs, workload.db.latest, workload.db.codes.code_of
+    )
+    return workload, txs, reference
+
+
+@pytest.mark.parametrize("factory,label", [(DMVCCExecutor, "dmvcc"), (OCCExecutor, "occ")])
+def bench_abort_rates(benchmark, hot_block, factory, label):
+    workload, txs, reference = hot_block
+
+    def execute():
+        execution = factory().execute_block(
+            txs, workload.db.latest, workload.db.codes.code_of, threads=32
+        )
+        assert execution.writes == reference.writes
+        return execution
+
+    execution = benchmark.pedantic(execute, rounds=2, iterations=1, warmup_rounds=0)
+    metrics = execution.metrics
+    benchmark.extra_info["claim"] = "RQ2: DMVCC abort rate < 2%, far below OCC"
+    benchmark.extra_info["aborts"] = metrics.aborts
+    benchmark.extra_info["abort_rate"] = round(metrics.abort_rate, 4)
+    print(
+        f"\n{label}: {metrics.aborts} aborts over {metrics.executions} "
+        f"executions (abort rate {metrics.abort_rate:.2%})"
+    )
+    if label == "dmvcc" and len(txs) >= 300:
+        # At small REPRO_BENCH_SCALE the rate is dominated by noise from a
+        # handful of aborts; only pin the paper's <2% claim at real scale.
+        assert metrics.abort_rate < 0.02, "paper claims DMVCC abort rate < 2%"

@@ -1,0 +1,70 @@
+"""Fig. 7(a): speedup over serial execution, mainnet mix (low contention).
+
+Paper values at 32 threads: DMVCC 21.35x, OCC 13.86x, DAG 11.04x; at small
+thread counts the three are similar.  The simulated-time speedups are
+attached to ``extra_info`` and printed; the timed portion is the wall-clock
+cost of one DMVCC/OCC/DAG/serial block execution on this machine.
+"""
+
+import pytest
+
+from repro.bench import run_fig7a
+from repro.executors import DAGExecutor, DMVCCExecutor, OCCExecutor, SerialExecutor
+from repro.workload import Workload, low_contention_config
+
+from conftest import (
+    FIG7_BLOCKS,
+    FIG7_THREADS,
+    FIG7_TXS_PER_BLOCK,
+    WORKLOAD_SIZE,
+    print_result,
+)
+
+
+@pytest.fixture(scope="module")
+def fig7a_result():
+    result = run_fig7a(
+        blocks=FIG7_BLOCKS,
+        txs_per_block=FIG7_TXS_PER_BLOCK,
+        thread_counts=FIG7_THREADS,
+        **WORKLOAD_SIZE,
+    )
+    print_result(result)
+    assert result.correctness_ok, "parallel execution diverged from serial"
+    return result
+
+
+@pytest.fixture(scope="module")
+def block_under_test():
+    workload = Workload(low_contention_config(**WORKLOAD_SIZE))
+    txs = workload.transactions(FIG7_TXS_PER_BLOCK)
+    return workload, txs
+
+
+@pytest.mark.parametrize(
+    "factory,label",
+    [
+        (SerialExecutor, "serial"),
+        (DAGExecutor, "dag"),
+        (OCCExecutor, "occ"),
+        (DMVCCExecutor, "dmvcc"),
+    ],
+)
+def bench_fig7a(benchmark, fig7a_result, block_under_test, factory, label):
+    workload, txs = block_under_test
+
+    def execute():
+        return factory().execute_block(
+            txs, workload.db.latest, workload.db.codes.code_of, threads=32
+        )
+
+    execution = benchmark.pedantic(execute, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["figure"] = "7a"
+    benchmark.extra_info["simulated_speedup_by_threads"] = {
+        row.threads: round(row.speedup, 2)
+        for row in fig7a_result.series(label)
+    } if label != "serial" else {1: 1.0}
+    benchmark.extra_info["wall_tx_per_second"] = round(
+        len(txs) / max(benchmark.stats["mean"], 1e-9), 1
+    )
+    assert execution.metrics.tx_count == len(txs)

@@ -1,0 +1,46 @@
+"""Fig. 8(a): blockchain-environment throughput speedup, low contention.
+
+Paper: with big blocks and fast consensus, execution becomes the
+bottleneck; DMVCC reaches ~19.79x throughput speedup at 32 threads, with
+near-linear scaling and the schedulers close to each other under low
+contention.  Simulated gas-per-second is calibrated so the serial block
+execution dominates the mining interval (the paper's 10,000-tx regime).
+"""
+
+import pytest
+
+from repro.bench import run_fig8a
+
+from conftest import (
+    FIG8_BLOCKS,
+    FIG8_GAS_PER_SECOND,
+    FIG8_THREADS,
+    FIG8_TXS_PER_BLOCK,
+    FIG8_VALIDATORS,
+    WORKLOAD_SIZE,
+    print_result,
+)
+
+
+def bench_fig8a(benchmark):
+    def run():
+        result = run_fig8a(
+            validators=FIG8_VALIDATORS,
+            blocks=FIG8_BLOCKS,
+            txs_per_block=FIG8_TXS_PER_BLOCK,
+            thread_counts=FIG8_THREADS,
+            gas_per_second=FIG8_GAS_PER_SECOND,
+            config_overrides=WORKLOAD_SIZE,
+        )
+        assert all(row.roots_agree for row in result.rows)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print_result(result)
+    benchmark.extra_info["figure"] = "8a"
+    benchmark.extra_info["throughput_speedups"] = {
+        f"{row.scheduler}@{row.threads}": round(row.speedup, 2)
+        for row in result.rows
+    }
+    top = max(FIG8_THREADS)
+    assert result.at("dmvcc", top).speedup > 4.0

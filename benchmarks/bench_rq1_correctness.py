@@ -1,0 +1,37 @@
+"""RQ1: deterministic serializability via Merkle-root comparison.
+
+The paper executed 121,210 blocks and found every DMVCC root equal to the
+serial root.  We run a scaled version for each parallel scheduler and
+benchmark the per-block verification cost (parallel execute + commit +
+root compare).
+"""
+
+import pytest
+
+from repro.bench import run_rq1_correctness
+
+from conftest import RQ1_BLOCKS, RQ1_TXS_PER_BLOCK, WORKLOAD_SIZE
+
+
+@pytest.mark.parametrize("scheduler", ["dmvcc", "occ", "dag"])
+def bench_rq1(benchmark, scheduler):
+    def check():
+        result = run_rq1_correctness(
+            blocks=RQ1_BLOCKS,
+            txs_per_block=RQ1_TXS_PER_BLOCK,
+            scheduler=scheduler,
+            threads=8,
+            **WORKLOAD_SIZE,
+        )
+        assert result.all_match, f"{scheduler}: Merkle root mismatch"
+        return result
+
+    result = benchmark.pedantic(check, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["claim"] = "RQ1: parallel roots == serial roots"
+    benchmark.extra_info["blocks_checked"] = result.blocks_checked
+    benchmark.extra_info["txs_checked"] = result.txs_checked
+    benchmark.extra_info["matches"] = result.matches
+    print(
+        f"\nRQ1 [{scheduler}]: {result.matches}/{result.blocks_checked} block "
+        f"roots match serial ({result.txs_checked} transactions)"
+    )

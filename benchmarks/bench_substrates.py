@@ -1,0 +1,120 @@
+"""Micro-benchmarks of the substrates: trie, EVM, compiler, analysis.
+
+These are genuine wall-clock benchmarks (pytest-benchmark's bread and
+butter) and catch performance regressions in the building blocks that all
+experiments stand on.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import build_psag
+from repro.chain.transaction import Transaction
+from repro.analysis.csag import CSAGBuilder
+from repro.core import Address, StateKey
+from repro.evm import EVM, Message, drive
+from repro.lang import compile_source
+from repro.state import StateDB, WriteJournal
+from repro.trie import Trie
+from repro.workload import ERC20_SOURCE
+
+
+@pytest.fixture(scope="module")
+def erc20():
+    return compile_source(ERC20_SOURCE)
+
+
+def bench_trie_insert_1k(benchmark):
+    rng = random.Random(0)
+    items = [
+        (rng.getrandbits(160).to_bytes(20, "big"), rng.getrandbits(64).to_bytes(8, "big"))
+        for _ in range(1_000)
+    ]
+
+    def build():
+        trie = Trie()
+        for key, value in items:
+            trie.set(key, value)
+        return trie.root_hash
+
+    benchmark(build)
+
+
+def bench_trie_lookup(benchmark):
+    rng = random.Random(1)
+    trie = Trie()
+    keys = []
+    for _ in range(2_000):
+        key = rng.getrandbits(160).to_bytes(20, "big")
+        trie.set(key, b"v")
+        keys.append(key)
+
+    def lookup():
+        for key in keys[:500]:
+            assert trie.get(key) == b"v"
+
+    benchmark(lookup)
+
+
+def bench_compile_erc20(benchmark):
+    benchmark(lambda: compile_source(ERC20_SOURCE))
+
+
+def bench_evm_transfer_execution(benchmark, erc20):
+    token = Address.derive("bench-token")
+    alice = Address.derive("bench-alice")
+    bob = Address.derive("bench-bob")
+    from repro.core import mapping_slot
+
+    state = {
+        StateKey(token, mapping_slot(alice.to_word(), erc20.slot_of("balanceOf"))): 10**9
+    }
+    data = erc20.encode_call("transfer", bob, 5)
+    evm = EVM(lambda a: erc20.code if a == token else b"")
+
+    def execute():
+        journal = WriteJournal(lambda key: state.get(key, 0))
+        outcome = drive(evm, Message(alice, token, 0, data, 1_000_000), journal)
+        assert outcome.result.success
+
+    benchmark(execute)
+
+
+def bench_psag_construction(benchmark, erc20):
+    # Bypass the cache: measure the real analysis cost.
+    benchmark(lambda: build_psag(erc20.code))
+
+
+def bench_csag_refinement(benchmark, erc20):
+    token = Address.derive("bench-token2")
+    alice = Address.derive("bench-alice2")
+    bob = Address.derive("bench-bob2")
+    from repro.core import mapping_slot
+
+    db = StateDB()
+    db.deploy_contract(token, erc20.code, "ERC20")
+    db.seed_genesis(
+        {alice: 10**18},
+        {StateKey(token, mapping_slot(alice.to_word(), erc20.slot_of("balanceOf"))): 10**9},
+    )
+    builder = CSAGBuilder(db.codes.code_of)
+    tx = Transaction(alice, token, 0, erc20.encode_call("transfer", bob, 5))
+    builder.build(tx, db.latest)  # warm the P-SAG cache
+
+    benchmark(lambda: builder.build(tx, db.latest))
+
+
+def bench_statedb_commit(benchmark):
+    contract = Address.derive("bench-commit")
+    db = StateDB()
+    counter = [0]
+
+    def commit():
+        counter[0] += 1
+        writes = {
+            StateKey(contract, slot): counter[0] for slot in range(200)
+        }
+        db.commit(writes)
+
+    benchmark(commit)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Walk through the paper's Fig. 1/Fig. 3 example: build the P-SAG of the
+``Example`` contract, then refine it into C-SAGs for two transactions whose
+behaviour depends on snapshot state.
+
+Shows:
+* symbolic storage keys ("keccak(arg0, 0)", "sload(...)", the "–"
+  placeholder) — the P-SAG;
+* release points with gas bounds;
+* commutative-increment detection;
+* C-SAG refinement: the same transaction resolves to *different* concrete
+  accesses under different snapshots (loop unrolled vs else-branch).
+
+Run:  python examples/analyze_contract.py
+"""
+
+from repro import Address, StateDB, Transaction, compile_source
+from repro.analysis import CSAGBuilder, build_psag
+from repro.core import StateKey, mapping_slot
+from repro.workload import ERC20_SOURCE, PAPER_EXAMPLE_SOURCE
+
+
+def show_psag(name, compiled) -> None:
+    psag = build_psag(compiled.code)
+    print(f"=== P-SAG of {name} ===")
+    print(f"  code: {len(compiled.code)} bytes, "
+          f"{len(psag.analysis.cfg.blocks)} basic blocks")
+    print("  static access sites (symbolic keys):")
+    for pc, site in sorted(psag.analysis.access_sites.items()):
+        marker = " [commutative]" if pc in psag.analysis.increment_sites else ""
+        print(f"    pc {pc:4d}: {site.kind:12s} key = {site.key}{marker}")
+    print("  release points (pc, static gas bound for the remainder):")
+    for point in psag.release.release_points:
+        bound = point.gas_bound if point.gas_bound is not None else "unbounded (loop)"
+        print(f"    pc {point.pc:4d}: {bound}")
+    unresolved = psag.unresolved_nodes()
+    print(f"  unresolved ('–') keys: {len(unresolved)}; "
+          f"snapshot-dependent keys: {len(psag.snapshot_dependent_nodes())}")
+    print()
+
+
+def show_csag(label, csag) -> None:
+    print(f"  C-SAG [{label}]: predicted_gas={csag.predicted_gas:,}, "
+          f"success={csag.predicted_success}")
+    for access in csag.accesses:
+        extra = f" (delta={access.delta})" if access.commutative and access.kind == "write" else ""
+        print(f"    @gas {access.gas_offset:6d}: {access.kind:5s} "
+              f"slot {access.key.slot & 0xffff:#06x}…{extra}")
+    for release in csag.release_offsets:
+        print(f"    @gas {release.gas_offset:6d}: release point "
+              f"(≤{release.remaining_gas_bound:,} gas remains)")
+    print()
+
+
+def main() -> None:
+    example = compile_source(PAPER_EXAMPLE_SOURCE)
+    erc20 = compile_source(ERC20_SOURCE)
+
+    show_psag("Example (paper Fig. 1)", example)
+    show_psag("ERC20", erc20)
+
+    # --- C-SAG refinement: the same call under two snapshots -------------
+    alice = Address.derive("alice")
+    contract = Address.derive("example-analysis")
+
+    print("=== C-SAG refinement of UpdateB(alice, 5) (paper Fig. 3) ===")
+    a_slot = example.slot_of("A")
+    b_slot = example.slot_of("B")
+
+    # Snapshot 1: A[alice] = 3 -> the loop branch, unrolled twice.
+    db = StateDB()
+    db.deploy_contract(contract, example.code, "Example")
+    db.seed_genesis(
+        {alice: 10**18},
+        {
+            StateKey(contract, mapping_slot(alice.to_word(), a_slot)): 3,
+            StateKey(contract, b_slot): 6,  # B.length
+        },
+    )
+    builder = CSAGBuilder(db.codes.code_of)
+    tx = Transaction(alice, contract, 0, example.encode_call("UpdateB", alice, 5))
+    show_csag("A[alice]=3: loop unrolled (writes B[3], B[2])", builder.build(tx, db.latest))
+
+    # Snapshot 2: A[alice] = 0 -> the else branch (writes B[0], B[1]).
+    db2 = StateDB()
+    db2.deploy_contract(contract, example.code, "Example")
+    db2.seed_genesis({alice: 10**18}, {StateKey(contract, b_slot): 6})
+    builder2 = CSAGBuilder(db2.codes.code_of)
+    show_csag("A[alice]=0: else branch (writes B[0], B[1])", builder2.build(tx, db2.latest))
+
+    print("The same transaction yields different complete SAGs depending on\n"
+          "the snapshot — exactly why DMVCC refines lazily and keeps the\n"
+          "abort protocol as a backstop when refinement goes stale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The ICO rush: the paper's motivating high-contention scenario.
+
+Every transaction in the block contributes to the same ICO contract, all
+hammering the shared ``totalRaised`` counter.  We run the block under each
+scheduler — and under DMVCC with individual features disabled — in two
+contract variants:
+
+* **capped ICO** — the cap check *reads* the counter, so updates do not
+  commute; early-write visibility is the only lever;
+* **uncapped sale** — the counter update is a blind increment, so
+  commutative writes make the whole block embarrassingly parallel.
+
+Run:  python examples/ico_rush.py
+"""
+
+from repro import (
+    Address,
+    DAGExecutor,
+    DMVCCExecutor,
+    OCCExecutor,
+    SerialExecutor,
+    StateDB,
+    Transaction,
+    compile_source,
+)
+from repro.workload import ICO_SOURCE
+
+BUYERS = 64
+THREADS = 16
+
+
+def build_block(capped: bool):
+    ico = compile_source(ICO_SOURCE)
+    contract = Address.derive("the-ico")
+    db = StateDB()
+    db.deploy_contract(contract, ico.code, "ICO")
+    buyers = [Address.derive(f"buyer-{i}") for i in range(BUYERS)]
+    cap_slot = ico.slot_of("cap")
+    rate_slot = ico.slot_of("rate")
+    from repro.core import StateKey
+
+    storage = {StateKey(contract, rate_slot): 100}
+    if capped:
+        storage[StateKey(contract, cap_slot)] = 10**12
+    db.seed_genesis({b: 10**18 for b in buyers}, storage)
+    txs = [
+        Transaction(b, contract, 0, ico.encode_call("contribute", 1_000 + i))
+        for i, b in enumerate(buyers)
+    ]
+    return db, txs
+
+
+def run_variant(name: str, capped: bool) -> None:
+    db, txs = build_block(capped)
+    serial = SerialExecutor().execute_block(txs, db.latest, db.codes.code_of)
+    print(f"--- {name} ({BUYERS} contributions, {THREADS} threads) ---")
+    print(f"{'scheduler':>12} {'speedup':>8} {'aborts':>7}")
+    executors = [
+        DAGExecutor(),
+        OCCExecutor(),
+        DMVCCExecutor(enable_early_write=False, enable_commutative=False),
+        DMVCCExecutor(enable_commutative=False),
+        DMVCCExecutor(enable_early_write=False),
+        DMVCCExecutor(),
+    ]
+    for executor in executors:
+        execution = executor.execute_block(
+            txs, db.latest, db.codes.code_of, threads=THREADS
+        )
+        assert execution.writes == serial.writes, "serializability violated!"
+        m = execution.metrics
+        print(f"{m.scheduler:>12} {m.speedup:7.2f}x {m.aborts:7d}")
+    print()
+
+
+def main() -> None:
+    print("Everyone piles into one ICO contract (the paper's §V-C scenario):\n")
+    run_variant("capped ICO: counter read by the cap check (θ)", capped=True)
+    run_variant("uncapped sale: counter is a blind increment (ω̄)", capped=False)
+    print("Takeaway: write versioning + early visibility pipeline the capped\n"
+          "chain, and commutative writes dissolve the uncapped one entirely —\n"
+          "while OCC burns re-executions and the DAG serialises everything.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+fig7a / fig7b   regenerate the paper's speedup figures (scaled)
+fig8a / fig8b   regenerate the network-throughput figures (scaled)
+rq1             Merkle-root correctness sweep
+ablation        DMVCC feature ablation
+analyze FILE    compile a Minisol file and print its P-SAG
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _scaled_workload(args) -> dict:
+    return dict(
+        users=args.users,
+        erc20_tokens=args.tokens,
+        dex_pools=args.pools,
+        nft_collections=args.nfts,
+        icos=2,
+    )
+
+
+def cmd_fig(args) -> int:
+    """Regenerate one of the paper's four figure panels."""
+    from .bench import run_fig7a, run_fig7b, run_fig8a, run_fig8b
+
+    threads = tuple(int(t) for t in args.threads.split(","))
+    workload = _scaled_workload(args)
+    if args.figure in ("7a", "7b"):
+        runner = run_fig7a if args.figure == "7a" else run_fig7b
+        result = runner(
+            blocks=args.blocks,
+            txs_per_block=args.txs,
+            thread_counts=threads,
+            **workload,
+        )
+        print(result.format_table())
+        return 0 if result.correctness_ok else 1
+    runner = run_fig8a if args.figure == "8a" else run_fig8b
+    result = runner(
+        validators=2,
+        blocks=args.blocks,
+        txs_per_block=args.txs,
+        thread_counts=threads,
+        gas_per_second=args.txs * 45_000 / 360.0,
+        config_overrides=workload,
+    )
+    print(result.format_table())
+    return 0
+
+
+def cmd_rq1(args) -> int:
+    """Run the Merkle-root correctness sweep (RQ1)."""
+    from .bench import run_rq1_correctness
+
+    result = run_rq1_correctness(
+        blocks=args.blocks,
+        txs_per_block=args.txs,
+        scheduler=args.scheduler,
+        threads=8,
+        **_scaled_workload(args),
+    )
+    print(
+        f"RQ1 [{args.scheduler}]: {result.matches}/{result.blocks_checked} "
+        f"block roots match serial ({result.txs_checked} transactions)"
+    )
+    return 0 if result.all_match else 1
+
+
+def cmd_ablation(args) -> int:
+    """Run the DMVCC feature ablation under high contention."""
+    from .bench import run_feature_ablation
+    from .workload import high_contention_config
+
+    result = run_feature_ablation(
+        blocks=max(args.blocks // 2, 1),
+        txs_per_block=args.txs,
+        thread_counts=(8, 32),
+        config=high_contention_config(**_scaled_workload(args)),
+    )
+    print(result.format_table())
+    return 0 if result.correctness_ok else 1
+
+
+def cmd_analyze(args) -> int:
+    """Compile a Minisol file and dump its P-SAG."""
+    from .analysis import build_psag
+    from .lang import compile_source
+
+    with open(args.file) as handle:
+        source = handle.read()
+    compiled = compile_source(source)
+    psag = build_psag(compiled.code)
+    print(f"{compiled.name}: {len(compiled.code)} bytes")
+    print("functions:")
+    for name, abi in sorted(compiled.functions.items()):
+        print(f"  {abi.signature}  selector={abi.selector:#010x}")
+    print("storage layout:")
+    for var in compiled.layout.values():
+        print(f"  slot {var.slot}: {var.type} {var.name}")
+    print("access sites:")
+    for pc, site in sorted(psag.analysis.access_sites.items()):
+        marker = "  [commutative]" if pc in psag.analysis.increment_sites else ""
+        print(f"  pc {pc:5d}: {site.kind:12s} {site.key}{marker}")
+    print("release points:")
+    for point in psag.release.release_points:
+        bound = point.gas_bound if point.gas_bound is not None else "unbounded"
+        print(f"  pc {point.pc:5d}: remaining gas ≤ {bound}")
+    if args.dot:
+        print()
+        print(psag.to_dot())
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DMVCC reproduction toolkit"
+    )
+    parser.add_argument("--users", type=int, default=1_000)
+    parser.add_argument("--tokens", type=int, default=15)
+    parser.add_argument("--pools", type=int, default=6)
+    parser.add_argument("--nfts", type=int, default=5)
+    parser.add_argument("--blocks", type=int, default=2)
+    parser.add_argument("--txs", type=int, default=400)
+    parser.add_argument("--threads", default="1,2,4,8,16,32")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for figure in ("7a", "7b", "8a", "8b"):
+        fig_parser = sub.add_parser(f"fig{figure}", help=f"regenerate Fig. {figure}")
+        fig_parser.set_defaults(func=cmd_fig, figure=figure)
+
+    rq1 = sub.add_parser("rq1", help="Merkle-root correctness sweep")
+    rq1.add_argument("--scheduler", default="dmvcc", choices=["dmvcc", "occ", "dag"])
+    rq1.set_defaults(func=cmd_rq1)
+
+    ablation = sub.add_parser("ablation", help="DMVCC feature ablation")
+    ablation.set_defaults(func=cmd_ablation)
+
+    analyze = sub.add_parser("analyze", help="print a contract's P-SAG")
+    analyze.add_argument("file")
+    analyze.add_argument("--dot", action="store_true",
+                         help="also print a graphviz rendering")
+    analyze.set_defaults(func=cmd_analyze)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Static and dynamic analysis: CFGs, symbolic keys, P-SAGs, C-SAGs."""
+
+from .abstract import AccessSite, ContractAnalysis, analyze_contract
+from .cfg import CFG, BasicBlock, build_cfg
+from .csag import AccessType, CSAG, CSAGBuilder, PredictedAccess, ReleaseOffset
+from .release import ReleaseAnalysis, ReleasePoint, analyze_release_points
+from .sag import PSAG, PSAGCache, SAGNode, SAGNodeKind, build_psag
+from . import symexpr
+
+__all__ = [
+    "AccessSite",
+    "AccessType",
+    "BasicBlock",
+    "CFG",
+    "CSAG",
+    "CSAGBuilder",
+    "ContractAnalysis",
+    "PSAG",
+    "PSAGCache",
+    "PredictedAccess",
+    "ReleaseAnalysis",
+    "ReleaseOffset",
+    "ReleasePoint",
+    "SAGNode",
+    "SAGNodeKind",
+    "analyze_contract",
+    "analyze_release_points",
+    "build_cfg",
+    "build_psag",
+    "symexpr",
+]

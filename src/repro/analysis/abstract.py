@@ -1,0 +1,367 @@
+"""Abstract interpretation of EVM bytecode over symbolic expressions.
+
+One forward pass over the CFG (reverse post-order, states merged at joins)
+computes, for every SLOAD/SSTORE/BALANCE site:
+
+* a **symbolic key expression** — the paper's state-access dependency
+  ``D_I(V, E)``: slots expressed over calldata, msg.sender, snapshot values
+  (``sload(...)``), hashes, and arithmetic; and
+* **commutative-increment sites** — SSTOREs of the shape
+  ``store(k, load(k) + delta)`` where the loaded value has no other use,
+  the paper's §IV-D "incrementing without reading the original value".
+
+The interpreter is deliberately *sound-by-degradation*: anything it cannot
+model precisely becomes ``Unknown``, which downstream consumers treat as
+"resolve at refinement time or fall back to the abort protocol".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.words import WORD_BYTES
+from ..evm.opcodes import Op
+from .cfg import CFG, BasicBlock, build_cfg
+from .symexpr import (
+    BinOp,
+    BlockNumber,
+    Calldata,
+    Caller,
+    CallValue,
+    Const,
+    SLoadVal,
+    Sha3,
+    SymExpr,
+    Timestamp,
+    Unknown,
+    make_binop,
+)
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One static storage-access site in the bytecode."""
+
+    pc: int
+    kind: str  # "read" | "write" | "balance_read"
+    key: SymExpr
+    value: Optional[SymExpr] = None  # for writes
+
+
+@dataclass
+class ContractAnalysis:
+    """Result of the abstract-interpretation pass for one code blob."""
+
+    cfg: CFG
+    access_sites: Dict[int, AccessSite] = field(default_factory=dict)
+    increment_sites: Dict[int, int] = field(default_factory=dict)  # sstore pc -> sload pc
+    branch_conditions: Dict[int, SymExpr] = field(default_factory=dict)  # jumpi pc -> cond
+
+    def read_sites(self) -> List[AccessSite]:
+        return [s for s in self.access_sites.values() if s.kind != "write"]
+
+    def write_sites(self) -> List[AccessSite]:
+        return [s for s in self.access_sites.values() if s.kind == "write"]
+
+
+@dataclass
+class _AbsState:
+    """Symbolic machine state at a block boundary."""
+
+    stack: List[SymExpr] = field(default_factory=list)
+    memory: Dict[int, SymExpr] = field(default_factory=dict)
+    underflowed: bool = False  # popped past the known stack
+
+    def copy(self) -> "_AbsState":
+        return _AbsState(list(self.stack), dict(self.memory), self.underflowed)
+
+
+def _merge(a: _AbsState, b: _AbsState, fresh) -> _AbsState:
+    """Join two predecessor states; disagreements degrade to Unknown."""
+    if len(a.stack) != len(b.stack):
+        return _AbsState([], {}, underflowed=True)
+    stack = [
+        x if x == y else fresh()
+        for x, y in zip(a.stack, b.stack)
+    ]
+    memory = {
+        off: expr
+        for off, expr in a.memory.items()
+        if b.memory.get(off) == expr
+    }
+    return _AbsState(stack, memory, a.underflowed or b.underflowed)
+
+
+class _BlockInterpreter:
+    """Executes one basic block symbolically."""
+
+    def __init__(self, analysis: ContractAnalysis, fresh) -> None:
+        self.analysis = analysis
+        self._fresh = fresh
+
+    def run(self, block: BasicBlock, state: _AbsState) -> _AbsState:
+        st = state.copy()
+
+        def pop() -> SymExpr:
+            if st.stack:
+                return st.stack.pop()
+            st.underflowed = True
+            return self._fresh()
+
+        def push(expr: SymExpr) -> None:
+            st.stack.append(expr)
+
+        for instr in block.instructions:
+            op = instr.op
+            if Op.PUSH1 <= op <= Op.PUSH32:
+                push(Const(instr.operand or 0))
+            elif Op.DUP1 <= op <= Op.DUP16:
+                depth = int(op) - int(Op.DUP1) + 1
+                if len(st.stack) >= depth:
+                    push(st.stack[-depth])
+                else:
+                    st.underflowed = True
+                    push(self._fresh())
+            elif Op.SWAP1 <= op <= Op.SWAP16:
+                depth = int(op) - int(Op.SWAP1) + 1
+                if len(st.stack) > depth:
+                    st.stack[-1], st.stack[-1 - depth] = st.stack[-1 - depth], st.stack[-1]
+                else:
+                    st.underflowed = True
+                    st.stack = []
+            elif op is Op.POP:
+                pop()
+            elif op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.EXP,
+                        Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR,
+                        Op.LT, Op.GT, Op.EQ):
+                a, b = pop(), pop()
+                push(make_binop(_BINOP_NAME[op], a, b))
+            elif op in (Op.SDIV, Op.SMOD, Op.SLT, Op.SGT, Op.SAR, Op.BYTE,
+                        Op.ADDMOD, Op.MULMOD):
+                pops = 3 if op in (Op.ADDMOD, Op.MULMOD) else 2
+                for _ in range(pops):
+                    pop()
+                push(self._fresh())
+            elif op is Op.ISZERO:
+                push(make_binop("eq", pop(), Const(0)))
+            elif op is Op.NOT:
+                pop()
+                push(self._fresh())
+            elif op is Op.SHA3:
+                offset, length = pop(), pop()
+                push(self._sha3(st, offset, length))
+            elif op is Op.CALLDATALOAD:
+                offset = pop()
+                push(Calldata(offset.value) if isinstance(offset, Const) else self._fresh())
+            elif op is Op.CALLER or op is Op.ORIGIN:
+                push(Caller())
+            elif op is Op.CALLVALUE:
+                push(CallValue())
+            elif op is Op.NUMBER:
+                push(BlockNumber())
+            elif op is Op.TIMESTAMP:
+                push(Timestamp())
+            elif op is Op.PC:
+                push(Const(instr.pc))
+            elif op in (Op.ADDRESS, Op.CALLDATASIZE, Op.MSIZE, Op.GAS, Op.SELFBALANCE):
+                push(self._fresh())
+            elif op is Op.MLOAD:
+                offset = pop()
+                if isinstance(offset, Const) and offset.value in st.memory:
+                    push(st.memory[offset.value])
+                else:
+                    push(self._fresh())
+            elif op is Op.MSTORE:
+                offset, value = pop(), pop()
+                if isinstance(offset, Const):
+                    st.memory[offset.value] = value
+                else:
+                    st.memory.clear()
+            elif op is Op.MSTORE8:
+                pop(), pop()
+                st.memory.clear()
+            elif op is Op.CALLDATACOPY:
+                pop(), pop(), pop()
+                st.memory.clear()
+            elif op is Op.SLOAD:
+                key = pop()
+                value = SLoadVal(key, instr.pc)
+                self.analysis.access_sites[instr.pc] = AccessSite(instr.pc, "read", key)
+                push(value)
+            elif op is Op.SSTORE:
+                key, value = pop(), pop()
+                self.analysis.access_sites[instr.pc] = AccessSite(
+                    instr.pc, "write", key, value
+                )
+            elif op is Op.BALANCE:
+                addr = pop()
+                self.analysis.access_sites[instr.pc] = AccessSite(
+                    instr.pc, "balance_read", addr
+                )
+                push(self._fresh())
+            elif Op.LOG0 <= op <= Op.LOG3:
+                for _ in range(2 + int(op) - int(Op.LOG0)):
+                    pop()
+            elif op is Op.CALL:
+                for _ in range(7):
+                    pop()
+                st.memory.clear()
+                push(self._fresh())
+            elif op is Op.JUMP:
+                pop()
+            elif op is Op.JUMPI:
+                pop()  # destination
+                cond = pop()
+                self.analysis.branch_conditions[instr.pc] = cond
+            elif op in (Op.STOP, Op.JUMPDEST, Op.INVALID):
+                pass
+            elif op in (Op.RETURN, Op.REVERT):
+                pop(), pop()
+            else:
+                # Unmodelled opcode: degrade its results to Unknown.
+                push(self._fresh())
+        return st
+
+    def _sha3(self, st: _AbsState, offset: SymExpr, length: SymExpr) -> SymExpr:
+        if not (isinstance(offset, Const) and isinstance(length, Const)):
+            return self._fresh()
+        if length.value % WORD_BYTES != 0 or length.value == 0 or length.value > 4 * WORD_BYTES:
+            return self._fresh()
+        parts = []
+        for word_off in range(offset.value, offset.value + length.value, WORD_BYTES):
+            part = st.memory.get(word_off)
+            if part is None:
+                return self._fresh()
+            parts.append(part)
+        from .symexpr import simplify
+
+        return simplify(Sha3(tuple(parts)))
+
+
+_BINOP_NAME = {
+    Op.ADD: "+", Op.SUB: "-", Op.MUL: "*", Op.DIV: "/", Op.MOD: "%",
+    Op.EXP: "exp", Op.AND: "and", Op.OR: "or", Op.XOR: "xor",
+    Op.SHL: "shl", Op.SHR: "shr", Op.LT: "lt", Op.GT: "gt", Op.EQ: "eq",
+}
+
+
+def analyze_contract(code: bytes, cfg: Optional[CFG] = None) -> ContractAnalysis:
+    """Run the abstract interpreter over a whole contract."""
+    if cfg is None:
+        cfg = build_cfg(code)
+    analysis = ContractAnalysis(cfg=cfg)
+    counter = [0]
+
+    def fresh() -> Unknown:
+        counter[0] += 1
+        return Unknown(counter[0])
+
+    interpreter = _BlockInterpreter(analysis, fresh)
+
+    order = _reverse_post_order(cfg)
+    out_states: Dict[int, _AbsState] = {}
+    in_states: Dict[int, _AbsState] = {}
+    for start in order:
+        block = cfg.blocks[start]
+        preds = [p for p in block.predecessors if p in out_states]
+        if start == cfg.entry or not preds:
+            state = _AbsState()
+        else:
+            state = out_states[preds[0]]
+            for pred in preds[1:]:
+                state = _merge(state, out_states[pred], fresh)
+            if len(preds) < len(block.predecessors):
+                # A back edge: loop-carried values are unknowable in one
+                # forward pass.  Degrade every value to the "–" placeholder
+                # (keeping the stack shape) — the paper's unresolved loop
+                # accesses, to be filled in during C-SAG refinement.
+                state = _AbsState(
+                    stack=[fresh() for _ in state.stack],
+                    memory={},
+                    underflowed=state.underflowed,
+                )
+        in_states[start] = state
+        out_states[start] = interpreter.run(block, state)
+
+    _detect_increments(analysis)
+    return analysis
+
+
+def _reverse_post_order(cfg: CFG) -> List[int]:
+    visited = set()
+    order: List[int] = []
+
+    def dfs(start: int) -> None:
+        stack = [(start, iter(cfg.blocks[start].successors))]
+        visited.add(start)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(cfg.blocks[succ].successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+
+    if cfg.entry in cfg.blocks:
+        dfs(cfg.entry)
+    for start in sorted(cfg.blocks):
+        if start not in visited:
+            dfs(start)
+    return list(reversed(order))
+
+
+def _count_sload_uses(expr: SymExpr, site: int) -> int:
+    """Occurrences of ``SLoadVal(site=site)`` inside ``expr``."""
+    if isinstance(expr, SLoadVal):
+        inner = _count_sload_uses(expr.key, site)
+        return (1 if expr.site == site else 0) + inner
+    if isinstance(expr, BinOp):
+        return _count_sload_uses(expr.left, site) + _count_sload_uses(expr.right, site)
+    if isinstance(expr, Sha3):
+        return sum(_count_sload_uses(p, site) for p in expr.parts)
+    return 0
+
+
+def _detect_increments(analysis: ContractAnalysis) -> None:
+    """Mark SSTORE sites of the form ``store(k, load(k) + delta)`` where the
+    load's value escapes nowhere else (branch conditions, other writes,
+    other keys).  Such writes commute with each other (paper §IV-D)."""
+    # Total use count of each sload site across every expression we recorded.
+    all_exprs: List[SymExpr] = []
+    for site in analysis.access_sites.values():
+        all_exprs.append(site.key)
+        if site.value is not None:
+            all_exprs.append(site.value)
+    all_exprs.extend(analysis.branch_conditions.values())
+
+    for site in analysis.access_sites.values():
+        if site.kind != "write" or site.value is None:
+            continue
+        candidate = _match_increment(site.key, site.value)
+        if candidate is None:
+            continue
+        sload_site = candidate
+        total_uses = sum(_count_sload_uses(expr, sload_site) for expr in all_exprs)
+        if total_uses == 1:  # exactly the use inside this increment
+            analysis.increment_sites[site.pc] = sload_site
+
+
+def _match_increment(key: SymExpr, value: SymExpr) -> Optional[int]:
+    """If ``value`` is ``load(key) + delta`` (either operand order) with the
+    delta independent of the load, return the load's site pc."""
+    if not isinstance(value, BinOp) or value.op != "+":
+        return None
+    for load, delta in ((value.left, value.right), (value.right, value.left)):
+        if (
+            isinstance(load, SLoadVal)
+            and load.key == key
+            and _count_sload_uses(delta, load.site) == 0
+        ):
+            return load.site
+    return None

@@ -1,0 +1,199 @@
+"""Control-flow graph construction from EVM bytecode.
+
+The paper builds SAGs from CFGs produced by Slither; we build equivalent
+CFGs directly from bytecode, so contracts without source can be analysed too
+(as the paper notes is possible).
+
+Jump-target resolution: our compiler (like solc) emits ``PUSH target`` as
+the instruction immediately preceding ``JUMP``/``JUMPI``; those resolve
+exactly.  A jump whose target is not a literal push is *dynamic* and is
+conservatively given every JUMPDEST as a successor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..evm.assembler import Instruction, disassemble
+from ..evm.opcodes import Op, is_terminator, opcode_info
+from ..evm.vm import valid_jumpdests
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    start: int
+    instructions: List[Instruction] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+    has_dynamic_jump: bool = False
+
+    @property
+    def end_pc(self) -> int:
+        """pc one past the last instruction."""
+        last = self.instructions[-1]
+        return last.next_pc
+
+    @property
+    def terminator(self) -> Optional[Op]:
+        return self.instructions[-1].op if self.instructions else None
+
+    def static_gas(self) -> int:
+        """Sum of static gas costs of the block's instructions (a lower
+        bound; dynamic costs like SHA3 words and memory growth excluded)."""
+        total = 0
+        for instr in self.instructions:
+            info = opcode_info(int(instr.op))
+            if info is not None:
+                total += info.gas
+            if instr.op is Op.SSTORE:
+                total += 5_000  # flat dynamic charge, mirrors the VM
+        return total
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.start}..{self.end_pc}, succ={self.successors})"
+
+
+@dataclass
+class CFG:
+    """Blocks indexed by start pc, with forward and backward edges."""
+
+    code: bytes
+    blocks: Dict[int, BasicBlock]
+    entry: int = 0
+
+    def block_of(self, pc: int) -> BasicBlock:
+        """The block containing ``pc`` (blocks are disjoint and sorted)."""
+        starts = self._sorted_starts
+        lo, hi = 0, len(starts) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            block = self.blocks[starts[mid]]
+            if pc < block.start:
+                hi = mid - 1
+            elif pc >= block.end_pc:
+                lo = mid + 1
+            else:
+                return block
+        raise KeyError(f"no block contains pc {pc}")
+
+    @property
+    def _sorted_starts(self) -> List[int]:
+        cached = getattr(self, "_starts_cache", None)
+        if cached is None:
+            cached = sorted(self.blocks)
+            object.__setattr__(self, "_starts_cache", cached)
+        return cached
+
+    def iter_blocks(self) -> Iterator[BasicBlock]:
+        for start in sorted(self.blocks):
+            yield self.blocks[start]
+
+    def back_edges(self) -> Set[Tuple[int, int]]:
+        """Edges (u, v) where v dominates u under DFS — loop back edges.
+
+        We use the standard DFS-ancestor approximation: an edge into a block
+        currently on the DFS stack is a back edge.  Good enough to identify
+        the paper's loop nodes.
+        """
+        back: Set[Tuple[int, int]] = set()
+        visited: Set[int] = set()
+        on_stack: Set[int] = set()
+
+        def dfs(start: int) -> None:
+            stack: List[Tuple[int, Iterator[int]]] = []
+            visited.add(start)
+            on_stack.add(start)
+            stack.append((start, iter(self.blocks[start].successors)))
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ in on_stack:
+                        back.add((node, succ))
+                    elif succ not in visited:
+                        visited.add(succ)
+                        on_stack.add(succ)
+                        stack.append((succ, iter(self.blocks[succ].successors)))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    on_stack.discard(node)
+
+        if self.entry in self.blocks:
+            dfs(self.entry)
+        return back
+
+    def loop_headers(self) -> Set[int]:
+        return {target for _src, target in self.back_edges()}
+
+
+def build_cfg(code: bytes) -> CFG:
+    """Decode bytecode and split it into basic blocks with resolved edges."""
+    instructions = list(disassemble(code))
+    if not instructions:
+        return CFG(code, {})
+    jumpdests = valid_jumpdests(code)
+
+    # Block leaders: pc 0, every JUMPDEST, every instruction after a
+    # terminator or JUMPI.
+    leaders: Set[int] = {0}
+    for i, instr in enumerate(instructions):
+        if instr.op is Op.JUMPDEST:
+            leaders.add(instr.pc)
+        if is_terminator(instr.op) or instr.op is Op.JUMPI:
+            if i + 1 < len(instructions):
+                leaders.add(instructions[i + 1].pc)
+
+    blocks: Dict[int, BasicBlock] = {}
+    current: Optional[BasicBlock] = None
+    for instr in instructions:
+        if instr.pc in leaders:
+            current = BasicBlock(start=instr.pc)
+            blocks[instr.pc] = current
+        assert current is not None
+        current.instructions.append(instr)
+
+    # Edges.
+    block_list = sorted(blocks)
+    for idx, start in enumerate(block_list):
+        block = blocks[start]
+        last = block.instructions[-1]
+        prev = block.instructions[-2] if len(block.instructions) >= 2 else None
+        fallthrough = block_list[idx + 1] if idx + 1 < len(block_list) else None
+
+        if last.op is Op.JUMP:
+            target = _static_target(prev)
+            if target is not None and target in jumpdests:
+                block.successors.append(target)
+            elif target is None:
+                block.has_dynamic_jump = True
+                block.successors.extend(sorted(jumpdests))
+        elif last.op is Op.JUMPI:
+            target = _static_target(prev)
+            if target is not None and target in jumpdests:
+                block.successors.append(target)
+            elif target is None:
+                block.has_dynamic_jump = True
+                block.successors.extend(sorted(jumpdests))
+            if fallthrough is not None:
+                block.successors.append(fallthrough)
+        elif not is_terminator(last.op):
+            if fallthrough is not None:
+                block.successors.append(fallthrough)
+
+    for start, block in blocks.items():
+        for succ in block.successors:
+            blocks[succ].predecessors.append(start)
+
+    return CFG(code, blocks)
+
+
+def _static_target(prev: Optional[Instruction]) -> Optional[int]:
+    """Jump target when the preceding instruction is a PUSH literal."""
+    if prev is not None and Op.PUSH1 <= prev.op <= Op.PUSH32:
+        return prev.operand
+    return None

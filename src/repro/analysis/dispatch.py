@@ -1,0 +1,63 @@
+"""Function-dispatch analysis: selector → reachable code.
+
+Solidity-style contracts start with a selector dispatcher.  Recognising it
+lets the C-SAG refinement evaluate only the access sites *reachable from
+the called function*, instead of every site in the contract — the
+difference between per-function and whole-contract read/write sets.
+
+The recognised pattern (emitted by our compiler and solc alike) is::
+
+    DUP1 ; PUSH<sel> ; EQ ; PUSH2 <entry> ; JUMPI
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from ..evm.opcodes import Op
+from .cfg import CFG
+
+
+def selector_entries(cfg: CFG) -> Dict[int, int]:
+    """Map each 4-byte function selector to its entry pc."""
+    entries: Dict[int, int] = {}
+    for block in cfg.iter_blocks():
+        instrs = block.instructions
+        for i in range(len(instrs) - 4):
+            window = instrs[i : i + 5]
+            if (
+                window[0].op is Op.DUP1
+                and Op.PUSH1 <= window[1].op <= Op.PUSH32
+                and window[2].op is Op.EQ
+                and Op.PUSH1 <= window[3].op <= Op.PUSH32
+                and window[4].op is Op.JUMPI
+            ):
+                selector = window[1].operand or 0
+                target = window[3].operand or 0
+                if target in cfg.blocks:
+                    entries[selector] = target
+    return entries
+
+
+def reachable_pcs(cfg: CFG, entry_block: int) -> FrozenSet[int]:
+    """All instruction pcs reachable from ``entry_block``."""
+    seen: Set[int] = set()
+    stack: List[int] = [entry_block]
+    pcs: Set[int] = set()
+    while stack:
+        start = stack.pop()
+        if start in seen or start not in cfg.blocks:
+            continue
+        seen.add(start)
+        block = cfg.blocks[start]
+        pcs.update(instr.pc for instr in block.instructions)
+        stack.extend(block.successors)
+    return frozenset(pcs)
+
+
+def selector_reachability(cfg: CFG) -> Dict[int, FrozenSet[int]]:
+    """Per-selector reachable pc sets (the per-function views of a P-SAG)."""
+    return {
+        selector: reachable_pcs(cfg, entry)
+        for selector, entry in selector_entries(cfg).items()
+    }

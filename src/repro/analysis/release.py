@@ -1,0 +1,185 @@
+"""Release-point analysis.
+
+A *release point* (paper §III-B, §IV-C) is a program point beyond which no
+abortable statement can execute — once a transaction's execution passes it
+(with enough gas for the longest remaining path), its writes can safely be
+made visible to other transactions, because nothing can retroactively undo
+them except scheduler-level aborts, which the protocol already handles.
+
+Abortable statements at the bytecode level are REVERT and INVALID (the
+compilation targets of ``require``/``revert`` and ``assert``/bounds checks).
+Running out of gas is handled separately: each release point carries an
+upper bound on the gas needed for the remaining instructions, checked
+against the actual remaining gas at runtime (Algorithm 2, line 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..evm.opcodes import Op
+from .cfg import CFG
+
+# CALL counts as abortable: the callee may revert or burn gas, and the
+# static analysis of the caller cannot see into it.
+_ABORTABLE = (Op.REVERT, Op.INVALID, Op.CALL)
+
+
+@dataclass(frozen=True)
+class ReleasePoint:
+    """One release point: a pc plus the static gas bound for the rest of the
+    execution (``None`` when a loop makes the remainder unbounded — the
+    C-SAG refinement replaces it with a concrete estimate)."""
+
+    pc: int
+    block_start: int
+    gas_bound: Optional[int]
+
+
+@dataclass
+class ReleaseAnalysis:
+    """Per-contract release-point results."""
+
+    release_points: List[ReleasePoint] = field(default_factory=list)
+    abort_reachable: Dict[int, bool] = field(default_factory=dict)  # block -> bool
+
+    @property
+    def pcs(self) -> Set[int]:
+        return {rp.pc for rp in self.release_points}
+
+    def bound_at(self, pc: int) -> Optional[int]:
+        for rp in self.release_points:
+            if rp.pc == pc:
+                return rp.gas_bound
+        return None
+
+
+def analyze_release_points(cfg: CFG) -> ReleaseAnalysis:
+    """Compute the earliest release points of a contract CFG."""
+    analysis = ReleaseAnalysis()
+    if not cfg.blocks:
+        return analysis
+
+    internal_abort: Dict[int, bool] = {}
+    last_abort_index: Dict[int, int] = {}
+    for start, block in cfg.blocks.items():
+        indices = [i for i, ins in enumerate(block.instructions) if ins.op in _ABORTABLE]
+        internal_abort[start] = bool(indices)
+        last_abort_index[start] = indices[-1] if indices else -1
+
+    # abort_reachable[b]: an abortable instruction exists in b or beyond.
+    abort_reachable = {start: internal_abort[start] for start in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for start, block in cfg.blocks.items():
+            if abort_reachable[start]:
+                continue
+            if any(abort_reachable[s] for s in block.successors):
+                abort_reachable[start] = True
+                changed = True
+    analysis.abort_reachable = abort_reachable
+
+    # end_safe[b]: every path *after* block b is abort-free.
+    end_safe = {
+        start: not any(abort_reachable[s] for s in block.successors)
+        for start, block in cfg.blocks.items()
+    }
+
+    # Blocks from which a cycle is reachable have unbounded remaining gas.
+    reaches_cycle = _blocks_reaching_cycles(cfg)
+    gas_bounds = _longest_path_gas(cfg, reaches_cycle)
+
+    for start, block in cfg.blocks.items():
+        if not end_safe[start]:
+            continue
+        last_idx = last_abort_index[start]
+        if internal_abort[start]:
+            if last_idx == len(block.instructions) - 1:
+                continue  # the block *ends* by aborting; nothing to release
+            pc = block.instructions[last_idx + 1].pc
+        else:
+            preds = block.predecessors
+            pred_all_safe = bool(preds) and all(
+                end_safe.get(p, False) and not _tail_aborts(cfg, p)
+                for p in preds
+            )
+            if pred_all_safe:
+                continue  # a predecessor already released; keep earliest only
+            pc = block.instructions[0].pc
+        bound = None if reaches_cycle.get(start, False) else _remaining_gas(
+            cfg, start, last_idx, gas_bounds
+        )
+        analysis.release_points.append(ReleasePoint(pc, start, bound))
+
+    analysis.release_points.sort(key=lambda rp: rp.pc)
+    return analysis
+
+
+def _tail_aborts(cfg: CFG, block_start: int) -> bool:
+    """Does the block itself still contain an abortable instruction?"""
+    return any(ins.op in _ABORTABLE for ins in cfg.blocks[block_start].instructions)
+
+
+def _blocks_reaching_cycles(cfg: CFG) -> Dict[int, bool]:
+    """Blocks from which some cycle is reachable (gas unbounded statically)."""
+    back = cfg.back_edges()
+    cycle_blocks = {target for _s, target in back} | {source for source, _t in back}
+    reaches = {start: start in cycle_blocks for start in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for start, block in cfg.blocks.items():
+            if reaches[start]:
+                continue
+            if any(reaches[s] for s in block.successors):
+                reaches[start] = True
+                changed = True
+    return reaches
+
+
+def _longest_path_gas(cfg: CFG, reaches_cycle: Dict[int, bool]) -> Dict[int, int]:
+    """Longest-path gas from each acyclic block to any terminal, memoised.
+
+    Only meaningful for blocks that reach no cycle; others get 0 and are
+    reported as unbounded by the caller.
+    """
+    memo: Dict[int, int] = {}
+
+    def visit(start: int) -> int:
+        if start in memo:
+            return memo[start]
+        if reaches_cycle.get(start, False):
+            memo[start] = 0
+            return 0
+        block = cfg.blocks[start]
+        own = block.static_gas()
+        best_tail = 0
+        for succ in block.successors:
+            best_tail = max(best_tail, visit(succ))
+        memo[start] = own + best_tail
+        return memo[start]
+
+    for start in cfg.blocks:
+        visit(start)
+    return memo
+
+
+def _remaining_gas(
+    cfg: CFG, block_start: int, last_abort_idx: int, gas_bounds: Dict[int, int]
+) -> int:
+    """Gas bound from the release pc (just after ``last_abort_idx``) to the
+    end: the rest of this block plus the longest successor path."""
+    block = cfg.blocks[block_start]
+    from ..evm.opcodes import opcode_info
+
+    tail_gas = 0
+    for ins in block.instructions[last_abort_idx + 1 :]:
+        info = opcode_info(int(ins.op))
+        if info is not None:
+            tail_gas += info.gas
+        if ins.op is Op.SSTORE:
+            tail_gas += 5_000
+    best_succ = max((gas_bounds.get(s, 0) for s in block.successors), default=0)
+    return tail_gas + best_succ

@@ -1,0 +1,263 @@
+"""State Access Graphs (SAGs).
+
+The paper's P-SAG is "a simplified control-flow graph from which the nodes
+performing no read/write operation are removed" plus loop nodes and release
+points.  :func:`build_psag` produces exactly that from the CFG, the
+abstract-interpretation access sites, and the release-point analysis.
+
+A node's ``key`` is a symbolic expression (``repro.analysis.symexpr``);
+unresolved accesses carry the ``Unknown`` placeholder ("–" in the paper's
+Fig. 3).  Refinement into a C-SAG happens in :mod:`repro.analysis.csag`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core.hashing import keccak
+from .abstract import ContractAnalysis, analyze_contract
+from .cfg import CFG, build_cfg
+from .release import ReleaseAnalysis, analyze_release_points
+from .symexpr import SymExpr, contains_unknown, depends_on_state
+
+START_PC = -1
+END_PC = -2
+
+
+class SAGNodeKind(Enum):
+    START = "start"
+    END = "end"
+    READ = "read"
+    WRITE = "write"
+    LOOP = "loop"
+    RELEASE = "release"
+
+
+@dataclass
+class SAGNode:
+    """One node of a P-SAG."""
+
+    pc: int
+    kind: SAGNodeKind
+    key: Optional[SymExpr] = None
+    gas_bound: Optional[int] = None     # set when the node is a release point
+    commutative: bool = False           # write nodes: increment site
+    is_release: bool = False            # True for RELEASE nodes and for
+    successors: List[int] = field(default_factory=list)  # accesses at a release pc
+
+    def __repr__(self) -> str:
+        extra = f" key={self.key}" if self.key is not None else ""
+        return f"SAGNode(pc={self.pc}, {self.kind.value}{extra})"
+
+
+@dataclass
+class PSAG:
+    """Partial state access graph for one contract's bytecode."""
+
+    code_hash: bytes
+    nodes: Dict[int, SAGNode]
+    analysis: ContractAnalysis
+    release: ReleaseAnalysis
+    loop_headers: FrozenSet[int]
+    selector_reach: Dict[int, FrozenSet[int]] = None  # type: ignore[assignment]
+
+    def sites_for_selector(self, selector: int):
+        """Access sites reachable from the dispatched function (all sites
+        when the selector is unknown or the dispatcher was not recognised)."""
+        reach = (self.selector_reach or {}).get(selector)
+        sites = self.analysis.access_sites.values()
+        if reach is None:
+            return list(sites)
+        return [s for s in sites if s.pc in reach]
+
+    @property
+    def start(self) -> SAGNode:
+        return self.nodes[START_PC]
+
+    @property
+    def end(self) -> SAGNode:
+        return self.nodes[END_PC]
+
+    def access_nodes(self) -> List[SAGNode]:
+        return [
+            n for n in self.nodes.values()
+            if n.kind in (SAGNodeKind.READ, SAGNodeKind.WRITE)
+        ]
+
+    def release_pcs(self) -> Set[int]:
+        return {n.pc for n in self.nodes.values() if n.is_release}
+
+    def unresolved_nodes(self) -> List[SAGNode]:
+        """Nodes whose key carries the "–" placeholder."""
+        return [
+            n for n in self.access_nodes()
+            if n.key is not None and contains_unknown(n.key)
+        ]
+
+    def snapshot_dependent_nodes(self) -> List[SAGNode]:
+        """Nodes whose key needs snapshot values to resolve (paper's V set)."""
+        return [
+            n for n in self.access_nodes()
+            if n.key is not None and depends_on_state(n.key)
+        ]
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering of the P-SAG (the paper's Fig. 3 view)."""
+        def node_id(pc: int) -> str:
+            if pc == START_PC:
+                return "start"
+            if pc == END_PC:
+                return "end"
+            return f"pc{pc}"
+
+        lines = ["digraph psag {", "  rankdir=TB;", '  node [fontsize=10];']
+        for pc, node in sorted(self.nodes.items()):
+            if node.kind is SAGNodeKind.START:
+                label, shape = "start", "circle"
+            elif node.kind is SAGNodeKind.END:
+                label, shape = "end", "doublecircle"
+            elif node.kind is SAGNodeKind.LOOP:
+                label, shape = f"loop @{pc}", "diamond"
+            elif node.kind is SAGNodeKind.RELEASE:
+                label, shape = f"release @{pc}", "house"
+            else:
+                symbol = "ω" if node.kind is SAGNodeKind.WRITE else "ρ"
+                if node.commutative:
+                    symbol = "ω̄"
+                label, shape = f"{symbol}({node.key}) @{pc}", "box"
+                if node.is_release:
+                    label += " [release]"
+            lines.append(f'  {node_id(pc)} [label="{label}", shape={shape}];')
+        for pc, node in sorted(self.nodes.items()):
+            for succ in node.successors:
+                lines.append(f"  {node_id(pc)} -> {node_id(succ)};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_psag(code: bytes) -> PSAG:
+    """Build the partial state access graph of a contract."""
+    cfg = build_cfg(code)
+    analysis = analyze_contract(code, cfg)
+    release = analyze_release_points(cfg)
+    loop_headers = frozenset(cfg.loop_headers())
+
+    nodes: Dict[int, SAGNode] = {
+        START_PC: SAGNode(START_PC, SAGNodeKind.START),
+        END_PC: SAGNode(END_PC, SAGNodeKind.END),
+    }
+
+    # Retained pcs per block, in instruction order.  A pc can be both a
+    # release point and an access; release wins a separate node ordered
+    # just before the access (the release "happens" on arrival at the pc).
+    retained_per_block: Dict[int, List[int]] = {}
+    release_pcs = release.pcs
+
+    for block in cfg.iter_blocks():
+        pcs: List[int] = []
+        if block.start in loop_headers:
+            nodes[block.start] = SAGNode(block.start, SAGNodeKind.LOOP)
+            pcs.append(block.start)
+        for instr in block.instructions:
+            pc = instr.pc
+            site = analysis.access_sites.get(pc)
+            releases_here = pc in release_pcs
+            if site is None and releases_here and pc not in nodes:
+                nodes[pc] = SAGNode(
+                    pc, SAGNodeKind.RELEASE,
+                    gas_bound=release.bound_at(pc), is_release=True,
+                )
+                pcs.append(pc)
+            elif site is not None and pc not in nodes:
+                kind = SAGNodeKind.WRITE if site.kind == "write" else SAGNodeKind.READ
+                nodes[pc] = SAGNode(
+                    pc,
+                    kind,
+                    key=site.key,
+                    commutative=pc in analysis.increment_sites,
+                    is_release=releases_here,
+                    gas_bound=release.bound_at(pc) if releases_here else None,
+                )
+                pcs.append(pc)
+        retained_per_block[block.start] = pcs
+
+    _wire_edges(cfg, nodes, retained_per_block)
+    from .dispatch import selector_reachability
+
+    return PSAG(
+        code_hash=keccak(code),
+        nodes=nodes,
+        analysis=analysis,
+        release=release,
+        loop_headers=loop_headers,
+        selector_reach=selector_reachability(cfg),
+    )
+
+
+def _wire_edges(
+    cfg: CFG, nodes: Dict[int, SAGNode], retained: Dict[int, List[int]]
+) -> None:
+    """Collapse the CFG onto retained nodes: each node's successors are the
+    nearest retained nodes reachable without crossing another one."""
+    first_cache: Dict[int, FrozenSet[int]] = {}
+
+    def first_retained(block_start: int, visiting: Tuple[int, ...] = ()) -> FrozenSet[int]:
+        """First retained node(s) seen when control enters ``block_start``."""
+        if block_start in first_cache:
+            return first_cache[block_start]
+        if block_start in visiting:
+            return frozenset()  # empty cycle: no retained node inside
+        pcs = retained[block_start]
+        if pcs:
+            result = frozenset({pcs[0]})
+        else:
+            successors = cfg.blocks[block_start].successors
+            if not successors:
+                result = frozenset({END_PC})
+            else:
+                acc: Set[int] = set()
+                for succ in successors:
+                    acc |= first_retained(succ, visiting + (block_start,))
+                result = frozenset(acc)
+        first_cache[block_start] = result
+        return result
+
+    # Entry edge.
+    nodes[START_PC].successors = sorted(first_retained(cfg.entry)) if cfg.blocks else [END_PC]
+
+    for block in cfg.iter_blocks():
+        pcs = retained[block.start]
+        for i, pc in enumerate(pcs):
+            if i + 1 < len(pcs):
+                nodes[pc].successors = [pcs[i + 1]]
+            else:
+                acc: Set[int] = set()
+                if not block.successors:
+                    acc.add(END_PC)
+                for succ in block.successors:
+                    acc |= first_retained(succ)
+                nodes[pc].successors = sorted(acc) or [END_PC]
+
+
+class PSAGCache:
+    """Per-validator cache of P-SAGs keyed by code hash.
+
+    The paper constructs P-SAGs offline, when transactions first arrive;
+    caching by code hash means each contract is analysed once per process.
+    """
+
+    def __init__(self) -> None:
+        self._by_hash: Dict[bytes, PSAG] = {}
+
+    def get(self, code: bytes) -> PSAG:
+        digest = keccak(code)
+        psag = self._by_hash.get(digest)
+        if psag is None:
+            psag = build_psag(code)
+            self._by_hash[digest] = psag
+        return psag
+
+    def __len__(self) -> int:
+        return len(self._by_hash)

@@ -1,0 +1,252 @@
+"""Symbolic expressions for storage-key analysis.
+
+The P-SAG must describe *which* storage slots a function touches before the
+transaction's inputs are known (paper §III-B).  Slots are therefore symbolic
+expressions over:
+
+* transaction inputs  (``Calldata``, ``Caller``, ``CallValue``),
+* block parameters    (``BlockNumber``, ``Timestamp``),
+* state values        (``SLoadVal`` — the paper's dependency on snapshots),
+* hashing and arithmetic over those (mapping/array slot math),
+* ``Unknown`` — the paper's "–" placeholder for unresolvable accesses.
+
+Given a concrete transaction and a snapshot, :func:`evaluate` resolves an
+expression to a concrete slot (or reports that it depends on unresolvable
+inputs), which is how a P-SAG is refined into a C-SAG without execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..core import words
+from ..core.hashing import keccak
+from ..core.words import WORD_BYTES, bytes_to_word
+
+
+class Unresolvable(Exception):
+    """Raised by :func:`evaluate` when an expression contains ``Unknown``."""
+
+
+@dataclass(frozen=True)
+class SymExpr:
+    """Base class; all expressions are immutable and hashable."""
+
+
+@dataclass(frozen=True)
+class Const(SymExpr):
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.value:#x}" if self.value > 9 else str(self.value)
+
+
+@dataclass(frozen=True)
+class Calldata(SymExpr):
+    """32-byte word loaded from calldata at a constant offset."""
+
+    offset: int
+
+    def __str__(self) -> str:
+        if self.offset >= 4 and (self.offset - 4) % WORD_BYTES == 0:
+            return f"arg{(self.offset - 4) // WORD_BYTES}"
+        return f"calldata[{self.offset}]"
+
+
+@dataclass(frozen=True)
+class Caller(SymExpr):
+    def __str__(self) -> str:
+        return "msg.sender"
+
+
+@dataclass(frozen=True)
+class CallValue(SymExpr):
+    def __str__(self) -> str:
+        return "msg.value"
+
+
+@dataclass(frozen=True)
+class BlockNumber(SymExpr):
+    def __str__(self) -> str:
+        return "block.number"
+
+
+@dataclass(frozen=True)
+class Timestamp(SymExpr):
+    def __str__(self) -> str:
+        return "block.timestamp"
+
+
+@dataclass(frozen=True)
+class SLoadVal(SymExpr):
+    """The value read from storage at (symbolic) slot ``key``.
+
+    ``site`` is the pc of the SLOAD, making distinct loads distinct symbols
+    (storage may change between two loads of the same slot in principle;
+    within one transaction it cannot, but keeping sites separate also gives
+    the use-count analysis for commutativity detection for free).
+    """
+
+    key: SymExpr
+    site: int
+
+    def __str__(self) -> str:
+        return f"sload({self.key})"
+
+
+@dataclass(frozen=True)
+class Sha3(SymExpr):
+    """keccak over a sequence of words — mapping/array slot derivation."""
+
+    parts: Tuple[SymExpr, ...]
+
+    def __str__(self) -> str:
+        return f"keccak({', '.join(map(str, self.parts))})"
+
+
+@dataclass(frozen=True)
+class BinOp(SymExpr):
+    op: str  # '+', '-', '*', '/', '%', 'and', 'or', 'xor', 'shl', 'shr', ...
+    left: SymExpr
+    right: SymExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Unknown(SymExpr):
+    """The paper's "–" placeholder: not resolvable before execution."""
+
+    tag: int = 0
+
+    def __str__(self) -> str:
+        return "–"
+
+
+def simplify(expr: SymExpr) -> SymExpr:
+    """Constant-fold one level (children are assumed already simplified)."""
+    if isinstance(expr, BinOp) and isinstance(expr.left, Const) and isinstance(expr.right, Const):
+        return Const(_apply(expr.op, expr.left.value, expr.right.value))
+    if isinstance(expr, Sha3) and all(isinstance(p, Const) for p in expr.parts):
+        payload = b"".join(p.value.to_bytes(WORD_BYTES, "big") for p in expr.parts)  # type: ignore[union-attr]
+        return Const(bytes_to_word(keccak(payload)))
+    return expr
+
+
+def make_binop(op: str, left: SymExpr, right: SymExpr) -> SymExpr:
+    return simplify(BinOp(op, left, right))
+
+
+def _apply(op: str, a: int, b: int) -> int:
+    if op == "+":
+        return words.add(a, b)
+    if op == "-":
+        return words.sub(a, b)
+    if op == "*":
+        return words.mul(a, b)
+    if op == "/":
+        return words.div(a, b)
+    if op == "%":
+        return words.mod(a, b)
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return words.shl(a, b)
+    if op == "shr":
+        return words.shr(a, b)
+    if op == "exp":
+        return words.exp(a, b)
+    if op == "lt":
+        return words.lt(a, b)
+    if op == "gt":
+        return words.gt(a, b)
+    if op == "eq":
+        return words.eq(a, b)
+    raise ValueError(f"unknown symbolic operator {op!r}")
+
+
+@dataclass(frozen=True)
+class TxEnvironment:
+    """Concrete evaluation context for one transaction."""
+
+    calldata: bytes
+    caller: int
+    call_value: int
+    block_number: int = 0
+    timestamp: int = 0
+
+
+def evaluate(
+    expr: SymExpr,
+    env: TxEnvironment,
+    storage_reader: Callable[[SymExpr], int],
+) -> int:
+    """Resolve a symbolic expression against concrete transaction inputs.
+
+    ``storage_reader`` is called for ``SLoadVal`` nodes with the (already
+    symbolic) key; the caller resolves that key recursively and reads the
+    snapshot — this is the paper's "retrieve requested values from a most
+    recent snapshot of global states".
+
+    Raises :class:`Unresolvable` when the expression contains ``Unknown``.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Calldata):
+        chunk = env.calldata[expr.offset : expr.offset + WORD_BYTES]
+        return bytes_to_word(chunk.ljust(WORD_BYTES, b"\x00"))
+    if isinstance(expr, Caller):
+        return env.caller
+    if isinstance(expr, CallValue):
+        return env.call_value
+    if isinstance(expr, BlockNumber):
+        return env.block_number
+    if isinstance(expr, Timestamp):
+        return env.timestamp
+    if isinstance(expr, SLoadVal):
+        return storage_reader(expr.key)
+    if isinstance(expr, Sha3):
+        payload = b"".join(
+            evaluate(p, env, storage_reader).to_bytes(WORD_BYTES, "big") for p in expr.parts
+        )
+        return bytes_to_word(keccak(payload))
+    if isinstance(expr, BinOp):
+        return _apply(
+            expr.op,
+            evaluate(expr.left, env, storage_reader),
+            evaluate(expr.right, env, storage_reader),
+        )
+    if isinstance(expr, Unknown):
+        raise Unresolvable("expression contains an unresolved placeholder")
+    raise TypeError(f"not a symbolic expression: {expr!r}")
+
+
+def contains_unknown(expr: SymExpr) -> bool:
+    """Whether any subexpression is an ``Unknown`` placeholder."""
+    if isinstance(expr, Unknown):
+        return True
+    if isinstance(expr, BinOp):
+        return contains_unknown(expr.left) or contains_unknown(expr.right)
+    if isinstance(expr, Sha3):
+        return any(contains_unknown(p) for p in expr.parts)
+    if isinstance(expr, SLoadVal):
+        return contains_unknown(expr.key)
+    return False
+
+
+def depends_on_state(expr: SymExpr) -> bool:
+    """Whether resolving the expression needs snapshot values (paper's
+    ``V`` component of a state-access dependency)."""
+    if isinstance(expr, SLoadVal):
+        return True
+    if isinstance(expr, BinOp):
+        return depends_on_state(expr.left) or depends_on_state(expr.right)
+    if isinstance(expr, Sha3):
+        return any(depends_on_state(p) for p in expr.parts)
+    return False

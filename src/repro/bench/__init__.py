@@ -1,0 +1,38 @@
+"""Benchmark harness: one runner per figure/claim of the paper."""
+
+from .ablation import ablation_executors, run_feature_ablation
+from .harness import (
+    clone_statedb,
+    CorrectnessResult,
+    SpeedupResult,
+    SpeedupRow,
+    ThroughputResult,
+    ThroughputRow,
+    default_executors,
+    run_blockchain_throughput,
+    run_fig7a,
+    run_fig7b,
+    run_fig8a,
+    run_fig8b,
+    run_rq1_correctness,
+    run_speedup_experiment,
+)
+
+__all__ = [
+    "CorrectnessResult",
+    "SpeedupResult",
+    "SpeedupRow",
+    "ThroughputResult",
+    "ThroughputRow",
+    "ablation_executors",
+    "clone_statedb",
+    "default_executors",
+    "run_blockchain_throughput",
+    "run_feature_ablation",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig8a",
+    "run_fig8b",
+    "run_rq1_correctness",
+    "run_speedup_experiment",
+]

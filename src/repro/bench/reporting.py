@@ -1,0 +1,111 @@
+"""Human-readable reports: ASCII schedule charts and speedup curves.
+
+``render_gantt`` draws the per-thread execution timeline of a block — the
+picture the paper uses in Fig. 4(b) and Fig. 6 to show how early-write
+visibility and commutative writes compact the schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.metrics import BlockMetrics
+
+
+def render_gantt(
+    metrics: BlockMetrics,
+    width: int = 72,
+    max_threads: int = 16,
+) -> str:
+    """ASCII Gantt chart from per-transaction metrics.
+
+    Each thread row shows its transactions as ``[T<i>──]`` spans scaled to
+    the block's makespan.  Re-executed transactions show their final
+    attempt (the one whose effects committed).
+    """
+    if not metrics.per_tx or metrics.makespan <= 0:
+        return "(empty schedule)"
+
+    # Reconstruct thread lanes greedily from (start, end) intervals: two
+    # transactions share a lane iff they do not overlap.
+    spans = sorted(
+        (tx.start_time, tx.end_time, tx.index)
+        for tx in metrics.per_tx
+        if tx.end_time > tx.start_time
+    )
+    lanes: List[List[Tuple[float, float, int]]] = []
+    for start, end, index in spans:
+        for lane in lanes:
+            if lane[-1][1] <= start + 1e-9:
+                lane.append((start, end, index))
+                break
+        else:
+            lanes.append([(start, end, index)])
+
+    scale = width / metrics.makespan
+    lines = [
+        f"schedule: {metrics.scheduler}, {metrics.tx_count} txs, "
+        f"{metrics.threads} threads, makespan {metrics.makespan:,.0f} "
+        f"(speedup {metrics.speedup:.2f}x)"
+    ]
+    for lane_no, lane in enumerate(lanes[:max_threads]):
+        row = [" "] * width
+        for start, end, index in lane:
+            left = min(int(start * scale), width - 1)
+            right = min(max(int(end * scale), left + 1), width)
+            label = f"T{index}"
+            span = right - left
+            body = (label + "─" * span)[: span - 1] if span > 1 else ""
+            row[left:right] = list(("[" + body)[:span])
+            if span > 1:
+                row[right - 1] = "]"
+        lines.append(f"  t{lane_no:<2d} |{''.join(row)}|")
+    if len(lanes) > max_threads:
+        lines.append(f"  … {len(lanes) - max_threads} more lanes")
+    return "\n".join(lines)
+
+
+def render_speedup_curves(
+    series: Dict[str, Sequence[Tuple[int, float]]],
+    height: int = 12,
+    title: str = "speedup vs threads",
+) -> str:
+    """ASCII line plot of speedup curves (one symbol per scheduler)."""
+    symbols = "O*x+#@"
+    all_points = [p for curve in series.values() for p in curve]
+    if not all_points:
+        return "(no data)"
+    max_speedup = max(speedup for _t, speedup in all_points)
+    threads = sorted({t for curve in series.values() for t, _s in curve})
+    column_of = {t: i for i, t in enumerate(threads)}
+    width = len(threads)
+
+    grid = [[" "] * width for _ in range(height)]
+    for label_index, (label, curve) in enumerate(sorted(series.items())):
+        symbol = symbols[label_index % len(symbols)]
+        for t, speedup in curve:
+            row = height - 1 - int((speedup / max_speedup) * (height - 1))
+            grid[row][column_of[t]] = symbol
+
+    lines = [title]
+    for i, row in enumerate(grid):
+        level = max_speedup * (height - 1 - i) / (height - 1)
+        lines.append(f"{level:7.1f}x |" + "  ".join(row))
+    lines.append("         +" + "--" * width)
+    lines.append("          " + "  ".join(f"{t}" for t in threads))
+    legend = "   ".join(
+        f"{symbols[i % len(symbols)]}={label}"
+        for i, label in enumerate(sorted(series))
+    )
+    lines.append(f"threads ({legend})")
+    return "\n".join(lines)
+
+
+def speedup_series_from_result(result) -> Dict[str, List[Tuple[int, float]]]:
+    """Adapt a SpeedupResult into render_speedup_curves input."""
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for row in result.rows:
+        series.setdefault(row.scheduler, []).append((row.threads, row.speedup))
+    for curve in series.values():
+        curve.sort()
+    return series

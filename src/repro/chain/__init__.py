@@ -1,0 +1,43 @@
+"""Blockchain substrate: transactions, blocks, pools, validators, network."""
+
+from .block import (
+    GENESIS_PARENT,
+    Block,
+    BlockHeader,
+    make_block,
+    transactions_root,
+    validate_block_shape,
+)
+from .consensus import MiningEvent, PoWSimulator, PropagationModel
+from .network import (
+    DEFAULT_GAS_PER_SECOND,
+    BlockRecord,
+    NetworkResult,
+    NetworkSimulation,
+)
+from .transaction import DEFAULT_GAS_LIMIT, Transaction
+from .txpool import Packer, PooledTransaction, TransactionPool
+from .validator import Validator, ValidatorStats
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "BlockRecord",
+    "DEFAULT_GAS_LIMIT",
+    "DEFAULT_GAS_PER_SECOND",
+    "GENESIS_PARENT",
+    "MiningEvent",
+    "NetworkResult",
+    "NetworkSimulation",
+    "Packer",
+    "PoWSimulator",
+    "PooledTransaction",
+    "PropagationModel",
+    "Transaction",
+    "TransactionPool",
+    "Validator",
+    "ValidatorStats",
+    "make_block",
+    "transactions_root",
+    "validate_block_shape",
+]

@@ -1,0 +1,99 @@
+"""Blocks and headers.
+
+A block carries an ordered transaction list and a header whose
+``state_root`` commits to the post-execution state — the Merkle root the
+paper's RQ1 compares across schedulers and validators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..core.encoding import encode_int, rlp_encode
+from ..core.errors import InvalidBlock
+from ..core.hashing import keccak
+from ..core.types import Address
+from .transaction import Transaction
+
+GENESIS_PARENT = b"\x00" * 32
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    number: int
+    parent_hash: bytes
+    state_root: bytes
+    tx_root: bytes
+    timestamp: int
+    miner: Address
+    gas_used: int = 0
+
+    @property
+    def block_hash(self) -> bytes:
+        return keccak(
+            rlp_encode([
+                encode_int(self.number),
+                self.parent_hash,
+                self.state_root,
+                self.tx_root,
+                encode_int(self.timestamp),
+                self.miner.to_bytes(),
+                encode_int(self.gas_used),
+            ])
+        )
+
+
+@dataclass(frozen=True)
+class Block:
+    header: BlockHeader
+    transactions: Tuple[Transaction, ...]
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    @property
+    def block_hash(self) -> bytes:
+        return self.header.block_hash
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+
+def transactions_root(txs: List[Transaction]) -> bytes:
+    """Order-sensitive commitment to the transaction list."""
+    return keccak(rlp_encode([tx.tx_hash for tx in txs]))
+
+
+def make_block(
+    number: int,
+    parent_hash: bytes,
+    state_root: bytes,
+    txs: List[Transaction],
+    timestamp: int,
+    miner: Address,
+    gas_used: int = 0,
+) -> Block:
+    header = BlockHeader(
+        number=number,
+        parent_hash=parent_hash,
+        state_root=state_root,
+        tx_root=transactions_root(txs),
+        timestamp=timestamp,
+        miner=miner,
+        gas_used=gas_used,
+    )
+    return Block(header=header, transactions=tuple(txs))
+
+
+def validate_block_shape(block: Block, parent: BlockHeader) -> None:
+    """Stateless checks: linkage, numbering, and the transaction root."""
+    if block.header.parent_hash != parent.block_hash:
+        raise InvalidBlock(f"block {block.number}: bad parent hash")
+    if block.header.number != parent.number + 1:
+        raise InvalidBlock(
+            f"block {block.number}: expected number {parent.number + 1}"
+        )
+    if block.header.tx_root != transactions_root(list(block.transactions)):
+        raise InvalidBlock(f"block {block.number}: transaction root mismatch")

@@ -1,0 +1,128 @@
+"""Transaction pool with attached analysis results.
+
+Per the paper's workflow (Fig. 2), a validator analyses each transaction as
+it arrives — building/refining its SAG against the *current* latest
+snapshot — and parks both in the pool.  The packer later drafts
+transactions into blocks; the executor fetches the cached C-SAGs, rebuilding
+only the ones that are missing (transactions first seen inside a foreign
+block) or stale beyond use.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.csag import CSAG, CSAGBuilder
+from ..state.statedb import Snapshot
+from .transaction import Transaction
+
+
+@dataclass
+class PooledTransaction:
+    tx: Transaction
+    csag: Optional[CSAG] = None
+
+    @property
+    def analysed(self) -> bool:
+        return self.csag is not None
+
+
+class TransactionPool:
+    """FIFO pool keyed by transaction hash."""
+
+    def __init__(self, max_size: int = 100_000) -> None:
+        self._pool: "OrderedDict[bytes, PooledTransaction]" = OrderedDict()
+        self.max_size = max_size
+
+    def add(self, tx: Transaction, csag: Optional[CSAG] = None) -> bool:
+        """Insert a transaction (idempotent); returns whether it was new."""
+        tx_hash = tx.tx_hash
+        if tx_hash in self._pool:
+            return False
+        if len(self._pool) >= self.max_size:
+            self._pool.popitem(last=False)  # evict the oldest
+        self._pool[tx_hash] = PooledTransaction(tx, csag)
+        return True
+
+    def analyse(self, builder: CSAGBuilder, snapshot: Snapshot) -> int:
+        """Build C-SAGs for every unanalysed transaction; returns how many."""
+        built = 0
+        for pooled in self._pool.values():
+            if pooled.csag is None:
+                pooled.csag = builder.build(pooled.tx, snapshot)
+                built += 1
+        return built
+
+    def get(self, tx_hash: bytes) -> Optional[PooledTransaction]:
+        return self._pool.get(tx_hash)
+
+    def take(self, count: int) -> List[PooledTransaction]:
+        """Pop up to ``count`` transactions in arrival order."""
+        taken: List[PooledTransaction] = []
+        while self._pool and len(taken) < count:
+            _hash, pooled = self._pool.popitem(last=False)
+            taken.append(pooled)
+        return taken
+
+    def remove(self, tx_hash: bytes) -> bool:
+        return self._pool.pop(tx_hash, None) is not None
+
+    def lookup_block(
+        self, txs: List[Transaction]
+    ) -> Tuple[List[Optional[CSAG]], int]:
+        """Fetch cached C-SAGs for a foreign block's transactions.
+
+        Returns (csags-or-None aligned with ``txs``, number missing) and
+        removes the found transactions from the pool.
+        """
+        csags: List[Optional[CSAG]] = []
+        missing = 0
+        for tx in txs:
+            pooled = self._pool.pop(tx.tx_hash, None)
+            if pooled is not None and pooled.csag is not None:
+                csags.append(pooled.csag)
+            else:
+                csags.append(None)
+                missing += 1
+        return csags, missing
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def __contains__(self, tx_hash: bytes) -> bool:
+        return tx_hash in self._pool
+
+
+class Packer:
+    """Drafts blocks from the pool (count- and gas-limited)."""
+
+    def __init__(self, max_txs: int = 1_000, gas_limit: Optional[int] = None) -> None:
+        self.max_txs = max_txs
+        self.gas_limit = gas_limit
+
+    def pack(self, pool: TransactionPool) -> List[PooledTransaction]:
+        """Select transactions for the next block, honouring both limits."""
+        selected = pool.take(self.max_txs)
+        if self.gas_limit is None:
+            return selected
+        total = 0
+        packed: List[PooledTransaction] = []
+        overflow: List[PooledTransaction] = []
+        for pooled in selected:
+            estimate = (
+                pooled.csag.predicted_gas
+                if pooled.csag is not None
+                else pooled.tx.gas_limit
+            )
+            if total + estimate > self.gas_limit and packed:
+                overflow.append(pooled)
+                continue
+            total += estimate
+            packed.append(pooled)
+        # Unpacked transactions return to the pool (front of FIFO is lost,
+        # but arrival order among them is preserved).
+        for pooled in overflow:
+            pool.add(pooled.tx, pooled.csag)
+        return packed

@@ -1,0 +1,177 @@
+"""Validator (full node): the paper's Fig. 2 workflow on one node.
+
+A validator receives transactions, analyses them into SAGs against its
+latest snapshot, pools them, packs blocks (when mining), executes blocks
+with its configured scheduler, and commits state snapshots.  Importing a
+foreign block looks up the cached C-SAGs; transactions missing from the
+local pool are either re-analysed on the fly or executed OCC-style with an
+empty ("missing") C-SAG — both paths the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..analysis.csag import CSAG, CSAGBuilder
+from ..analysis.sag import PSAGCache
+from ..core.errors import InvalidBlock
+from ..core.types import Address
+from ..evm.environment import BlockContext
+from ..executors.base import BlockExecution, Executor
+from ..state.statedb import StateDB
+from .block import GENESIS_PARENT, Block, BlockHeader, make_block, validate_block_shape
+from .transaction import Transaction
+from .txpool import Packer, TransactionPool
+
+
+@dataclass
+class ValidatorStats:
+    """Counters a validator accumulates across its lifetime."""
+
+    received_txs: int = 0
+    analysed_txs: int = 0
+    proposed_blocks: int = 0
+    imported_blocks: int = 0
+    missing_csags: int = 0
+    reanalysed_csags: int = 0
+    root_mismatches: int = 0
+    executed_txs: int = 0
+
+
+class Validator:
+    """One full node."""
+
+    def __init__(
+        self,
+        name: str,
+        statedb: StateDB,
+        executor: Executor,
+        threads: int = 1,
+        packer: Optional[Packer] = None,
+        psag_cache: Optional[PSAGCache] = None,
+        reanalyse_missing: bool = True,
+    ) -> None:
+        self.name = name
+        self.db = statedb
+        self.executor = executor
+        self.threads = threads
+        self.pool = TransactionPool()
+        self.packer = packer if packer is not None else Packer()
+        self.psag_cache = psag_cache if psag_cache is not None else PSAGCache()
+        self.reanalyse_missing = reanalyse_missing
+        self.address = Address.derive(f"validator:{name}")
+        self.stats = ValidatorStats()
+        self.chain: List[BlockHeader] = []
+
+    # ------------------------------------------------------------------
+    # Transaction intake (analysis happens here, offline)
+    # ------------------------------------------------------------------
+
+    def _builder(self, block: Optional[BlockContext] = None) -> CSAGBuilder:
+        return CSAGBuilder(self.db.codes.code_of, self.psag_cache, block)
+
+    def receive_transaction(self, tx: Transaction, analyse: bool = True) -> bool:
+        """Accept a transaction into the pool, analysing it immediately
+        (the paper's SAG-analyzer stage)."""
+        self.stats.received_txs += 1
+        csag: Optional[CSAG] = None
+        if analyse:
+            csag = self._builder().build(tx, self.db.latest)
+            self.stats.analysed_txs += 1
+        return self.pool.add(tx, csag)
+
+    # ------------------------------------------------------------------
+    # Proposing
+    # ------------------------------------------------------------------
+
+    def propose_block(self, timestamp: int = 0) -> "tuple[Block, BlockExecution]":
+        """Pack, execute, commit, and seal the next block."""
+        pooled = self.packer.pack(self.pool)
+        txs = [p.tx for p in pooled]
+        csags = [
+            p.csag if p.csag is not None
+            else self._builder().build(p.tx, self.db.latest)
+            for p in pooled
+        ]
+        execution = self._execute(txs, csags, timestamp)
+        snapshot = self.db.commit(execution.writes)
+        block = make_block(
+            number=snapshot.height,
+            parent_hash=self._parent_hash(),
+            state_root=snapshot.root_hash,
+            txs=txs,
+            timestamp=timestamp,
+            miner=self.address,
+            gas_used=execution.metrics.total_gas,
+        )
+        self.chain.append(block.header)
+        self.stats.proposed_blocks += 1
+        self.stats.executed_txs += len(txs)
+        return block, execution
+
+    # ------------------------------------------------------------------
+    # Importing
+    # ------------------------------------------------------------------
+
+    def import_block(self, block: Block, verify_root: bool = True) -> BlockExecution:
+        """Execute and commit a block mined elsewhere."""
+        if self.chain:
+            validate_block_shape(block, self.chain[-1])
+        txs = list(block.transactions)
+        cached, missing = self.pool.lookup_block(txs)
+        self.stats.missing_csags += missing
+        csags: List[CSAG] = []
+        builder = self._builder(BlockContext(block.number, block.header.timestamp))
+        for tx, csag in zip(txs, cached):
+            if csag is not None:
+                csags.append(csag)
+            elif self.reanalyse_missing:
+                csags.append(builder.build(tx, self.db.latest))
+                self.stats.reanalysed_csags += 1
+            else:
+                csags.append(builder.build_missing(tx, self.db.latest))
+        execution = self._execute(txs, csags, block.header.timestamp)
+        snapshot = self.db.commit(execution.writes)
+        if verify_root and snapshot.root_hash != block.header.state_root:
+            self.stats.root_mismatches += 1
+            raise InvalidBlock(
+                f"{self.name}: state root mismatch at block {block.number}: "
+                f"{snapshot.root_hash.hex()[:12]} != "
+                f"{block.header.state_root.hex()[:12]}"
+            )
+        self.chain.append(block.header)
+        self.stats.imported_blocks += 1
+        self.stats.executed_txs += len(txs)
+        return execution
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _parent_hash(self) -> bytes:
+        return self.chain[-1].block_hash if self.chain else GENESIS_PARENT
+
+    def _execute(self, txs, csags, timestamp: int) -> BlockExecution:
+        context = BlockContext(number=self.db.height + 1, timestamp=timestamp)
+        snapshot = self.db.latest
+        kwargs = {}
+        # Serial/OCC schedulers need no analysis; the others accept the
+        # pre-built C-SAGs.
+        if self.executor.name.startswith(("dag", "dmvcc")):
+            kwargs["csags"] = csags
+        return self.executor.execute_block(
+            txs,
+            snapshot,
+            self.db.codes.code_of,
+            threads=self.threads,
+            block=context,
+            **kwargs,
+        )
+
+    @property
+    def height(self) -> int:
+        return self.db.height
+
+    def state_root(self) -> bytes:
+        return self.db.latest.root_hash

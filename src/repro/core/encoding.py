@@ -1,0 +1,117 @@
+"""A compact RLP-style serialisation used for hashing structures.
+
+Ethereum hashes RLP-encoded structures (block headers, trie nodes).  We
+implement RLP faithfully: it is simple, canonical (a given structure has
+exactly one encoding), and self-delimiting, which is what Merkle hashing
+needs.  Items are either ``bytes`` or (recursively) lists of items.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from .errors import ReproError
+
+RLPItem = Union[bytes, Sequence["RLPItem"]]
+
+_SINGLE_BYTE_MAX = 0x7F
+_SHORT_STRING_OFFSET = 0x80
+_LONG_STRING_OFFSET = 0xB7
+_SHORT_LIST_OFFSET = 0xC0
+_LONG_LIST_OFFSET = 0xF7
+_SHORT_LENGTH_MAX = 55
+
+
+class RLPDecodeError(ReproError):
+    """Malformed RLP input."""
+
+
+def _encode_length(length: int, short_offset: int, long_offset: int) -> bytes:
+    if length <= _SHORT_LENGTH_MAX:
+        return bytes([short_offset + length])
+    length_bytes = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([long_offset + len(length_bytes)]) + length_bytes
+
+
+def rlp_encode(item: RLPItem) -> bytes:
+    """Encode bytes or a nested list of bytes into canonical RLP."""
+    if isinstance(item, (bytes, bytearray)):
+        data = bytes(item)
+        if len(data) == 1 and data[0] <= _SINGLE_BYTE_MAX:
+            return data
+        return _encode_length(len(data), _SHORT_STRING_OFFSET, _LONG_STRING_OFFSET) + data
+    if isinstance(item, (list, tuple)):
+        payload = b"".join(rlp_encode(sub) for sub in item)
+        return _encode_length(len(payload), _SHORT_LIST_OFFSET, _LONG_LIST_OFFSET) + payload
+    raise TypeError(f"cannot RLP-encode {type(item).__name__}")
+
+
+def rlp_decode(data: bytes) -> RLPItem:
+    """Decode canonical RLP; rejects trailing bytes."""
+    item, consumed = _decode_item(data, 0)
+    if consumed != len(data):
+        raise RLPDecodeError(f"trailing bytes after RLP item ({len(data) - consumed})")
+    return item
+
+
+def _decode_item(data: bytes, offset: int) -> "tuple[RLPItem, int]":
+    if offset >= len(data):
+        raise RLPDecodeError("unexpected end of input")
+    prefix = data[offset]
+    if prefix <= _SINGLE_BYTE_MAX:
+        return bytes([prefix]), offset + 1
+    if prefix <= _LONG_STRING_OFFSET:
+        length = prefix - _SHORT_STRING_OFFSET
+        return _read_span(data, offset + 1, length), offset + 1 + length
+    if prefix < _SHORT_LIST_OFFSET:
+        length, start = _read_long_length(data, offset, prefix - _LONG_STRING_OFFSET)
+        return _read_span(data, start, length), start + length
+    if prefix <= _LONG_LIST_OFFSET:
+        length = prefix - _SHORT_LIST_OFFSET
+        return _decode_list(data, offset + 1, length)
+    length, start = _read_long_length(data, offset, prefix - _LONG_LIST_OFFSET)
+    return _decode_list(data, start, length)
+
+
+def _read_long_length(data: bytes, offset: int, length_of_length: int) -> "tuple[int, int]":
+    end = offset + 1 + length_of_length
+    if end > len(data):
+        raise RLPDecodeError("truncated length prefix")
+    length = int.from_bytes(data[offset + 1 : end], "big")
+    return length, end
+
+
+def _read_span(data: bytes, start: int, length: int) -> bytes:
+    end = start + length
+    if end > len(data):
+        raise RLPDecodeError("truncated payload")
+    return data[start:end]
+
+
+def _decode_list(data: bytes, start: int, length: int) -> "tuple[List[RLPItem], int]":
+    end = start + length
+    if end > len(data):
+        raise RLPDecodeError("truncated list payload")
+    items: List[RLPItem] = []
+    cursor = start
+    while cursor < end:
+        item, cursor = _decode_item(data, cursor)
+        if cursor > end:
+            raise RLPDecodeError("list item overruns list payload")
+        items.append(item)
+    return items, end
+
+
+def encode_int(value: int) -> bytes:
+    """Canonical integer encoding: big-endian with no leading zeros."""
+    if value < 0:
+        raise ValueError("RLP integers are unsigned")
+    if value == 0:
+        return b""
+    return value.to_bytes((value.bit_length() + 7) // 8, "big")
+
+
+def decode_int(data: bytes) -> int:
+    if data[:1] == b"\x00" and len(data) > 1:
+        raise RLPDecodeError("non-canonical integer (leading zero)")
+    return int.from_bytes(data, "big")

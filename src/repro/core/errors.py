@@ -1,0 +1,142 @@
+"""Exception hierarchy shared across the library.
+
+Every subsystem raises subclasses of :class:`ReproError`, so callers can
+catch library failures without accidentally swallowing programming errors.
+VM-level halts (revert, out-of-gas, ...) are modelled separately because they
+are *normal* outcomes of contract execution, not library bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+# --------------------------------------------------------------------------
+# Trie / state errors
+# --------------------------------------------------------------------------
+
+class TrieError(ReproError):
+    """Structural failure inside the Merkle Patricia Trie."""
+
+
+class MissingNodeError(TrieError):
+    """A node referenced by hash is absent from the backing store."""
+
+
+class StateError(ReproError):
+    """Invalid state access (unknown account, bad snapshot, ...)."""
+
+
+class UnknownSnapshotError(StateError):
+    """Requested a state snapshot that was never created."""
+
+
+# --------------------------------------------------------------------------
+# VM halts: expected terminations of contract execution
+# --------------------------------------------------------------------------
+
+class VMHalt(ReproError):
+    """Base class for abnormal-but-expected VM terminations."""
+
+
+class OutOfGas(VMHalt):
+    """Execution exhausted its gas allowance."""
+
+
+class Revert(VMHalt):
+    """Execution reverted explicitly (require/revert)."""
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason or "execution reverted")
+        self.reason = reason
+
+
+class AssertionFailure(VMHalt):
+    """A contract ``assert`` failed (consumes all gas, like INVALID)."""
+
+
+class StackUnderflow(VMHalt):
+    """Popped more items than the stack holds."""
+
+
+class StackOverflow(VMHalt):
+    """Exceeded the 1024-item EVM stack limit."""
+
+
+class InvalidJump(VMHalt):
+    """Jumped to a destination that is not a JUMPDEST."""
+
+
+class InvalidOpcode(VMHalt):
+    """Encountered an undefined opcode byte."""
+
+
+class CallDepthExceeded(VMHalt):
+    """Nested message calls exceeded the depth limit."""
+
+
+# --------------------------------------------------------------------------
+# Compiler errors
+# --------------------------------------------------------------------------
+
+class CompileError(ReproError):
+    """Base class for Minisol compilation failures."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class LexError(CompileError):
+    """Tokenisation failure."""
+
+
+class ParseError(CompileError):
+    """Syntactic failure."""
+
+
+class TypeError_(CompileError):
+    """Semantic/type failure (named with a trailing underscore to avoid
+    shadowing the builtin)."""
+
+
+# --------------------------------------------------------------------------
+# Analysis / scheduling errors
+# --------------------------------------------------------------------------
+
+class AnalysisError(ReproError):
+    """Static or dynamic analysis failure."""
+
+
+class SchedulingError(ReproError):
+    """Invariant violation inside the concurrency-control machinery."""
+
+
+class ExecutionAborted(ReproError):
+    """A transaction execution was aborted by the scheduler (it read a
+    version that later became stale or invalid) and must be re-executed."""
+
+    def __init__(self, tx_index: int, reason: str = "") -> None:
+        super().__init__(f"transaction {tx_index} aborted: {reason or 'stale read'}")
+        self.tx_index = tx_index
+        self.reason = reason
+
+
+# --------------------------------------------------------------------------
+# Chain errors
+# --------------------------------------------------------------------------
+
+class ChainError(ReproError):
+    """Blockchain-substrate failure (bad block, invalid tx, ...)."""
+
+
+class InvalidTransaction(ChainError):
+    """Transaction failed stateless or stateful validation."""
+
+
+class InvalidBlock(ChainError):
+    """Block failed validation (bad parent, root mismatch, ...)."""

@@ -1,0 +1,58 @@
+"""Hashing primitives.
+
+Ethereum uses Keccak-256.  The Python standard library ships SHA3-256 (the
+finalised FIPS-202 variant, which differs from Keccak only in padding); since
+this reproduction never needs to interoperate with mainnet data, SHA3-256 is a
+faithful stand-in: it is a 256-bit collision-resistant hash with the same
+interface and the same role in storage-slot derivation and Merkle hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .words import WORD_BYTES, bytes_to_word, word_to_bytes
+
+HASH_BYTES = 32
+EMPTY_HASH = hashlib.sha3_256(b"").digest()
+
+
+def keccak(data: bytes) -> bytes:
+    """Hash arbitrary bytes to a 32-byte digest (SHA3-256 stand-in)."""
+    return hashlib.sha3_256(data).digest()
+
+
+def keccak_hex(data: bytes) -> str:
+    """Hex digest convenience wrapper."""
+    return keccak(data).hex()
+
+
+def hash_words(*values: int) -> int:
+    """Hash a sequence of 256-bit words into a single word.
+
+    This mirrors Solidity's ``keccak256(abi.encode(...))`` used for mapping
+    and dynamic-array slot derivation.
+    """
+    payload = b"".join(word_to_bytes(v) for v in values)
+    return bytes_to_word(keccak(payload))
+
+
+def mapping_slot(key: int, base_slot: int) -> int:
+    """Storage slot of ``mapping[key]`` stored at ``base_slot``.
+
+    Solidity layout rule: ``keccak256(h(key) . h(base_slot))``.
+    """
+    return hash_words(key, base_slot)
+
+
+def array_data_slot(base_slot: int) -> int:
+    """First data slot of a dynamic array whose length lives at ``base_slot``.
+
+    Solidity layout rule: data begins at ``keccak256(base_slot)``.
+    """
+    return hash_words(base_slot)
+
+
+def array_element_slot(base_slot: int, index: int) -> int:
+    """Storage slot of ``array[index]`` for a dynamic array at ``base_slot``."""
+    return (array_data_slot(base_slot) + index) % (1 << (8 * WORD_BYTES))

@@ -1,0 +1,109 @@
+"""Shared value types: addresses and state-item keys.
+
+A *state item* (Definition 1 in the paper) is one 256-bit storage slot of one
+contract.  :class:`StateKey` is the canonical identity of such an item across
+every layer of the system — analysis read/write sets, access sequences, the
+StateDB, and the trie all speak in ``StateKey``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .hashing import keccak
+from .words import word_to_bytes
+
+ADDRESS_BYTES = 20
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A 20-byte account address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << (8 * ADDRESS_BYTES)):
+            raise ValueError(f"address out of range: {self.value:#x}")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Address":
+        if len(data) > ADDRESS_BYTES:
+            raise ValueError(f"address too long: {len(data)} bytes")
+        return cls(int.from_bytes(data, "big"))
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Address":
+        return cls(int(text.removeprefix("0x"), 16))
+
+    @classmethod
+    def derive(cls, label: str) -> "Address":
+        """Deterministically derive an address from a human-readable label.
+
+        Used by tests, examples, and the workload generator so account
+        identities are stable across runs.
+        """
+        digest = keccak(label.encode("utf-8"))
+        return cls.from_bytes(digest[-ADDRESS_BYTES:])
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(ADDRESS_BYTES, "big")
+
+    def to_word(self) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        return f"0x{self.value:040x}"
+
+    def __repr__(self) -> str:
+        return f"Address({self})"
+
+
+@dataclass(frozen=True, order=True)
+class StateKey:
+    """Identity of one state item: ``(contract address, storage slot)``.
+
+    The special ``BALANCE_SLOT`` marks the pseudo-slot holding an account's
+    Ether balance, so plain value transfers participate in the same
+    concurrency control as contract storage (the paper treats non-contract
+    transactions as scheduling constraints the same way).
+    """
+
+    address: Address
+    slot: int
+
+    BALANCE_SLOT = -1
+    NONCE_SLOT = -2
+
+    @classmethod
+    def balance(cls, address: Address) -> "StateKey":
+        return cls(address, cls.BALANCE_SLOT)
+
+    @classmethod
+    def nonce(cls, address: Address) -> "StateKey":
+        return cls(address, cls.NONCE_SLOT)
+
+    @property
+    def is_balance(self) -> bool:
+        return self.slot == self.BALANCE_SLOT
+
+    @property
+    def is_nonce(self) -> bool:
+        return self.slot == self.NONCE_SLOT
+
+    def trie_key(self) -> bytes:
+        """Stable byte encoding used as the Merkle trie key."""
+        if self.slot == self.BALANCE_SLOT:
+            suffix = b"balance"
+        elif self.slot == self.NONCE_SLOT:
+            suffix = b"nonce"
+        else:
+            suffix = word_to_bytes(self.slot)
+        return self.address.to_bytes() + suffix
+
+    def __str__(self) -> str:
+        if self.is_balance:
+            return f"{self.address}.balance"
+        if self.is_nonce:
+            return f"{self.address}.nonce"
+        return f"{self.address}[{self.slot:#x}]"

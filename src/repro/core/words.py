@@ -1,0 +1,178 @@
+"""256-bit word arithmetic used throughout the EVM and state layers.
+
+The EVM operates on unsigned 256-bit words with wrap-around semantics.  All
+helpers here are pure functions on Python ints constrained to the range
+``[0, 2**256)``.  Signed interpretations use two's complement.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 256
+WORD_BYTES = WORD_BITS // 8
+WORD_MOD = 1 << WORD_BITS
+WORD_MAX = WORD_MOD - 1
+SIGN_BIT = 1 << (WORD_BITS - 1)
+
+
+def to_word(value: int) -> int:
+    """Wrap an arbitrary Python int into an unsigned 256-bit word."""
+    return value & WORD_MAX
+
+
+def to_signed(value: int) -> int:
+    """Interpret an unsigned word as a two's-complement signed integer."""
+    value = to_word(value)
+    if value >= SIGN_BIT:
+        return value - WORD_MOD
+    return value
+
+
+def from_signed(value: int) -> int:
+    """Encode a signed integer into its two's-complement word form."""
+    return to_word(value)
+
+
+def add(a: int, b: int) -> int:
+    return (a + b) & WORD_MAX
+
+
+def sub(a: int, b: int) -> int:
+    return (a - b) & WORD_MAX
+
+
+def mul(a: int, b: int) -> int:
+    return (a * b) & WORD_MAX
+
+
+def div(a: int, b: int) -> int:
+    """Unsigned division; division by zero yields zero (EVM semantics)."""
+    if b == 0:
+        return 0
+    return (a // b) & WORD_MAX
+
+
+def sdiv(a: int, b: int) -> int:
+    """Signed division truncating toward zero; division by zero yields zero."""
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return 0
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return from_signed(quotient)
+
+
+def mod(a: int, b: int) -> int:
+    """Unsigned modulo; modulo by zero yields zero (EVM semantics)."""
+    if b == 0:
+        return 0
+    return a % b
+
+
+def smod(a: int, b: int) -> int:
+    """Signed modulo whose result takes the sign of the dividend."""
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return 0
+    result = abs(sa) % abs(sb)
+    if sa < 0:
+        result = -result
+    return from_signed(result)
+
+
+def addmod(a: int, b: int, n: int) -> int:
+    if n == 0:
+        return 0
+    return (a + b) % n
+
+
+def mulmod(a: int, b: int, n: int) -> int:
+    if n == 0:
+        return 0
+    return (a * b) % n
+
+
+def exp(base: int, exponent: int) -> int:
+    return pow(base, exponent, WORD_MOD)
+
+
+def lt(a: int, b: int) -> int:
+    return 1 if a < b else 0
+
+
+def gt(a: int, b: int) -> int:
+    return 1 if a > b else 0
+
+
+def slt(a: int, b: int) -> int:
+    return 1 if to_signed(a) < to_signed(b) else 0
+
+
+def sgt(a: int, b: int) -> int:
+    return 1 if to_signed(a) > to_signed(b) else 0
+
+
+def eq(a: int, b: int) -> int:
+    return 1 if a == b else 0
+
+
+def iszero(a: int) -> int:
+    return 1 if a == 0 else 0
+
+
+def bitwise_and(a: int, b: int) -> int:
+    return a & b
+
+
+def bitwise_or(a: int, b: int) -> int:
+    return a | b
+
+
+def bitwise_xor(a: int, b: int) -> int:
+    return a ^ b
+
+
+def bitwise_not(a: int) -> int:
+    return (~a) & WORD_MAX
+
+
+def shl(shift: int, value: int) -> int:
+    """Shift ``value`` left by ``shift`` bits (zero when shift >= 256)."""
+    if shift >= WORD_BITS:
+        return 0
+    return (value << shift) & WORD_MAX
+
+
+def shr(shift: int, value: int) -> int:
+    """Logical right shift (zero when shift >= 256)."""
+    if shift >= WORD_BITS:
+        return 0
+    return value >> shift
+
+
+def sar(shift: int, value: int) -> int:
+    """Arithmetic right shift preserving the sign bit."""
+    signed = to_signed(value)
+    if shift >= WORD_BITS:
+        return WORD_MAX if signed < 0 else 0
+    return from_signed(signed >> shift)
+
+
+def byte(index: int, value: int) -> int:
+    """Extract the ``index``-th byte (big-endian, 0 is most significant)."""
+    if index >= WORD_BYTES:
+        return 0
+    shift = 8 * (WORD_BYTES - 1 - index)
+    return (value >> shift) & 0xFF
+
+
+def word_to_bytes(value: int) -> bytes:
+    """Encode a word as a 32-byte big-endian string."""
+    return to_word(value).to_bytes(WORD_BYTES, "big")
+
+
+def bytes_to_word(data: bytes) -> int:
+    """Decode up to 32 big-endian bytes into a word (right-aligned)."""
+    if len(data) > WORD_BYTES:
+        raise ValueError(f"cannot pack {len(data)} bytes into a 256-bit word")
+    return int.from_bytes(data, "big")

@@ -1,0 +1,61 @@
+"""A from-scratch, resumable Ethereum Virtual Machine."""
+
+from .assembler import (
+    Assembler,
+    AssemblyError,
+    Instruction,
+    assemble,
+    disassemble,
+    format_disassembly,
+)
+from .driver import DriveOutcome, TraceRecord, drive
+from .environment import BlockContext, ExecutionResult, HaltReason, LogEntry, Message
+from .events import (
+    EmittedLog,
+    FrameCheckpoint,
+    FrameCommit,
+    FrameRevert,
+    StorageRead,
+    StorageWrite,
+    VMEvent,
+    Watchpoint,
+)
+from .opcodes import Op, intrinsic_gas, opcode_info, push_op
+from .tracer import ExecutionTrace, TraceStep, format_trace, gas_profile, trace_message
+from .vm import EVM, valid_jumpdests
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "BlockContext",
+    "DriveOutcome",
+    "EVM",
+    "EmittedLog",
+    "ExecutionTrace",
+    "ExecutionResult",
+    "FrameCheckpoint",
+    "FrameCommit",
+    "FrameRevert",
+    "HaltReason",
+    "Instruction",
+    "LogEntry",
+    "Message",
+    "Op",
+    "StorageRead",
+    "StorageWrite",
+    "TraceRecord",
+    "TraceStep",
+    "VMEvent",
+    "Watchpoint",
+    "assemble",
+    "disassemble",
+    "drive",
+    "format_disassembly",
+    "format_trace",
+    "gas_profile",
+    "intrinsic_gas",
+    "opcode_info",
+    "push_op",
+    "trace_message",
+    "valid_jumpdests",
+]

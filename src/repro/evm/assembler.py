@@ -1,0 +1,234 @@
+"""Assembler and disassembler for EVM bytecode.
+
+The assembler is the compiler's backend and the test suite's workhorse: it
+supports symbolic labels (resolved in a second pass to fixed-width PUSH2
+operands) so control flow can be written without hand-computing offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..core.errors import ReproError
+from .opcodes import Op, is_push, opcode_info, push_op
+
+
+class AssemblyError(ReproError):
+    """Malformed assembly input (unknown label, bad operand, ...)."""
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """A forward/backward reference to a label, emitted as PUSH2."""
+
+    name: str
+
+
+_Item = Union[Op, int, LabelRef, str]
+
+
+class Assembler:
+    """Incremental bytecode builder with label support.
+
+    Usage::
+
+        asm = Assembler()
+        asm.push(5).push(3).op(Op.ADD)
+        asm.jump("done")
+        ...
+        asm.label("done").op(Op.JUMPDEST).op(Op.STOP)
+        code = asm.assemble()
+    """
+
+    def __init__(self) -> None:
+        self._items: List[Tuple[str, object]] = []
+        self._label_names: set = set()
+
+    # -- emission ------------------------------------------------------
+
+    def op(self, op: Op) -> "Assembler":
+        self._items.append(("op", op))
+        return self
+
+    def push(self, value: int) -> "Assembler":
+        """PUSHn with the smallest width that fits ``value``."""
+        if value < 0:
+            raise AssemblyError(f"cannot push negative literal {value}")
+        width = max(1, (value.bit_length() + 7) // 8)
+        if width > 32:
+            raise AssemblyError(f"literal too wide: {value:#x}")
+        self._items.append(("push", (width, value)))
+        return self
+
+    def push_label(self, name: str) -> "Assembler":
+        """PUSH2 whose operand is the bytecode offset of ``name``."""
+        self._items.append(("pushlabel", name))
+        return self
+
+    def label(self, name: str) -> "Assembler":
+        if name in self._label_names:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._label_names.add(name)
+        self._items.append(("label", name))
+        return self
+
+    def jump(self, name: str) -> "Assembler":
+        return self.push_label(name).op(Op.JUMP)
+
+    def jumpi(self, name: str) -> "Assembler":
+        return self.push_label(name).op(Op.JUMPI)
+
+    def jumpdest(self, name: Optional[str] = None) -> "Assembler":
+        if name is not None:
+            self.label(name)
+        return self.op(Op.JUMPDEST)
+
+    def raw(self, data: bytes) -> "Assembler":
+        self._items.append(("raw", data))
+        return self
+
+    # -- assembly ------------------------------------------------------
+
+    def assemble(self) -> bytes:
+        offsets = self._compute_offsets()
+        out = bytearray()
+        for kind, payload in self._items:
+            if kind == "op":
+                out.append(int(payload))
+            elif kind == "push":
+                width, value = payload  # type: ignore[misc]
+                out.append(int(push_op(width)))
+                out.extend(value.to_bytes(width, "big"))
+            elif kind == "pushlabel":
+                target = offsets.get(payload)  # type: ignore[arg-type]
+                if target is None:
+                    raise AssemblyError(f"undefined label {payload!r}")
+                out.append(int(Op.PUSH2))
+                out.extend(target.to_bytes(2, "big"))
+            elif kind == "raw":
+                out.extend(payload)  # type: ignore[arg-type]
+            # labels emit nothing
+        return bytes(out)
+
+    def _compute_offsets(self) -> Dict[str, int]:
+        offsets: Dict[str, int] = {}
+        pc = 0
+        for kind, payload in self._items:
+            if kind == "label":
+                offsets[payload] = pc  # type: ignore[index]
+            elif kind == "op":
+                pc += 1
+            elif kind == "push":
+                width, _ = payload  # type: ignore[misc]
+                pc += 1 + width
+            elif kind == "pushlabel":
+                pc += 3  # PUSH2 + 2 bytes
+            elif kind == "raw":
+                pc += len(payload)  # type: ignore[arg-type]
+        return offsets
+
+    @property
+    def size(self) -> int:
+        """Current bytecode size (labels resolved)."""
+        pc = 0
+        for kind, payload in self._items:
+            if kind == "op":
+                pc += 1
+            elif kind == "push":
+                pc += 1 + payload[0]  # type: ignore[index]
+            elif kind == "pushlabel":
+                pc += 3
+            elif kind == "raw":
+                pc += len(payload)  # type: ignore[arg-type]
+        return pc
+
+
+def assemble(source: str) -> bytes:
+    """Assemble a textual listing.
+
+    Grammar (one instruction per line, ``;`` comments)::
+
+        start:              ; label definition
+          PUSH 0x20         ; numeric push (auto-width)
+          PUSH :start       ; label push
+          JUMP
+          STOP
+    """
+    asm = Assembler()
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            asm.label(line[:-1].strip())
+            continue
+        parts = line.split()
+        mnemonic = parts[0].upper()
+        if mnemonic == "PUSH":
+            if len(parts) != 2:
+                raise AssemblyError(f"line {line_no}: PUSH needs one operand")
+            operand = parts[1]
+            if operand.startswith(":"):
+                asm.push_label(operand[1:])
+            else:
+                asm.push(int(operand, 0))
+            continue
+        try:
+            op = Op[mnemonic]
+        except KeyError:
+            raise AssemblyError(f"line {line_no}: unknown mnemonic {mnemonic!r}") from None
+        if len(parts) == 2 and is_push(int(op)):
+            # Explicit-width form: PUSH1 0x05
+            asm._items.append(("push", (int(op) - int(Op.PUSH1) + 1, int(parts[1], 0))))
+            continue
+        if len(parts) != 1:
+            raise AssemblyError(f"line {line_no}: unexpected operand for {mnemonic}")
+        asm.op(op)
+    return asm.assemble()
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    pc: int
+    op: Op
+    operand: Optional[int] = None
+
+    @property
+    def size(self) -> int:
+        info = opcode_info(int(self.op))
+        assert info is not None
+        return 1 + info.immediate
+
+    @property
+    def next_pc(self) -> int:
+        return self.pc + self.size
+
+    def __str__(self) -> str:
+        if self.operand is not None:
+            return f"{self.pc:05d}: {self.op.name} {self.operand:#x}"
+        return f"{self.pc:05d}: {self.op.name}"
+
+
+def disassemble(code: bytes) -> Iterator[Instruction]:
+    """Decode bytecode into instructions; undefined bytes become INVALID."""
+    pc = 0
+    while pc < len(code):
+        byte = code[pc]
+        info = opcode_info(byte)
+        if info is None:
+            yield Instruction(pc, Op.INVALID, operand=byte)
+            pc += 1
+            continue
+        operand = None
+        if info.immediate:
+            operand = int.from_bytes(code[pc + 1 : pc + 1 + info.immediate], "big")
+        yield Instruction(pc, info.op, operand)
+        pc += 1 + info.immediate
+
+
+def format_disassembly(code: bytes) -> str:
+    """Human-readable listing of a whole code blob."""
+    return "\n".join(str(instr) for instr in disassemble(code))

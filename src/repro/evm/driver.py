@@ -1,0 +1,110 @@
+"""A reference VM driver: runs a message to completion against a journal.
+
+This is the policy-free way to execute a transaction: reads come from the
+journal (which itself reads through to a snapshot or overlay), writes are
+buffered in the journal, and nested-frame checkpoints map onto journal
+checkpoints.  The serial executor, the OCC executor's speculative phase, and
+the C-SAG pre-execution all reuse this loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.types import StateKey
+from ..state.journal import WriteJournal
+from .environment import ExecutionResult, Message
+from .events import (
+    EmittedLog,
+    FrameCheckpoint,
+    FrameCommit,
+    FrameRevert,
+    StorageRead,
+    StorageWrite,
+    Watchpoint,
+)
+from .vm import EVM
+
+
+@dataclass
+class TraceRecord:
+    """One state access observed while driving a VM, with its gas offset.
+
+    ``gas_used`` is cumulative transaction gas at the moment of the access —
+    the discrete-event simulator turns these offsets into timestamps, and the
+    C-SAG refiner turns them into ordered access lists.
+    """
+
+    kind: str  # "read" | "write"
+    key: StateKey
+    value: int
+    gas_used: int
+    pc: int = -1  # bytecode site (-1 for implicit accesses)
+
+
+@dataclass
+class DriveOutcome:
+    """Everything observed from one complete message execution."""
+
+    result: ExecutionResult
+    read_set: Dict[StateKey, int]
+    write_set: Dict[StateKey, int]
+    trace: List[TraceRecord] = field(default_factory=list)
+    watchpoints_hit: List[int] = field(default_factory=list)
+
+
+def drive(
+    evm: EVM,
+    message: Message,
+    journal: WriteJournal,
+    on_watchpoint: Optional[Callable[[Watchpoint], None]] = None,
+    collect_trace: bool = False,
+) -> DriveOutcome:
+    """Run ``message`` to completion, mediating all state access via
+    ``journal``.  On non-success the journal's writes are rolled back, so the
+    caller always sees exactly the effects that should persist."""
+    trace: List[TraceRecord] = []
+    watch_hits: List[int] = []
+    outer = journal.checkpoint()
+    gen = evm.run(message)
+    to_send: object = None
+    while True:
+        try:
+            event = gen.send(to_send)
+        except StopIteration as stop:
+            result: ExecutionResult = stop.value
+            break
+        to_send = None
+        if isinstance(event, StorageRead):
+            value = journal.read(event.key)
+            if collect_trace:
+                trace.append(TraceRecord("read", event.key, value, event.gas_used, event.pc))
+            to_send = value
+        elif isinstance(event, StorageWrite):
+            journal.write(event.key, event.value)
+            if collect_trace:
+                trace.append(TraceRecord("write", event.key, event.value, event.gas_used, event.pc))
+        elif isinstance(event, FrameCheckpoint):
+            to_send = journal.checkpoint()
+        elif isinstance(event, FrameCommit):
+            journal.commit_checkpoint(event.token)
+        elif isinstance(event, FrameRevert):
+            journal.revert_to(event.token)
+        elif isinstance(event, Watchpoint):
+            watch_hits.append(event.pc)
+            if on_watchpoint is not None:
+                on_watchpoint(event)
+        elif isinstance(event, EmittedLog):
+            pass  # logs are collected by the VM itself
+    if result.success:
+        journal.commit_checkpoint(outer)
+    else:
+        journal.revert_to(outer)
+    return DriveOutcome(
+        result=result,
+        read_set=journal.read_set,
+        write_set=journal.write_set,
+        trace=trace,
+        watchpoints_hit=watch_hits,
+    )

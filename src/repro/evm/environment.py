@@ -1,0 +1,92 @@
+"""Execution environment: messages, block context, results, logs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from ..core.types import Address
+
+
+@dataclass(frozen=True)
+class BlockContext:
+    """Block-level environment visible to contracts (NUMBER, TIMESTAMP)."""
+
+    number: int = 0
+    timestamp: int = 0
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message call: the unit of EVM execution.
+
+    The top-level message of a transaction carries the transaction's gas
+    allowance (minus intrinsic gas); nested CALLs forward remaining gas.
+    """
+
+    sender: Address
+    to: Address
+    value: int
+    data: bytes
+    gas: int
+    depth: int = 0
+
+    def function_selector(self) -> int:
+        """First 4 bytes of calldata, the Solidity-style dispatch selector."""
+        if len(self.data) < 4:
+            return 0
+        return int.from_bytes(self.data[:4], "big")
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """An emitted event (LOGn)."""
+
+    address: Address
+    topics: Tuple[int, ...]
+    data: bytes
+
+
+class HaltReason(Enum):
+    """Why an execution frame stopped."""
+
+    SUCCESS = "success"
+    REVERT = "revert"
+    OUT_OF_GAS = "out_of_gas"
+    ASSERT_FAIL = "assert_fail"
+    INVALID = "invalid"
+    STACK_ERROR = "stack_error"
+    BAD_JUMP = "bad_jump"
+
+    @property
+    def is_success(self) -> bool:
+        return self is HaltReason.SUCCESS
+
+    @property
+    def is_deterministic_abort(self) -> bool:
+        """Deterministic aborts (paper §IV-E): the contract's own semantics
+        terminated execution; the transaction is *not* re-executed."""
+        return self is not HaltReason.SUCCESS
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of the top-level message of one transaction."""
+
+    status: HaltReason
+    gas_used: int
+    return_data: bytes = b""
+    logs: List[LogEntry] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def success(self) -> bool:
+        return self.status.is_success
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionResult({self.status.value}, gas={self.gas_used}"
+            + (f", error={self.error!r}" if self.error else "")
+            + ")"
+        )

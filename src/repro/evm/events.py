@@ -1,0 +1,91 @@
+"""VM events: the fine-grained state-access interface.
+
+The interpreter is a generator that *yields* one of these events whenever it
+needs to interact with shared state and *receives* the answer via ``send``.
+This is the mechanism that lets every scheduler in the paper be expressed as
+a driver loop: serial execution answers reads from the current state, OCC
+answers from a snapshot, and DMVCC answers from access sequences — the VM
+itself never changes.
+
+Every event carries ``gas_used`` (cumulative gas consumed by the transaction
+up to the event), which the discrete-event simulator converts into time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.types import Address, StateKey
+
+
+@dataclass(frozen=True)
+class VMEvent:
+    """Base class; ``gas_used`` is cumulative at the moment of the yield."""
+
+    gas_used: int
+
+
+@dataclass(frozen=True)
+class StorageRead(VMEvent):
+    """SLOAD / BALANCE: the driver must ``send`` the value (an int).
+
+    ``pc`` is the bytecode site of the access (-1 for implicit accesses such
+    as CALL value transfers); the commutativity analysis matches it against
+    static increment sites.
+    """
+
+    key: StateKey
+    pc: int = -1
+
+
+@dataclass(frozen=True)
+class StorageWrite(VMEvent):
+    """SSTORE / balance update: the driver buffers it and ``send``s None."""
+
+    key: StateKey
+    value: int
+    pc: int = -1
+
+
+@dataclass(frozen=True)
+class FrameCheckpoint(VMEvent):
+    """A nested call frame opened; the driver must ``send`` a revert token."""
+
+    depth: int
+
+
+@dataclass(frozen=True)
+class FrameCommit(VMEvent):
+    """The frame for ``token`` completed successfully; keep its writes."""
+
+    token: int
+
+
+@dataclass(frozen=True)
+class FrameRevert(VMEvent):
+    """The frame for ``token`` reverted; discard its writes."""
+
+    token: int
+
+
+@dataclass(frozen=True)
+class Watchpoint(VMEvent):
+    """Execution reached a pc the driver asked to observe (release points).
+
+    ``gas_remaining`` lets the driver apply the paper's gas-sufficiency check
+    before publishing writes early.
+    """
+
+    pc: int
+    address: Address
+    gas_remaining: int
+
+
+@dataclass(frozen=True)
+class EmittedLog(VMEvent):
+    """A LOGn instruction fired (informational; driver ``send``s None)."""
+
+    address: Address
+    topics: Tuple[int, ...]
+    data: bytes

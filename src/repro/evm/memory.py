@@ -1,0 +1,64 @@
+"""Byte-addressed, word-expanding EVM memory.
+
+Memory grows in 32-byte words and expansion is charged quadratically-ish in
+the real EVM; we charge the linear word cost, which preserves the relative
+cost of memory-heavy vs storage-heavy code paths for the time model.
+"""
+
+from __future__ import annotations
+
+from ..core.words import WORD_BYTES, bytes_to_word, word_to_bytes
+from .opcodes import GAS_MEMORY_WORD
+
+
+class Memory:
+    """A growable bytearray with gas-metered expansion."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def size_words(self) -> int:
+        return len(self._data) // WORD_BYTES
+
+    def expansion_cost(self, offset: int, length: int) -> int:
+        """Gas cost of growing memory to cover ``[offset, offset+length)``."""
+        if length == 0:
+            return 0
+        needed = offset + length
+        if needed <= len(self._data):
+            return 0
+        new_words = (needed + WORD_BYTES - 1) // WORD_BYTES
+        return (new_words - self.size_words) * GAS_MEMORY_WORD
+
+    def _expand(self, offset: int, length: int) -> None:
+        needed = offset + length
+        if needed > len(self._data):
+            words = (needed + WORD_BYTES - 1) // WORD_BYTES
+            self._data.extend(b"\x00" * (words * WORD_BYTES - len(self._data)))
+
+    def read(self, offset: int, length: int) -> bytes:
+        if length == 0:
+            return b""
+        self._expand(offset, length)
+        return bytes(self._data[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        if not data:
+            return
+        self._expand(offset, len(data))
+        self._data[offset : offset + len(data)] = data
+
+    def read_word(self, offset: int) -> int:
+        return bytes_to_word(self.read(offset, WORD_BYTES))
+
+    def write_word(self, offset: int, value: int) -> None:
+        self.write(offset, word_to_bytes(value))
+
+    def write_byte(self, offset: int, value: int) -> None:
+        self.write(offset, bytes([value & 0xFF]))

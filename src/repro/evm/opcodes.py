@@ -1,0 +1,283 @@
+"""EVM instruction set.
+
+Opcode byte values match the real EVM so that traces, disassembly, and the
+paper's discussion of SLOAD/SSTORE interception line up with Ethereum
+documentation.  Only the storage-irrelevant exotica (CREATE2, DELEGATECALL,
+precompiles, ...) are omitted; everything the Minisol compiler and the
+analysis need is here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, Optional
+
+
+class Op(IntEnum):
+    STOP = 0x00
+    ADD = 0x01
+    MUL = 0x02
+    SUB = 0x03
+    DIV = 0x04
+    SDIV = 0x05
+    MOD = 0x06
+    SMOD = 0x07
+    ADDMOD = 0x08
+    MULMOD = 0x09
+    EXP = 0x0A
+
+    LT = 0x10
+    GT = 0x11
+    SLT = 0x12
+    SGT = 0x13
+    EQ = 0x14
+    ISZERO = 0x15
+    AND = 0x16
+    OR = 0x17
+    XOR = 0x18
+    NOT = 0x19
+    BYTE = 0x1A
+    SHL = 0x1B
+    SHR = 0x1C
+    SAR = 0x1D
+
+    SHA3 = 0x20
+
+    ADDRESS = 0x30
+    BALANCE = 0x31
+    ORIGIN = 0x32
+    CALLER = 0x33
+    CALLVALUE = 0x34
+    CALLDATALOAD = 0x35
+    CALLDATASIZE = 0x36
+    CALLDATACOPY = 0x37
+
+    TIMESTAMP = 0x42
+    NUMBER = 0x43
+    SELFBALANCE = 0x47
+
+    POP = 0x50
+    MLOAD = 0x51
+    MSTORE = 0x52
+    MSTORE8 = 0x53
+    SLOAD = 0x54
+    SSTORE = 0x55
+    JUMP = 0x56
+    JUMPI = 0x57
+    PC = 0x58
+    MSIZE = 0x59
+    GAS = 0x5A
+    JUMPDEST = 0x5B
+
+    PUSH1 = 0x60
+    PUSH2 = 0x61
+    PUSH3 = 0x62
+    PUSH4 = 0x63
+    PUSH5 = 0x64
+    PUSH6 = 0x65
+    PUSH7 = 0x66
+    PUSH8 = 0x67
+    PUSH9 = 0x68
+    PUSH10 = 0x69
+    PUSH11 = 0x6A
+    PUSH12 = 0x6B
+    PUSH13 = 0x6C
+    PUSH14 = 0x6D
+    PUSH15 = 0x6E
+    PUSH16 = 0x6F
+    PUSH17 = 0x70
+    PUSH18 = 0x71
+    PUSH19 = 0x72
+    PUSH20 = 0x73
+    PUSH21 = 0x74
+    PUSH22 = 0x75
+    PUSH23 = 0x76
+    PUSH24 = 0x77
+    PUSH25 = 0x78
+    PUSH26 = 0x79
+    PUSH27 = 0x7A
+    PUSH28 = 0x7B
+    PUSH29 = 0x7C
+    PUSH30 = 0x7D
+    PUSH31 = 0x7E
+    PUSH32 = 0x7F
+
+    DUP1 = 0x80
+    DUP2 = 0x81
+    DUP3 = 0x82
+    DUP4 = 0x83
+    DUP5 = 0x84
+    DUP6 = 0x85
+    DUP7 = 0x86
+    DUP8 = 0x87
+    DUP9 = 0x88
+    DUP10 = 0x89
+    DUP11 = 0x8A
+    DUP12 = 0x8B
+    DUP13 = 0x8C
+    DUP14 = 0x8D
+    DUP15 = 0x8E
+    DUP16 = 0x8F
+
+    SWAP1 = 0x90
+    SWAP2 = 0x91
+    SWAP3 = 0x92
+    SWAP4 = 0x93
+    SWAP5 = 0x94
+    SWAP6 = 0x95
+    SWAP7 = 0x96
+    SWAP8 = 0x97
+    SWAP9 = 0x98
+    SWAP10 = 0x99
+    SWAP11 = 0x9A
+    SWAP12 = 0x9B
+    SWAP13 = 0x9C
+    SWAP14 = 0x9D
+    SWAP15 = 0x9E
+    SWAP16 = 0x9F
+
+    LOG0 = 0xA0
+    LOG1 = 0xA1
+    LOG2 = 0xA2
+    LOG3 = 0xA3
+
+    CALL = 0xF1
+    RETURN = 0xF3
+    REVERT = 0xFD
+    INVALID = 0xFE
+
+
+# Gas schedule (yellow-paper-flavoured; absolute values matter only in that
+# relative instruction costs drive the simulated-time model).
+GAS_ZERO = 0
+GAS_BASE = 2
+GAS_VERYLOW = 3
+GAS_LOW = 5
+GAS_MID = 8
+GAS_HIGH = 10
+GAS_EXP = 10
+GAS_EXP_BYTE = 50
+GAS_SHA3 = 30
+GAS_SHA3_WORD = 6
+GAS_BALANCE = 400
+GAS_SLOAD = 200
+GAS_SSTORE_SET = 20_000
+GAS_SSTORE_RESET = 5_000
+GAS_SSTORE_CLEAR_REFUND = 0  # refunds not modelled
+GAS_JUMPDEST = 1
+GAS_LOG = 375
+GAS_LOG_TOPIC = 375
+GAS_LOG_DATA_BYTE = 8
+GAS_CALL = 700
+GAS_CALL_VALUE = 9_000
+GAS_MEMORY_WORD = 3
+GAS_COPY_WORD = 3
+
+GAS_TX_INTRINSIC = 21_000
+GAS_TX_DATA_ZERO = 4
+GAS_TX_DATA_NONZERO = 16
+
+STACK_LIMIT = 1024
+CALL_DEPTH_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    op: Op
+    pops: int
+    pushes: int
+    gas: int
+    immediate: int = 0  # bytes of inline operand (PUSHn)
+
+    @property
+    def name(self) -> str:
+        return self.op.name
+
+
+def _build_table() -> Dict[int, OpInfo]:
+    table: Dict[int, OpInfo] = {}
+
+    def add(op: Op, pops: int, pushes: int, gas: int, immediate: int = 0) -> None:
+        table[int(op)] = OpInfo(op, pops, pushes, gas, immediate)
+
+    add(Op.STOP, 0, 0, GAS_ZERO)
+    for op in (Op.ADD, Op.SUB, Op.NOT, Op.LT, Op.GT, Op.SLT, Op.SGT, Op.EQ,
+               Op.AND, Op.OR, Op.XOR, Op.BYTE, Op.SHL, Op.SHR, Op.SAR,
+               Op.CALLDATALOAD, Op.MLOAD, Op.MSTORE, Op.MSTORE8):
+        pops = {Op.NOT: 1, Op.ISZERO: 1, Op.CALLDATALOAD: 1, Op.MLOAD: 1}.get(op, 2)
+        pushes = 0 if op in (Op.MSTORE, Op.MSTORE8) else 1
+        add(op, pops, pushes, GAS_VERYLOW)
+    add(Op.ISZERO, 1, 1, GAS_VERYLOW)
+    for op in (Op.MUL, Op.DIV, Op.SDIV, Op.MOD, Op.SMOD):
+        add(op, 2, 1, GAS_LOW)
+    for op in (Op.ADDMOD, Op.MULMOD):
+        add(op, 3, 1, GAS_MID)
+    add(Op.EXP, 2, 1, GAS_EXP)
+    add(Op.SHA3, 2, 1, GAS_SHA3)
+    add(Op.ADDRESS, 0, 1, GAS_BASE)
+    add(Op.BALANCE, 1, 1, GAS_BALANCE)
+    add(Op.ORIGIN, 0, 1, GAS_BASE)
+    add(Op.CALLER, 0, 1, GAS_BASE)
+    add(Op.CALLVALUE, 0, 1, GAS_BASE)
+    add(Op.CALLDATASIZE, 0, 1, GAS_BASE)
+    add(Op.CALLDATACOPY, 3, 0, GAS_VERYLOW)
+    add(Op.TIMESTAMP, 0, 1, GAS_BASE)
+    add(Op.NUMBER, 0, 1, GAS_BASE)
+    add(Op.SELFBALANCE, 0, 1, GAS_LOW)
+    add(Op.POP, 1, 0, GAS_BASE)
+    add(Op.SLOAD, 1, 1, GAS_SLOAD)
+    add(Op.SSTORE, 2, 0, 0)  # dynamic
+    add(Op.JUMP, 1, 0, GAS_MID)
+    add(Op.JUMPI, 2, 0, GAS_HIGH)
+    add(Op.PC, 0, 1, GAS_BASE)
+    add(Op.MSIZE, 0, 1, GAS_BASE)
+    add(Op.GAS, 0, 1, GAS_BASE)
+    add(Op.JUMPDEST, 0, 0, GAS_JUMPDEST)
+    for i in range(32):
+        add(Op(int(Op.PUSH1) + i), 0, 1, GAS_VERYLOW, immediate=i + 1)
+    for i in range(16):
+        add(Op(int(Op.DUP1) + i), i + 1, i + 2, GAS_VERYLOW)
+    for i in range(16):
+        add(Op(int(Op.SWAP1) + i), i + 2, i + 2, GAS_VERYLOW)
+    for i in range(4):
+        add(Op(int(Op.LOG0) + i), i + 2, 0, GAS_LOG + i * GAS_LOG_TOPIC)
+    add(Op.CALL, 7, 1, GAS_CALL)
+    add(Op.RETURN, 2, 0, GAS_ZERO)
+    add(Op.REVERT, 2, 0, GAS_ZERO)
+    add(Op.INVALID, 0, 0, GAS_ZERO)
+    return table
+
+
+OPCODE_TABLE: Dict[int, OpInfo] = _build_table()
+
+
+def opcode_info(byte: int) -> Optional[OpInfo]:
+    """Metadata for an opcode byte, or ``None`` for undefined opcodes."""
+    return OPCODE_TABLE.get(byte)
+
+
+def push_op(width: int) -> Op:
+    """The PUSHn opcode carrying ``width`` immediate bytes."""
+    if not 1 <= width <= 32:
+        raise ValueError(f"invalid PUSH width: {width}")
+    return Op(int(Op.PUSH1) + width - 1)
+
+
+def is_push(byte: int) -> bool:
+    return int(Op.PUSH1) <= byte <= int(Op.PUSH32)
+
+
+def is_terminator(op: Op) -> bool:
+    """Opcodes that end a basic block without falling through."""
+    return op in (Op.STOP, Op.JUMP, Op.RETURN, Op.REVERT, Op.INVALID)
+
+
+def intrinsic_gas(data: bytes) -> int:
+    """Per-transaction base cost, as in Ethereum."""
+    cost = GAS_TX_INTRINSIC
+    for byte in data:
+        cost += GAS_TX_DATA_ZERO if byte == 0 else GAS_TX_DATA_NONZERO
+    return cost

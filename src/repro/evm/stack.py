@@ -1,0 +1,62 @@
+"""The EVM operand stack: 1024 words, LIFO."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.errors import StackOverflow, StackUnderflow
+from ..core.words import WORD_MAX
+from .opcodes import STACK_LIMIT
+
+
+class Stack:
+    """A bounded stack of 256-bit words."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: List[int] = []
+
+    def push(self, value: int) -> None:
+        if len(self._items) >= STACK_LIMIT:
+            raise StackOverflow(f"stack limit of {STACK_LIMIT} exceeded")
+        self._items.append(value & WORD_MAX)
+
+    def pop(self) -> int:
+        if not self._items:
+            raise StackUnderflow("pop from empty stack")
+        return self._items.pop()
+
+    def pop_many(self, count: int) -> List[int]:
+        """Pop ``count`` items; the first element is the top of stack."""
+        if len(self._items) < count:
+            raise StackUnderflow(f"need {count} items, have {len(self._items)}")
+        taken = self._items[-count:][::-1]
+        del self._items[-count:]
+        return taken
+
+    def peek(self, depth: int = 0) -> int:
+        """Read the item ``depth`` positions below the top without popping."""
+        if len(self._items) <= depth:
+            raise StackUnderflow(f"peek depth {depth} exceeds stack size")
+        return self._items[-1 - depth]
+
+    def dup(self, depth: int) -> None:
+        """DUPn: push a copy of the item ``depth-1`` below the top."""
+        self.push(self.peek(depth - 1))
+
+    def swap(self, depth: int) -> None:
+        """SWAPn: exchange the top with the item ``depth`` below it."""
+        if len(self._items) <= depth:
+            raise StackUnderflow(f"swap depth {depth} exceeds stack size")
+        self._items[-1], self._items[-1 - depth] = (
+            self._items[-1 - depth],
+            self._items[-1],
+        )
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def as_list(self) -> List[int]:
+        """Snapshot of the stack, bottom first (for debugging/traces)."""
+        return list(self._items)

@@ -1,0 +1,145 @@
+"""Execution tracing: step-by-step instruction logs for debugging.
+
+``trace_message`` runs a message on an instrumented interpreter and records
+one :class:`TraceStep` per executed instruction — opcode, pc, gas, stack
+top — plus every storage access.  This is the ``debug_traceTransaction``
+of the reproduction: examples and tests use it to explain schedules, and
+``format_trace`` renders a human-readable listing.
+
+Tracing re-executes on a *shadow* interpreter wired for observation; it
+never perturbs scheduling state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.types import Address, StateKey
+from ..state.journal import WriteJournal
+from .assembler import disassemble
+from .environment import ExecutionResult, Message
+from .events import (
+    EmittedLog,
+    FrameCheckpoint,
+    FrameCommit,
+    FrameRevert,
+    StorageRead,
+    StorageWrite,
+    Watchpoint,
+)
+from .opcodes import Op
+from .vm import EVM
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One storage-relevant step of an execution."""
+
+    kind: str                 # "read" | "write" | "frame" | "log"
+    gas_used: int
+    detail: str
+    key: Optional[StateKey] = None
+    value: Optional[int] = None
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything observed while tracing one message."""
+
+    result: ExecutionResult
+    steps: List[TraceStep] = field(default_factory=list)
+    reads: Dict[StateKey, int] = field(default_factory=dict)
+    writes: Dict[StateKey, int] = field(default_factory=dict)
+
+    @property
+    def storage_ops(self) -> int:
+        return sum(1 for s in self.steps if s.kind in ("read", "write"))
+
+
+def trace_message(
+    code_resolver: Callable[[Address], bytes],
+    message: Message,
+    state_reader: Callable[[StateKey], int],
+    block=None,
+) -> ExecutionTrace:
+    """Execute ``message`` and record its storage-level trace."""
+    evm = EVM(code_resolver, block=block)
+    journal = WriteJournal(state_reader)
+    steps: List[TraceStep] = []
+
+    generator = evm.run(message)
+    to_send: object = None
+    while True:
+        try:
+            event = generator.send(to_send)
+        except StopIteration as stop:
+            result: ExecutionResult = stop.value
+            break
+        to_send = None
+        if isinstance(event, StorageRead):
+            value = journal.read(event.key)
+            steps.append(TraceStep(
+                "read", event.gas_used,
+                f"SLOAD  {event.key} -> {value}", event.key, value,
+            ))
+            to_send = value
+        elif isinstance(event, StorageWrite):
+            journal.write(event.key, event.value)
+            steps.append(TraceStep(
+                "write", event.gas_used,
+                f"SSTORE {event.key} <- {event.value}", event.key, event.value,
+            ))
+        elif isinstance(event, FrameCheckpoint):
+            to_send = journal.checkpoint()
+            steps.append(TraceStep("frame", event.gas_used, "CALL: frame opened"))
+        elif isinstance(event, FrameCommit):
+            journal.commit_checkpoint(event.token)
+            steps.append(TraceStep("frame", event.gas_used, "CALL: frame committed"))
+        elif isinstance(event, FrameRevert):
+            journal.revert_to(event.token)
+            steps.append(TraceStep("frame", event.gas_used, "CALL: frame reverted"))
+        elif isinstance(event, EmittedLog):
+            steps.append(TraceStep(
+                "log", event.gas_used,
+                f"LOG topics={event.topics} data=0x{event.data.hex()}",
+            ))
+        elif isinstance(event, Watchpoint):
+            steps.append(TraceStep(
+                "frame", event.gas_used, f"release point @ pc {event.pc}",
+            ))
+
+    trace = ExecutionTrace(result=result, steps=steps)
+    trace.reads = journal.read_set
+    trace.writes = journal.write_set if result.success else {}
+    return trace
+
+
+def format_trace(trace: ExecutionTrace, max_steps: int = 200) -> str:
+    """Render a trace as an indented listing."""
+    lines = [f"{trace.result!r}"]
+    for step in trace.steps[:max_steps]:
+        lines.append(f"  @gas {step.gas_used:>8,d}  {step.detail}")
+    if len(trace.steps) > max_steps:
+        lines.append(f"  … {len(trace.steps) - max_steps} more steps")
+    lines.append(
+        f"  reads: {len(trace.reads)}  writes: {len(trace.writes)}  "
+        f"gas: {trace.result.gas_used:,}"
+    )
+    return "\n".join(lines)
+
+
+def gas_profile(code: bytes) -> Dict[str, Tuple[int, int]]:
+    """Static opcode histogram of a code blob: name -> (count, static gas).
+
+    A quick what-is-this-contract-made-of summary for docs and debugging.
+    """
+    from .opcodes import opcode_info
+
+    profile: Dict[str, Tuple[int, int]] = {}
+    for instruction in disassemble(code):
+        info = opcode_info(int(instruction.op))
+        gas = info.gas if info else 0
+        count, total = profile.get(instruction.op.name, (0, 0))
+        profile[instruction.op.name] = (count + 1, total + gas)
+    return profile

@@ -1,0 +1,446 @@
+"""The resumable EVM interpreter.
+
+:meth:`EVM.run` is a generator: it yields :mod:`repro.evm.events` whenever
+the contract touches shared state (SLOAD, SSTORE, BALANCE, value transfer)
+or crosses a driver-registered *watchpoint* (used for the paper's release
+points), and receives the answers via ``send``.  The scheduler owns all
+policy — where reads come from, when writes become visible — which is
+exactly the separation the paper's fine-grained state-access control needs.
+
+Gas model notes (documented deviations from mainnet, none of which affect
+scheduling behaviour):
+
+* nested CALLs forward all remaining gas (no 63/64 rule);
+* SSTORE is charged a flat ``GAS_SSTORE_RESET`` so that metering never
+  forces a hidden read of the slot's previous value (which would pollute
+  read sets);
+* refunds are not modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Generator, Mapping, Optional, Tuple
+
+from ..core import words
+from ..core.errors import (
+    AssertionFailure,
+    CallDepthExceeded,
+    InvalidJump,
+    InvalidOpcode,
+    OutOfGas,
+    Revert,
+    StackOverflow,
+    StackUnderflow,
+)
+from ..core.hashing import keccak
+from ..core.types import Address, StateKey
+from ..core.words import WORD_BYTES, bytes_to_word, to_word
+from .environment import BlockContext, ExecutionResult, HaltReason, LogEntry, Message
+from .events import (
+    EmittedLog,
+    FrameCheckpoint,
+    FrameCommit,
+    FrameRevert,
+    StorageRead,
+    StorageWrite,
+    VMEvent,
+    Watchpoint,
+)
+from .memory import Memory
+from .opcodes import (
+    CALL_DEPTH_LIMIT,
+    GAS_CALL_VALUE,
+    GAS_COPY_WORD,
+    GAS_EXP_BYTE,
+    GAS_LOG_DATA_BYTE,
+    GAS_SHA3_WORD,
+    GAS_SSTORE_RESET,
+    Op,
+    is_push,
+    opcode_info,
+)
+from .stack import Stack
+
+CodeResolver = Callable[[Address], bytes]
+WatchMap = Mapping[Address, FrozenSet[int]]
+
+_ADDRESS_MASK = (1 << 160) - 1
+_EMPTY_WATCH: FrozenSet[int] = frozenset()
+
+_jumpdest_cache: Dict[bytes, FrozenSet[int]] = {}
+
+
+def valid_jumpdests(code: bytes) -> FrozenSet[int]:
+    """All pcs holding a JUMPDEST that is not inside PUSH immediate data."""
+    cached = _jumpdest_cache.get(code)
+    if cached is not None:
+        return cached
+    dests = set()
+    pc = 0
+    while pc < len(code):
+        byte = code[pc]
+        if byte == int(Op.JUMPDEST):
+            dests.add(pc)
+        if is_push(byte):
+            pc += byte - int(Op.PUSH1) + 2
+        else:
+            pc += 1
+    result = frozenset(dests)
+    if len(_jumpdest_cache) < 4096:
+        _jumpdest_cache[code] = result
+    return result
+
+
+class EVM:
+    """One EVM instance.  Instances are cheap; the paper's validator creates
+    one per concurrently-executing transaction."""
+
+    def __init__(
+        self,
+        code_resolver: CodeResolver,
+        block: Optional[BlockContext] = None,
+        watchpoints: Optional[WatchMap] = None,
+    ) -> None:
+        self._resolve_code = code_resolver
+        self.block = block if block is not None else BlockContext()
+        self._watchpoints = dict(watchpoints) if watchpoints else {}
+        self._gas_limit = 0
+        self._gas_left = 0
+        self._logs: list = []
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self, message: Message) -> Generator[VMEvent, object, ExecutionResult]:
+        """Execute ``message``; a generator yielding VM events.
+
+        Drive it with ``send()``; it returns an :class:`ExecutionResult` via
+        ``StopIteration.value``.  The driver is responsible for discarding
+        buffered writes when the result is not successful.
+        """
+        self._gas_limit = message.gas
+        self._gas_left = message.gas
+        self._logs = []
+        try:
+            status, return_data = yield from self._execute(message)
+            gas_used = self._gas_limit - self._gas_left
+            error = "execution reverted" if status is HaltReason.REVERT else None
+            return ExecutionResult(status, gas_used, return_data, self._logs, error)
+        except OutOfGas as exc:
+            return ExecutionResult(HaltReason.OUT_OF_GAS, self._gas_limit, b"", self._logs, str(exc))
+        except AssertionFailure as exc:
+            # INVALID consumes all gas, as on mainnet.
+            return ExecutionResult(HaltReason.ASSERT_FAIL, self._gas_limit, b"", self._logs, str(exc))
+        except (StackOverflow, StackUnderflow) as exc:
+            return ExecutionResult(HaltReason.STACK_ERROR, self._gas_limit, b"", self._logs, str(exc))
+        except InvalidJump as exc:
+            return ExecutionResult(HaltReason.BAD_JUMP, self._gas_limit, b"", self._logs, str(exc))
+        except (InvalidOpcode, CallDepthExceeded) as exc:
+            return ExecutionResult(HaltReason.INVALID, self._gas_limit, b"", self._logs, str(exc))
+
+    # ------------------------------------------------------------------
+    # Gas
+    # ------------------------------------------------------------------
+
+    @property
+    def gas_used(self) -> int:
+        return self._gas_limit - self._gas_left
+
+    def _use_gas(self, amount: int) -> None:
+        if amount > self._gas_left:
+            self._gas_left = 0
+            raise OutOfGas(f"needed {amount} gas")
+        self._gas_left -= amount
+
+    # ------------------------------------------------------------------
+    # Frame execution
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, message: Message
+    ) -> Generator[VMEvent, object, Tuple[HaltReason, bytes]]:
+        if message.depth > CALL_DEPTH_LIMIT:
+            raise CallDepthExceeded(f"call depth {message.depth}")
+        code = self._resolve_code(message.to)
+        if not code:
+            return HaltReason.SUCCESS, b""
+
+        stack = Stack()
+        memory = Memory()
+        pc = 0
+        self_address = message.to
+        watch = self._watchpoints.get(self_address, _EMPTY_WATCH)
+        jumpdests = valid_jumpdests(code)
+
+        while True:
+            if pc >= len(code):
+                return HaltReason.SUCCESS, b""
+            byte = code[pc]
+            info = opcode_info(byte)
+            if info is None:
+                raise InvalidOpcode(f"undefined opcode {byte:#04x} at pc {pc}")
+            op = info.op
+
+            if pc in watch:
+                yield Watchpoint(self.gas_used, pc, self_address, self._gas_left)
+
+            self._use_gas(info.gas)
+
+            # ---- control flow -------------------------------------------------
+            if op is Op.STOP:
+                return HaltReason.SUCCESS, b""
+            if op is Op.JUMP:
+                dest = stack.pop()
+                if dest not in jumpdests:
+                    raise InvalidJump(f"jump to {dest} from pc {pc}")
+                pc = dest
+                continue
+            if op is Op.JUMPI:
+                dest, cond = stack.pop(), stack.pop()
+                if cond != 0:
+                    if dest not in jumpdests:
+                        raise InvalidJump(f"jumpi to {dest} from pc {pc}")
+                    pc = dest
+                    continue
+                pc += 1
+                continue
+            if op is Op.JUMPDEST:
+                pc += 1
+                continue
+            if op is Op.RETURN:
+                offset, length = stack.pop(), stack.pop()
+                self._use_gas(memory.expansion_cost(offset, length))
+                return HaltReason.SUCCESS, memory.read(offset, length)
+            if op is Op.REVERT:
+                offset, length = stack.pop(), stack.pop()
+                self._use_gas(memory.expansion_cost(offset, length))
+                return HaltReason.REVERT, memory.read(offset, length)
+            if op is Op.INVALID:
+                raise AssertionFailure(f"INVALID at pc {pc}")
+
+            # ---- pushes / dups / swaps ----------------------------------------
+            if info.immediate:
+                operand = bytes_to_word(code[pc + 1 : pc + 1 + info.immediate])
+                stack.push(operand)
+                pc += 1 + info.immediate
+                continue
+            if Op.DUP1 <= op <= Op.DUP16:
+                stack.dup(int(op) - int(Op.DUP1) + 1)
+                pc += 1
+                continue
+            if Op.SWAP1 <= op <= Op.SWAP16:
+                stack.swap(int(op) - int(Op.SWAP1) + 1)
+                pc += 1
+                continue
+
+            # ---- storage: the events the whole paper is about ------------------
+            if op is Op.SLOAD:
+                slot = stack.pop()
+                value = yield StorageRead(self.gas_used, StateKey(self_address, slot), pc)
+                stack.push(to_word(int(value)))  # type: ignore[arg-type]
+                pc += 1
+                continue
+            if op is Op.SSTORE:
+                slot, value = stack.pop(), stack.pop()
+                self._use_gas(GAS_SSTORE_RESET)
+                yield StorageWrite(self.gas_used, StateKey(self_address, slot), value, pc)
+                pc += 1
+                continue
+            if op is Op.BALANCE:
+                address = Address(stack.pop() & _ADDRESS_MASK)
+                value = yield StorageRead(self.gas_used, StateKey.balance(address), pc)
+                stack.push(to_word(int(value)))  # type: ignore[arg-type]
+                pc += 1
+                continue
+            if op is Op.SELFBALANCE:
+                value = yield StorageRead(self.gas_used, StateKey.balance(self_address), pc)
+                stack.push(to_word(int(value)))  # type: ignore[arg-type]
+                pc += 1
+                continue
+
+            # ---- environment ----------------------------------------------------
+            if op is Op.ADDRESS:
+                stack.push(self_address.to_word())
+            elif op is Op.ORIGIN or op is Op.CALLER:
+                stack.push(message.sender.to_word())
+            elif op is Op.CALLVALUE:
+                stack.push(message.value)
+            elif op is Op.CALLDATALOAD:
+                offset = stack.pop()
+                chunk = message.data[offset : offset + WORD_BYTES]
+                stack.push(bytes_to_word(chunk.ljust(WORD_BYTES, b"\x00")))
+            elif op is Op.CALLDATASIZE:
+                stack.push(len(message.data))
+            elif op is Op.CALLDATACOPY:
+                dest, src, length = stack.pop(), stack.pop(), stack.pop()
+                self._use_gas(memory.expansion_cost(dest, length))
+                self._use_gas(GAS_COPY_WORD * ((length + 31) // 32))
+                chunk = message.data[src : src + length].ljust(length, b"\x00")
+                memory.write(dest, chunk)
+            elif op is Op.TIMESTAMP:
+                stack.push(self.block.timestamp)
+            elif op is Op.NUMBER:
+                stack.push(self.block.number)
+            elif op is Op.PC:
+                stack.push(pc)
+            elif op is Op.MSIZE:
+                stack.push(len(memory))
+            elif op is Op.GAS:
+                stack.push(self._gas_left)
+            elif op is Op.POP:
+                stack.pop()
+
+            # ---- memory ---------------------------------------------------------
+            elif op is Op.MLOAD:
+                offset = stack.pop()
+                self._use_gas(memory.expansion_cost(offset, WORD_BYTES))
+                stack.push(memory.read_word(offset))
+            elif op is Op.MSTORE:
+                offset, value = stack.pop(), stack.pop()
+                self._use_gas(memory.expansion_cost(offset, WORD_BYTES))
+                memory.write_word(offset, value)
+            elif op is Op.MSTORE8:
+                offset, value = stack.pop(), stack.pop()
+                self._use_gas(memory.expansion_cost(offset, 1))
+                memory.write_byte(offset, value)
+
+            # ---- hashing --------------------------------------------------------
+            elif op is Op.SHA3:
+                offset, length = stack.pop(), stack.pop()
+                self._use_gas(memory.expansion_cost(offset, length))
+                self._use_gas(GAS_SHA3_WORD * ((length + 31) // 32))
+                stack.push(bytes_to_word(keccak(memory.read(offset, length))))
+
+            # ---- arithmetic / logic --------------------------------------------
+            elif op is Op.ADD:
+                stack.push(words.add(stack.pop(), stack.pop()))
+            elif op is Op.MUL:
+                stack.push(words.mul(stack.pop(), stack.pop()))
+            elif op is Op.SUB:
+                a, b = stack.pop(), stack.pop()
+                stack.push(words.sub(a, b))
+            elif op is Op.DIV:
+                a, b = stack.pop(), stack.pop()
+                stack.push(words.div(a, b))
+            elif op is Op.SDIV:
+                a, b = stack.pop(), stack.pop()
+                stack.push(words.sdiv(a, b))
+            elif op is Op.MOD:
+                a, b = stack.pop(), stack.pop()
+                stack.push(words.mod(a, b))
+            elif op is Op.SMOD:
+                a, b = stack.pop(), stack.pop()
+                stack.push(words.smod(a, b))
+            elif op is Op.ADDMOD:
+                a, b, n = stack.pop(), stack.pop(), stack.pop()
+                stack.push(words.addmod(a, b, n))
+            elif op is Op.MULMOD:
+                a, b, n = stack.pop(), stack.pop(), stack.pop()
+                stack.push(words.mulmod(a, b, n))
+            elif op is Op.EXP:
+                base, exponent = stack.pop(), stack.pop()
+                self._use_gas(GAS_EXP_BYTE * ((exponent.bit_length() + 7) // 8))
+                stack.push(words.exp(base, exponent))
+            elif op is Op.LT:
+                a, b = stack.pop(), stack.pop()
+                stack.push(words.lt(a, b))
+            elif op is Op.GT:
+                a, b = stack.pop(), stack.pop()
+                stack.push(words.gt(a, b))
+            elif op is Op.SLT:
+                a, b = stack.pop(), stack.pop()
+                stack.push(words.slt(a, b))
+            elif op is Op.SGT:
+                a, b = stack.pop(), stack.pop()
+                stack.push(words.sgt(a, b))
+            elif op is Op.EQ:
+                stack.push(words.eq(stack.pop(), stack.pop()))
+            elif op is Op.ISZERO:
+                stack.push(words.iszero(stack.pop()))
+            elif op is Op.AND:
+                stack.push(stack.pop() & stack.pop())
+            elif op is Op.OR:
+                stack.push(stack.pop() | stack.pop())
+            elif op is Op.XOR:
+                stack.push(stack.pop() ^ stack.pop())
+            elif op is Op.NOT:
+                stack.push(words.bitwise_not(stack.pop()))
+            elif op is Op.BYTE:
+                index, value = stack.pop(), stack.pop()
+                stack.push(words.byte(index, value))
+            elif op is Op.SHL:
+                shift, value = stack.pop(), stack.pop()
+                stack.push(words.shl(shift, value))
+            elif op is Op.SHR:
+                shift, value = stack.pop(), stack.pop()
+                stack.push(words.shr(shift, value))
+            elif op is Op.SAR:
+                shift, value = stack.pop(), stack.pop()
+                stack.push(words.sar(shift, value))
+
+            # ---- logs -----------------------------------------------------------
+            elif Op.LOG0 <= op <= Op.LOG3:
+                topic_count = int(op) - int(Op.LOG0)
+                offset, length = stack.pop(), stack.pop()
+                topics = tuple(stack.pop() for _ in range(topic_count))
+                self._use_gas(memory.expansion_cost(offset, length))
+                self._use_gas(GAS_LOG_DATA_BYTE * length)
+                data = memory.read(offset, length)
+                self._logs.append(LogEntry(self_address, topics, data))
+                yield EmittedLog(self.gas_used, self_address, topics, data)
+
+            # ---- message call ---------------------------------------------------
+            elif op is Op.CALL:
+                status = yield from self._do_call(message, stack, memory)
+                stack.push(status)
+            else:  # pragma: no cover - table and dispatch are kept in sync
+                raise InvalidOpcode(f"unhandled opcode {op.name}")
+
+            pc += 1
+
+    # ------------------------------------------------------------------
+    # CALL
+    # ------------------------------------------------------------------
+
+    def _do_call(
+        self, message: Message, stack: Stack, memory: Memory
+    ) -> Generator[VMEvent, object, int]:
+        """Execute a nested CALL; returns 1 on success, 0 on failure."""
+        _gas, to_word_, value, in_off, in_len, out_off, out_len = (
+            stack.pop() for _ in range(7)
+        )
+        to = Address(to_word_ & _ADDRESS_MASK)
+        self._use_gas(memory.expansion_cost(in_off, in_len))
+        self._use_gas(memory.expansion_cost(out_off, out_len))
+        if value > 0:
+            self._use_gas(GAS_CALL_VALUE)
+        data = memory.read(in_off, in_len)
+
+        token = yield FrameCheckpoint(self.gas_used, message.depth + 1)
+        if value > 0:
+            sender_key = StateKey.balance(message.to)
+            sender_balance = int((yield StorageRead(self.gas_used, sender_key)))  # type: ignore[arg-type]
+            if sender_balance < value:
+                yield FrameRevert(self.gas_used, int(token))  # type: ignore[arg-type]
+                return 0
+            yield StorageWrite(self.gas_used, sender_key, sender_balance - value)
+            to_key = StateKey.balance(to)
+            to_balance = int((yield StorageRead(self.gas_used, to_key)))  # type: ignore[arg-type]
+            yield StorageWrite(self.gas_used, to_key, to_balance + value)
+
+        inner = Message(
+            sender=message.to,
+            to=to,
+            value=value,
+            data=data,
+            gas=self._gas_left,
+            depth=message.depth + 1,
+        )
+        status, return_data = yield from self._execute(inner)
+        if status is HaltReason.SUCCESS:
+            yield FrameCommit(self.gas_used, int(token))  # type: ignore[arg-type]
+            memory.write(out_off, return_data[:out_len].ljust(min(out_len, len(return_data)), b"\x00"))
+            return 1
+        yield FrameRevert(self.gas_used, int(token))  # type: ignore[arg-type]
+        return 0

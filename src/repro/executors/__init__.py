@@ -1,0 +1,30 @@
+"""Block executors: serial baseline, DAG, OCC, and DMVCC."""
+
+from .base import BlockExecution, Executor, Receipt
+from .serial import SerialExecutor, run_tx_serially
+from .txprogram import (
+    StorageIncrement,
+    TxProgram,
+    TxResult,
+    TxStatus,
+    transaction_program,
+)
+
+__all__ = [
+    "BlockExecution",
+    "Executor",
+    "Receipt",
+    "SerialExecutor",
+    "StorageIncrement",
+    "TxProgram",
+    "TxResult",
+    "TxStatus",
+    "run_tx_serially",
+    "transaction_program",
+]
+
+from .dag import DAGExecutor, build_conflict_dag
+from .dmvcc import DMVCCExecutor
+from .occ import OCCExecutor
+
+__all__ += ["DAGExecutor", "DMVCCExecutor", "OCCExecutor", "build_conflict_dag"]

@@ -1,0 +1,92 @@
+"""Executor interface and shared result types.
+
+An executor takes a block's transactions plus the latest committed snapshot
+and produces the block's final write set, per-transaction receipts, and the
+scheduling metrics the benchmarks report.  All four schedulers from the
+paper's evaluation implement this interface:
+
+* ``SerialExecutor``   — the original-EVM baseline,
+* ``DAGExecutor``      — conflict-DAG parallelism (ParBlockchain-style),
+* ``OCCExecutor``      — optimistic execute-validate rounds,
+* ``DMVCCExecutor``    — this paper's protocol.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.types import StateKey
+from ..evm.environment import BlockContext
+from ..sim.clock import GAS_TIME_SCALE
+from ..sim.metrics import BlockMetrics
+from ..state.statedb import Snapshot
+from .txprogram import TxResult
+
+
+@dataclass
+class Receipt:
+    """Per-transaction outcome within a block execution."""
+
+    index: int
+    result: TxResult
+    attempts: int = 1
+
+    @property
+    def aborted_attempts(self) -> int:
+        return self.attempts - 1
+
+
+@dataclass
+class BlockExecution:
+    """Everything produced by executing one block."""
+
+    writes: Dict[StateKey, int]
+    receipts: List[Receipt]
+    metrics: BlockMetrics
+
+    @property
+    def success_count(self) -> int:
+        return sum(1 for r in self.receipts if r.result.success)
+
+
+class Executor(ABC):
+    """Deterministic block executor over a simulated thread pool."""
+
+    name: str = "base"
+
+    def __init__(self, gas_time_scale: float = GAS_TIME_SCALE) -> None:
+        self.gas_time_scale = gas_time_scale
+
+    @abstractmethod
+    def execute_block(
+        self,
+        txs: List,
+        snapshot: Snapshot,
+        code_resolver,
+        threads: int = 1,
+        block: Optional[BlockContext] = None,
+    ) -> BlockExecution:
+        """Execute ``txs`` against ``snapshot`` on ``threads`` simulated
+        threads; must satisfy deterministic serializability (Definition 2)."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _serial_time(self, receipts: List[Receipt]) -> float:
+        """Reference serial duration: the sum of final-attempt gas."""
+        return sum(r.result.gas_used for r in receipts) * self.gas_time_scale
+
+    def _base_metrics(self, threads: int, receipts: List[Receipt]) -> BlockMetrics:
+        metrics = BlockMetrics(scheduler=self.name, threads=threads)
+        metrics.tx_count = len(receipts)
+        metrics.total_gas = sum(r.result.gas_used for r in receipts)
+        metrics.serial_time = self._serial_time(receipts)
+        metrics.executions = sum(r.attempts for r in receipts)
+        metrics.aborts = sum(r.aborted_attempts for r in receipts)
+        metrics.deterministic_failures = sum(
+            1 for r in receipts if not r.result.success
+        )
+        return metrics

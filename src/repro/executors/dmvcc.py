@@ -1,0 +1,618 @@
+"""The DMVCC executor: deterministic multi-version concurrency control.
+
+Implements the paper's Algorithms 1–4 over the discrete-event simulator:
+
+* **schedule generation** (Alg. 1) — access sequences are seeded from the
+  C-SAGs; a transaction joins ``Q_ready`` once every state item it reads is
+  resolvable; ready transactions bind to simulated threads FIFO;
+* **early-write visibility** (Alg. 2) — when execution crosses a release
+  point with enough remaining gas, buffered writes whose keys have no
+  further predicted writes are published into the access sequences, waking
+  (or aborting) dependants *mid-transaction*;
+* **write versioning** (Alg. 3) — every write is its own version; writes
+  the analysis missed are inserted on the fly, aborting any reader that
+  already consumed an older version;
+* **abort** (Alg. 4) — aborted transactions release locks, retract their
+  published versions (cascading), and re-enter the scheduler.
+
+Feature flags ``enable_early_write`` and ``enable_commutative`` support the
+paper's design-choice ablations; with both off, DMVCC degenerates to pure
+write-versioned scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..analysis.csag import AccessType, CSAG, CSAGBuilder
+from ..analysis.sag import PSAGCache
+from ..core.errors import SchedulingError
+from ..core.types import Address, StateKey
+from ..core.words import WORD_MOD
+from ..evm.environment import BlockContext
+from ..evm.events import (
+    EmittedLog,
+    FrameCheckpoint,
+    FrameCommit,
+    FrameRevert,
+    StorageRead,
+    StorageWrite,
+    Watchpoint,
+)
+from ..scheduling.access_sequence import AccessSequenceSet
+from ..scheduling.locks import LockTable, ReadyQueue
+from ..sim.clock import EventLoop
+from ..sim.metrics import TxMetrics
+from ..sim.threadpool import ThreadPool
+from ..state.statedb import Snapshot
+from .base import BlockExecution, Executor, Receipt
+from .txprogram import StorageIncrement, TxResult, transaction_program
+
+
+class _Status(Enum):
+    WAITING = "waiting"
+    READY = "ready"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class _TxState:
+    """Mutable per-transaction execution state."""
+
+    index: int
+    tx: object
+    csag: CSAG
+    needed_keys: Set[StateKey]
+    status: _Status = _Status.WAITING
+    attempts: int = 0
+    result: Optional[TxResult] = None
+    # Running-attempt state:
+    generator: Optional[object] = None
+    thread: Optional[int] = None
+    start_time: float = 0.0
+    pending_entry: Optional[object] = None
+    w_abs: Dict[StateKey, int] = field(default_factory=dict)
+    w_delta: Dict[StateKey, int] = field(default_factory=dict)
+    pending_blind: Dict[StateKey, Tuple[int, int]] = field(default_factory=dict)
+    registered_reads: Dict[StateKey, int] = field(default_factory=dict)
+    published: Dict[StateKey, Tuple[str, int]] = field(default_factory=dict)
+    frame_stack: List[Tuple[Dict, Dict, Dict]] = field(default_factory=list)
+    speculative_reads: int = 0
+    release_mode: bool = False  # past a release point with enough gas
+
+    def reset_attempt(self) -> None:
+        self.release_mode = False
+        self.generator = None
+        self.thread = None
+        self.pending_entry = None
+        self.w_abs = {}
+        self.w_delta = {}
+        self.pending_blind = {}
+        self.registered_reads = {}
+        self.published = {}
+        self.frame_stack = []
+
+
+class DMVCCExecutor(Executor):
+    """Deterministic multi-version concurrency control."""
+
+    name = "dmvcc"
+
+    def __init__(
+        self,
+        gas_time_scale: float = 1.0,
+        enable_early_write: bool = True,
+        enable_commutative: bool = True,
+        psag_cache: Optional[PSAGCache] = None,
+    ) -> None:
+        super().__init__(gas_time_scale)
+        self.enable_early_write = enable_early_write
+        self.enable_commutative = enable_commutative
+        self._psag_cache = psag_cache if psag_cache is not None else PSAGCache()
+        if not enable_early_write and not enable_commutative:
+            self.name = "dmvcc-wv"  # write-versioning only
+        elif not enable_early_write:
+            self.name = "dmvcc-noEW"
+        elif not enable_commutative:
+            self.name = "dmvcc-noCW"
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def execute_block(
+        self,
+        txs: List,
+        snapshot: Snapshot,
+        code_resolver,
+        threads: int = 1,
+        block: Optional[BlockContext] = None,
+        csags: Optional[List[CSAG]] = None,
+    ) -> BlockExecution:
+        """Execute ``txs`` under the DMVCC protocol; see Executor.
+
+        ``csags`` supplies pre-built analyses (the validator's pool path);
+        when omitted they are refined here against ``snapshot``.
+        """
+        run = _BlockRun(self, txs, snapshot, code_resolver, threads, block, csags)
+        return run.execute()
+
+
+class _BlockRun:
+    """One block execution; all protocol state lives here."""
+
+    def __init__(self, executor, txs, snapshot, code_resolver, threads, block, csags):
+        self.ex = executor
+        self.txs = txs
+        self.snapshot = snapshot
+        self.resolve_code = code_resolver
+        self.block = block if block is not None else BlockContext()
+        self.builder = CSAGBuilder(code_resolver, executor._psag_cache, self.block)
+        if csags is None:
+            csags = [self.builder.build(tx, snapshot) for tx in txs]
+        self.csags = csags
+        self.sequences = AccessSequenceSet()
+        self.locks = LockTable()
+        self.queue = ReadyQueue()
+        self.loop = EventLoop()
+        self.pool = ThreadPool(threads)
+        self.states: List[_TxState] = []
+        self.per_tx = [TxMetrics(index=i) for i in range(len(txs))]
+        # Every key a transaction has ever published to, across attempts:
+        # needed at completion to skip-mark writes that a *re-execution's*
+        # different path no longer performs (predictions alone cannot know
+        # about on-the-fly inserted entries).
+        self.ever_written: List[Set[StateKey]] = [set() for _ in txs]
+        self.rescues = 0
+        self._dispatch_scheduled = False
+        # Per-contract static analysis lookups.
+        self._blind_pcs: Dict[Address, FrozenSet[int]] = {}
+        self._increment_map: Dict[Address, Dict[int, int]] = {}
+        self._release_pcs: Dict[Address, FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Setup: Algorithm 1, pre-execution part
+    # ------------------------------------------------------------------
+
+    def _declared(self, access_type: AccessType) -> AccessType:
+        if access_type is AccessType.COMMUTATIVE and not self.ex.enable_commutative:
+            return AccessType.READ_WRITE
+        return access_type
+
+    def _setup(self) -> None:
+        for i, (tx, csag) in enumerate(zip(self.txs, self.csags)):
+            needed: Set[StateKey] = set()
+            per_key = dict(csag.per_key)
+            if not csag.predicted_success and not csag.missing:
+                # The pre-execution took the failure branch; if earlier
+                # transactions flip the branch, the success path's accesses
+                # would all be surprises.  Seed them conservatively (θ) from
+                # the symbolically-resolved static sets instead.
+                for key in csag.static_write_keys:
+                    if key not in per_key:
+                        per_key[key] = AccessType.READ_WRITE
+                for key in csag.static_read_keys:
+                    if key not in per_key:
+                        per_key[key] = AccessType.READ
+            for key, access_type in per_key.items():
+                declared = self._declared(access_type)
+                self.sequences.sequence(key).insert_predicted(i, declared)
+                if declared in (AccessType.READ, AccessType.READ_WRITE):
+                    needed.add(key)
+            state = _TxState(index=i, tx=tx, csag=csag, needed_keys=needed)
+            self.states.append(state)
+            self.locks.register(i, needed)
+        # Initial grants: items readable straight from the snapshot.
+        for state in self.states:
+            if self.locks.refresh(state.index, self.sequences):
+                state.status = _Status.READY
+                self.queue.push(state.index)
+
+    def _contract_info(self, address: Address):
+        if address not in self._blind_pcs:
+            code = self.resolve_code(address)
+            if code:
+                psag = self.builder.psag_for(code)
+                increments = dict(psag.analysis.increment_sites)
+                self._increment_map[address] = increments
+                self._blind_pcs[address] = frozenset(increments.values())
+                self._release_pcs[address] = frozenset(psag.release_pcs())
+            else:
+                self._increment_map[address] = {}
+                self._blind_pcs[address] = frozenset()
+                self._release_pcs[address] = frozenset()
+        return (
+            self._blind_pcs[address],
+            self._increment_map[address],
+            self._release_pcs[address],
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def execute(self) -> BlockExecution:
+        self._setup()
+        self._schedule_dispatch()
+        makespan = self.loop.run()
+        # Rescue pass: recover from any lost wake-up (counted; tests pin 0).
+        guard = 0
+        while not all(s.status is _Status.DONE for s in self.states):
+            guard += 1
+            if guard > 3 * len(self.states) + 10:
+                stuck = [s.index for s in self.states if s.status is not _Status.DONE]
+                raise SchedulingError(f"DMVCC deadlock; stuck transactions: {stuck}")
+            progressed = False
+            for state in self.states:
+                if state.status is _Status.WAITING:
+                    self.rescues += 1
+                    state.status = _Status.READY
+                    self.queue.push(state.index)
+                    progressed = True
+            if not progressed:
+                stuck = [s.index for s in self.states if s.status is not _Status.DONE]
+                raise SchedulingError(f"DMVCC deadlock; stuck transactions: {stuck}")
+            self._schedule_dispatch()
+            makespan = max(makespan, self.loop.run())
+
+        receipts = [
+            Receipt(index=s.index, result=s.result, attempts=max(s.attempts, 1))
+            for s in self.states
+        ]
+        writes = self.sequences.final_writes(self.snapshot.get)
+        metrics = self.ex._base_metrics(self.pool.size, receipts)
+        metrics.makespan = makespan
+        metrics.utilisation = self.pool.utilisation(makespan)
+        metrics.per_tx = self.per_tx
+        metrics.rescues = self.rescues
+        return BlockExecution(writes=writes, receipts=receipts, metrics=metrics)
+
+    # ------------------------------------------------------------------
+    # Dispatch / stepping
+    # ------------------------------------------------------------------
+
+    def _schedule_dispatch(self) -> None:
+        if not self._dispatch_scheduled:
+            self._dispatch_scheduled = True
+            self.loop.schedule_now(self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        while self.pool.idle_count:
+            index = self.queue.pop()
+            if index is None:
+                return
+            self._start(self.states[index])
+
+    def _start(self, state: _TxState) -> None:
+        now = self.loop.now
+        state.reset_attempt()
+        state.status = _Status.RUNNING
+        state.attempts += 1
+        state.thread = self.pool.try_occupy(now, label=f"T{state.index}")
+        state.start_time = now
+        watchpoints = None
+        code = self.resolve_code(state.tx.to)
+        if code and self.ex.enable_early_write:
+            _blind, _incs, release_pcs = self._contract_info(state.tx.to)
+            if release_pcs:
+                watchpoints = {state.tx.to: release_pcs}
+        state.generator = transaction_program(
+            state.tx, self.resolve_code, block=self.block, watchpoints=watchpoints
+        )
+        if state.attempts == 1:
+            self.per_tx[state.index].start_time = now
+        self._advance(state, None)
+
+    def _advance(self, state: _TxState, to_send: object) -> None:
+        """Pull the next event from the generator and schedule its effect at
+        its gas-derived timestamp."""
+        try:
+            event = state.generator.send(to_send)
+        except StopIteration as stop:
+            result: TxResult = stop.value
+            finish = state.start_time + result.gas_used * self.ex.gas_time_scale
+            state.pending_entry = self.loop.schedule(
+                finish, lambda: self._complete(state, result)
+            )
+            return
+        when = state.start_time + event.gas_used * self.ex.gas_time_scale
+        state.pending_entry = self.loop.schedule(
+            when, lambda: self._process(state, event)
+        )
+
+    def _process(self, state: _TxState, event) -> None:
+        state.pending_entry = None
+        to_send: object = None
+        if isinstance(event, StorageRead):
+            to_send = self._on_read(state, event)
+        elif isinstance(event, StorageWrite):
+            self._on_write(state, event)
+            self._maybe_publish_now(state, event.key, event.gas_used)
+        elif isinstance(event, StorageIncrement):
+            self._on_increment(state, event)
+            self._maybe_publish_now(state, event.key, event.gas_used)
+        elif isinstance(event, Watchpoint):
+            self._on_release_point(state, event)
+        elif isinstance(event, FrameCheckpoint):
+            state.frame_stack.append(
+                (dict(state.w_abs), dict(state.w_delta), dict(state.registered_reads))
+            )
+            to_send = len(state.frame_stack)
+        elif isinstance(event, FrameCommit):
+            state.frame_stack.pop()
+        elif isinstance(event, FrameRevert):
+            w_abs, w_delta, reads = state.frame_stack.pop()
+            state.w_abs, state.w_delta = w_abs, w_delta
+            state.registered_reads = reads
+        elif isinstance(event, EmittedLog):
+            pass
+        else:  # pragma: no cover
+            raise SchedulingError(f"unexpected event {event!r}")
+        # The event handler may have aborted this very transaction through a
+        # cascade; never advance a dead generator.
+        if state.status is _Status.RUNNING and state.generator is not None:
+            self._advance(state, to_send)
+
+    # ------------------------------------------------------------------
+    # Reads (Execute_Read)
+    # ------------------------------------------------------------------
+
+    def _on_read(self, state: _TxState, event: StorageRead) -> int:
+        key = event.key
+        if key in state.w_abs:
+            return state.w_abs[key]
+        blind_pcs, _incs, _rel = self._contract_info(state.tx.to)
+        seq = self.sequences.get(key)
+        if (
+            self.ex.enable_commutative
+            and event.pc in blind_pcs
+            and key not in state.registered_reads
+        ):
+            # Blind increment read: the value feeds only the paired +=, so
+            # it needs no lock, registers no dependency, and cannot abort.
+            if key in state.w_delta:
+                answer = 0
+            elif seq is not None:
+                res = seq.best_available_read(state.index)
+                answer = res.resolve_with_snapshot(self.snapshot.get(key))
+            else:
+                answer = self.snapshot.get(key)
+            state.pending_blind[key] = (answer, event.pc)
+            return answer
+
+        # Registered read: resolve the proper version (blocking resolution
+        # degraded to best-available for accesses the analysis missed).
+        if seq is None:
+            seq = self.sequences.sequence(key)
+        resolution = seq.resolve_read(state.index)
+        if not resolution.ready:
+            resolution = seq.best_available_read(state.index)
+            state.speculative_reads += 1
+        base = resolution.resolve_with_snapshot(self.snapshot.get(key))
+        if key in state.w_delta:
+            # Own pending increments fold in; the write becomes absolute.
+            value = (base + state.w_delta.pop(key)) % WORD_MOD
+            state.w_abs[key] = value
+        else:
+            value = base
+        seq.record_read(state.index, resolution.version_from)
+        state.registered_reads[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def _on_write(self, state: _TxState, event: StorageWrite) -> None:
+        key = event.key
+        pending = state.pending_blind.pop(key, None)
+        if pending is not None and self.ex.enable_commutative and key not in state.w_abs:
+            answer, read_pc = pending
+            _blind, increments, _rel = self._contract_info(state.tx.to)
+            if increments.get(event.pc) == read_pc:
+                delta = (event.value - answer) % WORD_MOD
+                state.w_delta[key] = (state.w_delta.get(key, 0) + delta) % WORD_MOD
+                return
+        state.w_abs[key] = event.value
+        state.w_delta.pop(key, None)
+
+    def _on_increment(self, state: _TxState, event: StorageIncrement) -> None:
+        key = event.key
+        if key in state.w_abs:
+            state.w_abs[key] = (state.w_abs[key] + event.delta) % WORD_MOD
+        elif self.ex.enable_commutative:
+            state.w_delta[key] = (state.w_delta.get(key, 0) + event.delta) % WORD_MOD
+        else:
+            seq = self.sequences.sequence(key)
+            resolution = seq.resolve_read(state.index)
+            if not resolution.ready:
+                resolution = seq.best_available_read(state.index)
+                state.speculative_reads += 1
+            base = resolution.resolve_with_snapshot(self.snapshot.get(key))
+            seq.record_read(state.index, resolution.version_from)
+            state.registered_reads[key] = base
+            state.w_abs[key] = (base + event.delta) % WORD_MOD
+
+    # ------------------------------------------------------------------
+    # Early write visibility (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def _on_release_point(self, state: _TxState, event: Watchpoint) -> None:
+        if not self.ex.enable_early_write:
+            return
+        predicted_remaining = max(state.csag.predicted_gas - event.gas_used, 0)
+        if event.gas_remaining < predicted_remaining:
+            return  # might still run out of gas: do not release
+        # From here on every buffered or future write whose key sees no
+        # further predicted write is published as soon as it exists
+        # (Algorithm 1 line 15 checks AfterReleasePoint after every op).
+        state.release_mode = True
+        self._flush_released(state, event.gas_used)
+
+    def _flush_released(self, state: _TxState, gas_now: int) -> None:
+        future_writes = {
+            access.key
+            for access in state.csag.accesses
+            if access.kind == "write" and access.gas_offset > gas_now
+        }
+        for key, value in list(state.w_abs.items()):
+            if key in future_writes:
+                continue
+            if state.published.get(key) != ("abs", value):
+                self._publish(state, key, "abs", value)
+        for key, delta in list(state.w_delta.items()):
+            if key in future_writes:
+                continue
+            if state.published.get(key) != ("delta", delta):
+                self._publish(state, key, "delta", delta)
+
+    def _maybe_publish_now(self, state: _TxState, key: StateKey, gas_now: int) -> None:
+        """Publish one just-performed write immediately when running past a
+        release point and no later write to the key is predicted."""
+        if not state.release_mode:
+            return
+        for access in state.csag.accesses:
+            if access.kind == "write" and access.key == key and access.gas_offset > gas_now:
+                return
+        if key in state.w_abs:
+            if state.published.get(key) != ("abs", state.w_abs[key]):
+                self._publish(state, key, "abs", state.w_abs[key])
+        elif key in state.w_delta:
+            if state.published.get(key) != ("delta", state.w_delta[key]):
+                self._publish(state, key, "delta", state.w_delta[key])
+
+    def _publish(self, state: _TxState, key: StateKey, kind: str, value: int) -> None:
+        seq = self.sequences.sequence(key)
+        if kind == "abs":
+            allowed, aborted = seq.version_write(state.index, value=value)
+        else:
+            allowed, aborted = seq.version_write(state.index, delta=value)
+        state.published[key] = (kind, value)
+        self.ever_written[state.index].add(key)
+        self._handle_wake_and_abort(key, allowed, aborted)
+
+    def _handle_wake_and_abort(
+        self, key: StateKey, allowed: List[int], aborted: List[int]
+    ) -> None:
+        for victim in aborted:
+            self._abort(victim, key)
+        seq = self.sequences.sequence(key)
+        for index in sorted(set(allowed) | set(aborted)):
+            target = self.states[index]
+            if target.status in (_Status.WAITING,):
+                if seq.resolve_read(index).ready:
+                    became_ready = self.locks.grant(index, key)
+                    if became_ready or self.locks.is_ready(index):
+                        if target.status is _Status.WAITING:
+                            target.status = _Status.READY
+                            self.queue.push(index)
+                            self._schedule_dispatch()
+            else:
+                self.locks.grant(index, key)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _complete(self, state: _TxState, result: TxResult) -> None:
+        now = self.loop.now
+        state.pending_entry = None
+        self.pool.release(state.thread, now)
+        state.thread = None
+        state.status = _Status.DONE
+        state.result = result
+        self.per_tx[state.index].end_time = now
+        self.per_tx[state.index].gas_used = result.gas_used
+        self.per_tx[state.index].succeeded = result.success
+        self.per_tx[state.index].attempts = state.attempts
+
+        if result.success:
+            for key, value in state.w_abs.items():
+                if state.published.get(key) != ("abs", value):
+                    self._publish(state, key, "abs", value)
+            for key, delta in state.w_delta.items():
+                if state.published.get(key) != ("delta", delta):
+                    self._publish(state, key, "delta", delta)
+        else:
+            self._retract_published(state)
+
+        # Predicted writes that never materialised are marked skipped so
+        # transactions waiting on them unblock (divergent path / failure).
+        # The same applies to keys this transaction published in *earlier
+        # attempts*: an entry inserted on the fly back then may now be a
+        # write the current path never performs.
+        pending_write_keys = set(self.ever_written[state.index])
+        for key, access_type in state.csag.per_key.items():
+            if self._declared(access_type) is not AccessType.READ:
+                pending_write_keys.add(key)
+        for key in pending_write_keys:
+            if key in state.published:
+                continue
+            seq = self.sequences.sequence(key)
+            entry = seq.entry(state.index)
+            if entry is not None and entry.has_write_part and not entry.write_finished:
+                allowed, _ = seq.version_write(state.index, skipped=True)
+                self._handle_wake_and_abort(key, allowed, [])
+        self._schedule_dispatch()
+
+    # ------------------------------------------------------------------
+    # Abort (Algorithm 4)
+    # ------------------------------------------------------------------
+
+    def _abort(self, index: int, trigger_key: StateKey) -> None:
+        state = self.states[index]
+        now = self.loop.now
+        if state.status is _Status.READY:
+            self.queue.remove(index)
+        elif state.status is _Status.RUNNING:
+            if state.pending_entry is not None:
+                self.loop.cancel(state.pending_entry)
+                state.pending_entry = None
+            if state.generator is not None:
+                state.generator.close()
+            self.pool.release(state.thread, now)
+            state.thread = None
+        elif state.status is _Status.DONE:
+            state.result = None
+        elif state.status is _Status.WAITING:
+            # Nothing consumed yet in the *current* attempt; but a previous
+            # attempt's reads may still be recorded — fall through to reset.
+            pass
+
+        state.status = _Status.WAITING
+        self.per_tx[index].aborted_times += 1
+
+        # Retract whatever this transaction made visible (cascades).
+        self._retract_published(state)
+
+        # Clear its recorded reads so future writes don't re-abort a
+        # transaction that is already going to re-execute.
+        for key in state.registered_reads:
+            seq = self.sequences.get(key)
+            if seq is not None:
+                entry = seq.entry(index)
+                if entry is not None:
+                    entry.reset_read()
+        state.reset_attempt()
+
+        self.locks.release_all(index)
+        if self.locks.refresh(index, self.sequences):
+            state.status = _Status.READY
+            self.queue.push(index)
+            self._schedule_dispatch()
+
+    def _retract_published(self, state: _TxState) -> None:
+        published = list(state.published)
+        state.published = {}
+        for key in published:
+            seq = self.sequences.get(key)
+            if seq is None:
+                continue
+            victims = seq.retract(state.index)
+            for victim in victims:
+                if victim != state.index:
+                    self._abort(victim, key)

@@ -1,0 +1,87 @@
+"""Serial executor: the original-EVM baseline.
+
+Transactions run one after another; each sees every effect of its
+predecessors.  Its output *defines* correctness for every parallel
+scheduler (deterministic serializability, Definition 2), and its summed gas
+defines the time baseline for speedups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.types import StateKey
+from ..evm.environment import BlockContext
+from ..evm.events import (
+    EmittedLog,
+    FrameCheckpoint,
+    FrameCommit,
+    FrameRevert,
+    StorageRead,
+    StorageWrite,
+    Watchpoint,
+)
+from ..state.journal import OverlayReader, WriteJournal
+from ..state.statedb import Snapshot
+from .base import BlockExecution, Executor, Receipt
+from .txprogram import StorageIncrement, TxResult, transaction_program
+
+
+def run_tx_serially(tx, reader, code_resolver, block=None) -> "tuple[TxResult, Dict[StateKey, int]]":
+    """Execute one transaction against ``reader``; returns the result and
+    the write set to apply (empty unless successful)."""
+    journal = WriteJournal(reader)
+    program = transaction_program(tx, code_resolver, block=block)
+    to_send: object = None
+    while True:
+        try:
+            event = program.send(to_send)
+        except StopIteration as stop:
+            result: TxResult = stop.value
+            break
+        to_send = None
+        if isinstance(event, StorageRead):
+            to_send = journal.read(event.key)
+        elif isinstance(event, StorageWrite):
+            journal.write(event.key, event.value)
+        elif isinstance(event, StorageIncrement):
+            journal.write(event.key, journal.read(event.key) + event.delta)
+        elif isinstance(event, FrameCheckpoint):
+            to_send = journal.checkpoint()
+        elif isinstance(event, FrameCommit):
+            journal.commit_checkpoint(event.token)
+        elif isinstance(event, FrameRevert):
+            journal.revert_to(event.token)
+        elif isinstance(event, (Watchpoint, EmittedLog)):
+            pass
+    writes = journal.write_set if result.success else {}
+    return result, writes
+
+
+class SerialExecutor(Executor):
+    """Execute the block in order on a single simulated thread."""
+
+    name = "serial"
+
+    def execute_block(
+        self,
+        txs: List,
+        snapshot: Snapshot,
+        code_resolver,
+        threads: int = 1,
+        block: Optional[BlockContext] = None,
+    ) -> BlockExecution:
+        """Execute ``txs`` one-by-one on a single simulated thread."""
+        overlay = OverlayReader(snapshot.get)
+        receipts: List[Receipt] = []
+        clock = 0.0
+        for index, tx in enumerate(txs):
+            result, writes = run_tx_serially(tx, overlay, code_resolver, block)
+            overlay.apply(writes)
+            clock += result.gas_used * self.gas_time_scale
+            receipts.append(Receipt(index=index, result=result))
+
+        metrics = self._base_metrics(threads=1, receipts=receipts)
+        metrics.makespan = clock
+        metrics.utilisation = 1.0 if clock else 0.0
+        return BlockExecution(writes=overlay.pending, receipts=receipts, metrics=metrics)

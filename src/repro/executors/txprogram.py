@@ -1,0 +1,132 @@
+"""The transaction program: a uniform event stream for every executor.
+
+A transaction is more than its EVM run: intrinsic gas, the sender-balance
+check, and the value transfer all touch state.  ``transaction_program``
+wraps everything into one generator speaking the VM's event protocol, with
+``gas_used`` made *transaction-cumulative* (intrinsic gas included), so an
+executor can treat plain Ether transfers and contract calls identically —
+exactly how the paper folds non-contract transactions into scheduling.
+
+The recipient credit of a value transfer is emitted as a
+:class:`StorageIncrement` — a blind ``+= value`` that commutes with other
+credits.  Executors without commutativity support lower it to a
+read-modify-write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Callable, Generator, Optional
+
+from ..core.types import Address, StateKey
+from ..evm.environment import BlockContext, HaltReason, Message
+from ..evm.events import StorageRead, StorageWrite, VMEvent
+from ..evm.opcodes import intrinsic_gas
+from ..evm.vm import EVM, WatchMap
+
+
+@dataclass(frozen=True)
+class StorageIncrement(VMEvent):
+    """Blind commutative increment: ``key += delta`` without observing the
+    current value.  The driver ``send``s None."""
+
+    key: StateKey
+    delta: int
+
+
+class TxStatus(Enum):
+    SUCCESS = "success"
+    REVERTED = "reverted"
+    OUT_OF_GAS = "out_of_gas"
+    ASSERT_FAIL = "assert_fail"
+    INVALID = "invalid"
+    INSUFFICIENT_FUNDS = "insufficient_funds"
+
+    @property
+    def is_success(self) -> bool:
+        return self is TxStatus.SUCCESS
+
+
+_HALT_TO_STATUS = {
+    HaltReason.SUCCESS: TxStatus.SUCCESS,
+    HaltReason.REVERT: TxStatus.REVERTED,
+    HaltReason.OUT_OF_GAS: TxStatus.OUT_OF_GAS,
+    HaltReason.ASSERT_FAIL: TxStatus.ASSERT_FAIL,
+    HaltReason.INVALID: TxStatus.INVALID,
+    HaltReason.STACK_ERROR: TxStatus.INVALID,
+    HaltReason.BAD_JUMP: TxStatus.INVALID,
+}
+
+
+@dataclass
+class TxResult:
+    """Final outcome of one transaction attempt."""
+
+    status: TxStatus
+    gas_used: int            # transaction-total, intrinsic gas included
+    return_data: bytes = b""
+    error: Optional[str] = None
+
+    @property
+    def success(self) -> bool:
+        return self.status.is_success
+
+
+TxProgram = Generator[VMEvent, object, TxResult]
+
+
+def transaction_program(
+    tx,
+    code_resolver: Callable[[Address], bytes],
+    block: Optional[BlockContext] = None,
+    watchpoints: Optional[WatchMap] = None,
+) -> TxProgram:
+    """Build the full event stream of one transaction.
+
+    Yields events whose ``gas_used`` is cumulative over the *transaction*
+    (intrinsic gas first, then execution gas on top).  Returns a
+    :class:`TxResult`.  The driver must discard buffered writes when the
+    result is unsuccessful.
+    """
+    base = intrinsic_gas(tx.data)
+    if base > tx.gas_limit:
+        return TxResult(TxStatus.OUT_OF_GAS, tx.gas_limit, error="intrinsic gas exceeds limit")
+
+    sender_key = StateKey.balance(tx.sender)
+    sender_balance = yield StorageRead(0, sender_key)
+    sender_balance = int(sender_balance)  # type: ignore[arg-type]
+    if sender_balance < tx.value:
+        return TxResult(TxStatus.INSUFFICIENT_FUNDS, base, error="insufficient balance")
+
+    if tx.value > 0:
+        yield StorageWrite(base, sender_key, sender_balance - tx.value)
+        yield StorageIncrement(base, StateKey.balance(tx.to), tx.value)
+
+    code = code_resolver(tx.to)
+    if not code:
+        return TxResult(TxStatus.SUCCESS, base)
+
+    evm = EVM(code_resolver, block=block, watchpoints=watchpoints)
+    message = Message(
+        sender=tx.sender,
+        to=tx.to,
+        value=tx.value,
+        data=tx.data,
+        gas=tx.gas_limit - base,
+    )
+    gen = evm.run(message)
+    to_send: object = None
+    while True:
+        try:
+            event = gen.send(to_send)
+        except StopIteration as stop:
+            result = stop.value
+            break
+        to_send = yield replace(event, gas_used=event.gas_used + base)
+    return TxResult(
+        _HALT_TO_STATUS[result.status],
+        base + result.gas_used,
+        result.return_data,
+        result.error,
+    )

@@ -1,0 +1,29 @@
+"""Minisol: a small Solidity subset compiled to EVM bytecode."""
+
+from . import ast
+from .compiler import (
+    CompiledContract,
+    Compiler,
+    FunctionABI,
+    StorageVariable,
+    compile_source,
+    function_signature,
+    selector_of,
+)
+from .lexer import Token, tokenize
+from .parser import Parser, parse_contract
+
+__all__ = [
+    "CompiledContract",
+    "Compiler",
+    "FunctionABI",
+    "Parser",
+    "StorageVariable",
+    "Token",
+    "ast",
+    "compile_source",
+    "function_signature",
+    "parse_contract",
+    "selector_of",
+    "tokenize",
+]

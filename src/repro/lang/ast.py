@@ -1,0 +1,298 @@
+"""Abstract syntax tree for Minisol.
+
+Minisol is a deliberately small Solidity subset — just enough to express the
+contracts that dominate the paper's mainnet workload (ERC20 tokens, AMM-style
+DeFi, NFT mints, ICO sales) while keeping Solidity's *storage layout rules*,
+which is what makes the paper's fine-grained slot-level analysis meaningful.
+
+All scalar values are 256-bit words; ``uint``, ``address``, and ``bool`` are
+word types distinguished only for light semantic checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class UIntType:
+    def __str__(self) -> str:
+        return "uint"
+
+
+@dataclass(frozen=True)
+class AddressType:
+    def __str__(self) -> str:
+        return "address"
+
+
+@dataclass(frozen=True)
+class BoolType:
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class MappingType:
+    key: "Type"
+    value: "Type"
+
+    def __str__(self) -> str:
+        return f"mapping({self.key} => {self.value})"
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    element: "Type"
+
+    def __str__(self) -> str:
+        return f"{self.element}[]"
+
+
+Type = Union[UIntType, AddressType, BoolType, MappingType, ArrayType]
+
+UINT = UIntType()
+ADDRESS = AddressType()
+BOOL = BoolType()
+
+
+def is_word_type(type_: Type) -> bool:
+    return isinstance(type_, (UIntType, AddressType, BoolType))
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Node:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class IntLit(Node):
+    value: int = 0
+
+
+@dataclass
+class BoolLit(Node):
+    value: bool = False
+
+
+@dataclass
+class Name(Node):
+    """A local variable, parameter, or storage variable reference."""
+
+    ident: str = ""
+
+
+@dataclass
+class Index(Node):
+    """``base[index]`` — mapping or array access; chains for nested maps."""
+
+    base: "Expr" = None  # type: ignore[assignment]
+    index: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class Member(Node):
+    """``base.member`` — only ``<array>.length``, ``msg.*``, ``block.*``."""
+
+    base: str = ""
+    member: str = ""
+
+
+@dataclass
+class Binary(Node):
+    op: str = ""
+    left: "Expr" = None  # type: ignore[assignment]
+    right: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class Unary(Node):
+    op: str = ""
+    operand: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class BalanceOf(Node):
+    """``balance(expr)`` builtin: Ether balance of an address."""
+
+    operand: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class CallExpr(Node):
+    """``helper(args...)`` — a call to another function of the same
+    contract (compiled by inlining)."""
+
+    name: str = ""
+    args: List["Expr"] = field(default_factory=list)
+
+
+Expr = Union[IntLit, BoolLit, Name, Index, Member, Binary, Unary, BalanceOf, CallExpr]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    type: Type = UINT
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Node):
+    """``target op= value``; op is '' for plain assignment, '+'/'-'/'*' for
+    compound forms."""
+
+    target: Union[Name, Index] = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+    op: str = ""
+
+
+@dataclass
+class If(Node):
+    cond: Expr = None  # type: ignore[assignment]
+    then_body: List["Stmt"] = field(default_factory=list)
+    else_body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: Expr = None  # type: ignore[assignment]
+    body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class For(Node):
+    init: Optional["Stmt"] = None
+    cond: Optional[Expr] = None
+    post: Optional["Stmt"] = None
+    body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Require(Node):
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class AssertStmt(Node):
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class RevertStmt(Node):
+    pass
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ArrayPush(Node):
+    array: str = ""
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Emit(Node):
+    event: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Node):
+    """A bare expression statement (an internal call for its effects)."""
+
+    expr: Expr = None  # type: ignore[assignment]
+
+
+Stmt = Union[
+    VarDecl, Assign, If, While, For, Require, AssertStmt, RevertStmt, Return,
+    ArrayPush, Emit, ExprStmt,
+]
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type: Type = UINT
+
+
+@dataclass
+class StateVarDecl(Node):
+    name: str = ""
+    type: Type = UINT
+    slot: int = -1  # assigned by the compiler's layout pass
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    returns_value: bool = False
+    body: List[Stmt] = field(default_factory=list)
+    payable: bool = False
+    internal: bool = False  # no selector; reachable only through inlining
+
+
+@dataclass
+class ContractDef(Node):
+    name: str = ""
+    state_vars: List[StateVarDecl] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+
+def walk_statements(body: List[Stmt]):
+    """Depth-first iterator over every statement, including nested bodies."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_statements(stmt.then_body)
+            yield from walk_statements(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from walk_statements(stmt.body)
+        elif isinstance(stmt, For):
+            inner = [s for s in (stmt.init, stmt.post) if s is not None]
+            yield from walk_statements(inner + stmt.body)
+
+
+def walk_expressions(expr: Expr):
+    """Depth-first iterator over an expression tree."""
+    yield expr
+    if isinstance(expr, Binary):
+        yield from walk_expressions(expr.left)
+        yield from walk_expressions(expr.right)
+    elif isinstance(expr, Unary):
+        yield from walk_expressions(expr.operand)
+    elif isinstance(expr, Index):
+        yield from walk_expressions(expr.base)
+        yield from walk_expressions(expr.index)
+    elif isinstance(expr, BalanceOf):
+        yield from walk_expressions(expr.operand)
+    elif isinstance(expr, CallExpr):
+        for arg in expr.args:
+            yield from walk_expressions(arg)

@@ -1,0 +1,786 @@
+"""Minisol → EVM bytecode compiler.
+
+The compiler follows Solidity's conventions everywhere they matter for the
+paper's analysis:
+
+* **storage layout** — state variables get consecutive slots in declaration
+  order; ``mapping[key]`` lives at ``keccak(key . slot)``; dynamic-array
+  lengths live at the base slot with elements at ``keccak(slot) + i``;
+* **dispatch** — calldata starts with a 4-byte selector (``keccak`` of the
+  canonical signature), arguments are 32-byte words;
+* **abort semantics** — ``require``/unknown-selector/value-to-non-payable
+  produce REVERT, ``assert`` and array bounds violations produce INVALID
+  (consuming all gas), exactly the "abortable statements" the release-point
+  analysis reasons about;
+* **unchecked arithmetic** — the paper targets Solidity 0.6, which does not
+  insert overflow checks, so neither do we;
+* **internal calls** — same-contract function calls are compiled by
+  inlining (recursion is rejected), so the bytecode-level analysis sees one
+  flat function per selector.
+
+Function-wide local scoping (no block shadowing) is the one simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import TypeError_
+from ..core.hashing import keccak
+from ..core.types import Address
+from ..core.words import WORD_BYTES
+from ..evm.assembler import Assembler
+from ..evm.opcodes import Op
+from . import ast
+from .parser import parse_contract
+
+# Memory map (byte offsets)
+HASH_SCRATCH = 0x00      # 0x00-0x3F: two-word scratch for keccak slot math
+RETURN_SCRATCH = 0x40    # 0x40-0x5F: return-value staging
+LOCALS_BASE = 0x60       # one 32-byte cell per local/parameter
+
+
+def canonical_type_name(type_: ast.Type) -> str:
+    if isinstance(type_, ast.UIntType):
+        return "uint256"
+    if isinstance(type_, ast.AddressType):
+        return "address"
+    if isinstance(type_, ast.BoolType):
+        return "bool"
+    raise TypeError_(f"type {type_} cannot appear in a signature")
+
+
+def function_signature(name: str, params: Sequence[ast.Param]) -> str:
+    return f"{name}({','.join(canonical_type_name(p.type) for p in params)})"
+
+
+def selector_of(signature: str) -> int:
+    return int.from_bytes(keccak(signature.encode())[:4], "big")
+
+
+@dataclass(frozen=True)
+class FunctionABI:
+    """Callable-interface metadata for one public function."""
+
+    name: str
+    signature: str
+    selector: int
+    param_types: Tuple[str, ...]
+    returns_value: bool
+    payable: bool
+    entry_label: str
+
+    def encode_call(self, *args: Union[int, Address]) -> bytes:
+        """ABI-encode a call to this function."""
+        if len(args) != len(self.param_types):
+            raise TypeError_(
+                f"{self.name} expects {len(self.param_types)} args, got {len(args)}"
+            )
+        data = self.selector.to_bytes(4, "big")
+        for arg in args:
+            word = arg.to_word() if isinstance(arg, Address) else int(arg)
+            data += word.to_bytes(WORD_BYTES, "big")
+        return data
+
+
+@dataclass(frozen=True)
+class StorageVariable:
+    """Layout record for one state variable."""
+
+    name: str
+    type: ast.Type
+    slot: int
+
+
+@dataclass
+class CompiledContract:
+    """The compiler's output: bytecode plus everything tools need."""
+
+    name: str
+    code: bytes
+    functions: Dict[str, FunctionABI]
+    layout: Dict[str, StorageVariable]
+    source: str = ""
+    ast: Optional[ast.ContractDef] = None
+
+    def abi(self, function: str) -> FunctionABI:
+        try:
+            return self.functions[function]
+        except KeyError:
+            raise TypeError_(f"{self.name} has no function {function!r}") from None
+
+    def encode_call(self, function: str, *args: Union[int, Address]) -> bytes:
+        return self.abi(function).encode_call(*args)
+
+    def slot_of(self, variable: str) -> int:
+        try:
+            return self.layout[variable].slot
+        except KeyError:
+            raise TypeError_(f"{self.name} has no state variable {variable!r}") from None
+
+
+class _FunctionContext:
+    """Per-function symbol table: parameters and locals → memory offsets."""
+
+    def __init__(self, fn: ast.FunctionDef, storage: Dict[str, StorageVariable]) -> None:
+        self.fn = fn
+        self.storage = storage
+        self.locals: Dict[str, Tuple[int, ast.Type]] = {}
+        for param in fn.params:
+            self._declare(param.name, param.type, param.line)
+        for stmt in ast.walk_statements(fn.body):
+            if isinstance(stmt, ast.VarDecl):
+                self._declare(stmt.name, stmt.type, stmt.line)
+
+    @property
+    def emit_buffer(self) -> int:
+        """Scratch area just past the current locals (grows with inlining)."""
+        return LOCALS_BASE + WORD_BYTES * len(self.locals)
+
+    def declare_inline(self, name: str, type_: ast.Type) -> int:
+        """Allocate a fresh memory cell for an inlined callee's variable;
+        returns its offset.  Names are pre-uniquified by the caller."""
+        self.locals[name] = (LOCALS_BASE + WORD_BYTES * len(self.locals), type_)
+        return self.locals[name][0]
+
+    def _declare(self, name: str, type_: ast.Type, line: int) -> None:
+        if name in self.locals:
+            raise TypeError_(f"duplicate local {name!r} in {self.fn.name}", line)
+        if name in self.storage:
+            raise TypeError_(f"local {name!r} shadows a state variable", line)
+        self.locals[name] = (LOCALS_BASE + WORD_BYTES * len(self.locals), type_)
+
+    def local_offset(self, name: str) -> Optional[int]:
+        entry = self.locals.get(name)
+        return entry[0] if entry else None
+
+
+class Compiler:
+    """Compiles one parsed contract to bytecode."""
+
+    def __init__(self, contract: ast.ContractDef, source: str = "") -> None:
+        self._contract = contract
+        self._source = source
+        self._asm = Assembler()
+        self._label_counter = 0
+        self._inline_stack: List[str] = []
+        self._inline_frames: List[Tuple[Optional[int], str]] = []
+        self._inline_counter = 0
+        self._layout: Dict[str, StorageVariable] = {}
+        for slot, var in enumerate(contract.state_vars):
+            if var.name in self._layout:
+                raise TypeError_(f"duplicate state variable {var.name!r}", var.line)
+            var.slot = slot
+            self._layout[var.name] = StorageVariable(var.name, var.type, slot)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def compile(self) -> CompiledContract:
+        abis = self._build_abis()
+        self._emit_dispatcher(abis)
+        self._emit_runtime_tails()
+        for fn in self._contract.functions:
+            # Internal functions exist only inlined into their callers.
+            if not fn.internal:
+                self._emit_function(fn, abis[fn.name])
+        return CompiledContract(
+            name=self._contract.name,
+            code=self._asm.assemble(),
+            functions=abis,
+            layout=dict(self._layout),
+            source=self._source,
+            ast=self._contract,
+        )
+
+    def _build_abis(self) -> Dict[str, FunctionABI]:
+        abis: Dict[str, FunctionABI] = {}
+        seen = set()
+        for fn in self._contract.functions:
+            if fn.name in seen:
+                raise TypeError_(f"duplicate function {fn.name!r}", fn.line)
+            seen.add(fn.name)
+            if fn.internal:
+                continue  # no selector, not externally callable
+            signature = function_signature(fn.name, fn.params)
+            abis[fn.name] = FunctionABI(
+                name=fn.name,
+                signature=signature,
+                selector=selector_of(signature),
+                param_types=tuple(canonical_type_name(p.type) for p in fn.params),
+                returns_value=fn.returns_value,
+                payable=fn.payable,
+                entry_label=f"fn_{fn.name}",
+            )
+        return abis
+
+    # ------------------------------------------------------------------
+    # Skeleton: dispatcher and shared revert/panic tails
+    # ------------------------------------------------------------------
+
+    def _emit_dispatcher(self, abis: Dict[str, FunctionABI]) -> None:
+        asm = self._asm
+        # selector = calldata[0:4] >> 224
+        asm.push(0).op(Op.CALLDATALOAD).push(224).op(Op.SHR)
+        for abi in abis.values():
+            asm.op(Op.DUP1).push(abi.selector).op(Op.EQ).jumpi(abi.entry_label)
+        # Unknown selector (or bare Ether send): revert.
+        asm.jump("revert_tail")
+
+    def _emit_runtime_tails(self) -> None:
+        self._asm.jumpdest("revert_tail").push(0).push(0).op(Op.REVERT)
+        self._asm.jumpdest("panic_tail").op(Op.INVALID)
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+
+    def _emit_function(self, fn: ast.FunctionDef, abi: FunctionABI) -> None:
+        asm = self._asm
+        ctx = _FunctionContext(fn, self._layout)
+        asm.jumpdest(abi.entry_label)
+        asm.op(Op.POP)  # drop the dup'd selector
+        if not fn.payable:
+            # Reject Ether sent to a non-payable function (Solidity semantics).
+            asm.op(Op.CALLVALUE).op(Op.ISZERO)
+            ok = self._fresh("nonpayable_ok")
+            asm.jumpi(ok)
+            asm.jump("revert_tail")
+            asm.jumpdest(ok)
+        # Copy arguments from calldata into local memory cells.
+        for i, param in enumerate(fn.params):
+            offset = ctx.local_offset(param.name)
+            assert offset is not None
+            asm.push(4 + WORD_BYTES * i).op(Op.CALLDATALOAD)
+            asm.push(offset).op(Op.MSTORE)
+        self._emit_body(fn.body, ctx)
+        # Implicit return (void functions falling off the end).
+        asm.op(Op.STOP)
+
+    def _fresh(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _emit_body(self, body: List[ast.Stmt], ctx: _FunctionContext) -> None:
+        for stmt in body:
+            self._emit_statement(stmt, ctx)
+
+    def _emit_statement(self, stmt: ast.Stmt, ctx: _FunctionContext) -> None:
+        asm = self._asm
+        if isinstance(stmt, ast.VarDecl):
+            offset = ctx.local_offset(stmt.name)
+            assert offset is not None
+            if stmt.init is not None:
+                self._emit_expression(stmt.init, ctx)
+            else:
+                asm.push(0)
+            asm.push(offset).op(Op.MSTORE)
+        elif isinstance(stmt, ast.Assign):
+            self._emit_assign(stmt, ctx)
+        elif isinstance(stmt, ast.Require):
+            self._emit_expression(stmt.cond, ctx)
+            ok = self._fresh("require_ok")
+            asm.jumpi(ok)
+            asm.jump("revert_tail")
+            asm.jumpdest(ok)
+        elif isinstance(stmt, ast.AssertStmt):
+            self._emit_expression(stmt.cond, ctx)
+            ok = self._fresh("assert_ok")
+            asm.jumpi(ok)
+            asm.jump("panic_tail")
+            asm.jumpdest(ok)
+        elif isinstance(stmt, ast.RevertStmt):
+            asm.jump("revert_tail")
+        elif isinstance(stmt, ast.Return):
+            if self._inline_frames:
+                # Return from an inlined callee: stash the value (if any)
+                # and jump to the inline-end label of the innermost frame.
+                ret_offset, end_label = self._inline_frames[-1]
+                if stmt.value is not None:
+                    if ret_offset is None:
+                        raise TypeError_("void function returns a value", stmt.line)
+                    self._emit_expression(stmt.value, ctx)
+                    asm.push(ret_offset).op(Op.MSTORE)
+                asm.jump(end_label)
+            elif stmt.value is not None:
+                self._emit_expression(stmt.value, ctx)
+                asm.push(RETURN_SCRATCH).op(Op.MSTORE)
+                asm.push(WORD_BYTES).push(RETURN_SCRATCH).op(Op.RETURN)
+            else:
+                asm.op(Op.STOP)
+        elif isinstance(stmt, ast.If):
+            self._emit_if(stmt, ctx)
+        elif isinstance(stmt, ast.While):
+            self._emit_while(stmt, ctx)
+        elif isinstance(stmt, ast.For):
+            self._emit_for(stmt, ctx)
+        elif isinstance(stmt, ast.ArrayPush):
+            self._emit_array_push(stmt, ctx)
+        elif isinstance(stmt, ast.Emit):
+            self._emit_emit(stmt, ctx)
+        elif isinstance(stmt, ast.ExprStmt):
+            if not isinstance(stmt.expr, ast.CallExpr):
+                raise TypeError_("expression statements must be calls", stmt.line)
+            self._emit_inline_call(stmt.expr, ctx, want_value=False)
+        else:  # pragma: no cover - parser produces no other node kinds
+            raise TypeError_(f"unsupported statement {type(stmt).__name__}", stmt.line)
+
+    def _emit_if(self, stmt: ast.If, ctx: _FunctionContext) -> None:
+        asm = self._asm
+        then_label = self._fresh("if_then")
+        end_label = self._fresh("if_end")
+        self._emit_expression(stmt.cond, ctx)
+        asm.jumpi(then_label)
+        self._emit_body(stmt.else_body, ctx)
+        asm.jump(end_label)
+        asm.jumpdest(then_label)
+        self._emit_body(stmt.then_body, ctx)
+        asm.jumpdest(end_label)
+
+    def _emit_while(self, stmt: ast.While, ctx: _FunctionContext) -> None:
+        asm = self._asm
+        head = self._fresh("while_head")
+        body = self._fresh("while_body")
+        end = self._fresh("while_end")
+        asm.jumpdest(head)
+        self._emit_expression(stmt.cond, ctx)
+        asm.jumpi(body)
+        asm.jump(end)
+        asm.jumpdest(body)
+        self._emit_body(stmt.body, ctx)
+        asm.jump(head)
+        asm.jumpdest(end)
+
+    def _emit_for(self, stmt: ast.For, ctx: _FunctionContext) -> None:
+        asm = self._asm
+        head = self._fresh("for_head")
+        body = self._fresh("for_body")
+        end = self._fresh("for_end")
+        if stmt.init is not None:
+            self._emit_statement(stmt.init, ctx)
+        asm.jumpdest(head)
+        if stmt.cond is not None:
+            self._emit_expression(stmt.cond, ctx)
+            asm.jumpi(body)
+            asm.jump(end)
+            asm.jumpdest(body)
+        self._emit_body(stmt.body, ctx)
+        if stmt.post is not None:
+            self._emit_statement(stmt.post, ctx)
+        asm.jump(head)
+        asm.jumpdest(end)
+
+    def _emit_assign(self, stmt: ast.Assign, ctx: _FunctionContext) -> None:
+        asm = self._asm
+        target = stmt.target
+        # Build the value expression; compound ops read the target first.
+        if stmt.op:
+            value_expr: ast.Expr = ast.Binary(
+                op=stmt.op, left=_clone_readable(target), right=stmt.value, line=stmt.line
+            )
+        else:
+            value_expr = stmt.value
+
+        if isinstance(target, ast.Name):
+            local = ctx.local_offset(target.ident)
+            if local is not None:
+                self._emit_expression(value_expr, ctx)
+                asm.push(local).op(Op.MSTORE)
+                return
+            var = self._layout.get(target.ident)
+            if var is None:
+                raise TypeError_(f"unknown variable {target.ident!r}", stmt.line)
+            if not ast.is_word_type(var.type):
+                raise TypeError_(
+                    f"cannot assign whole {var.type} {target.ident!r}", stmt.line
+                )
+            self._emit_expression(value_expr, ctx)
+            asm.push(var.slot).op(Op.SSTORE)
+            return
+        # Indexed target: value first, then the slot on top (SSTORE pops key).
+        self._emit_expression(value_expr, ctx)
+        self._emit_slot_of_index(target, ctx, for_write=True)
+        asm.op(Op.SSTORE)
+
+    def _emit_array_push(self, stmt: ast.ArrayPush, ctx: _FunctionContext) -> None:
+        asm = self._asm
+        var = self._layout.get(stmt.array)
+        if var is None or not isinstance(var.type, ast.ArrayType):
+            raise TypeError_(f"{stmt.array!r} is not a storage array", stmt.line)
+        # element_slot = keccak(base_slot) + old_len ; then len = old_len + 1
+        # (stack diagrams are bottom → top)
+        self._emit_expression(stmt.value, ctx)          # [value]
+        asm.push(var.slot).op(Op.SLOAD)                 # [value, len]
+        asm.op(Op.DUP1)                                 # [value, len, len]
+        self._emit_array_data_slot(var.slot)            # [value, len, len, data]
+        asm.op(Op.ADD)                                  # [value, len, eslot]
+        asm.op(Op.SWAP2)                                # [eslot, len, value]
+        asm.op(Op.SWAP1)                                # [eslot, value, len]
+        asm.push(1).op(Op.ADD)                          # [eslot, value, len+1]
+        asm.push(var.slot).op(Op.SSTORE)                # [eslot, value]   base ← len+1
+        asm.op(Op.SWAP1)                                # [value, eslot]
+        asm.op(Op.SSTORE)                               # []               eslot ← value
+
+    def _emit_emit(self, stmt: ast.Emit, ctx: _FunctionContext) -> None:
+        asm = self._asm
+        if len(stmt.args) > 8:
+            raise TypeError_("emit supports at most 8 arguments", stmt.line)
+        buffer = ctx.emit_buffer
+        for i, arg in enumerate(stmt.args):
+            self._emit_expression(arg, ctx)
+            asm.push(buffer + WORD_BYTES * i).op(Op.MSTORE)
+        topic = int.from_bytes(keccak(stmt.event.encode())[:32], "big")
+        asm.push(topic)
+        asm.push(WORD_BYTES * len(stmt.args))
+        asm.push(buffer)
+        asm.op(Op.LOG1)
+
+    # ------------------------------------------------------------------
+    # Expressions (net stack effect: +1)
+    # ------------------------------------------------------------------
+
+    def _emit_expression(self, expr: ast.Expr, ctx: _FunctionContext) -> None:
+        asm = self._asm
+        if isinstance(expr, ast.IntLit):
+            asm.push(expr.value)
+        elif isinstance(expr, ast.BoolLit):
+            asm.push(1 if expr.value else 0)
+        elif isinstance(expr, ast.Name):
+            self._emit_name(expr, ctx)
+        elif isinstance(expr, ast.Member):
+            self._emit_member(expr, ctx)
+        elif isinstance(expr, ast.Index):
+            self._emit_slot_of_index(expr, ctx, for_write=False)
+            asm.op(Op.SLOAD)
+        elif isinstance(expr, ast.Binary):
+            self._emit_binary(expr, ctx)
+        elif isinstance(expr, ast.Unary):
+            if expr.op == "!":
+                self._emit_expression(expr.operand, ctx)
+                asm.op(Op.ISZERO)
+            else:  # unary minus
+                self._emit_expression(expr.operand, ctx)
+                asm.push(0)
+                asm.op(Op.SUB)
+        elif isinstance(expr, ast.BalanceOf):
+            self._emit_expression(expr.operand, ctx)
+            asm.op(Op.BALANCE)
+        elif isinstance(expr, ast.CallExpr):
+            self._emit_inline_call(expr, ctx, want_value=True)
+        else:  # pragma: no cover
+            raise TypeError_(f"unsupported expression {type(expr).__name__}", expr.line)
+
+    def _emit_name(self, expr: ast.Name, ctx: _FunctionContext) -> None:
+        asm = self._asm
+        local = ctx.local_offset(expr.ident)
+        if local is not None:
+            asm.push(local).op(Op.MLOAD)
+            return
+        var = self._layout.get(expr.ident)
+        if var is None:
+            raise TypeError_(f"unknown variable {expr.ident!r}", expr.line)
+        if not ast.is_word_type(var.type):
+            raise TypeError_(
+                f"{expr.ident!r} ({var.type}) must be indexed, not read whole", expr.line
+            )
+        asm.push(var.slot).op(Op.SLOAD)
+
+    def _emit_member(self, expr: ast.Member, ctx: _FunctionContext) -> None:
+        asm = self._asm
+        if expr.base == "msg":
+            asm.op(Op.CALLER if expr.member == "sender" else Op.CALLVALUE)
+            return
+        if expr.base == "block":
+            asm.op(Op.NUMBER if expr.member == "number" else Op.TIMESTAMP)
+            return
+        var = self._layout.get(expr.base)
+        if var is None or not isinstance(var.type, ast.ArrayType):
+            raise TypeError_(f"{expr.base!r} is not a storage array", expr.line)
+        asm.push(var.slot).op(Op.SLOAD)  # array length lives at the base slot
+
+    def _emit_binary(self, expr: ast.Binary, ctx: _FunctionContext) -> None:
+        asm = self._asm
+        if expr.op in ("&&", "||"):
+            self._emit_short_circuit(expr, ctx)
+            return
+        # Operand order: emit right first so the left operand ends on top,
+        # matching the EVM's a-on-top convention for SUB/DIV/LT/...
+        self._emit_expression(expr.right, ctx)
+        self._emit_expression(expr.left, ctx)
+        simple = {
+            "+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV, "%": Op.MOD,
+            "<": Op.LT, ">": Op.GT, "==": Op.EQ,
+        }
+        if expr.op in simple:
+            asm.op(simple[expr.op])
+        elif expr.op == "!=":
+            asm.op(Op.EQ).op(Op.ISZERO)
+        elif expr.op == "<=":
+            asm.op(Op.GT).op(Op.ISZERO)
+        elif expr.op == ">=":
+            asm.op(Op.LT).op(Op.ISZERO)
+        else:  # pragma: no cover
+            raise TypeError_(f"unsupported binary operator {expr.op!r}", expr.line)
+
+    def _emit_short_circuit(self, expr: ast.Binary, ctx: _FunctionContext) -> None:
+        """&& and || with genuine short-circuiting, so the right operand's
+        SLOADs never execute (and never enter read sets) when skipped."""
+        asm = self._asm
+        end = self._fresh("sc_end")
+        self._emit_expression(expr.left, ctx)
+        asm.op(Op.ISZERO).op(Op.ISZERO)  # normalise to 0/1
+        asm.op(Op.DUP1)
+        if expr.op == "&&":
+            asm.op(Op.ISZERO)
+        asm.jumpi(end)
+        asm.op(Op.POP)
+        self._emit_expression(expr.right, ctx)
+        asm.op(Op.ISZERO).op(Op.ISZERO)
+        asm.jumpdest(end)
+
+    # ------------------------------------------------------------------
+    # Storage slot computation
+    # ------------------------------------------------------------------
+
+    def _emit_array_data_slot(self, base_slot: int) -> None:
+        """Push keccak(base_slot): the first element slot of a dynamic array."""
+        asm = self._asm
+        asm.push(base_slot).push(HASH_SCRATCH).op(Op.MSTORE)
+        asm.push(WORD_BYTES).push(HASH_SCRATCH).op(Op.SHA3)
+
+    def _emit_mapping_slot(self) -> None:
+        """Stack [... key, base] → [... keccak(key . base)]."""
+        asm = self._asm
+        asm.push(HASH_SCRATCH + WORD_BYTES).op(Op.MSTORE)  # base → scratch+32
+        asm.push(HASH_SCRATCH).op(Op.MSTORE)               # key  → scratch
+        asm.push(2 * WORD_BYTES).push(HASH_SCRATCH).op(Op.SHA3)
+
+    def _emit_slot_of_index(
+        self, expr: ast.Index, ctx: _FunctionContext, for_write: bool
+    ) -> None:
+        """Push the storage slot of ``expr`` (a possibly-nested index chain)."""
+        # Unwind the chain: innermost base must be a Name of a mapping/array.
+        chain: List[ast.Expr] = []
+        node: ast.Expr = expr
+        while isinstance(node, ast.Index):
+            chain.append(node.index)
+            node = node.base
+        if not isinstance(node, ast.Name):
+            raise TypeError_("index base must be a state variable", expr.line)
+        var = self._layout.get(node.ident)
+        if var is None:
+            raise TypeError_(f"unknown state variable {node.ident!r}", expr.line)
+        chain.reverse()  # outermost-first index order
+
+        asm = self._asm
+        current_type: ast.Type = var.type
+        asm.push(var.slot)  # running slot value on the stack
+        for index_expr in chain:
+            if isinstance(current_type, ast.MappingType):
+                # stack: [base]; need [key, base] then hash
+                self._emit_expression(index_expr, ctx)   # [base, key]
+                asm.op(Op.SWAP1)                          # [key, base]
+                self._emit_mapping_slot()                 # [slot']
+                current_type = current_type.value
+            elif isinstance(current_type, ast.ArrayType):
+                # Bounds check (Solidity panics on OOB) then keccak(base)+i.
+                self._emit_expression(index_expr, ctx)    # [base, i]
+                asm.op(Op.DUP2).op(Op.SLOAD)              # [base, i, len]
+                asm.op(Op.DUP2).op(Op.LT)                 # [base, i, i<len]
+                ok = self._fresh("bounds_ok")
+                asm.jumpi(ok)
+                asm.jump("panic_tail")
+                asm.jumpdest(ok)                          # [base, i]
+                asm.op(Op.SWAP1)                          # [i, base]
+                asm.push(HASH_SCRATCH).op(Op.MSTORE)      # [i]
+                asm.push(WORD_BYTES).push(HASH_SCRATCH).op(Op.SHA3)  # [i, keccak]
+                asm.op(Op.ADD)                            # [slot']
+                current_type = current_type.element
+            else:
+                raise TypeError_(f"cannot index into {current_type}", expr.line)
+        if not ast.is_word_type(current_type):
+            raise TypeError_("index chain does not reach a word value", expr.line)
+
+
+    # ------------------------------------------------------------------
+    # Internal calls (compiled by inlining)
+    # ------------------------------------------------------------------
+
+    def _emit_inline_call(
+        self, call: ast.CallExpr, ctx: _FunctionContext, want_value: bool
+    ) -> None:
+        """Inline a same-contract call: arguments land in fresh locals, the
+        callee body is emitted with its names uniquified, and its returns
+        become jumps to a shared end label.
+
+        Inlining (rather than a JUMP-based calling convention) matches the
+        memory-cell locals model and keeps the access-site analysis flat:
+        the callee's SLOAD/SSTOREs become ordinary sites of the caller.
+        Recursion is rejected at compile time.
+        """
+        asm = self._asm
+        fn = next(
+            (f for f in self._contract.functions if f.name == call.name), None
+        )
+        if fn is None:
+            raise TypeError_(f"unknown function {call.name!r}", call.line)
+        if fn.name in self._inline_stack:
+            raise TypeError_(
+                f"recursive call to {fn.name!r} cannot be inlined", call.line
+            )
+        if len(call.args) != len(fn.params):
+            raise TypeError_(
+                f"{fn.name} expects {len(fn.params)} arguments, "
+                f"got {len(call.args)}", call.line,
+            )
+        if want_value and not fn.returns_value:
+            raise TypeError_(f"{fn.name} returns no value", call.line)
+
+        self._inline_counter += 1
+        tag = self._inline_counter
+        rename: Dict[str, str] = {}
+
+        # Bind arguments (evaluated in the caller's scope, left to right).
+        for param, arg in zip(fn.params, call.args):
+            fresh_name = f"__inl{tag}_{param.name}"
+            offset = ctx.declare_inline(fresh_name, param.type)
+            rename[param.name] = fresh_name
+            self._emit_expression(arg, ctx)
+            asm.push(offset).op(Op.MSTORE)
+
+        # Uniquify the callee's own locals.
+        for stmt in ast.walk_statements(fn.body):
+            if isinstance(stmt, ast.VarDecl):
+                fresh_name = f"__inl{tag}_{stmt.name}"
+                ctx.declare_inline(fresh_name, stmt.type)
+                rename[stmt.name] = fresh_name
+
+        ret_offset: Optional[int] = None
+        if fn.returns_value:
+            ret_offset = ctx.declare_inline(f"__inl{tag}__ret", ast.UINT)
+        end_label = self._fresh(f"inline_{fn.name}_end")
+
+        body = [_rename_stmt(stmt, rename) for stmt in fn.body]
+        self._inline_stack.append(fn.name)
+        self._inline_frames.append((ret_offset, end_label))
+        self._emit_body(body, ctx)
+        self._inline_frames.pop()
+        self._inline_stack.pop()
+        asm.jumpdest(end_label)
+        if want_value:
+            assert ret_offset is not None
+            asm.push(ret_offset).op(Op.MLOAD)
+
+
+def _rename_expr(expr: ast.Expr, rename: Dict[str, str]) -> ast.Expr:
+    """Deep-copy an expression with local names substituted."""
+    if isinstance(expr, ast.Name):
+        return ast.Name(ident=rename.get(expr.ident, expr.ident), line=expr.line)
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(
+            op=expr.op,
+            left=_rename_expr(expr.left, rename),
+            right=_rename_expr(expr.right, rename),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(op=expr.op, operand=_rename_expr(expr.operand, rename),
+                         line=expr.line)
+    if isinstance(expr, ast.Index):
+        return ast.Index(
+            base=_rename_expr(expr.base, rename),
+            index=_rename_expr(expr.index, rename),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.BalanceOf):
+        return ast.BalanceOf(operand=_rename_expr(expr.operand, rename),
+                             line=expr.line)
+    if isinstance(expr, ast.CallExpr):
+        return ast.CallExpr(
+            name=expr.name,
+            args=[_rename_expr(a, rename) for a in expr.args],
+            line=expr.line,
+        )
+    # IntLit, BoolLit, Member: no locals inside.
+    return expr
+
+
+def _rename_stmt(stmt: ast.Stmt, rename: Dict[str, str]) -> ast.Stmt:
+    """Deep-copy a statement with local names substituted."""
+    if isinstance(stmt, ast.VarDecl):
+        return ast.VarDecl(
+            name=rename.get(stmt.name, stmt.name),
+            type=stmt.type,
+            init=_rename_expr(stmt.init, rename) if stmt.init is not None else None,
+            line=stmt.line,
+        )
+    if isinstance(stmt, ast.Assign):
+        return ast.Assign(
+            target=_rename_expr(stmt.target, rename),  # type: ignore[arg-type]
+            value=_rename_expr(stmt.value, rename),
+            op=stmt.op,
+            line=stmt.line,
+        )
+    if isinstance(stmt, ast.If):
+        return ast.If(
+            cond=_rename_expr(stmt.cond, rename),
+            then_body=[_rename_stmt(s, rename) for s in stmt.then_body],
+            else_body=[_rename_stmt(s, rename) for s in stmt.else_body],
+            line=stmt.line,
+        )
+    if isinstance(stmt, ast.While):
+        return ast.While(
+            cond=_rename_expr(stmt.cond, rename),
+            body=[_rename_stmt(s, rename) for s in stmt.body],
+            line=stmt.line,
+        )
+    if isinstance(stmt, ast.For):
+        return ast.For(
+            init=_rename_stmt(stmt.init, rename) if stmt.init is not None else None,
+            cond=_rename_expr(stmt.cond, rename) if stmt.cond is not None else None,
+            post=_rename_stmt(stmt.post, rename) if stmt.post is not None else None,
+            body=[_rename_stmt(s, rename) for s in stmt.body],
+            line=stmt.line,
+        )
+    if isinstance(stmt, ast.Require):
+        return ast.Require(cond=_rename_expr(stmt.cond, rename), line=stmt.line)
+    if isinstance(stmt, ast.AssertStmt):
+        return ast.AssertStmt(cond=_rename_expr(stmt.cond, rename), line=stmt.line)
+    if isinstance(stmt, ast.Return):
+        return ast.Return(
+            value=_rename_expr(stmt.value, rename) if stmt.value is not None else None,
+            line=stmt.line,
+        )
+    if isinstance(stmt, ast.ArrayPush):
+        return ast.ArrayPush(
+            array=stmt.array,
+            value=_rename_expr(stmt.value, rename),
+            line=stmt.line,
+        )
+    if isinstance(stmt, ast.Emit):
+        return ast.Emit(
+            event=stmt.event,
+            args=[_rename_expr(a, rename) for a in stmt.args],
+            line=stmt.line,
+        )
+    if isinstance(stmt, ast.ExprStmt):
+        return ast.ExprStmt(expr=_rename_expr(stmt.expr, rename), line=stmt.line)
+    return stmt  # RevertStmt
+
+
+def _clone_readable(target: Union[ast.Name, ast.Index]) -> ast.Expr:
+    """Targets are re-read for compound assignment; the AST nodes are
+    immutable in practice, so sharing them is safe."""
+    return target
+
+
+def compile_source(source: str) -> CompiledContract:
+    """Front door: parse and compile one Minisol contract."""
+    contract = parse_contract(source)
+    return Compiler(contract, source).compile()

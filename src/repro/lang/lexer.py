@@ -1,0 +1,118 @@
+"""Tokeniser for Minisol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..core.errors import LexError
+
+KEYWORDS = {
+    "contract", "mapping", "uint", "uint256", "address", "bool", "function",
+    "returns", "return", "if", "else", "while", "for", "require", "assert",
+    "revert", "emit", "true", "false", "msg", "block", "public", "view",
+    "payable", "external", "internal", "pure", "memory", "storage", "event",
+    "balance", "push",
+}
+
+# Multi-character operators first so maximal munch works.
+OPERATORS = [
+    "&&", "||", "==", "!=", "<=", ">=", "+=", "-=", "*=", "=>", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[",
+    "]", ";", ",", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "number" | "keyword" | "op" | "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert source text into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+
+    while i < length:
+        ch = source[i]
+        # Whitespace
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        # Comments
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = length if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line, column)
+            skipped = source[i : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        # Numbers
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < length and (source[i] in "0123456789abcdefABCDEF" or source[i] == "_"):
+                    i += 1
+            else:
+                while i < length and (source[i].isdigit() or source[i] == "_"):
+                    i += 1
+            text = source[start:i]
+            tokens.append(Token("number", text, line, column))
+            column += i - start
+            continue
+        # Identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += i - start
+            continue
+        # Operators / punctuation
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, column))
+                i += len(op)
+                column += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+def parse_number(token: Token) -> int:
+    text = token.text.replace("_", "")
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise LexError(f"bad numeric literal {token.text!r}", token.line, token.column) from None

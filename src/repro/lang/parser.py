@@ -1,0 +1,418 @@
+"""Recursive-descent parser for Minisol."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.errors import ParseError
+from . import ast
+from .lexer import Token, parse_number, tokenize
+
+# Binary operator precedence, loosest first.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["==", "!="],
+    ["<", ">", "<=", ">="],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    """Parses one source file containing a single contract definition."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, text: str) -> bool:
+        return self._current.text == text and self._current.kind in ("op", "keyword")
+
+    def _match(self, text: str) -> bool:
+        if self._check(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        if not self._check(text):
+            raise ParseError(
+                f"expected {text!r}, found {self._current.text!r}",
+                self._current.line,
+                self._current.column,
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self._current.kind != "ident":
+            raise ParseError(
+                f"expected identifier, found {self._current.text!r}",
+                self._current.line,
+                self._current.column,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self._current.line, self._current.column)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse_contract(self) -> ast.ContractDef:
+        self._expect("contract")
+        name = self._expect_ident().text
+        contract = ast.ContractDef(name=name, line=self._current.line)
+        self._expect("{")
+        while not self._match("}"):
+            if self._check("function"):
+                contract.functions.append(self._parse_function())
+            elif self._check("event"):
+                self._skip_event_declaration()
+            else:
+                contract.state_vars.append(self._parse_state_var())
+        if self._current.kind != "eof":
+            raise self._error(f"trailing input after contract: {self._current.text!r}")
+        return contract
+
+    def _skip_event_declaration(self) -> None:
+        """Events need no codegen info beyond their name at the emit site."""
+        self._expect("event")
+        self._expect_ident()
+        self._expect("(")
+        depth = 1
+        while depth:
+            token = self._advance()
+            if token.kind == "eof":
+                raise self._error("unterminated event declaration")
+            if token.text == "(":
+                depth += 1
+            elif token.text == ")":
+                depth -= 1
+        self._expect(";")
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def _parse_type(self) -> ast.Type:
+        token = self._current
+        if self._match("uint") or self._match("uint256"):
+            base: ast.Type = ast.UINT
+        elif self._match("address"):
+            base = ast.ADDRESS
+        elif self._match("bool"):
+            base = ast.BOOL
+        elif self._match("mapping"):
+            self._expect("(")
+            key = self._parse_type()
+            self._expect("=>")
+            value = self._parse_type()
+            self._expect(")")
+            return ast.MappingType(key, value)
+        else:
+            raise ParseError(f"expected type, found {token.text!r}", token.line, token.column)
+        if self._match("["):
+            self._expect("]")
+            return ast.ArrayType(base)
+        return base
+
+    def _parse_state_var(self) -> ast.StateVarDecl:
+        line = self._current.line
+        type_ = self._parse_type()
+        self._skip_modifiers()
+        name = self._expect_ident().text
+        self._expect(";")
+        return ast.StateVarDecl(name=name, type=type_, line=line)
+
+    def _skip_modifiers(self) -> "tuple[bool, bool]":
+        payable = False
+        internal = False
+        while self._current.kind == "keyword" and self._current.text in (
+            "public", "view", "external", "internal", "pure", "payable",
+        ):
+            if self._current.text == "payable":
+                payable = True
+            elif self._current.text == "internal":
+                internal = True
+            self._advance()
+        return payable, internal
+
+    def _parse_function(self) -> ast.FunctionDef:
+        line = self._current.line
+        self._expect("function")
+        name = self._expect_ident().text
+        self._expect("(")
+        params: List[ast.Param] = []
+        if not self._check(")"):
+            while True:
+                ptype = self._parse_type()
+                if not ast.is_word_type(ptype):
+                    raise self._error("function parameters must be word types")
+                self._match("memory")
+                pname = self._expect_ident().text
+                params.append(ast.Param(name=pname, type=ptype, line=line))
+                if not self._match(","):
+                    break
+        self._expect(")")
+        payable, internal = self._skip_modifiers()
+        returns_value = False
+        if self._match("returns"):
+            self._expect("(")
+            self._parse_type()
+            if self._current.kind == "ident":
+                self._advance()  # optional named return, ignored
+            self._expect(")")
+            returns_value = True
+        body = self._parse_block()
+        return ast.FunctionDef(
+            name=name, params=params, returns_value=returns_value, body=body,
+            payable=payable, internal=internal, line=line,
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _parse_block(self) -> List[ast.Stmt]:
+        self._expect("{")
+        body: List[ast.Stmt] = []
+        while not self._match("}"):
+            body.append(self._parse_statement())
+        return body
+
+    def _parse_statement(self) -> ast.Stmt:
+        line = self._current.line
+        if self._check("{"):
+            raise self._error("bare blocks are not supported; use if (true) {...}")
+        if self._check("uint") or self._check("uint256") or self._check("address") or self._check("bool"):
+            return self._parse_var_decl()
+        if self._match("require"):
+            self._expect("(")
+            cond = self._parse_expression()
+            self._expect(")")
+            self._expect(";")
+            return ast.Require(cond=cond, line=line)
+        if self._match("assert"):
+            self._expect("(")
+            cond = self._parse_expression()
+            self._expect(")")
+            self._expect(";")
+            return ast.AssertStmt(cond=cond, line=line)
+        if self._match("revert"):
+            self._expect("(")
+            self._expect(")")
+            self._expect(";")
+            return ast.RevertStmt(line=line)
+        if self._match("return"):
+            value = None if self._check(";") else self._parse_expression()
+            self._expect(";")
+            return ast.Return(value=value, line=line)
+        if self._match("if"):
+            return self._parse_if(line)
+        if self._match("while"):
+            self._expect("(")
+            cond = self._parse_expression()
+            self._expect(")")
+            body = self._parse_block()
+            return ast.While(cond=cond, body=body, line=line)
+        if self._match("for"):
+            return self._parse_for(line)
+        if self._match("emit"):
+            event = self._expect_ident().text
+            self._expect("(")
+            args: List[ast.Expr] = []
+            if not self._check(")"):
+                while True:
+                    args.append(self._parse_expression())
+                    if not self._match(","):
+                        break
+            self._expect(")")
+            self._expect(";")
+            return ast.Emit(event=event, args=args, line=line)
+        return self._parse_simple_statement(line, require_semi=True)
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        line = self._current.line
+        type_ = self._parse_type()
+        if not ast.is_word_type(type_):
+            raise self._error("local variables must be word types")
+        name = self._expect_ident().text
+        init = None
+        if self._match("="):
+            init = self._parse_expression()
+        self._expect(";")
+        return ast.VarDecl(name=name, type=type_, init=init, line=line)
+
+    def _parse_if(self, line: int) -> ast.If:
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        then_body = self._parse_block()
+        else_body: List[ast.Stmt] = []
+        if self._match("else"):
+            if self._check("if"):
+                self._advance()
+                else_body = [self._parse_if(self._current.line)]
+            else:
+                else_body = self._parse_block()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body, line=line)
+
+    def _parse_for(self, line: int) -> ast.For:
+        self._expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self._check(";"):
+            if self._current.text in ("uint", "uint256", "address", "bool"):
+                init = self._parse_var_decl()  # consumes the ';'
+            else:
+                init = self._parse_simple_statement(line, require_semi=True)
+        else:
+            self._expect(";")
+        cond = None if self._check(";") else self._parse_expression()
+        self._expect(";")
+        post = None
+        if not self._check(")"):
+            post = self._parse_simple_statement(line, require_semi=False)
+        self._expect(")")
+        body = self._parse_block()
+        return ast.For(init=init, cond=cond, post=post, body=body, line=line)
+
+    def _parse_simple_statement(self, line: int, require_semi: bool) -> ast.Stmt:
+        """Assignment, compound assignment, ++/--, or array push."""
+        stmt = self._parse_assignment_like(line)
+        if require_semi:
+            self._expect(";")
+        return stmt
+
+    def _parse_assignment_like(self, line: int) -> ast.Stmt:
+        # array.push(value)
+        if (
+            self._current.kind == "ident"
+            and self._tokens[self._pos + 1].text == "."
+            and self._tokens[self._pos + 2].text == "push"
+        ):
+            array = self._advance().text
+            self._advance()  # '.'
+            self._advance()  # 'push'
+            self._expect("(")
+            value = self._parse_expression()
+            self._expect(")")
+            return ast.ArrayPush(array=array, value=value, line=line)
+
+        target = self._parse_postfix()
+        if isinstance(target, ast.CallExpr):
+            return ast.ExprStmt(expr=target, line=line)
+        if not isinstance(target, (ast.Name, ast.Index)):
+            raise self._error("assignment target must be a variable or index expression")
+        if self._match("++"):
+            return ast.Assign(target=target, value=ast.IntLit(value=1, line=line), op="+", line=line)
+        if self._match("--"):
+            return ast.Assign(target=target, value=ast.IntLit(value=1, line=line), op="-", line=line)
+        for text, op in (("=", ""), ("+=", "+"), ("-=", "-"), ("*=", "*")):
+            if self._match(text):
+                value = self._parse_expression()
+                return ast.Assign(target=target, value=value, op=op, line=line)
+        raise self._error(f"expected assignment operator, found {self._current.text!r}")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self, level: int = 0) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_expression(level + 1)
+        while self._current.kind == "op" and self._current.text in _PRECEDENCE[level]:
+            op = self._advance().text
+            right = self._parse_expression(level + 1)
+            left = ast.Binary(op=op, left=left, right=right, line=self._current.line)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        line = self._current.line
+        if self._match("!"):
+            return ast.Unary(op="!", operand=self._parse_unary(), line=line)
+        if self._match("-"):
+            return ast.Unary(op="-", operand=self._parse_unary(), line=line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._match("["):
+                index = self._parse_expression()
+                self._expect("]")
+                expr = ast.Index(base=expr, index=index, line=self._current.line)
+            elif self._check(".") and self._tokens[self._pos + 1].text == "length":
+                if not isinstance(expr, ast.Name):
+                    raise self._error(".length only applies to storage arrays")
+                self._advance()
+                self._advance()
+                expr = ast.Member(base=expr.ident, member="length", line=self._current.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            return ast.IntLit(value=parse_number(token), line=token.line)
+        if self._match("true"):
+            return ast.BoolLit(value=True, line=token.line)
+        if self._match("false"):
+            return ast.BoolLit(value=False, line=token.line)
+        if self._match("msg"):
+            self._expect(".")
+            member = self._advance().text
+            if member not in ("sender", "value"):
+                raise self._error(f"unknown msg member {member!r}")
+            return ast.Member(base="msg", member=member, line=token.line)
+        if self._match("block"):
+            self._expect(".")
+            member = self._advance().text
+            if member not in ("number", "timestamp"):
+                raise self._error(f"unknown block member {member!r}")
+            return ast.Member(base="block", member=member, line=token.line)
+        if self._match("balance"):
+            self._expect("(")
+            operand = self._parse_expression()
+            self._expect(")")
+            return ast.BalanceOf(operand=operand, line=token.line)
+        if self._match("("):
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        if token.kind == "ident":
+            self._advance()
+            if self._check("("):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._match(","):
+                            break
+                self._expect(")")
+                return ast.CallExpr(name=token.text, args=args, line=token.line)
+            return ast.Name(ident=token.text, line=token.line)
+        raise self._error(f"unexpected token {token.text!r} in expression")
+
+
+def parse_contract(source: str) -> ast.ContractDef:
+    """Parse one Minisol contract from source text."""
+    return Parser(source).parse_contract()

@@ -1,0 +1,21 @@
+"""DMVCC concurrency-control primitives: access sequences, locks, queues."""
+
+from .access_sequence import (
+    SNAPSHOT_VERSION,
+    AccessEntry,
+    AccessSequence,
+    AccessSequenceSet,
+    ReadResolution,
+)
+from .locks import LockState, LockTable, ReadyQueue
+
+__all__ = [
+    "AccessEntry",
+    "AccessSequence",
+    "AccessSequenceSet",
+    "LockState",
+    "LockTable",
+    "ReadResolution",
+    "ReadyQueue",
+    "SNAPSHOT_VERSION",
+]

@@ -1,0 +1,378 @@
+"""Access sequences: the multi-version store at the heart of DMVCC.
+
+An access sequence ``L_I`` (paper Definition 4) records, per state item, the
+ordered accesses of a block's transactions: ``⟨T_p1:α_p1, …, T_pk:α_pk⟩``
+with α ∈ {ρ, ω, θ, ω̄}.  Each entry carries the paper's "F" (finished) flag
+and "Val" field; commutative entries (ω̄) store a *delta* instead of an
+absolute value, merged at read time.
+
+The sequence implements:
+
+* **write versioning** — every transaction's write is its own version, so
+  write-write pairs never conflict (Definition 3);
+* **read resolution** — a read by ``T_j`` returns the value of the closest
+  preceding finished non-commutative write, plus every finished delta
+  between that write and ``j`` (Lemma 1's merge);
+* **Version_Write** (Algorithm 3) — inserting a write (possibly one the
+  analysis missed) returns the transactions to wake (*allowed*) and the
+  transactions that already consumed a now-stale version (*aborted*);
+* **retraction** (Algorithm 4) — nulling a transaction's write when it is
+  aborted, cascading to its readers.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.errors import SchedulingError
+from ..core.types import StateKey
+from ..analysis.csag import AccessType
+
+SNAPSHOT_VERSION = -1  # pseudo writer index: value came from S^{l-1}
+
+
+@dataclass
+class AccessEntry:
+    """One transaction's slot in an access sequence."""
+
+    tx_index: int
+    declared: AccessType                     # α as predicted by the C-SAG
+    # -- write side ("F" and "Val") --
+    write_finished: bool = False
+    write_value: Optional[int] = None        # absolute version
+    write_delta: Optional[int] = None        # ω̄: increment amount
+    write_skipped: bool = False              # predicted write never happened
+    # -- read side --
+    read_done: bool = False
+    read_version_from: Optional[int] = None  # writer index the read resolved to
+
+    @property
+    def has_write_part(self) -> bool:
+        return self.declared in (
+            AccessType.WRITE, AccessType.READ_WRITE, AccessType.COMMUTATIVE
+        ) or self.write_finished
+
+    @property
+    def has_read_part(self) -> bool:
+        return self.declared in (AccessType.READ, AccessType.READ_WRITE)
+
+    @property
+    def effective_write(self) -> bool:
+        """A finished, non-retracted, non-skipped write."""
+        return self.write_finished and not self.write_skipped
+
+    @property
+    def is_commutative_write(self) -> bool:
+        return self.write_delta is not None
+
+    def reset_write(self) -> None:
+        self.write_finished = False
+        self.write_value = None
+        self.write_delta = None
+        self.write_skipped = False
+
+    def reset_read(self) -> None:
+        self.read_done = False
+        self.read_version_from = None
+
+
+@dataclass
+class ReadResolution:
+    """Outcome of resolving a read against an access sequence."""
+
+    ready: bool
+    value: Optional[int] = None           # None when base comes from snapshot
+    from_snapshot: bool = False
+    version_from: int = SNAPSHOT_VERSION  # base writer's tx index
+    deltas: int = 0                       # merged commutative increments
+    blockers: Tuple[int, ...] = ()        # unfinished writers blocking the read
+
+    def resolve_with_snapshot(self, snapshot_value: int) -> int:
+        base = snapshot_value if self.from_snapshot else (self.value or 0)
+        return (base + self.deltas) % (1 << 256)
+
+
+class AccessSequence:
+    """The versioned access list of one state item."""
+
+    def __init__(self, key: StateKey) -> None:
+        self.key = key
+        self._indices: List[int] = []          # sorted tx indices
+        self._entries: Dict[int, AccessEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Construction (pre-execution phase)
+    # ------------------------------------------------------------------
+
+    def insert_predicted(self, tx_index: int, declared: AccessType) -> AccessEntry:
+        """Add the entry predicted by ``tx_index``'s C-SAG."""
+        if tx_index in self._entries:
+            raise SchedulingError(
+                f"duplicate predicted entry for T{tx_index} on {self.key}"
+            )
+        entry = AccessEntry(tx_index, declared)
+        bisect.insort(self._indices, tx_index)
+        self._entries[tx_index] = entry
+        return entry
+
+    def entry(self, tx_index: int) -> Optional[AccessEntry]:
+        return self._entries.get(tx_index)
+
+    def entries(self) -> List[AccessEntry]:
+        return [self._entries[i] for i in self._indices]
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    # ------------------------------------------------------------------
+    # Read resolution
+    # ------------------------------------------------------------------
+
+    def resolve_read(self, tx_index: int) -> ReadResolution:
+        """Which version would ``T_{tx_index}`` read right now?
+
+        Walks preceding entries newest-first, accumulating finished deltas,
+        until the first non-commutative finished write (the base version).
+        Any unfinished preceding write blocks the read (its lock has not
+        been granted yet).
+        """
+        deltas = 0
+        blockers: List[int] = []
+        position = bisect.bisect_left(self._indices, tx_index)
+        for i in range(position - 1, -1, -1):
+            entry = self._entries[self._indices[i]]
+            if not entry.has_write_part or entry.write_skipped:
+                continue
+            if not entry.write_finished:
+                blockers.append(entry.tx_index)
+                continue
+            if entry.is_commutative_write:
+                deltas += entry.write_delta or 0
+                continue
+            # Non-commutative finished write: the base version.
+            if blockers:
+                return ReadResolution(ready=False, blockers=tuple(blockers))
+            return ReadResolution(
+                ready=True,
+                value=entry.write_value,
+                version_from=entry.tx_index,
+                deltas=deltas,
+            )
+        if blockers:
+            return ReadResolution(ready=False, blockers=tuple(blockers))
+        return ReadResolution(ready=True, from_snapshot=True, deltas=deltas)
+
+    def best_available_read(self, tx_index: int) -> ReadResolution:
+        """Read-latest-finished: like :meth:`resolve_read` but skipping
+        unfinished writers instead of blocking on them.  Used for accesses
+        the analysis missed — if the skipped write later lands, Algorithm 3
+        aborts us (the OCC-style fallback the paper allows)."""
+        deltas = 0
+        position = bisect.bisect_left(self._indices, tx_index)
+        for i in range(position - 1, -1, -1):
+            entry = self._entries[self._indices[i]]
+            if not entry.effective_write:
+                continue
+            if entry.is_commutative_write:
+                deltas += entry.write_delta or 0
+                continue
+            return ReadResolution(
+                ready=True,
+                value=entry.write_value,
+                version_from=entry.tx_index,
+                deltas=deltas,
+            )
+        return ReadResolution(ready=True, from_snapshot=True, deltas=deltas)
+
+    def record_read(self, tx_index: int, version_from: int) -> None:
+        """Mark ``T_{tx_index}``'s read as completed against a version.
+
+        Inserts a ρ entry when the analysis missed this read, so later
+        writes can detect the staleness (paper §IV-E)."""
+        entry = self._entries.get(tx_index)
+        if entry is None:
+            entry = AccessEntry(tx_index, AccessType.READ)
+            bisect.insort(self._indices, tx_index)
+            self._entries[tx_index] = entry
+        elif entry.declared is AccessType.WRITE:
+            entry.declared = AccessType.READ_WRITE
+        elif entry.declared is AccessType.COMMUTATIVE:
+            # A real (non-blind) read demotes the commutative classification.
+            entry.declared = AccessType.READ_WRITE
+        entry.read_done = True
+        # Keep the *oldest* dependency: merged reads depend on the base.
+        if entry.read_version_from is None or version_from < entry.read_version_from:
+            entry.read_version_from = version_from
+
+    # ------------------------------------------------------------------
+    # Version_Write (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def version_write(
+        self,
+        tx_index: int,
+        value: Optional[int] = None,
+        delta: Optional[int] = None,
+        skipped: bool = False,
+    ) -> Tuple[List[int], List[int]]:
+        """Publish ``T_{tx_index}``'s write (or mark it skipped).
+
+        Returns ``(allowed, aborted)``: transactions that may now acquire
+        the lock of this item, and transactions that already read a version
+        this write supersedes.
+        """
+        if (value is None) == (delta is None) and not skipped:
+            raise SchedulingError("exactly one of value/delta required")
+        entry = self._entries.get(tx_index)
+        if entry is None:
+            # Analysis missed this write entirely: insert ω on the fly
+            # (Algorithm 3, line 9).
+            declared = AccessType.COMMUTATIVE if delta is not None else AccessType.WRITE
+            entry = AccessEntry(tx_index, declared)
+            bisect.insort(self._indices, tx_index)
+            self._entries[tx_index] = entry
+        elif entry.declared is AccessType.READ and not skipped:
+            # Predicted read-only but also writes: upgrade ρ → θ (line 11).
+            entry.declared = AccessType.READ_WRITE
+
+        if skipped:
+            entry.write_finished = True
+            entry.write_skipped = True
+            entry.write_value = None
+            entry.write_delta = None
+        else:
+            entry.write_finished = True
+            entry.write_skipped = False
+            entry.write_value = value
+            entry.write_delta = delta
+
+        return self._scan_readers_after(tx_index, skipped=skipped)
+
+    def _scan_readers_after(
+        self, tx_index: int, skipped: bool
+    ) -> Tuple[List[int], List[int]]:
+        """Readers after ``tx_index``: finished ones whose version is older
+        than this write are stale (*aborted*); unfinished ones may be
+        unblocked (*allowed*)."""
+        allowed: List[int] = []
+        aborted: List[int] = []
+        position = bisect.bisect_right(self._indices, tx_index)
+        for i in range(position, len(self._indices)):
+            entry = self._entries[self._indices[i]]
+            if not (entry.has_read_part or entry.read_done):
+                continue
+            if entry.read_done:
+                if (
+                    not skipped
+                    and entry.read_version_from is not None
+                    and entry.read_version_from < tx_index
+                ):
+                    aborted.append(entry.tx_index)
+            else:
+                allowed.append(entry.tx_index)
+        return allowed, aborted
+
+    # ------------------------------------------------------------------
+    # Retraction (Algorithm 4 support)
+    # ------------------------------------------------------------------
+
+    def retract(self, tx_index: int) -> List[int]:
+        """Null ``T_{tx_index}``'s write (it was aborted after publishing).
+
+        Returns the indices of transactions that read the retracted version
+        and must abort in cascade.
+        """
+        entry = self._entries.get(tx_index)
+        if entry is None or not entry.write_finished:
+            return []
+        entry.reset_write()
+        victims: List[int] = []
+        position = bisect.bisect_right(self._indices, tx_index)
+        for i in range(position, len(self._indices)):
+            later = self._entries[self._indices[i]]
+            if later.read_done and later.read_version_from is not None:
+                # Readers at or past this version may have merged the
+                # retracted value (as base or as one of the deltas).
+                if later.read_version_from <= tx_index:
+                    victims.append(later.tx_index)
+        return victims
+
+    def reset_for_retry(self, tx_index: int) -> None:
+        """Clear the read/write state of an aborted transaction's entry so
+        its re-execution starts from a clean slate (the declared α of the
+        original prediction is kept)."""
+        entry = self._entries.get(tx_index)
+        if entry is not None:
+            entry.reset_read()
+            entry.reset_write()
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def final_value(self, snapshot_reader: Callable[[StateKey], int]) -> Optional[int]:
+        """The value to flush to the StateDB: the last effective absolute
+        write folded with every trailing delta (paper: "the last write of
+        every access sequence").  ``None`` when no transaction effectively
+        wrote the item."""
+        deltas = 0
+        saw_delta = False
+        for index in reversed(self._indices):
+            entry = self._entries[index]
+            if not entry.effective_write:
+                continue
+            if entry.is_commutative_write:
+                deltas += entry.write_delta or 0
+                saw_delta = True
+                continue
+            return ((entry.write_value or 0) + deltas) % (1 << 256)
+        if saw_delta:
+            return (snapshot_reader(self.key) + deltas) % (1 << 256)
+        return None
+
+    def __repr__(self) -> str:
+        parts = []
+        for index in self._indices:
+            entry = self._entries[index]
+            flag = "F" if entry.write_finished else "N"
+            parts.append(f"T{index}:{entry.declared.value}[{flag}]")
+        return f"L({self.key}) = ⟨{', '.join(parts)}⟩"
+
+
+class AccessSequenceSet:
+    """``M_l``: the access sequences of every state item touched by a block."""
+
+    def __init__(self) -> None:
+        self._sequences: Dict[StateKey, AccessSequence] = {}
+
+    def sequence(self, key: StateKey) -> AccessSequence:
+        seq = self._sequences.get(key)
+        if seq is None:
+            seq = AccessSequence(key)
+            self._sequences[key] = seq
+        return seq
+
+    def get(self, key: StateKey) -> Optional[AccessSequence]:
+        return self._sequences.get(key)
+
+    def keys(self) -> Set[StateKey]:
+        return set(self._sequences)
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self):
+        return iter(self._sequences.values())
+
+    def final_writes(
+        self, snapshot_reader: Callable[[StateKey], int]
+    ) -> Dict[StateKey, int]:
+        """Commit-phase flush: last effective write per item."""
+        writes: Dict[StateKey, int] = {}
+        for key, seq in self._sequences.items():
+            value = seq.final_value(snapshot_reader)
+            if value is not None:
+                writes[key] = value
+        return writes

@@ -1,0 +1,139 @@
+"""Lock table and ready queue for DMVCC schedule generation.
+
+The paper speaks of transactions "gaining the lock of a state item": the
+lock of item ``I`` for transaction ``T_j`` is granted when the version
+``T_j`` must read is available — i.e. every preceding write to ``I`` is
+finished.  A transaction becomes *ready* (joins ``Q_ready``) once it holds
+the locks of all items its C-SAG predicts it will read.  Commutative writes
+and pure writes need no locks: write versioning gives every write its own
+slot unconditionally.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..core.types import StateKey
+from .access_sequence import AccessSequenceSet
+
+
+@dataclass
+class LockState:
+    """Per-transaction lock bookkeeping."""
+
+    tx_index: int
+    needed: Set[StateKey] = field(default_factory=set)
+    granted: Set[StateKey] = field(default_factory=set)
+
+    @property
+    def ready(self) -> bool:
+        return self.needed <= self.granted
+
+    def missing(self) -> Set[StateKey]:
+        return self.needed - self.granted
+
+
+class LockTable:
+    """Tracks which read-locks each transaction holds."""
+
+    def __init__(self) -> None:
+        self._states: Dict[int, LockState] = {}
+
+    def register(self, tx_index: int, read_keys: Iterable[StateKey]) -> LockState:
+        state = LockState(tx_index, needed=set(read_keys))
+        self._states[tx_index] = state
+        return state
+
+    def state(self, tx_index: int) -> LockState:
+        return self._states[tx_index]
+
+    def grant(self, tx_index: int, key: StateKey) -> bool:
+        """Grant the lock of ``key``; returns True when the transaction has
+        just become fully ready (Algorithm 2, lines 8-10)."""
+        state = self._states.get(tx_index)
+        if state is None:
+            return False
+        if key in state.granted:
+            return False
+        was_ready = state.ready
+        state.granted.add(key)
+        return state.ready and not was_ready
+
+    def release(self, tx_index: int, key: StateKey) -> None:
+        """Take the lock of ``key`` back (Algorithm 4, line 7)."""
+        state = self._states.get(tx_index)
+        if state is not None:
+            state.granted.discard(key)
+
+    def release_all(self, tx_index: int) -> None:
+        state = self._states.get(tx_index)
+        if state is not None:
+            state.granted.clear()
+
+    def holds(self, tx_index: int, key: StateKey) -> bool:
+        state = self._states.get(tx_index)
+        return state is not None and key in state.granted
+
+    def is_ready(self, tx_index: int) -> bool:
+        state = self._states.get(tx_index)
+        return state is not None and state.ready
+
+    def refresh(self, tx_index: int, sequences: AccessSequenceSet) -> bool:
+        """Re-derive grants from the current access-sequence state; returns
+        readiness.  Used after aborts, when earlier grants may have become
+        invalid (a writer was retracted) or new grants possible."""
+        state = self._states.get(tx_index)
+        if state is None:
+            return False
+        state.granted.clear()
+        for key in state.needed:
+            seq = sequences.get(key)
+            if seq is None or seq.resolve_read(tx_index).ready:
+                state.granted.add(key)
+        return state.ready
+
+
+class ReadyQueue:
+    """``Q_ready`` ordered by transaction (block) index.
+
+    Popping the lowest ready index keeps threads working on the earliest
+    transactions first, which both advances conflict chains promptly (they
+    are ordered by index) and minimises stale reads — later transactions
+    executed early are the ones at risk of aborting.  Membership tests are
+    O(1); removal is lazy.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[int] = []
+        self._members: Set[int] = set()
+
+    def push(self, tx_index: int) -> bool:
+        if tx_index in self._members:
+            return False
+        self._members.add(tx_index)
+        heapq.heappush(self._heap, tx_index)
+        return True
+
+    def pop(self) -> Optional[int]:
+        while self._heap:
+            tx_index = heapq.heappop(self._heap)
+            if tx_index in self._members:
+                self._members.discard(tx_index)
+                return tx_index
+        return None
+
+    def remove(self, tx_index: int) -> bool:
+        """Lazy removal (Algorithm 4, line 4)."""
+        if tx_index in self._members:
+            self._members.discard(tx_index)
+            return True
+        return False
+
+    def __contains__(self, tx_index: int) -> bool:
+        return tx_index in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)

@@ -1,0 +1,16 @@
+"""Discrete-event simulation: clock, thread pool, metrics."""
+
+from .clock import GAS_TIME_SCALE, EventLoop, gas_to_time
+from .metrics import BlockMetrics, TxMetrics, aggregate
+from .threadpool import BusyInterval, ThreadPool
+
+__all__ = [
+    "BlockMetrics",
+    "BusyInterval",
+    "EventLoop",
+    "GAS_TIME_SCALE",
+    "ThreadPool",
+    "TxMetrics",
+    "aggregate",
+    "gas_to_time",
+]

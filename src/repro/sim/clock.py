@@ -1,0 +1,87 @@
+"""Discrete-event simulation core.
+
+The paper evaluates scheduling "on a set of threads (up to 32)" in
+simulation; we do the same.  Simulated time is measured in *gas units*
+(1 gas = ``GAS_TIME_SCALE`` time units), because EVM gas is by construction
+proportional to execution work — this is what makes speedup shapes
+transferable from the authors' testbed to our substrate.
+
+:class:`EventLoop` is a plain priority queue of timestamped callbacks with
+deterministic FIFO tie-breaking, so every simulation run is bit-for-bit
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..core.errors import SchedulingError
+
+GAS_TIME_SCALE = 1.0  # simulated time units per unit of gas
+
+
+def gas_to_time(gas: int, scale: float = GAS_TIME_SCALE) -> float:
+    return gas * scale
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventLoop:
+    """Deterministic timestamp-ordered event loop."""
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> _Entry:
+        """Schedule ``callback`` at ``time`` (must not be in the past)."""
+        if time < self._now - 1e-9:
+            raise SchedulingError(f"cannot schedule at {time} < now {self._now}")
+        self._seq += 1
+        entry = _Entry(max(time, self._now), self._seq, callback)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def schedule_now(self, callback: Callable[[], None]) -> _Entry:
+        return self.schedule(self._now, callback)
+
+    @staticmethod
+    def cancel(entry: _Entry) -> None:
+        entry.cancelled = True
+
+    def run(self, max_events: int = 10_000_000) -> float:
+        """Drain the queue; returns the final simulated time."""
+        if self._running:
+            raise SchedulingError("event loop is not re-entrant")
+        self._running = True
+        try:
+            events = 0
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                if entry.cancelled:
+                    continue
+                events += 1
+                if events > max_events:
+                    raise SchedulingError(f"exceeded {max_events} events; livelock?")
+                self._now = entry.time
+                entry.callback()
+            return self._now
+        finally:
+            self._running = False
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)

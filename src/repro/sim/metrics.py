@@ -1,0 +1,87 @@
+"""Execution metrics shared by every executor and the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TxMetrics:
+    """Per-transaction scheduling outcome."""
+
+    index: int
+    attempts: int = 1
+    start_time: float = 0.0
+    end_time: float = 0.0
+    gas_used: int = 0
+    succeeded: bool = True
+    aborted_times: int = 0
+
+    @property
+    def latency(self) -> float:
+        return self.end_time - self.start_time
+
+
+@dataclass
+class BlockMetrics:
+    """Result of executing one block under some scheduler."""
+
+    scheduler: str
+    threads: int
+    tx_count: int = 0
+    makespan: float = 0.0
+    serial_time: float = 0.0
+    total_gas: int = 0
+    executions: int = 0       # total execution attempts (incl. re-executions)
+    aborts: int = 0           # scheduler-induced (non-deterministic) aborts
+    deterministic_failures: int = 0  # reverts/asserts/oog: the contract's own doing
+    rescues: int = 0          # scheduler wake-loss recoveries (should be 0)
+    utilisation: float = 0.0
+    per_tx: List[TxMetrics] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over serial execution of the same block."""
+        if self.makespan <= 0:
+            return 1.0
+        return self.serial_time / self.makespan
+
+    @property
+    def abort_rate(self) -> float:
+        """Fraction of execution attempts that were aborted and redone."""
+        if self.executions == 0:
+            return 0.0
+        return self.aborts / self.executions
+
+    def merge_from(self, other: "BlockMetrics") -> None:
+        """Accumulate another block's numbers (for multi-block averages)."""
+        self.tx_count += other.tx_count
+        self.makespan += other.makespan
+        self.serial_time += other.serial_time
+        self.total_gas += other.total_gas
+        self.executions += other.executions
+        self.aborts += other.aborts
+        self.deterministic_failures += other.deterministic_failures
+
+    def summary(self) -> str:
+        return (
+            f"{self.scheduler:>8} | threads={self.threads:<3d} txs={self.tx_count:<6d} "
+            f"speedup={self.speedup:6.2f}x  aborts={self.aborts:<5d} "
+            f"abort_rate={self.abort_rate:6.2%}  util={self.utilisation:6.2%}"
+        )
+
+
+def aggregate(blocks: List[BlockMetrics]) -> BlockMetrics:
+    """Combine per-block metrics into workload totals (speedup uses summed
+    serial time over summed makespan, i.e. the paper's 'average over all
+    blocks' weighted by work)."""
+    if not blocks:
+        raise ValueError("no block metrics to aggregate")
+    total = BlockMetrics(scheduler=blocks[0].scheduler, threads=blocks[0].threads)
+    for b in blocks:
+        total.merge_from(b)
+    busy = sum(b.utilisation * b.makespan * b.threads for b in blocks)
+    denominator = total.makespan * total.threads
+    total.utilisation = busy / denominator if denominator else 0.0
+    return total

@@ -1,0 +1,15 @@
+"""Accounts, snapshots, and the per-block StateDB."""
+
+from .account import AccountSummary, CodeRegistry, ContractMeta
+from .journal import OverlayReader, WriteJournal
+from .statedb import Snapshot, StateDB
+
+__all__ = [
+    "AccountSummary",
+    "CodeRegistry",
+    "ContractMeta",
+    "OverlayReader",
+    "Snapshot",
+    "StateDB",
+    "WriteJournal",
+]

@@ -1,0 +1,81 @@
+"""Account model.
+
+Ethereum distinguishes *user accounts* (balance + nonce, no code) from
+*contract accounts* (code + storage).  In this reproduction, balances and
+nonces are stored as pseudo state items (``StateKey.balance(addr)`` /
+``StateKey.nonce(addr)``) so that plain Ether transfers flow through the very
+same concurrency-control machinery as contract storage accesses — the paper
+folds non-contract transactions into scheduling as read/write constraints.
+
+Contract *code* is immutable after deployment, so it lives outside the
+versioned state in a simple registry and never participates in conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.errors import StateError
+from ..core.hashing import keccak
+from ..core.types import Address
+
+
+@dataclass(frozen=True)
+class ContractMeta:
+    """Deployment record for one contract account."""
+
+    address: Address
+    code: bytes
+    name: str = ""
+
+    @property
+    def code_hash(self) -> bytes:
+        return keccak(self.code)
+
+
+class CodeRegistry:
+    """Registry of deployed contract code, shared by all snapshots.
+
+    Code is deploy-once / immutable (we do not model ``SELFDESTRUCT``), so a
+    plain dict indexed by address is sufficient and requires no versioning.
+    """
+
+    def __init__(self) -> None:
+        self._contracts: Dict[Address, ContractMeta] = {}
+
+    def deploy(self, address: Address, code: bytes, name: str = "") -> ContractMeta:
+        if address in self._contracts:
+            raise StateError(f"contract already deployed at {address}")
+        if not code:
+            raise StateError("cannot deploy empty code")
+        meta = ContractMeta(address, code, name)
+        self._contracts[address] = meta
+        return meta
+
+    def get(self, address: Address) -> Optional[ContractMeta]:
+        return self._contracts.get(address)
+
+    def code_of(self, address: Address) -> bytes:
+        meta = self._contracts.get(address)
+        return meta.code if meta is not None else b""
+
+    def is_contract(self, address: Address) -> bool:
+        return address in self._contracts
+
+    def addresses(self):
+        return list(self._contracts)
+
+    def __len__(self) -> int:
+        return len(self._contracts)
+
+
+@dataclass
+class AccountSummary:
+    """Point-in-time view of one account, for inspection and examples."""
+
+    address: Address
+    balance: int = 0
+    nonce: int = 0
+    is_contract: bool = False
+    storage: Dict[int, int] = field(default_factory=dict)

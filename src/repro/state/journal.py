@@ -1,0 +1,133 @@
+"""Write journal: transaction-local buffered state with revert checkpoints.
+
+During execution a transaction's writes must stay private until the
+scheduler decides to publish them (at commit for the baselines, at release
+points for DMVCC).  The journal is that private buffer: reads hit the buffer
+first and fall back to a supplied reader; writes only touch the buffer.
+
+Checkpoints support nested message calls and ``require``-style reverts —
+reverting discards everything after the checkpoint while keeping the outer
+frame's writes intact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.errors import StateError
+from ..core.types import StateKey
+
+Reader = Callable[[StateKey], int]
+
+
+class WriteJournal:
+    """Layered read-through/write-back buffer over a backing reader."""
+
+    def __init__(self, reader: Reader) -> None:
+        self._reader = reader
+        self._writes: Dict[StateKey, int] = {}
+        # Undo log: (key, previous value or None if the key was clean).
+        self._undo: List[Tuple[StateKey, Optional[int]]] = []
+        # Open scopes: (token, undo length at checkpoint time).
+        self._checkpoints: List[Tuple[int, int]] = []
+        self._next_token = 1
+        self._reads: Dict[StateKey, int] = {}
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+
+    def read(self, key: StateKey) -> int:
+        """Read through the buffer; records the read set for validation."""
+        if key in self._writes:
+            return self._writes[key]
+        value = self._reader(key)
+        # Only the *first* observation matters for OCC-style validation.
+        self._reads.setdefault(key, value)
+        return value
+
+    def write(self, key: StateKey, value: int) -> None:
+        previous = self._writes.get(key)
+        self._undo.append((key, previous))
+        self._writes[key] = value
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Open a revert scope; returns a token for :meth:`revert_to`."""
+        token = self._next_token
+        self._next_token += 1
+        self._checkpoints.append((token, len(self._undo)))
+        return token
+
+    def commit_checkpoint(self, token: int) -> None:
+        """Close the most recent scope, keeping its writes."""
+        self._pop_checkpoint(token)
+
+    def revert_to(self, token: int) -> None:
+        """Discard all writes made after ``token`` was taken."""
+        undo_mark = self._pop_checkpoint(token)
+        while len(self._undo) > undo_mark:
+            key, previous = self._undo.pop()
+            if previous is None:
+                self._writes.pop(key, None)
+            else:
+                self._writes[key] = previous
+
+    def _pop_checkpoint(self, token: int) -> int:
+        if not self._checkpoints or self._checkpoints[-1][0] != token:
+            raise StateError("checkpoints must be released innermost-first")
+        return self._checkpoints.pop()[1]
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def write_set(self) -> Dict[StateKey, int]:
+        """Final value of every written key (latest write wins)."""
+        return dict(self._writes)
+
+    @property
+    def read_set(self) -> Dict[StateKey, int]:
+        """First-observed value of every key read from the backing reader."""
+        return dict(self._reads)
+
+    def written(self, key: StateKey) -> bool:
+        return key in self._writes
+
+    def clear(self) -> None:
+        self._writes.clear()
+        self._undo.clear()
+        self._checkpoints.clear()
+        self._reads.clear()
+
+
+class OverlayReader:
+    """Compose a base reader with a dict of pending block-level writes.
+
+    Used by serial-style executors where transaction ``i+1`` must observe
+    the committed effects of transactions ``1..i`` before the block is
+    flushed to the StateDB.
+    """
+
+    def __init__(self, base: Reader) -> None:
+        self._base = base
+        self._overlay: Dict[StateKey, int] = {}
+
+    def read(self, key: StateKey) -> int:
+        if key in self._overlay:
+            return self._overlay[key]
+        return self._base(key)
+
+    def apply(self, writes: Dict[StateKey, int]) -> None:
+        self._overlay.update(writes)
+
+    @property
+    def pending(self) -> Dict[StateKey, int]:
+        return dict(self._overlay)
+
+    def __call__(self, key: StateKey) -> int:
+        return self.read(key)

@@ -1,0 +1,161 @@
+"""StateDB: the chain of per-block state snapshots.
+
+Following the paper, ``S^l`` is the blockchain state after executing every
+transaction up to block ``l``; the set of all snapshots is the *StateDB*.
+Each snapshot is one Merkle Patricia Trie root over a shared node store, so
+creating a snapshot is O(1) and historical snapshots stay readable (the SAG
+analyzer reads from the *latest committed* snapshot while the next block is
+still executing).
+
+Values are 256-bit words.  Zero-valued items are pruned from the trie, which
+makes the root hash canonical: writing an explicit zero and never writing at
+all produce identical roots — the property RQ1's Merkle-root comparison
+relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.encoding import decode_int, encode_int
+from ..core.errors import StateError, UnknownSnapshotError
+from ..core.types import Address, StateKey
+from ..trie.mpt import NodeStore, Trie
+from .account import AccountSummary, CodeRegistry, ContractMeta
+
+
+class Snapshot:
+    """Read-only view of the state at one block height."""
+
+    def __init__(self, trie: Trie, height: int) -> None:
+        self._trie = trie
+        self.height = height
+
+    @property
+    def root_hash(self) -> bytes:
+        return self._trie.root_hash
+
+    def get(self, key: StateKey) -> int:
+        """Read one state item; absent items read as zero (EVM semantics)."""
+        raw = self._trie.get(key.trie_key())
+        return decode_int(raw) if raw is not None else 0
+
+    def balance_of(self, address: Address) -> int:
+        return self.get(StateKey.balance(address))
+
+    def nonce_of(self, address: Address) -> int:
+        return self.get(StateKey.nonce(address))
+
+    def items(self) -> Iterable[Tuple[bytes, bytes]]:
+        return self._trie.items()
+
+    def __repr__(self) -> str:
+        return f"Snapshot(height={self.height}, root={self.root_hash.hex()[:12]}…)"
+
+
+class StateDB:
+    """Append-only chain of snapshots plus the contract-code registry."""
+
+    def __init__(self) -> None:
+        self._store = NodeStore()
+        genesis = Trie(self._store)
+        self._snapshots: List[Snapshot] = [Snapshot(genesis, 0)]
+        self.codes = CodeRegistry()
+
+    # ------------------------------------------------------------------
+    # Snapshot access
+    # ------------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Height of the latest snapshot (genesis is height 0)."""
+        return self._snapshots[-1].height
+
+    @property
+    def latest(self) -> Snapshot:
+        return self._snapshots[-1]
+
+    def snapshot(self, height: int) -> Snapshot:
+        if not 0 <= height < len(self._snapshots):
+            raise UnknownSnapshotError(f"no snapshot at height {height}")
+        return self._snapshots[height]
+
+    def root_at(self, height: int) -> bytes:
+        return self.snapshot(height).root_hash
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def commit(self, writes: Mapping[StateKey, int]) -> Snapshot:
+        """Apply a batch of final writes and seal a new snapshot.
+
+        This is the paper's commit phase: the last write of every access
+        sequence is flushed into the MPT and ``S^l`` is created.  Writes of
+        zero prune the slot so roots stay canonical.
+        """
+        trie = self._snapshots[-1]._trie.copy()
+        for key, value in sorted(writes.items()):
+            if value < 0:
+                raise StateError(f"negative value for {key}: {value}")
+            trie.set(key.trie_key(), encode_int(value))
+        snapshot = Snapshot(trie, self.height + 1)
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    def fork(self) -> "StateDB":
+        """A logically independent StateDB starting from this one's history.
+
+        The content-addressed node store is shared (append-only, so commits
+        on one fork can never corrupt another), as is the immutable code
+        registry; the snapshot chain is copied.  This is how simulations
+        give every validator its own chain without re-seeding genesis.
+        """
+        fork = StateDB.__new__(StateDB)
+        fork._store = self._store
+        fork._snapshots = list(self._snapshots)
+        fork.codes = self.codes
+        return fork
+
+    # ------------------------------------------------------------------
+    # Genesis & conveniences
+    # ------------------------------------------------------------------
+
+    def seed_genesis(
+        self,
+        balances: Mapping[Address, int],
+        storage: Optional[Mapping[StateKey, int]] = None,
+    ) -> Snapshot:
+        """Replace the genesis snapshot with funded accounts and optional
+        pre-seeded contract storage (token balances, pool reserves, ...).
+
+        Only legal before any block has been committed.
+        """
+        if len(self._snapshots) != 1:
+            raise StateError("genesis can only be seeded on a fresh StateDB")
+        trie = Trie(self._store)
+        for address, balance in sorted(balances.items()):
+            trie.set(StateKey.balance(address).trie_key(), encode_int(balance))
+        for key, value in sorted((storage or {}).items()):
+            if value:
+                trie.set(key.trie_key(), encode_int(value))
+        self._snapshots[0] = Snapshot(trie, 0)
+        return self._snapshots[0]
+
+    def deploy_contract(self, address: Address, code: bytes, name: str = "") -> ContractMeta:
+        return self.codes.deploy(address, code, name)
+
+    def account_summary(
+        self, address: Address, slots: Optional[Iterable[int]] = None, height: int = -1
+    ) -> AccountSummary:
+        snap = self.latest if height < 0 else self.snapshot(height)
+        storage: Dict[int, int] = {}
+        for slot in slots or ():
+            storage[slot] = snap.get(StateKey(address, slot))
+        return AccountSummary(
+            address=address,
+            balance=snap.balance_of(address),
+            nonce=snap.nonce_of(address),
+            is_contract=self.codes.is_contract(address),
+            storage=storage,
+        )

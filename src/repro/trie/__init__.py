@@ -1,0 +1,20 @@
+"""Merkle Patricia Trie: authenticated key-value storage with O(1) snapshots."""
+
+from .mpt import EMPTY_ROOT, NodeStore, Trie, verify_consistency
+from .nodes import BranchNode, ExtensionNode, LeafNode, decode_node, node_hash
+from .proof import MerkleProof, generate_proof, verify_proof
+
+__all__ = [
+    "BranchNode",
+    "EMPTY_ROOT",
+    "ExtensionNode",
+    "LeafNode",
+    "MerkleProof",
+    "NodeStore",
+    "Trie",
+    "decode_node",
+    "generate_proof",
+    "node_hash",
+    "verify_consistency",
+    "verify_proof",
+]

@@ -1,0 +1,294 @@
+"""A from-scratch Merkle Patricia Trie.
+
+The trie maps byte keys to byte values and authenticates its whole contents
+with a single 32-byte *root hash*: two tries hold identical data if and only
+if their roots are equal (up to hash collisions).  This is exactly the
+property the paper's RQ1 uses to check that DMVCC's parallel execution
+produced the same state as serial execution.
+
+Nodes live in a content-addressed :class:`NodeStore` keyed by node hash.
+The store is append-only, so past roots remain readable forever — that gives
+free, O(1) snapshots with structural sharing, mirroring how Geth keeps one
+state trie per block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core.errors import MissingNodeError, TrieError
+from .nibbles import bytes_to_nibbles, common_prefix_length, nibbles_to_bytes
+from .nodes import (
+    BRANCH_WIDTH,
+    BranchNode,
+    ExtensionNode,
+    LeafNode,
+    TrieNode,
+    decode_node,
+    node_hash,
+)
+
+EMPTY_ROOT = node_hash(LeafNode((), b""))  # sentinel; never stored
+
+
+class NodeStore:
+    """Content-addressed, append-only storage for encoded trie nodes."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[bytes, bytes] = {}
+
+    def put(self, node: TrieNode) -> bytes:
+        encoded = node.encode()
+        digest = node_hash(node)
+        self._nodes[digest] = encoded
+        return digest
+
+    def get(self, digest: bytes) -> TrieNode:
+        encoded = self._nodes.get(digest)
+        if encoded is None:
+            raise MissingNodeError(f"missing trie node {digest.hex()}")
+        return decode_node(encoded)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, digest: bytes) -> bool:
+        return digest in self._nodes
+
+
+class Trie:
+    """Merkle Patricia Trie over a shared :class:`NodeStore`.
+
+    Mutations update :attr:`root` in place; call :meth:`copy` to fork a
+    logically independent trie sharing the same store (O(1)).
+    """
+
+    def __init__(self, store: Optional[NodeStore] = None, root: Optional[bytes] = None) -> None:
+        self.store = store if store is not None else NodeStore()
+        self.root: Optional[bytes] = root  # None encodes the empty trie
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def root_hash(self) -> bytes:
+        """Root hash; the empty trie hashes to a fixed sentinel."""
+        return self.root if self.root is not None else EMPTY_ROOT
+
+    def copy(self) -> "Trie":
+        """Cheap fork sharing the node store (copy-on-write semantics)."""
+        return Trie(self.store, self.root)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Look up ``key``; returns ``None`` when absent."""
+        if self.root is None:
+            return None
+        return self._get(self.store.get(self.root), bytes_to_nibbles(key))
+
+    def set(self, key: bytes, value: bytes) -> None:
+        """Insert or update ``key``.  An empty value deletes the key, as in
+        Ethereum (storage slots holding zero are pruned)."""
+        if value == b"":
+            self.delete(key)
+            return
+        path = bytes_to_nibbles(key)
+        if self.root is None:
+            self.root = self.store.put(LeafNode(path, value))
+        else:
+            self.root = self._insert(self.store.get(self.root), path, value)
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        if self.root is None:
+            return False
+        result = self._delete(self.store.get(self.root), bytes_to_nibbles(key))
+        if result is _UNCHANGED:
+            return False
+        self.root = result
+        return True
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate ``(key, value)`` pairs in lexicographic key order."""
+        if self.root is None:
+            return
+        yield from self._walk(self.store.get(self.root), ())
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _get(self, node: TrieNode, path: Tuple[int, ...]) -> Optional[bytes]:
+        while True:
+            if isinstance(node, LeafNode):
+                return node.value if node.path == path else None
+            if isinstance(node, ExtensionNode):
+                prefix_len = len(node.path)
+                if path[:prefix_len] != node.path:
+                    return None
+                node = self.store.get(node.child)
+                path = path[prefix_len:]
+                continue
+            # BranchNode
+            if not path:
+                return node.value
+            child = node.children[path[0]]
+            if child is None:
+                return None
+            node = self.store.get(child)
+            path = path[1:]
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def _insert(self, node: TrieNode, path: Tuple[int, ...], value: bytes) -> bytes:
+        if isinstance(node, LeafNode):
+            return self._insert_into_leaf(node, path, value)
+        if isinstance(node, ExtensionNode):
+            return self._insert_into_extension(node, path, value)
+        return self._insert_into_branch(node, path, value)
+
+    def _insert_into_leaf(self, node: LeafNode, path: Tuple[int, ...], value: bytes) -> bytes:
+        if node.path == path:
+            return self.store.put(LeafNode(path, value))
+        shared = common_prefix_length(node.path, path)
+        branch = BranchNode()
+        branch = self._attach_tail(branch, node.path[shared:], node.value)
+        branch = self._attach_tail(branch, path[shared:], value)
+        branch_hash = self.store.put(branch)
+        if shared:
+            return self.store.put(ExtensionNode(path[:shared], branch_hash))
+        return branch_hash
+
+    def _insert_into_extension(
+        self, node: ExtensionNode, path: Tuple[int, ...], value: bytes
+    ) -> bytes:
+        shared = common_prefix_length(node.path, path)
+        if shared == len(node.path):
+            child_hash = self._insert(self.store.get(node.child), path[shared:], value)
+            return self.store.put(ExtensionNode(node.path, child_hash))
+        # The extension splits: the part of its path beyond the shared prefix
+        # moves below a new branch.
+        branch = BranchNode()
+        ext_nibble = node.path[shared]
+        ext_tail = node.path[shared + 1 :]
+        if ext_tail:
+            tail_hash = self.store.put(ExtensionNode(ext_tail, node.child))
+        else:
+            tail_hash = node.child
+        branch = branch.with_child(ext_nibble, tail_hash)
+        branch = self._attach_tail(branch, path[shared:], value)
+        branch_hash = self.store.put(branch)
+        if shared:
+            return self.store.put(ExtensionNode(path[:shared], branch_hash))
+        return branch_hash
+
+    def _insert_into_branch(self, node: BranchNode, path: Tuple[int, ...], value: bytes) -> bytes:
+        if not path:
+            return self.store.put(node.with_value(value))
+        nibble, rest = path[0], path[1:]
+        child = node.children[nibble]
+        if child is None:
+            child_hash = self.store.put(LeafNode(rest, value))
+        else:
+            child_hash = self._insert(self.store.get(child), rest, value)
+        return self.store.put(node.with_child(nibble, child_hash))
+
+    def _attach_tail(self, branch: BranchNode, tail: Tuple[int, ...], value: bytes) -> BranchNode:
+        """Attach a key tail (possibly empty) with its value under a branch."""
+        if not tail:
+            return branch.with_value(value)
+        leaf_hash = self.store.put(LeafNode(tail[1:], value))
+        return branch.with_child(tail[0], leaf_hash)
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def _delete(self, node: TrieNode, path: Tuple[int, ...]):
+        """Returns the replacement hash, ``None`` for an emptied subtree, or
+        the ``_UNCHANGED`` sentinel when the key was absent."""
+        if isinstance(node, LeafNode):
+            return None if node.path == path else _UNCHANGED
+        if isinstance(node, ExtensionNode):
+            prefix_len = len(node.path)
+            if path[:prefix_len] != node.path:
+                return _UNCHANGED
+            result = self._delete(self.store.get(node.child), path[prefix_len:])
+            if result is _UNCHANGED:
+                return _UNCHANGED
+            if result is None:
+                return None
+            return self._normalise_extension(node.path, result)
+        # BranchNode
+        if not path:
+            if node.value is None:
+                return _UNCHANGED
+            return self._normalise_branch(node.with_value(None))
+        child = node.children[path[0]]
+        if child is None:
+            return _UNCHANGED
+        result = self._delete(self.store.get(child), path[1:])
+        if result is _UNCHANGED:
+            return _UNCHANGED
+        return self._normalise_branch(node.with_child(path[0], result))
+
+    def _normalise_extension(self, path: Tuple[int, ...], child_hash: bytes) -> bytes:
+        """Collapse extension→{extension,leaf} chains after a deletion."""
+        child = self.store.get(child_hash)
+        if isinstance(child, LeafNode):
+            return self.store.put(LeafNode(path + child.path, child.value))
+        if isinstance(child, ExtensionNode):
+            return self.store.put(ExtensionNode(path + child.path, child.child))
+        return self.store.put(ExtensionNode(path, child_hash))
+
+    def _normalise_branch(self, branch: BranchNode):
+        """Shrink branches left with <2 references back to compact nodes."""
+        live = branch.live_children()
+        if branch.value is not None:
+            if not live:
+                return self.store.put(LeafNode((), branch.value))
+            return self.store.put(branch)
+        if len(live) == 0:
+            return None
+        if len(live) == 1:
+            nibble, child_hash = live[0]
+            return self._normalise_extension((nibble,), child_hash)
+        return self.store.put(branch)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+
+    def _walk(self, node: TrieNode, prefix: Tuple[int, ...]) -> Iterator[Tuple[bytes, bytes]]:
+        if isinstance(node, LeafNode):
+            yield nibbles_to_bytes(prefix + node.path), node.value
+            return
+        if isinstance(node, ExtensionNode):
+            yield from self._walk(self.store.get(node.child), prefix + node.path)
+            return
+        if node.value is not None:
+            yield nibbles_to_bytes(prefix), node.value
+        for nibble, child in node.live_children():
+            yield from self._walk(self.store.get(child), prefix + (nibble,))
+
+
+_UNCHANGED = object()
+
+
+def verify_consistency(trie: Trie) -> int:
+    """Walk the whole trie verifying every child hash resolves; returns the
+    number of leaves.  Used by tests and failure-injection checks."""
+    count = 0
+    for _key, value in trie.items():
+        if not isinstance(value, bytes):
+            raise TrieError("non-bytes value in trie")
+        count += 1
+    return count

@@ -1,0 +1,113 @@
+"""Merkle Patricia Trie node types and their canonical encodings.
+
+Three node shapes, as in Ethereum:
+
+* :class:`LeafNode` — a compressed terminal path and a value.
+* :class:`ExtensionNode` — a compressed shared path pointing at one child.
+* :class:`BranchNode` — sixteen child references (one per nibble) plus an
+  optional value for keys ending exactly at the branch.
+
+Nodes are immutable; every mutation of the trie builds new nodes, which is
+what makes snapshots free (structural sharing).  A node's identity is the
+hash of its RLP encoding; children are referenced by that hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..core.encoding import rlp_decode, rlp_encode
+from ..core.errors import TrieError
+from ..core.hashing import keccak
+from .nibbles import hp_decode, hp_encode
+
+BRANCH_WIDTH = 16
+
+TrieNode = Union["LeafNode", "ExtensionNode", "BranchNode"]
+
+
+@dataclass(frozen=True)
+class LeafNode:
+    """Terminal node: remaining key path and stored value."""
+
+    path: Tuple[int, ...]
+    value: bytes
+
+    def encode(self) -> bytes:
+        return rlp_encode([hp_encode(self.path, is_leaf=True), self.value])
+
+
+@dataclass(frozen=True)
+class ExtensionNode:
+    """Path-compression node: shared prefix and a single child hash."""
+
+    path: Tuple[int, ...]
+    child: bytes
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise TrieError("extension node requires a non-empty path")
+
+    def encode(self) -> bytes:
+        return rlp_encode([hp_encode(self.path, is_leaf=False), self.child])
+
+
+@dataclass(frozen=True)
+class BranchNode:
+    """Sixteen-way fanout node with an optional terminal value."""
+
+    children: Tuple[Optional[bytes], ...] = field(
+        default=(None,) * BRANCH_WIDTH
+    )
+    value: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if len(self.children) != BRANCH_WIDTH:
+            raise TrieError(f"branch node needs {BRANCH_WIDTH} children")
+
+    def encode(self) -> bytes:
+        items: List[bytes] = [child if child is not None else b"" for child in self.children]
+        items.append(self.value if self.value is not None else b"")
+        return rlp_encode(items)
+
+    def with_child(self, nibble: int, child: Optional[bytes]) -> "BranchNode":
+        children = list(self.children)
+        children[nibble] = child
+        return BranchNode(tuple(children), self.value)
+
+    def with_value(self, value: Optional[bytes]) -> "BranchNode":
+        return BranchNode(self.children, value)
+
+    def live_children(self) -> List[Tuple[int, bytes]]:
+        """Pairs of (nibble, child hash) for the non-empty slots."""
+        return [(i, c) for i, c in enumerate(self.children) if c is not None]
+
+
+def node_hash(node: TrieNode) -> bytes:
+    """Canonical 32-byte identity of a node."""
+    return keccak(node.encode())
+
+
+def decode_node(encoded: bytes) -> TrieNode:
+    """Inverse of ``node.encode()``."""
+    items = rlp_decode(encoded)
+    if not isinstance(items, list):
+        raise TrieError("trie node must decode to an RLP list")
+    if len(items) == 2:
+        path_bytes, payload = items
+        if not isinstance(path_bytes, bytes) or not isinstance(payload, bytes):
+            raise TrieError("malformed two-item trie node")
+        path, is_leaf = hp_decode(path_bytes)
+        if is_leaf:
+            return LeafNode(path, payload)
+        return ExtensionNode(path, payload)
+    if len(items) == BRANCH_WIDTH + 1:
+        children = tuple(
+            item if isinstance(item, bytes) and item else None
+            for item in items[:BRANCH_WIDTH]
+        )
+        raw_value = items[BRANCH_WIDTH]
+        value = raw_value if isinstance(raw_value, bytes) and raw_value else None
+        return BranchNode(children, value)
+    raise TrieError(f"unexpected trie node arity: {len(items)}")

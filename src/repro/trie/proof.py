@@ -1,0 +1,104 @@
+"""Merkle proofs over the Patricia trie.
+
+A proof for a key is the list of encoded nodes on the path from the root to
+the terminal node (or to the divergence point, for absence proofs).  A light
+client holding only the root hash can verify inclusion/exclusion without the
+full state — the role light nodes play in the paper's blockchain model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.errors import TrieError
+from ..core.hashing import keccak
+from .mpt import Trie
+from .nibbles import bytes_to_nibbles
+from .nodes import BranchNode, ExtensionNode, LeafNode, decode_node
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Proof that ``key`` maps to ``value`` (or is absent) under ``root``."""
+
+    key: bytes
+    value: Optional[bytes]
+    nodes: Tuple[bytes, ...]  # encoded nodes, root first
+
+
+def generate_proof(trie: Trie, key: bytes) -> MerkleProof:
+    """Collect the node path for ``key`` from a live trie."""
+    nodes: List[bytes] = []
+    value: Optional[bytes] = None
+    if trie.root is not None:
+        node = trie.store.get(trie.root)
+        path = bytes_to_nibbles(key)
+        while True:
+            nodes.append(node.encode())
+            if isinstance(node, LeafNode):
+                if node.path == path:
+                    value = node.value
+                break
+            if isinstance(node, ExtensionNode):
+                if path[: len(node.path)] != node.path:
+                    break
+                path = path[len(node.path):]
+                node = trie.store.get(node.child)
+                continue
+            if not path:
+                value = node.value
+                break
+            child = node.children[path[0]]
+            if child is None:
+                break
+            path = path[1:]
+            node = trie.store.get(child)
+    return MerkleProof(key, value, tuple(nodes))
+
+
+def verify_proof(root_hash: bytes, proof: MerkleProof) -> bool:
+    """Check a proof against a trusted root hash.
+
+    Returns ``True`` iff the node chain is hash-linked from ``root_hash``
+    and consistently shows ``proof.value`` for ``proof.key`` (with ``None``
+    meaning verified absence).
+    """
+    path = bytes_to_nibbles(proof.key)
+    expected = root_hash
+    if not proof.nodes:
+        return proof.value is None
+    for i, encoded in enumerate(proof.nodes):
+        if keccak(encoded) != expected:
+            return False
+        node = decode_node(encoded)
+        is_last = i == len(proof.nodes) - 1
+        if isinstance(node, LeafNode):
+            if not is_last:
+                return False
+            if node.path == path:
+                return proof.value == node.value
+            return proof.value is None
+        if isinstance(node, ExtensionNode):
+            if path[: len(node.path)] != node.path:
+                return is_last and proof.value is None
+            path = path[len(node.path):]
+            if is_last:
+                return False
+            expected = node.child
+            continue
+        if isinstance(node, BranchNode):
+            if not path:
+                if not is_last:
+                    return False
+                return proof.value == node.value
+            child = node.children[path[0]]
+            if child is None:
+                return is_last and proof.value is None
+            path = path[1:]
+            if is_last:
+                return False
+            expected = child
+            continue
+        raise TrieError("unknown node type in proof")
+    return False

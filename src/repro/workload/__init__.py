@@ -1,0 +1,33 @@
+"""Synthetic mainnet-style workloads over real Minisol contracts."""
+
+from .contracts import (
+    ALL_SOURCES,
+    COUNTER_SOURCE,
+    DEX_POOL_SOURCE,
+    ERC20_SOURCE,
+    ICO_SOURCE,
+    NFT_SOURCE,
+    PAPER_EXAMPLE_SOURCE,
+)
+from .generator import (
+    DeployedContracts,
+    Workload,
+    WorkloadConfig,
+    high_contention_config,
+    low_contention_config,
+)
+
+__all__ = [
+    "ALL_SOURCES",
+    "COUNTER_SOURCE",
+    "DEX_POOL_SOURCE",
+    "DeployedContracts",
+    "ERC20_SOURCE",
+    "ICO_SOURCE",
+    "NFT_SOURCE",
+    "PAPER_EXAMPLE_SOURCE",
+    "Workload",
+    "WorkloadConfig",
+    "high_contention_config",
+    "low_contention_config",
+]

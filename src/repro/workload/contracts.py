@@ -1,0 +1,292 @@
+"""Minisol sources for the workload contracts.
+
+These model the contract families dominating the paper's mainnet dataset:
+ERC20 tokens (60% of contract traffic), DeFi/AMM pools (29%), NFT
+collections (10%), plus the ICO contract motivating the high-contention
+experiment.  Each family has a distinct conflict signature:
+
+* **ERC20** — recipient credits are blind increments (commutative ω̄);
+  sender debits read-check first (θ).  Transfers to a shared exchange
+  address are the classic commutative hot spot.
+* **DEXPool** — swaps read *and* write both reserves: a per-pool serial
+  chain that only early-write visibility can pipeline.
+* **NFT** — ``nextTokenId`` is read to derive the token key, so mints form
+  a non-commutative hot chain (the paper's shared-counter example).
+* **ICO** — capped: the cap check reads ``totalRaised`` (hot, θ);
+  uncapped: the counter update is a pure increment (ω̄), showcasing
+  commutative writes.
+"""
+
+ERC20_SOURCE = """
+contract ERC20 {
+    uint totalSupply;
+    mapping(address => uint) balanceOf;
+    mapping(address => mapping(address => uint)) allowance;
+
+    event Transfer(address, address, uint);
+
+    function mint(address to, uint amount) public {
+        totalSupply += amount;
+        balanceOf[to] += amount;
+    }
+
+    function transfer(address to, uint amount) public {
+        require(balanceOf[msg.sender] >= amount);
+        balanceOf[msg.sender] -= amount;
+        balanceOf[to] += amount;
+        emit Transfer(msg.sender, to, amount);
+    }
+
+    function approve(address spender, uint amount) public {
+        allowance[msg.sender][spender] = amount;
+    }
+
+    function transferFrom(address owner, address to, uint amount) public {
+        require(allowance[owner][msg.sender] >= amount);
+        require(balanceOf[owner] >= amount);
+        allowance[owner][msg.sender] -= amount;
+        balanceOf[owner] -= amount;
+        balanceOf[to] += amount;
+        emit Transfer(owner, to, amount);
+    }
+
+    function burn(uint amount) public {
+        require(balanceOf[msg.sender] >= amount);
+        balanceOf[msg.sender] -= amount;
+        totalSupply -= amount;
+    }
+
+    function getBalance(address who) public view returns (uint) {
+        return balanceOf[who];
+    }
+}
+"""
+
+DEX_POOL_SOURCE = """
+contract DEXPool {
+    uint reserveX;
+    uint reserveY;
+    mapping(address => uint) balanceX;
+    mapping(address => uint) balanceY;
+
+    event Swap(address, uint, uint);
+
+    function fund(address user, uint amountX, uint amountY) public {
+        balanceX[user] += amountX;
+        balanceY[user] += amountY;
+    }
+
+    function addLiquidity(uint amountX, uint amountY) public {
+        require(balanceX[msg.sender] >= amountX);
+        require(balanceY[msg.sender] >= amountY);
+        balanceX[msg.sender] -= amountX;
+        balanceY[msg.sender] -= amountY;
+        reserveX += amountX;
+        reserveY += amountY;
+    }
+
+    function swapXForY(uint amountIn) public {
+        require(amountIn > 0);
+        require(balanceX[msg.sender] >= amountIn);
+        uint newX = reserveX + amountIn;
+        // Round the output down so the invariant never shrinks.
+        uint amountOut = reserveY * amountIn / newX;
+        require(amountOut > 0);
+        require(amountOut < reserveY);
+        balanceX[msg.sender] -= amountIn;
+        balanceY[msg.sender] += amountOut;
+        reserveX = newX;
+        reserveY -= amountOut;
+        emit Swap(msg.sender, amountIn, amountOut);
+    }
+
+    function swapYForX(uint amountIn) public {
+        require(amountIn > 0);
+        require(balanceY[msg.sender] >= amountIn);
+        uint newY = reserveY + amountIn;
+        // Round the output down so the invariant never shrinks.
+        uint amountOut = reserveX * amountIn / newY;
+        require(amountOut > 0);
+        require(amountOut < reserveX);
+        balanceY[msg.sender] -= amountIn;
+        balanceX[msg.sender] += amountOut;
+        reserveY = newY;
+        reserveX -= amountOut;
+        emit Swap(msg.sender, amountIn, amountOut);
+    }
+}
+"""
+
+NFT_SOURCE = """
+contract NFT {
+    uint nextTokenId;
+    mapping(uint => address) ownerOf;
+    mapping(address => uint) balanceOf;
+
+    event Minted(address, uint);
+
+    function mint() public {
+        uint tokenId = nextTokenId;
+        nextTokenId = tokenId + 1;
+        ownerOf[tokenId] = msg.sender;
+        balanceOf[msg.sender] += 1;
+        emit Minted(msg.sender, tokenId);
+    }
+
+    function transfer(address to, uint tokenId) public {
+        require(ownerOf[tokenId] == msg.sender);
+        ownerOf[tokenId] = to;
+        balanceOf[msg.sender] -= 1;
+        balanceOf[to] += 1;
+    }
+
+    function ownerOfToken(uint tokenId) public view returns (address) {
+        return ownerOf[tokenId];
+    }
+}
+"""
+
+ICO_SOURCE = """
+contract ICO {
+    uint totalRaised;
+    uint cap;
+    uint rate;
+    mapping(address => uint) contributions;
+    mapping(address => uint) tokens;
+
+    event Contributed(address, uint);
+
+    function setup(uint newCap, uint newRate) public {
+        cap = newCap;
+        rate = newRate;
+    }
+
+    function contribute(uint amount) public {
+        require(amount > 0);
+        if (cap > 0) {
+            require(totalRaised + amount <= cap);
+        }
+        totalRaised += amount;
+        contributions[msg.sender] += amount;
+        tokens[msg.sender] += amount * rate;
+        emit Contributed(msg.sender, amount);
+    }
+
+    function raised() public view returns (uint) {
+        return totalRaised;
+    }
+}
+"""
+
+COUNTER_SOURCE = """
+contract Counter {
+    uint value;
+
+    function increment(uint amount) public {
+        value += amount;
+    }
+
+    function incrementChecked(uint amount) public {
+        require(value + amount >= value);
+        value += amount;
+    }
+
+    function current() public view returns (uint) {
+        return value;
+    }
+}
+"""
+
+
+# An English auction: the "highest bid" pair is a classic hot read-write
+# key; refunds are commutative credits.  Uses internal helpers (compiled by
+# inlining) to exercise structured contracts.
+AUCTION_SOURCE = """
+contract Auction {
+    address seller;
+    uint endTime;
+    uint highestBid;
+    address highestBidder;
+    mapping(address => uint) refunds;
+    bool settled;
+
+    event Outbid(address, uint);
+
+    function open(address who, uint duration) public {
+        require(endTime == 0);
+        seller = who;
+        endTime = block.timestamp + duration;
+    }
+
+    function creditRefund(address to, uint amount) internal {
+        refunds[to] += amount;
+    }
+
+    function bid(uint amount) public {
+        require(endTime > 0);
+        require(block.timestamp < endTime);
+        require(amount > highestBid);
+        if (highestBidder != 0) {
+            creditRefund(highestBidder, highestBid);
+        }
+        highestBid = amount;
+        highestBidder = msg.sender;
+        emit Outbid(msg.sender, amount);
+    }
+
+    function withdrawRefund() public returns (uint) {
+        uint owed = refunds[msg.sender];
+        require(owed > 0);
+        refunds[msg.sender] = 0;
+        return owed;
+    }
+
+    function settle() public {
+        require(endTime > 0);
+        require(block.timestamp >= endTime);
+        require(!settled);
+        settled = true;
+        creditRefund(seller, highestBid);
+    }
+}
+"""
+
+# Fig. 1 of the paper, transcribed to Minisol: the loop bound and the array
+# keys depend on a state value (A[x]) that only the snapshot can resolve.
+PAPER_EXAMPLE_SOURCE = """
+contract Example {
+    mapping(address => uint) A;
+    uint[] B;
+
+    function setA(address x, uint v) public {
+        A[x] = v;
+    }
+
+    function pushB(uint v) public {
+        B.push(v);
+    }
+
+    function UpdateB(address x, uint y) public {
+        uint idx = A[x];
+        if (idx > 1) {
+            for (uint i = idx; i > 1; i -= 1) {
+                B[i] = B[i - 2] + y;
+            }
+        } else {
+            B[0] = 0;
+            assert(y <= 10);
+            B[1] = B[1] + y;
+        }
+    }
+}
+"""
+
+ALL_SOURCES = {
+    "Auction": AUCTION_SOURCE,
+    "ERC20": ERC20_SOURCE,
+    "DEXPool": DEX_POOL_SOURCE,
+    "NFT": NFT_SOURCE,
+    "ICO": ICO_SOURCE,
+    "Counter": COUNTER_SOURCE,
+    "Example": PAPER_EXAMPLE_SOURCE,
+}

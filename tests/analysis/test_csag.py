@@ -1,0 +1,181 @@
+"""C-SAG refinement tests: key resolution, commutativity, staleness."""
+
+import pytest
+
+from repro.analysis import AccessType, CSAGBuilder
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey, mapping_slot
+from repro.state import StateDB
+
+ALICE = Address.derive("alice")
+BOB = Address.derive("bob")
+TOKEN = Address.derive("token")
+
+
+@pytest.fixture
+def token_db(token_contract):
+    db = StateDB()
+    db.deploy_contract(TOKEN, token_contract.code, "Token")
+    bal = token_contract.slot_of("balanceOf")
+    db.seed_genesis(
+        {ALICE: 10**18, BOB: 10**18},
+        {
+            StateKey(TOKEN, mapping_slot(ALICE.to_word(), bal)): 1_000,
+            StateKey(TOKEN, mapping_slot(BOB.to_word(), bal)): 1_000,
+        },
+    )
+    return db
+
+
+def build(db, tx):
+    return CSAGBuilder(db.codes.code_of).build(tx, db.latest)
+
+
+class TestTransferCSAG:
+    def test_plain_transfer_exact(self, token_db):
+        tx = Transaction(ALICE, BOB, 500)
+        csag = build(token_db, tx)
+        assert not csag.speculative
+        assert csag.predicted_success
+        per_key = csag.per_key
+        assert per_key[StateKey.balance(ALICE)] is AccessType.READ_WRITE
+        assert per_key[StateKey.balance(BOB)] is AccessType.COMMUTATIVE
+
+    def test_underfunded_transfer_predicts_failure(self, token_db):
+        tx = Transaction(ALICE, BOB, 10**19)
+        csag = build(token_db, tx)
+        assert not csag.predicted_success
+        assert StateKey.balance(BOB) not in csag.per_key
+
+    def test_commutative_delta_is_value(self, token_db):
+        tx = Transaction(ALICE, BOB, 500)
+        csag = build(token_db, tx)
+        credit = [a for a in csag.accesses if a.commutative and a.kind == "write"]
+        assert credit[0].delta == 500
+
+
+class TestContractCallCSAG:
+    def test_transfer_call_keys(self, token_db, token_contract):
+        bal = token_contract.slot_of("balanceOf")
+        tx = Transaction(ALICE, TOKEN, 0, token_contract.encode_call("transfer", BOB, 10))
+        csag = build(token_db, tx)
+        alice_key = StateKey(TOKEN, mapping_slot(ALICE.to_word(), bal))
+        bob_key = StateKey(TOKEN, mapping_slot(BOB.to_word(), bal))
+        assert csag.per_key[alice_key] is AccessType.READ_WRITE
+        assert csag.per_key[bob_key] is AccessType.COMMUTATIVE
+        assert csag.predicted_success
+
+    def test_mint_fully_commutative(self, token_db, token_contract):
+        tx = Transaction(ALICE, TOKEN, 0, token_contract.encode_call("mint", BOB, 10))
+        csag = build(token_db, tx)
+        assert set(csag.per_key.values()) == {AccessType.COMMUTATIVE}
+
+    def test_predicted_failure_keeps_reads(self, token_db, token_contract):
+        bal = token_contract.slot_of("balanceOf")
+        tx = Transaction(
+            ALICE, TOKEN, 0, token_contract.encode_call("transfer", BOB, 10**9)
+        )
+        csag = build(token_db, tx)
+        assert not csag.predicted_success
+        alice_key = StateKey(TOKEN, mapping_slot(ALICE.to_word(), bal))
+        assert csag.per_key.get(alice_key) is AccessType.READ
+        # No writes predicted on the failure path...
+        assert not csag.write_keys
+        # ...but the static sets still know the success branch's writes.
+        assert alice_key in csag.static_write_keys
+
+    def test_release_offsets_monotonic(self, token_db, token_contract):
+        tx = Transaction(ALICE, TOKEN, 0, token_contract.encode_call("transfer", BOB, 10))
+        csag = build(token_db, tx)
+        offsets = [r.gas_offset for r in csag.release_offsets]
+        assert offsets == sorted(offsets)
+        assert all(r.remaining_gas_bound >= 0 for r in csag.release_offsets)
+
+    def test_gas_offsets_increase_along_trace(self, token_db, token_contract):
+        tx = Transaction(ALICE, TOKEN, 0, token_contract.encode_call("transfer", BOB, 10))
+        csag = build(token_db, tx)
+        offsets = [a.gas_offset for a in csag.accesses]
+        assert offsets == sorted(offsets)
+        assert csag.predicted_gas >= offsets[-1]
+
+    def test_static_sets_resolved(self, token_db, token_contract):
+        tx = Transaction(ALICE, TOKEN, 0, token_contract.encode_call("transfer", BOB, 10))
+        csag = build(token_db, tx)
+        bal = token_contract.slot_of("balanceOf")
+        assert StateKey(TOKEN, mapping_slot(ALICE.to_word(), bal)) in csag.static_read_keys
+        assert StateKey(TOKEN, mapping_slot(BOB.to_word(), bal)) in csag.static_write_keys
+
+    def test_coarse_units_variable_level(self, token_db, token_contract):
+        tx = Transaction(ALICE, TOKEN, 0, token_contract.encode_call("transfer", BOB, 10))
+        csag = build(token_db, tx)
+        bal = token_contract.slot_of("balanceOf")
+        assert (TOKEN, bal) in csag.coarse_read_units
+        assert (TOKEN, bal) in csag.coarse_write_units
+
+    def test_missing_analysis_csag(self, token_db, token_contract):
+        tx = Transaction(ALICE, TOKEN, 0, token_contract.encode_call("mint", BOB, 1))
+        csag = CSAGBuilder(token_db.codes.code_of).build_missing(tx, token_db.latest)
+        assert csag.missing
+        assert not csag.accesses
+
+    def test_self_transfer_not_commutative(self, token_db, token_contract):
+        """Sender == recipient: the same key is read (require) and blindly
+        incremented; the read demotes commutativity."""
+        tx = Transaction(ALICE, TOKEN, 0, token_contract.encode_call("transfer", ALICE, 10))
+        csag = build(token_db, tx)
+        bal = token_contract.slot_of("balanceOf")
+        key = StateKey(TOKEN, mapping_slot(ALICE.to_word(), bal))
+        assert csag.per_key[key] is AccessType.READ_WRITE
+
+
+class TestStateDependentRefinement:
+    def test_paper_example_loop_unrolled(self, example_contract):
+        """Fig. 1/3 of the paper: the loop bound comes from A[x]; the C-SAG
+        must contain the concrete unrolled B accesses."""
+        db = StateDB()
+        contract = Address.derive("example")
+        db.deploy_contract(contract, example_contract.code, "Example")
+        a_slot = example_contract.slot_of("A")
+        b_slot = example_contract.slot_of("B")
+        from repro.core import array_element_slot
+
+        db.seed_genesis(
+            {ALICE: 10**18},
+            {
+                StateKey(contract, mapping_slot(ALICE.to_word(), a_slot)): 3,  # idx = 3
+                StateKey(contract, b_slot): 6,  # B.length = 6
+            },
+        )
+        tx = Transaction(
+            ALICE, contract, 0, example_contract.encode_call("UpdateB", ALICE, 5)
+        )
+        csag = build(db, tx)
+        assert csag.predicted_success
+        written_slots = {a.key.slot for a in csag.accesses if a.kind == "write"}
+        # idx=3: loop writes B[3] and B[2] (i from 3 down to 2).
+        assert array_element_slot(b_slot, 3) in written_slots
+        assert array_element_slot(b_slot, 2) in written_slots
+        assert array_element_slot(b_slot, 1) not in written_slots
+
+    def test_snapshot_changes_refinement(self, example_contract):
+        """Same transaction, different snapshot value for A[x] — the C-SAG
+        changes shape (else-branch instead of the loop)."""
+        db = StateDB()
+        contract = Address.derive("example2")
+        db.deploy_contract(contract, example_contract.code, "Example")
+        a_slot = example_contract.slot_of("A")
+        b_slot = example_contract.slot_of("B")
+        db.seed_genesis(
+            {ALICE: 10**18},
+            {StateKey(contract, b_slot): 6},  # A[ALICE] = 0 -> else branch
+        )
+        tx = Transaction(
+            ALICE, contract, 0, example_contract.encode_call("UpdateB", ALICE, 5)
+        )
+        csag = build(db, tx)
+        from repro.core import array_element_slot
+
+        written_slots = {a.key.slot for a in csag.accesses if a.kind == "write"}
+        assert array_element_slot(b_slot, 0) in written_slots
+        assert array_element_slot(b_slot, 1) in written_slots
+        assert array_element_slot(b_slot, 3) not in written_slots

@@ -1,0 +1,88 @@
+"""Selector-dispatch recognition tests."""
+
+from repro.analysis import build_cfg
+from repro.analysis.dispatch import (
+    reachable_pcs,
+    selector_entries,
+    selector_reachability,
+)
+from repro.evm import Op, assemble
+from repro.lang import compile_source
+
+
+class TestSelectorEntries:
+    def test_compiled_dispatcher_recognised(self, token_contract):
+        cfg = build_cfg(token_contract.code)
+        entries = selector_entries(cfg)
+        expected = {abi.selector for abi in token_contract.functions.values()}
+        assert set(entries) == expected
+
+    def test_entries_are_jumpdests(self, token_contract):
+        cfg = build_cfg(token_contract.code)
+        for entry in selector_entries(cfg).values():
+            assert cfg.blocks[entry].instructions[0].op == Op.JUMPDEST
+
+    def test_hand_written_code_without_dispatcher(self):
+        cfg = build_cfg(assemble("PUSH 1\nPUSH 0\nSSTORE\nSTOP"))
+        assert selector_entries(cfg) == {}
+
+
+class TestReachability:
+    def test_reachable_pcs_cover_block(self):
+        code = assemble("""
+            PUSH 1
+            PUSH :a
+            JUMPI
+            STOP
+        a:
+            JUMPDEST
+            PUSH 2
+            POP
+            STOP
+        """)
+        cfg = build_cfg(code)
+        target = max(cfg.blocks)
+        pcs = reachable_pcs(cfg, target)
+        assert target in pcs
+        assert 0 not in pcs  # entry block not reachable from the target
+
+    def test_functions_have_disjoint_bodies(self):
+        compiled = compile_source("""
+            contract T {
+                uint a;
+                uint b;
+                function setA(uint v) public { a = v; }
+                function setB(uint v) public { b = v; }
+            }
+        """)
+        cfg = build_cfg(compiled.code)
+        reach = selector_reachability(cfg)
+        set_a = reach[compiled.abi("setA").selector]
+        set_b = reach[compiled.abi("setB").selector]
+        # The bodies differ even if shared tails (revert/panic) overlap.
+        assert set_a != set_b
+        only_a = set_a - set_b
+        only_b = set_b - set_a
+        assert only_a and only_b
+
+    def test_reachability_drives_static_sets(self, token_contract):
+        """A mint transaction's static sets must not contain transfer's
+        msg.sender-keyed slots."""
+        from repro.analysis import CSAGBuilder
+        from repro.chain.transaction import Transaction
+        from repro.core import Address, StateKey, mapping_slot
+        from repro.state import StateDB
+
+        db = StateDB()
+        token = Address.derive("dispatch-token")
+        alice = Address.derive("dispatch-alice")
+        bob = Address.derive("dispatch-bob")
+        db.deploy_contract(token, token_contract.code, "Token")
+        db.seed_genesis({alice: 10**18})
+        builder = CSAGBuilder(db.codes.code_of)
+        tx = Transaction(alice, token, 0, token_contract.encode_call("mint", bob, 5))
+        csag = builder.build(tx, db.latest)
+        bal = token_contract.slot_of("balanceOf")
+        sender_key = StateKey(token, mapping_slot(alice.to_word(), bal))
+        # transfer() would read balanceOf[msg.sender]; mint() must not.
+        assert sender_key not in csag.static_read_keys

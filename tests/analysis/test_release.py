@@ -1,0 +1,190 @@
+"""Release-point analysis tests."""
+
+from repro.analysis import analyze_release_points, build_cfg
+from repro.evm import Op, assemble
+from repro.lang import compile_source
+
+
+def analyse(code):
+    cfg = build_cfg(code)
+    return cfg, analyze_release_points(cfg)
+
+
+class TestStraightLine:
+    def test_no_aborts_releases_at_entry(self):
+        cfg, release = analyse(assemble("PUSH 1\nPUSH 0\nSSTORE\nSTOP"))
+        assert release.pcs == {0}
+
+    def test_release_after_last_revert(self):
+        code = assemble("""
+            PUSH 1
+            PUSH :ok
+            JUMPI
+            PUSH 0
+            PUSH 0
+            REVERT
+        ok:
+            JUMPDEST
+            PUSH 5
+            PUSH 0
+            SSTORE
+            STOP
+        """)
+        cfg, release = analyse(code)
+        # The ok-block is abort-free and its predecessor can abort.
+        (point,) = release.release_points
+        block = cfg.block_of(point.pc)
+        assert block.instructions[0].op == Op.JUMPDEST
+
+    def test_revert_block_itself_never_releases(self):
+        code = assemble("PUSH 0\nPUSH 0\nREVERT")
+        _cfg, release = analyse(code)
+        assert not release.release_points
+
+
+class TestAbortReachability:
+    def test_reachability_propagates_backwards(self):
+        code = assemble("""
+            PUSH 1
+            POP
+            PUSH 1
+            PUSH :maybe
+            JUMPI
+            STOP
+        maybe:
+            JUMPDEST
+            INVALID
+        """)
+        cfg, release = analyse(code)
+        assert release.abort_reachable[0]
+
+    def test_post_abort_suffix_is_safe(self):
+        code = assemble("""
+            PUSH 1
+            PUSH :go
+            JUMPI
+            INVALID
+        go:
+            JUMPDEST
+            PUSH 1
+            PUSH 0
+            SSTORE
+            STOP
+        """)
+        cfg, release = analyse(code)
+        go_block = max(cfg.blocks)
+        assert not release.abort_reachable[go_block]
+
+
+class TestGasBounds:
+    def test_acyclic_bound_is_finite(self):
+        code = assemble("""
+            PUSH 1
+            PUSH :ok
+            JUMPI
+            PUSH 0
+            PUSH 0
+            REVERT
+        ok:
+            JUMPDEST
+            PUSH 5
+            PUSH 0
+            SSTORE
+            STOP
+        """)
+        _cfg, release = analyse(code)
+        (point,) = release.release_points
+        assert point.gas_bound is not None
+        # JUMPDEST(1) + 2 pushes (6) + SSTORE (5000) >= bound >= SSTORE
+        assert 5_000 <= point.gas_bound <= 6_000
+
+    def test_loop_makes_bound_unbounded(self):
+        code = assemble("""
+            PUSH 1
+            PUSH :body
+            JUMPI
+            PUSH 0
+            PUSH 0
+            REVERT
+        body:
+            JUMPDEST
+            PUSH 1
+        loop:
+            JUMPDEST
+            PUSH 1
+            SWAP1
+            SUB
+            DUP1
+            PUSH :loop
+            JUMPI
+            STOP
+        """)
+        _cfg, release = analyse(code)
+        assert release.release_points
+        assert all(p.gas_bound is None for p in release.release_points)
+
+
+class TestCompiledContracts:
+    def test_token_release_points_after_requires(self, token_contract):
+        from repro.analysis import build_psag
+
+        psag = build_psag(token_contract.code)
+        release_pcs = psag.release_pcs()
+        assert release_pcs
+        # Every release point must not be able to reach a REVERT/INVALID.
+        cfg = psag.analysis.cfg
+        for pc in release_pcs:
+            block = cfg.block_of(pc)
+            assert not any(
+                release_has_abort_beyond(cfg, block, pc)
+                for _ in [0]
+            )
+
+    def test_call_counts_as_abortable(self):
+        # A contract whose tail performs a CALL must not release before it.
+        code = assemble("""
+            PUSH 1
+            PUSH 0
+            SSTORE
+            PUSH 0
+            PUSH 0
+            PUSH 0
+            PUSH 0
+            PUSH 0
+            PUSH 0x1234
+            PUSH 100
+            CALL
+            POP
+            STOP
+        """)
+        _cfg, release = analyse(code)
+        if release.release_points:
+            # any release point must come after the CALL
+            call_pc = [i.pc for i in _iter_ops(code) if i.op == Op.CALL][0]
+            assert all(p.pc > call_pc for p in release.release_points)
+
+
+def release_has_abort_beyond(cfg, block, pc):
+    """Is any REVERT/INVALID/CALL reachable at-or-after pc?"""
+    abortable = (Op.REVERT, Op.INVALID, Op.CALL)
+    for instr in block.instructions:
+        if instr.pc >= pc and instr.op in abortable:
+            return True
+    seen = set()
+    stack = list(block.successors)
+    while stack:
+        start = stack.pop()
+        if start in seen:
+            continue
+        seen.add(start)
+        for instr in cfg.blocks[start].instructions:
+            if instr.op in abortable:
+                return True
+        stack.extend(cfg.blocks[start].successors)
+    return False
+
+
+def _iter_ops(code):
+    from repro.evm import disassemble
+
+    return list(disassemble(code))

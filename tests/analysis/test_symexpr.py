@@ -1,0 +1,125 @@
+"""Symbolic expression tests: folding, evaluation, classification."""
+
+import pytest
+
+from repro.core import hash_words
+from repro.analysis.symexpr import (
+    BinOp,
+    Calldata,
+    Caller,
+    CallValue,
+    Const,
+    SLoadVal,
+    Sha3,
+    Timestamp,
+    TxEnvironment,
+    Unknown,
+    Unresolvable,
+    contains_unknown,
+    depends_on_state,
+    evaluate,
+    make_binop,
+    simplify,
+)
+
+ENV = TxEnvironment(
+    calldata=bytes([0xAA]) * 4 + (7).to_bytes(32, "big") + (9).to_bytes(32, "big"),
+    caller=0x1234,
+    call_value=55,
+    block_number=10,
+    timestamp=999,
+)
+
+
+def no_storage(_key):
+    raise AssertionError("storage should not be consulted")
+
+
+class TestSimplify:
+    def test_const_fold_add(self):
+        assert make_binop("+", Const(2), Const(3)) == Const(5)
+
+    def test_const_fold_wraps(self):
+        assert make_binop("+", Const(2**256 - 1), Const(1)) == Const(0)
+
+    def test_sha3_fold(self):
+        folded = simplify(Sha3((Const(5), Const(1))))
+        assert folded == Const(hash_words(5, 1))
+
+    def test_no_fold_with_symbol(self):
+        expr = make_binop("+", Caller(), Const(1))
+        assert isinstance(expr, BinOp)
+
+    def test_all_operators_fold(self):
+        cases = {
+            "-": (10, 3, 7), "*": (4, 5, 20), "/": (9, 2, 4), "%": (9, 2, 1),
+            "and": (0b1100, 0b1010, 0b1000), "or": (0b1100, 0b1010, 0b1110),
+            "xor": (0b1100, 0b1010, 0b0110), "shl": (3, 1, 8), "shr": (3, 8, 1),
+            "lt": (1, 2, 1), "gt": (1, 2, 0), "eq": (4, 4, 1),
+        }
+        for op, (a, b, expected) in cases.items():
+            if op in ("shl", "shr"):
+                # shift amount is the left operand (EVM order)
+                assert make_binop(op, Const(a), Const(b)) == Const(expected)
+            else:
+                assert make_binop(op, Const(a), Const(b)) == Const(expected)
+
+
+class TestEvaluate:
+    def test_const(self):
+        assert evaluate(Const(5), ENV, no_storage) == 5
+
+    def test_calldata(self):
+        assert evaluate(Calldata(4), ENV, no_storage) == 7
+        assert evaluate(Calldata(36), ENV, no_storage) == 9
+
+    def test_calldata_padding(self):
+        # Offset 60 overlaps arg1's tail: 8 real bytes then zero padding.
+        assert evaluate(Calldata(60), ENV, no_storage) == 9 << (8 * 24)
+
+    def test_environment_values(self):
+        assert evaluate(Caller(), ENV, no_storage) == 0x1234
+        assert evaluate(CallValue(), ENV, no_storage) == 55
+        assert evaluate(Timestamp(), ENV, no_storage) == 999
+
+    def test_sha3(self):
+        expr = Sha3((Caller(), Const(1)))
+        assert evaluate(expr, ENV, no_storage) == hash_words(0x1234, 1)
+
+    def test_binop(self):
+        expr = BinOp("+", Calldata(4), Const(10))
+        assert evaluate(expr, ENV, no_storage) == 17
+
+    def test_sload_consults_reader(self):
+        expr = SLoadVal(Const(3), site=77)
+        value = evaluate(expr, ENV, lambda key: 42 if key == Const(3) else 0)
+        assert value == 42
+
+    def test_unknown_raises(self):
+        with pytest.raises(Unresolvable):
+            evaluate(Unknown(1), ENV, no_storage)
+
+    def test_nested_unknown_raises(self):
+        with pytest.raises(Unresolvable):
+            evaluate(BinOp("+", Const(1), Unknown(2)), ENV, no_storage)
+
+
+class TestClassification:
+    def test_contains_unknown(self):
+        assert contains_unknown(Unknown(1))
+        assert contains_unknown(Sha3((Unknown(1), Const(2))))
+        assert contains_unknown(SLoadVal(Unknown(3), 0))
+        assert not contains_unknown(Sha3((Caller(), Const(1))))
+
+    def test_depends_on_state(self):
+        assert depends_on_state(SLoadVal(Const(0), 1))
+        assert depends_on_state(BinOp("+", SLoadVal(Const(0), 1), Const(2)))
+        assert depends_on_state(Sha3((SLoadVal(Const(0), 1), Const(5))))
+        assert not depends_on_state(Sha3((Caller(), Const(1))))
+
+    def test_str_forms(self):
+        assert str(Calldata(4)) == "arg0"
+        assert str(Calldata(36)) == "arg1"
+        assert str(Calldata(2)) == "calldata[2]"
+        assert str(Unknown(9)) == "–"
+        assert "keccak" in str(Sha3((Caller(), Const(1))))

@@ -1,0 +1,136 @@
+"""Consensus simulator and network simulation tests."""
+
+import pytest
+
+from repro.chain import PoWSimulator, PropagationModel
+from repro.chain.network import NetworkSimulation, _to_seconds
+from repro.chain.txpool import Packer
+from repro.chain.validator import Validator
+from repro.executors import DMVCCExecutor, SerialExecutor
+
+
+class TestPoWSimulator:
+    def test_deterministic_given_seed(self):
+        events_a = list(PoWSimulator(4, 12.0, seed=3).events(10))
+        events_b = list(PoWSimulator(4, 12.0, seed=3).events(10))
+        assert events_a == events_b
+
+    def test_seed_changes_schedule(self):
+        events_a = list(PoWSimulator(4, 12.0, seed=3).events(10))
+        events_b = list(PoWSimulator(4, 12.0, seed=4).events(10))
+        assert events_a != events_b
+
+    def test_times_increase(self):
+        events = list(PoWSimulator(4, 12.0, seed=1).events(20))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_mean_interval_close_to_target(self):
+        events = list(PoWSimulator(4, 12.0, seed=7).events(500))
+        mean_gap = events[-1].time / len(events)
+        assert 8.0 < mean_gap < 16.0
+
+    def test_deterministic_interval_mode(self):
+        events = list(
+            PoWSimulator(2, 12.0, seed=1, deterministic_interval=True).events(3)
+        )
+        assert [e.time for e in events] == [12.0, 24.0, 36.0]
+
+    def test_miners_in_range(self):
+        events = list(PoWSimulator(3, 1.0, seed=5).events(100))
+        assert {e.miner_index for e in events} <= {0, 1, 2}
+        assert len({e.miner_index for e in events}) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoWSimulator(0, 12.0)
+        with pytest.raises(ValueError):
+            PoWSimulator(2, 0.0)
+
+
+class TestPropagation:
+    def test_delay_scales_with_block_size(self):
+        model = PropagationModel(base_delay=0.5, per_tx_delay=0.001)
+        assert model.delay(0) == 0.5
+        assert model.delay(1000) == pytest.approx(1.5)
+
+
+class TestNetworkSimulation:
+    def _network(self, token_contract, executor_factory, threads, gas_per_second,
+                 validators=2, interval=12.0):
+        from .test_validator import fresh_db
+
+        nodes = [
+            Validator(
+                f"v{i}", fresh_db(token_contract), executor_factory(),
+                threads=threads, packer=Packer(max_txs=50),
+            )
+            for i in range(validators)
+        ]
+        return NetworkSimulation(
+            nodes,
+            block_interval=interval,
+            gas_per_second=gas_per_second,
+            seed=1,
+            deterministic_interval=True,
+        )
+
+    def _txs(self, token_contract, n):
+        """Transfers over disjoint sender/recipient pairs: 12 independent
+        chains, so parallel schedulers have real work to overlap."""
+        from .test_validator import TOKEN, USERS
+        from repro.chain import Transaction
+
+        pairs = len(USERS) // 2
+        return [
+            Transaction(
+                USERS[2 * (i % pairs)], TOKEN, 0,
+                token_contract.encode_call(
+                    "transfer", USERS[2 * (i % pairs) + 1], 1 + i
+                ),
+            )
+            for i in range(n)
+        ]
+
+    def test_roots_agree_across_validators(self, token_contract):
+        network = self._network(token_contract, DMVCCExecutor, 4, 1e9)
+        network.submit(self._txs(token_contract, 40))
+        result = network.run(2)
+        assert result.all_roots_agree
+        assert result.committed_txs > 0
+
+    def test_mining_bound_regime(self, token_contract):
+        """Fast execution: the cycle time equals the mining interval."""
+        network = self._network(token_contract, SerialExecutor, 1, 1e12)
+        network.submit(self._txs(token_contract, 40))
+        result = network.run(2)
+        for record in result.records:
+            assert record.cycle_seconds == pytest.approx(record.mining_gap)
+
+    def test_execution_bound_regime(self, token_contract):
+        """Slow execution dominates the cycle (the paper's big-block case)."""
+        network = self._network(token_contract, SerialExecutor, 1, 2_000.0)
+        network.submit(self._txs(token_contract, 40))
+        result = network.run(2)
+        assert any(r.cycle_seconds > r.mining_gap for r in result.records)
+
+    def test_parallelism_raises_throughput_when_execution_bound(self, token_contract):
+        def throughput(executor_factory, threads):
+            network = self._network(token_contract, executor_factory, threads, 20_000.0)
+            network.submit(self._txs(token_contract, 60))
+            return network.run(2).throughput
+
+        serial_tps = throughput(SerialExecutor, 1)
+        parallel_tps = throughput(DMVCCExecutor, 8)
+        assert parallel_tps > serial_tps * 1.5
+
+    def test_gossip_drop_exercises_missing_path(self, token_contract):
+        network = self._network(token_contract, DMVCCExecutor, 4, 1e9)
+        network.submit(self._txs(token_contract, 40), drop_rate=0.5, seed=3)
+        result = network.run(2)
+        assert result.all_roots_agree
+        assert result.missing_csags > 0
+
+    def test_to_seconds(self):
+        assert _to_seconds(2_500_000.0, 1_250_000.0) == 2.0

@@ -1,0 +1,108 @@
+"""Transaction pool and packer tests."""
+
+from repro.analysis import CSAGBuilder
+from repro.chain import Packer, Transaction, TransactionPool
+from repro.core import Address
+from repro.state import StateDB
+
+ALICE = Address.derive("alice")
+BOB = Address.derive("bob")
+
+
+def make_txs(n):
+    return [Transaction(ALICE, BOB, value=i + 1) for i in range(n)]
+
+
+class TestPool:
+    def test_add_and_contains(self):
+        pool = TransactionPool()
+        (tx,) = make_txs(1)
+        assert pool.add(tx)
+        assert tx.tx_hash in pool
+        assert len(pool) == 1
+
+    def test_duplicate_ignored(self):
+        pool = TransactionPool()
+        (tx,) = make_txs(1)
+        pool.add(tx)
+        assert not pool.add(tx)
+        assert len(pool) == 1
+
+    def test_take_fifo(self):
+        pool = TransactionPool()
+        txs = make_txs(5)
+        for tx in txs:
+            pool.add(tx)
+        taken = pool.take(3)
+        assert [p.tx for p in taken] == txs[:3]
+        assert len(pool) == 2
+
+    def test_eviction_at_capacity(self):
+        pool = TransactionPool(max_size=2)
+        txs = make_txs(3)
+        for tx in txs:
+            pool.add(tx)
+        assert len(pool) == 2
+        assert txs[0].tx_hash not in pool  # oldest evicted
+
+    def test_analyse_fills_missing_csags(self):
+        db = StateDB()
+        db.seed_genesis({ALICE: 10**18})
+        pool = TransactionPool()
+        for tx in make_txs(3):
+            pool.add(tx)
+        built = pool.analyse(CSAGBuilder(db.codes.code_of), db.latest)
+        assert built == 3
+        assert pool.analyse(CSAGBuilder(db.codes.code_of), db.latest) == 0
+
+    def test_lookup_block_removes_and_reports_missing(self):
+        db = StateDB()
+        db.seed_genesis({ALICE: 10**18})
+        builder = CSAGBuilder(db.codes.code_of)
+        pool = TransactionPool()
+        txs = make_txs(3)
+        pool.add(txs[0], builder.build(txs[0], db.latest))
+        pool.add(txs[1])  # present but unanalysed
+        # txs[2] entirely unknown
+        csags, missing = pool.lookup_block(txs)
+        assert csags[0] is not None
+        assert csags[1] is None and csags[2] is None
+        assert missing == 2
+        assert len(pool) == 0
+
+    def test_remove(self):
+        pool = TransactionPool()
+        (tx,) = make_txs(1)
+        pool.add(tx)
+        assert pool.remove(tx.tx_hash)
+        assert not pool.remove(tx.tx_hash)
+
+
+class TestPacker:
+    def test_count_limit(self):
+        pool = TransactionPool()
+        for tx in make_txs(10):
+            pool.add(tx)
+        packed = Packer(max_txs=4).pack(pool)
+        assert len(packed) == 4
+        assert len(pool) == 6
+
+    def test_gas_limit(self):
+        db = StateDB()
+        db.seed_genesis({ALICE: 10**18})
+        builder = CSAGBuilder(db.codes.code_of)
+        pool = TransactionPool()
+        txs = make_txs(5)
+        for tx in txs:
+            pool.add(tx, builder.build(tx, db.latest))
+        # Each transfer predicts 21_000 gas; cap at two transfers' worth.
+        packed = Packer(max_txs=100, gas_limit=45_000).pack(pool)
+        assert len(packed) == 2
+        assert len(pool) == 3  # the rest returned to the pool
+
+    def test_gas_limit_always_packs_at_least_one(self):
+        pool = TransactionPool()
+        (tx,) = make_txs(1)
+        pool.add(tx)  # unanalysed: estimate = tx.gas_limit (large)
+        packed = Packer(max_txs=10, gas_limit=1).pack(pool)
+        assert len(packed) == 1

@@ -1,0 +1,176 @@
+"""Validator workflow tests: propose, import, verify roots."""
+
+import pytest
+
+from repro.chain import Packer, Transaction, Validator
+from repro.core import Address, StateKey, mapping_slot
+from repro.core.errors import InvalidBlock
+from repro.executors import DMVCCExecutor, SerialExecutor
+from repro.state import StateDB
+
+USERS = [Address.derive(f"vuser{i}") for i in range(24)]
+TOKEN = Address.derive("vtoken")
+
+
+def fresh_db(token_contract):
+    db = StateDB()
+    db.deploy_contract(TOKEN, token_contract.code, "Token")
+    bal = token_contract.slot_of("balanceOf")
+    storage = {
+        StateKey(TOKEN, mapping_slot(u.to_word(), bal)): 10_000 for u in USERS
+    }
+    db.seed_genesis({u: 10**18 for u in USERS}, storage)
+    return db
+
+
+def make_validator(token_contract, name="v0", executor=None, threads=4):
+    return Validator(
+        name,
+        fresh_db(token_contract),
+        executor if executor is not None else DMVCCExecutor(),
+        threads=threads,
+        packer=Packer(max_txs=100),
+    )
+
+
+def sample_txs(token_contract, n=6):
+    txs = []
+    for i in range(n):
+        txs.append(Transaction(
+            USERS[i % len(USERS)], TOKEN, 0,
+            token_contract.encode_call("transfer", USERS[(i + 1) % len(USERS)], 10 + i),
+        ))
+    return txs
+
+
+class TestPropose:
+    def test_propose_commits_and_seals(self, token_contract):
+        validator = make_validator(token_contract)
+        for tx in sample_txs(token_contract):
+            validator.receive_transaction(tx)
+        block, execution = validator.propose_block(timestamp=100)
+        assert block.number == 1
+        assert validator.height == 1
+        assert block.header.state_root == validator.state_root()
+        assert len(block) == 6
+        assert execution.success_count == 6
+
+    def test_pool_drained(self, token_contract):
+        validator = make_validator(token_contract)
+        for tx in sample_txs(token_contract):
+            validator.receive_transaction(tx)
+        validator.propose_block()
+        assert len(validator.pool) == 0
+
+    def test_packer_limit_respected(self, token_contract):
+        validator = make_validator(token_contract)
+        validator.packer = Packer(max_txs=2)
+        for tx in sample_txs(token_contract):
+            validator.receive_transaction(tx)
+        block, _ = validator.propose_block()
+        assert len(block) == 2
+        assert len(validator.pool) == 4
+
+    def test_stats_updated(self, token_contract):
+        validator = make_validator(token_contract)
+        for tx in sample_txs(token_contract):
+            validator.receive_transaction(tx)
+        validator.propose_block()
+        assert validator.stats.received_txs == 6
+        assert validator.stats.analysed_txs == 6
+        assert validator.stats.proposed_blocks == 1
+
+
+class TestImport:
+    def test_import_reaches_same_root(self, token_contract):
+        miner = make_validator(token_contract, "miner")
+        follower = make_validator(token_contract, "follower",
+                                  executor=SerialExecutor(), threads=1)
+        txs = sample_txs(token_contract)
+        for tx in txs:
+            miner.receive_transaction(tx)
+            follower.receive_transaction(tx)
+        block, _ = miner.propose_block(timestamp=50)
+        follower.import_block(block)
+        assert follower.state_root() == miner.state_root()
+
+    def test_import_with_cold_pool(self, token_contract):
+        """A follower that never saw the transactions re-analyses on the
+        fly (paper §III-A) and still agrees."""
+        miner = make_validator(token_contract, "miner")
+        follower = make_validator(token_contract, "cold")
+        txs = sample_txs(token_contract)
+        for tx in txs:
+            miner.receive_transaction(tx)
+        block, _ = miner.propose_block()
+        follower.import_block(block)
+        assert follower.state_root() == miner.state_root()
+        assert follower.stats.missing_csags == len(txs)
+        assert follower.stats.reanalysed_csags == len(txs)
+
+    def test_import_occ_fallback_for_missing(self, token_contract):
+        """With re-analysis disabled, missing transactions run with an empty
+        C-SAG (pure OCC mode) — correctness must still hold."""
+        miner = make_validator(token_contract, "miner")
+        follower = Validator(
+            "occ-fallback",
+            fresh_db(token_contract),
+            DMVCCExecutor(),
+            threads=4,
+            reanalyse_missing=False,
+        )
+        txs = sample_txs(token_contract)
+        for tx in txs:
+            miner.receive_transaction(tx)
+        block, _ = miner.propose_block()
+        follower.import_block(block)
+        assert follower.state_root() == miner.state_root()
+
+    def test_root_mismatch_detected(self, token_contract):
+        """A block with a forged state root must be rejected."""
+        from dataclasses import replace
+
+        from repro.chain.block import Block
+
+        miner = make_validator(token_contract, "miner")
+        follower = make_validator(token_contract, "follower")
+        for tx in sample_txs(token_contract):
+            miner.receive_transaction(tx)
+        block, _ = miner.propose_block()
+        forged_header = replace(block.header, state_root=b"\x66" * 32)
+        forged = Block(forged_header, block.transactions)
+        with pytest.raises(InvalidBlock):
+            follower.import_block(forged)
+        assert follower.stats.root_mismatches == 1
+
+    def test_chain_continuity_enforced(self, token_contract):
+        miner = make_validator(token_contract, "miner")
+        follower = make_validator(token_contract, "follower")
+        for tx in sample_txs(token_contract):
+            miner.receive_transaction(tx)
+        block1, _ = miner.propose_block()
+        for tx in sample_txs(token_contract, 3):
+            miner.receive_transaction(tx)
+        block2, _ = miner.propose_block()
+        follower.import_block(block1)
+        follower.import_block(block2)
+        assert follower.height == 2
+        # Re-importing out of order fails the shape check.
+        with pytest.raises(InvalidBlock):
+            follower.import_block(block1)
+
+
+class TestMultiBlock:
+    def test_multi_block_chain_roots(self, token_contract):
+        """Three blocks proposed with DMVCC match a serial follower
+        throughout — the RQ1 check in miniature."""
+        miner = make_validator(token_contract, "miner", threads=8)
+        follower = make_validator(token_contract, "serial-check",
+                                  executor=SerialExecutor(), threads=1)
+        for round_ in range(3):
+            txs = sample_txs(token_contract, 5)
+            for tx in txs:
+                miner.receive_transaction(tx)
+            block, _ = miner.propose_block(timestamp=round_)
+            follower.import_block(block)
+            assert follower.state_root() == miner.state_root()

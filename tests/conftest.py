@@ -1,0 +1,136 @@
+"""Shared fixtures: compiled contracts, funded chains, tx helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey, mapping_slot
+from repro.executors.serial import SerialExecutor, run_tx_serially
+from repro.lang import compile_source
+from repro.state import StateDB
+from repro.workload.contracts import (
+    COUNTER_SOURCE,
+    DEX_POOL_SOURCE,
+    ERC20_SOURCE,
+    ICO_SOURCE,
+    NFT_SOURCE,
+    PAPER_EXAMPLE_SOURCE,
+)
+
+TOKEN_SOURCE = """
+contract Token {
+    uint totalSupply;
+    mapping(address => uint) balanceOf;
+
+    function mint(address to, uint amount) public {
+        totalSupply += amount;
+        balanceOf[to] += amount;
+    }
+
+    function transfer(address to, uint amount) public {
+        require(balanceOf[msg.sender] >= amount);
+        balanceOf[msg.sender] -= amount;
+        balanceOf[to] += amount;
+    }
+
+    function balanceOfUser(address who) public view returns (uint) {
+        return balanceOf[who];
+    }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def token_contract():
+    return compile_source(TOKEN_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def erc20_contract():
+    return compile_source(ERC20_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def counter_contract():
+    return compile_source(COUNTER_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def pool_contract():
+    return compile_source(DEX_POOL_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def nft_contract():
+    return compile_source(NFT_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def ico_contract():
+    return compile_source(ICO_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def example_contract():
+    return compile_source(PAPER_EXAMPLE_SOURCE)
+
+
+class ChainHarness:
+    """A tiny single-node chain for tests: deploy, fund, call, commit."""
+
+    def __init__(self) -> None:
+        self.db = StateDB()
+        self._balances = {}
+        self._sealed = False
+
+    def fund(self, address: Address, amount: int) -> None:
+        assert not self._sealed, "fund before first use"
+        self._balances[address] = amount
+
+    def user(self, label: str, funds: int = 10**18) -> Address:
+        address = Address.derive(label)
+        if not self._sealed:
+            self._balances.setdefault(address, funds)
+        return address
+
+    def deploy(self, label: str, compiled) -> Address:
+        address = Address.derive(label)
+        self.db.deploy_contract(address, compiled.code, compiled.name)
+        return address
+
+    def _seal(self) -> None:
+        if not self._sealed:
+            self.db.seed_genesis(self._balances)
+            self._sealed = True
+
+    def execute(self, txs) -> "tuple":
+        """Run txs serially as one block and commit; returns (execution, snapshot)."""
+        self._seal()
+        execution = SerialExecutor().execute_block(
+            txs, self.db.latest, self.db.codes.code_of
+        )
+        snapshot = self.db.commit(execution.writes)
+        return execution, snapshot
+
+    def call(self, sender: Address, to: Address, compiled, fn: str, *args,
+             value: int = 0):
+        """Execute a single call transaction; returns (result, snapshot)."""
+        tx = Transaction(sender, to, value, compiled.encode_call(fn, *args))
+        execution, snapshot = self.execute([tx])
+        return execution.receipts[0].result, snapshot
+
+    def storage(self, address: Address, slot: int) -> int:
+        self._seal()
+        return self.db.latest.get(StateKey(address, slot))
+
+    def mapping_value(self, address: Address, compiled, var: str, key) -> int:
+        self._seal()
+        key_word = key.to_word() if isinstance(key, Address) else int(key)
+        slot = mapping_slot(key_word, compiled.slot_of(var))
+        return self.db.latest.get(StateKey(address, slot))
+
+
+@pytest.fixture
+def chain():
+    return ChainHarness()

@@ -1,0 +1,109 @@
+"""RLP encoding/decoding tests, including canonical-form properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    RLPDecodeError,
+    decode_int,
+    encode_int,
+    rlp_decode,
+    rlp_encode,
+)
+
+
+class TestKnownVectors:
+    """Vectors from the Ethereum wiki RLP spec."""
+
+    def test_empty_string(self):
+        assert rlp_encode(b"") == b"\x80"
+
+    def test_single_low_byte(self):
+        assert rlp_encode(b"\x0f") == b"\x0f"
+
+    def test_dog(self):
+        assert rlp_encode(b"dog") == b"\x83dog"
+
+    def test_cat_dog_list(self):
+        assert rlp_encode([b"cat", b"dog"]) == b"\xc8\x83cat\x83dog"
+
+    def test_empty_list(self):
+        assert rlp_encode([]) == b"\xc0"
+
+    def test_nested_lists(self):
+        # [ [], [[]], [ [], [[]] ] ]
+        value = [[], [[]], [[], [[]]]]
+        assert rlp_encode(value) == bytes.fromhex("c7c0c1c0c3c0c1c0")
+
+    def test_long_string(self):
+        payload = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit"
+        assert rlp_encode(payload) == b"\xb8\x38" + payload
+
+
+class TestDecoding:
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(RLPDecodeError):
+            rlp_decode(b"\x0f\x0f")
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(RLPDecodeError):
+            rlp_decode(b"\x83do")
+
+    def test_truncated_length_rejected(self):
+        with pytest.raises(RLPDecodeError):
+            rlp_decode(b"\xb8")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(RLPDecodeError):
+            rlp_decode(b"")
+
+    def test_list_item_overrun_rejected(self):
+        # List declares 1 byte payload but contains a 2-byte item.
+        with pytest.raises(RLPDecodeError):
+            rlp_decode(b"\xc1\x83")
+
+
+class TestIntegers:
+    def test_zero_is_empty(self):
+        assert encode_int(0) == b""
+
+    def test_roundtrip(self):
+        for value in (1, 127, 128, 255, 256, 2**64, 2**255):
+            assert decode_int(encode_int(value)) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_int(-1)
+
+    def test_leading_zero_rejected(self):
+        with pytest.raises(RLPDecodeError):
+            decode_int(b"\x00\x01")
+
+
+rlp_items = st.recursive(
+    st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=5),
+    max_leaves=20,
+)
+
+
+def _normalise(item):
+    if isinstance(item, (bytes, bytearray)):
+        return bytes(item)
+    return [_normalise(sub) for sub in item]
+
+
+class TestProperties:
+    @given(rlp_items)
+    def test_roundtrip(self, item):
+        assert _normalise(rlp_decode(rlp_encode(item))) == _normalise(item)
+
+    @given(rlp_items, rlp_items)
+    def test_injective(self, a, b):
+        if _normalise(a) != _normalise(b):
+            assert rlp_encode(a) != rlp_encode(b)
+
+    @given(st.integers(min_value=0, max_value=2**256 - 1))
+    def test_int_roundtrip(self, value):
+        assert decode_int(encode_int(value)) == value

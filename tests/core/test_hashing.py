@@ -1,0 +1,58 @@
+"""Tests for hashing and Solidity storage-slot derivation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    WORD_MAX,
+    array_data_slot,
+    array_element_slot,
+    hash_words,
+    keccak,
+    keccak_hex,
+    mapping_slot,
+)
+
+
+class TestKeccak:
+    def test_deterministic(self):
+        assert keccak(b"abc") == keccak(b"abc")
+
+    def test_distinct_inputs(self):
+        assert keccak(b"abc") != keccak(b"abd")
+
+    def test_length(self):
+        assert len(keccak(b"")) == 32
+
+    def test_hex_matches_bytes(self):
+        assert keccak_hex(b"x") == keccak(b"x").hex()
+
+
+class TestSlotDerivation:
+    def test_mapping_slot_differs_per_key(self):
+        assert mapping_slot(1, 0) != mapping_slot(2, 0)
+
+    def test_mapping_slot_differs_per_base(self):
+        assert mapping_slot(1, 0) != mapping_slot(1, 1)
+
+    def test_mapping_slot_in_range(self):
+        assert 0 <= mapping_slot(123, 45) <= WORD_MAX
+
+    def test_array_elements_consecutive(self):
+        base = array_data_slot(7)
+        assert array_element_slot(7, 0) == base
+        assert array_element_slot(7, 1) == base + 1
+
+    def test_array_element_wraps(self):
+        # Slot arithmetic is modular in the 2^256 slot space.
+        huge = WORD_MAX
+        assert 0 <= array_element_slot(3, huge) <= WORD_MAX
+
+    def test_hash_words_matches_manual(self):
+        manual = keccak((5).to_bytes(32, "big") + (9).to_bytes(32, "big"))
+        assert hash_words(5, 9) == int.from_bytes(manual, "big")
+
+    @given(st.integers(0, WORD_MAX), st.integers(0, 100))
+    def test_mapping_slot_collision_free_sample(self, key, base):
+        # Distinct (key, base) pairs should never alias the base slot itself.
+        assert mapping_slot(key, base) != base

@@ -1,0 +1,86 @@
+"""Tests for Address and StateKey."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ADDRESS_BYTES, Address, StateKey
+
+
+class TestAddress:
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            Address(1 << 160)
+        with pytest.raises(ValueError):
+            Address(-1)
+
+    def test_derive_is_deterministic(self):
+        assert Address.derive("alice") == Address.derive("alice")
+
+    def test_derive_distinct_labels(self):
+        assert Address.derive("alice") != Address.derive("bob")
+
+    def test_bytes_roundtrip(self):
+        address = Address.derive("carol")
+        assert Address.from_bytes(address.to_bytes()) == address
+
+    def test_from_bytes_rejects_long(self):
+        with pytest.raises(ValueError):
+            Address.from_bytes(b"\x01" * (ADDRESS_BYTES + 1))
+
+    def test_hex_roundtrip(self):
+        address = Address.derive("dave")
+        assert Address.from_hex(str(address)) == address
+
+    def test_str_is_padded(self):
+        assert len(str(Address(1))) == 42  # 0x + 40 hex chars
+
+    def test_ordering(self):
+        assert Address(1) < Address(2)
+
+    def test_to_word(self):
+        assert Address(255).to_word() == 255
+
+
+class TestStateKey:
+    def test_equality(self):
+        a = Address.derive("x")
+        assert StateKey(a, 5) == StateKey(a, 5)
+        assert StateKey(a, 5) != StateKey(a, 6)
+
+    def test_balance_pseudo_slot(self):
+        a = Address.derive("x")
+        key = StateKey.balance(a)
+        assert key.is_balance
+        assert not key.is_nonce
+        assert "balance" in str(key)
+
+    def test_nonce_pseudo_slot(self):
+        key = StateKey.nonce(Address.derive("x"))
+        assert key.is_nonce
+
+    def test_trie_keys_distinct(self):
+        a = Address.derive("x")
+        keys = {
+            StateKey(a, 0).trie_key(),
+            StateKey(a, 1).trie_key(),
+            StateKey.balance(a).trie_key(),
+            StateKey.nonce(a).trie_key(),
+        }
+        assert len(keys) == 4
+
+    def test_trie_key_distinct_per_address(self):
+        assert (
+            StateKey(Address.derive("x"), 0).trie_key()
+            != StateKey(Address.derive("y"), 0).trie_key()
+        )
+
+    def test_hashable(self):
+        a = Address.derive("x")
+        assert len({StateKey(a, 0), StateKey(a, 0), StateKey(a, 1)}) == 2
+
+    @given(st.integers(0, 2**256 - 1), st.integers(0, 2**256 - 1))
+    def test_trie_key_injective_over_slots(self, slot1, slot2):
+        a = Address.derive("inj")
+        if slot1 != slot2:
+            assert StateKey(a, slot1).trie_key() != StateKey(a, slot2).trie_key()

@@ -1,0 +1,158 @@
+"""Unit and property tests for 256-bit word arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import words
+
+WORDS = st.integers(min_value=0, max_value=words.WORD_MAX)
+SMALL = st.integers(min_value=0, max_value=2**64)
+
+
+class TestBasicArithmetic:
+    def test_add_wraps(self):
+        assert words.add(words.WORD_MAX, 1) == 0
+
+    def test_sub_wraps(self):
+        assert words.sub(0, 1) == words.WORD_MAX
+
+    def test_mul_wraps(self):
+        assert words.mul(1 << 255, 2) == 0
+
+    def test_div_by_zero_is_zero(self):
+        assert words.div(123, 0) == 0
+
+    def test_mod_by_zero_is_zero(self):
+        assert words.mod(123, 0) == 0
+
+    def test_div_truncates(self):
+        assert words.div(7, 2) == 3
+
+    def test_exp(self):
+        assert words.exp(2, 10) == 1024
+
+    def test_exp_wraps(self):
+        assert words.exp(2, 256) == 0
+
+
+class TestSignedArithmetic:
+    def test_to_signed_negative(self):
+        assert words.to_signed(words.WORD_MAX) == -1
+
+    def test_to_signed_positive(self):
+        assert words.to_signed(5) == 5
+
+    def test_from_signed_roundtrip(self):
+        assert words.to_signed(words.from_signed(-42)) == -42
+
+    def test_sdiv_truncates_toward_zero(self):
+        minus_seven = words.from_signed(-7)
+        assert words.to_signed(words.sdiv(minus_seven, 2)) == -3
+
+    def test_sdiv_by_zero(self):
+        assert words.sdiv(words.from_signed(-5), 0) == 0
+
+    def test_smod_sign_follows_dividend(self):
+        minus_seven = words.from_signed(-7)
+        assert words.to_signed(words.smod(minus_seven, 3)) == -1
+
+    def test_slt_sgt(self):
+        minus_one = words.from_signed(-1)
+        assert words.slt(minus_one, 0) == 1
+        assert words.sgt(0, minus_one) == 1
+
+
+class TestComparisons:
+    def test_lt_gt_eq(self):
+        assert words.lt(1, 2) == 1
+        assert words.gt(2, 1) == 1
+        assert words.eq(3, 3) == 1
+        assert words.eq(3, 4) == 0
+
+    def test_iszero(self):
+        assert words.iszero(0) == 1
+        assert words.iszero(1) == 0
+
+
+class TestBitwise:
+    def test_not(self):
+        assert words.bitwise_not(0) == words.WORD_MAX
+
+    def test_shl_overflow(self):
+        assert words.shl(256, 1) == 0
+
+    def test_shl(self):
+        assert words.shl(4, 1) == 16
+
+    def test_shr(self):
+        assert words.shr(4, 16) == 1
+
+    def test_shr_overflow(self):
+        assert words.shr(300, words.WORD_MAX) == 0
+
+    def test_sar_preserves_sign(self):
+        minus_eight = words.from_signed(-8)
+        assert words.to_signed(words.sar(1, minus_eight)) == -4
+
+    def test_sar_large_shift_negative(self):
+        assert words.sar(300, words.from_signed(-1)) == words.WORD_MAX
+
+    def test_sar_large_shift_positive(self):
+        assert words.sar(300, 5) == 0
+
+    def test_byte_extraction(self):
+        value = 0xAB << (8 * 31)  # most significant byte
+        assert words.byte(0, value) == 0xAB
+        assert words.byte(31, 0xCD) == 0xCD
+        assert words.byte(32, 0xCD) == 0
+
+
+class TestBytesConversion:
+    def test_word_roundtrip(self):
+        assert words.bytes_to_word(words.word_to_bytes(12345)) == 12345
+
+    def test_bytes_to_word_short(self):
+        assert words.bytes_to_word(b"\x01\x00") == 256
+
+    def test_bytes_to_word_too_long(self):
+        with pytest.raises(ValueError):
+            words.bytes_to_word(b"\x00" * 33)
+
+
+class TestProperties:
+    @given(WORDS, WORDS)
+    def test_add_commutes(self, a, b):
+        assert words.add(a, b) == words.add(b, a)
+
+    @given(WORDS, WORDS, WORDS)
+    def test_add_associates(self, a, b, c):
+        assert words.add(words.add(a, b), c) == words.add(a, words.add(b, c))
+
+    @given(WORDS, WORDS)
+    def test_sub_inverts_add(self, a, b):
+        assert words.sub(words.add(a, b), b) == a
+
+    @given(WORDS)
+    def test_signed_roundtrip(self, a):
+        assert words.from_signed(words.to_signed(a)) == a
+
+    @given(WORDS, WORDS)
+    def test_addmod_matches_python(self, a, b):
+        n = 97
+        assert words.addmod(a, b, n) == (a + b) % n
+
+    @given(WORDS, WORDS)
+    def test_mulmod_no_truncation(self, a, b):
+        # mulmod must use the full product, not the wrapped one.
+        n = (1 << 200) + 7
+        assert words.mulmod(a, b, n) == (a * b) % n
+
+    @given(SMALL, st.integers(min_value=0, max_value=255))
+    def test_shl_shr_inverse_when_no_overflow(self, a, shift):
+        if a.bit_length() + shift <= 256:
+            assert words.shr(shift, words.shl(shift, a)) == a
+
+    @given(WORDS)
+    def test_not_involution(self, a):
+        assert words.bitwise_not(words.bitwise_not(a)) == a

@@ -1,0 +1,131 @@
+"""Assembler and disassembler tests."""
+
+import pytest
+
+from repro.evm import Op, assemble, disassemble, format_disassembly
+from repro.evm.assembler import Assembler, AssemblyError
+
+
+class TestProgrammaticAssembler:
+    def test_push_auto_width(self):
+        code = Assembler().push(0x05).assemble()
+        assert code == bytes([int(Op.PUSH1), 0x05])
+
+    def test_push_two_bytes(self):
+        code = Assembler().push(0x1234).assemble()
+        assert code == bytes([int(Op.PUSH2), 0x12, 0x34])
+
+    def test_push_32_bytes(self):
+        value = (1 << 255) + 1
+        code = Assembler().push(value).assemble()
+        assert code[0] == int(Op.PUSH32)
+        assert int.from_bytes(code[1:], "big") == value
+
+    def test_push_negative_rejected(self):
+        with pytest.raises(AssemblyError):
+            Assembler().push(-1)
+
+    def test_push_too_wide_rejected(self):
+        with pytest.raises(AssemblyError):
+            Assembler().push(1 << 256)
+
+    def test_label_resolution(self):
+        asm = Assembler()
+        asm.jump("end")
+        asm.op(Op.STOP)
+        asm.jumpdest("end").op(Op.STOP)
+        code = asm.assemble()
+        # PUSH2 <offset> JUMP STOP JUMPDEST STOP
+        target = int.from_bytes(code[1:3], "big")
+        assert code[target] == int(Op.JUMPDEST)
+
+    def test_undefined_label_rejected(self):
+        asm = Assembler().push_label("nowhere")
+        with pytest.raises(AssemblyError):
+            asm.assemble()
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler().label("x")
+        with pytest.raises(AssemblyError):
+            asm.label("x")
+
+    def test_backward_jump(self):
+        asm = Assembler()
+        asm.jumpdest("loop")
+        asm.jump("loop")
+        code = asm.assemble()
+        assert int.from_bytes(code[2:4], "big") == 0
+
+    def test_size_property(self):
+        asm = Assembler().push(5).op(Op.ADD).push_label("x").label("x")
+        assert asm.size == 2 + 1 + 3
+
+    def test_raw_bytes(self):
+        code = Assembler().raw(b"\xfe\xfd").assemble()
+        assert code == b"\xfe\xfd"
+
+
+class TestTextAssembler:
+    def test_simple_program(self):
+        code = assemble("PUSH 0x02\nPUSH 0x03\nADD\nSTOP")
+        ops = [i.op for i in disassemble(code)]
+        assert ops == [Op.PUSH1, Op.PUSH1, Op.ADD, Op.STOP]
+
+    def test_comments_and_blanks(self):
+        code = assemble("""
+            ; a comment
+            PUSH 1   ; inline comment
+
+            STOP
+        """)
+        assert len(list(disassemble(code))) == 2
+
+    def test_labels(self):
+        code = assemble("""
+        start:
+          PUSH :start
+          JUMP
+        """)
+        assert int.from_bytes(code[1:3], "big") == 0
+
+    def test_explicit_width_push(self):
+        code = assemble("PUSH4 0x01")
+        assert code == bytes([int(Op.PUSH4), 0, 0, 0, 1])
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("FROBNICATE")
+
+    def test_unexpected_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("ADD 5")
+
+    def test_push_missing_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("PUSH")
+
+
+class TestDisassembler:
+    def test_roundtrip_operands(self):
+        code = assemble("PUSH 0xABCD\nPOP\nSTOP")
+        instructions = list(disassemble(code))
+        assert instructions[0].operand == 0xABCD
+        assert instructions[0].size == 3
+        assert instructions[1].pc == 3
+
+    def test_undefined_byte_becomes_invalid(self):
+        instructions = list(disassemble(b"\xef"))
+        assert instructions[0].op == Op.INVALID
+
+    def test_truncated_push_operand(self):
+        # PUSH2 with only one operand byte available.
+        instructions = list(disassemble(bytes([int(Op.PUSH2), 0x01])))
+        assert instructions[0].operand == 0x01
+
+    def test_format_contains_names(self):
+        text = format_disassembly(assemble("PUSH 1\nSTOP"))
+        assert "PUSH1" in text and "STOP" in text
+
+    def test_next_pc(self):
+        instr = list(disassemble(assemble("PUSH 0x1234")))[0]
+        assert instr.next_pc == 3

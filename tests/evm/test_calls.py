@@ -1,0 +1,130 @@
+"""Nested message-call (CALL) tests: value transfer, revert isolation."""
+
+from repro.core import Address, StateKey
+from repro.evm import EVM, HaltReason, Message, assemble, drive
+from repro.state import WriteJournal
+
+CALLER_ADDR = Address.derive("outer")
+CALLEE_ADDR = Address.derive("inner")
+SENDER = Address.derive("eoa")
+
+# Callee stores 42 at its slot 0 and returns 7 as a word.
+CALLEE_OK = """
+    PUSH 42
+    PUSH 0
+    SSTORE
+    PUSH 7
+    PUSH 0
+    MSTORE
+    PUSH 32
+    PUSH 0
+    RETURN
+"""
+
+# Callee writes then reverts.
+CALLEE_REVERTS = """
+    PUSH 42
+    PUSH 0
+    SSTORE
+    PUSH 0
+    PUSH 0
+    REVERT
+"""
+
+
+def call_program(value=0, out_len=32):
+    """Outer contract: CALL the callee, store the status flag at slot 1 and
+    the first return word at slot 2."""
+    return f"""
+        PUSH {out_len}
+        PUSH 0
+        PUSH 0
+        PUSH 0
+        PUSH {value}
+        PUSH {CALLEE_ADDR.to_word()}
+        PUSH 100000
+        CALL
+        PUSH 1
+        SSTORE
+        PUSH 0
+        MLOAD
+        PUSH 2
+        SSTORE
+    """
+
+
+def run_call(callee_source, value=0, caller_balance=0, out_len=32):
+    caller_code = assemble(call_program(value, out_len))
+    callee_code = assemble(callee_source)
+
+    def resolver(address):
+        if address == CALLER_ADDR:
+            return caller_code
+        if address == CALLEE_ADDR:
+            return callee_code
+        return b""
+
+    state = {StateKey.balance(CALLER_ADDR): caller_balance}
+    evm = EVM(resolver)
+    journal = WriteJournal(lambda key: state.get(key, 0))
+    outcome = drive(evm, Message(SENDER, CALLER_ADDR, 0, b"", 10**6), journal)
+    return outcome
+
+
+class TestSuccessfulCall:
+    def test_status_flag_pushed(self):
+        out = run_call(CALLEE_OK)
+        assert out.result.success
+        assert out.write_set[StateKey(CALLER_ADDR, 1)] == 1
+
+    def test_callee_writes_kept(self):
+        out = run_call(CALLEE_OK)
+        assert out.write_set[StateKey(CALLEE_ADDR, 0)] == 42
+
+    def test_return_data_copied(self):
+        out = run_call(CALLEE_OK)
+        assert out.write_set[StateKey(CALLER_ADDR, 2)] == 7
+
+    def test_call_to_non_contract_succeeds(self):
+        caller_code = assemble(call_program())
+
+        def resolver(address):
+            return caller_code if address == CALLER_ADDR else b""
+
+        evm = EVM(resolver)
+        journal = WriteJournal(lambda key: 0)
+        out = drive(evm, Message(SENDER, CALLER_ADDR, 0, b"", 10**6), journal)
+        assert out.result.success
+        assert out.write_set[StateKey(CALLER_ADDR, 1)] == 1
+
+
+class TestRevertingCall:
+    def test_status_flag_zero(self):
+        out = run_call(CALLEE_REVERTS)
+        assert out.result.success  # the *outer* frame continues
+        assert out.write_set[StateKey(CALLER_ADDR, 1)] == 0
+
+    def test_callee_writes_discarded(self):
+        out = run_call(CALLEE_REVERTS)
+        assert StateKey(CALLEE_ADDR, 0) not in out.write_set
+
+    def test_outer_writes_survive_inner_revert(self):
+        out = run_call(CALLEE_REVERTS)
+        assert StateKey(CALLER_ADDR, 1) in out.write_set
+
+
+class TestValueTransfer:
+    def test_value_moves_on_success(self):
+        out = run_call(CALLEE_OK, value=500, caller_balance=1_000)
+        assert out.write_set[StateKey.balance(CALLER_ADDR)] == 500
+        assert out.write_set[StateKey.balance(CALLEE_ADDR)] == 500
+
+    def test_value_restored_on_revert(self):
+        out = run_call(CALLEE_REVERTS, value=500, caller_balance=1_000)
+        assert StateKey.balance(CALLEE_ADDR) not in out.write_set
+
+    def test_insufficient_balance_fails_call(self):
+        out = run_call(CALLEE_OK, value=500, caller_balance=100)
+        assert out.result.success
+        assert out.write_set[StateKey(CALLER_ADDR, 1)] == 0  # CALL returned 0
+        assert StateKey(CALLEE_ADDR, 0) not in out.write_set

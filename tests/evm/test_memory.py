@@ -1,0 +1,70 @@
+"""EVM memory tests."""
+
+from repro.evm.memory import Memory
+from repro.evm.opcodes import GAS_MEMORY_WORD
+
+
+class TestReadWrite:
+    def test_zero_initialised(self):
+        memory = Memory()
+        assert memory.read(0, 4) == b"\x00\x00\x00\x00"
+
+    def test_write_read(self):
+        memory = Memory()
+        memory.write(10, b"abc")
+        assert memory.read(10, 3) == b"abc"
+
+    def test_word_roundtrip(self):
+        memory = Memory()
+        memory.write_word(32, 0xDEADBEEF)
+        assert memory.read_word(32) == 0xDEADBEEF
+
+    def test_write_byte(self):
+        memory = Memory()
+        memory.write_byte(5, 0x1FF)  # truncated to one byte
+        assert memory.read(5, 1) == b"\xff"
+
+    def test_empty_read(self):
+        memory = Memory()
+        assert memory.read(100, 0) == b""
+        assert len(memory) == 0  # zero-length access does not expand
+
+    def test_empty_write(self):
+        memory = Memory()
+        memory.write(100, b"")
+        assert len(memory) == 0
+
+
+class TestExpansion:
+    def test_grows_in_words(self):
+        memory = Memory()
+        memory.write(0, b"x")
+        assert len(memory) == 32
+
+    def test_growth_spans_words(self):
+        memory = Memory()
+        memory.write(33, b"x")
+        assert len(memory) == 64
+
+    def test_expansion_cost_zero_when_within(self):
+        memory = Memory()
+        memory.write(0, b"\x00" * 64)
+        assert memory.expansion_cost(0, 64) == 0
+
+    def test_expansion_cost_per_word(self):
+        memory = Memory()
+        assert memory.expansion_cost(0, 32) == GAS_MEMORY_WORD
+        assert memory.expansion_cost(0, 33) == 2 * GAS_MEMORY_WORD
+
+    def test_expansion_cost_incremental(self):
+        memory = Memory()
+        memory.write(0, b"\x00" * 32)
+        assert memory.expansion_cost(32, 32) == GAS_MEMORY_WORD
+
+    def test_zero_length_costs_nothing(self):
+        assert Memory().expansion_cost(10_000, 0) == 0
+
+    def test_size_words(self):
+        memory = Memory()
+        memory.write(0, b"\x00" * 65)
+        assert memory.size_words == 3

@@ -1,0 +1,92 @@
+"""Operand stack tests."""
+
+import pytest
+
+from repro.core.errors import StackOverflow, StackUnderflow
+from repro.evm.opcodes import STACK_LIMIT
+from repro.evm.stack import Stack
+
+
+class TestPushPop:
+    def test_lifo(self):
+        stack = Stack()
+        stack.push(1)
+        stack.push(2)
+        assert stack.pop() == 2
+        assert stack.pop() == 1
+
+    def test_underflow(self):
+        with pytest.raises(StackUnderflow):
+            Stack().pop()
+
+    def test_overflow(self):
+        stack = Stack()
+        for i in range(STACK_LIMIT):
+            stack.push(i)
+        with pytest.raises(StackOverflow):
+            stack.push(0)
+
+    def test_push_wraps_words(self):
+        stack = Stack()
+        stack.push(1 << 256)
+        assert stack.pop() == 0
+
+    def test_pop_many_order(self):
+        stack = Stack()
+        for value in (1, 2, 3):
+            stack.push(value)
+        assert stack.pop_many(2) == [3, 2]
+        assert len(stack) == 1
+
+    def test_pop_many_underflow(self):
+        stack = Stack()
+        stack.push(1)
+        with pytest.raises(StackUnderflow):
+            stack.pop_many(2)
+
+
+class TestPeekDupSwap:
+    def test_peek(self):
+        stack = Stack()
+        stack.push(10)
+        stack.push(20)
+        assert stack.peek() == 20
+        assert stack.peek(1) == 10
+        assert len(stack) == 2
+
+    def test_peek_underflow(self):
+        with pytest.raises(StackUnderflow):
+            Stack().peek()
+
+    def test_dup(self):
+        stack = Stack()
+        stack.push(7)
+        stack.push(8)
+        stack.dup(2)  # DUP2 copies the second item
+        assert stack.pop() == 7
+        assert len(stack) == 2
+
+    def test_dup_underflow(self):
+        stack = Stack()
+        stack.push(1)
+        with pytest.raises(StackUnderflow):
+            stack.dup(2)
+
+    def test_swap(self):
+        stack = Stack()
+        for value in (1, 2, 3):
+            stack.push(value)
+        stack.swap(2)  # SWAP2: top <-> third
+        assert stack.as_list() == [3, 2, 1]
+
+    def test_swap_underflow(self):
+        stack = Stack()
+        stack.push(1)
+        with pytest.raises(StackUnderflow):
+            stack.swap(1)
+
+    def test_as_list_bottom_first(self):
+        stack = Stack()
+        stack.push(1)
+        stack.push(2)
+        assert stack.as_list() == [1, 2]

@@ -1,0 +1,100 @@
+"""Execution tracer tests."""
+
+from repro.core import Address, StateKey, mapping_slot
+from repro.evm import Message, format_trace, gas_profile, trace_message
+
+CONTRACT = Address.derive("trace-me")
+ALICE = Address.derive("alice")
+BOB = Address.derive("bob")
+
+
+def trace_call(compiled, fn, *args, state=None):
+    state = state or {}
+    return trace_message(
+        lambda a: compiled.code if a == CONTRACT else b"",
+        Message(ALICE, CONTRACT, 0, compiled.encode_call(fn, *args), 1_000_000),
+        lambda key: state.get(key, 0),
+    )
+
+
+class TestTraceMessage:
+    def test_records_reads_and_writes(self, token_contract):
+        trace = trace_call(token_contract, "mint", BOB, 50)
+        assert trace.result.success
+        kinds = {s.kind for s in trace.steps}
+        assert "read" in kinds and "write" in kinds
+        bal = token_contract.slot_of("balanceOf")
+        bob_key = StateKey(CONTRACT, mapping_slot(BOB.to_word(), bal))
+        assert trace.writes[bob_key] == 50
+
+    def test_gas_monotonic(self, token_contract):
+        trace = trace_call(token_contract, "mint", BOB, 50)
+        gas = [s.gas_used for s in trace.steps]
+        assert gas == sorted(gas)
+
+    def test_failed_execution_has_no_writes(self, token_contract):
+        trace = trace_call(token_contract, "transfer", BOB, 999)
+        assert not trace.result.success
+        assert trace.writes == {}
+        assert trace.reads  # the balance check still read
+
+    def test_storage_ops_counted(self, counter_contract):
+        trace = trace_call(counter_contract, "increment", 5)
+        assert trace.storage_ops == 2  # one SLOAD + one SSTORE
+
+    def test_logs_traced(self, erc20_contract):
+        state = {}
+        # Mint first so the transfer succeeds and emits.
+        bal = erc20_contract.slot_of("balanceOf")
+        state[StateKey(CONTRACT, mapping_slot(ALICE.to_word(), bal))] = 100
+        trace = trace_call(erc20_contract, "transfer", BOB, 10, state=state)
+        assert trace.result.success
+        assert any(s.kind == "log" for s in trace.steps)
+
+
+class TestFormatting:
+    def test_format_contains_operations(self, counter_contract):
+        trace = trace_call(counter_contract, "increment", 5)
+        text = format_trace(trace)
+        assert "SLOAD" in text and "SSTORE" in text
+        assert "gas" in text
+
+    def test_format_truncates(self, counter_contract):
+        trace = trace_call(counter_contract, "increment", 5)
+        text = format_trace(trace, max_steps=1)
+        assert "more steps" in text
+
+
+class TestGasProfile:
+    def test_histogram_shape(self, token_contract):
+        profile = gas_profile(token_contract.code)
+        assert "SSTORE" in profile
+        count, gas = profile["PUSH1"]
+        assert count > 0 and gas == count * 3
+
+    def test_counts_sum_to_instruction_count(self, counter_contract):
+        from repro.evm import disassemble
+
+        profile = gas_profile(counter_contract.code)
+        total = sum(count for count, _gas in profile.values())
+        assert total == len(list(disassemble(counter_contract.code)))
+
+
+class TestPSAGDot:
+    def test_dot_render(self, token_contract):
+        from repro.analysis import build_psag
+
+        psag = build_psag(token_contract.code)
+        dot = psag.to_dot()
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "start" in dot and "end" in dot
+        # Every retained node appears.
+        for node in psag.access_nodes():
+            assert f"pc{node.pc}" in dot
+
+    def test_dot_marks_commutative(self, erc20_contract):
+        from repro.analysis import build_psag
+
+        dot = build_psag(erc20_contract.code).to_dot()
+        assert "ω̄" in dot

@@ -1,0 +1,395 @@
+"""Interpreter tests: arithmetic, control flow, storage, environment, halts.
+
+Each test assembles a small program, runs it through the reference driver,
+and inspects the result / write set.  The convention used by the helpers:
+programs leave their answer in storage slot 0 (``PUSH 0; SSTORE``) or
+return it via RETURN.
+"""
+
+import pytest
+
+from repro.core import Address, StateKey
+from repro.evm import (
+    EVM,
+    BlockContext,
+    HaltReason,
+    Message,
+    assemble,
+    drive,
+    intrinsic_gas,
+)
+from repro.state import WriteJournal
+
+CONTRACT = Address.derive("vm-test")
+SENDER = Address.derive("sender")
+
+
+def run(source, data=b"", state=None, gas=1_000_000, value=0, block=None):
+    code = assemble(source)
+    state = state or {}
+    evm = EVM(lambda a: code if a == CONTRACT else b"", block=block)
+    journal = WriteJournal(lambda key: state.get(key, 0))
+    message = Message(SENDER, CONTRACT, value, data, gas)
+    return drive(evm, message, journal)
+
+
+def stored(outcome, slot=0):
+    return outcome.write_set.get(StateKey(CONTRACT, slot))
+
+
+class TestArithmetic:
+    def test_add(self):
+        out = run("PUSH 3\nPUSH 4\nADD\nPUSH 0\nSSTORE")
+        assert stored(out) == 7
+
+    def test_sub_order(self):
+        # SUB computes top - second: PUSH 3, PUSH 10 -> 10 - 3
+        out = run("PUSH 3\nPUSH 10\nSUB\nPUSH 0\nSSTORE")
+        assert stored(out) == 7
+
+    def test_div_order(self):
+        out = run("PUSH 4\nPUSH 20\nDIV\nPUSH 0\nSSTORE")
+        assert stored(out) == 5
+
+    def test_div_by_zero(self):
+        out = run("PUSH 0\nPUSH 20\nDIV\nPUSH 0\nSSTORE")
+        assert out.result.success
+        assert out.write_set[StateKey(CONTRACT, 0)] == 0
+
+    def test_mod(self):
+        out = run("PUSH 3\nPUSH 20\nMOD\nPUSH 0\nSSTORE")
+        assert stored(out) == 2
+
+    def test_exp(self):
+        out = run("PUSH 8\nPUSH 2\nEXP\nPUSH 0\nSSTORE")
+        assert stored(out) == 256
+
+    def test_addmod(self):
+        out = run("PUSH 7\nPUSH 5\nPUSH 4\nADDMOD\nPUSH 0\nSSTORE")
+        assert stored(out) == (4 + 5) % 7
+
+    def test_mulmod(self):
+        out = run("PUSH 7\nPUSH 5\nPUSH 4\nMULMOD\nPUSH 0\nSSTORE")
+        assert stored(out) == (4 * 5) % 7
+
+    def test_comparison_chain(self):
+        out = run("PUSH 2\nPUSH 1\nLT\nPUSH 0\nSSTORE")  # 1 < 2
+        assert stored(out) == 1
+
+    def test_iszero(self):
+        out = run("PUSH 0\nISZERO\nPUSH 0\nSSTORE")
+        assert stored(out) == 1
+
+    def test_bitwise(self):
+        out = run("PUSH 0x0F\nPUSH 0x3C\nAND\nPUSH 0\nSSTORE")
+        assert stored(out) == 0x0C
+
+    def test_shifts(self):
+        out = run("PUSH 1\nPUSH 4\nSHL\nPUSH 0\nSSTORE")  # 1 << 4
+        assert stored(out) == 16
+
+    def test_byte(self):
+        out = run("PUSH 0xAB\nPUSH 31\nBYTE\nPUSH 0\nSSTORE")
+        assert stored(out) == 0xAB
+
+
+class TestControlFlow:
+    def test_jump(self):
+        out = run("""
+            PUSH :skip
+            JUMP
+            PUSH 99
+            PUSH 0
+            SSTORE
+        skip:
+            JUMPDEST
+            PUSH 1
+            PUSH 0
+            SSTORE
+        """)
+        assert stored(out) == 1
+
+    def test_jumpi_taken(self):
+        out = run("""
+            PUSH 1
+            PUSH :yes
+            JUMPI
+            STOP
+        yes:
+            JUMPDEST
+            PUSH 42
+            PUSH 0
+            SSTORE
+        """)
+        assert stored(out) == 42
+
+    def test_jumpi_not_taken(self):
+        out = run("""
+            PUSH 0
+            PUSH :yes
+            JUMPI
+            STOP
+        yes:
+            JUMPDEST
+            PUSH 42
+            PUSH 0
+            SSTORE
+        """)
+        assert out.result.success
+        assert stored(out) is None
+
+    def test_invalid_jump_destination(self):
+        out = run("PUSH 1\nJUMP")
+        assert out.result.status == HaltReason.BAD_JUMP
+
+    def test_jump_into_push_data_rejected(self):
+        # Offset 1 is the PUSH operand (0x5B = JUMPDEST byte) — not valid.
+        code_src = "PUSH 0x5B\nPUSH 1\nJUMP"
+        out = run(code_src)
+        assert out.result.status == HaltReason.BAD_JUMP
+
+    def test_loop_countdown(self):
+        out = run("""
+            PUSH 5
+        loop:
+            JUMPDEST
+            PUSH 1
+            DUP2
+            SUB
+            SWAP1
+            POP
+            DUP1
+            PUSH :loop
+            JUMPI
+            PUSH 123
+            PUSH 0
+            SSTORE
+        """)
+        assert stored(out) == 123
+
+    def test_pc_opcode(self):
+        out = run("PC\nPUSH 0\nSSTORE")
+        assert out.write_set[StateKey(CONTRACT, 0)] == 0
+
+    def test_fall_off_end_is_stop(self):
+        out = run("PUSH 1\nPUSH 0\nSSTORE")
+        assert out.result.success
+
+
+class TestHalts:
+    def test_stop(self):
+        out = run("STOP\nPUSH 1\nPUSH 0\nSSTORE")
+        assert out.result.success
+        assert not out.write_set
+
+    def test_return_data(self):
+        out = run("""
+            PUSH 0xCAFE
+            PUSH 0
+            MSTORE
+            PUSH 32
+            PUSH 0
+            RETURN
+        """)
+        assert out.result.success
+        assert int.from_bytes(out.result.return_data, "big") == 0xCAFE
+
+    def test_revert_discards_writes(self):
+        out = run("""
+            PUSH 7
+            PUSH 0
+            SSTORE
+            PUSH 0
+            PUSH 0
+            REVERT
+        """)
+        assert out.result.status == HaltReason.REVERT
+        assert not out.write_set
+
+    def test_invalid_consumes_all_gas(self):
+        out = run("INVALID", gas=50_000)
+        assert out.result.status == HaltReason.ASSERT_FAIL
+        assert out.result.gas_used == 50_000
+
+    def test_out_of_gas(self):
+        out = run("PUSH 1\nPUSH 0\nSSTORE", gas=100)
+        assert out.result.status == HaltReason.OUT_OF_GAS
+        assert out.result.gas_used == 100
+        assert not out.write_set
+
+    def test_stack_underflow(self):
+        out = run("ADD")
+        assert out.result.status == HaltReason.STACK_ERROR
+
+    def test_undefined_opcode(self):
+        code = b"\xef"
+        evm = EVM(lambda a: code)
+        journal = WriteJournal(lambda key: 0)
+        out = drive(evm, Message(SENDER, CONTRACT, 0, b"", 10_000), journal)
+        assert out.result.status == HaltReason.INVALID
+
+
+class TestEnvironment:
+    def test_caller(self):
+        out = run("CALLER\nPUSH 0\nSSTORE")
+        assert stored(out) == SENDER.to_word()
+
+    def test_address(self):
+        out = run("ADDRESS\nPUSH 0\nSSTORE")
+        assert stored(out) == CONTRACT.to_word()
+
+    def test_callvalue(self):
+        out = run("CALLVALUE\nPUSH 0\nSSTORE", value=55)
+        assert stored(out) == 55
+
+    def test_calldataload(self):
+        data = (99).to_bytes(32, "big")
+        out = run("PUSH 0\nCALLDATALOAD\nPUSH 0\nSSTORE", data=data)
+        assert stored(out) == 99
+
+    def test_calldataload_padding(self):
+        out = run("PUSH 0\nCALLDATALOAD\nPUSH 0\nSSTORE", data=b"\x01")
+        assert stored(out) == 1 << 248  # right-padded with zeros
+
+    def test_calldatasize(self):
+        out = run("CALLDATASIZE\nPUSH 0\nSSTORE", data=b"abc")
+        assert stored(out) == 3
+
+    def test_calldatacopy(self):
+        out = run(
+            """
+            PUSH 4
+            PUSH 0
+            PUSH 0
+            CALLDATACOPY
+            PUSH 0
+            MLOAD
+            PUSH 0
+            SSTORE
+            """,
+            data=b"\x11\x22\x33\x44",
+        )
+        assert stored(out) == 0x11223344 << (28 * 8)
+
+    def test_block_context(self):
+        out = run(
+            "NUMBER\nPUSH 0\nSSTORE\nTIMESTAMP\nPUSH 1\nSSTORE",
+            block=BlockContext(number=7, timestamp=1234),
+        )
+        assert stored(out, 0) == 7
+        assert stored(out, 1) == 1234
+
+    def test_balance_read(self):
+        state = {StateKey.balance(SENDER): 777}
+        out = run("CALLER\nBALANCE\nPUSH 0\nSSTORE", state=state)
+        assert stored(out) == 777
+
+    def test_selfbalance(self):
+        state = {StateKey.balance(CONTRACT): 42}
+        out = run("SELFBALANCE\nPUSH 0\nSSTORE", state=state)
+        assert stored(out) == 42
+
+
+class TestStorage:
+    def test_sload_default_zero(self):
+        out = run("PUSH 5\nSLOAD\nPUSH 0\nSSTORE")
+        assert out.write_set[StateKey(CONTRACT, 0)] == 0
+
+    def test_sload_from_state(self):
+        state = {StateKey(CONTRACT, 5): 88}
+        out = run("PUSH 5\nSLOAD\nPUSH 0\nSSTORE", state=state)
+        assert stored(out) == 88
+
+    def test_read_own_write(self):
+        out = run("""
+            PUSH 9
+            PUSH 3
+            SSTORE
+            PUSH 3
+            SLOAD
+            PUSH 0
+            SSTORE
+        """)
+        assert stored(out) == 9
+
+    def test_read_set_recorded(self):
+        state = {StateKey(CONTRACT, 5): 88}
+        out = run("PUSH 5\nSLOAD\nPOP", state=state)
+        assert out.read_set == {StateKey(CONTRACT, 5): 88}
+
+    def test_trace_order_and_gas_monotonic(self):
+        code = "PUSH 1\nPUSH 0\nSSTORE\nPUSH 0\nSLOAD\nPOP"
+        state = {}
+        evm = EVM(lambda a: assemble(code))
+        journal = WriteJournal(lambda key: state.get(key, 0))
+        out = drive(evm, Message(SENDER, CONTRACT, 0, b"", 10**6), journal,
+                    collect_trace=True)
+        kinds = [t.kind for t in out.trace]
+        assert kinds == ["write", "read"]
+        assert out.trace[0].gas_used < out.trace[1].gas_used
+
+
+class TestMemoryOps:
+    def test_mstore_mload(self):
+        out = run("PUSH 0xAB\nPUSH 64\nMSTORE\nPUSH 64\nMLOAD\nPUSH 0\nSSTORE")
+        assert stored(out) == 0xAB
+
+    def test_mstore8(self):
+        out = run("PUSH 0xFFEE\nPUSH 0\nMSTORE8\nPUSH 0\nMLOAD\nPUSH 0\nSSTORE")
+        assert stored(out) == 0xEE << 248
+
+    def test_msize(self):
+        out = run("PUSH 1\nPUSH 0\nMSTORE\nMSIZE\nPUSH 0\nSSTORE")
+        assert stored(out) == 32
+
+    def test_sha3(self):
+        from repro.core import hash_words
+        out = run("""
+            PUSH 5
+            PUSH 0
+            MSTORE
+            PUSH 32
+            PUSH 0
+            SHA3
+            PUSH 0
+            SSTORE
+        """)
+        assert stored(out) == hash_words(5)
+
+
+class TestGasAccounting:
+    def test_intrinsic_gas(self):
+        assert intrinsic_gas(b"") == 21_000
+        assert intrinsic_gas(b"\x00") == 21_004
+        assert intrinsic_gas(b"\x01") == 21_016
+
+    def test_gas_opcode_decreases(self):
+        out = run("GAS\nPUSH 0\nSSTORE\nGAS\nPUSH 1\nSSTORE", gas=100_000)
+        first = out.write_set[StateKey(CONTRACT, 0)]
+        second = out.write_set[StateKey(CONTRACT, 1)]
+        assert second < first < 100_000
+
+    def test_gas_used_reported(self):
+        out = run("PUSH 1\nPOP", gas=100_000)
+        assert out.result.gas_used == 5
+
+    def test_exact_simple_cost(self):
+        # PUSH(3) + PUSH(3) + ADD(3) + POP(2) = 11
+        out = run("PUSH 1\nPUSH 2\nADD\nPOP", gas=100_000)
+        assert out.result.gas_used == 11
+
+    def test_logs_collected(self):
+        out = run("""
+            PUSH 0xBEEF
+            PUSH 0
+            MSTORE
+            PUSH 7
+            PUSH 32
+            PUSH 0
+            LOG1
+        """)
+        assert out.result.success
+        assert len(out.result.logs) == 1
+        log = out.result.logs[0]
+        assert log.topics == (7,)
+        assert int.from_bytes(log.data, "big") == 0xBEEF

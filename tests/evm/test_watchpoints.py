@@ -1,0 +1,88 @@
+"""Watchpoint (release-point hook) tests."""
+
+from repro.core import Address
+from repro.evm import EVM, Message, Watchpoint, assemble, drive
+from repro.state import WriteJournal
+
+CONTRACT = Address.derive("watch")
+SENDER = Address.derive("watcher")
+
+SOURCE = """
+    PUSH 1
+    POP
+target:
+    JUMPDEST
+    PUSH 2
+    POP
+    STOP
+"""
+
+
+def run_with_watch(pcs, source=SOURCE, gas=100_000):
+    code = assemble(source)
+    evm = EVM(
+        lambda a: code if a == CONTRACT else b"",
+        watchpoints={CONTRACT: frozenset(pcs)},
+    )
+    journal = WriteJournal(lambda key: 0)
+    events = []
+    outcome = drive(
+        evm, Message(SENDER, CONTRACT, 0, b"", gas), journal,
+        on_watchpoint=events.append,
+    )
+    return outcome, events
+
+
+class TestWatchpoints:
+    def test_fires_at_registered_pc(self):
+        # 'target' JUMPDEST sits at pc 3 (PUSH1 1 = 2 bytes, POP = 1).
+        outcome, events = run_with_watch({3})
+        assert outcome.result.success
+        assert [e.pc for e in events] == [3]
+        assert outcome.watchpoints_hit == [3]
+
+    def test_not_fired_when_unregistered(self):
+        outcome, events = run_with_watch(set())
+        assert events == []
+
+    def test_carries_gas_remaining(self):
+        _, events = run_with_watch({3}, gas=100_000)
+        (event,) = events
+        assert isinstance(event, Watchpoint)
+        assert 0 < event.gas_remaining < 100_000
+        assert event.gas_used + event.gas_remaining == 100_000
+
+    def test_fires_every_crossing_in_loops(self):
+        source = """
+            PUSH 3
+        loop:
+            JUMPDEST
+            PUSH 1
+            SWAP1
+            SUB
+            DUP1
+            PUSH :loop
+            JUMPI
+            STOP
+        """
+        code = assemble(source)
+        # The loop JUMPDEST is at pc 2.
+        evm = EVM(lambda a: code, watchpoints={CONTRACT: frozenset({2})})
+        journal = WriteJournal(lambda key: 0)
+        hits = []
+        drive(evm, Message(SENDER, CONTRACT, 0, b"", 100_000), journal,
+              on_watchpoint=hits.append)
+        assert len(hits) == 3  # three loop iterations
+
+    def test_per_contract_scoping(self):
+        other = Address.derive("other-contract")
+        code = assemble(SOURCE)
+        evm = EVM(
+            lambda a: code,
+            watchpoints={other: frozenset({3})},  # watch the *other* address
+        )
+        journal = WriteJournal(lambda key: 0)
+        hits = []
+        drive(evm, Message(SENDER, CONTRACT, 0, b"", 100_000), journal,
+              on_watchpoint=hits.append)
+        assert hits == []

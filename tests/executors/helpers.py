@@ -1,0 +1,50 @@
+"""Shared executor-test scaffolding."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey, mapping_slot
+from repro.executors import SerialExecutor
+from repro.state import StateDB
+
+USERS = [Address.derive(f"xuser{i}") for i in range(12)]
+TOKEN = Address.derive("xtoken")
+COUNTER = Address.derive("xcounter")
+
+
+def token_db(token_contract, counter_contract=None, token_balances=1_000):
+    """A StateDB with a deployed token, funded users, and token balances."""
+    db = StateDB()
+    db.deploy_contract(TOKEN, token_contract.code, "Token")
+    if counter_contract is not None:
+        db.deploy_contract(COUNTER, counter_contract.code, "Counter")
+    bal_slot = token_contract.slot_of("balanceOf")
+    storage = {
+        StateKey(TOKEN, mapping_slot(u.to_word(), bal_slot)): token_balances
+        for u in USERS
+    }
+    db.seed_genesis({u: 10**18 for u in USERS}, storage)
+    return db
+
+
+def reference_run(txs: List[Transaction], db: StateDB):
+    """Serial write set for the given block (does not commit)."""
+    return SerialExecutor().execute_block(txs, db.latest, db.codes.code_of)
+
+
+def assert_serializable(executor, txs, db, threads, **kwargs):
+    """Execute with ``executor`` and assert serial equivalence; returns the
+    BlockExecution."""
+    reference = reference_run(txs, db)
+    execution = executor.execute_block(
+        txs, db.latest, db.codes.code_of, threads=threads, **kwargs
+    )
+    assert execution.writes == reference.writes, (
+        f"{executor.name} diverged from serial at {threads} threads"
+    )
+    statuses = [r.result.status for r in execution.receipts]
+    reference_statuses = [r.result.status for r in reference.receipts]
+    assert statuses == reference_statuses
+    return execution

@@ -1,0 +1,162 @@
+"""DAG and OCC baseline executor tests."""
+
+import pytest
+
+from repro.analysis import CSAGBuilder
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey
+from repro.executors import DAGExecutor, OCCExecutor
+from repro.executors.dag import build_conflict_dag
+
+from .helpers import TOKEN, USERS, assert_serializable, token_db
+
+
+class TestConflictDAG:
+    def _csags(self, token_contract, txs, db):
+        builder = CSAGBuilder(db.codes.code_of)
+        return [builder.build(tx, db.latest) for tx in txs]
+
+    def test_variable_granularity_conflicts_within_token(self, token_contract):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[0], TOKEN, 0,
+                        token_contract.encode_call("transfer", USERS[1], 1)),
+            Transaction(USERS[2], TOKEN, 0,
+                        token_contract.encode_call("transfer", USERS[3], 1)),
+        ]
+        deps = build_conflict_dag(self._csags(token_contract, txs, db), "variable")
+        # Coarse analysis: both touch the balanceOf mapping -> conflict.
+        assert deps[1] == {0}
+
+    def test_slot_granularity_no_conflict_for_disjoint_users(self, token_contract):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[0], TOKEN, 0,
+                        token_contract.encode_call("transfer", USERS[1], 1)),
+            Transaction(USERS[2], TOKEN, 0,
+                        token_contract.encode_call("transfer", USERS[3], 1)),
+        ]
+        deps = build_conflict_dag(self._csags(token_contract, txs, db), "slot")
+        assert deps[1] == set()
+
+    def test_write_write_is_a_conflict(self, token_contract):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[0], TOKEN, 0,
+                        token_contract.encode_call("mint", USERS[0], 1)),
+            Transaction(USERS[1], TOKEN, 0,
+                        token_contract.encode_call("mint", USERS[1], 1)),
+        ]
+        # Both write totalSupply: w-w conflict at both granularities.
+        for granularity in ("variable", "slot"):
+            deps = build_conflict_dag(
+                self._csags(token_contract, txs, db), granularity
+            )
+            assert deps[1] == {0}
+
+    def test_ether_transfers_disjoint(self, token_contract):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[0], USERS[1], 5),
+            Transaction(USERS[2], USERS[3], 5),
+        ]
+        deps = build_conflict_dag(self._csags(token_contract, txs, db), "variable")
+        assert deps[1] == set()
+
+
+class TestDAGExecutor:
+    @pytest.mark.parametrize("threads", [1, 4, 16])
+    def test_serializable(self, token_contract, threads):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[i], TOKEN, 0,
+                        token_contract.encode_call("transfer", USERS[(i + 1) % 8], 10 + i))
+            for i in range(8)
+        ] + [Transaction(USERS[i], USERS[i + 1], 100) for i in range(4)]
+        execution = assert_serializable(DAGExecutor(), txs, db, threads)
+        assert execution.metrics.aborts == 0  # DAG never aborts
+
+    def test_slot_granularity_faster(self, token_contract):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[i], TOKEN, 0,
+                        token_contract.encode_call("transfer", USERS[(i + 6) % 12], 1))
+            for i in range(6)
+        ]
+        coarse = assert_serializable(DAGExecutor(), txs, db, 6)
+        fine = assert_serializable(DAGExecutor(granularity="slot"), txs, db, 6)
+        assert fine.metrics.makespan <= coarse.metrics.makespan
+
+    def test_failed_tx_publishes_nothing(self, token_contract):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[0], TOKEN, 0,
+                        token_contract.encode_call("transfer", USERS[1], 10**9)),
+        ]
+        execution = DAGExecutor().execute_block(txs, db.latest, db.codes.code_of, threads=2)
+        assert not execution.writes
+
+
+class TestOCCExecutor:
+    @pytest.mark.parametrize("threads", [1, 4, 16])
+    def test_serializable(self, token_contract, threads):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[i], TOKEN, 0,
+                        token_contract.encode_call("transfer", USERS[(i + 1) % 8], 10 + i))
+            for i in range(8)
+        ]
+        assert_serializable(OCCExecutor(), txs, db, threads)
+
+    def test_single_thread_never_aborts(self, token_contract):
+        """One thread means fully sequential optimistic execution: every
+        transaction sees its predecessors' writes."""
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[i], TOKEN, 0,
+                        token_contract.encode_call("transfer", USERS[(i + 1) % 8], 10))
+            for i in range(8)
+        ]
+        execution = assert_serializable(OCCExecutor(), txs, db, 1)
+        assert execution.metrics.aborts == 0
+
+    def test_contention_causes_aborts(self, counter_contract):
+        """Checked increments on one counter conflict pairwise: concurrent
+        optimistic execution must abort and re-execute."""
+        from repro.state import StateDB
+
+        db = StateDB()
+        counter = Address.derive("occ-ctr")
+        db.deploy_contract(counter, counter_contract.code, "Counter")
+        db.seed_genesis({u: 10**18 for u in USERS})
+        txs = [
+            Transaction(u, counter, 0,
+                        counter_contract.encode_call("incrementChecked", 1))
+            for u in USERS[:8]
+        ]
+        execution = assert_serializable(OCCExecutor(), txs, db, 8)
+        assert execution.metrics.aborts > 0
+        assert execution.writes[StateKey(counter, 0)] == 8
+
+    def test_branch_flip_handled(self, token_contract):
+        db = token_db(token_contract)
+        poor = Address.derive("occ-pauper")
+        txs = [
+            Transaction(USERS[0], TOKEN, 0, token_contract.encode_call("transfer", poor, 500)),
+            Transaction(poor, TOKEN, 0, token_contract.encode_call("transfer", USERS[0], 400)),
+        ]
+        execution = assert_serializable(OCCExecutor(), txs, db, 2)
+        assert all(r.result.success for r in execution.receipts)
+
+    def test_determinism(self, token_contract):
+        def run():
+            db = token_db(token_contract)
+            txs = [
+                Transaction(USERS[i], TOKEN, 0,
+                            token_contract.encode_call("transfer", USERS[(i + 1) % 6], 25))
+                for i in range(6)
+            ]
+            ex = OCCExecutor().execute_block(txs, db.latest, db.codes.code_of, threads=4)
+            return ex.writes, ex.metrics.makespan, ex.metrics.aborts
+
+        assert run() == run()

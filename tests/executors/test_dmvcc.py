@@ -1,0 +1,251 @@
+"""DMVCC executor tests: serializability, aborts, early writes,
+commutativity, and the protocol corner cases."""
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey, mapping_slot
+from repro.executors import DMVCCExecutor, SerialExecutor
+
+from .helpers import TOKEN, USERS, assert_serializable, token_db
+
+
+class TestSerializability:
+    @pytest.mark.parametrize("threads", [1, 2, 4, 16])
+    def test_transfer_chain(self, token_contract, threads):
+        """A dependent chain a->b->c->d must produce serial results."""
+        db = token_db(token_contract)
+        a, b, c, d = USERS[:4]
+        txs = [
+            Transaction(a, TOKEN, 0, token_contract.encode_call("transfer", b, 900)),
+            Transaction(b, TOKEN, 0, token_contract.encode_call("transfer", c, 1_800)),
+            Transaction(c, TOKEN, 0, token_contract.encode_call("transfer", d, 2_700)),
+        ]
+        assert_serializable(DMVCCExecutor(), txs, db, threads)
+
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_mixed_block(self, token_contract, threads):
+        db = token_db(token_contract)
+        txs = []
+        for i in range(8):
+            sender, recipient = USERS[i], USERS[(i + 3) % len(USERS)]
+            txs.append(Transaction(
+                sender, TOKEN, 0,
+                token_contract.encode_call("transfer", recipient, 50 + i),
+            ))
+            txs.append(Transaction(sender, recipient, 10 + i))
+        execution = assert_serializable(DMVCCExecutor(), txs, db, threads)
+        assert execution.metrics.rescues == 0
+
+    def test_branch_flip_recovered(self, token_contract):
+        """T2's pre-execution predicts a revert (no funds), but T1 funds it
+        in the same block — the success path's writes are unpredicted and
+        must be recovered via the abort protocol."""
+        db = token_db(token_contract)
+        poor = Address.derive("pauper")
+        rich = USERS[0]
+        # poor has no token balance at the snapshot.
+        txs = [
+            Transaction(rich, TOKEN, 0, token_contract.encode_call("transfer", poor, 500)),
+            Transaction(poor, TOKEN, 0, token_contract.encode_call("transfer", rich, 400)),
+        ]
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 4)
+        assert all(r.result.success for r in execution.receipts)
+
+    def test_write_write_no_conflict(self, token_contract):
+        """Two mints to different users write totalSupply — write versioning
+        must let them run in parallel and still sum correctly."""
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[0], TOKEN, 0, token_contract.encode_call("mint", USERS[0], 100)),
+            Transaction(USERS[1], TOKEN, 0, token_contract.encode_call("mint", USERS[1], 200)),
+            Transaction(USERS[2], TOKEN, 0, token_contract.encode_call("mint", USERS[2], 300)),
+        ]
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 3)
+        supply = token_contract.slot_of("totalSupply")
+        assert execution.writes[StateKey(TOKEN, supply)] == 600
+
+    def test_deterministic_failures_preserved(self, token_contract):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[0], TOKEN, 0,
+                        token_contract.encode_call("transfer", USERS[1], 10**9)),
+            Transaction(USERS[0], USERS[1], 7),
+        ]
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 2)
+        assert execution.metrics.deterministic_failures == 1
+
+    def test_empty_block(self, token_contract):
+        db = token_db(token_contract)
+        execution = DMVCCExecutor().execute_block([], db.latest, db.codes.code_of, threads=4)
+        assert execution.writes == {}
+        assert execution.receipts == []
+
+    def test_single_tx(self, token_contract):
+        db = token_db(token_contract)
+        txs = [Transaction(USERS[0], USERS[1], 1)]
+        assert_serializable(DMVCCExecutor(), txs, db, 8)
+
+    def test_self_transfer(self, token_contract):
+        """Sender == recipient exercises the mixed blind/registered access
+        path on one key."""
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[0], TOKEN, 0,
+                        token_contract.encode_call("transfer", USERS[0], 10)),
+            Transaction(USERS[0], TOKEN, 0,
+                        token_contract.encode_call("transfer", USERS[1], 10)),
+        ]
+        assert_serializable(DMVCCExecutor(), txs, db, 2)
+
+
+class TestCommutativeWrites:
+    def test_parallel_commutative_increments(self, counter_contract):
+        from repro.state import StateDB
+
+        db = StateDB()
+        counter = Address.derive("ctr")
+        db.deploy_contract(counter, counter_contract.code, "Counter")
+        db.seed_genesis({u: 10**18 for u in USERS})
+        txs = [
+            Transaction(u, counter, 0, counter_contract.encode_call("increment", i + 1))
+            for i, u in enumerate(USERS[:8])
+        ]
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 8)
+        assert execution.writes[StateKey(counter, 0)] == sum(range(1, 9))
+        assert execution.metrics.aborts == 0
+
+    def test_commutative_increments_fully_parallel(self, counter_contract):
+        """With commutativity, 8 blind increments on one counter must run
+        with (near-)perfect parallelism; without it, they serialise."""
+        from repro.state import StateDB
+
+        def run(enable):
+            db = StateDB()
+            counter = Address.derive("ctr2")
+            db.deploy_contract(counter, counter_contract.code, "Counter")
+            db.seed_genesis({u: 10**18 for u in USERS})
+            txs = [
+                Transaction(u, counter, 0, counter_contract.encode_call("increment", 5))
+                for u in USERS[:8]
+            ]
+            return DMVCCExecutor(enable_commutative=enable).execute_block(
+                txs, db.latest, db.codes.code_of, threads=8
+            )
+
+        with_cw = run(True)
+        without_cw = run(False)
+        assert with_cw.writes == without_cw.writes
+        assert with_cw.metrics.makespan < without_cw.metrics.makespan
+
+    def test_checked_increment_not_commutative(self, counter_contract):
+        """incrementChecked reads the counter in a require, so DMVCC must
+        serialise it — and still be correct."""
+        from repro.state import StateDB
+
+        db = StateDB()
+        counter = Address.derive("ctr3")
+        db.deploy_contract(counter, counter_contract.code, "Counter")
+        db.seed_genesis({u: 10**18 for u in USERS})
+        txs = [
+            Transaction(u, counter, 0,
+                        counter_contract.encode_call("incrementChecked", 3))
+            for u in USERS[:6]
+        ]
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 6)
+        assert execution.writes[StateKey(counter, 0)] == 18
+
+
+class TestEarlyWriteVisibility:
+    def test_early_write_shortens_chains(self, nft_contract):
+        """NFT mints chain on nextTokenId; the counter write happens well
+        before transaction end, so early visibility must compress the
+        chain's makespan."""
+        from repro.state import StateDB
+
+        def run(enable):
+            db = StateDB()
+            nft = Address.derive("nft-ew")
+            db.deploy_contract(nft, nft_contract.code, "NFT")
+            db.seed_genesis({u: 10**18 for u in USERS})
+            txs = [
+                Transaction(u, nft, 0, nft_contract.encode_call("mint"))
+                for u in USERS[:8]
+            ]
+            reference = SerialExecutor().execute_block(txs, db.latest, db.codes.code_of)
+            execution = DMVCCExecutor(enable_early_write=enable).execute_block(
+                txs, db.latest, db.codes.code_of, threads=8
+            )
+            assert execution.writes == reference.writes
+            return execution
+
+        with_ew = run(True)
+        without_ew = run(False)
+        assert with_ew.metrics.makespan < without_ew.metrics.makespan
+
+    def test_gas_insufficient_blocks_release(self, token_contract):
+        """A transaction given barely enough gas must not publish early (the
+        Algorithm 2 gas check) yet still complete correctly."""
+        db = token_db(token_contract)
+        data = token_contract.encode_call("transfer", USERS[1], 10)
+        # Find the exact gas needed, then give exactly that (no slack).
+        probe = SerialExecutor().execute_block(
+            [Transaction(USERS[0], TOKEN, 0, data)], db.latest, db.codes.code_of
+        )
+        exact = probe.receipts[0].result.gas_used
+        txs = [Transaction(USERS[0], TOKEN, 0, data, gas_limit=exact)]
+        assert_serializable(DMVCCExecutor(), txs, db, 2)
+
+
+class TestAbortProtocol:
+    def test_abort_metrics_exposed(self, token_contract):
+        db = token_db(token_contract)
+        poor = Address.derive("pauper2")
+        txs = [
+            Transaction(USERS[0], TOKEN, 0, token_contract.encode_call("transfer", poor, 500)),
+            Transaction(poor, TOKEN, 0, token_contract.encode_call("transfer", USERS[0], 400)),
+        ]
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 2)
+        metrics = execution.metrics
+        assert metrics.executions >= metrics.tx_count
+        assert metrics.aborts == metrics.executions - metrics.tx_count
+
+    def test_cascading_abort_converges(self, token_contract):
+        """A chain of dependent transfers all predicted-revert: each level's
+        re-execution invalidates the next."""
+        db = token_db(token_contract)
+        paupers = [Address.derive(f"chainp{i}") for i in range(4)]
+        txs = [Transaction(
+            USERS[0], TOKEN, 0, token_contract.encode_call("transfer", paupers[0], 1_000)
+        )]
+        for i in range(3):
+            txs.append(Transaction(
+                paupers[i], TOKEN, 0,
+                token_contract.encode_call("transfer", paupers[i + 1], 1_000 - i),
+            ))
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 4)
+        assert all(r.result.success for r in execution.receipts)
+
+    def test_determinism_across_runs(self, token_contract):
+        """Identical inputs produce identical metrics and writes."""
+        def run():
+            db = token_db(token_contract)
+            txs = [
+                Transaction(USERS[i], TOKEN, 0,
+                            token_contract.encode_call("transfer", USERS[(i + 1) % 6], 25))
+                for i in range(6)
+            ]
+            ex = DMVCCExecutor().execute_block(txs, db.latest, db.codes.code_of, threads=4)
+            return ex.writes, ex.metrics.makespan, ex.metrics.aborts
+
+        assert run() == run()
+
+
+class TestFeatureFlagNames:
+    def test_names(self):
+        assert DMVCCExecutor().name == "dmvcc"
+        assert DMVCCExecutor(enable_early_write=False).name == "dmvcc-noEW"
+        assert DMVCCExecutor(enable_commutative=False).name == "dmvcc-noCW"
+        assert DMVCCExecutor(
+            enable_early_write=False, enable_commutative=False
+        ).name == "dmvcc-wv"

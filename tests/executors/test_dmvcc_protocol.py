@@ -1,0 +1,158 @@
+"""DMVCC protocol-path tests: the specific state transitions of
+Algorithms 1–4 that the coarse workload tests may not isolate."""
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey
+from repro.executors import DMVCCExecutor, SerialExecutor
+from repro.state import StateDB
+
+from .helpers import TOKEN, USERS, assert_serializable, token_db
+
+
+class TestEtherOnlyBlocks:
+    def test_disjoint_transfers_fully_parallel(self, token_contract):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[2 * i], USERS[2 * i + 1], 100 + i)
+            for i in range(6)
+        ]
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 6)
+        assert execution.metrics.speedup > 5.5  # essentially perfect
+        assert execution.metrics.aborts == 0
+
+    def test_fan_in_credits_commute(self, token_contract):
+        """Everyone pays the same account: credits are ω̄, so the block
+        still parallelises perfectly."""
+        db = token_db(token_contract)
+        sink = USERS[0]
+        txs = [Transaction(USERS[i], sink, 10 + i) for i in range(1, 9)]
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 8)
+        assert execution.metrics.speedup > 7.0
+        sink_key = StateKey.balance(sink)
+        expected = 10**18 + sum(10 + i for i in range(1, 9))
+        assert execution.writes[sink_key] == expected
+
+    def test_fan_out_then_spend(self, token_contract):
+        """The sink immediately spends the credits: its debit reads the
+        merged deltas."""
+        db = token_db(token_contract)
+        sink, spender_target = USERS[0], USERS[9]
+        txs = [Transaction(USERS[i], sink, 1_000) for i in range(1, 5)]
+        txs.append(Transaction(sink, spender_target, 10**18 + 3_500))
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 5)
+        assert execution.receipts[-1].result.success
+
+    def test_insufficient_funds_deterministic(self, token_contract):
+        db = token_db(token_contract)
+        whale_drain = Transaction(USERS[0], USERS[1], 10**18)  # exact balance
+        then_broke = Transaction(USERS[0], USERS[2], 1)        # now empty
+        execution = assert_serializable(
+            DMVCCExecutor(), [whale_drain, then_broke], db, 2
+        )
+        assert execution.receipts[0].result.success
+        assert not execution.receipts[1].result.success
+
+
+class TestMultiBlockChains:
+    def test_serializability_across_committed_blocks(self, token_contract):
+        """Blocks commit one after another; every block's parallel result
+        must match serial given the previous block's commits."""
+        db_parallel = token_db(token_contract)
+        db_serial = token_db(token_contract)
+        executor = DMVCCExecutor()
+        serial = SerialExecutor()
+        for round_ in range(4):
+            txs = [
+                Transaction(
+                    USERS[(round_ + i) % 12], TOKEN, 0,
+                    token_contract.encode_call(
+                        "transfer", USERS[(round_ + i + 5) % 12], 20 + i
+                    ),
+                )
+                for i in range(8)
+            ]
+            parallel_out = executor.execute_block(
+                txs, db_parallel.latest, db_parallel.codes.code_of, threads=4
+            )
+            serial_out = serial.execute_block(
+                txs, db_serial.latest, db_serial.codes.code_of
+            )
+            root_parallel = db_parallel.commit(parallel_out.writes).root_hash
+            root_serial = db_serial.commit(serial_out.writes).root_hash
+            assert root_parallel == root_serial, f"diverged at block {round_}"
+
+
+class TestThreadLimits:
+    def test_more_threads_than_txs(self, token_contract):
+        db = token_db(token_contract)
+        txs = [Transaction(USERS[0], USERS[1], 5)]
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 64)
+        assert execution.metrics.utilisation <= 1.0
+
+    def test_single_thread_equals_serial_time(self, token_contract):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[i], USERS[i + 1], 100) for i in range(6)
+        ]
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 1)
+        assert execution.metrics.makespan == pytest.approx(
+            execution.metrics.serial_time
+        )
+
+    @pytest.mark.parametrize("threads", [1, 2, 3, 5, 7, 13, 32])
+    def test_any_thread_count_correct(self, token_contract, threads):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(
+                USERS[i % 12], TOKEN, 0,
+                token_contract.encode_call("transfer", USERS[(i + 1) % 12], 15),
+            )
+            for i in range(10)
+        ]
+        assert_serializable(DMVCCExecutor(), txs, db, threads)
+
+
+class TestMakespanSanity:
+    def test_makespan_bounded_below_by_critical_tx(self, token_contract):
+        db = token_db(token_contract)
+        txs = [Transaction(USERS[i], USERS[i + 1], 10) for i in range(0, 8, 2)]
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 8)
+        longest = max(t.gas_used for t in execution.metrics.per_tx)
+        assert execution.metrics.makespan >= longest
+
+    def test_makespan_bounded_above_by_serial(self, token_contract):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(
+                USERS[i % 12], TOKEN, 0,
+                token_contract.encode_call("transfer", USERS[(i + 3) % 12], 5),
+            )
+            for i in range(12)
+        ]
+        execution = assert_serializable(DMVCCExecutor(), txs, db, 4)
+        # With zero aborts, parallel cannot be slower than serial.
+        if execution.metrics.aborts == 0:
+            assert execution.metrics.makespan <= execution.metrics.serial_time * 1.001
+
+    def test_gantt_lanes_within_thread_budget(self, token_contract):
+        """No more transactions may overlap in time than there are
+        threads."""
+        db = token_db(token_contract)
+        txs = [
+            Transaction(USERS[2 * i], USERS[2 * i + 1], 50) for i in range(6)
+        ]
+        threads = 3
+        execution = assert_serializable(DMVCCExecutor(), txs, db, threads)
+        events = []
+        for tx in execution.metrics.per_tx:
+            events.append((tx.start_time, 1))
+            events.append((tx.end_time, -1))
+        live = peak = 0
+        # Ends sort before starts at the same instant (a freed thread can
+        # be reused immediately).
+        for _time, delta in sorted(events, key=lambda e: (e[0], e[1])):
+            live += delta
+            peak = max(peak, live)
+        assert peak <= threads

@@ -1,0 +1,108 @@
+"""Transaction-program tests: the uniform event stream."""
+
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey
+from repro.evm.events import StorageRead, StorageWrite
+from repro.evm.opcodes import intrinsic_gas
+from repro.executors.txprogram import (
+    StorageIncrement,
+    TxStatus,
+    transaction_program,
+)
+
+ALICE = Address.derive("alice")
+BOB = Address.derive("bob")
+
+
+def drain(tx, code_resolver=lambda a: b"", state=None):
+    """Run a program answering reads from ``state``; collect events."""
+    state = state or {}
+    events = []
+    program = transaction_program(tx, code_resolver)
+    to_send = None
+    while True:
+        try:
+            event = program.send(to_send)
+        except StopIteration as stop:
+            return stop.value, events
+        events.append(event)
+        to_send = None
+        if isinstance(event, StorageRead):
+            to_send = state.get(event.key, 0)
+
+
+class TestPlainTransfer:
+    def test_successful_transfer_events(self):
+        tx = Transaction(ALICE, BOB, 100)
+        state = {StateKey.balance(ALICE): 500}
+        result, events = drain(tx, state=state)
+        assert result.status is TxStatus.SUCCESS
+        assert result.gas_used == intrinsic_gas(b"")
+        kinds = [type(e).__name__ for e in events]
+        assert kinds == ["StorageRead", "StorageWrite", "StorageIncrement"]
+        write = events[1]
+        assert write.key == StateKey.balance(ALICE)
+        assert write.value == 400
+        increment = events[2]
+        assert increment.key == StateKey.balance(BOB)
+        assert increment.delta == 100
+
+    def test_insufficient_funds(self):
+        tx = Transaction(ALICE, BOB, 100)
+        result, events = drain(tx, state={StateKey.balance(ALICE): 50})
+        assert result.status is TxStatus.INSUFFICIENT_FUNDS
+        assert len(events) == 1  # only the balance check read
+
+    def test_zero_value_no_balance_writes(self):
+        tx = Transaction(ALICE, BOB, 0)
+        result, events = drain(tx)
+        assert result.status is TxStatus.SUCCESS
+        assert len(events) == 1
+
+    def test_gas_offsets_cumulative(self):
+        tx = Transaction(ALICE, BOB, 100)
+        _, events = drain(tx, state={StateKey.balance(ALICE): 500})
+        assert events[0].gas_used == 0
+        assert events[1].gas_used == intrinsic_gas(b"")
+
+
+class TestContractCall:
+    def test_events_rebased_by_intrinsic_gas(self, counter_contract):
+        contract = Address.derive("counter-prog")
+        data = counter_contract.encode_call("increment", 5)
+        tx = Transaction(ALICE, contract, 0, data)
+        resolver = lambda a: counter_contract.code if a == contract else b""
+        result, events = drain(tx, code_resolver=resolver,
+                               state={StateKey.balance(ALICE): 10**18})
+        assert result.status is TxStatus.SUCCESS
+        base = intrinsic_gas(data)
+        storage_events = [e for e in events if isinstance(e, (StorageRead, StorageWrite))]
+        contract_events = [e for e in storage_events if e.key.address == contract]
+        assert contract_events
+        assert all(e.gas_used >= base for e in contract_events)
+        assert result.gas_used > base
+
+    def test_reverted_call_status(self, token_contract):
+        contract = Address.derive("token-prog")
+        data = token_contract.encode_call("transfer", BOB, 10**9)
+        tx = Transaction(ALICE, contract, 0, data)
+        resolver = lambda a: token_contract.code if a == contract else b""
+        result, _ = drain(tx, code_resolver=resolver,
+                          state={StateKey.balance(ALICE): 10**18})
+        assert result.status is TxStatus.REVERTED
+
+    def test_intrinsic_gas_exceeding_limit(self):
+        tx = Transaction(ALICE, BOB, 0, b"\x01" * 100, gas_limit=21_100)
+        result, events = drain(tx)
+        assert result.status is TxStatus.OUT_OF_GAS
+        assert not events
+
+    def test_out_of_gas_in_contract(self, counter_contract):
+        contract = Address.derive("counter-oog")
+        data = counter_contract.encode_call("increment", 5)
+        tx = Transaction(ALICE, contract, 0, data, gas_limit=intrinsic_gas(data) + 50)
+        resolver = lambda a: counter_contract.code if a == contract else b""
+        result, _ = drain(tx, code_resolver=resolver,
+                          state={StateKey.balance(ALICE): 10**18})
+        assert result.status is TxStatus.OUT_OF_GAS
+        assert result.gas_used == tx.gas_limit

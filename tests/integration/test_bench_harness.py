@@ -1,0 +1,91 @@
+"""Benchmark-harness smoke tests (small scale; the real runs live in
+benchmarks/)."""
+
+import pytest
+
+from repro.bench import (
+    run_feature_ablation,
+    run_fig7a,
+    run_fig8a,
+    run_rq1_correctness,
+    run_speedup_experiment,
+)
+from repro.workload import high_contention_config
+
+TINY = dict(users=100, erc20_tokens=3, dex_pools=2, nft_collections=2, icos=1)
+
+
+class TestSpeedupHarness:
+    def test_fig7a_structure(self):
+        result = run_fig7a(blocks=1, txs_per_block=80, thread_counts=(2, 8), **TINY)
+        assert result.correctness_ok
+        assert {row.scheduler for row in result.rows} == {"dag", "occ", "dmvcc"}
+        assert {row.threads for row in result.rows} == {2, 8}
+        table = result.format_table()
+        assert "dmvcc" in table and "OK" in table
+
+    def test_series_and_at(self):
+        result = run_fig7a(blocks=1, txs_per_block=60, thread_counts=(2, 8), **TINY)
+        series = result.series("dmvcc")
+        assert [row.threads for row in series] == [2, 8]
+        assert result.at("dmvcc", 8).speedup >= result.at("dmvcc", 2).speedup * 0.8
+        with pytest.raises(KeyError):
+            result.at("nope", 2)
+
+    def test_multi_block_accumulation(self):
+        result = run_speedup_experiment(
+            high_contention_config(**TINY),
+            "mini",
+            blocks=2,
+            txs_per_block=50,
+            thread_counts=(4,),
+        )
+        assert result.correctness_ok
+        row = result.at("dmvcc", 4)
+        assert row.executions >= 100  # two blocks of 50
+
+
+class TestRQ1Harness:
+    def test_all_roots_match(self):
+        result = run_rq1_correctness(blocks=3, txs_per_block=60, threads=4, **TINY)
+        assert result.all_match
+        assert result.blocks_checked == 3
+        assert result.txs_checked == 180
+
+    def test_other_schedulers(self):
+        for scheduler in ("dag", "occ"):
+            result = run_rq1_correctness(
+                blocks=2, txs_per_block=40, scheduler=scheduler, threads=4, **TINY
+            )
+            assert result.all_match
+
+
+class TestFig8Harness:
+    def test_throughput_table(self):
+        result = run_fig8a(
+            validators=2,
+            blocks=2,
+            txs_per_block=60,
+            thread_counts=(4,),
+            schedulers=("dmvcc",),
+            gas_per_second=50_000.0,  # execution-bound regime
+            config_overrides=TINY,
+        )
+        serial = result.at("serial", 1)
+        dmvcc = result.at("dmvcc", 4)
+        assert serial.roots_agree and dmvcc.roots_agree
+        assert dmvcc.speedup > 1.5
+        assert "TPS" in result.format_table()
+
+
+class TestAblationHarness:
+    def test_ablation_runs(self):
+        result = run_feature_ablation(
+            blocks=1,
+            txs_per_block=60,
+            thread_counts=(8,),
+            config=high_contention_config(**TINY),
+        )
+        assert result.correctness_ok
+        schedulers = {row.scheduler for row in result.rows}
+        assert {"dmvcc", "dmvcc-noEW", "dmvcc-noCW", "dmvcc-wv", "dag", "dag-slot"} == schedulers

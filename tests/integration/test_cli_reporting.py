@@ -1,0 +1,139 @@
+"""CLI and reporting tests."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.bench.reporting import (
+    render_gantt,
+    render_speedup_curves,
+    speedup_series_from_result,
+)
+from repro.sim.metrics import BlockMetrics, TxMetrics
+
+
+class TestCLI:
+    def test_analyze(self, tmp_path, capsys):
+        source = tmp_path / "counter.msol"
+        source.write_text("""
+            contract Counter {
+                uint value;
+                function increment(uint amount) public { value += amount; }
+            }
+        """)
+        assert cli_main(["analyze", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "Counter" in out
+        assert "commutative" in out
+        assert "release points" in out
+
+    def test_rq1(self, capsys):
+        code = cli_main([
+            "--users", "80", "--tokens", "3", "--pools", "2", "--nfts", "2",
+            "--blocks", "1", "--txs", "40", "rq1",
+        ])
+        assert code == 0
+        assert "1/1 block roots match" in capsys.readouterr().out
+
+    def test_fig7a_small(self, capsys):
+        code = cli_main([
+            "--users", "80", "--tokens", "3", "--pools", "2", "--nfts", "2",
+            "--blocks", "1", "--txs", "40", "--threads", "2,4", "fig7a",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dmvcc" in out and "OK" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli_main([])
+
+
+class TestGantt:
+    def _metrics(self):
+        metrics = BlockMetrics(scheduler="dmvcc", threads=2)
+        metrics.tx_count = 3
+        metrics.makespan = 100.0
+        metrics.serial_time = 150.0
+        metrics.per_tx = [
+            TxMetrics(index=0, start_time=0.0, end_time=50.0),
+            TxMetrics(index=1, start_time=0.0, end_time=100.0),
+            TxMetrics(index=2, start_time=50.0, end_time=100.0),
+        ]
+        return metrics
+
+    def test_lanes_reconstructed(self):
+        chart = render_gantt(self._metrics(), width=40)
+        lines = chart.splitlines()
+        assert "dmvcc" in lines[0]
+        # Two lanes: T0+T2 share one, T1 gets its own.
+        lane_lines = [l for l in lines if l.strip().startswith("t")]
+        assert len(lane_lines) == 2
+        assert any("T0" in l and "T2" in l for l in lane_lines)
+
+    def test_empty_schedule(self):
+        assert "empty" in render_gantt(BlockMetrics(scheduler="x", threads=1))
+
+    def test_respects_max_threads(self):
+        metrics = BlockMetrics(scheduler="x", threads=8)
+        metrics.tx_count = 8
+        metrics.makespan = 10.0
+        metrics.serial_time = 80.0
+        metrics.per_tx = [
+            TxMetrics(index=i, start_time=0.0, end_time=10.0) for i in range(8)
+        ]
+        chart = render_gantt(metrics, max_threads=3)
+        assert "more lanes" in chart
+
+
+class TestCurves:
+    def test_renders_all_schedulers(self):
+        series = {
+            "dmvcc": [(1, 1.0), (8, 7.5), (32, 21.0)],
+            "occ": [(1, 1.0), (8, 4.0), (32, 13.0)],
+        }
+        text = render_speedup_curves(series)
+        assert "O=dmvcc" in text
+        assert "32" in text
+
+    def test_empty(self):
+        assert "no data" in render_speedup_curves({})
+
+    def test_series_adapter(self):
+        from repro.bench.harness import SpeedupResult, SpeedupRow
+
+        result = SpeedupResult("x")
+        result.rows = [
+            SpeedupRow("dmvcc", 8, 7.0, 0, 0.0, 10, 0.9),
+            SpeedupRow("dmvcc", 2, 2.0, 0, 0.0, 10, 0.9),
+        ]
+        series = speedup_series_from_result(result)
+        assert series == {"dmvcc": [(2, 2.0), (8, 7.0)]}
+
+
+class TestStateDBFork:
+    def test_forks_are_independent(self):
+        from repro.core import Address, StateKey
+        from repro.state import StateDB
+
+        contract = Address.derive("fork-test")
+        db = StateDB()
+        db.seed_genesis({}, {StateKey(contract, 0): 7})
+        fork_a = db.fork()
+        fork_b = db.fork()
+        fork_a.commit({StateKey(contract, 0): 100})
+        fork_b.commit({StateKey(contract, 0): 200})
+        assert fork_a.latest.get(StateKey(contract, 0)) == 100
+        assert fork_b.latest.get(StateKey(contract, 0)) == 200
+        assert db.height == 0  # the original is untouched
+        assert fork_a.latest.root_hash != fork_b.latest.root_hash
+
+    def test_fork_shares_history(self):
+        from repro.core import Address, StateKey
+        from repro.state import StateDB
+
+        contract = Address.derive("fork-test2")
+        db = StateDB()
+        db.commit({StateKey(contract, 1): 5})
+        fork = db.fork()
+        assert fork.snapshot(1).get(StateKey(contract, 1)) == 5
+        assert fork.root_at(1) == db.root_at(1)

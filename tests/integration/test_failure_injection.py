@@ -1,0 +1,199 @@
+"""Failure injection: DMVCC must stay serializable even when its inputs
+(predictions) are adversarially wrong or withheld.
+
+These tests attack the protocol where the paper says the abort mechanism is
+the backstop: stale C-SAGs, missing C-SAGs, fabricated predictions, gas
+exhaustion after a release point, and deterministic failures mid-block.
+"""
+
+import pytest
+
+from repro.analysis.csag import (
+    AccessType,
+    CSAG,
+    CSAGBuilder,
+    PredictedAccess,
+    ReleaseOffset,
+)
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey, mapping_slot
+from repro.executors import DMVCCExecutor, SerialExecutor
+from repro.state import StateDB
+
+USERS = [Address.derive(f"fiuser{i}") for i in range(10)]
+TOKEN = Address.derive("fitoken")
+
+
+@pytest.fixture
+def db(token_contract):
+    db = StateDB()
+    db.deploy_contract(TOKEN, token_contract.code, "Token")
+    bal = token_contract.slot_of("balanceOf")
+    db.seed_genesis(
+        {u: 10**18 for u in USERS},
+        {StateKey(TOKEN, mapping_slot(u.to_word(), bal)): 1_000 for u in USERS},
+    )
+    return db
+
+
+def transfer(token_contract, sender, recipient, amount):
+    return Transaction(
+        sender, TOKEN, 0, token_contract.encode_call("transfer", recipient, amount)
+    )
+
+
+def check(db, txs, csags=None, threads=4):
+    reference = SerialExecutor().execute_block(txs, db.latest, db.codes.code_of)
+    execution = DMVCCExecutor().execute_block(
+        txs, db.latest, db.codes.code_of, threads=threads, csags=csags
+    )
+    assert execution.writes == reference.writes
+    return execution
+
+
+class TestMissingAnalysis:
+    def test_all_csags_missing(self, db, token_contract):
+        """Every transaction runs in the OCC-fallback mode (empty C-SAG)."""
+        txs = [
+            transfer(token_contract, USERS[i], USERS[(i + 1) % 6], 50)
+            for i in range(6)
+        ]
+        builder = CSAGBuilder(db.codes.code_of)
+        csags = [builder.build_missing(tx, db.latest) for tx in txs]
+        execution = check(db, txs, csags=csags)
+        assert all(r.result.success for r in execution.receipts)
+
+    def test_mixed_missing_and_present(self, db, token_contract):
+        txs = [
+            transfer(token_contract, USERS[i], USERS[(i + 1) % 6], 50)
+            for i in range(6)
+        ]
+        builder = CSAGBuilder(db.codes.code_of)
+        csags = [
+            builder.build(tx, db.latest) if i % 2 == 0
+            else builder.build_missing(tx, db.latest)
+            for i, tx in enumerate(txs)
+        ]
+        check(db, txs, csags=csags)
+
+
+class TestFabricatedPredictions:
+    def test_empty_predictions_for_real_writers(self, db, token_contract):
+        """C-SAGs that predict nothing at all (worse than missing: they
+        claim the transaction touches no state)."""
+        txs = [
+            transfer(token_contract, USERS[0], USERS[1], 50),
+            transfer(token_contract, USERS[1], USERS[2], 900),  # needs tx0's credit? no: has 1000
+            transfer(token_contract, USERS[1], USERS[3], 200),  # now needs tx0's credit
+        ]
+        csags = [CSAG(accesses=[], predicted_gas=50_000) for _ in txs]
+        check(db, txs, csags=csags)
+
+    def test_wrong_key_predictions(self, db, token_contract):
+        """C-SAGs predicting accesses to completely unrelated keys."""
+        txs = [
+            transfer(token_contract, USERS[0], USERS[1], 50),
+            transfer(token_contract, USERS[1], USERS[2], 1_020),
+        ]
+        bogus_key = StateKey(TOKEN, 0xDEAD)
+        csags = [
+            CSAG(
+                accesses=[
+                    PredictedAccess("read", bogus_key, 0, 0),
+                    PredictedAccess("write", bogus_key, 30_000, 1),
+                ],
+                predicted_gas=60_000,
+            )
+            for _ in txs
+        ]
+        execution = check(db, txs, csags=csags)
+        # The bogus predicted writes are skip-marked; real accesses are
+        # inserted on the fly and any staleness repaired by aborts.
+        assert all(r.result.success for r in execution.receipts)
+
+    def test_predicted_success_but_actually_reverts(self, db, token_contract):
+        """Prediction says fine; execution reverts (amount too big)."""
+        txs = [
+            transfer(token_contract, USERS[0], USERS[1], 10**9),
+            transfer(token_contract, USERS[1], USERS[2], 100),
+        ]
+        builder = CSAGBuilder(db.codes.code_of)
+        # Lie: give tx0 the C-SAG of a *small* (successful) transfer.
+        small = transfer(token_contract, USERS[0], USERS[1], 10)
+        csags = [builder.build(small, db.latest), builder.build(txs[1], db.latest)]
+        execution = check(db, txs, csags=csags)
+        assert not execution.receipts[0].result.success
+        assert execution.receipts[1].result.success
+
+    def test_wildly_wrong_gas_estimates(self, db, token_contract):
+        txs = [transfer(token_contract, USERS[0], USERS[1], 10)]
+        builder = CSAGBuilder(db.codes.code_of)
+        csag = builder.build(txs[0], db.latest)
+        csag.predicted_gas = 1  # everything releases immediately
+        check(db, txs, csags=[csag])
+        csag2 = builder.build(txs[0], db.latest)
+        csag2.predicted_gas = 10**9  # nothing ever passes the gas check
+        check(db, txs, csags=[csag2])
+
+
+class TestGasExhaustion:
+    def test_oog_after_release_point_cascades(self, db, token_contract):
+        """The paper's footnote 3: a transaction may still run out of gas
+        after publishing early; its writes must be retracted and readers
+        re-executed."""
+        # Craft the gas limit to die between the release point and the end.
+        tx_full = transfer(token_contract, USERS[0], USERS[1], 10)
+        probe = SerialExecutor().execute_block([tx_full], db.latest, db.codes.code_of)
+        exact = probe.receipts[0].result.gas_used
+        for slack in (1, 2_000, 5_200, 10_400):
+            short_tx = Transaction(
+                tx_full.sender, tx_full.to, 0, tx_full.data,
+                gas_limit=exact - slack,
+            )
+            reader_tx = transfer(token_contract, USERS[1], USERS[2], 1_005)
+            check(db, [short_tx, reader_tx])
+
+    def test_block_of_oog_transactions(self, db, token_contract):
+        txs = [
+            Transaction(
+                USERS[i], TOKEN, 0,
+                token_contract.encode_call("transfer", USERS[(i + 1) % 6], 10),
+                gas_limit=22_000,  # dies early in execution
+            )
+            for i in range(6)
+        ]
+        execution = check(db, txs)
+        assert all(not r.result.success for r in execution.receipts)
+
+
+class TestStaleEverything:
+    def test_csags_from_an_old_snapshot(self, db, token_contract):
+        """Analysis ran against genesis; a committed block then rewrote the
+        balances; the old C-SAGs' key sets are fine but values are stale."""
+        builder = CSAGBuilder(db.codes.code_of)
+        txs = [
+            transfer(token_contract, USERS[i], USERS[(i + 1) % 6], 500)
+            for i in range(6)
+        ]
+        old_csags = [builder.build(tx, db.latest) for tx in txs]
+        # Commit a block that drains half of each sender's balance.
+        drain = [
+            transfer(token_contract, USERS[i], USERS[9], 600) for i in range(6)
+        ]
+        drain_exec = SerialExecutor().execute_block(drain, db.latest, db.codes.code_of)
+        db.commit(drain_exec.writes)
+        # Now senders have 400 + credits; the 500-transfers' outcomes flip.
+        check(db, txs, csags=old_csags)
+
+    def test_chained_paupers_with_stale_predictions(self, db, token_contract):
+        paupers = [Address.derive(f"fip{i}") for i in range(5)]
+        txs = [transfer(token_contract, USERS[0], paupers[0], 700)]
+        txs += [
+            Transaction(
+                paupers[i], TOKEN, 0,
+                token_contract.encode_call("transfer", paupers[i + 1], 700 - i),
+            )
+            for i in range(4)
+        ]
+        execution = check(db, txs, threads=5)
+        assert all(r.result.success for r in execution.receipts)

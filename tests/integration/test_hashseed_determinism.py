@@ -1,0 +1,46 @@
+"""Cross-process determinism: results must not depend on PYTHONHASHSEED.
+
+Validators are independent OS processes; if any code path iterated a
+salted-hash container (str/bytes keys) into an order-sensitive result, two
+nodes could compute different roots for the same block.  This test runs the
+same block in subprocesses with different hash seeds and compares roots and
+makespans byte-for-byte.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+SCRIPT = """
+import sys
+from repro.executors import DMVCCExecutor, SerialExecutor
+from repro.workload import Workload, high_contention_config
+
+workload = Workload(high_contention_config(
+    users=100, erc20_tokens=3, dex_pools=2, nft_collections=2, icos=1, seed=77,
+))
+txs = workload.transactions(60)
+execution = DMVCCExecutor().execute_block(
+    txs, workload.db.latest, workload.db.codes.code_of, threads=8)
+root = workload.db.commit(execution.writes).root_hash.hex()
+print(root, execution.metrics.makespan, execution.metrics.aborts)
+"""
+
+
+def run_with_hashseed(seed: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        capture_output=True,
+        text=True,
+        env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout.strip()
+
+
+@pytest.mark.slow
+def test_results_identical_across_hash_seeds():
+    outputs = {run_with_hashseed(seed) for seed in ("0", "42", "31337")}
+    assert len(outputs) == 1, f"hash-seed-dependent results: {outputs}"

@@ -1,0 +1,118 @@
+"""Integration tests pinning the paper's qualitative claims at test scale.
+
+These are small (fast) versions of the benchmark experiments; absolute
+numbers differ from the paper, but the *orderings* it reports must hold:
+
+* DMVCC beats the DAG and OCC baselines under high contention;
+* DMVCC's abort rate stays far below OCC's;
+* with few threads, the three schedulers perform similarly;
+* early-write visibility and commutative writes each contribute.
+"""
+
+import pytest
+
+from repro.executors import DAGExecutor, DMVCCExecutor, OCCExecutor, SerialExecutor
+from repro.workload import Workload, high_contention_config, low_contention_config
+
+SMALL = dict(users=200, erc20_tokens=4, dex_pools=2, nft_collections=2, icos=1)
+
+
+def run(workload, txs, factory, threads):
+    execution = factory().execute_block(
+        txs, workload.db.latest, workload.db.codes.code_of, threads=threads
+    )
+    return execution.metrics
+
+
+@pytest.fixture(scope="module")
+def hot():
+    workload = Workload(high_contention_config(**SMALL, seed=21))
+    return workload, workload.transactions(250)
+
+
+@pytest.fixture(scope="module")
+def cold():
+    workload = Workload(low_contention_config(**SMALL, seed=22))
+    return workload, workload.transactions(250)
+
+
+class TestSpeedupOrderings:
+    def test_dmvcc_wins_high_contention(self, hot):
+        workload, txs = hot
+        dmvcc = run(workload, txs, DMVCCExecutor, 16)
+        dag = run(workload, txs, DAGExecutor, 16)
+        occ = run(workload, txs, OCCExecutor, 16)
+        assert dmvcc.speedup > dag.speedup
+        assert dmvcc.speedup > occ.speedup
+
+    def test_all_speed_up_low_contention(self, cold):
+        workload, txs = cold
+        for factory in (DMVCCExecutor, DAGExecutor, OCCExecutor):
+            metrics = run(workload, txs, factory, 16)
+            assert metrics.speedup > 2.0, factory
+
+    def test_low_thread_parity(self, cold):
+        """Paper: 'when the number of threads is small, the performance
+        difference between the three approaches is not significant'."""
+        workload, txs = cold
+        speedups = [
+            run(workload, txs, factory, 2).speedup
+            for factory in (DMVCCExecutor, DAGExecutor)
+        ]
+        assert max(speedups) - min(speedups) < 0.4
+
+    def test_speedup_monotone_in_threads(self, cold):
+        workload, txs = cold
+        s4 = run(workload, txs, DMVCCExecutor, 4).speedup
+        s16 = run(workload, txs, DMVCCExecutor, 16).speedup
+        assert s16 >= s4 * 1.2
+
+    def test_serial_baseline_is_one(self, cold):
+        workload, txs = cold
+        metrics = run(workload, txs, SerialExecutor, 1)
+        assert metrics.speedup == pytest.approx(1.0)
+
+
+class TestAbortClaims:
+    def test_dmvcc_abort_rate_under_two_percent(self, hot):
+        """Paper: 'the abort rate of DMVCC is less than 2%'."""
+        workload, txs = hot
+        metrics = run(workload, txs, DMVCCExecutor, 16)
+        assert metrics.abort_rate < 0.02
+
+    def test_dmvcc_aborts_far_below_occ(self, hot):
+        """Paper: DMVCC 'reduces 63% unnecessary transaction aborts'."""
+        workload, txs = hot
+        dmvcc = run(workload, txs, DMVCCExecutor, 16)
+        occ = run(workload, txs, OCCExecutor, 16)
+        assert occ.aborts > 0
+        assert dmvcc.aborts <= occ.aborts * 0.37
+
+    def test_dag_never_aborts(self, hot):
+        workload, txs = hot
+        assert run(workload, txs, DAGExecutor, 16).aborts == 0
+
+
+class TestFeatureContributions:
+    def test_features_help_under_contention(self, hot):
+        workload, txs = hot
+        full = run(workload, txs, DMVCCExecutor, 16)
+        no_early = run(
+            workload, txs, lambda: DMVCCExecutor(enable_early_write=False), 16
+        )
+        no_commutative = run(
+            workload, txs, lambda: DMVCCExecutor(enable_commutative=False), 16
+        )
+        assert full.speedup >= no_early.speedup
+        assert full.speedup >= no_commutative.speedup
+        # At least one feature must contribute measurably.
+        assert full.speedup > min(no_early.speedup, no_commutative.speedup) * 1.05
+
+    def test_write_versioning_alone_still_beats_nothing(self, hot):
+        workload, txs = hot
+        stripped = run(
+            workload, txs,
+            lambda: DMVCCExecutor(enable_early_write=False, enable_commutative=False),
+            16,
+        )
+        assert stripped.speedup > 1.5

@@ -1,0 +1,18 @@
+"""The README's code must actually run — docs-as-tests."""
+
+import pathlib
+import re
+
+
+def test_quickstart_snippet_executes():
+    source = pathlib.Path(__file__).parents[2].joinpath("README.md").read_text()
+    blocks = re.findall(r"```python\n(.*?)```", source, re.S)
+    assert blocks, "README lost its quickstart snippet"
+    exec(compile(blocks[0], "README-quickstart", "exec"), {})
+
+
+def test_readme_mentions_all_examples():
+    root = pathlib.Path(__file__).parents[2]
+    readme = root.joinpath("README.md").read_text()
+    for script in root.joinpath("examples").glob("*.py"):
+        assert script.name in readme, f"{script.name} missing from README"

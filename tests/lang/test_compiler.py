@@ -1,0 +1,444 @@
+"""Compiler tests: layout, ABI, and compiled-code semantics.
+
+Semantic tests compile Minisol and execute the bytecode on the real VM,
+asserting on storage effects — the compiler's actual contract.
+"""
+
+import pytest
+
+from repro.core import Address, StateKey, array_element_slot, mapping_slot
+from repro.core.errors import TypeError_
+from repro.evm import EVM, HaltReason, Message, drive
+from repro.lang import compile_source
+from repro.lang.compiler import function_signature, selector_of
+from repro.lang.parser import parse_contract
+from repro.state import WriteJournal
+
+CONTRACT = Address.derive("compiled")
+ALICE = Address.derive("alice")
+BOB = Address.derive("bob")
+
+
+def call(compiled, fn, *args, state=None, sender=ALICE, value=0, gas=5_000_000):
+    state = state if state is not None else {}
+    evm = EVM(lambda a: compiled.code if a == CONTRACT else b"")
+    journal = WriteJournal(lambda key: state.get(key, 0))
+    message = Message(sender, CONTRACT, value, compiled.encode_call(fn, *args), gas)
+    outcome = drive(evm, message, journal)
+    if outcome.result.success:
+        state.update(outcome.write_set)
+    return outcome
+
+
+class TestLayout:
+    def test_slots_in_declaration_order(self):
+        compiled = compile_source("""
+            contract T {
+                uint a;
+                mapping(address => uint) m;
+                uint[] arr;
+                uint b;
+            }
+        """)
+        assert compiled.slot_of("a") == 0
+        assert compiled.slot_of("m") == 1
+        assert compiled.slot_of("arr") == 2
+        assert compiled.slot_of("b") == 3
+
+    def test_unknown_variable(self):
+        compiled = compile_source("contract T { uint a; }")
+        with pytest.raises(TypeError_):
+            compiled.slot_of("zzz")
+
+    def test_duplicate_state_var_rejected(self):
+        with pytest.raises(TypeError_):
+            compile_source("contract T { uint a; uint a; }")
+
+    def test_local_shadowing_state_rejected(self):
+        with pytest.raises(TypeError_):
+            compile_source("""
+                contract T {
+                    uint a;
+                    function f() public { uint a = 1; }
+                }
+            """)
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(TypeError_):
+            compile_source("""
+                contract T {
+                    function f() public { uint x = 1; uint x = 2; }
+                }
+            """)
+
+
+class TestABI:
+    def test_selector_matches_signature(self):
+        compiled = compile_source("""
+            contract T { function f(address a, uint b) public { } }
+        """)
+        abi = compiled.abi("f")
+        assert abi.signature == "f(address,uint256)"
+        assert abi.selector == selector_of("f(address,uint256)")
+
+    def test_encode_call_layout(self):
+        compiled = compile_source("""
+            contract T { function f(address a, uint b) public { } }
+        """)
+        data = compiled.encode_call("f", ALICE, 7)
+        assert len(data) == 4 + 64
+        assert int.from_bytes(data[4:36], "big") == ALICE.to_word()
+        assert int.from_bytes(data[36:68], "big") == 7
+
+    def test_encode_call_arity_checked(self):
+        compiled = compile_source("contract T { function f(uint a) public { } }")
+        with pytest.raises(TypeError_):
+            compiled.encode_call("f")
+
+    def test_unknown_function(self):
+        compiled = compile_source("contract T { uint a; }")
+        with pytest.raises(TypeError_):
+            compiled.encode_call("nope")
+
+    def test_function_signature_helper(self):
+        contract = parse_contract(
+            "contract T { function g(uint x, bool b) public { } }"
+        )
+        fn = contract.function("g")
+        assert function_signature("g", fn.params) == "g(uint256,bool)"
+
+    def test_unknown_selector_reverts(self):
+        compiled = compile_source("contract T { function f() public { } }")
+        evm = EVM(lambda a: compiled.code)
+        journal = WriteJournal(lambda key: 0)
+        out = drive(evm, Message(ALICE, CONTRACT, 0, b"\xde\xad\xbe\xef", 100_000), journal)
+        assert out.result.status == HaltReason.REVERT
+
+
+class TestScalarSemantics:
+    def test_scalar_write(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function set(uint v) public { x = v; }
+            }
+        """)
+        out = call(compiled, "set", 99)
+        assert out.write_set[StateKey(CONTRACT, 0)] == 99
+
+    def test_arithmetic_expression(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function f(uint a, uint b) public { x = (a + b) * 2 - 1; }
+            }
+        """)
+        out = call(compiled, "f", 3, 4)
+        assert out.write_set[StateKey(CONTRACT, 0)] == 13
+
+    def test_division_and_modulo(self):
+        compiled = compile_source("""
+            contract T {
+                uint q; uint r;
+                function f(uint a, uint b) public { q = a / b; r = a % b; }
+            }
+        """)
+        out = call(compiled, "f", 17, 5)
+        assert out.write_set[StateKey(CONTRACT, 0)] == 3
+        assert out.write_set[StateKey(CONTRACT, 1)] == 2
+
+    def test_unchecked_overflow(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function f(uint a) public { x = a + 1; }
+            }
+        """)
+        out = call(compiled, "f", 2**256 - 1)
+        assert out.result.success  # Solidity 0.6 semantics: wraps
+        assert out.write_set[StateKey(CONTRACT, 0)] == 0
+
+    def test_return_value(self):
+        compiled = compile_source("""
+            contract T {
+                function f(uint a) public returns (uint) { return a * 3; }
+            }
+        """)
+        out = call(compiled, "f", 5)
+        assert int.from_bytes(out.result.return_data, "big") == 15
+
+    def test_locals_and_params(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function f(uint a) public {
+                    uint doubled = a * 2;
+                    uint plus = doubled + a;
+                    x = plus;
+                }
+            }
+        """)
+        out = call(compiled, "f", 10)
+        assert out.write_set[StateKey(CONTRACT, 0)] == 30
+
+    def test_uninitialised_local_is_zero(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function f() public { uint y; x = y + 1; }
+            }
+        """)
+        out = call(compiled, "f")
+        assert out.write_set[StateKey(CONTRACT, 0)] == 1
+
+
+class TestControlFlowSemantics:
+    def test_if_else(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function f(uint a) public {
+                    if (a > 10) { x = 1; } else { x = 2; }
+                }
+            }
+        """)
+        assert call(compiled, "f", 11).write_set[StateKey(CONTRACT, 0)] == 1
+        assert call(compiled, "f", 10).write_set[StateKey(CONTRACT, 0)] == 2
+
+    def test_while_loop(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function f(uint n) public {
+                    uint total = 0;
+                    uint i = 0;
+                    while (i < n) { total += i; i += 1; }
+                    x = total;
+                }
+            }
+        """)
+        out = call(compiled, "f", 5)
+        assert out.write_set[StateKey(CONTRACT, 0)] == 0 + 1 + 2 + 3 + 4
+
+    def test_for_loop(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function f(uint n) public {
+                    for (uint i = 0; i < n; i++) { x += 2; }
+                }
+            }
+        """)
+        out = call(compiled, "f", 4)
+        assert out.write_set[StateKey(CONTRACT, 0)] == 8
+
+    def test_short_circuit_and(self):
+        # If && evaluated its right side, m[0] would be read; we check via
+        # the read set that it is not.
+        compiled = compile_source("""
+            contract T {
+                mapping(uint => uint) m;
+                uint x;
+                function f(uint a) public {
+                    if (a > 0 && m[0] > 0) { x = 1; } else { x = 2; }
+                }
+            }
+        """)
+        out = call(compiled, "f", 0)
+        read_keys = set(out.read_set)
+        assert StateKey(CONTRACT, mapping_slot(0, 0)) not in read_keys
+        assert out.write_set[StateKey(CONTRACT, 1)] == 2
+
+    def test_short_circuit_or(self):
+        compiled = compile_source("""
+            contract T {
+                mapping(uint => uint) m;
+                uint x;
+                function f(uint a) public {
+                    if (a > 0 || m[0] > 0) { x = 1; } else { x = 2; }
+                }
+            }
+        """)
+        out = call(compiled, "f", 5)
+        assert StateKey(CONTRACT, mapping_slot(0, 0)) not in set(out.read_set)
+        assert out.write_set[StateKey(CONTRACT, 1)] == 1
+
+    def test_logical_results_normalised(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function f(uint a, uint b) public { x = (a > 0 && b > 0); }
+            }
+        """)
+        assert call(compiled, "f", 7, 9).write_set[StateKey(CONTRACT, 0)] == 1
+
+    def test_not_operator(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function f(bool b) public { if (!b) { x = 1; } else { x = 2; } }
+            }
+        """)
+        assert call(compiled, "f", 0).write_set[StateKey(CONTRACT, 0)] == 1
+        assert call(compiled, "f", 1).write_set[StateKey(CONTRACT, 0)] == 2
+
+
+class TestAborts:
+    def test_require_reverts(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function f(uint a) public { require(a > 5); x = a; }
+            }
+        """)
+        ok = call(compiled, "f", 6)
+        assert ok.result.success
+        bad = call(compiled, "f", 5)
+        assert bad.result.status == HaltReason.REVERT
+        assert not bad.write_set
+
+    def test_assert_panics(self):
+        compiled = compile_source("""
+            contract T {
+                function f(uint a) public { assert(a < 10); }
+            }
+        """)
+        assert call(compiled, "f", 5).result.success
+        assert call(compiled, "f", 50).result.status == HaltReason.ASSERT_FAIL
+
+    def test_revert_statement(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function f(uint a) public {
+                    if (a == 0) { revert(); }
+                    x = a;
+                }
+            }
+        """)
+        assert call(compiled, "f", 0).result.status == HaltReason.REVERT
+
+    def test_nonpayable_rejects_value(self):
+        compiled = compile_source("contract T { function f() public { } }")
+        out = call(compiled, "f", value=5)
+        assert out.result.status == HaltReason.REVERT
+
+    def test_payable_accepts_value(self):
+        compiled = compile_source("""
+            contract T {
+                uint x;
+                function f() public payable { x = msg.value; }
+            }
+        """)
+        out = call(compiled, "f", value=5)
+        assert out.result.success
+        assert out.write_set[StateKey(CONTRACT, 0)] == 5
+
+
+class TestMappingsAndArrays:
+    def test_mapping_solidity_layout(self):
+        compiled = compile_source("""
+            contract T {
+                mapping(address => uint) m;
+                function set(address who, uint v) public { m[who] = v; }
+            }
+        """)
+        out = call(compiled, "set", BOB, 77)
+        expected_slot = mapping_slot(BOB.to_word(), 0)
+        assert out.write_set[StateKey(CONTRACT, expected_slot)] == 77
+
+    def test_nested_mapping_layout(self):
+        compiled = compile_source("""
+            contract T {
+                mapping(address => mapping(address => uint)) allowance;
+                function approve(address spender, uint v) public {
+                    allowance[msg.sender][spender] = v;
+                }
+            }
+        """)
+        out = call(compiled, "approve", BOB, 5, sender=ALICE)
+        inner_base = mapping_slot(ALICE.to_word(), 0)
+        expected = mapping_slot(BOB.to_word(), inner_base)
+        assert out.write_set[StateKey(CONTRACT, expected)] == 5
+
+    def test_array_push_and_layout(self):
+        compiled = compile_source("""
+            contract T {
+                uint[] arr;
+                function add(uint v) public { arr.push(v); }
+            }
+        """)
+        state = {}
+        call(compiled, "add", 10, state=state)
+        call(compiled, "add", 20, state=state)
+        assert state[StateKey(CONTRACT, 0)] == 2  # length at base slot
+        assert state[StateKey(CONTRACT, array_element_slot(0, 0))] == 10
+        assert state[StateKey(CONTRACT, array_element_slot(0, 1))] == 20
+
+    def test_array_read_write(self):
+        compiled = compile_source("""
+            contract T {
+                uint[] arr;
+                uint x;
+                function add(uint v) public { arr.push(v); }
+                function get(uint i) public { x = arr[i]; }
+                function put(uint i, uint v) public { arr[i] = v; }
+            }
+        """)
+        state = {}
+        call(compiled, "add", 5, state=state)
+        call(compiled, "put", 0, 55, state=state)
+        call(compiled, "get", 0, state=state)
+        assert state[StateKey(CONTRACT, 1)] == 55
+
+    def test_array_bounds_checked(self):
+        compiled = compile_source("""
+            contract T {
+                uint[] arr;
+                uint x;
+                function get(uint i) public { x = arr[i]; }
+            }
+        """)
+        out = call(compiled, "get", 3)
+        assert out.result.status == HaltReason.ASSERT_FAIL
+
+    def test_array_length(self):
+        compiled = compile_source("""
+            contract T {
+                uint[] arr;
+                uint x;
+                function add(uint v) public { arr.push(v); }
+                function measure() public { x = arr.length; }
+            }
+        """)
+        state = {}
+        call(compiled, "add", 1, state=state)
+        call(compiled, "add", 2, state=state)
+        call(compiled, "measure", state=state)
+        assert state[StateKey(CONTRACT, 1)] == 2
+
+    def test_whole_mapping_read_rejected(self):
+        with pytest.raises(TypeError_):
+            compile_source("""
+                contract T {
+                    mapping(uint => uint) m;
+                    uint x;
+                    function f() public { x = m; }
+                }
+            """)
+
+
+class TestEvents:
+    def test_emit_produces_log(self):
+        compiled = compile_source("""
+            contract T {
+                event Ping(uint, uint);
+                function f() public { emit Ping(1, 2); }
+            }
+        """)
+        out = call(compiled, "f")
+        assert out.result.success
+        assert len(out.result.logs) == 1
+        log = out.result.logs[0]
+        assert int.from_bytes(log.data[:32], "big") == 1
+        assert int.from_bytes(log.data[32:], "big") == 2

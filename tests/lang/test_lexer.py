@@ -1,0 +1,71 @@
+"""Tokeniser tests."""
+
+import pytest
+
+from repro.core.errors import LexError
+from repro.lang.lexer import Token, parse_number, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_empty(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_keywords_vs_identifiers(self):
+        assert kinds("contract Foo") == [("keyword", "contract"), ("ident", "Foo")]
+
+    def test_numbers(self):
+        assert kinds("42 0xFF 1_000") == [
+            ("number", "42"), ("number", "0xFF"), ("number", "1_000"),
+        ]
+
+    def test_parse_number(self):
+        tokens = tokenize("0xFF 1_000")
+        assert parse_number(tokens[0]) == 255
+        assert parse_number(tokens[1]) == 1000
+
+    def test_operators_maximal_munch(self):
+        assert [t for _, t in kinds("a>=b")] == ["a", ">=", "b"]
+        assert [t for _, t in kinds("a=>b")] == ["a", "=>", "b"]
+        assert [t for _, t in kinds("x+=1")] == ["x", "+=", "1"]
+        assert [t for _, t in kinds("i++")] == ["i", "++"]
+
+    def test_compound_vs_simple(self):
+        assert [t for _, t in kinds("a = = b")] == ["a", "=", "=", "b"]
+        assert [t for _, t in kinds("a == b")] == ["a", "==", "b"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nbb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+    def test_lex_error_reports_position(self):
+        with pytest.raises(LexError) as info:
+            tokenize("abc\n  $")
+        assert "2" in str(info.value)
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("`")

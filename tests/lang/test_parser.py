@@ -1,0 +1,223 @@
+"""Parser tests: declarations, statements, expressions, errors."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.lang import ast, parse_contract
+
+
+def parse_fn_body(body_src, decls=""):
+    contract = parse_contract(f"""
+        contract T {{
+            {decls}
+            function f() public {{ {body_src} }}
+        }}
+    """)
+    return contract.function("f").body
+
+
+class TestDeclarations:
+    def test_state_variables(self):
+        contract = parse_contract("""
+            contract T {
+                uint a;
+                address owner;
+                mapping(address => uint) balances;
+                mapping(address => mapping(address => uint)) allowance;
+                uint[] items;
+            }
+        """)
+        types = [type(v.type).__name__ for v in contract.state_vars]
+        assert types == [
+            "UIntType", "AddressType", "MappingType", "MappingType", "ArrayType",
+        ]
+        nested = contract.state_vars[3].type
+        assert isinstance(nested.value, ast.MappingType)
+
+    def test_function_signature(self):
+        contract = parse_contract("""
+            contract T {
+                function pay(address to, uint amount) public payable returns (uint) {
+                    return amount;
+                }
+            }
+        """)
+        fn = contract.function("pay")
+        assert [p.name for p in fn.params] == ["to", "amount"]
+        assert fn.payable
+        assert fn.returns_value
+
+    def test_event_declaration_skipped(self):
+        contract = parse_contract("""
+            contract T {
+                event Transfer(address indexed a, uint b);
+                uint x;
+            }
+        """)
+        assert len(contract.state_vars) == 1
+
+    def test_modifiers_ignored(self):
+        contract = parse_contract("""
+            contract T {
+                uint public x;
+                function f() external view returns (uint) { return x; }
+            }
+        """)
+        assert contract.function("f").returns_value
+
+    def test_unknown_function_lookup(self):
+        contract = parse_contract("contract T { uint x; }")
+        with pytest.raises(KeyError):
+            contract.function("nope")
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        (stmt,) = parse_fn_body("uint x = 5;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.init.value == 5
+
+    def test_plain_assignment(self):
+        (stmt,) = parse_fn_body("x = 1;", decls="uint x;")
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.op == ""
+
+    def test_compound_assignment(self):
+        (stmt,) = parse_fn_body("x += 2;", decls="uint x;")
+        assert stmt.op == "+"
+
+    def test_increment_decrement(self):
+        body = parse_fn_body("x++; x--;", decls="uint x;")
+        assert body[0].op == "+" and body[0].value.value == 1
+        assert body[1].op == "-"
+
+    def test_indexed_assignment(self):
+        (stmt,) = parse_fn_body(
+            "m[msg.sender] = 1;", decls="mapping(address => uint) m;"
+        )
+        assert isinstance(stmt.target, ast.Index)
+
+    def test_require_assert_revert(self):
+        body = parse_fn_body("require(x > 0); assert(x < 10); revert();",
+                             decls="uint x;")
+        assert isinstance(body[0], ast.Require)
+        assert isinstance(body[1], ast.AssertStmt)
+        assert isinstance(body[2], ast.RevertStmt)
+
+    def test_if_else_chain(self):
+        (stmt,) = parse_fn_body("""
+            if (x > 1) { x = 1; } else if (x > 0) { x = 2; } else { x = 3; }
+        """, decls="uint x;")
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_body[0], ast.If)
+        assert stmt.else_body[0].else_body
+
+    def test_while(self):
+        (stmt,) = parse_fn_body("while (x > 0) { x -= 1; }", decls="uint x;")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_loop(self):
+        (stmt,) = parse_fn_body(
+            "for (uint i = 0; i < 10; i++) { x += i; }", decls="uint x;"
+        )
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert stmt.post.op == "+"
+
+    def test_for_loop_empty_sections(self):
+        (stmt,) = parse_fn_body("for (;;) { x = 1; }", decls="uint x;")
+        assert stmt.init is None and stmt.cond is None and stmt.post is None
+
+    def test_array_push(self):
+        (stmt,) = parse_fn_body("items.push(7);", decls="uint[] items;")
+        assert isinstance(stmt, ast.ArrayPush)
+        assert stmt.array == "items"
+
+    def test_emit(self):
+        (stmt,) = parse_fn_body("emit Fired(1, 2);")
+        assert isinstance(stmt, ast.Emit)
+        assert len(stmt.args) == 2
+
+    def test_return_void(self):
+        (stmt,) = parse_fn_body("return;")
+        assert stmt.value is None
+
+
+class TestExpressions:
+    def expr(self, text, decls="uint a; uint b; uint c;"):
+        (stmt,) = parse_fn_body(f"a = {text};", decls=decls)
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        node = self.expr("b + c * 2")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_precedence_comparison_over_and(self):
+        node = self.expr("b > 1 && c < 2")
+        assert node.op == "&&"
+        assert node.left.op == ">"
+
+    def test_parentheses(self):
+        node = self.expr("(b + c) * 2")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_unary_not(self):
+        node = self.expr("!b")
+        assert isinstance(node, ast.Unary) and node.op == "!"
+
+    def test_msg_and_block(self):
+        node = self.expr("msg.value")
+        assert node.base == "msg" and node.member == "value"
+        node = self.expr("block.timestamp")
+        assert node.member == "timestamp"
+
+    def test_nested_index(self):
+        node = self.expr(
+            "allowance[msg.sender][b]",
+            decls="uint a; uint b; mapping(address => mapping(uint => uint)) allowance;",
+        )
+        assert isinstance(node, ast.Index)
+        assert isinstance(node.base, ast.Index)
+
+    def test_array_length(self):
+        node = self.expr("items.length", decls="uint a; uint[] items;")
+        assert isinstance(node, ast.Member) and node.member == "length"
+
+    def test_balance_builtin(self):
+        node = self.expr("balance(msg.sender)")
+        assert isinstance(node, ast.BalanceOf)
+
+    def test_bool_literals(self):
+        assert self.expr("true").value is True
+        assert self.expr("false").value is False
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_contract("contract T { function f() public { uint x = 1 } }")
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_contract("contract T { function f() public { 5 = 1; } }")
+
+    def test_unknown_msg_member(self):
+        with pytest.raises(ParseError):
+            parse_contract("contract T { function f() public { uint x = msg.gas; } }")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_contract("contract T { } extra")
+
+    def test_mapping_param_rejected(self):
+        with pytest.raises(ParseError):
+            parse_contract(
+                "contract T { function f(mapping(address => uint) m) public { } }"
+            )
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as info:
+            parse_contract("contract T {\n  uint x\n}")
+        assert info.value.line >= 2

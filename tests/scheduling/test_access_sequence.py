@@ -1,0 +1,238 @@
+"""Access-sequence tests: write versioning, read resolution, Algorithm 3/4
+semantics, and commutative merging."""
+
+import pytest
+
+from repro.analysis.csag import AccessType
+from repro.core import Address, StateKey
+from repro.core.errors import SchedulingError
+from repro.scheduling import (
+    SNAPSHOT_VERSION,
+    AccessSequence,
+    AccessSequenceSet,
+)
+
+KEY = StateKey(Address.derive("c"), 0)
+
+
+def seq_with(*entries):
+    seq = AccessSequence(KEY)
+    for tx_index, access in entries:
+        seq.insert_predicted(tx_index, access)
+    return seq
+
+
+class TestConstruction:
+    def test_entries_sorted_by_index(self):
+        seq = seq_with((5, AccessType.READ), (1, AccessType.WRITE), (3, AccessType.READ))
+        assert [e.tx_index for e in seq.entries()] == [1, 3, 5]
+
+    def test_duplicate_rejected(self):
+        seq = seq_with((1, AccessType.READ))
+        with pytest.raises(SchedulingError):
+            seq.insert_predicted(1, AccessType.WRITE)
+
+    def test_repr_shows_flags(self):
+        seq = seq_with((1, AccessType.WRITE))
+        assert "T1:ω[N]" in repr(seq)
+
+
+class TestReadResolution:
+    def test_no_predecessors_reads_snapshot(self):
+        seq = seq_with((5, AccessType.READ))
+        resolution = seq.resolve_read(5)
+        assert resolution.ready
+        assert resolution.from_snapshot
+        assert resolution.version_from == SNAPSHOT_VERSION
+
+    def test_blocked_by_unfinished_write(self):
+        seq = seq_with((1, AccessType.WRITE), (2, AccessType.READ))
+        resolution = seq.resolve_read(2)
+        assert not resolution.ready
+        assert resolution.blockers == (1,)
+
+    def test_reads_closest_finished_write(self):
+        seq = seq_with((1, AccessType.WRITE), (3, AccessType.WRITE), (5, AccessType.READ))
+        seq.version_write(1, value=100)
+        seq.version_write(3, value=300)
+        resolution = seq.resolve_read(5)
+        assert resolution.ready
+        assert resolution.value == 300
+        assert resolution.version_from == 3
+
+    def test_skipped_write_ignored(self):
+        seq = seq_with((1, AccessType.WRITE), (2, AccessType.READ))
+        seq.version_write(1, skipped=True)
+        resolution = seq.resolve_read(2)
+        assert resolution.ready and resolution.from_snapshot
+
+    def test_reader_does_not_see_later_writes(self):
+        seq = seq_with((2, AccessType.READ), (5, AccessType.WRITE))
+        seq.version_write(5, value=500)
+        resolution = seq.resolve_read(2)
+        assert resolution.from_snapshot
+
+    def test_commutative_merge(self):
+        seq = seq_with(
+            (1, AccessType.WRITE),
+            (2, AccessType.COMMUTATIVE),
+            (3, AccessType.COMMUTATIVE),
+            (4, AccessType.READ),
+        )
+        seq.version_write(1, value=100)
+        seq.version_write(2, delta=5)
+        seq.version_write(3, delta=7)
+        resolution = seq.resolve_read(4)
+        assert resolution.ready
+        assert resolution.resolve_with_snapshot(0) == 112
+        assert resolution.version_from == 1
+
+    def test_commutative_over_snapshot(self):
+        seq = seq_with((1, AccessType.COMMUTATIVE), (2, AccessType.READ))
+        seq.version_write(1, delta=10)
+        resolution = seq.resolve_read(2)
+        assert resolution.from_snapshot
+        assert resolution.resolve_with_snapshot(90) == 100
+
+    def test_unfinished_commutative_blocks_reader(self):
+        seq = seq_with((1, AccessType.COMMUTATIVE), (2, AccessType.READ))
+        resolution = seq.resolve_read(2)
+        assert not resolution.ready
+
+    def test_best_available_skips_unfinished(self):
+        seq = seq_with(
+            (1, AccessType.WRITE), (3, AccessType.WRITE), (5, AccessType.READ)
+        )
+        seq.version_write(1, value=100)  # T3 not finished
+        resolution = seq.best_available_read(5)
+        assert resolution.ready
+        assert resolution.value == 100
+
+
+class TestVersionWrite:
+    def test_finished_stale_reader_aborted(self):
+        seq = seq_with((1, AccessType.WRITE), (2, AccessType.READ))
+        seq.record_read(2, SNAPSHOT_VERSION)  # read before T1 wrote: stale
+        allowed, aborted = seq.version_write(1, value=10)
+        assert aborted == [2]
+
+    def test_reader_of_newer_version_not_aborted(self):
+        seq = seq_with(
+            (1, AccessType.WRITE), (3, AccessType.WRITE), (5, AccessType.READ)
+        )
+        seq.version_write(3, value=300)
+        seq.record_read(5, 3)
+        _, aborted = seq.version_write(1, value=100)
+        assert aborted == []
+
+    def test_waiting_reader_allowed(self):
+        seq = seq_with((1, AccessType.WRITE), (2, AccessType.READ))
+        allowed, aborted = seq.version_write(1, value=10)
+        assert allowed == [2]
+        assert aborted == []
+
+    def test_unpredicted_write_inserted(self):
+        seq = seq_with((5, AccessType.READ))
+        seq.version_write(3, value=30)  # analysis missed T3 entirely
+        assert seq.entry(3) is not None
+        assert seq.entry(3).declared is AccessType.WRITE
+
+    def test_read_upgraded_to_theta(self):
+        seq = seq_with((3, AccessType.READ))
+        seq.version_write(3, value=30)
+        assert seq.entry(3).declared is AccessType.READ_WRITE
+
+    def test_value_xor_delta_enforced(self):
+        seq = seq_with((1, AccessType.WRITE))
+        with pytest.raises(SchedulingError):
+            seq.version_write(1)
+        with pytest.raises(SchedulingError):
+            seq.version_write(1, value=1, delta=2)
+
+    def test_commutative_insert_aborts_stale_merged_reader(self):
+        seq = seq_with(
+            (1, AccessType.COMMUTATIVE),
+            (2, AccessType.COMMUTATIVE),
+            (4, AccessType.READ),
+        )
+        seq.version_write(2, delta=5)
+        seq.record_read(4, SNAPSHOT_VERSION)  # merged snapshot + T2's delta
+        _, aborted = seq.version_write(1, delta=3)  # late delta below base
+        assert aborted == [4]
+
+
+class TestRetraction:
+    def test_retract_clears_write(self):
+        seq = seq_with((1, AccessType.WRITE), (2, AccessType.READ))
+        seq.version_write(1, value=10)
+        seq.retract(1)
+        resolution = seq.resolve_read(2)
+        assert not resolution.ready  # write is pending again
+
+    def test_retract_reports_victims(self):
+        seq = seq_with((1, AccessType.WRITE), (2, AccessType.READ))
+        seq.version_write(1, value=10)
+        seq.record_read(2, 1)
+        victims = seq.retract(1)
+        assert victims == [2]
+
+    def test_retract_unwritten_is_noop(self):
+        seq = seq_with((1, AccessType.WRITE))
+        assert seq.retract(1) == []
+
+    def test_reset_for_retry(self):
+        seq = seq_with((1, AccessType.READ_WRITE))
+        seq.version_write(1, value=10)
+        seq.record_read(1, SNAPSHOT_VERSION)
+        seq.reset_for_retry(1)
+        entry = seq.entry(1)
+        assert not entry.write_finished
+        assert not entry.read_done
+        assert entry.declared is AccessType.READ_WRITE  # prediction kept
+
+
+class TestFinalValue:
+    def test_last_absolute_write_wins(self):
+        seq = seq_with((1, AccessType.WRITE), (2, AccessType.WRITE))
+        seq.version_write(1, value=10)
+        seq.version_write(2, value=20)
+        assert seq.final_value(lambda k: 0) == 20
+
+    def test_trailing_deltas_folded(self):
+        seq = seq_with(
+            (1, AccessType.WRITE),
+            (2, AccessType.COMMUTATIVE),
+            (3, AccessType.COMMUTATIVE),
+        )
+        seq.version_write(1, value=10)
+        seq.version_write(2, delta=1)
+        seq.version_write(3, delta=2)
+        assert seq.final_value(lambda k: 0) == 13
+
+    def test_deltas_only_use_snapshot(self):
+        seq = seq_with((1, AccessType.COMMUTATIVE))
+        seq.version_write(1, delta=5)
+        assert seq.final_value(lambda k: 100) == 105
+
+    def test_no_effective_writes(self):
+        seq = seq_with((1, AccessType.READ), (2, AccessType.WRITE))
+        seq.version_write(2, skipped=True)
+        assert seq.final_value(lambda k: 0) is None
+
+
+class TestSequenceSet:
+    def test_lazy_creation(self):
+        sequences = AccessSequenceSet()
+        assert sequences.get(KEY) is None
+        sequences.sequence(KEY)
+        assert sequences.get(KEY) is not None
+        assert len(sequences) == 1
+
+    def test_final_writes(self):
+        sequences = AccessSequenceSet()
+        other = StateKey(Address.derive("c"), 1)
+        sequences.sequence(KEY).insert_predicted(1, AccessType.WRITE)
+        sequences.sequence(KEY).version_write(1, value=11)
+        sequences.sequence(other).insert_predicted(2, AccessType.READ)
+        writes = sequences.final_writes(lambda k: 0)
+        assert writes == {KEY: 11}

@@ -1,0 +1,114 @@
+"""Lock table and ready queue tests."""
+
+from repro.analysis.csag import AccessType
+from repro.core import Address, StateKey
+from repro.scheduling import AccessSequenceSet, LockTable, ReadyQueue
+
+CONTRACT = Address.derive("c")
+K0 = StateKey(CONTRACT, 0)
+K1 = StateKey(CONTRACT, 1)
+
+
+class TestLockTable:
+    def test_ready_with_no_needs(self):
+        locks = LockTable()
+        locks.register(1, [])
+        assert locks.is_ready(1)
+
+    def test_grant_progression(self):
+        locks = LockTable()
+        locks.register(1, [K0, K1])
+        assert not locks.is_ready(1)
+        assert locks.grant(1, K0) is False  # not yet fully ready
+        assert locks.grant(1, K1) is True   # just became ready
+        assert locks.is_ready(1)
+
+    def test_double_grant_is_noop(self):
+        locks = LockTable()
+        locks.register(1, [K0])
+        assert locks.grant(1, K0) is True
+        assert locks.grant(1, K0) is False
+
+    def test_grant_unregistered(self):
+        locks = LockTable()
+        assert locks.grant(99, K0) is False
+
+    def test_release(self):
+        locks = LockTable()
+        locks.register(1, [K0])
+        locks.grant(1, K0)
+        locks.release(1, K0)
+        assert not locks.is_ready(1)
+        assert not locks.holds(1, K0)
+
+    def test_release_all(self):
+        locks = LockTable()
+        locks.register(1, [K0, K1])
+        locks.grant(1, K0)
+        locks.grant(1, K1)
+        locks.release_all(1)
+        assert locks.state(1).granted == set()
+
+    def test_missing(self):
+        locks = LockTable()
+        locks.register(1, [K0, K1])
+        locks.grant(1, K0)
+        assert locks.state(1).missing() == {K1}
+
+    def test_refresh_from_sequences(self):
+        sequences = AccessSequenceSet()
+        seq = sequences.sequence(K0)
+        seq.insert_predicted(1, AccessType.WRITE)
+        seq.insert_predicted(2, AccessType.READ)
+        locks = LockTable()
+        locks.register(2, [K0])
+        assert locks.refresh(2, sequences) is False  # blocked by T1
+        seq.version_write(1, value=5)
+        assert locks.refresh(2, sequences) is True
+
+    def test_refresh_unknown_key_granted(self):
+        # A key with no access sequence can always be read (snapshot).
+        locks = LockTable()
+        locks.register(1, [K0])
+        assert locks.refresh(1, AccessSequenceSet()) is True
+
+
+class TestReadyQueue:
+    def test_pops_lowest_index(self):
+        queue = ReadyQueue()
+        queue.push(5)
+        queue.push(2)
+        queue.push(9)
+        assert queue.pop() == 2
+        assert queue.pop() == 5
+        assert queue.pop() == 9
+        assert queue.pop() is None
+
+    def test_duplicate_push_ignored(self):
+        queue = ReadyQueue()
+        assert queue.push(1) is True
+        assert queue.push(1) is False
+        assert len(queue) == 1
+
+    def test_membership(self):
+        queue = ReadyQueue()
+        queue.push(3)
+        assert 3 in queue
+        queue.pop()
+        assert 3 not in queue
+
+    def test_lazy_removal(self):
+        queue = ReadyQueue()
+        queue.push(1)
+        queue.push(2)
+        assert queue.remove(1) is True
+        assert queue.remove(1) is False
+        assert queue.pop() == 2
+        assert queue.pop() is None
+
+    def test_reinsert_after_pop(self):
+        queue = ReadyQueue()
+        queue.push(1)
+        queue.pop()
+        assert queue.push(1) is True
+        assert queue.pop() == 1

@@ -1,0 +1,94 @@
+"""Discrete-event loop tests."""
+
+import pytest
+
+from repro.core.errors import SchedulingError
+from repro.sim import EventLoop, gas_to_time
+
+
+class TestEventLoop:
+    def test_time_ordered(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(5.0, lambda: order.append("b"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(9.0, lambda: order.append("c"))
+        end = loop.run()
+        assert order == ["a", "b", "c"]
+        assert end == 9.0
+
+    def test_fifo_tie_break(self):
+        loop = EventLoop()
+        order = []
+        for name in "abc":
+            loop.schedule(1.0, lambda n=name: order.append(n))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(3.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [3.0]
+
+    def test_callbacks_can_schedule(self):
+        loop = EventLoop()
+        order = []
+
+        def first():
+            order.append("first")
+            loop.schedule(loop.now + 1, lambda: order.append("second"))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert order == ["first", "second"]
+
+    def test_schedule_now_inside_callback(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, lambda: loop.schedule_now(lambda: order.append(loop.now)))
+        loop.run()
+        assert order == [2.0]
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: loop.schedule(1.0, lambda: None))
+        with pytest.raises(SchedulingError):
+            loop.run()
+
+    def test_cancellation(self):
+        loop = EventLoop()
+        fired = []
+        entry = loop.schedule(1.0, lambda: fired.append(1))
+        loop.cancel(entry)
+        loop.run()
+        assert not fired
+
+    def test_len_skips_cancelled(self):
+        loop = EventLoop()
+        entry = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        loop.cancel(entry)
+        assert len(loop) == 1
+
+    def test_livelock_guard(self):
+        loop = EventLoop()
+
+        def rearm():
+            loop.schedule_now(rearm)
+
+        loop.schedule_now(rearm)
+        with pytest.raises(SchedulingError):
+            loop.run(max_events=100)
+
+    def test_empty_run(self):
+        assert EventLoop().run() == 0.0
+
+
+class TestGasTime:
+    def test_default_scale(self):
+        assert gas_to_time(1_000) == 1_000.0
+
+    def test_custom_scale(self):
+        assert gas_to_time(1_000, scale=0.5) == 500.0

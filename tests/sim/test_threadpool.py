@@ -1,0 +1,65 @@
+"""Simulated thread pool tests."""
+
+import pytest
+
+from repro.core.errors import SchedulingError
+from repro.sim import ThreadPool
+
+
+class TestOccupancy:
+    def test_size_validated(self):
+        with pytest.raises(SchedulingError):
+            ThreadPool(0)
+
+    def test_occupy_until_exhausted(self):
+        pool = ThreadPool(2)
+        assert pool.try_occupy(0.0) is not None
+        assert pool.try_occupy(0.0) is not None
+        assert pool.try_occupy(0.0) is None
+
+    def test_release_recycles(self):
+        pool = ThreadPool(1)
+        thread = pool.try_occupy(0.0)
+        pool.release(thread, 5.0)
+        assert pool.try_occupy(5.0) is not None
+
+    def test_release_idle_rejected(self):
+        pool = ThreadPool(1)
+        with pytest.raises(SchedulingError):
+            pool.release(0, 1.0)
+
+    def test_idle_count(self):
+        pool = ThreadPool(3)
+        pool.try_occupy(0.0)
+        assert pool.idle_count == 2
+
+
+class TestMetrics:
+    def test_busy_time_accumulates(self):
+        pool = ThreadPool(2)
+        a = pool.try_occupy(0.0, label="A")
+        b = pool.try_occupy(0.0, label="B")
+        pool.release(a, 10.0)
+        pool.release(b, 4.0)
+        assert pool.busy_time() == 14.0
+
+    def test_utilisation(self):
+        pool = ThreadPool(2)
+        a = pool.try_occupy(0.0)
+        pool.release(a, 10.0)
+        assert pool.utilisation(makespan=10.0) == pytest.approx(0.5)
+
+    def test_utilisation_zero_makespan(self):
+        assert ThreadPool(2).utilisation(0.0) == 0.0
+
+    def test_gantt_structure(self):
+        pool = ThreadPool(2)
+        a = pool.try_occupy(0.0, label="T1")
+        pool.release(a, 3.0)
+        b = pool.try_occupy(3.0, label="T2")
+        pool.release(b, 7.0)
+        chart = pool.gantt()
+        assert set(chart) == {0, 1}
+        flattened = [entry for intervals in chart.values() for entry in intervals]
+        assert ("T1" in {e[2] for e in flattened})
+        assert ("T2" in {e[2] for e in flattened})

@@ -1,0 +1,121 @@
+"""Write journal tests: buffering, checkpoints, read/write sets."""
+
+import pytest
+
+from repro.core import Address, StateKey
+from repro.core.errors import StateError
+from repro.state import OverlayReader, WriteJournal
+
+CONTRACT = Address.derive("c")
+K0 = StateKey(CONTRACT, 0)
+K1 = StateKey(CONTRACT, 1)
+
+
+def backing(values):
+    return lambda key: values.get(key, 0)
+
+
+class TestReadWrite:
+    def test_read_through(self):
+        journal = WriteJournal(backing({K0: 5}))
+        assert journal.read(K0) == 5
+
+    def test_write_shadows(self):
+        journal = WriteJournal(backing({K0: 5}))
+        journal.write(K0, 9)
+        assert journal.read(K0) == 9
+
+    def test_write_set_latest_wins(self):
+        journal = WriteJournal(backing({}))
+        journal.write(K0, 1)
+        journal.write(K0, 2)
+        assert journal.write_set == {K0: 2}
+
+    def test_read_set_first_observation(self):
+        journal = WriteJournal(backing({K0: 5}))
+        journal.read(K0)
+        journal.write(K0, 9)
+        journal.read(K0)  # hits the buffer, not the backing store
+        assert journal.read_set == {K0: 5}
+
+    def test_read_set_excludes_buffer_hits(self):
+        journal = WriteJournal(backing({}))
+        journal.write(K0, 1)
+        journal.read(K0)
+        assert K0 not in journal.read_set
+
+    def test_written(self):
+        journal = WriteJournal(backing({}))
+        assert not journal.written(K0)
+        journal.write(K0, 1)
+        assert journal.written(K0)
+
+
+class TestCheckpoints:
+    def test_revert_discards(self):
+        journal = WriteJournal(backing({K0: 5}))
+        token = journal.checkpoint()
+        journal.write(K0, 9)
+        journal.revert_to(token)
+        assert journal.read(K0) == 5
+        assert journal.write_set == {}
+
+    def test_revert_keeps_outer_writes(self):
+        journal = WriteJournal(backing({}))
+        journal.write(K0, 1)
+        token = journal.checkpoint()
+        journal.write(K0, 2)
+        journal.write(K1, 3)
+        journal.revert_to(token)
+        assert journal.write_set == {K0: 1}
+
+    def test_commit_keeps_inner_writes(self):
+        journal = WriteJournal(backing({}))
+        token = journal.checkpoint()
+        journal.write(K0, 7)
+        journal.commit_checkpoint(token)
+        assert journal.write_set == {K0: 7}
+
+    def test_nested_checkpoints(self):
+        journal = WriteJournal(backing({}))
+        outer = journal.checkpoint()
+        journal.write(K0, 1)
+        inner = journal.checkpoint()
+        journal.write(K0, 2)
+        journal.revert_to(inner)
+        assert journal.read(K0) == 1
+        journal.commit_checkpoint(outer)
+        assert journal.write_set == {K0: 1}
+
+    def test_out_of_order_release_rejected(self):
+        journal = WriteJournal(backing({}))
+        outer = journal.checkpoint()
+        journal.checkpoint()
+        with pytest.raises(StateError):
+            journal.commit_checkpoint(outer)
+
+    def test_clear(self):
+        journal = WriteJournal(backing({K0: 1}))
+        journal.read(K0)
+        journal.write(K1, 2)
+        journal.clear()
+        assert journal.write_set == {}
+        assert journal.read_set == {}
+
+
+class TestOverlayReader:
+    def test_reads_base(self):
+        overlay = OverlayReader(backing({K0: 3}))
+        assert overlay.read(K0) == 3
+
+    def test_apply_shadows(self):
+        overlay = OverlayReader(backing({K0: 3}))
+        overlay.apply({K0: 8})
+        assert overlay.read(K0) == 8
+        assert overlay(K0) == 8  # callable form
+
+    def test_pending(self):
+        overlay = OverlayReader(backing({}))
+        overlay.apply({K0: 1})
+        overlay.apply({K1: 2})
+        assert overlay.pending == {K0: 1, K1: 2}

@@ -1,0 +1,217 @@
+"""Merkle Patricia Trie tests: functional, structural, and model-based."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, rule
+
+from repro.core.errors import MissingNodeError
+from repro.trie import EMPTY_ROOT, NodeStore, Trie, verify_consistency
+
+
+class TestBasics:
+    def test_empty_get(self):
+        assert Trie().get(b"missing") is None
+
+    def test_set_get(self):
+        trie = Trie()
+        trie.set(b"key", b"value")
+        assert trie.get(b"key") == b"value"
+
+    def test_overwrite(self):
+        trie = Trie()
+        trie.set(b"key", b"one")
+        trie.set(b"key", b"two")
+        assert trie.get(b"key") == b"two"
+
+    def test_empty_value_deletes(self):
+        trie = Trie()
+        trie.set(b"key", b"value")
+        trie.set(b"key", b"")
+        assert trie.get(b"key") is None
+        assert trie.root_hash == EMPTY_ROOT
+
+    def test_delete_returns_presence(self):
+        trie = Trie()
+        trie.set(b"key", b"value")
+        assert trie.delete(b"key") is True
+        assert trie.delete(b"key") is False
+
+    def test_contains(self):
+        trie = Trie()
+        trie.set(b"a", b"1")
+        assert b"a" in trie
+        assert b"b" not in trie
+
+    def test_len(self):
+        trie = Trie()
+        for i in range(10):
+            trie.set(bytes([i]), b"v")
+        assert len(trie) == 10
+
+    def test_prefix_keys_coexist(self):
+        trie = Trie()
+        trie.set(b"do", b"verb")
+        trie.set(b"dog", b"animal")
+        trie.set(b"doge", b"coin")
+        assert trie.get(b"do") == b"verb"
+        assert trie.get(b"dog") == b"animal"
+        assert trie.get(b"doge") == b"coin"
+
+    def test_delete_middle_of_prefix_chain(self):
+        trie = Trie()
+        trie.set(b"do", b"verb")
+        trie.set(b"dog", b"animal")
+        trie.set(b"doge", b"coin")
+        trie.delete(b"dog")
+        assert trie.get(b"dog") is None
+        assert trie.get(b"do") == b"verb"
+        assert trie.get(b"doge") == b"coin"
+
+    def test_items_sorted(self):
+        trie = Trie()
+        keys = [b"zebra", b"apple", b"mango"]
+        for key in keys:
+            trie.set(key, key)
+        assert [k for k, _ in trie.items()] == sorted(keys)
+
+
+class TestRootHash:
+    def test_empty_root_fixed(self):
+        assert Trie().root_hash == EMPTY_ROOT
+
+    def test_insertion_order_independent(self):
+        items = {bytes([i, i * 2 % 256]): bytes([i]) for i in range(1, 60)}
+        trie_a, trie_b = Trie(), Trie()
+        for key in items:
+            trie_a.set(key, items[key])
+        for key in reversed(list(items)):
+            trie_b.set(key, items[key])
+        assert trie_a.root_hash == trie_b.root_hash
+
+    def test_delete_restores_root(self):
+        trie = Trie()
+        trie.set(b"base", b"1")
+        before = trie.root_hash
+        trie.set(b"extra", b"2")
+        trie.delete(b"extra")
+        assert trie.root_hash == before
+
+    def test_value_change_changes_root(self):
+        trie = Trie()
+        trie.set(b"k", b"1")
+        first = trie.root_hash
+        trie.set(b"k", b"2")
+        assert trie.root_hash != first
+
+    def test_copy_shares_history(self):
+        trie = Trie()
+        trie.set(b"k", b"1")
+        fork = trie.copy()
+        fork.set(b"k", b"2")
+        assert trie.get(b"k") == b"1"
+        assert fork.get(b"k") == b"2"
+        assert trie.root_hash != fork.root_hash
+
+    def test_old_roots_remain_readable(self):
+        store = NodeStore()
+        trie = Trie(store)
+        trie.set(b"a", b"1")
+        old_root = trie.root
+        trie.set(b"b", b"2")
+        historical = Trie(store, old_root)
+        assert historical.get(b"a") == b"1"
+        assert historical.get(b"b") is None
+
+
+class TestNodeStore:
+    def test_missing_node_error(self):
+        store = NodeStore()
+        with pytest.raises(MissingNodeError):
+            store.get(b"\x00" * 32)
+
+    def test_content_addressing(self):
+        trie = Trie()
+        trie.set(b"x", b"y")
+        assert trie.root in trie.store
+
+    def test_verify_consistency_counts_leaves(self):
+        trie = Trie()
+        for i in range(25):
+            trie.set(bytes([i]), b"v")
+        assert verify_consistency(trie) == 25
+
+
+KEYS = st.binary(min_size=1, max_size=6)
+VALUES = st.binary(min_size=1, max_size=16)
+
+
+class TestProperties:
+    @given(st.dictionaries(KEYS, VALUES, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict(self, model):
+        trie = Trie()
+        for key, value in model.items():
+            trie.set(key, value)
+        assert dict(trie.items()) == model
+        for key, value in model.items():
+            assert trie.get(key) == value
+
+    @given(st.dictionaries(KEYS, VALUES, min_size=1, max_size=40), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_delete_subset(self, model, data):
+        trie = Trie()
+        for key, value in model.items():
+            trie.set(key, value)
+        to_delete = data.draw(st.sets(st.sampled_from(sorted(model)), max_size=len(model)))
+        for key in sorted(to_delete):
+            assert trie.delete(key)
+        remaining = {k: v for k, v in model.items() if k not in to_delete}
+        assert dict(trie.items()) == remaining
+        # Root equals a trie built from the remaining items only.
+        rebuilt = Trie()
+        for key, value in remaining.items():
+            rebuilt.set(key, value)
+        assert trie.root_hash == rebuilt.root_hash
+
+
+class TrieMachine(RuleBasedStateMachine):
+    """Model-based test: the trie behaves exactly like a dict, and its root
+    hash is a pure function of the contents."""
+
+    def __init__(self):
+        super().__init__()
+        self.trie = Trie()
+        self.model = {}
+
+    keys = Bundle("keys")
+
+    @rule(target=keys, key=KEYS)
+    def add_key(self, key):
+        return key
+
+    @rule(key=keys, value=VALUES)
+    def set_value(self, key, value):
+        self.trie.set(key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete_value(self, key):
+        present = key in self.model
+        assert self.trie.delete(key) == present
+        self.model.pop(key, None)
+
+    @rule(key=keys)
+    def check_get(self, key):
+        assert self.trie.get(key) == self.model.get(key)
+
+    @rule()
+    def check_root_canonical(self):
+        rebuilt = Trie()
+        for key, value in self.model.items():
+            rebuilt.set(key, value)
+        assert self.trie.root_hash == rebuilt.root_hash
+
+
+TestTrieMachine = TrieMachine.TestCase
+TestTrieMachine.settings = settings(max_examples=25, stateful_step_count=30, deadline=None)

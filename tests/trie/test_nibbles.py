@@ -1,0 +1,79 @@
+"""Hex-prefix encoding tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import TrieError
+from repro.trie.nibbles import (
+    bytes_to_nibbles,
+    common_prefix_length,
+    hp_decode,
+    hp_encode,
+    nibbles_to_bytes,
+)
+
+NIBBLES = st.lists(st.integers(0, 15), max_size=20).map(tuple)
+
+
+class TestConversion:
+    def test_bytes_to_nibbles(self):
+        assert bytes_to_nibbles(b"\xab\x0f") == (0xA, 0xB, 0x0, 0xF)
+
+    def test_roundtrip(self):
+        assert nibbles_to_bytes(bytes_to_nibbles(b"\x12\x34")) == b"\x12\x34"
+
+    def test_odd_pack_rejected(self):
+        with pytest.raises(TrieError):
+            nibbles_to_bytes((1, 2, 3))
+
+
+class TestCommonPrefix:
+    def test_full_match(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 3)) == 3
+
+    def test_partial(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 9)) == 2
+
+    def test_empty(self):
+        assert common_prefix_length((), (1,)) == 0
+
+    def test_different_lengths(self):
+        assert common_prefix_length((1, 2), (1, 2, 3)) == 2
+
+
+class TestHexPrefix:
+    def test_known_even_extension(self):
+        # flag nibble 0, padding 0
+        assert hp_encode((1, 2, 3, 4), is_leaf=False) == b"\x00\x12\x34"
+
+    def test_known_odd_leaf(self):
+        # flag 3 = leaf + odd
+        assert hp_encode((1, 2, 3), is_leaf=True) == b"\x31\x23"
+
+    def test_empty_decode_rejected(self):
+        with pytest.raises(TrieError):
+            hp_decode(b"")
+
+    def test_bad_flag_rejected(self):
+        with pytest.raises(TrieError):
+            hp_decode(b"\x40")
+
+    def test_nonzero_padding_rejected(self):
+        with pytest.raises(TrieError):
+            hp_decode(b"\x01\x23"[:1] + b"\x00")  # flag 0 needs zero pad; craft 0x0X with X!=0
+        with pytest.raises(TrieError):
+            hp_decode(b"\x05\x00")
+
+    @given(NIBBLES, st.booleans())
+    def test_roundtrip(self, nibbles, is_leaf):
+        assert hp_decode(hp_encode(nibbles, is_leaf)) == (nibbles, is_leaf)
+
+    @given(NIBBLES, NIBBLES)
+    def test_injective_paths(self, a, b):
+        if a != b:
+            assert hp_encode(a, True) != hp_encode(b, True)
+
+    @given(NIBBLES)
+    def test_leaf_flag_distinguished(self, nibbles):
+        assert hp_encode(nibbles, True) != hp_encode(nibbles, False)

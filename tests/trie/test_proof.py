@@ -1,0 +1,93 @@
+"""Merkle proof generation and verification tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trie import Trie, generate_proof, verify_proof
+from repro.trie.proof import MerkleProof
+
+
+def build_trie(items):
+    trie = Trie()
+    for key, value in items.items():
+        trie.set(key, value)
+    return trie
+
+
+class TestInclusion:
+    def test_present_key_verifies(self):
+        trie = build_trie({b"alpha": b"1", b"beta": b"2", b"gamma": b"3"})
+        proof = generate_proof(trie, b"beta")
+        assert proof.value == b"2"
+        assert verify_proof(trie.root_hash, proof)
+
+    def test_absent_key_verifies_as_absent(self):
+        trie = build_trie({b"alpha": b"1"})
+        proof = generate_proof(trie, b"omega")
+        assert proof.value is None
+        assert verify_proof(trie.root_hash, proof)
+
+    def test_empty_trie_absence(self):
+        trie = Trie()
+        proof = generate_proof(trie, b"anything")
+        assert proof.value is None
+        assert verify_proof(trie.root_hash, proof)
+
+
+class TestTampering:
+    def test_wrong_root_rejected(self):
+        trie = build_trie({b"alpha": b"1", b"beta": b"2"})
+        proof = generate_proof(trie, b"alpha")
+        assert not verify_proof(b"\x13" * 32, proof)
+
+    def test_forged_value_rejected(self):
+        trie = build_trie({b"alpha": b"1", b"beta": b"2"})
+        proof = generate_proof(trie, b"alpha")
+        forged = MerkleProof(proof.key, b"666", proof.nodes)
+        assert not verify_proof(trie.root_hash, forged)
+
+    def test_forged_absence_rejected(self):
+        trie = build_trie({b"alpha": b"1", b"beta": b"2"})
+        proof = generate_proof(trie, b"alpha")
+        forged = MerkleProof(proof.key, None, proof.nodes)
+        assert not verify_proof(trie.root_hash, forged)
+
+    def test_truncated_node_chain_rejected(self):
+        trie = build_trie({bytes([i]): b"v" for i in range(20)})
+        proof = generate_proof(trie, b"\x05")
+        truncated = MerkleProof(proof.key, proof.value, proof.nodes[:-1])
+        assert not verify_proof(trie.root_hash, truncated)
+
+    def test_stale_proof_rejected_after_update(self):
+        trie = build_trie({b"alpha": b"1", b"beta": b"2"})
+        proof = generate_proof(trie, b"alpha")
+        trie.set(b"alpha", b"changed")
+        assert not verify_proof(trie.root_hash, proof)
+
+
+KEYS = st.binary(min_size=1, max_size=5)
+
+
+class TestProperties:
+    @given(st.dictionaries(KEYS, st.binary(min_size=1, max_size=8), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_all_keys_provable(self, model):
+        trie = build_trie(model)
+        for key, value in model.items():
+            proof = generate_proof(trie, key)
+            assert proof.value == value
+            assert verify_proof(trie.root_hash, proof)
+
+    @given(
+        st.dictionaries(KEYS, st.binary(min_size=1, max_size=8), max_size=20),
+        KEYS,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_absence_provable(self, model, probe):
+        if probe in model:
+            return
+        trie = build_trie(model)
+        proof = generate_proof(trie, probe)
+        assert proof.value is None
+        assert verify_proof(trie.root_hash, proof)

@@ -1,0 +1,172 @@
+"""Auction contract tests (internal visibility, hot-key bidding wars)."""
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey
+from repro.evm import BlockContext
+from repro.executors import DMVCCExecutor, SerialExecutor, TxStatus
+from repro.lang import compile_source
+from repro.state import StateDB
+from repro.workload.contracts import AUCTION_SOURCE
+
+
+@pytest.fixture(scope="module")
+def auction_contract():
+    return compile_source(AUCTION_SOURCE)
+
+
+class TestVisibility:
+    def test_internal_helper_has_no_selector(self, auction_contract):
+        assert "creditRefund" not in auction_contract.functions
+        assert "bid" in auction_contract.functions
+
+    def test_internal_helper_not_externally_callable(self, auction_contract):
+        from repro.lang.compiler import selector_of
+        from repro.evm import EVM, HaltReason, Message, drive
+        from repro.state import WriteJournal
+
+        contract = Address.derive("auction-vis")
+        evm = EVM(lambda a: auction_contract.code)
+        journal = WriteJournal(lambda key: 0)
+        data = selector_of("creditRefund(address,uint256)").to_bytes(4, "big") + b"\x00" * 64
+        out = drive(evm, Message(Address.derive("m"), contract, 0, data, 10**6), journal)
+        assert out.result.status == HaltReason.REVERT  # unknown selector
+
+
+class TestAuctionFlow:
+    def _setup(self, auction_contract, timestamp=100):
+        db = StateDB()
+        auction = Address.derive("auction-flow")
+        db.deploy_contract(auction, auction_contract.code, "Auction")
+        users = [Address.derive(f"bidder{i}") for i in range(6)]
+        seller = Address.derive("seller")
+        db.seed_genesis({u: 10**18 for u in users + [seller]})
+        return db, auction, seller, users
+
+    def run(self, db, txs, timestamp=100):
+        execution = SerialExecutor().execute_block(
+            txs, db.latest, db.codes.code_of, block=BlockContext(1, timestamp)
+        )
+        db.commit(execution.writes)
+        return execution
+
+    def test_bidding_war(self, auction_contract):
+        db, auction, seller, users = self._setup(auction_contract)
+        open_tx = Transaction(seller, auction, 0,
+                              auction_contract.encode_call("open", seller, 1_000))
+        bids = [
+            Transaction(users[i], auction, 0,
+                        auction_contract.encode_call("bid", 100 * (i + 1)))
+            for i in range(4)
+        ]
+        execution = self.run(db, [open_tx] + bids)
+        assert all(r.result.success for r in execution.receipts)
+        assert db.latest.get(StateKey(auction, auction_contract.slot_of("highestBid"))) == 400
+        assert db.latest.get(
+            StateKey(auction, auction_contract.slot_of("highestBidder"))
+        ) == users[3].to_word()
+
+    def test_outbid_refund_credited(self, auction_contract):
+        db, auction, seller, users = self._setup(auction_contract)
+        txs = [
+            Transaction(seller, auction, 0, auction_contract.encode_call("open", seller, 1_000)),
+            Transaction(users[0], auction, 0, auction_contract.encode_call("bid", 100)),
+            Transaction(users[1], auction, 0, auction_contract.encode_call("bid", 250)),
+        ]
+        self.run(db, txs)
+        from repro.core import mapping_slot
+
+        refund_slot = auction_contract.slot_of("refunds")
+        owed = db.latest.get(
+            StateKey(auction, mapping_slot(users[0].to_word(), refund_slot))
+        )
+        assert owed == 100
+
+    def test_low_bid_rejected(self, auction_contract):
+        db, auction, seller, users = self._setup(auction_contract)
+        txs = [
+            Transaction(seller, auction, 0, auction_contract.encode_call("open", seller, 1_000)),
+            Transaction(users[0], auction, 0, auction_contract.encode_call("bid", 100)),
+            Transaction(users[1], auction, 0, auction_contract.encode_call("bid", 50)),
+        ]
+        execution = self.run(db, txs)
+        assert execution.receipts[2].result.status is TxStatus.REVERTED
+
+    def test_bid_after_end_rejected(self, auction_contract):
+        db, auction, seller, users = self._setup(auction_contract)
+        self.run(db, [Transaction(seller, auction, 0,
+                                  auction_contract.encode_call("open", seller, 50))],
+                 timestamp=100)
+        late = Transaction(users[0], auction, 0, auction_contract.encode_call("bid", 10))
+        execution = SerialExecutor().execute_block(
+            [late], db.latest, db.codes.code_of, block=BlockContext(2, 99_999)
+        )
+        assert execution.receipts[0].result.status is TxStatus.REVERTED
+
+    def test_settle_and_withdraw(self, auction_contract):
+        db, auction, seller, users = self._setup(auction_contract)
+        self.run(db, [
+            Transaction(seller, auction, 0, auction_contract.encode_call("open", seller, 10)),
+            Transaction(users[0], auction, 0, auction_contract.encode_call("bid", 777)),
+        ], timestamp=100)
+        execution = SerialExecutor().execute_block(
+            [Transaction(users[1], auction, 0, auction_contract.encode_call("settle"))],
+            db.latest, db.codes.code_of, block=BlockContext(2, 200),
+        )
+        assert execution.receipts[0].result.success
+        db.commit(execution.writes)
+        # Seller's proceeds are a refund credit; withdraw returns it.
+        withdrawal = SerialExecutor().execute_block(
+            [Transaction(seller, auction, 0, auction_contract.encode_call("withdrawRefund"))],
+            db.latest, db.codes.code_of, block=BlockContext(3, 201),
+        )
+        result = withdrawal.receipts[0].result
+        assert result.success
+        assert int.from_bytes(result.return_data, "big") == 777
+
+    def test_double_settle_rejected(self, auction_contract):
+        db, auction, seller, users = self._setup(auction_contract)
+        self.run(db, [Transaction(seller, auction, 0,
+                                  auction_contract.encode_call("open", seller, 10))])
+        ctx = BlockContext(2, 500)
+        first = SerialExecutor().execute_block(
+            [Transaction(users[0], auction, 0, auction_contract.encode_call("settle"))],
+            db.latest, db.codes.code_of, block=ctx,
+        )
+        db.commit(first.writes)
+        second = SerialExecutor().execute_block(
+            [Transaction(users[0], auction, 0, auction_contract.encode_call("settle"))],
+            db.latest, db.codes.code_of, block=ctx,
+        )
+        assert second.receipts[0].result.status is TxStatus.REVERTED
+
+
+class TestAuctionUnderDMVCC:
+    def test_bidding_block_serializable(self, auction_contract):
+        """A block of competing bids is a worst-case hot chain (every bid
+        reads and writes highestBid) — DMVCC must stay serial-equivalent."""
+        db = StateDB()
+        auction = Address.derive("auction-dmvcc")
+        db.deploy_contract(auction, auction_contract.code, "Auction")
+        users = [Address.derive(f"war{i}") for i in range(10)]
+        db.seed_genesis({u: 10**18 for u in users})
+        context = BlockContext(1, 100)
+        txs = [Transaction(users[0], auction, 0,
+                           auction_contract.encode_call("open", users[0], 10_000))]
+        # Interleave rising and losing bids.
+        amounts = [100, 50, 300, 200, 900, 400, 1_000]
+        txs += [
+            Transaction(users[i + 1], auction, 0,
+                        auction_contract.encode_call("bid", amount))
+            for i, amount in enumerate(amounts)
+        ]
+        reference = SerialExecutor().execute_block(
+            txs, db.latest, db.codes.code_of, block=context
+        )
+        execution = DMVCCExecutor().execute_block(
+            txs, db.latest, db.codes.code_of, threads=8, block=context
+        )
+        assert execution.writes == reference.writes
+        statuses = [r.result.status for r in execution.receipts]
+        assert statuses == [r.result.status for r in reference.receipts]

@@ -1,0 +1,184 @@
+"""Behavioural tests for the workload contracts (ERC20, DEX, NFT, ICO)."""
+
+import pytest
+
+from repro.core import Address
+from repro.executors import TxStatus
+
+
+class TestERC20:
+    def test_mint_transfer_burn(self, chain, erc20_contract):
+        token = chain.deploy("erc20", erc20_contract)
+        alice, bob = chain.user("alice"), chain.user("bob")
+        result, _ = chain.call(alice, token, erc20_contract, "mint", alice, 1_000)
+        assert result.success
+        result, _ = chain.call(alice, token, erc20_contract, "transfer", bob, 400)
+        assert result.success
+        result, _ = chain.call(alice, token, erc20_contract, "burn", 100)
+        assert result.success
+        assert chain.mapping_value(token, erc20_contract, "balanceOf", alice) == 500
+        assert chain.mapping_value(token, erc20_contract, "balanceOf", bob) == 400
+        assert chain.storage(token, erc20_contract.slot_of("totalSupply")) == 900
+
+    def test_transfer_insufficient_reverts(self, chain, erc20_contract):
+        token = chain.deploy("erc20b", erc20_contract)
+        alice, bob = chain.user("alice"), chain.user("bob")
+        result, _ = chain.call(alice, token, erc20_contract, "transfer", bob, 1)
+        assert result.status is TxStatus.REVERTED
+
+    def test_approve_transfer_from(self, chain, erc20_contract):
+        token = chain.deploy("erc20c", erc20_contract)
+        alice, bob, carol = chain.user("alice"), chain.user("bob"), chain.user("carol")
+        chain.call(alice, token, erc20_contract, "mint", alice, 1_000)
+        chain.call(alice, token, erc20_contract, "approve", bob, 300)
+        result, _ = chain.call(bob, token, erc20_contract, "transferFrom", alice, carol, 200)
+        assert result.success
+        assert chain.mapping_value(token, erc20_contract, "balanceOf", carol) == 200
+        # Allowance decremented: a second overdraw fails.
+        result, _ = chain.call(bob, token, erc20_contract, "transferFrom", alice, carol, 200)
+        assert result.status is TxStatus.REVERTED
+
+    def test_get_balance_view(self, chain, erc20_contract):
+        token = chain.deploy("erc20d", erc20_contract)
+        alice = chain.user("alice")
+        chain.call(alice, token, erc20_contract, "mint", alice, 77)
+        result, _ = chain.call(alice, token, erc20_contract, "getBalance", alice)
+        assert int.from_bytes(result.return_data, "big") == 77
+
+
+class TestDEXPool:
+    def _setup(self, chain, pool_contract):
+        pool = chain.deploy("dex", pool_contract)
+        lp = chain.user("lp")
+        trader = chain.user("trader")
+        chain.call(lp, pool, pool_contract, "fund", lp, 10**12, 10**12)
+        chain.call(lp, pool, pool_contract, "addLiquidity", 10**9, 10**9)
+        chain.call(lp, pool, pool_contract, "fund", trader, 10**6, 10**6)
+        return pool, lp, trader
+
+    def test_add_liquidity_updates_reserves(self, chain, pool_contract):
+        pool, lp, _ = self._setup(chain, pool_contract)
+        assert chain.storage(pool, pool_contract.slot_of("reserveX")) == 10**9
+        assert chain.storage(pool, pool_contract.slot_of("reserveY")) == 10**9
+
+    def test_swap_constant_product(self, chain, pool_contract):
+        pool, _, trader = self._setup(chain, pool_contract)
+        result, _ = chain.call(trader, pool, pool_contract, "swapXForY", 1_000)
+        assert result.success
+        rx = chain.storage(pool, pool_contract.slot_of("reserveX"))
+        ry = chain.storage(pool, pool_contract.slot_of("reserveY"))
+        assert rx == 10**9 + 1_000
+        assert ry < 10**9
+        # Constant product preserved up to rounding: k' >= k.
+        assert rx * ry >= 10**18
+
+    def test_swap_pays_out(self, chain, pool_contract):
+        pool, _, trader = self._setup(chain, pool_contract)
+        before = chain.mapping_value(pool, pool_contract, "balanceY", trader)
+        chain.call(trader, pool, pool_contract, "swapXForY", 1_000)
+        after = chain.mapping_value(pool, pool_contract, "balanceY", trader)
+        assert after > before
+
+    def test_swap_without_funds_reverts(self, chain, pool_contract):
+        pool, _, _ = self._setup(chain, pool_contract)
+        broke = chain.user("broke")
+        result, _ = chain.call(broke, pool, pool_contract, "swapXForY", 10)
+        assert result.status is TxStatus.REVERTED
+
+    def test_zero_swap_reverts(self, chain, pool_contract):
+        pool, _, trader = self._setup(chain, pool_contract)
+        result, _ = chain.call(trader, pool, pool_contract, "swapXForY", 0)
+        assert result.status is TxStatus.REVERTED
+
+    def test_symmetric_swaps(self, chain, pool_contract):
+        pool, _, trader = self._setup(chain, pool_contract)
+        assert chain.call(trader, pool, pool_contract, "swapXForY", 500)[0].success
+        assert chain.call(trader, pool, pool_contract, "swapYForX", 500)[0].success
+
+
+class TestNFT:
+    def test_mint_assigns_sequential_ids(self, chain, nft_contract):
+        nft = chain.deploy("nft", nft_contract)
+        alice, bob = chain.user("alice"), chain.user("bob")
+        chain.call(alice, nft, nft_contract, "mint")
+        chain.call(bob, nft, nft_contract, "mint")
+        assert chain.mapping_value(nft, nft_contract, "ownerOf", 0) == alice.to_word()
+        assert chain.mapping_value(nft, nft_contract, "ownerOf", 1) == bob.to_word()
+        assert chain.storage(nft, nft_contract.slot_of("nextTokenId")) == 2
+
+    def test_transfer_ownership(self, chain, nft_contract):
+        nft = chain.deploy("nft2", nft_contract)
+        alice, bob = chain.user("alice"), chain.user("bob")
+        chain.call(alice, nft, nft_contract, "mint")
+        result, _ = chain.call(alice, nft, nft_contract, "transfer", bob, 0)
+        assert result.success
+        assert chain.mapping_value(nft, nft_contract, "ownerOf", 0) == bob.to_word()
+        assert chain.mapping_value(nft, nft_contract, "balanceOf", alice) == 0
+        assert chain.mapping_value(nft, nft_contract, "balanceOf", bob) == 1
+
+    def test_transfer_requires_ownership(self, chain, nft_contract):
+        nft = chain.deploy("nft3", nft_contract)
+        alice, mallory = chain.user("alice"), chain.user("mallory")
+        chain.call(alice, nft, nft_contract, "mint")
+        result, _ = chain.call(mallory, nft, nft_contract, "transfer", mallory, 0)
+        assert result.status is TxStatus.REVERTED
+
+
+class TestICO:
+    def test_uncapped_contribution(self, chain, ico_contract):
+        ico = chain.deploy("ico", ico_contract)
+        alice = chain.user("alice")
+        chain.call(alice, ico, ico_contract, "setup", 0, 100)
+        result, _ = chain.call(alice, ico, ico_contract, "contribute", 500)
+        assert result.success
+        assert chain.storage(ico, ico_contract.slot_of("totalRaised")) == 500
+        assert chain.mapping_value(ico, ico_contract, "tokens", alice) == 50_000
+
+    def test_cap_enforced(self, chain, ico_contract):
+        ico = chain.deploy("ico2", ico_contract)
+        alice = chain.user("alice")
+        chain.call(alice, ico, ico_contract, "setup", 1_000, 1)
+        assert chain.call(alice, ico, ico_contract, "contribute", 800)[0].success
+        result, _ = chain.call(alice, ico, ico_contract, "contribute", 300)
+        assert result.status is TxStatus.REVERTED
+        assert chain.storage(ico, ico_contract.slot_of("totalRaised")) == 800
+
+    def test_zero_contribution_rejected(self, chain, ico_contract):
+        ico = chain.deploy("ico3", ico_contract)
+        alice = chain.user("alice")
+        chain.call(alice, ico, ico_contract, "setup", 0, 1)
+        result, _ = chain.call(alice, ico, ico_contract, "contribute", 0)
+        assert result.status is TxStatus.REVERTED
+
+
+class TestPaperExample:
+    def test_loop_branch(self, chain, example_contract):
+        """Fig. 1: idx > 1 walks the loop writing B[idx..2]."""
+        example = chain.deploy("ex", example_contract)
+        alice = chain.user("alice")
+        for value in (10, 20, 30, 40, 50, 60):
+            chain.call(alice, example, example_contract, "pushB", value)
+        chain.call(alice, example, example_contract, "setA", alice, 3)
+        result, _ = chain.call(alice, example, example_contract, "UpdateB", alice, 7)
+        assert result.success
+        # B[3] = B[1] + 7 = 27; B[2] = B[0] + 7 = 17
+        from repro.core import StateKey, array_element_slot
+
+        b_slot = example_contract.slot_of("B")
+        assert chain.db.latest.get(
+            StateKey(example, array_element_slot(b_slot, 3))
+        ) == 27
+        assert chain.db.latest.get(
+            StateKey(example, array_element_slot(b_slot, 2))
+        ) == 17
+
+    def test_else_branch_assert(self, chain, example_contract):
+        """Fig. 1: idx <= 1 takes the else branch; y > 10 trips the assert."""
+        example = chain.deploy("ex2", example_contract)
+        alice = chain.user("alice")
+        for value in (10, 20):
+            chain.call(alice, example, example_contract, "pushB", value)
+        ok, _ = chain.call(alice, example, example_contract, "UpdateB", alice, 5)
+        assert ok.success
+        bad, _ = chain.call(alice, example, example_contract, "UpdateB", alice, 11)
+        assert bad.status is TxStatus.ASSERT_FAIL
