@@ -7,6 +7,7 @@ fig8a / fig8b   regenerate the network-throughput figures (scaled)
 rq1             Merkle-root correctness sweep
 ablation        DMVCC feature ablation
 analyze FILE    compile a Minisol file and print its P-SAG
+verify          differential fuzzing under the serializability oracle
 """
 
 from __future__ import annotations
@@ -117,6 +118,27 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Differentially fuzz every parallel executor against serial under the
+    serializability oracle; exits non-zero on any divergence."""
+    from .verify import DifferentialFuzzer
+
+    if args.fuzz <= 0:
+        print("verify: --fuzz must be a positive block count", file=sys.stderr)
+        return 2
+    fuzzer = DifferentialFuzzer(
+        txs_per_block=args.txs_per_block,
+        minimize=not args.no_minimize,
+    )
+    report = fuzzer.run(
+        blocks=args.fuzz,
+        base_seed=args.seed,
+        progress=(lambda line: print(line, file=sys.stderr)) if args.progress else None,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -141,6 +163,20 @@ def main(argv=None) -> int:
 
     ablation = sub.add_parser("ablation", help="DMVCC feature ablation")
     ablation.set_defaults(func=cmd_ablation)
+
+    verify = sub.add_parser(
+        "verify", help="differential fuzzing under the serializability oracle"
+    )
+    verify.add_argument("--fuzz", type=int, default=50, metavar="N",
+                        help="number of random blocks to fuzz (default 50)")
+    verify.add_argument("--seed", type=int, default=0xD34DBEEF,
+                        help="base seed; block i uses seed+i")
+    verify.add_argument("--txs-per-block", type=int, default=24)
+    verify.add_argument("--no-minimize", action="store_true",
+                        help="skip greedy shrinking of diverging blocks")
+    verify.add_argument("--progress", action="store_true",
+                        help="print progress to stderr")
+    verify.set_defaults(func=cmd_verify)
 
     analyze = sub.add_parser("analyze", help="print a contract's P-SAG")
     analyze.add_argument("file")

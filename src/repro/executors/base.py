@@ -58,6 +58,15 @@ class Executor(ABC):
 
     def __init__(self, gas_time_scale: float = GAS_TIME_SCALE) -> None:
         self.gas_time_scale = gas_time_scale
+        # Optional execution-trace recorder (repro.verify.trace).  Every
+        # hook site guards with ``is not None``, so the disabled path costs
+        # one attribute load per state access.
+        self.recorder = None
+
+    def attach_recorder(self, recorder) -> "Executor":
+        """Attach a :class:`repro.verify.trace.TraceRecorder`; chainable."""
+        self.recorder = recorder
+        return self
 
     @abstractmethod
     def execute_block(

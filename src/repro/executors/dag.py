@@ -117,17 +117,18 @@ class DAGExecutor(Executor):
         receipts: List[Optional[Receipt]] = [None] * len(txs)
         per_tx: List[TxMetrics] = [TxMetrics(index=i) for i in range(len(txs))]
 
-        def reader_for(index: int):
-            def read(key: StateKey) -> int:
+        def resolver_for(index: int):
+            def resolve(key: StateKey) -> Tuple[int, int]:
+                """(value, writer) of the latest finished writer < index."""
                 best: Optional[Tuple[int, int]] = None
                 for writer, value in versions.get(key, ()):
                     if writer < index and (best is None or writer > best[0]):
                         best = (writer, value)
                 if best is not None:
-                    return best[1]
-                return snapshot.get(key)
+                    return best[1], best[0]
+                return snapshot.get(key), -1
 
-            return read
+            return resolve
 
         def dispatch() -> None:
             while ready and pool.idle_count:
@@ -136,7 +137,8 @@ class DAGExecutor(Executor):
                 assert thread is not None
                 start = loop.now
                 result, writes = _run_to_completion(
-                    txs[index], reader_for(index), code_resolver, block
+                    txs[index], resolver_for(index), code_resolver, block,
+                    recorder=self.recorder, index=index,
                 )
                 end = start + result.gas_used * self.gas_time_scale
                 per_tx[index].start_time = start
@@ -148,6 +150,11 @@ class DAGExecutor(Executor):
                     if result.success:
                         for key, value in writes.items():
                             versions.setdefault(key, []).append((index, value))
+                            if self.recorder is not None:
+                                self.recorder.publish(index, key, "abs", value)
+                    if self.recorder is not None:
+                        self.recorder.complete(index, success=result.success,
+                                               gas_used=result.gas_used)
                     receipts[index] = Receipt(index=index, result=result)
                     per_tx[index].end_time = end
                     pool.release(thread, loop.now)
@@ -181,8 +188,21 @@ class DAGExecutor(Executor):
         return BlockExecution(writes=writes, receipts=final_receipts, metrics=metrics)
 
 
-def _run_to_completion(tx, reader, code_resolver, block) -> Tuple[TxResult, Dict[StateKey, int]]:
-    """Drive one transaction program against a point-in-time reader."""
+def _run_to_completion(
+    tx, resolve, code_resolver, block, recorder=None, index: int = 0
+) -> Tuple[TxResult, Dict[StateKey, int]]:
+    """Drive one transaction program against a point-in-time resolver.
+
+    ``resolve(key)`` returns (value, writer index); foreign reads are logged
+    to ``recorder`` with the writer version they observed.
+    """
+    last_version: Dict[StateKey, int] = {}
+
+    def reader(key: StateKey) -> int:
+        value, writer = resolve(key)
+        last_version[key] = writer
+        return value
+
     journal = WriteJournal(reader)
     program = transaction_program(tx, code_resolver, block=block)
     to_send: object = None
@@ -194,11 +214,24 @@ def _run_to_completion(tx, reader, code_resolver, block) -> Tuple[TxResult, Dict
             break
         to_send = None
         if isinstance(event, StorageRead):
+            own = journal.written(event.key)
             to_send = journal.read(event.key)
+            if recorder is not None and not own:
+                recorder.read(index, event.key,
+                              last_version.get(event.key, -1), to_send)
         elif isinstance(event, StorageWrite):
             journal.write(event.key, event.value)
+            if recorder is not None:
+                recorder.write(index, event.key, value=event.value)
         elif isinstance(event, StorageIncrement):
-            journal.write(event.key, journal.read(event.key) + event.delta)
+            own = journal.written(event.key)
+            base = journal.read(event.key)
+            if recorder is not None and not own:
+                recorder.read(index, event.key,
+                              last_version.get(event.key, -1), base, blind=True)
+            journal.write(event.key, base + event.delta)
+            if recorder is not None:
+                recorder.write(index, event.key, delta=event.delta)
         elif isinstance(event, FrameCheckpoint):
             to_send = journal.checkpoint()
         elif isinstance(event, FrameCommit):

@@ -119,6 +119,35 @@ class DMVCCExecutor(Executor):
         elif not enable_commutative:
             self.name = "dmvcc-noCW"
 
+    def release_gas_check(self, csag: CSAG, event, static_bound: Optional[int]) -> bool:
+        """Algorithm 2's release guard: may this transaction publish its
+        buffered writes now, mid-execution?
+
+        Publishing is only safe when the transaction is certain to reach a
+        successful completion — a later out-of-gas would force a retraction
+        cascade.  Two sources of certainty, in order of strength:
+
+        * ``static_bound`` — the worst-case gas of any path from this
+          release point to termination (``ReleasePoint.gas_bound``); when
+          the analysis produced one, it is sound on its own: remaining gas
+          at or above it rules out OOG on *every* path.
+        * the C-SAG's predicted remaining gas — a heuristic for release
+          points whose tail contains loops (unbounded worst case); correct
+          whenever pre-execution predicted the path actually taken.
+
+        Either way a transaction whose pre-execution already failed never
+        releases: its writes would be retracted at completion regardless.
+
+        Tests may override this (e.g. ``return True``) to inject the
+        "skipped gas check" bug the serializability oracle must catch.
+        """
+        if not csag.predicted_success:
+            return False
+        if static_bound is not None:
+            return event.gas_remaining >= static_bound
+        predicted_remaining = max(csag.predicted_gas - event.gas_used, 0)
+        return event.gas_remaining >= predicted_remaining
+
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
@@ -168,10 +197,12 @@ class _BlockRun:
         self.ever_written: List[Set[StateKey]] = [set() for _ in txs]
         self.rescues = 0
         self._dispatch_scheduled = False
+        self.recorder = executor.recorder
         # Per-contract static analysis lookups.
         self._blind_pcs: Dict[Address, FrozenSet[int]] = {}
         self._increment_map: Dict[Address, Dict[int, int]] = {}
         self._release_pcs: Dict[Address, FrozenSet[int]] = {}
+        self._release_bounds: Dict[Address, Dict[int, Optional[int]]] = {}
 
     # ------------------------------------------------------------------
     # Setup: Algorithm 1, pre-execution part
@@ -220,10 +251,14 @@ class _BlockRun:
                 self._increment_map[address] = increments
                 self._blind_pcs[address] = frozenset(increments.values())
                 self._release_pcs[address] = frozenset(psag.release_pcs())
+                self._release_bounds[address] = {
+                    rp.pc: rp.gas_bound for rp in psag.release.release_points
+                }
             else:
                 self._increment_map[address] = {}
                 self._blind_pcs[address] = frozenset()
                 self._release_pcs[address] = frozenset()
+                self._release_bounds[address] = {}
         return (
             self._blind_pcs[address],
             self._increment_map[address],
@@ -382,16 +417,22 @@ class _BlockRun:
             else:
                 answer = self.snapshot.get(key)
             state.pending_blind[key] = (answer, event.pc)
+            if self.recorder is not None:
+                version = res.version_from if seq is not None else -1
+                self.recorder.read(state.index, key, version, answer,
+                                   attempt=state.attempts, blind=True)
             return answer
 
         # Registered read: resolve the proper version (blocking resolution
         # degraded to best-available for accesses the analysis missed).
         if seq is None:
             seq = self.sequences.sequence(key)
+        speculative = False
         resolution = seq.resolve_read(state.index)
         if not resolution.ready:
             resolution = seq.best_available_read(state.index)
             state.speculative_reads += 1
+            speculative = True
         base = resolution.resolve_with_snapshot(self.snapshot.get(key))
         if key in state.w_delta:
             # Own pending increments fold in; the write becomes absolute.
@@ -401,7 +442,16 @@ class _BlockRun:
             value = base
         seq.record_read(state.index, resolution.version_from)
         state.registered_reads[key] = value
+        if self.recorder is not None:
+            self._record_read(state, key, resolution, base, speculative)
         return value
+
+    def _record_read(self, state, key, resolution, base, speculative) -> None:
+        writer = resolution.version_from
+        early = writer >= 0 and self.states[writer].status is not _Status.DONE
+        self.recorder.read(state.index, key, writer, base,
+                           attempt=state.attempts, early=early,
+                           speculative=speculative)
 
     # ------------------------------------------------------------------
     # Writes
@@ -416,26 +466,39 @@ class _BlockRun:
             if increments.get(event.pc) == read_pc:
                 delta = (event.value - answer) % WORD_MOD
                 state.w_delta[key] = (state.w_delta.get(key, 0) + delta) % WORD_MOD
+                if self.recorder is not None:
+                    self.recorder.write(state.index, key, delta=delta,
+                                        attempt=state.attempts)
                 return
         state.w_abs[key] = event.value
         state.w_delta.pop(key, None)
+        if self.recorder is not None:
+            self.recorder.write(state.index, key, value=event.value,
+                                attempt=state.attempts)
 
     def _on_increment(self, state: _TxState, event: StorageIncrement) -> None:
         key = event.key
+        if self.recorder is not None:
+            self.recorder.write(state.index, key, delta=event.delta,
+                                attempt=state.attempts)
         if key in state.w_abs:
             state.w_abs[key] = (state.w_abs[key] + event.delta) % WORD_MOD
         elif self.ex.enable_commutative:
             state.w_delta[key] = (state.w_delta.get(key, 0) + event.delta) % WORD_MOD
         else:
             seq = self.sequences.sequence(key)
+            speculative = False
             resolution = seq.resolve_read(state.index)
             if not resolution.ready:
                 resolution = seq.best_available_read(state.index)
                 state.speculative_reads += 1
+                speculative = True
             base = resolution.resolve_with_snapshot(self.snapshot.get(key))
             seq.record_read(state.index, resolution.version_from)
             state.registered_reads[key] = base
             state.w_abs[key] = (base + event.delta) % WORD_MOD
+            if self.recorder is not None:
+                self._record_read(state, key, resolution, base, speculative)
 
     # ------------------------------------------------------------------
     # Early write visibility (Algorithm 2)
@@ -444,9 +507,10 @@ class _BlockRun:
     def _on_release_point(self, state: _TxState, event: Watchpoint) -> None:
         if not self.ex.enable_early_write:
             return
-        predicted_remaining = max(state.csag.predicted_gas - event.gas_used, 0)
-        if event.gas_remaining < predicted_remaining:
-            return  # might still run out of gas: do not release
+        self._contract_info(state.tx.to)  # ensure bounds cache is populated
+        bound = self._release_bounds[state.tx.to].get(event.pc)
+        if not self.ex.release_gas_check(state.csag, event, bound):
+            return  # might still fail past this point: do not release
         # From here on every buffered or future write whose key sees no
         # further predicted write is published as soon as it exists
         # (Algorithm 1 line 15 checks AfterReleasePoint after every op).
@@ -487,6 +551,11 @@ class _BlockRun:
 
     def _publish(self, state: _TxState, key: StateKey, kind: str, value: int) -> None:
         seq = self.sequences.sequence(key)
+        if self.recorder is not None:
+            # _complete flips status to DONE before publishing leftovers, so
+            # RUNNING here means mid-transaction (release-point) visibility.
+            self.recorder.publish(state.index, key, kind, value,
+                                  early=state.status is _Status.RUNNING)
         if kind == "abs":
             allowed, aborted = seq.version_write(state.index, value=value)
         else:
@@ -539,6 +608,10 @@ class _BlockRun:
                     self._publish(state, key, "delta", delta)
         else:
             self._retract_published(state)
+        if self.recorder is not None:
+            self.recorder.complete(state.index, attempt=state.attempts,
+                                   success=result.success,
+                                   gas_used=result.gas_used)
 
         # Predicted writes that never materialised are marked skipped so
         # transactions waiting on them unblock (divergent path / failure).
@@ -566,6 +639,9 @@ class _BlockRun:
     def _abort(self, index: int, trigger_key: StateKey) -> None:
         state = self.states[index]
         now = self.loop.now
+        if self.recorder is not None:
+            self.recorder.abort(index, attempt=max(state.attempts, 1),
+                                key=trigger_key)
         if state.status is _Status.READY:
             self.queue.remove(index)
         elif state.status is _Status.RUNNING:
@@ -613,6 +689,11 @@ class _BlockRun:
             if seq is None:
                 continue
             victims = seq.retract(state.index)
+            if self.recorder is not None:
+                self.recorder.retract(
+                    state.index, key,
+                    tuple(v for v in victims if v != state.index),
+                )
             for victim in victims:
                 if victim != state.index:
                     self._abort(victim, key)

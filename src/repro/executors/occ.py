@@ -106,6 +106,7 @@ class OCCExecutor(Executor):
     ) -> BlockExecution:
         """Execute ``txs`` with optimistic rounds; see Executor."""
         count = len(txs)
+        recorder = self.recorder
         store = _TimedVersionStore(snapshot)
         results: List[Optional[TxResult]] = [None] * count
         read_versions: List[Dict[StateKey, Tuple[int, int]]] = [{} for _ in range(count)]
@@ -124,6 +125,9 @@ class OCCExecutor(Executor):
             # Versions of the transactions being redone disappear for the
             # round (they are being recomputed).
             for index in needs_execution:
+                if recorder is not None:
+                    for key in write_keys[index]:
+                        recorder.retract(index, key)
                 store.retract(index, write_keys[index])
 
             # FIFO thread binding: each transaction starts when a thread
@@ -135,13 +139,20 @@ class OCCExecutor(Executor):
                 start = heapq.heappop(thread_heap)
                 attempts[index] += 1
                 result, writes, reads = _speculative_run(
-                    txs[index], index, store, code_resolver, block, before=start
+                    txs[index], index, store, code_resolver, block, before=start,
+                    recorder=recorder, attempt=attempts[index],
                 )
                 end = start + result.gas_used * self.gas_time_scale
                 results[index] = result
                 read_versions[index] = reads
                 write_keys[index] = set(writes)
                 store.publish(index, writes, time=end)
+                if recorder is not None:
+                    for key, value in writes.items():
+                        recorder.publish(index, key, "abs", value)
+                    recorder.complete(index, attempt=attempts[index],
+                                      success=result.success,
+                                      gas_used=result.gas_used)
                 per_tx[index].start_time = start
                 per_tx[index].end_time = end
                 heapq.heappush(thread_heap, end)
@@ -158,6 +169,8 @@ class OCCExecutor(Executor):
                     for key, observed in read_versions[index].items()
                 )
                 if stale:
+                    if recorder is not None:
+                        recorder.abort(index, attempt=attempts[index])
                     needs_execution.append(index)
 
         receipts = [
@@ -182,7 +195,8 @@ class OCCExecutor(Executor):
 
 
 def _speculative_run(
-    tx, index: int, store: _TimedVersionStore, code_resolver, block, before: float
+    tx, index: int, store: _TimedVersionStore, code_resolver, block, before: float,
+    recorder=None, attempt: int = 1,
 ) -> Tuple[TxResult, Dict[StateKey, int], Dict[StateKey, Tuple[int, int]]]:
     """One optimistic execution against the versions visible at ``before``.
 
@@ -193,11 +207,13 @@ def _speculative_run(
     checkpoints: List[int] = []
     reads: Dict[StateKey, Tuple[int, int]] = {}
 
-    def read(key: StateKey) -> int:
+    def read(key: StateKey, blind: bool = False) -> int:
         if key in local:
             return local[key]
         value, writer = store.read(key, index, before=before)
         reads.setdefault(key, (value, writer))
+        if recorder is not None:
+            recorder.read(index, key, writer, value, attempt=attempt, blind=blind)
         return value
 
     def write(key: StateKey, value: int) -> None:
@@ -217,8 +233,12 @@ def _speculative_run(
             to_send = read(event.key)
         elif isinstance(event, StorageWrite):
             write(event.key, event.value)
+            if recorder is not None:
+                recorder.write(index, event.key, value=event.value, attempt=attempt)
         elif isinstance(event, StorageIncrement):
-            write(event.key, read(event.key) + event.delta)
+            write(event.key, read(event.key, blind=True) + event.delta)
+            if recorder is not None:
+                recorder.write(index, event.key, delta=event.delta, attempt=attempt)
         elif isinstance(event, FrameCheckpoint):
             checkpoints.append(len(undo))
             to_send = len(checkpoints)

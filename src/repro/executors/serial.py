@@ -27,9 +27,18 @@ from .base import BlockExecution, Executor, Receipt
 from .txprogram import StorageIncrement, TxResult, transaction_program
 
 
-def run_tx_serially(tx, reader, code_resolver, block=None) -> "tuple[TxResult, Dict[StateKey, int]]":
+def run_tx_serially(
+    tx, reader, code_resolver, block=None,
+    recorder=None, index: int = 0, versions=None,
+) -> "tuple[TxResult, Dict[StateKey, int]]":
     """Execute one transaction against ``reader``; returns the result and
-    the write set to apply (empty unless successful)."""
+    the write set to apply (empty unless successful).
+
+    When a trace ``recorder`` is given, foreign reads are logged with the
+    version they observed — the index of the last committed writer per
+    ``versions`` (snapshot when absent) — establishing the reference
+    version order the oracle compares parallel traces against.
+    """
     journal = WriteJournal(reader)
     program = transaction_program(tx, code_resolver, block=block)
     to_send: object = None
@@ -41,11 +50,24 @@ def run_tx_serially(tx, reader, code_resolver, block=None) -> "tuple[TxResult, D
             break
         to_send = None
         if isinstance(event, StorageRead):
+            own = journal.written(event.key)
             to_send = journal.read(event.key)
+            if recorder is not None and not own:
+                version = versions.get(event.key, -1) if versions else -1
+                recorder.read(index, event.key, version, to_send)
         elif isinstance(event, StorageWrite):
             journal.write(event.key, event.value)
+            if recorder is not None:
+                recorder.write(index, event.key, value=event.value)
         elif isinstance(event, StorageIncrement):
-            journal.write(event.key, journal.read(event.key) + event.delta)
+            own = journal.written(event.key)
+            base = journal.read(event.key)
+            if recorder is not None and not own:
+                version = versions.get(event.key, -1) if versions else -1
+                recorder.read(index, event.key, version, base, blind=True)
+            journal.write(event.key, base + event.delta)
+            if recorder is not None:
+                recorder.write(index, event.key, delta=event.delta)
         elif isinstance(event, FrameCheckpoint):
             to_send = journal.checkpoint()
         elif isinstance(event, FrameCommit):
@@ -75,11 +97,22 @@ class SerialExecutor(Executor):
         overlay = OverlayReader(snapshot.get)
         receipts: List[Receipt] = []
         clock = 0.0
+        recorder = self.recorder
+        versions: Dict[StateKey, int] = {}  # key -> last committed writer
         for index, tx in enumerate(txs):
-            result, writes = run_tx_serially(tx, overlay, code_resolver, block)
+            result, writes = run_tx_serially(
+                tx, overlay, code_resolver, block,
+                recorder=recorder, index=index, versions=versions,
+            )
             overlay.apply(writes)
             clock += result.gas_used * self.gas_time_scale
             receipts.append(Receipt(index=index, result=result))
+            if recorder is not None:
+                for key, value in writes.items():
+                    recorder.publish(index, key, "abs", value)
+                recorder.complete(index, success=result.success,
+                                  gas_used=result.gas_used)
+                versions.update((key, index) for key in writes)
 
         metrics = self._base_metrics(threads=1, receipts=receipts)
         metrics.makespan = clock

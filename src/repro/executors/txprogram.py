@@ -93,13 +93,16 @@ def transaction_program(
     if base > tx.gas_limit:
         return TxResult(TxStatus.OUT_OF_GAS, tx.gas_limit, error="intrinsic gas exceeds limit")
 
-    sender_key = StateKey.balance(tx.sender)
-    sender_balance = yield StorageRead(0, sender_key)
-    sender_balance = int(sender_balance)  # type: ignore[arg-type]
-    if sender_balance < tx.value:
-        return TxResult(TxStatus.INSUFFICIENT_FUNDS, base, error="insufficient balance")
-
     if tx.value > 0:
+        # The funding check reads the sender balance only when value moves:
+        # with value == 0 the branch cannot fire (balances are unsigned), so
+        # emitting the read would create a state access no analysis predicts
+        # and no outcome depends on.
+        sender_key = StateKey.balance(tx.sender)
+        sender_balance = yield StorageRead(0, sender_key)
+        sender_balance = int(sender_balance)  # type: ignore[arg-type]
+        if sender_balance < tx.value:
+            return TxResult(TxStatus.INSUFFICIENT_FUNDS, base, error="insufficient balance")
         yield StorageWrite(base, sender_key, sender_balance - tx.value)
         yield StorageIncrement(base, StateKey.balance(tx.to), tx.value)
 

@@ -24,6 +24,49 @@ class TxMetrics:
 
 
 @dataclass
+class OracleStats:
+    """Counters from serializability-oracle checks (repro.verify.oracle).
+
+    ``doomed_reads`` counts reads that observed a version later retracted
+    (early-write visibility exposing a write its transaction then took
+    back); ``repaired_reads`` are the subset whose reader was aborted and
+    re-executed afterwards — normal protocol repair.  ``unrepaired_violations``
+    are doomed reads that survived into a committed attempt: hard safety
+    failures.
+    """
+
+    blocks_checked: int = 0
+    reads_checked: int = 0
+    conflict_edges: int = 0
+    early_publishes: int = 0
+    doomed_reads: int = 0
+    repaired_reads: int = 0
+    unrepaired_violations: int = 0
+    stale_reads: int = 0
+    divergences: int = 0
+
+    def merge_from(self, other: "OracleStats") -> None:
+        self.blocks_checked += other.blocks_checked
+        self.reads_checked += other.reads_checked
+        self.conflict_edges += other.conflict_edges
+        self.early_publishes += other.early_publishes
+        self.doomed_reads += other.doomed_reads
+        self.repaired_reads += other.repaired_reads
+        self.unrepaired_violations += other.unrepaired_violations
+        self.stale_reads += other.stale_reads
+        self.divergences += other.divergences
+
+    def summary(self) -> str:
+        return (
+            f"oracle: blocks={self.blocks_checked} reads={self.reads_checked} "
+            f"edges={self.conflict_edges} early={self.early_publishes} "
+            f"doomed={self.doomed_reads} (repaired={self.repaired_reads}, "
+            f"unrepaired={self.unrepaired_violations}) "
+            f"stale={self.stale_reads} divergences={self.divergences}"
+        )
+
+
+@dataclass
 class BlockMetrics:
     """Result of executing one block under some scheduler."""
 
@@ -39,6 +82,7 @@ class BlockMetrics:
     rescues: int = 0          # scheduler wake-loss recoveries (should be 0)
     utilisation: float = 0.0
     per_tx: List[TxMetrics] = field(default_factory=list)
+    oracle: Optional[OracleStats] = None  # set when a verify pass ran
 
     @property
     def speedup(self) -> float:

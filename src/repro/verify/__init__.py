@@ -1,0 +1,28 @@
+"""Correctness backstop: trace recording, serializability oracle, fuzzing.
+
+``repro.verify`` independently checks the repo's central claim — that every
+parallel executor preserves deterministic serializability (Definition 2) —
+instead of trusting the schedulers to be right:
+
+* :mod:`.trace`  — a :class:`~repro.verify.trace.TraceRecorder` attached to
+  any executor records every versioned read/write, publish, retraction,
+  abort, and completion;
+* :mod:`.oracle` — replays a trace against the serial baseline: conflict
+  graph acyclicity, state-root and receipt equivalence, and early-write
+  visibility hygiene (no committed read of a retracted version);
+* :mod:`.fuzz`   — differential fuzzing of Serial vs DAG vs OCC vs DMVCC
+  over randomized workloads, with greedy block minimization on divergence.
+"""
+
+from .trace import TraceRecorder
+from .oracle import OracleReport, SerializabilityOracle, check_block
+from .fuzz import DifferentialFuzzer, FuzzReport
+
+__all__ = [
+    "TraceRecorder",
+    "OracleReport",
+    "SerializabilityOracle",
+    "check_block",
+    "DifferentialFuzzer",
+    "FuzzReport",
+]

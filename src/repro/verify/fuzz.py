@@ -1,0 +1,261 @@
+"""Differential fuzzing: Serial vs DAG vs OCC vs DMVCC across random blocks.
+
+Each fuzz case derives a :class:`~repro.workload.WorkloadConfig` from its
+seed — varying user counts, hot-key skew, commutative-increment density
+(exchange deposits, liquidity adds, ICO contributions), and abort-inducing
+scarcity (small token balances make transfers revert data-dependently) —
+generates one block, and runs it through every parallel executor under the
+serializability oracle.
+
+On divergence the failing block is shrunk by greedy ddmin-style
+minimization (drop chunks, then single transactions, while the divergence
+persists), so a failure reproduces as a short, seeded transaction list:
+
+    repro.verify.fuzz reproduces any case from (seed, scheduler) alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..evm.environment import BlockContext
+from ..sim.metrics import OracleStats
+from .oracle import OracleReport, SerializabilityOracle
+from .trace import TraceRecorder
+
+DEFAULT_BASE_SEED = 0xD34DBEEF
+
+
+@dataclass
+class Divergence:
+    """One confirmed executor/serial disagreement, minimized."""
+
+    seed: int
+    scheduler: str
+    threads: int
+    report: OracleReport
+    block_size: int
+    minimized_size: int
+    minimized_labels: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        labels = ", ".join(self.minimized_labels)
+        return (
+            f"seed={self.seed} scheduler={self.scheduler} "
+            f"threads={self.threads} "
+            f"minimized {self.block_size}->{self.minimized_size} txs [{labels}]\n"
+            + "\n".join(f"    {d}" for d in self.report.divergences)
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzzing campaign."""
+
+    blocks: int = 0
+    checks: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    stats: Dict[str, OracleStats] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def render(self) -> str:
+        lines = [
+            f"fuzzed {self.blocks} block(s), {self.checks} differential "
+            f"check(s): {'all serializable' if self.ok else 'DIVERGED'}"
+        ]
+        for name in sorted(self.stats):
+            lines.append(f"  [{name}] {self.stats[name].summary()}")
+        for divergence in self.divergences:
+            lines.append("  " + divergence.render())
+        return "\n".join(lines)
+
+
+def default_executor_factories() -> Dict[str, Callable[[], object]]:
+    from ..executors.dag import DAGExecutor
+    from ..executors.dmvcc import DMVCCExecutor
+    from ..executors.occ import OCCExecutor
+
+    return {
+        "dag": lambda: DAGExecutor(),
+        "occ": lambda: OCCExecutor(),
+        "dmvcc": lambda: DMVCCExecutor(),
+    }
+
+
+class DifferentialFuzzer:
+    """Generate random blocks; compare every executor against serial."""
+
+    def __init__(
+        self,
+        factories: Optional[Dict[str, Callable[[], object]]] = None,
+        txs_per_block: int = 24,
+        minimize: bool = True,
+        max_minimize_runs: int = 120,
+    ) -> None:
+        self.factories = factories if factories is not None else default_executor_factories()
+        self.txs_per_block = txs_per_block
+        self.minimize = minimize
+        self.max_minimize_runs = max_minimize_runs
+
+    # ------------------------------------------------------------------
+    # Case generation
+    # ------------------------------------------------------------------
+
+    def _random_config(self, rng: random.Random, seed: int):
+        """A small randomized workload: hot-key skew, commutative traffic,
+        and data-dependent failures all vary with the seed."""
+        from ..workload.generator import WorkloadConfig
+
+        return WorkloadConfig(
+            users=rng.randint(4, 24),
+            erc20_tokens=rng.randint(1, 3),
+            dex_pools=rng.randint(1, 2),
+            nft_collections=rng.randint(1, 2),
+            icos=1,
+            contract_fraction=rng.choice([0.5, 0.7, 0.9]),
+            hot_access_prob=rng.choice([0.0, 0.3, 0.8]),
+            hot_contract_count=1,
+            capped_ico=rng.random() < 0.5,
+            exchange_deposit_prob=rng.choice([0.2, 0.8]),
+            liquidity_prob=rng.choice([0.2, 0.8]),
+            nft_mint_prob=rng.choice([0.2, 0.7]),
+            zipf_alpha=rng.choice([0.0, 1.1]),
+            # Scarce balances make transfer/swap success data-dependent on
+            # earlier transactions in the block: abort-inducing branches.
+            token_funds=rng.choice([300, 2_000, 10**12]),
+            seed=seed,
+        )
+
+    def _case(self, seed: int):
+        from ..workload.generator import Workload
+
+        rng = random.Random(seed)
+        config = self._random_config(rng, seed)
+        workload = Workload(config)
+        txs = workload.transactions(self.txs_per_block)
+        threads = rng.choice([2, 3, 4, 8])
+        return workload, txs, threads
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _run_pair(executor, txs, snapshot, resolver, threads, block, serial_out):
+        recorder = TraceRecorder()
+        executor.recorder = recorder
+        parallel = executor.execute_block(
+            txs, snapshot, resolver, threads=threads, block=block
+        )
+        oracle = SerializabilityOracle(snapshot_get=snapshot.get)
+        report = oracle.check(
+            trace=recorder,
+            parallel_writes=parallel.writes,
+            parallel_receipts=parallel.receipts,
+            serial_writes=serial_out.writes,
+            serial_receipts=serial_out.receipts,
+            scheduler=getattr(executor, "name", "?"),
+        )
+        return report
+
+    def _check_once(self, name, txs, snapshot, resolver, threads, block):
+        """Run scheduler ``name`` on ``txs`` against a fresh serial
+        reference; returns the oracle report."""
+        from ..executors.serial import SerialExecutor
+
+        serial_out = SerialExecutor().execute_block(
+            txs, snapshot, resolver, threads=1, block=block
+        )
+        executor = self.factories[name]()
+        return self._run_pair(
+            executor, txs, snapshot, resolver, threads, block, serial_out
+        )
+
+    def _minimize(self, name, txs, snapshot, resolver, threads, block):
+        """Greedy shrink: keep removing chunks while the divergence holds."""
+        runs = 0
+        chunk = max(len(txs) // 2, 1)
+        while chunk >= 1 and runs < self.max_minimize_runs:
+            shrunk = False
+            start = 0
+            while start < len(txs) and runs < self.max_minimize_runs:
+                candidate = txs[:start] + txs[start + chunk:]
+                if not candidate:
+                    start += chunk
+                    continue
+                runs += 1
+                if not self._check_once(
+                    name, candidate, snapshot, resolver, threads, block
+                ).ok:
+                    txs = candidate
+                    shrunk = True
+                else:
+                    start += chunk
+            if not shrunk or chunk == 1:
+                if chunk == 1:
+                    break
+            chunk = max(chunk // 2, 1)
+        return txs
+
+    # ------------------------------------------------------------------
+    # Campaign
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        blocks: int,
+        base_seed: int = DEFAULT_BASE_SEED,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> FuzzReport:
+        from ..executors.serial import SerialExecutor
+
+        report = FuzzReport()
+        for name in self.factories:
+            report.stats[name] = OracleStats()
+        block_ctx = BlockContext()
+        for i in range(blocks):
+            seed = base_seed + i
+            workload, txs, threads = self._case(seed)
+            snapshot = workload.db.latest
+            resolver = workload.db.codes.code_of
+            serial_out = SerialExecutor().execute_block(
+                txs, snapshot, resolver, threads=1, block=block_ctx
+            )
+            report.blocks += 1
+            for name in self.factories:
+                executor = self.factories[name]()
+                verdict = self._run_pair(
+                    executor, txs, snapshot, resolver, threads, block_ctx,
+                    serial_out,
+                )
+                report.checks += 1
+                report.stats[name].merge_from(verdict.stats)
+                if verdict.ok:
+                    continue
+                minimized = txs
+                if self.minimize:
+                    minimized = self._minimize(
+                        name, txs, snapshot, resolver, threads, block_ctx
+                    )
+                    verdict = self._check_once(
+                        name, minimized, snapshot, resolver, threads, block_ctx
+                    )
+                report.divergences.append(Divergence(
+                    seed=seed,
+                    scheduler=name,
+                    threads=threads,
+                    report=verdict,
+                    block_size=len(txs),
+                    minimized_size=len(minimized),
+                    minimized_labels=[tx.label for tx in minimized],
+                ))
+                if progress is not None:
+                    progress(f"divergence at seed {seed} [{name}]")
+            if progress is not None and (i + 1) % 10 == 0:
+                progress(f"{i + 1}/{blocks} blocks fuzzed")
+        return report

@@ -1,0 +1,224 @@
+"""Execution trace recording: the oracle's raw material.
+
+A :class:`TraceRecorder` attached to any executor (``executor.recorder``)
+collects one globally ordered stream of fine-grained events: every versioned
+read (which writer's version was observed, and whether that version was
+*early* — published before its writer completed), every buffered write,
+every publish into the shared store, every retraction, abort, and
+per-transaction completion.
+
+The recorder is deliberately dumb — append-only, no interpretation — so the
+hooks in the executors stay near-zero cost: a single ``is not None`` test
+when recording is off, one dataclass append when it is on.  All judgement
+lives in :mod:`repro.verify.oracle`, which replays the stream.
+
+Version identifiers follow the access-sequence convention: a version is the
+index of the transaction that wrote it, with ``SNAPSHOT_VERSION`` (-1)
+standing for the pre-block snapshot ``S^{l-1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.types import StateKey
+
+SNAPSHOT_VERSION = -1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: ``seq`` totally orders the stream, ``tx`` is the block
+    index of the transaction the event belongs to."""
+
+    seq: int
+    tx: int
+
+
+@dataclass(frozen=True)
+class ReadEvent(TraceEvent):
+    """A versioned read resolved against shared state.
+
+    ``version`` is the writer index the read resolved to (-1 = snapshot);
+    ``attempt`` is the reader's attempt number at the time; ``early`` marks
+    a read of a version published before its writer completed (early-write
+    visibility); ``speculative`` marks a best-available read taken because
+    the proper version was not yet resolvable; ``blind`` marks commutative
+    blind-increment reads whose value feeds only the paired ``+=``.
+    """
+
+    key: StateKey
+    version: int
+    value: int
+    attempt: int = 1
+    early: bool = False
+    speculative: bool = False
+    blind: bool = False
+
+
+@dataclass(frozen=True)
+class WriteEvent(TraceEvent):
+    """A buffered (transaction-local) write; ``delta`` is set instead of
+    ``value`` for commutative increments."""
+
+    key: StateKey
+    value: Optional[int] = None
+    delta: Optional[int] = None
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class PublishEvent(TraceEvent):
+    """A write made visible to other transactions.
+
+    ``kind`` is ``"abs"`` or ``"delta"``; ``early`` is True when the writer
+    was still running (release-point publication), False for publication at
+    completion.
+    """
+
+    key: StateKey
+    kind: str
+    value: int
+    early: bool = False
+
+
+@dataclass(frozen=True)
+class RetractEvent(TraceEvent):
+    """A previously published version was nulled (its writer aborted or
+    failed); ``victims`` are the readers cascaded into aborting."""
+
+    key: StateKey
+    victims: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class AbortEvent(TraceEvent):
+    """The scheduler aborted transaction ``tx``; ``attempt`` is the attempt
+    that was killed."""
+
+    attempt: int = 1
+    key: Optional[StateKey] = None  # the state item that triggered it
+
+
+@dataclass(frozen=True)
+class CompleteEvent(TraceEvent):
+    """Transaction ``tx`` finished an attempt.
+
+    Only the last CompleteEvent per transaction describes the committed
+    outcome (earlier ones were undone by aborts).
+    """
+
+    attempt: int = 1
+    success: bool = True
+    gas_used: int = 0
+
+
+class TraceRecorder:
+    """Append-only recorder of one block execution's event stream."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._seq = 0
+
+    def _next(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    # ------------------------------------------------------------------
+    # Hook entry points (called by the executors)
+    # ------------------------------------------------------------------
+
+    def read(
+        self,
+        tx: int,
+        key: StateKey,
+        version: int,
+        value: int,
+        attempt: int = 1,
+        early: bool = False,
+        speculative: bool = False,
+        blind: bool = False,
+    ) -> None:
+        self.events.append(ReadEvent(
+            self._next(), tx, key, version, value, attempt,
+            early, speculative, blind,
+        ))
+
+    def write(
+        self,
+        tx: int,
+        key: StateKey,
+        value: Optional[int] = None,
+        delta: Optional[int] = None,
+        attempt: int = 1,
+    ) -> None:
+        self.events.append(WriteEvent(self._next(), tx, key, value, delta, attempt))
+
+    def publish(
+        self, tx: int, key: StateKey, kind: str, value: int, early: bool = False
+    ) -> None:
+        self.events.append(PublishEvent(self._next(), tx, key, kind, value, early))
+
+    def retract(self, tx: int, key: StateKey, victims: Tuple[int, ...] = ()) -> None:
+        self.events.append(RetractEvent(self._next(), tx, key, victims))
+
+    def abort(self, tx: int, attempt: int = 1, key: Optional[StateKey] = None) -> None:
+        self.events.append(AbortEvent(self._next(), tx, attempt, key))
+
+    def complete(
+        self, tx: int, attempt: int = 1, success: bool = True, gas_used: int = 0
+    ) -> None:
+        self.events.append(CompleteEvent(self._next(), tx, attempt, success, gas_used))
+
+    # ------------------------------------------------------------------
+    # Derived views (used by the oracle and tests)
+    # ------------------------------------------------------------------
+
+    def final_attempts(self) -> Dict[int, int]:
+        """Per transaction, the attempt number of its committed execution
+        (the highest attempt seen in any of its events)."""
+        finals: Dict[int, int] = {}
+        for event in self.events:
+            attempt = getattr(event, "attempt", None)
+            if attempt is not None:
+                if attempt > finals.get(event.tx, 0):
+                    finals[event.tx] = attempt
+        return finals
+
+    def committed_reads(self) -> List[ReadEvent]:
+        """Reads belonging to each transaction's committed (final) attempt,
+        excluding blind commutative reads (their observed value is, by
+        construction, irrelevant to the outcome)."""
+        finals = self.final_attempts()
+        return [
+            e for e in self.events
+            if isinstance(e, ReadEvent)
+            and not e.blind
+            and e.attempt == finals.get(e.tx, 1)
+        ]
+
+    def reads_of(self, tx: int) -> List[ReadEvent]:
+        return [e for e in self.events if isinstance(e, ReadEvent) and e.tx == tx]
+
+    def events_of_type(self, kind) -> List[TraceEvent]:
+        return [e for e in self.events if isinstance(e, kind)]
+
+    def summary(self) -> str:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            name = type(event).__name__
+            counts[name] = counts.get(name, 0) + 1
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        return f"Trace({len(self.events)} events: {inner})"

@@ -1,0 +1,193 @@
+"""DMVCC abort / re-execute paths (Algorithm 4).
+
+The block below forces a deterministic intra-block misprediction:
+
+* tx 0 ``openGate()``   — sets ``gate`` (snapshot has 0).
+* tx 1 ``sneakyWrite``  — loops, then writes ``item`` only if ``gate > 0``.
+  Pre-execution predicts from the snapshot, so the write is a surprise.
+* tx 2 ``readItem()``   — no predicted writer of ``item``: dispatched
+  immediately, reads the snapshot, and is aborted when tx 1's surprise
+  write lands.
+* tx 3 ``readSink()``   — consumes tx 2's early-visible ``sink`` write,
+  so tx 2's abort must retract that version and cascade into tx 3.
+
+Every test asserts the protocol's recovery obligation: aborted attempts'
+writes and the reads that consumed them must not survive into the
+committed outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.core import Address
+from repro.executors import DMVCCExecutor, SerialExecutor
+from repro.lang import compile_source
+from repro.state import StateDB
+from repro.verify import TraceRecorder, check_block
+from repro.verify.trace import (
+    AbortEvent,
+    PublishEvent,
+    ReadEvent,
+    RetractEvent,
+)
+
+SNEAK_SOURCE = """
+contract Sneak {
+    uint gate;
+    uint item;
+    uint sink;
+    uint out2;
+
+    function openGate() public { gate = 1; }
+
+    function sneakyWrite(uint v) public {
+        uint i = 0;
+        while (i < 40) { i += 1; }
+        if (gate > 0) { item = v; }
+    }
+
+    function readItem() public { sink = item; }
+    function readSink() public { out2 = sink; }
+}
+"""
+
+SNEAK = Address.derive("sneak")
+USERS = [Address.derive(f"abort-u{i}") for i in range(4)]
+
+
+@pytest.fixture(scope="module")
+def sneak():
+    return compile_source(SNEAK_SOURCE)
+
+
+def sneak_db(compiled):
+    db = StateDB()
+    db.deploy_contract(SNEAK, compiled.code, "Sneak")
+    db.seed_genesis({u: 10**18 for u in USERS})
+    return db
+
+
+def sneak_block(compiled):
+    calls = [
+        ("openGate",),
+        ("sneakyWrite", 7),
+        ("readItem",),
+        ("readSink",),
+    ]
+    return [
+        Transaction(USERS[i], SNEAK, 0, compiled.encode_call(*call))
+        for i, call in enumerate(calls)
+    ]
+
+
+def slot_key(compiled, name):
+    from repro.core import StateKey
+
+    return StateKey(SNEAK, compiled.slot_of(name))
+
+
+def run_traced(compiled, threads=4):
+    db = sneak_db(compiled)
+    recorder = TraceRecorder()
+    executor = DMVCCExecutor().attach_recorder(recorder)
+    execution = executor.execute_block(
+        sneak_block(compiled), db.latest, db.codes.code_of, threads=threads
+    )
+    return recorder, execution, db
+
+
+class TestAbortAndReExecute:
+    def test_surprise_write_aborts_the_stale_reader(self, sneak):
+        recorder, execution, _ = run_traced(sneak)
+        aborted = {e.tx for e in recorder.events_of_type(AbortEvent)}
+        assert 2 in aborted  # the stale reader re-executes
+        finals = recorder.final_attempts()
+        assert finals[2] >= 2
+        assert execution.metrics.aborts == len(
+            recorder.events_of_type(AbortEvent)
+        )
+
+    def test_committed_read_observes_the_surprise_write(self, sneak):
+        recorder, _, _ = run_traced(sneak)
+        item = slot_key(sneak, "item")
+        committed = [
+            e for e in recorder.committed_reads() if e.key == item
+        ]
+        assert committed, "re-executed reader must re-read item"
+        for event in committed:
+            assert event.version == 1  # tx 1's surprise write
+            assert event.value == 7
+        # The aborted first attempt read the snapshot instead.
+        first_attempts = [
+            e for e in recorder.events_of_type(ReadEvent)
+            if e.key == item and e.attempt == 1
+        ]
+        assert first_attempts[0].version == -1
+        assert first_attempts[0].value == 0
+
+    def test_abort_retracts_early_visible_writes(self, sneak):
+        """tx 2 published ``sink`` early; its abort must retract that
+        version (naming its reader as a victim) before re-execution."""
+        recorder, _, _ = run_traced(sneak)
+        sink = slot_key(sneak, "sink")
+        assert any(
+            e.tx == 2 and e.key == sink and e.early
+            for e in recorder.events_of_type(PublishEvent)
+        )
+        retractions = [
+            e for e in recorder.events_of_type(RetractEvent)
+            if e.tx == 2 and e.key == sink
+        ]
+        assert retractions
+        assert 3 in retractions[0].victims  # the cascade reaches tx 3
+
+    def test_retraction_cascades_to_transitive_readers(self, sneak):
+        recorder, _, _ = run_traced(sneak)
+        aborted = {e.tx for e in recorder.events_of_type(AbortEvent)}
+        assert 3 in aborted
+        sink = slot_key(sneak, "sink")
+        committed = [e for e in recorder.committed_reads() if e.key == sink]
+        assert committed
+        # After repair, tx 3 sees tx 2's re-published (correct) version.
+        for event in committed:
+            assert event.version == 2
+            assert event.value == 7
+
+    def test_aborted_attempt_values_do_not_leak_into_state(self, sneak):
+        """The doomed first-attempt values (item=0 propagated into sink and
+        out2) must be absent from the committed writes."""
+        db = sneak_db(sneak)
+        txs = sneak_block(sneak)
+        execution = DMVCCExecutor().execute_block(
+            txs, db.latest, db.codes.code_of, threads=4
+        )
+        serial = SerialExecutor().execute_block(txs, db.latest, db.codes.code_of)
+        assert execution.writes == serial.writes
+        assert execution.writes[slot_key(sneak, "sink")] == 7
+        assert execution.writes[slot_key(sneak, "out2")] == 7
+
+    def test_oracle_classifies_the_leak_as_repaired(self, sneak):
+        db = sneak_db(sneak)
+        report, _ = check_block(
+            DMVCCExecutor(), sneak_block(sneak), db.latest, db.codes.code_of,
+            threads=4,
+        )
+        assert report.ok, report.render()
+        assert report.flagged_early_visibility
+        assert report.repaired_reads >= 1
+        assert report.stats.unrepaired_violations == 0
+
+    @pytest.mark.parametrize("threads", [1, 2, 3, 8])
+    def test_recovery_correct_at_any_thread_count(self, sneak, threads):
+        db = sneak_db(sneak)
+        txs = sneak_block(sneak)
+        execution = DMVCCExecutor().execute_block(
+            txs, db.latest, db.codes.code_of, threads=threads
+        )
+        serial = SerialExecutor().execute_block(txs, db.latest, db.codes.code_of)
+        assert execution.writes == serial.writes
+        assert [r.result.success for r in execution.receipts] == [
+            r.result.success for r in serial.receipts
+        ]

@@ -7,10 +7,14 @@ same block in subprocesses with different hash seeds and compares roots and
 makespans byte-for-byte.
 """
 
+import os
+import pathlib
 import subprocess
 import sys
 
 import pytest
+
+SRC_DIR = str(pathlib.Path(__file__).resolve().parents[2] / "src")
 
 SCRIPT = """
 import sys
@@ -29,11 +33,22 @@ print(root, execution.metrics.makespan, execution.metrics.aborts)
 
 
 def run_with_hashseed(seed: str) -> str:
+    # A minimal env isolates the subprocess from ambient configuration, but
+    # it must still find the package: propagate PYTHONPATH with the repo's
+    # src/ directory prepended (the parent's PYTHONPATH may or may not
+    # already carry it, depending on how pytest was launched).
+    pythonpath = os.pathsep.join(
+        [SRC_DIR] + [p for p in os.environ.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
     result = subprocess.run(
         [sys.executable, "-c", SCRIPT],
         capture_output=True,
         text=True,
-        env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+        env={
+            "PYTHONHASHSEED": seed,
+            "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+            "PYTHONPATH": pythonpath,
+        },
         timeout=300,
     )
     assert result.returncode == 0, result.stderr

@@ -111,6 +111,82 @@ class TestReadResolutionProperties:
         else:
             assert final == reference_read(script, len(script), snapshot_value) % (1 << 256)
 
+    @given(OPS, st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_versions_totally_ordered_by_tx_index(self, script, data):
+        """However entries arrive — predicted up front, or inserted on the
+        fly by reads and writes in any scheduling order — the sequence
+        stays totally ordered by transaction index."""
+        seq = AccessSequence(KEY)
+        arrival = data.draw(st.permutations(range(len(script))))
+        for index in arrival:
+            kind, value = script[index]
+            if kind == "write":
+                seq.version_write(index, value=value)
+            elif kind == "delta":
+                seq.version_write(index, delta=value)
+            elif kind == "skip":
+                seq.version_write(index, skipped=True)
+            else:
+                seq.record_read(index, SNAPSHOT_VERSION)
+            indices = [entry.tx_index for entry in seq.entries()]
+            assert indices == sorted(indices)
+            assert len(indices) == len(set(indices))
+
+    @given(OPS, st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_reads_never_observe_later_versions(self, script, data):
+        """Neither blocking resolution nor the speculative best-available
+        fallback may ever hand a reader a version written by a transaction
+        at or after its own index."""
+        seq = build_sequence(script)
+        published = data.draw(
+            st.sets(st.sampled_from(range(len(script))))
+            if script else st.just(set())
+        )
+        for index in sorted(published):
+            kind, value = script[index]
+            if kind == "write":
+                seq.version_write(index, value=value)
+            elif kind == "delta":
+                seq.version_write(index, delta=value)
+            elif kind == "skip":
+                seq.version_write(index, skipped=True)
+        for reader in range(len(script) + 1):
+            for resolution in (seq.resolve_read(reader), seq.best_available_read(reader)):
+                assert resolution.version_from < reader
+                assert resolution.version_from >= SNAPSHOT_VERSION
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 10**9), st.booleans()), min_size=1, max_size=10),
+        st.integers(0, 10**9),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_commutative_merge_is_order_independent(self, increments, snapshot_value, data):
+        """Blind StorageIncrement versions merge to the same value whatever
+        order they finish in (the ω̄ commutativity the protocol relies on)."""
+        order_a = data.draw(st.permutations(range(len(increments))))
+        order_b = data.draw(st.permutations(range(len(increments))))
+        finals = []
+        resolutions = []
+        for order in (order_a, order_b):
+            seq = AccessSequence(KEY)
+            for index, (delta, predicted) in enumerate(increments):
+                if predicted:
+                    seq.insert_predicted(index, AccessType.COMMUTATIVE)
+            for index in order:
+                delta, _predicted = increments[index]
+                seq.version_write(index, delta=delta)
+            finals.append(seq.final_value(lambda key: snapshot_value))
+            reader = len(increments)
+            resolutions.append(
+                seq.resolve_read(reader).resolve_with_snapshot(snapshot_value)
+            )
+        assert finals[0] == finals[1]
+        assert resolutions[0] == resolutions[1]
+        assert finals[0] == (snapshot_value + sum(d for d, _p in increments)) % (1 << 256)
+
     @given(OPS)
     @settings(max_examples=60, deadline=None)
     def test_stale_readers_always_detected(self, script):

@@ -1,0 +1,313 @@
+"""Serializability oracle: unit checks, the injected-bug catch, and the
+200-block clean acceptance run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey
+from repro.executors import DAGExecutor, DMVCCExecutor, OCCExecutor, SerialExecutor
+from repro.executors.base import Receipt
+from repro.executors.txprogram import TxResult, TxStatus
+from repro.lang import compile_source
+from repro.state import StateDB
+from repro.verify import SerializabilityOracle, TraceRecorder, check_block
+from repro.verify.fuzz import DifferentialFuzzer
+
+from ..executors.helpers import TOKEN, USERS, token_db
+
+
+def receipt(index, success=True, gas=30_000):
+    status = TxStatus.SUCCESS if success else TxStatus.REVERTED
+    return Receipt(index=index, result=TxResult(status, gas))
+
+
+KEY = StateKey(Address.derive("oracle-key"), 0)
+
+
+class TestOracleUnitChecks:
+    def test_clean_trace_passes(self):
+        trace = TraceRecorder()
+        trace.write(0, KEY, value=7)
+        trace.publish(0, KEY, "abs", 7)
+        trace.complete(0)
+        trace.read(1, KEY, 0, 7)
+        trace.complete(1)
+        report = SerializabilityOracle().check(
+            trace, {KEY: 7}, [receipt(0), receipt(1)],
+            {KEY: 7}, [receipt(0), receipt(1)],
+        )
+        assert report.ok
+        assert report.stats.reads_checked == 1
+        assert report.stats.conflict_edges == 1
+
+    def test_state_mismatch_detected(self):
+        trace = TraceRecorder()
+        report = SerializabilityOracle().check(
+            trace, {KEY: 1}, [receipt(0)], {KEY: 2}, [receipt(0)],
+        )
+        assert not report.ok
+        assert any("state mismatch" in d for d in report.divergences)
+
+    def test_receipt_mismatch_detected(self):
+        trace = TraceRecorder()
+        report = SerializabilityOracle().check(
+            trace, {}, [receipt(0, success=False)], {}, [receipt(0)],
+        )
+        assert not report.ok
+        assert any("success" in d for d in report.divergences)
+
+    def test_gas_mismatch_detected(self):
+        trace = TraceRecorder()
+        report = SerializabilityOracle().check(
+            trace, {}, [receipt(0, gas=1)], {}, [receipt(0, gas=2)],
+        )
+        assert not report.ok
+
+    def test_read_from_later_tx_is_version_order_violation(self):
+        trace = TraceRecorder()
+        trace.read(0, KEY, 1, 9)  # tx 0 observes tx 1's version
+        trace.write(1, KEY, value=9)
+        trace.publish(1, KEY, "abs", 9)
+        for tx in (0, 1):
+            trace.complete(tx)
+        report = SerializabilityOracle().check(
+            trace, {KEY: 9}, [receipt(0), receipt(1)],
+            {KEY: 9}, [receipt(0), receipt(1)],
+        )
+        assert not report.ok
+        assert any("version order" in d for d in report.divergences)
+
+    def test_stale_read_detected(self):
+        # tx 2 reads the snapshot although tx 0 committed a write below it.
+        trace = TraceRecorder()
+        trace.write(0, KEY, value=5)
+        trace.publish(0, KEY, "abs", 5)
+        trace.complete(0)
+        trace.read(2, KEY, -1, 0)
+        trace.complete(2)
+        report = SerializabilityOracle().check(
+            trace, {KEY: 5}, [receipt(0), receipt(1), receipt(2)],
+            {KEY: 5}, [receipt(0), receipt(1), receipt(2)],
+        )
+        assert not report.ok
+        assert report.stats.stale_reads == 1
+
+    def test_delta_versions_do_not_shift_the_expected_base(self):
+        # tx 0 writes absolutely; tx 1 publishes a commutative delta; tx 2's
+        # base version is still tx 0.
+        trace = TraceRecorder()
+        trace.publish(0, KEY, "abs", 10)
+        trace.complete(0)
+        trace.publish(1, KEY, "delta", 3)
+        trace.complete(1)
+        trace.read(2, KEY, 0, 10)
+        trace.complete(2)
+        report = SerializabilityOracle().check(
+            trace, {KEY: 13}, [receipt(i) for i in range(3)],
+            {KEY: 13}, [receipt(i) for i in range(3)],
+        )
+        assert report.ok
+
+    def test_unrepaired_doomed_read_is_flagged(self):
+        # tx 1 commits a read of tx 0's early version; tx 0 then aborts and
+        # the version is retracted, but tx 1 never re-executes.
+        trace = TraceRecorder()
+        trace.publish(0, KEY, "abs", 5, early=True)
+        trace.read(1, KEY, 0, 5, early=True)
+        trace.complete(1)
+        trace.retract(0, KEY, victims=(1,))
+        trace.complete(0, success=False)
+        report = SerializabilityOracle().check(
+            trace, {}, [receipt(0, success=False), receipt(1)],
+            {}, [receipt(0, success=False), receipt(1)],
+        )
+        assert not report.ok
+        assert report.flagged_early_visibility
+        assert report.stats.unrepaired_violations == 1
+        assert report.stats.doomed_reads == 1
+
+    def test_repaired_doomed_read_is_flagged_but_not_fatal(self):
+        # Same leak, but the reader re-executed (attempt 2) afterwards: the
+        # cascade repaired it.  Flagged, yet the execution is serializable.
+        trace = TraceRecorder()
+        trace.publish(0, KEY, "abs", 5, early=True)
+        trace.read(1, KEY, 0, 5, attempt=1, early=True)
+        trace.retract(0, KEY, victims=(1,))
+        trace.complete(0, success=False)
+        trace.read(1, KEY, -1, 0, attempt=2)
+        trace.complete(1, attempt=2)
+        report = SerializabilityOracle().check(
+            trace, {}, [receipt(0, success=False), receipt(1)],
+            {}, [receipt(0, success=False), receipt(1)],
+        )
+        assert report.ok
+        assert report.flagged_early_visibility
+        assert report.repaired_reads == 1
+        assert report.stats.unrepaired_violations == 0
+
+    def test_republished_same_value_is_not_doomed(self):
+        # OCC pattern: the writer re-executes and republishes the identical
+        # version; a reader that saw the first copy lost nothing.
+        trace = TraceRecorder()
+        trace.publish(0, KEY, "abs", 5)
+        trace.read(1, KEY, 0, 5)
+        trace.retract(0, KEY)
+        trace.publish(0, KEY, "abs", 5)
+        trace.complete(0)
+        trace.complete(1)
+        report = SerializabilityOracle().check(
+            trace, {KEY: 5}, [receipt(0), receipt(1)],
+            {KEY: 5}, [receipt(0), receipt(1)],
+        )
+        assert report.ok
+        assert report.stats.doomed_reads == 0
+
+
+class TestCheckBlockDriver:
+    @pytest.mark.parametrize("executor_cls", [DAGExecutor, OCCExecutor, DMVCCExecutor])
+    def test_transfer_chain_passes_for_every_executor(
+        self, executor_cls, token_contract
+    ):
+        db = token_db(token_contract)
+        hot = USERS[0]
+        txs = [
+            Transaction(
+                USERS[i + 1], TOKEN, 0,
+                token_contract.encode_call("transfer", hot, 5),
+            )
+            for i in range(6)
+        ]
+        report, trace = check_block(
+            executor_cls(), txs, db.latest, db.codes.code_of, threads=4
+        )
+        assert report.ok, report.render()
+        assert report.stats.reads_checked > 0
+        assert len(trace) > 0
+
+    def test_metrics_gain_oracle_stats(self, token_contract):
+        db = token_db(token_contract)
+        txs = [
+            Transaction(
+                USERS[1], TOKEN, 0, token_contract.encode_call("transfer", USERS[0], 5)
+            )
+        ]
+        executor = DMVCCExecutor()
+        report, _ = check_block(executor, txs, db.latest, db.codes.code_of)
+        assert report.stats.blocks_checked == 1
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the oracle catches a deliberately injected bug
+# ----------------------------------------------------------------------
+
+GADGET_SOURCE = """
+contract Gadget {
+    uint item;
+    uint sink;
+
+    function work(uint n, uint rounds) public {
+        item = n;
+        uint i = 0;
+        while (i < rounds) {
+            i += 1;
+        }
+    }
+
+    function readItem() public {
+        sink = item;
+    }
+}
+"""
+
+
+class LeakyDMVCC(DMVCCExecutor):
+    """DMVCC with the release-point gas check disabled: the injected bug.
+
+    Skipping the check publishes buffered writes at every release point,
+    including those of transactions that are about to run out of gas —
+    exactly the unsound early-write visibility the oracle must catch.
+    """
+
+    def release_gas_check(self, csag, event, static_bound):
+        return True
+
+
+@pytest.fixture(scope="module")
+def gadget_setup():
+    compiled = compile_source(GADGET_SOURCE)
+    gadget = Address.derive("gadget")
+    db = StateDB()
+    db.deploy_contract(gadget, compiled.code, "Gadget")
+    db.seed_genesis({u: 10**18 for u in USERS})
+    return compiled, gadget, db
+
+
+def doomed_block(compiled, gadget):
+    """tx 0 writes ``item`` then loops until out of gas; tx 1 reads
+    ``item``.  The gas limit is chosen so tx 0's failure happens well
+    after tx 1 would consume a leaked early version."""
+    work = Transaction(
+        USERS[0], gadget, 0,
+        compiled.encode_call("work", 99, 1_000_000),
+        gas_limit=120_000,
+    )
+    read = Transaction(
+        USERS[1], gadget, 0, compiled.encode_call("readItem"),
+    )
+    return [work, read]
+
+
+class TestInjectedBugIsCaught:
+    def test_clean_executor_never_leaks(self, gadget_setup):
+        compiled, gadget, db = gadget_setup
+        txs = doomed_block(compiled, gadget)
+        report, trace = check_block(
+            DMVCCExecutor(), txs, db.latest, db.codes.code_of, threads=2
+        )
+        assert report.ok, report.render()
+        assert not report.flagged_early_visibility
+        assert report.stats.doomed_reads == 0
+
+    def test_oracle_flags_the_leak(self, gadget_setup):
+        compiled, gadget, db = gadget_setup
+        txs = doomed_block(compiled, gadget)
+        report, trace = check_block(
+            LeakyDMVCC(), txs, db.latest, db.codes.code_of, threads=2
+        )
+        # The mutant published tx 0's doomed write early and tx 1 consumed
+        # it before the retraction: the oracle must flag the early-write
+        # visibility violation.
+        assert report.flagged_early_visibility, report.render()
+        assert report.stats.doomed_reads >= 1
+        assert report.stats.early_publishes >= 1
+
+    def test_sanity_tx0_runs_out_of_gas(self, gadget_setup):
+        compiled, gadget, db = gadget_setup
+        txs = doomed_block(compiled, gadget)
+        execution = SerialExecutor().execute_block(
+            txs, db.latest, db.codes.code_of
+        )
+        assert not execution.receipts[0].result.success
+        assert execution.receipts[1].result.success
+
+
+@pytest.mark.slow
+class TestCleanExecutorAtScale:
+    def test_dmvcc_passes_200_fuzzed_blocks(self):
+        """Acceptance: the unmodified executor sails through 200+ fuzzed
+        blocks with zero divergences and zero unrepaired violations."""
+        fuzzer = DifferentialFuzzer(
+            factories={"dmvcc": lambda: DMVCCExecutor()},
+            txs_per_block=12,
+            minimize=False,
+        )
+        report = fuzzer.run(blocks=200, base_seed=0x5EED)
+        assert report.ok, report.render()
+        stats = report.stats["dmvcc"]
+        assert stats.blocks_checked == 200
+        assert stats.unrepaired_violations == 0
+        assert stats.stale_reads == 0
+        # The campaign must actually exercise early-write visibility.
+        assert stats.early_publishes > 0

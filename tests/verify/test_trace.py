@@ -1,0 +1,146 @@
+"""Trace recorder: hook coverage across all four executors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.core import StateKey, mapping_slot
+from repro.executors import DAGExecutor, DMVCCExecutor, OCCExecutor, SerialExecutor
+from repro.verify.trace import (
+    SNAPSHOT_VERSION,
+    CompleteEvent,
+    PublishEvent,
+    ReadEvent,
+    TraceRecorder,
+    WriteEvent,
+)
+
+from ..executors.helpers import TOKEN, USERS, token_db
+
+
+def transfer_block(token_contract, count=6):
+    """A chain of transfers touching one hot account: every tx reads the
+    previous writer's version."""
+    hot = USERS[0]
+    return [
+        Transaction(
+            USERS[i + 1], TOKEN, 0,
+            token_contract.encode_call("transfer", hot, 5),
+            label=f"t{i}",
+        )
+        for i in range(count)
+    ]
+
+
+def run_with_recorder(executor, txs, db, threads=4):
+    recorder = TraceRecorder()
+    executor.attach_recorder(recorder)
+    execution = executor.execute_block(
+        txs, db.latest, db.codes.code_of, threads=threads
+    )
+    return recorder, execution
+
+
+class TestRecorderBasics:
+    def test_disabled_by_default(self, token_contract):
+        db = token_db(token_contract)
+        executor = SerialExecutor()
+        assert executor.recorder is None
+        executor.execute_block(
+            transfer_block(token_contract), db.latest, db.codes.code_of
+        )  # no recorder: must run exactly as before
+
+    def test_attach_is_chainable_and_clear_resets(self):
+        recorder = TraceRecorder()
+        executor = SerialExecutor().attach_recorder(recorder)
+        assert executor.recorder is recorder
+        recorder.read(0, "k", SNAPSHOT_VERSION, 7)
+        assert len(recorder) == 1
+        recorder.clear()
+        assert len(recorder) == 0
+        recorder.read(0, "k", SNAPSHOT_VERSION, 7)
+        assert recorder.events[0].seq == 0  # seq restarts after clear
+
+    def test_summary_counts_event_types(self):
+        recorder = TraceRecorder()
+        recorder.read(0, "k", SNAPSHOT_VERSION, 1)
+        recorder.write(0, "k", value=2)
+        recorder.publish(0, "k", "abs", 2)
+        recorder.complete(0)
+        summary = recorder.summary()
+        assert "ReadEvent=1" in summary and "PublishEvent=1" in summary
+
+
+class TestSerialTrace:
+    def test_reads_carry_last_committed_writer(self, token_contract):
+        db = token_db(token_contract)
+        txs = transfer_block(token_contract, count=4)
+        recorder, execution = run_with_recorder(SerialExecutor(), txs, db, threads=1)
+        assert all(r.result.success for r in execution.receipts)
+
+        bal_slot = token_contract.slot_of("balanceOf")
+        hot_key = StateKey(TOKEN, mapping_slot(USERS[0].to_word(), bal_slot))
+        hot_reads = [
+            e for e in recorder.events_of_type(ReadEvent)
+            if e.key == hot_key and not e.blind
+        ]
+        # Each transfer's registered read of the hot balance (if any) must
+        # observe the immediately preceding writer; blind credit reads are
+        # excluded.  Serial order: version == tx - 1 for tx > 0.
+        for event in hot_reads:
+            expected = event.tx - 1 if event.tx > 0 else SNAPSHOT_VERSION
+            assert event.version == expected
+
+    def test_every_tx_completes_and_publishes(self, token_contract):
+        db = token_db(token_contract)
+        txs = transfer_block(token_contract, count=3)
+        recorder, _ = run_with_recorder(SerialExecutor(), txs, db, threads=1)
+        completes = recorder.events_of_type(CompleteEvent)
+        assert [e.tx for e in completes] == [0, 1, 2]
+        assert all(e.success for e in completes)
+        assert recorder.events_of_type(PublishEvent)
+
+
+@pytest.mark.parametrize("executor_cls", [DAGExecutor, OCCExecutor, DMVCCExecutor])
+class TestParallelTraces:
+    def test_trace_covers_reads_writes_completions(self, executor_cls, token_contract):
+        db = token_db(token_contract)
+        txs = transfer_block(token_contract, count=6)
+        recorder, execution = run_with_recorder(executor_cls(), txs, db)
+        assert all(r.result.success for r in execution.receipts)
+        assert recorder.events_of_type(ReadEvent)
+        assert recorder.events_of_type(WriteEvent)
+        assert recorder.events_of_type(PublishEvent)
+        finals = recorder.final_attempts()
+        assert set(finals) == set(range(len(txs)))
+        # Committed reads belong to committed attempts and never observe a
+        # later transaction's version.
+        for event in recorder.committed_reads():
+            assert event.version < event.tx
+
+    def test_seq_strictly_increasing(self, executor_cls, token_contract):
+        db = token_db(token_contract)
+        recorder, _ = run_with_recorder(
+            executor_cls(), transfer_block(token_contract), db
+        )
+        seqs = [e.seq for e in recorder.events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestDMVCCSpecificTrace:
+    def test_early_publishes_marked(self, token_contract):
+        db = token_db(token_contract)
+        txs = transfer_block(token_contract, count=6)
+        recorder, _ = run_with_recorder(DMVCCExecutor(), txs, db)
+        publishes = recorder.events_of_type(PublishEvent)
+        # The transfer function's writes all precede its release point, so
+        # at least some publishes must be early (mid-transaction).
+        assert any(e.early for e in publishes)
+
+    def test_blind_increment_reads_marked(self, token_contract):
+        db = token_db(token_contract)
+        txs = transfer_block(token_contract, count=6)
+        recorder, _ = run_with_recorder(DMVCCExecutor(), txs, db)
+        assert any(e.blind for e in recorder.events_of_type(ReadEvent))
