@@ -63,3 +63,11 @@ def bench_params():
         "scale": SCALE,
         "workload": WORKLOAD_SIZE,
     }
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Stamp ``--benchmark-json`` output with schema version + git commit,
+    so archived bench_results.json files carry their provenance."""
+    from repro.bench.reporting import stamp_results
+
+    stamp_results(output_json)

@@ -8,6 +8,7 @@ rq1             Merkle-root correctness sweep
 ablation        DMVCC feature ablation
 analyze FILE    compile a Minisol file and print its P-SAG
 verify          differential fuzzing under the serializability oracle
+profile         event-traced execution: Chrome trace + wait decomposition
 """
 
 from __future__ import annotations
@@ -136,7 +137,76 @@ def cmd_verify(args) -> int:
         progress=(lambda line: print(line, file=sys.stderr)) if args.progress else None,
     )
     print(report.render())
+    if args.artifacts_dir:
+        _write_verify_artifacts(args.artifacts_dir, fuzzer, report)
     return 0 if report.ok else 1
+
+
+def _write_verify_artifacts(directory: str, fuzzer, report) -> None:
+    """Persist the oracle report and, per divergence, an event trace of the
+    failing case (regenerated from its seed) for CI artifact upload."""
+    import os
+
+    from .evm.environment import BlockContext
+    from .obs import EventBus, build_chrome_trace, build_timeline, write_chrome_trace
+
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "oracle_report.txt"), "w") as handle:
+        handle.write(report.render() + "\n")
+    for divergence in report.divergences:
+        workload, txs, _ = fuzzer.case(divergence.seed)
+        bus = EventBus()
+        executor = fuzzer.factories[divergence.scheduler]()
+        executor.obs = bus
+        try:
+            executor.execute_block(
+                txs, workload.db.latest, workload.db.codes.code_of,
+                threads=divergence.threads, block=BlockContext(),
+            )
+        except Exception as error:  # still export what was traced
+            print(f"verify: replay of seed {divergence.seed} "
+                  f"[{divergence.scheduler}] raised {error!r}", file=sys.stderr)
+        document = build_chrome_trace(
+            [(f"{divergence.scheduler} seed {divergence.seed}",
+              build_timeline(bus), 0.0)],
+            metadata={
+                "seed": divergence.seed,
+                "scheduler": divergence.scheduler,
+                "threads": divergence.threads,
+            },
+        )
+        write_chrome_trace(
+            os.path.join(
+                directory,
+                f"trace_seed{divergence.seed}_{divergence.scheduler}.json",
+            ),
+            document,
+        )
+    print(f"verify: artifacts written to {directory}", file=sys.stderr)
+
+
+def cmd_profile(args) -> int:
+    """Run the schedulers with event tracing on; write a Perfetto-loadable
+    Chrome trace and print the timeline/attribution report."""
+    from .obs import profile_to_file
+
+    schedulers = tuple(
+        s.strip() for s in args.schedulers.split(",") if s.strip()
+    )
+    report = profile_to_file(
+        args.out,
+        blocks=args.blocks,
+        txs_per_block=args.txs,
+        threads=args.workers,
+        schedulers=schedulers,
+        contention=args.contention,
+        config_overrides=_scaled_workload(args),
+    )
+    print(report.render(top=args.top))
+    print(f"\ntrace written to {args.out} "
+          f"({len(report.trace['traceEvents'])} events) — load it at "
+          f"https://ui.perfetto.dev or chrome://tracing")
+    return 0 if report.correctness_ok else 1
 
 
 def main(argv=None) -> int:
@@ -176,7 +246,31 @@ def main(argv=None) -> int:
                         help="skip greedy shrinking of diverging blocks")
     verify.add_argument("--progress", action="store_true",
                         help="print progress to stderr")
+    verify.add_argument("--artifacts-dir", default="", metavar="DIR",
+                        help="write oracle report + per-divergence event "
+                             "traces here (for CI artifact upload)")
     verify.set_defaults(func=cmd_verify)
+
+    profile = sub.add_parser(
+        "profile", help="event-traced execution: Chrome trace (Perfetto) "
+                        "+ wait decomposition + abort attribution"
+    )
+    profile.add_argument("--blocks", type=int, default=2,
+                         help="blocks to profile (default 2)")
+    profile.add_argument("--txs", type=int, default=64,
+                         help="transactions per block (default 64)")
+    profile.add_argument("--workers", type=int, default=8,
+                         help="simulated threads for parallel schedulers")
+    profile.add_argument("--out", default="trace.json",
+                         help="Chrome trace output path (default trace.json)")
+    profile.add_argument("--schedulers", default="serial,dag,occ,dmvcc",
+                         help="comma-separated scheduler subset")
+    profile.add_argument("--contention", choices=["high", "low"],
+                         default="high",
+                         help="workload profile (default high)")
+    profile.add_argument("--top", type=int, default=10,
+                         help="hot keys to list in the attribution table")
+    profile.set_defaults(func=cmd_profile)
 
     analyze = sub.add_parser("analyze", help="print a contract's P-SAG")
     analyze.add_argument("file")

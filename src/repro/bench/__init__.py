@@ -17,8 +17,22 @@ from .harness import (
     run_rq1_correctness,
     run_speedup_experiment,
 )
+from .reporting import (
+    RESULTS_SCHEMA_VERSION,
+    render_gantt,
+    render_speedup_curves,
+    save_results_json,
+    speedup_series_from_result,
+    stamp_results,
+)
 
 __all__ = [
+    "RESULTS_SCHEMA_VERSION",
+    "render_gantt",
+    "render_speedup_curves",
+    "save_results_json",
+    "speedup_series_from_result",
+    "stamp_results",
     "CorrectnessResult",
     "SpeedupResult",
     "SpeedupRow",

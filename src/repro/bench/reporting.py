@@ -3,13 +3,64 @@
 ``render_gantt`` draws the per-thread execution timeline of a block — the
 picture the paper uses in Fig. 4(b) and Fig. 6 to show how early-write
 visibility and commutative writes compact the schedule.
+
+``stamp_results`` / ``save_results_json`` give every emitted result file a
+provenance block (schema version + git commit), so archived benchmark JSON
+can always be traced back to the code that produced it.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.metrics import BlockMetrics
+
+# Bump when the shape of emitted result JSON changes incompatibly.
+RESULTS_SCHEMA_VERSION = 1
+
+
+def _git_commit() -> str:
+    """The repository's HEAD commit, or "unknown" outside a git checkout
+    (results must still be writable from an exported tarball)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if proc.returncode == 0 and proc.stdout.strip():
+            return proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def stamp_results(document: dict) -> dict:
+    """Attach the provenance block to a result document, in place.
+
+    Used both by :func:`save_results_json` and by the pytest-benchmark
+    ``update_json`` hook, so ``bench_results.json`` and ad-hoc exports carry
+    the same ``repro_meta``.
+    """
+    document["repro_meta"] = {
+        "schema_version": RESULTS_SCHEMA_VERSION,
+        "git_commit": _git_commit(),
+    }
+    return document
+
+
+def save_results_json(path: str, payload: dict) -> dict:
+    """Write ``payload`` to ``path`` as stamped, indented JSON; returns the
+    stamped document."""
+    document = stamp_results(dict(payload))
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, default=str)
+    return document
 
 
 def render_gantt(

@@ -62,10 +62,19 @@ class Executor(ABC):
         # hook site guards with ``is not None``, so the disabled path costs
         # one attribute load per state access.
         self.recorder = None
+        # Optional observability event bus (repro.obs.events.EventBus).
+        # Same contract as the recorder: hook sites guard with
+        # ``is not None``, so disabled tracing costs one branch per hook.
+        self.obs = None
 
     def attach_recorder(self, recorder) -> "Executor":
         """Attach a :class:`repro.verify.trace.TraceRecorder`; chainable."""
         self.recorder = recorder
+        return self
+
+    def attach_obs(self, obs) -> "Executor":
+        """Attach a :class:`repro.obs.events.EventBus`; chainable."""
+        self.obs = obs
         return self
 
     @abstractmethod

@@ -108,8 +108,12 @@ class DAGExecutor(Executor):
             for i in dset:
                 dependents[i].append(j)
 
+        obs = self.obs
         loop = EventLoop()
-        pool = ThreadPool(threads)
+        pool = ThreadPool(threads, obs=obs)
+        if obs is not None:
+            obs.block_start(0.0, scheduler=self.name, threads=threads,
+                            tx_count=len(txs))
         # Published versions per key: (tx_index, value), appended in
         # completion order; reads take the latest finished writer < self.
         versions: Dict[StateKey, List[Tuple[int, int]]] = {}
@@ -136,6 +140,8 @@ class DAGExecutor(Executor):
                 thread = pool.try_occupy(loop.now, label=f"T{index}")
                 assert thread is not None
                 start = loop.now
+                if obs is not None:
+                    obs.tx_start(start, index, thread=thread)
                 result, writes = _run_to_completion(
                     txs[index], resolver_for(index), code_resolver, block,
                     recorder=self.recorder, index=index,
@@ -157,10 +163,16 @@ class DAGExecutor(Executor):
                                                gas_used=result.gas_used)
                     receipts[index] = Receipt(index=index, result=result)
                     per_tx[index].end_time = end
+                    if obs is not None:
+                        obs.tx_end(loop.now, index, success=result.success,
+                                   gas_used=result.gas_used)
                     pool.release(thread, loop.now)
                     for dep in dependents[index]:
                         remaining[dep] -= 1
                         if remaining[dep] == 0:
+                            if obs is not None:
+                                obs.lock_wait_end(loop.now, dep)
+                                obs.tx_ready(loop.now, dep)
                             heapq.heappush(ready, dep)
                     dispatch()
 
@@ -168,9 +180,16 @@ class DAGExecutor(Executor):
 
         for index in range(len(txs)):
             if remaining[index] == 0:
+                if obs is not None:
+                    obs.tx_ready(0.0, index)
                 heapq.heappush(ready, index)
+            elif obs is not None:
+                obs.lock_wait_begin(0.0, index,
+                                    holders=tuple(sorted(deps[index])))
         loop.schedule_now(dispatch)
         makespan = loop.run()
+        if obs is not None:
+            obs.block_end(makespan, makespan=makespan)
 
         final_receipts = [r for r in receipts if r is not None]
         if len(final_receipts) != len(txs):

@@ -183,11 +183,13 @@ class _BlockRun:
         if csags is None:
             csags = [self.builder.build(tx, snapshot) for tx in txs]
         self.csags = csags
-        self.sequences = AccessSequenceSet()
-        self.locks = LockTable()
-        self.queue = ReadyQueue()
+        self.obs = executor.obs
         self.loop = EventLoop()
-        self.pool = ThreadPool(threads)
+        clock = lambda: self.loop.now  # noqa: E731 — shared simulated clock
+        self.sequences = AccessSequenceSet(obs=self.obs, clock=clock)
+        self.locks = LockTable(obs=self.obs, clock=clock)
+        self.queue = ReadyQueue()
+        self.pool = ThreadPool(threads, obs=self.obs)
         self.states: List[_TxState] = []
         self.per_tx = [TxMetrics(index=i) for i in range(len(txs))]
         # Every key a transaction has ever published to, across attempts:
@@ -241,6 +243,25 @@ class _BlockRun:
             if self.locks.refresh(state.index, self.sequences):
                 state.status = _Status.READY
                 self.queue.push(state.index)
+                if self.obs is not None:
+                    self.obs.tx_ready(0.0, state.index)
+            elif self.obs is not None:
+                keys, blockers = self._wait_info(state.index)
+                self.obs.version_wait_begin(0.0, state.index,
+                                            keys=keys, blockers=blockers)
+
+    def _wait_info(self, index: int):
+        """The unresolvable keys (and their unfinished writers) stalling
+        ``index`` — the payload of a VersionWaitBegin event."""
+        missing = sorted(self.locks.state(index).missing())
+        blockers: Set[int] = set()
+        for key in missing:
+            seq = self.sequences.get(key)
+            if seq is not None:
+                resolution = seq.resolve_read(index)
+                if not resolution.ready:
+                    blockers.update(resolution.blockers)
+        return tuple(missing), tuple(sorted(blockers))
 
     def _contract_info(self, address: Address):
         if address not in self._blind_pcs:
@@ -270,6 +291,10 @@ class _BlockRun:
     # ------------------------------------------------------------------
 
     def execute(self) -> BlockExecution:
+        if self.obs is not None:
+            self.obs.block_start(0.0, scheduler=self.ex.name,
+                                 threads=self.pool.size,
+                                 tx_count=len(self.txs))
         self._setup()
         self._schedule_dispatch()
         makespan = self.loop.run()
@@ -286,12 +311,19 @@ class _BlockRun:
                     self.rescues += 1
                     state.status = _Status.READY
                     self.queue.push(state.index)
+                    if self.obs is not None:
+                        self.obs.version_wait_end(self.loop.now, state.index)
+                        self.obs.tx_ready(self.loop.now, state.index,
+                                          attempt=state.attempts + 1)
                     progressed = True
             if not progressed:
                 stuck = [s.index for s in self.states if s.status is not _Status.DONE]
                 raise SchedulingError(f"DMVCC deadlock; stuck transactions: {stuck}")
             self._schedule_dispatch()
             makespan = max(makespan, self.loop.run())
+
+        if self.obs is not None:
+            self.obs.block_end(makespan, makespan=makespan)
 
         receipts = [
             Receipt(index=s.index, result=s.result, attempts=max(s.attempts, 1))
@@ -340,6 +372,11 @@ class _BlockRun:
         )
         if state.attempts == 1:
             self.per_tx[state.index].start_time = now
+        if self.obs is not None:
+            if state.attempts > 1:
+                self.obs.tx_reexecute(now, state.index, attempt=state.attempts)
+            self.obs.tx_start(now, state.index, attempt=state.attempts,
+                              thread=state.thread if state.thread is not None else -1)
         self._advance(state, None)
 
     def _advance(self, state: _TxState, to_send: object) -> None:
@@ -442,6 +479,10 @@ class _BlockRun:
             value = base
         seq.record_read(state.index, resolution.version_from)
         state.registered_reads[key] = value
+        if self.obs is not None:
+            writer = resolution.version_from
+            if writer >= 0 and self.states[writer].status is not _Status.DONE:
+                self.obs.early_read(self.loop.now, state.index, key, writer)
         if self.recorder is not None:
             self._record_read(state, key, resolution, base, speculative)
         return value
@@ -509,7 +550,11 @@ class _BlockRun:
             return
         self._contract_info(state.tx.to)  # ensure bounds cache is populated
         bound = self._release_bounds[state.tx.to].get(event.pc)
-        if not self.ex.release_gas_check(state.csag, event, bound):
+        released = self.ex.release_gas_check(state.csag, event, bound)
+        if self.obs is not None:
+            self.obs.release_point(self.loop.now, state.index, event.pc,
+                                   released, gas_remaining=event.gas_remaining)
+        if not released:
             return  # might still fail past this point: do not release
         # From here on every buffered or future write whose key sees no
         # further predicted write is published as soon as it exists
@@ -562,13 +607,14 @@ class _BlockRun:
             allowed, aborted = seq.version_write(state.index, delta=value)
         state.published[key] = (kind, value)
         self.ever_written[state.index].add(key)
-        self._handle_wake_and_abort(key, allowed, aborted)
+        self._handle_wake_and_abort(key, allowed, aborted, writer=state.index)
 
     def _handle_wake_and_abort(
-        self, key: StateKey, allowed: List[int], aborted: List[int]
+        self, key: StateKey, allowed: List[int], aborted: List[int],
+        writer: int = -1,
     ) -> None:
         for victim in aborted:
-            self._abort(victim, key)
+            self._abort(victim, key, writer=writer)
         seq = self.sequences.sequence(key)
         for index in sorted(set(allowed) | set(aborted)):
             target = self.states[index]
@@ -579,6 +625,12 @@ class _BlockRun:
                         if target.status is _Status.WAITING:
                             target.status = _Status.READY
                             self.queue.push(index)
+                            if self.obs is not None:
+                                now = self.loop.now
+                                self.obs.version_wait_end(
+                                    now, index, key=key, granted_by=writer)
+                                self.obs.tx_ready(
+                                    now, index, attempt=target.attempts + 1)
                             self._schedule_dispatch()
             else:
                 self.locks.grant(index, key)
@@ -608,6 +660,10 @@ class _BlockRun:
                     self._publish(state, key, "delta", delta)
         else:
             self._retract_published(state)
+        if self.obs is not None:
+            self.obs.tx_end(now, state.index, attempt=state.attempts,
+                            success=result.success,
+                            gas_used=result.gas_used)
         if self.recorder is not None:
             self.recorder.complete(state.index, attempt=state.attempts,
                                    success=result.success,
@@ -629,19 +685,22 @@ class _BlockRun:
             entry = seq.entry(state.index)
             if entry is not None and entry.has_write_part and not entry.write_finished:
                 allowed, _ = seq.version_write(state.index, skipped=True)
-                self._handle_wake_and_abort(key, allowed, [])
+                self._handle_wake_and_abort(key, allowed, [], writer=state.index)
         self._schedule_dispatch()
 
     # ------------------------------------------------------------------
     # Abort (Algorithm 4)
     # ------------------------------------------------------------------
 
-    def _abort(self, index: int, trigger_key: StateKey) -> None:
+    def _abort(self, index: int, trigger_key: StateKey, writer: int = -1) -> None:
         state = self.states[index]
         now = self.loop.now
         if self.recorder is not None:
             self.recorder.abort(index, attempt=max(state.attempts, 1),
                                 key=trigger_key)
+        if self.obs is not None:
+            self.obs.tx_abort(now, index, attempt=max(state.attempts, 1),
+                              key=trigger_key, writer=writer)
         if state.status is _Status.READY:
             self.queue.remove(index)
         elif state.status is _Status.RUNNING:
@@ -679,7 +738,13 @@ class _BlockRun:
         if self.locks.refresh(index, self.sequences):
             state.status = _Status.READY
             self.queue.push(index)
+            if self.obs is not None:
+                self.obs.tx_ready(now, index, attempt=state.attempts + 1)
             self._schedule_dispatch()
+        elif self.obs is not None:
+            keys, blockers = self._wait_info(index)
+            self.obs.version_wait_begin(now, index, keys=keys,
+                                        blockers=blockers)
 
     def _retract_published(self, state: _TxState) -> None:
         published = list(state.published)
@@ -696,4 +761,4 @@ class _BlockRun:
                 )
             for victim in victims:
                 if victim != state.index:
-                    self._abort(victim, key)
+                    self._abort(victim, key, writer=state.index)

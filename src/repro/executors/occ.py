@@ -107,6 +107,7 @@ class OCCExecutor(Executor):
         """Execute ``txs`` with optimistic rounds; see Executor."""
         count = len(txs)
         recorder = self.recorder
+        obs = self.obs
         store = _TimedVersionStore(snapshot)
         results: List[Optional[TxResult]] = [None] * count
         read_versions: List[Dict[StateKey, Tuple[int, int]]] = [{} for _ in range(count)]
@@ -116,6 +117,11 @@ class OCCExecutor(Executor):
         needs_execution = list(range(count))
         clock = 0.0
         rounds = 0
+        if obs is not None:
+            obs.block_start(0.0, scheduler=self.name, threads=threads,
+                            tx_count=count)
+            for index in range(count):
+                obs.tx_ready(0.0, index)
 
         while needs_execution:
             rounds += 1
@@ -132,12 +138,19 @@ class OCCExecutor(Executor):
 
             # FIFO thread binding: each transaction starts when a thread
             # frees up and sees only versions published before that instant.
-            thread_heap = [clock] * threads
+            thread_heap = [(clock, tid) for tid in range(threads)]
             heapq.heapify(thread_heap)
             round_end = clock
             for index in needs_execution:
-                start = heapq.heappop(thread_heap)
+                start, tid = heapq.heappop(thread_heap)
                 attempts[index] += 1
+                if obs is not None:
+                    if attempts[index] > 1:
+                        obs.version_wait_end(clock, index)
+                        obs.tx_reexecute(clock, index, attempt=attempts[index])
+                        obs.tx_ready(clock, index, attempt=attempts[index])
+                    obs.tx_start(start, index, attempt=attempts[index],
+                                 thread=tid)
                 result, writes, reads = _speculative_run(
                     txs[index], index, store, code_resolver, block, before=start,
                     recorder=recorder, attempt=attempts[index],
@@ -147,6 +160,10 @@ class OCCExecutor(Executor):
                 read_versions[index] = reads
                 write_keys[index] = set(writes)
                 store.publish(index, writes, time=end)
+                if obs is not None:
+                    obs.tx_end(end, index, attempt=attempts[index],
+                               success=result.success,
+                               gas_used=result.gas_used)
                 if recorder is not None:
                     for key, value in writes.items():
                         recorder.publish(index, key, "abs", value)
@@ -155,7 +172,7 @@ class OCCExecutor(Executor):
                                       gas_used=result.gas_used)
                 per_tx[index].start_time = start
                 per_tx[index].end_time = end
-                heapq.heappush(thread_heap, end)
+                heapq.heappush(thread_heap, (end, tid))
                 round_end = max(round_end, end)
             clock = round_end
 
@@ -164,13 +181,28 @@ class OCCExecutor(Executor):
             # marks the reader stale.
             needs_execution = []
             for index in range(count):
-                stale = any(
-                    store.read(key, index) != observed
-                    for key, observed in read_versions[index].items()
-                )
-                if stale:
+                conflict_key = None
+                conflict_writer = SNAPSHOT_WRITER
+                for key, observed in read_versions[index].items():
+                    current = store.read(key, index)
+                    if current != observed:
+                        conflict_key = key
+                        conflict_writer = current[1]
+                        break
+                if conflict_key is not None:
                     if recorder is not None:
                         recorder.abort(index, attempt=attempts[index])
+                    if obs is not None:
+                        # The stale transaction waits out the round barrier
+                        # from the end of its doomed attempt: back-date the
+                        # version-wait so the wasted span is visible.
+                        obs.tx_abort(clock, index, attempt=attempts[index],
+                                     key=conflict_key, writer=conflict_writer)
+                        obs.version_wait_begin(
+                            per_tx[index].end_time, index,
+                            keys=(conflict_key,),
+                            blockers=(conflict_writer,),
+                        )
                     needs_execution.append(index)
 
         receipts = [
@@ -182,6 +214,9 @@ class OCCExecutor(Executor):
             per_tx[i].aborted_times = attempts[i] - 1
             per_tx[i].gas_used = results[i].gas_used  # type: ignore[union-attr]
             per_tx[i].succeeded = results[i].success  # type: ignore[union-attr]
+
+        if obs is not None:
+            obs.block_end(clock, makespan=clock)
 
         metrics = self._base_metrics(threads, receipts)
         metrics.makespan = clock

@@ -98,8 +98,15 @@ class SerialExecutor(Executor):
         receipts: List[Receipt] = []
         clock = 0.0
         recorder = self.recorder
+        obs = self.obs
         versions: Dict[StateKey, int] = {}  # key -> last committed writer
+        if obs is not None:
+            obs.block_start(0.0, scheduler=self.name, threads=1,
+                            tx_count=len(txs))
         for index, tx in enumerate(txs):
+            if obs is not None:
+                obs.tx_ready(clock, index)
+                obs.tx_start(clock, index, thread=0)
             result, writes = run_tx_serially(
                 tx, overlay, code_resolver, block,
                 recorder=recorder, index=index, versions=versions,
@@ -107,12 +114,17 @@ class SerialExecutor(Executor):
             overlay.apply(writes)
             clock += result.gas_used * self.gas_time_scale
             receipts.append(Receipt(index=index, result=result))
+            if obs is not None:
+                obs.tx_end(clock, index, success=result.success,
+                           gas_used=result.gas_used)
             if recorder is not None:
                 for key, value in writes.items():
                     recorder.publish(index, key, "abs", value)
                 recorder.complete(index, success=result.success,
                                   gas_used=result.gas_used)
                 versions.update((key, index) for key in writes)
+        if obs is not None:
+            obs.block_end(clock, makespan=clock)
 
         metrics = self._base_metrics(threads=1, receipts=receipts)
         metrics.makespan = clock

@@ -1,0 +1,223 @@
+"""Abort attribution and hot-key contention ranking.
+
+Every abort the schedulers emit names its trigger: the state key whose
+conflicting version was observed, the writer transaction that produced the
+version, and the reader transaction that was killed.  This module folds
+those triples — together with version-wait occurrences, early reads, and
+commutative merges — into a per-key contention profile, answering "which
+state item caused that abort storm?" with an actual storage slot, not a
+speedup number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.types import Address, StateKey
+from .events import (
+    CommutativeMerge,
+    EarlyReadServed,
+    ObsEvent,
+    TxAbort,
+    VersionWaitBegin,
+    VersionWaitEnd,
+)
+
+Namer = Callable[[Address], Optional[str]]
+
+
+@dataclass(frozen=True)
+class AbortRecord:
+    """One attributed abort: ``writer``'s version of ``key`` killed
+    ``reader``'s ``attempt``."""
+
+    ts: float
+    reader: int
+    writer: int
+    key: Optional[StateKey]
+    attempt: int
+
+
+@dataclass
+class KeyContention:
+    """Aggregate contention profile of one state item."""
+
+    key: StateKey
+    aborts: int = 0
+    wait_count: int = 0          # version-waits that named this key
+    wait_time: float = 0.0       # total duration of those waits
+    early_reads: int = 0
+    merges: int = 0
+    writers: Set[int] = field(default_factory=set)
+    readers: Set[int] = field(default_factory=set)
+
+    @property
+    def score(self) -> Tuple[int, float, int]:
+        return (self.aborts, self.wait_time, self.wait_count)
+
+
+def contract_namer(db) -> Namer:
+    """A :class:`Namer` backed by a StateDB's code registry (contracts get
+    the human name they were deployed under)."""
+
+    def name_of(address: Address) -> Optional[str]:
+        meta = db.codes.get(address)
+        if meta is not None and meta.name:
+            return meta.name
+        return None
+
+    return name_of
+
+
+def format_key(key: StateKey, name_of: Optional[Namer] = None) -> str:
+    """Short, human-readable identity of a state item."""
+    name = name_of(key.address) if name_of is not None else None
+    if name is None:
+        text = str(key.address)
+        name = text[:8] + "…" + text[-4:]
+    if key.is_balance:
+        return f"{name}.balance"
+    if key.is_nonce:
+        return f"{name}.nonce"
+    return f"{name}[{key.slot:#x}]"
+
+
+class AbortAttribution:
+    """Fold an event stream into abort records and per-key contention."""
+
+    def __init__(self) -> None:
+        self.aborts: List[AbortRecord] = []
+        self.contention: Dict[StateKey, KeyContention] = {}
+        self._open_waits: Dict[int, Tuple[float, Tuple[StateKey, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Iterable[ObsEvent]) -> "AbortAttribution":
+        attribution = cls()
+        for event in events:
+            attribution.feed(event)
+        attribution.finish()
+        return attribution
+
+    def _key_stats(self, key: StateKey) -> KeyContention:
+        stats = self.contention.get(key)
+        if stats is None:
+            stats = KeyContention(key=key)
+            self.contention[key] = stats
+        return stats
+
+    def feed(self, event: ObsEvent) -> None:
+        if isinstance(event, TxAbort):
+            self.aborts.append(AbortRecord(
+                ts=event.ts, reader=event.tx, writer=event.writer,
+                key=event.key, attempt=event.attempt,
+            ))
+            if event.key is not None:
+                stats = self._key_stats(event.key)
+                stats.aborts += 1
+                stats.readers.add(event.tx)
+                if event.writer >= 0:
+                    stats.writers.add(event.writer)
+        elif isinstance(event, VersionWaitBegin):
+            self._open_waits[event.tx] = (event.ts, event.keys)
+            for key in event.keys:
+                stats = self._key_stats(key)
+                stats.wait_count += 1
+                stats.readers.add(event.tx)
+                for blocker in event.blockers:
+                    if blocker >= 0:
+                        stats.writers.add(blocker)
+        elif isinstance(event, VersionWaitEnd):
+            opened = self._open_waits.pop(event.tx, None)
+            if opened is not None:
+                since, keys = opened
+                duration = max(event.ts - since, 0.0)
+                for key in keys:
+                    self._key_stats(key).wait_time += duration
+        elif isinstance(event, EarlyReadServed) and event.key is not None:
+            self._key_stats(event.key).early_reads += 1
+        elif isinstance(event, CommutativeMerge) and event.key is not None:
+            self._key_stats(event.key).merges += 1
+
+    def finish(self, end_of_stream: Optional[float] = None) -> None:
+        """Close version-waits still open when the stream ended (an abort
+        may terminate a wait without a matching end marker)."""
+        if end_of_stream is None:
+            end_of_stream = max(
+                (r.ts for r in self.aborts), default=0.0
+            )
+        for since, keys in self._open_waits.values():
+            duration = max(end_of_stream - since, 0.0)
+            for key in keys:
+                self._key_stats(key).wait_time += duration
+        self._open_waits.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def abort_count(self) -> int:
+        return len(self.aborts)
+
+    def hot_keys(self, top: int = 10) -> List[KeyContention]:
+        """Most contended keys, ranked by aborts then wait time."""
+        ranked = sorted(
+            self.contention.values(),
+            key=lambda s: (s.score, str(s.key)),
+            reverse=True,
+        )
+        interesting = [
+            s for s in ranked
+            if s.aborts or s.wait_count or s.early_reads or s.merges
+        ]
+        return interesting[:top]
+
+    def pairs(self) -> List[Tuple[int, int, Optional[StateKey], int]]:
+        """Distinct (writer, reader, key, count) abort edges."""
+        counts: Dict[Tuple[int, int, Optional[StateKey]], int] = {}
+        for record in self.aborts:
+            edge = (record.writer, record.reader, record.key)
+            counts[edge] = counts.get(edge, 0) + 1
+        return sorted(
+            ((w, r, k, n) for (w, r, k), n in counts.items()),
+            key=lambda e: (-e[3], e[0], e[1]),
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def format_table(
+        self,
+        name_of: Optional[Namer] = None,
+        top: int = 10,
+        title: str = "abort attribution",
+    ) -> str:
+        hot = self.hot_keys(top)
+        lines = [
+            f"{title}: {self.abort_count} abort(s) across "
+            f"{sum(1 for s in self.contention.values() if s.aborts)} key(s)"
+        ]
+        if not hot:
+            lines.append("  (no contention recorded)")
+            return "\n".join(lines)
+        header = (
+            f"  {'key':<38} {'aborts':>6} {'waits':>6} {'wait-time':>10} "
+            f"{'early':>6} {'merges':>7}  writers→readers"
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for stats in hot:
+            writers = ",".join(f"T{w}" for w in sorted(stats.writers)[:4]) or "-"
+            readers = ",".join(f"T{r}" for r in sorted(stats.readers)[:4]) or "-"
+            lines.append(
+                f"  {format_key(stats.key, name_of):<38} {stats.aborts:>6} "
+                f"{stats.wait_count:>6} {stats.wait_time:>10,.0f} "
+                f"{stats.early_reads:>6} {stats.merges:>7}  {writers}→{readers}"
+            )
+        return "\n".join(lines)

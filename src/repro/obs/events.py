@@ -1,0 +1,351 @@
+"""Structured execution-event bus: the raw material of observability.
+
+Every scheduler-relevant moment of a block execution — a transaction
+binding to a thread, a version wait beginning, a lock being granted, a
+release point publishing early writes — is emitted as one typed, timestamped
+event onto an :class:`EventBus`.  Timestamps are *simulated* time (gas
+units, the same clock :mod:`repro.sim.clock` runs on), so traces line up
+exactly with the makespans and speedups the benchmarks report.
+
+The bus is deliberately passive: an append-only list plus a monotonically
+increasing sequence number.  All interpretation (span pairing, wait-time
+decomposition, abort attribution) lives in :mod:`repro.obs.timeline` and
+:mod:`repro.obs.attribution`.
+
+Disabled-path cost
+------------------
+Executors keep ``self.obs = None`` by default and guard every hook with a
+single ``is not None`` branch, exactly like the ``repro.verify`` trace
+recorder.  Components that prefer an unconditional attribute (the thread
+pool, the lock table) may hold :data:`NULL_BUS` instead — a
+:class:`NullSink` whose emit methods are all no-ops — so either way the
+hot path pays about one branch when observability is off.
+
+Version identifiers follow the access-sequence convention: a writer is the
+block index of the transaction that produced the version, ``-1`` is the
+pre-block snapshot, and ``-2`` means "unknown writer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Type, TypeVar
+
+from ..core.types import StateKey
+
+SNAPSHOT_WRITER = -1
+UNKNOWN_WRITER = -2
+
+E = TypeVar("E", bound="ObsEvent")
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """Base event: ``seq`` totally orders the stream within one bus,
+    ``ts`` is the simulated time, ``tx`` the block index of the transaction
+    the event belongs to (``-1`` for block/thread-level events)."""
+
+    seq: int
+    ts: float
+    tx: int
+
+
+# ---------------------------------------------------------------------------
+# Block / thread lifecycle
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BlockStart(ObsEvent):
+    scheduler: str = ""
+    threads: int = 1
+    tx_count: int = 0
+
+
+@dataclass(frozen=True)
+class BlockEnd(ObsEvent):
+    makespan: float = 0.0
+
+
+@dataclass(frozen=True)
+class ThreadOccupied(ObsEvent):
+    """A simulated thread was claimed (``tx`` is -1; ``thread`` identifies
+    the slot, ``label`` whatever the occupier passed to the pool)."""
+
+    thread: int = -1
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ThreadReleased(ObsEvent):
+    thread: int = -1
+
+
+# ---------------------------------------------------------------------------
+# Transaction lifecycle
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TxReady(ObsEvent):
+    """The transaction joined the ready queue: queue-wait begins."""
+
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class TxStart(ObsEvent):
+    """The transaction bound to a simulated thread: execution begins."""
+
+    attempt: int = 1
+    thread: int = -1
+
+
+@dataclass(frozen=True)
+class TxEnd(ObsEvent):
+    """An attempt ran to completion (only the last TxEnd per transaction
+    describes the committed outcome)."""
+
+    attempt: int = 1
+    success: bool = True
+    gas_used: int = 0
+
+
+@dataclass(frozen=True)
+class TxAbort(ObsEvent):
+    """The scheduler killed attempt ``attempt``.  ``key`` is the state item
+    whose conflicting version triggered the abort and ``writer`` the
+    transaction that produced that version (the attribution triple)."""
+
+    attempt: int = 1
+    key: Optional[StateKey] = None
+    writer: int = UNKNOWN_WRITER
+
+
+@dataclass(frozen=True)
+class TxReexecute(ObsEvent):
+    """An aborted transaction re-entered the scheduler for ``attempt``."""
+
+    attempt: int = 2
+
+
+# ---------------------------------------------------------------------------
+# Waits
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VersionWaitBegin(ObsEvent):
+    """The transaction is stalled because the versions it must read do not
+    exist yet; ``keys`` are the unresolvable items, ``blockers`` the
+    unfinished writers they wait on."""
+
+    keys: Tuple[StateKey, ...] = ()
+    blockers: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class VersionWaitEnd(ObsEvent):
+    """The last missing version became available; ``granted_by`` is the
+    writer whose publish unblocked the transaction (``key`` the item)."""
+
+    key: Optional[StateKey] = None
+    granted_by: int = SNAPSHOT_WRITER
+
+
+@dataclass(frozen=True)
+class LockWaitBegin(ObsEvent):
+    """The transaction is stalled behind conflict locks (a DAG-style
+    dependency wait); ``holders`` are the predecessors it waits for."""
+
+    holders: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class LockWaitEnd(ObsEvent):
+    pass
+
+
+@dataclass(frozen=True)
+class LockAcquire(ObsEvent):
+    """The transaction gained the lock of ``key`` (the version it must
+    read became available — the paper's lock-table grant)."""
+
+    key: Optional[StateKey] = None
+
+
+@dataclass(frozen=True)
+class LockRelease(ObsEvent):
+    key: Optional[StateKey] = None
+
+
+# ---------------------------------------------------------------------------
+# DMVCC protocol moments
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReleasePointReached(ObsEvent):
+    """Execution crossed a release point; ``released`` says whether the gas
+    check allowed early publication from here on."""
+
+    pc: int = 0
+    released: bool = False
+    gas_remaining: int = 0
+
+
+@dataclass(frozen=True)
+class EarlyReadServed(ObsEvent):
+    """A read was served a version whose writer had not completed yet —
+    early-write visibility doing its job."""
+
+    key: Optional[StateKey] = None
+    writer: int = UNKNOWN_WRITER
+
+
+@dataclass(frozen=True)
+class CommutativeMerge(ObsEvent):
+    """A commutative delta was merged into an access sequence as its own
+    write version (ω̄)."""
+
+    key: Optional[StateKey] = None
+    delta: int = 0
+
+
+class EventBus:
+    """Append-only, sequence-numbered sink of :class:`ObsEvent`."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[ObsEvent] = []
+        self._seq = 0
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ObsEvent]:
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._seq = 0
+
+    def of_type(self, kind: Type[E]) -> List[E]:
+        return [e for e in self.events if isinstance(e, kind)]
+
+    def of_tx(self, tx: int) -> List[ObsEvent]:
+        return [e for e in self.events if e.tx == tx]
+
+    def _next(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    # -- emit methods (one per event type) ----------------------------------
+
+    def block_start(self, ts: float, scheduler: str, threads: int,
+                    tx_count: int) -> None:
+        self.events.append(
+            BlockStart(self._next(), ts, -1, scheduler, threads, tx_count))
+
+    def block_end(self, ts: float, makespan: float) -> None:
+        self.events.append(BlockEnd(self._next(), ts, -1, makespan))
+
+    def thread_occupied(self, ts: float, thread: int, label: str = "") -> None:
+        self.events.append(ThreadOccupied(self._next(), ts, -1, thread, label))
+
+    def thread_released(self, ts: float, thread: int) -> None:
+        self.events.append(ThreadReleased(self._next(), ts, -1, thread))
+
+    def tx_ready(self, ts: float, tx: int, attempt: int = 1) -> None:
+        self.events.append(TxReady(self._next(), ts, tx, attempt))
+
+    def tx_start(self, ts: float, tx: int, attempt: int = 1,
+                 thread: int = -1) -> None:
+        self.events.append(TxStart(self._next(), ts, tx, attempt, thread))
+
+    def tx_end(self, ts: float, tx: int, attempt: int = 1,
+               success: bool = True, gas_used: int = 0) -> None:
+        self.events.append(
+            TxEnd(self._next(), ts, tx, attempt, success, gas_used))
+
+    def tx_abort(self, ts: float, tx: int, attempt: int = 1,
+                 key: Optional[StateKey] = None,
+                 writer: int = UNKNOWN_WRITER) -> None:
+        self.events.append(TxAbort(self._next(), ts, tx, attempt, key, writer))
+
+    def tx_reexecute(self, ts: float, tx: int, attempt: int = 2) -> None:
+        self.events.append(TxReexecute(self._next(), ts, tx, attempt))
+
+    def version_wait_begin(self, ts: float, tx: int,
+                           keys: Tuple[StateKey, ...] = (),
+                           blockers: Tuple[int, ...] = ()) -> None:
+        self.events.append(
+            VersionWaitBegin(self._next(), ts, tx, keys, blockers))
+
+    def version_wait_end(self, ts: float, tx: int,
+                         key: Optional[StateKey] = None,
+                         granted_by: int = SNAPSHOT_WRITER) -> None:
+        self.events.append(
+            VersionWaitEnd(self._next(), ts, tx, key, granted_by))
+
+    def lock_wait_begin(self, ts: float, tx: int,
+                        holders: Tuple[int, ...] = ()) -> None:
+        self.events.append(LockWaitBegin(self._next(), ts, tx, holders))
+
+    def lock_wait_end(self, ts: float, tx: int) -> None:
+        self.events.append(LockWaitEnd(self._next(), ts, tx))
+
+    def lock_acquire(self, ts: float, tx: int, key: StateKey) -> None:
+        self.events.append(LockAcquire(self._next(), ts, tx, key))
+
+    def lock_release(self, ts: float, tx: int, key: StateKey) -> None:
+        self.events.append(LockRelease(self._next(), ts, tx, key))
+
+    def release_point(self, ts: float, tx: int, pc: int, released: bool,
+                      gas_remaining: int = 0) -> None:
+        self.events.append(ReleasePointReached(
+            self._next(), ts, tx, pc, released, gas_remaining))
+
+    def early_read(self, ts: float, tx: int, key: StateKey,
+                   writer: int) -> None:
+        self.events.append(EarlyReadServed(self._next(), ts, tx, key, writer))
+
+    def commutative_merge(self, ts: float, tx: int, key: StateKey,
+                          delta: int) -> None:
+        self.events.append(CommutativeMerge(self._next(), ts, tx, key, delta))
+
+    def summary(self) -> str:
+        counts = {}
+        for event in self.events:
+            name = type(event).__name__
+            counts[name] = counts.get(name, 0) + 1
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        return f"EventBus({len(self.events)} events: {inner})"
+
+
+class NullSink(EventBus):
+    """The disabled bus: every emit is a no-op and nothing is stored."""
+
+    enabled = False
+
+    def block_start(self, *args, **kwargs) -> None: pass
+    def block_end(self, *args, **kwargs) -> None: pass
+    def thread_occupied(self, *args, **kwargs) -> None: pass
+    def thread_released(self, *args, **kwargs) -> None: pass
+    def tx_ready(self, *args, **kwargs) -> None: pass
+    def tx_start(self, *args, **kwargs) -> None: pass
+    def tx_end(self, *args, **kwargs) -> None: pass
+    def tx_abort(self, *args, **kwargs) -> None: pass
+    def tx_reexecute(self, *args, **kwargs) -> None: pass
+    def version_wait_begin(self, *args, **kwargs) -> None: pass
+    def version_wait_end(self, *args, **kwargs) -> None: pass
+    def lock_wait_begin(self, *args, **kwargs) -> None: pass
+    def lock_wait_end(self, *args, **kwargs) -> None: pass
+    def lock_acquire(self, *args, **kwargs) -> None: pass
+    def lock_release(self, *args, **kwargs) -> None: pass
+    def release_point(self, *args, **kwargs) -> None: pass
+    def early_read(self, *args, **kwargs) -> None: pass
+    def commutative_merge(self, *args, **kwargs) -> None: pass
+
+
+NULL_BUS = NullSink()

@@ -1,0 +1,203 @@
+"""Trace export: Chrome trace-event JSON and ASCII Gantt rendering.
+
+``build_chrome_trace`` turns reconstructed :class:`~repro.obs.timeline.Timeline`
+objects into the Trace Event Format that ``chrome://tracing`` and Perfetto
+(https://ui.perfetto.dev) load directly: one *process* per profiled
+section (scheduler × run), one *thread* row per simulated thread for the
+execution spans, and one extra row per transaction for its wait spans, so
+the four wait categories are visible as coloured blocks alongside the
+schedule.  One simulated gas unit maps to one microsecond of trace time.
+
+``render_gantt_ascii`` draws the same schedule in the terminal; it accepts
+exactly the chart shape :meth:`repro.sim.threadpool.ThreadPool.gantt` and
+:meth:`repro.obs.timeline.Timeline.gantt` produce.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .events import (
+    CommutativeMerge,
+    EarlyReadServed,
+    LockAcquire,
+    ReleasePointReached,
+    TxAbort,
+)
+from .timeline import EXEC, Timeline
+
+# tid layout inside one trace process: simulated threads use their own
+# index; per-transaction wait lanes start here (tx index is added).
+WAIT_LANE_BASE = 1_000
+
+
+def _meta(pid: int, name: str, tid: Optional[int] = None) -> dict:
+    event = {
+        "ph": "M",
+        "pid": pid,
+        "name": "process_name" if tid is None else "thread_name",
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def chrome_trace_events(
+    timeline: Timeline,
+    pid: int = 0,
+    label: str = "",
+    ts_offset: float = 0.0,
+) -> List[dict]:
+    """Flatten one timeline into trace-event dicts under process ``pid``.
+
+    ``ts_offset`` shifts every timestamp, so consecutive blocks of one
+    scheduler can be laid out back-to-back on a shared time axis.
+    """
+    name = label or timeline.scheduler
+    out: List[dict] = [_meta(pid, name)]
+    for thread in range(timeline.threads):
+        out.append(_meta(pid, f"cpu {thread}", tid=thread))
+
+    wait_lanes = set()
+    for span in timeline.spans:
+        if span.category == EXEC:
+            tid = span.thread if span.thread is not None and span.thread >= 0 else 0
+        else:
+            tid = WAIT_LANE_BASE + span.tx
+            wait_lanes.add(span.tx)
+        args = {"tx": span.tx, "attempt": span.attempt}
+        if span.note:
+            args["note"] = span.note
+        if span.keys:
+            args["keys"] = [str(k) for k in span.keys]
+        if span.cause is not None:
+            args["cause_tx"] = span.cause
+        out.append({
+            "name": f"T{span.tx} {span.category}",
+            "cat": span.category,
+            "ph": "X",
+            "ts": ts_offset + span.start,
+            "dur": max(span.duration, 0.0),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+
+    for event in timeline.events:
+        marker = _instant_marker(event)
+        if marker is None:
+            continue
+        marker_name, category, args = marker
+        tid = WAIT_LANE_BASE + event.tx if event.tx >= 0 else 0
+        wait_lanes.add(event.tx if event.tx >= 0 else -1)
+        out.append({
+            "name": marker_name,
+            "cat": category,
+            "ph": "i",
+            "s": "t",
+            "ts": ts_offset + event.ts,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+
+    for tx in sorted(lane for lane in wait_lanes if lane >= 0):
+        out.append(_meta(pid, f"T{tx} waits", tid=WAIT_LANE_BASE + tx))
+    return out
+
+
+def _instant_marker(event) -> Optional[Tuple[str, str, dict]]:
+    """Map protocol moments to instant markers (name, category, args)."""
+    if isinstance(event, TxAbort):
+        args = {"attempt": event.attempt, "writer": event.writer}
+        if event.key is not None:
+            args["key"] = str(event.key)
+        return f"abort T{event.tx}", "abort", args
+    if isinstance(event, ReleasePointReached):
+        return (
+            f"release-point pc={event.pc}",
+            "release-point",
+            {"released": event.released, "gas_remaining": event.gas_remaining},
+        )
+    if isinstance(event, EarlyReadServed):
+        return (
+            f"early-read T{event.writer}→T{event.tx}",
+            "early-read",
+            {"key": str(event.key), "writer": event.writer},
+        )
+    if isinstance(event, CommutativeMerge):
+        return (
+            f"ω̄ merge T{event.tx}",
+            "commutative-merge",
+            {"key": str(event.key), "delta": event.delta},
+        )
+    if isinstance(event, LockAcquire):
+        return (
+            f"lock T{event.tx}",
+            "lock-acquire",
+            {"key": str(event.key)},
+        )
+    return None
+
+
+def build_chrome_trace(
+    sections: Sequence[Tuple[str, Timeline, float]],
+    metadata: Optional[dict] = None,
+) -> dict:
+    """Assemble a complete Chrome trace document.
+
+    ``sections`` is a list of ``(label, timeline, ts_offset)``; each becomes
+    one process in the trace viewer.
+    """
+    trace_events: List[dict] = []
+    for pid, (label, timeline, offset) in enumerate(sections):
+        trace_events.extend(
+            chrome_trace_events(timeline, pid=pid, label=label, ts_offset=offset)
+        )
+    document = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated gas units (1 gas = 1 µs)"},
+    }
+    if metadata:
+        document["otherData"].update(metadata)
+    return document
+
+
+def write_chrome_trace(path: str, document: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+
+
+def render_gantt_ascii(
+    chart: Dict[int, List[Tuple[float, float, str]]],
+    makespan: float,
+    width: int = 72,
+    max_threads: int = 16,
+    title: str = "",
+) -> str:
+    """ASCII Gantt chart from a ``ThreadPool.gantt()``-shaped chart."""
+    lines = [title] if title else []
+    if makespan <= 0 or not any(chart.values()):
+        lines.append("(empty schedule)")
+        return "\n".join(lines)
+    scale = width / makespan
+    shown = 0
+    for thread in sorted(chart):
+        if shown >= max_threads:
+            lines.append(f"  … {len(chart) - max_threads} more threads")
+            break
+        shown += 1
+        row = [" "] * width
+        for start, end, label in chart[thread]:
+            left = min(int(start * scale), width - 1)
+            right = min(max(int(end * scale), left + 1), width)
+            span = right - left
+            body = (label + "─" * span)[: span - 1] if span > 1 else ""
+            row[left:right] = list(("[" + body)[:span])
+            if span > 1:
+                row[right - 1] = "]"
+        lines.append(f"  t{thread:<2d} |{''.join(row)}|")
+    return "\n".join(lines)

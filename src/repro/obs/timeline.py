@@ -1,0 +1,347 @@
+"""Timeline reconstruction: from an event stream to spans and waits.
+
+``build_timeline`` pairs the begin/end markers an executor emitted into
+per-transaction *spans*, each labelled with one of four categories:
+
+* ``exec``         — occupying a simulated thread (start → end/abort);
+* ``queue-wait``   — ready to run but no idle thread (ready → start);
+* ``version-wait`` — stalled because a version it must read has not been
+  published yet (DMVCC lock-table waits, OCC round-barrier waits after a
+  stale validation);
+* ``lock-wait``    — stalled behind conflict locks with no versioning to
+  relax them (the DAG executor's dependency waits).
+
+The resulting :class:`Timeline` offers the wait-time decomposition
+(:meth:`Timeline.breakdown`), a ``ThreadPool.gantt()``-shaped per-thread
+chart (:meth:`Timeline.gantt`), and critical-path extraction
+(:meth:`Timeline.critical_path`): the chain of transactions whose waits and
+executions bound the block's makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.types import StateKey
+from .events import (
+    BlockEnd,
+    BlockStart,
+    EventBus,
+    LockWaitBegin,
+    LockWaitEnd,
+    ObsEvent,
+    SNAPSHOT_WRITER,
+    TxAbort,
+    TxEnd,
+    TxReady,
+    TxStart,
+    VersionWaitBegin,
+    VersionWaitEnd,
+)
+
+EXEC = "exec"
+QUEUE_WAIT = "queue-wait"
+VERSION_WAIT = "version-wait"
+LOCK_WAIT = "lock-wait"
+CATEGORIES = (EXEC, QUEUE_WAIT, VERSION_WAIT, LOCK_WAIT)
+
+
+@dataclass
+class Span:
+    """One contiguous phase of one transaction's life."""
+
+    tx: int
+    category: str
+    start: float
+    end: float
+    attempt: int = 1
+    thread: Optional[int] = None       # exec spans only
+    note: str = ""                     # e.g. "aborted"
+    keys: Tuple[StateKey, ...] = ()    # waited-on items (version-wait)
+    cause: Optional[int] = None        # tx that ended the wait / holders' max
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TxTimeline:
+    """All spans of one transaction, in start order."""
+
+    index: int
+    spans: List[Span] = field(default_factory=list)
+    attempts: int = 1
+    aborts: int = 0
+    success: bool = True
+
+    def total(self, category: str) -> float:
+        return sum(s.duration for s in self.spans if s.category == category)
+
+    @property
+    def first_event(self) -> float:
+        return min((s.start for s in self.spans), default=0.0)
+
+    @property
+    def completed_at(self) -> float:
+        return max((s.end for s in self.spans), default=0.0)
+
+
+@dataclass
+class CriticalStep:
+    """One link of the critical path: ``tx`` was on the block's longest
+    dependency chain from ``start`` to ``end``; ``via`` says what tied it
+    to the previous link (the transaction that enabled it)."""
+
+    tx: int
+    start: float
+    end: float
+    via: str = "block start"
+    via_tx: Optional[int] = None
+
+
+@dataclass
+class Timeline:
+    """A reconstructed block execution."""
+
+    scheduler: str = "?"
+    threads: int = 1
+    tx_count: int = 0
+    makespan: float = 0.0
+    txs: Dict[int, TxTimeline] = field(default_factory=dict)
+    events: List[ObsEvent] = field(default_factory=list)
+
+    @property
+    def spans(self) -> List[Span]:
+        out: List[Span] = []
+        for tl in self.txs.values():
+            out.extend(tl.spans)
+        out.sort(key=lambda s: (s.start, s.tx))
+        return out
+
+    def breakdown(self) -> Dict[str, float]:
+        """Total simulated time per category, summed over transactions."""
+        totals = {category: 0.0 for category in CATEGORIES}
+        for tl in self.txs.values():
+            for category in CATEGORIES:
+                totals[category] += tl.total(category)
+        return totals
+
+    def gantt(self) -> Dict[int, List[Tuple[float, float, str]]]:
+        """Per-thread ``(start, end, label)`` chart — the same shape as
+        :meth:`repro.sim.threadpool.ThreadPool.gantt`."""
+        chart: Dict[int, List[Tuple[float, float, str]]] = {
+            t: [] for t in range(self.threads)
+        }
+        for span in self.spans:
+            if span.category != EXEC or span.thread is None:
+                continue
+            label = f"T{span.tx}"
+            if span.note == "aborted":
+                label += "!"
+            chart.setdefault(span.thread, []).append(
+                (span.start, span.end, label))
+        for lane in chart.values():
+            lane.sort()
+        return chart
+
+    # ------------------------------------------------------------------
+    # Critical path
+    # ------------------------------------------------------------------
+
+    def critical_path(self, max_steps: int = 64) -> List[CriticalStep]:
+        """Walk backwards from the last-finishing transaction, at each hop
+        following the wait that delayed it: a version-wait leads to the
+        writer that granted the version, a lock-wait to its last-finishing
+        holder, a queue-wait to the transaction whose completion freed the
+        thread.  Deterministic, heuristic (documented in
+        docs/OBSERVABILITY.md), and bounded by ``max_steps``."""
+        if not self.txs:
+            return []
+        current: Optional[int] = max(
+            self.txs, key=lambda i: (self.txs[i].completed_at, i)
+        )
+        steps: List[CriticalStep] = []
+        visited = set()
+        while current is not None and current not in visited and len(steps) < max_steps:
+            visited.add(current)
+            tl = self.txs[current]
+            via, via_tx = self._enabler_of(tl)
+            steps.append(CriticalStep(
+                tx=current, start=tl.first_event, end=tl.completed_at,
+                via=via, via_tx=via_tx,
+            ))
+            current = via_tx
+        steps.reverse()
+        return steps
+
+    def _enabler_of(self, tl: TxTimeline) -> Tuple[str, Optional[int]]:
+        """What released this transaction into its final execution?"""
+        final_exec: Optional[Span] = None
+        for span in tl.spans:
+            if span.category == EXEC:
+                if final_exec is None or span.start > final_exec.start:
+                    final_exec = span
+        if final_exec is None:
+            return "block start", None
+        # The latest wait ending at or before the final exec start.
+        best: Optional[Span] = None
+        for span in tl.spans:
+            if span.category == EXEC or span.end > final_exec.start + 1e-9:
+                continue
+            if best is None or span.end > best.end or (
+                span.end == best.end and span.start < best.start
+            ):
+                best = span
+        if best is None or best.duration <= 1e-9:
+            return "block start", None
+        if best.category == VERSION_WAIT:
+            cause = best.cause
+            keys = ", ".join(str(k) for k in best.keys[:2])
+            if cause is not None and cause >= 0:
+                return f"version-wait on {keys or '?'} granted by T{cause}", cause
+            return f"version-wait on {keys or '?'}", None
+        if best.category == LOCK_WAIT:
+            cause = best.cause
+            if cause is not None and cause >= 0:
+                return f"lock-wait behind T{cause}", cause
+            return "lock-wait", None
+        if best.category == QUEUE_WAIT:
+            blocker = self._freed_thread_at(final_exec.thread, final_exec.start, tl.index)
+            if blocker is not None:
+                return f"queue-wait behind T{blocker}", blocker
+            return "queue-wait", None
+        return "block start", None
+
+    def _freed_thread_at(self, thread: Optional[int], when: float,
+                         exclude: int) -> Optional[int]:
+        """Which transaction's exec span ended on ``thread`` at ``when``?"""
+        if thread is None:
+            return None
+        for tx_index, tl in self.txs.items():
+            if tx_index == exclude:
+                continue
+            for span in tl.spans:
+                if (span.category == EXEC and span.thread == thread
+                        and abs(span.end - when) <= 1e-9):
+                    return tx_index
+        return None
+
+
+class _OpenMark:
+    """Builder bookkeeping: one open (unclosed) span."""
+
+    __slots__ = ("since", "attempt", "thread", "keys", "blockers")
+
+    def __init__(self, since, attempt=1, thread=None, keys=(), blockers=()):
+        self.since = since
+        self.attempt = attempt
+        self.thread = thread
+        self.keys = keys
+        self.blockers = blockers
+
+
+def build_timeline(bus: EventBus) -> Timeline:
+    """Reconstruct a :class:`Timeline` from one block's event stream.
+
+    Tolerant by construction: an end marker without a begin is ignored, and
+    spans still open when the stream ends are closed at the final
+    timestamp.
+    """
+    timeline = Timeline(events=list(bus.events))
+    open_queue: Dict[int, _OpenMark] = {}
+    open_exec: Dict[int, _OpenMark] = {}
+    open_vwait: Dict[int, _OpenMark] = {}
+    open_lwait: Dict[int, _OpenMark] = {}
+    max_ts = 0.0
+
+    def tx_timeline(index: int) -> TxTimeline:
+        tl = timeline.txs.get(index)
+        if tl is None:
+            tl = TxTimeline(index=index)
+            timeline.txs[index] = tl
+        return tl
+
+    def close(index: int, marks: Dict[int, _OpenMark], category: str,
+              end: float, note: str = "", cause: Optional[int] = None) -> None:
+        mark = marks.pop(index, None)
+        if mark is None:
+            return
+        tx_timeline(index).spans.append(Span(
+            tx=index, category=category, start=mark.since,
+            end=max(end, mark.since), attempt=mark.attempt,
+            thread=mark.thread, note=note, keys=mark.keys, cause=cause,
+        ))
+
+    for event in bus.events:
+        max_ts = max(max_ts, event.ts)
+        if isinstance(event, BlockStart):
+            timeline.scheduler = event.scheduler
+            timeline.threads = event.threads
+            timeline.tx_count = event.tx_count
+        elif isinstance(event, BlockEnd):
+            timeline.makespan = max(timeline.makespan, event.makespan)
+        elif isinstance(event, TxReady):
+            open_queue[event.tx] = _OpenMark(event.ts, event.attempt)
+        elif isinstance(event, TxStart):
+            close(event.tx, open_queue, QUEUE_WAIT, event.ts)
+            open_exec[event.tx] = _OpenMark(
+                event.ts, event.attempt, thread=event.thread)
+            tl = tx_timeline(event.tx)
+            tl.attempts = max(tl.attempts, event.attempt)
+        elif isinstance(event, TxEnd):
+            close(event.tx, open_exec, EXEC, event.ts)
+            tx_timeline(event.tx).success = event.success
+        elif isinstance(event, TxAbort):
+            close(event.tx, open_exec, EXEC, event.ts, note="aborted")
+            close(event.tx, open_queue, QUEUE_WAIT, event.ts, note="aborted")
+            close(event.tx, open_vwait, VERSION_WAIT, event.ts,
+                  note="aborted", cause=event.writer)
+            tx_timeline(event.tx).aborts += 1
+        elif isinstance(event, VersionWaitBegin):
+            open_vwait[event.tx] = _OpenMark(
+                event.ts, keys=event.keys, blockers=event.blockers)
+        elif isinstance(event, VersionWaitEnd):
+            cause = event.granted_by
+            close(event.tx, open_vwait, VERSION_WAIT, event.ts,
+                  cause=cause if cause != SNAPSHOT_WRITER else None)
+        elif isinstance(event, LockWaitBegin):
+            open_lwait[event.tx] = _OpenMark(event.ts, keys=(),
+                                             blockers=event.holders)
+        elif isinstance(event, LockWaitEnd):
+            mark = open_lwait.get(event.tx)
+            cause = max(mark.blockers) if mark and mark.blockers else None
+            close(event.tx, open_lwait, LOCK_WAIT, event.ts, cause=cause)
+
+    end_of_stream = max(max_ts, timeline.makespan)
+    for index in list(open_exec):
+        close(index, open_exec, EXEC, end_of_stream, note="unterminated")
+    for index in list(open_queue):
+        close(index, open_queue, QUEUE_WAIT, end_of_stream, note="unterminated")
+    for index in list(open_vwait):
+        close(index, open_vwait, VERSION_WAIT, end_of_stream, note="unterminated")
+    for index in list(open_lwait):
+        close(index, open_lwait, LOCK_WAIT, end_of_stream, note="unterminated")
+
+    if timeline.makespan <= 0.0:
+        timeline.makespan = end_of_stream
+    if timeline.tx_count == 0:
+        timeline.tx_count = len(timeline.txs)
+    for tl in timeline.txs.values():
+        tl.spans.sort(key=lambda s: (s.start, s.end))
+    return timeline
+
+
+def format_breakdown(timeline: Timeline) -> str:
+    """One-line wait decomposition, normalised by total transaction time."""
+    totals = timeline.breakdown()
+    grand = sum(totals.values()) or 1.0
+    parts = [
+        f"{category}={totals[category]:,.0f} ({totals[category] / grand:.1%})"
+        for category in CATEGORIES
+    ]
+    return (
+        f"[{timeline.scheduler}] threads={timeline.threads} "
+        f"makespan={timeline.makespan:,.0f}  " + "  ".join(parts)
+    )

@@ -95,12 +95,19 @@ class ReadResolution:
 
 
 class AccessSequence:
-    """The versioned access list of one state item."""
+    """The versioned access list of one state item.
 
-    def __init__(self, key: StateKey) -> None:
+    ``obs``/``clock`` (an event bus and a simulated-time callable) let the
+    sequence emit commutative-merge events when an ω̄ delta lands as its
+    own write version; both default to off at one-branch cost.
+    """
+
+    def __init__(self, key: StateKey, obs=None, clock=None) -> None:
         self.key = key
         self._indices: List[int] = []          # sorted tx indices
         self._entries: Dict[int, AccessEntry] = {}
+        self._obs = obs
+        self._clock = clock if clock is not None else (lambda: 0.0)
 
     # ------------------------------------------------------------------
     # Construction (pre-execution phase)
@@ -247,6 +254,8 @@ class AccessSequence:
             entry.write_skipped = False
             entry.write_value = value
             entry.write_delta = delta
+            if delta is not None and self._obs is not None:
+                self._obs.commutative_merge(self._clock(), tx_index, self.key, delta)
 
         return self._scan_readers_after(tx_index, skipped=skipped)
 
@@ -344,13 +353,15 @@ class AccessSequence:
 class AccessSequenceSet:
     """``M_l``: the access sequences of every state item touched by a block."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs=None, clock=None) -> None:
         self._sequences: Dict[StateKey, AccessSequence] = {}
+        self._obs = obs
+        self._clock = clock
 
     def sequence(self, key: StateKey) -> AccessSequence:
         seq = self._sequences.get(key)
         if seq is None:
-            seq = AccessSequence(key)
+            seq = AccessSequence(key, obs=self._obs, clock=self._clock)
             self._sequences[key] = seq
         return seq
 

@@ -37,10 +37,18 @@ class LockState:
 
 
 class LockTable:
-    """Tracks which read-locks each transaction holds."""
+    """Tracks which read-locks each transaction holds.
 
-    def __init__(self) -> None:
+    ``obs``/``clock`` enable structured lock events: ``obs`` is a
+    :class:`repro.obs.events.EventBus` and ``clock`` a zero-argument
+    callable returning the current simulated time (the lock table itself
+    has no notion of time).  Both default to off at one-branch cost.
+    """
+
+    def __init__(self, obs=None, clock=None) -> None:
         self._states: Dict[int, LockState] = {}
+        self._obs = obs
+        self._clock = clock if clock is not None else (lambda: 0.0)
 
     def register(self, tx_index: int, read_keys: Iterable[StateKey]) -> LockState:
         state = LockState(tx_index, needed=set(read_keys))
@@ -60,17 +68,25 @@ class LockTable:
             return False
         was_ready = state.ready
         state.granted.add(key)
+        if self._obs is not None:
+            self._obs.lock_acquire(self._clock(), tx_index, key)
         return state.ready and not was_ready
 
     def release(self, tx_index: int, key: StateKey) -> None:
         """Take the lock of ``key`` back (Algorithm 4, line 7)."""
         state = self._states.get(tx_index)
-        if state is not None:
+        if state is not None and key in state.granted:
             state.granted.discard(key)
+            if self._obs is not None:
+                self._obs.lock_release(self._clock(), tx_index, key)
 
     def release_all(self, tx_index: int) -> None:
         state = self._states.get(tx_index)
         if state is not None:
+            if self._obs is not None and state.granted:
+                now = self._clock()
+                for key in sorted(state.granted):
+                    self._obs.lock_release(now, tx_index, key)
             state.granted.clear()
 
     def holds(self, tx_index: int, key: StateKey) -> bool:
@@ -88,11 +104,14 @@ class LockTable:
         state = self._states.get(tx_index)
         if state is None:
             return False
+        previously = set(state.granted)
         state.granted.clear()
         for key in state.needed:
             seq = sequences.get(key)
             if seq is None or seq.resolve_read(tx_index).ready:
                 state.granted.add(key)
+                if self._obs is not None and key not in previously:
+                    self._obs.lock_acquire(self._clock(), tx_index, key)
         return state.ready
 
 

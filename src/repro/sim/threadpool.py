@@ -41,14 +41,20 @@ class _Thread:
 
 
 class ThreadPool:
-    """Fixed-size pool with explicit occupy/release and an idle FIFO."""
+    """Fixed-size pool with explicit occupy/release and an idle FIFO.
 
-    def __init__(self, size: int) -> None:
+    ``obs`` is an optional :class:`repro.obs.events.EventBus`; occupancy
+    changes are emitted as ThreadOccupied/ThreadReleased events (one
+    ``is not None`` branch per transition when disabled).
+    """
+
+    def __init__(self, size: int, obs=None) -> None:
         if size <= 0:
             raise SchedulingError("thread pool needs at least one thread")
         self._threads = [_Thread(i) for i in range(size)]
         self._idle: Deque[int] = deque(range(size))
         self.intervals: List[BusyInterval] = []
+        self._obs = obs
 
     @property
     def size(self) -> int:
@@ -67,6 +73,8 @@ class ThreadPool:
         thread.busy = True
         thread.current_label = label
         thread.current_start = now
+        if self._obs is not None:
+            self._obs.thread_occupied(now, index, label)
         return index
 
     def release(self, index: int, now: float) -> None:
@@ -81,6 +89,8 @@ class ThreadPool:
         thread.free_at = now
         thread.current_label = ""
         self._idle.append(index)
+        if self._obs is not None:
+            self._obs.thread_released(now, index)
 
     # ------------------------------------------------------------------
     # Metrics

@@ -131,7 +131,10 @@ class DifferentialFuzzer:
             seed=seed,
         )
 
-    def _case(self, seed: int):
+    def case(self, seed: int):
+        """Deterministically regenerate a fuzz case from its seed alone:
+        ``(workload, txs, threads)``.  Public so failure artifacts (oracle
+        reports, execution traces) can be reproduced outside a campaign."""
         from ..workload.generator import Workload
 
         rng = random.Random(seed)
@@ -140,6 +143,9 @@ class DifferentialFuzzer:
         txs = workload.transactions(self.txs_per_block)
         threads = rng.choice([2, 3, 4, 8])
         return workload, txs, threads
+
+    # Backwards-compatible internal alias.
+    _case = case
 
     # ------------------------------------------------------------------
     # Checking

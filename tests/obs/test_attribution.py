@@ -1,0 +1,81 @@
+"""Abort attribution tests: records, contention ranking, rendering."""
+
+from repro.core.types import Address, StateKey
+from repro.obs.attribution import AbortAttribution, format_key
+from repro.obs.events import EventBus
+
+ADDR_A = Address.derive("attr-a")
+ADDR_B = Address.derive("attr-b")
+HOT = StateKey(ADDR_A, 0)
+COLD = StateKey(ADDR_B, 5)
+
+
+def _contended_bus():
+    bus = EventBus()
+    bus.tx_abort(10.0, 3, attempt=1, key=HOT, writer=1)
+    bus.tx_abort(20.0, 4, attempt=1, key=HOT, writer=1)
+    bus.tx_abort(30.0, 3, attempt=2, key=HOT, writer=2)
+    bus.tx_abort(40.0, 5, attempt=1, key=COLD, writer=0)
+    bus.version_wait_begin(0.0, 6, keys=(HOT,), blockers=(1,))
+    bus.version_wait_end(25.0, 6, key=HOT, granted_by=1)
+    bus.early_read(12.0, 7, HOT, writer=1)
+    bus.commutative_merge(13.0, 8, COLD, delta=4)
+    return bus
+
+
+class TestAttribution:
+    def test_abort_records(self):
+        attribution = AbortAttribution.from_events(_contended_bus().events)
+        assert attribution.abort_count == 4
+        first = attribution.aborts[0]
+        assert (first.reader, first.writer, first.key) == (3, 1, HOT)
+
+    def test_hot_key_ranking(self):
+        attribution = AbortAttribution.from_events(_contended_bus().events)
+        hot = attribution.hot_keys(top=5)
+        assert hot[0].key == HOT
+        assert hot[0].aborts == 3
+        assert hot[0].wait_time == 25.0
+        assert hot[0].early_reads == 1
+        assert hot[0].writers == {1, 2}
+        assert hot[1].key == COLD
+        assert hot[1].merges == 1
+
+    def test_pairs_counts_edges(self):
+        attribution = AbortAttribution.from_events(_contended_bus().events)
+        pairs = attribution.pairs()
+        assert pairs[0][3] == 1  # all edges distinct here
+        assert (1, 3, HOT, 1) in pairs
+        assert (2, 3, HOT, 1) in pairs
+
+    def test_unclosed_wait_finishes_at_stream_end(self):
+        attribution = AbortAttribution()
+        bus = EventBus()
+        bus.version_wait_begin(5.0, 0, keys=(HOT,), blockers=(9,))
+        bus.tx_abort(15.0, 0, key=HOT, writer=9)
+        for event in bus.events:
+            attribution.feed(event)
+        attribution.finish()
+        assert attribution.contention[HOT].wait_time == 10.0
+
+    def test_format_table_names_keys(self):
+        attribution = AbortAttribution.from_events(_contended_bus().events)
+        text = attribution.format_table(name_of=lambda a: "Hot" if a == ADDR_A else None)
+        assert "Hot[0x0]" in text
+        assert "4 abort(s)" in text
+        assert "T1" in text  # writer named
+
+    def test_empty_table(self):
+        text = AbortAttribution().format_table()
+        assert "(no contention recorded)" in text
+
+
+class TestFormatKey:
+    def test_balance_nonce_and_slot(self):
+        name_of = lambda a: "ERC20-1"  # noqa: E731
+        assert format_key(StateKey.balance(ADDR_A), name_of) == "ERC20-1.balance"
+        assert format_key(StateKey(ADDR_A, 0x1F), name_of) == "ERC20-1[0x1f]"
+
+    def test_unnamed_address_shortened(self):
+        text = format_key(StateKey(ADDR_A, 1))
+        assert "…" in text and text.endswith("[0x1]")

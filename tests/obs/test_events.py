@@ -1,0 +1,98 @@
+"""Event bus tests: ordering, typed queries, and the disabled path."""
+
+from repro.core.types import Address, StateKey
+from repro.obs.events import (
+    NULL_BUS,
+    EventBus,
+    LockAcquire,
+    NullSink,
+    TxAbort,
+    TxStart,
+    UNKNOWN_WRITER,
+)
+
+ADDR = Address.derive("obs-test")
+KEY = StateKey(ADDR, 1)
+
+
+class TestEventBus:
+    def test_sequence_numbers_total_order(self):
+        bus = EventBus()
+        bus.tx_ready(5.0, 1)
+        bus.tx_start(3.0, 0)  # out-of-ts-order emission is allowed
+        bus.tx_end(9.0, 1)
+        seqs = [e.seq for e in bus.events]
+        assert seqs == [0, 1, 2]
+        assert [type(e).__name__ for e in bus.events] == [
+            "TxReady", "TxStart", "TxEnd",
+        ]
+
+    def test_of_type_and_of_tx(self):
+        bus = EventBus()
+        bus.tx_start(0.0, 0, thread=2)
+        bus.tx_start(1.0, 1, thread=3)
+        bus.lock_acquire(2.0, 1, KEY)
+        assert [e.tx for e in bus.of_type(TxStart)] == [0, 1]
+        assert [type(e) for e in bus.of_tx(1)] == [TxStart, LockAcquire]
+
+    def test_abort_carries_attribution_triple(self):
+        bus = EventBus()
+        bus.tx_abort(7.0, 4, attempt=2, key=KEY, writer=1)
+        (abort,) = bus.of_type(TxAbort)
+        assert (abort.tx, abort.writer, abort.key) == (4, 1, KEY)
+        bus.tx_abort(8.0, 5)
+        assert bus.of_type(TxAbort)[1].writer == UNKNOWN_WRITER
+
+    def test_clear_resets_sequence(self):
+        bus = EventBus()
+        bus.tx_ready(0.0, 0)
+        bus.clear()
+        assert len(bus) == 0
+        bus.tx_ready(1.0, 1)
+        assert bus.events[0].seq == 0
+
+    def test_summary_counts_types(self):
+        bus = EventBus()
+        bus.tx_ready(0.0, 0)
+        bus.tx_ready(0.0, 1)
+        bus.tx_start(0.0, 0)
+        assert "TxReady=2" in bus.summary()
+        assert "TxStart=1" in bus.summary()
+
+
+class TestNullSink:
+    def test_every_emit_is_a_noop(self):
+        sink = NullSink()
+        sink.block_start(0.0, "x", 1, 1)
+        sink.tx_abort(1.0, 0, key=KEY, writer=2)
+        sink.commutative_merge(2.0, 0, KEY, 5)
+        assert len(sink) == 0
+        assert sink.enabled is False
+        assert NULL_BUS.enabled is False
+
+    def test_disabled_tracing_does_not_perturb_the_schedule(self):
+        """DMVCC with a live bus must produce the identical schedule and
+        write set as with tracing off — observation must not interfere."""
+        from repro.executors.dmvcc import DMVCCExecutor
+        from repro.workload.generator import Workload, WorkloadConfig
+
+        config = WorkloadConfig(users=10, erc20_tokens=1, dex_pools=1,
+                                nft_collections=1, icos=1, seed=11)
+
+        def run(obs):
+            workload = Workload(config)
+            txs = workload.transactions(16)
+            executor = DMVCCExecutor()
+            if obs is not None:
+                executor.attach_obs(obs)
+            return executor.execute_block(
+                txs, workload.db.latest, workload.db.codes.code_of, threads=4
+            )
+
+        plain = run(None)
+        bus = EventBus()
+        traced = run(bus)
+        assert traced.writes == plain.writes
+        assert traced.metrics.makespan == plain.metrics.makespan
+        assert traced.metrics.aborts == plain.metrics.aborts
+        assert len(bus) > 0

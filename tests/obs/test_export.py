@@ -1,0 +1,93 @@
+"""Chrome trace export and ASCII Gantt tests."""
+
+import json
+
+from repro.core.types import Address, StateKey
+from repro.obs.events import EventBus
+from repro.obs.export import (
+    WAIT_LANE_BASE,
+    build_chrome_trace,
+    chrome_trace_events,
+    render_gantt_ascii,
+)
+from repro.obs.timeline import build_timeline
+
+ADDR = Address.derive("export-test")
+KEY = StateKey(ADDR, 3)
+
+
+def _traced_bus():
+    bus = EventBus()
+    bus.block_start(0.0, "demo", threads=2, tx_count=2)
+    bus.tx_ready(0.0, 0)
+    bus.tx_start(0.0, 0, thread=0)
+    bus.early_read(2.0, 1, KEY, writer=0)
+    bus.tx_end(5.0, 0, gas_used=5)
+    bus.version_wait_begin(0.0, 1, keys=(KEY,), blockers=(0,))
+    bus.version_wait_end(5.0, 1, key=KEY, granted_by=0)
+    bus.tx_start(5.0, 1, thread=1)
+    bus.tx_abort(7.0, 1, key=KEY, writer=0)
+    bus.block_end(7.0, makespan=7.0)
+    return bus
+
+
+class TestChromeTrace:
+    def test_events_are_well_formed(self):
+        timeline = build_timeline(_traced_bus())
+        events = chrome_trace_events(timeline, pid=3)
+        assert all(e["pid"] == 3 for e in events)
+        for event in events:
+            assert event["ph"] in ("M", "X", "i")
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+                assert "ts" in event and "tid" in event
+
+    def test_exec_spans_on_thread_lanes_waits_on_tx_lanes(self):
+        timeline = build_timeline(_traced_bus())
+        events = chrome_trace_events(timeline)
+        spans = [e for e in events if e["ph"] == "X"]
+        exec_tids = {e["tid"] for e in spans if e["cat"] == "exec"}
+        wait_tids = {e["tid"] for e in spans if e["cat"] != "exec"}
+        assert exec_tids <= {0, 1}
+        assert all(tid >= WAIT_LANE_BASE for tid in wait_tids)
+
+    def test_instant_markers_for_protocol_moments(self):
+        timeline = build_timeline(_traced_bus())
+        events = chrome_trace_events(timeline)
+        instants = {e["name"] for e in events if e["ph"] == "i"}
+        assert "abort T1" in instants
+        assert "early-read T0→T1" in instants
+
+    def test_document_is_json_serialisable(self):
+        timeline = build_timeline(_traced_bus())
+        document = build_chrome_trace(
+            [("a", timeline, 0.0), ("b", timeline, 100.0)],
+            metadata={"note": "test"},
+        )
+        text = json.dumps(document)
+        parsed = json.loads(text)
+        assert parsed["otherData"]["note"] == "test"
+        pids = {e["pid"] for e in parsed["traceEvents"]}
+        assert pids == {0, 1}
+
+    def test_ts_offset_shifts_section(self):
+        timeline = build_timeline(_traced_bus())
+        shifted = chrome_trace_events(timeline, ts_offset=100.0)
+        spans = [e for e in shifted if e["ph"] == "X"]
+        assert min(e["ts"] for e in spans) >= 100.0
+
+
+class TestAsciiGantt:
+    def test_empty_chart(self):
+        assert "(empty schedule)" in render_gantt_ascii({0: []}, 0.0)
+
+    def test_labels_rendered(self):
+        chart = {0: [(0.0, 50.0, "T0")], 1: [(10.0, 90.0, "T1")]}
+        text = render_gantt_ascii(chart, makespan=100.0, width=40)
+        assert "T0" in text and "T1" in text
+        assert "t0 " in text and "t1 " in text
+
+    def test_thread_cap(self):
+        chart = {t: [(0.0, 10.0, f"T{t}")] for t in range(20)}
+        text = render_gantt_ascii(chart, makespan=10.0, max_threads=4)
+        assert "more threads" in text

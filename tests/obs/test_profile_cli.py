@@ -1,0 +1,92 @@
+"""End-to-end tests for ``repro profile`` and the verify artifact writer."""
+
+import json
+import os
+
+from repro.__main__ import _write_verify_artifacts, main
+from repro.executors.dmvcc import DMVCCExecutor
+from repro.obs.profile import run_profile
+from repro.verify.fuzz import DifferentialFuzzer
+
+
+class TestRunProfile:
+    def test_small_profile_covers_all_schedulers(self):
+        report = run_profile(
+            blocks=1, txs_per_block=16, threads=4,
+            config_overrides=dict(users=20, erc20_tokens=2, dex_pools=1,
+                                  nft_collections=1, icos=1),
+        )
+        assert report.correctness_ok
+        assert [s.scheduler for s in report.sections] == [
+            "serial", "dag", "occ", "dmvcc",
+        ]
+        assert all(s.matches_serial for s in report.sections)
+        assert report.trace["traceEvents"]
+        assert set(report.attributions) == {"dag", "occ", "dmvcc"}
+        rendered = report.render(top=5)
+        assert "wait-time decomposition" in rendered
+        assert "correctness (write-set match vs serial): OK" in rendered
+
+    def test_unknown_scheduler_rejected(self):
+        try:
+            run_profile(schedulers=("serial", "bogus"))
+        except ValueError as error:
+            assert "bogus" in str(error)
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected ValueError")
+
+
+class TestProfileCLI:
+    def test_cli_writes_perfetto_valid_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main([
+            "--users", "20", "--tokens", "2", "--pools", "1", "--nfts", "1",
+            "profile", "--blocks", "1", "--txs", "12", "--workers", "2",
+            "--out", str(out),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "wait-time decomposition" in captured
+        assert "trace written to" in captured
+        document = json.loads(out.read_text())
+        assert isinstance(document["traceEvents"], list)
+        assert document["traceEvents"]
+        assert all("ph" in e and "pid" in e for e in document["traceEvents"])
+        assert document["otherData"]["blocks"] == 1
+
+
+class _BrokenDMVCC(DMVCCExecutor):
+    """A deliberately wrong executor: corrupts one committed write so the
+    differential fuzzer reports a divergence we can export artifacts for."""
+
+    def execute_block(self, *args, **kwargs):
+        execution = super().execute_block(*args, **kwargs)
+        if execution.writes:
+            key = next(iter(sorted(execution.writes)))
+            execution.writes[key] += 7_777
+        return execution
+
+
+class TestVerifyArtifacts:
+    def test_clean_run_writes_oracle_report_only(self, tmp_path):
+        fuzzer = DifferentialFuzzer(txs_per_block=6, minimize=False)
+        report = fuzzer.run(blocks=1)
+        _write_verify_artifacts(str(tmp_path), fuzzer, report)
+        assert (tmp_path / "oracle_report.txt").exists()
+        assert not list(tmp_path.glob("trace_seed*.json"))
+
+    def test_divergence_exports_replay_trace(self, tmp_path):
+        fuzzer = DifferentialFuzzer(
+            factories={"broken": _BrokenDMVCC},
+            txs_per_block=8, minimize=False,
+        )
+        report = fuzzer.run(blocks=1)
+        assert not report.ok
+        _write_verify_artifacts(str(tmp_path), fuzzer, report)
+        oracle = (tmp_path / "oracle_report.txt").read_text()
+        assert "DIVERGED" in oracle
+        traces = list(tmp_path.glob("trace_seed*_broken.json"))
+        assert traces
+        document = json.loads(traces[0].read_text())
+        assert document["traceEvents"]
+        assert document["otherData"]["scheduler"] == "broken"

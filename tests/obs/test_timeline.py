@@ -1,0 +1,142 @@
+"""Timeline reconstruction tests: span pairing, decomposition, critical path."""
+
+from repro.core.types import Address, StateKey
+from repro.obs.events import EventBus
+from repro.obs.timeline import (
+    EXEC,
+    LOCK_WAIT,
+    QUEUE_WAIT,
+    VERSION_WAIT,
+    build_timeline,
+    format_breakdown,
+)
+
+ADDR = Address.derive("timeline-test")
+KEY = StateKey(ADDR, 7)
+
+
+def _spans(timeline, tx, category):
+    return [s for s in timeline.txs[tx].spans if s.category == category]
+
+
+class TestSpanPairing:
+    def test_ready_start_end_yields_queue_and_exec(self):
+        bus = EventBus()
+        bus.block_start(0.0, "test", threads=2, tx_count=1)
+        bus.tx_ready(0.0, 0)
+        bus.tx_start(3.0, 0, thread=1)
+        bus.tx_end(10.0, 0, gas_used=7)
+        bus.block_end(10.0, makespan=10.0)
+        timeline = build_timeline(bus)
+        (queue,) = _spans(timeline, 0, QUEUE_WAIT)
+        (execution,) = _spans(timeline, 0, EXEC)
+        assert (queue.start, queue.end) == (0.0, 3.0)
+        assert (execution.start, execution.end) == (3.0, 10.0)
+        assert execution.thread == 1
+        assert timeline.makespan == 10.0
+        assert timeline.scheduler == "test"
+
+    def test_abort_closes_exec_with_note(self):
+        bus = EventBus()
+        bus.tx_start(0.0, 0)
+        bus.tx_abort(4.0, 0, key=KEY, writer=3)
+        timeline = build_timeline(bus)
+        (execution,) = _spans(timeline, 0, EXEC)
+        assert execution.note == "aborted"
+        assert execution.end == 4.0
+        assert timeline.txs[0].aborts == 1
+
+    def test_version_wait_records_keys_and_cause(self):
+        bus = EventBus()
+        bus.version_wait_begin(1.0, 2, keys=(KEY,), blockers=(0,))
+        bus.version_wait_end(6.0, 2, key=KEY, granted_by=0)
+        timeline = build_timeline(bus)
+        (wait,) = _spans(timeline, 2, VERSION_WAIT)
+        assert wait.keys == (KEY,)
+        assert wait.cause == 0
+        assert wait.duration == 5.0
+
+    def test_lock_wait_cause_is_last_holder(self):
+        bus = EventBus()
+        bus.lock_wait_begin(0.0, 3, holders=(0, 2))
+        bus.lock_wait_end(8.0, 3)
+        timeline = build_timeline(bus)
+        (wait,) = _spans(timeline, 3, LOCK_WAIT)
+        assert wait.cause == 2
+
+    def test_unmatched_end_is_ignored(self):
+        bus = EventBus()
+        bus.tx_end(5.0, 0)
+        bus.version_wait_end(5.0, 1)
+        timeline = build_timeline(bus)
+        assert _spans(timeline, 0, EXEC) == []
+
+    def test_open_spans_closed_at_stream_end(self):
+        bus = EventBus()
+        bus.tx_start(2.0, 0)
+        bus.tx_ready(0.0, 1)
+        bus.block_end(9.0, makespan=9.0)
+        timeline = build_timeline(bus)
+        (execution,) = _spans(timeline, 0, EXEC)
+        assert execution.end == 9.0 and execution.note == "unterminated"
+        (queue,) = _spans(timeline, 1, QUEUE_WAIT)
+        assert queue.end == 9.0
+
+
+class TestDecomposition:
+    def _two_tx_bus(self):
+        bus = EventBus()
+        bus.block_start(0.0, "demo", threads=1, tx_count=2)
+        bus.tx_ready(0.0, 0)
+        bus.tx_start(0.0, 0, thread=0)
+        bus.tx_end(10.0, 0)
+        bus.version_wait_begin(0.0, 1, keys=(KEY,), blockers=(0,))
+        bus.version_wait_end(10.0, 1, key=KEY, granted_by=0)
+        bus.tx_ready(10.0, 1)
+        bus.tx_start(10.0, 1, thread=0)
+        bus.tx_end(14.0, 1)
+        bus.block_end(14.0, makespan=14.0)
+        return bus
+
+    def test_breakdown_totals(self):
+        timeline = build_timeline(self._two_tx_bus())
+        totals = timeline.breakdown()
+        assert totals[EXEC] == 14.0
+        assert totals[VERSION_WAIT] == 10.0
+        assert totals[QUEUE_WAIT] == 0.0
+        text = format_breakdown(timeline)
+        assert "version-wait=10" in text
+
+    def test_gantt_matches_threadpool_shape(self):
+        timeline = build_timeline(self._two_tx_bus())
+        chart = timeline.gantt()
+        assert list(chart) == [0]
+        assert [label for _s, _e, label in chart[0]] == ["T0", "T1"]
+
+    def test_critical_path_follows_version_wait(self):
+        timeline = build_timeline(self._two_tx_bus())
+        path = timeline.critical_path()
+        assert [step.tx for step in path] == [0, 1]
+        assert "version-wait" in path[-1].via
+        assert path[-1].via_tx == 0
+
+    def test_critical_path_follows_queue_wait(self):
+        bus = EventBus()
+        bus.block_start(0.0, "q", threads=1, tx_count=2)
+        bus.tx_ready(0.0, 0)
+        bus.tx_start(0.0, 0, thread=0)
+        bus.tx_ready(0.0, 1)
+        bus.tx_end(6.0, 0)
+        bus.tx_start(6.0, 1, thread=0)
+        bus.tx_end(9.0, 1)
+        bus.block_end(9.0, makespan=9.0)
+        timeline = build_timeline(bus)
+        path = timeline.critical_path()
+        assert [step.tx for step in path] == [0, 1]
+        assert "queue-wait behind T0" in path[-1].via
+
+    def test_empty_bus(self):
+        timeline = build_timeline(EventBus())
+        assert timeline.txs == {}
+        assert timeline.critical_path() == []
+        assert timeline.breakdown()[EXEC] == 0.0

@@ -63,3 +63,47 @@ class TestMetrics:
         flattened = [entry for intervals in chart.values() for entry in intervals]
         assert ("T1" in {e[2] for e in flattened})
         assert ("T2" in {e[2] for e in flattened})
+
+    def test_gantt_empty_pool(self):
+        chart = ThreadPool(2).gantt()
+        assert chart == {0: [], 1: []}
+
+    def test_busy_time_zero_length_interval(self):
+        pool = ThreadPool(1)
+        a = pool.try_occupy(4.0)
+        pool.release(a, 4.0)
+        assert pool.busy_time() == 0.0
+        assert pool.utilisation(makespan=0.0) == 0.0
+
+
+class TestObservability:
+    def test_occupancy_events_emitted(self):
+        from repro.obs.events import EventBus, ThreadOccupied, ThreadReleased
+
+        bus = EventBus()
+        pool = ThreadPool(2, obs=bus)
+        a = pool.try_occupy(1.0, label="T7")
+        pool.release(a, 5.0)
+        occupied = bus.of_type(ThreadOccupied)
+        released = bus.of_type(ThreadReleased)
+        assert len(occupied) == 1 and occupied[0].label == "T7"
+        assert occupied[0].ts == 1.0 and occupied[0].thread == a
+        assert len(released) == 1 and released[0].ts == 5.0
+
+    def test_exhausted_pool_emits_nothing(self):
+        from repro.obs.events import EventBus
+
+        bus = EventBus()
+        pool = ThreadPool(1, obs=bus)
+        pool.try_occupy(0.0)
+        assert pool.try_occupy(0.0) is None
+        assert len(bus) == 1  # only the successful occupation
+
+    def test_failed_release_emits_nothing(self):
+        from repro.obs.events import EventBus
+
+        bus = EventBus()
+        pool = ThreadPool(1, obs=bus)
+        with pytest.raises(SchedulingError):
+            pool.release(0, 1.0)
+        assert len(bus) == 0
