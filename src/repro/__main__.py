@@ -127,7 +127,23 @@ def cmd_verify(args) -> int:
     if args.fuzz <= 0:
         print("verify: --fuzz must be a positive block count", file=sys.stderr)
         return 2
+    factories = None
+    if args.schedulers:
+        from .verify.fuzz import default_executor_factories
+
+        available = default_executor_factories()
+        wanted = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+        unknown = [s for s in wanted if s not in available]
+        if unknown:
+            print(
+                f"verify: unknown scheduler(s): {', '.join(unknown)} "
+                f"(choose from {', '.join(sorted(available))})",
+                file=sys.stderr,
+            )
+            return 2
+        factories = {name: available[name] for name in wanted}
     fuzzer = DifferentialFuzzer(
+        factories=factories,
         txs_per_block=args.txs_per_block,
         minimize=not args.no_minimize,
     )
@@ -242,6 +258,9 @@ def main(argv=None) -> int:
     verify.add_argument("--seed", type=int, default=0xD34DBEEF,
                         help="base seed; block i uses seed+i")
     verify.add_argument("--txs-per-block", type=int, default=24)
+    verify.add_argument("--schedulers", default="", metavar="NAMES",
+                        help="comma-separated scheduler subset to fuzz "
+                             "(default: all parallel executors)")
     verify.add_argument("--no-minimize", action="store_true",
                         help="skip greedy shrinking of diverging blocks")
     verify.add_argument("--progress", action="store_true",

@@ -2,7 +2,7 @@
 
 from .abstract import AccessSite, ContractAnalysis, analyze_contract
 from .cfg import CFG, BasicBlock, build_cfg
-from .csag import AccessType, CSAG, CSAGBuilder, PredictedAccess, ReleaseOffset
+from .csag import AccessType, CSAG, CSAGBuilder, CSAGCache, PredictedAccess, ReleaseOffset
 from .release import ReleaseAnalysis, ReleasePoint, analyze_release_points
 from .sag import PSAG, PSAGCache, SAGNode, SAGNodeKind, build_psag
 from . import symexpr
@@ -14,6 +14,7 @@ __all__ = [
     "CFG",
     "CSAG",
     "CSAGBuilder",
+    "CSAGCache",
     "ContractAnalysis",
     "PSAG",
     "PSAGCache",

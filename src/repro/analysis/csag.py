@@ -150,11 +150,77 @@ def _classify(accesses: List[PredictedAccess]) -> Dict[StateKey, AccessType]:
     return per_key
 
 
+class CSAGCache:
+    """Content-addressed LRU cache of contract-call C-SAGs.
+
+    Refinement (snapshot pre-execution) is deterministic in its inputs, so
+    the result can be reused whenever the same (code, transaction shape,
+    snapshot, block context) recurs — the common case on hot contracts
+    where many near-identical transactions target the same code.  The key
+    includes the snapshot's Merkle root: any committed state change
+    invalidates every dependent entry for free.
+
+    Plain transfers are never cached (their synthetic C-SAG is cheaper to
+    build than to look up).  ``CSAG`` objects are immutable during block
+    execution, so sharing one instance across transactions is safe.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self._entries: "Dict[tuple, CSAG]" = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(tx, snapshot, block: BlockContext, code: bytes) -> tuple:
+        from ..core.hashing import keccak
+
+        return (
+            keccak(code),
+            tx.sender,
+            tx.to,
+            tx.value,
+            tx.data,
+            tx.gas_limit,
+            snapshot.height,
+            snapshot.root_hash,
+            block.number,
+            block.timestamp,
+        )
+
+    def get(self, key: tuple) -> Optional[CSAG]:
+        csag = self._entries.get(key)
+        if csag is None:
+            self.misses += 1
+            return None
+        # LRU touch: re-insert to move the key to the recent end.
+        self._entries.pop(key)
+        self._entries[key] = csag
+        self.hits += 1
+        return csag
+
+    def put(self, key: tuple, csag: CSAG) -> None:
+        self._entries.pop(key, None)
+        self._entries[key] = csag
+        while len(self._entries) > self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 class CSAGBuilder:
     """Builds C-SAGs for transactions against a given snapshot.
 
     One builder per (validator, block) pairing; it shares a process-wide
-    :class:`PSAGCache` so static analysis runs once per contract.
+    :class:`PSAGCache` so static analysis runs once per contract, and
+    optionally a :class:`CSAGCache` so refinement itself is skipped for
+    repeated (code, calldata, snapshot) combinations.
     """
 
     def __init__(
@@ -162,10 +228,12 @@ class CSAGBuilder:
         code_resolver: Callable,
         psag_cache: Optional[PSAGCache] = None,
         block: Optional[BlockContext] = None,
+        csag_cache: Optional[CSAGCache] = None,
     ) -> None:
         self._resolve_code = code_resolver
         self._cache = psag_cache if psag_cache is not None else PSAGCache()
         self._block = block if block is not None else BlockContext()
+        self._csag_cache = csag_cache
 
     def psag_for(self, code: bytes) -> PSAG:
         return self._cache.get(code)
@@ -181,6 +249,14 @@ class CSAGBuilder:
         code = self._resolve_code(tx.to)
         if not code:
             return self.build_transfer(tx, snapshot)
+        if self._csag_cache is not None:
+            key = CSAGCache.key_for(tx, snapshot, self._block, code)
+            cached = self._csag_cache.get(key)
+            if cached is not None:
+                return cached
+            csag = self._build_contract_call(tx, snapshot, code)
+            self._csag_cache.put(key, csag)
+            return csag
         return self._build_contract_call(tx, snapshot, code)
 
     def build_transfer(self, tx, snapshot) -> CSAG:

@@ -23,18 +23,33 @@ RESULTS_SCHEMA_VERSION = 1
 
 
 def _git_commit() -> str:
-    """The repository's HEAD commit, or "unknown" outside a git checkout
-    (results must still be writable from an exported tarball)."""
+    """The repository's HEAD commit — suffixed with ``+dirty`` when tracked
+    files have uncommitted modifications — or "unknown" outside a git
+    checkout (results must still be writable from an exported tarball)."""
+    cwd = os.path.dirname(os.path.abspath(__file__))
     try:
         proc = subprocess.run(
             ["git", "rev-parse", "HEAD"],
             capture_output=True,
             text=True,
             timeout=10,
-            cwd=os.path.dirname(os.path.abspath(__file__)),
+            cwd=cwd,
         )
         if proc.returncode == 0 and proc.stdout.strip():
-            return proc.stdout.strip()
+            commit = proc.stdout.strip()
+            try:
+                status = subprocess.run(
+                    ["git", "status", "--porcelain", "--untracked-files=no"],
+                    capture_output=True,
+                    text=True,
+                    timeout=10,
+                    cwd=cwd,
+                )
+                if status.returncode == 0 and status.stdout.strip():
+                    commit += "+dirty"
+            except (OSError, subprocess.SubprocessError):
+                pass  # dirtiness unknown: keep the bare commit
+            return commit
     except (OSError, subprocess.SubprocessError):
         pass
     return "unknown"

@@ -22,7 +22,7 @@ from .events import (
 )
 from .opcodes import Op, intrinsic_gas, opcode_info, push_op
 from .tracer import ExecutionTrace, TraceStep, format_trace, gas_profile, trace_message
-from .vm import EVM, valid_jumpdests
+from .vm import EVM, VMCheckpoint, valid_jumpdests
 
 __all__ = [
     "Assembler",
@@ -45,6 +45,7 @@ __all__ = [
     "StorageWrite",
     "TraceRecord",
     "TraceStep",
+    "VMCheckpoint",
     "VMEvent",
     "Watchpoint",
     "assemble",

@@ -79,6 +79,10 @@ class ExecutionResult:
     return_data: bytes = b""
     logs: List[LogEntry] = field(default_factory=list)
     error: Optional[str] = None
+    # Instructions dispatched to produce this result.  A run resumed from a
+    # checkpoint reports the checkpoint's count plus its own, so the total
+    # always equals the logical cost of the final execution path.
+    steps: int = 0
 
     @property
     def success(self) -> bool:

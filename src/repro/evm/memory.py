@@ -3,6 +3,11 @@
 Memory grows in 32-byte words and expansion is charged quadratically-ish in
 the real EVM; we charge the linear word cost, which preserves the relative
 cost of memory-heavy vs storage-heavy code paths for the time model.
+
+Like :class:`repro.evm.stack.Stack`, memory supports O(1) copy-on-write
+snapshots: ``snapshot()`` hands out the backing buffer and marks it shared;
+the next mutation (including the implicit expansion a read can trigger)
+copies first.
 """
 
 from __future__ import annotations
@@ -14,10 +19,33 @@ from .opcodes import GAS_MEMORY_WORD
 class Memory:
     """A growable bytearray with gas-metered expansion."""
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "_shared")
 
     def __init__(self) -> None:
         self._data = bytearray()
+        self._shared = False
+
+    # -- copy-on-write snapshots ---------------------------------------
+
+    def snapshot(self) -> bytearray:
+        """O(1): freeze the current contents; both the snapshot and this
+        memory copy lazily on their next mutation."""
+        self._shared = True
+        return self._data
+
+    @classmethod
+    def from_snapshot(cls, data: bytearray) -> "Memory":
+        memory = cls()
+        memory._data = data
+        memory._shared = True
+        return memory
+
+    def _own(self) -> None:
+        if self._shared:
+            self._data = bytearray(self._data)
+            self._shared = False
+
+    # -- operations ----------------------------------------------------
 
     def __len__(self) -> int:
         return len(self._data)
@@ -39,6 +67,7 @@ class Memory:
     def _expand(self, offset: int, length: int) -> None:
         needed = offset + length
         if needed > len(self._data):
+            self._own()
             words = (needed + WORD_BYTES - 1) // WORD_BYTES
             self._data.extend(b"\x00" * (words * WORD_BYTES - len(self._data)))
 
@@ -52,6 +81,7 @@ class Memory:
         if not data:
             return
         self._expand(offset, len(data))
+        self._own()
         self._data[offset : offset + len(data)] = data
 
     def read_word(self, offset: int) -> int:

@@ -1,4 +1,9 @@
-"""The EVM operand stack: 1024 words, LIFO."""
+"""The EVM operand stack: 1024 words, LIFO.
+
+Supports O(1) copy-on-write snapshots for VM checkpointing: ``snapshot()``
+hands out the backing list and marks it shared; the first mutation after
+that copies it, so untouched checkpoints never pay for a copy.
+"""
 
 from __future__ import annotations
 
@@ -12,25 +17,51 @@ from .opcodes import STACK_LIMIT
 class Stack:
     """A bounded stack of 256-bit words."""
 
-    __slots__ = ("_items",)
+    __slots__ = ("_items", "_shared")
 
     def __init__(self) -> None:
         self._items: List[int] = []
+        self._shared = False
+
+    # -- copy-on-write snapshots ---------------------------------------
+
+    def snapshot(self) -> List[int]:
+        """O(1): freeze the current contents; both the snapshot and this
+        stack copy lazily on their next mutation."""
+        self._shared = True
+        return self._items
+
+    @classmethod
+    def from_snapshot(cls, items: List[int]) -> "Stack":
+        stack = cls()
+        stack._items = items
+        stack._shared = True
+        return stack
+
+    def _own(self) -> None:
+        if self._shared:
+            self._items = list(self._items)
+            self._shared = False
+
+    # -- operations ----------------------------------------------------
 
     def push(self, value: int) -> None:
         if len(self._items) >= STACK_LIMIT:
             raise StackOverflow(f"stack limit of {STACK_LIMIT} exceeded")
+        self._own()
         self._items.append(value & WORD_MAX)
 
     def pop(self) -> int:
         if not self._items:
             raise StackUnderflow("pop from empty stack")
+        self._own()
         return self._items.pop()
 
     def pop_many(self, count: int) -> List[int]:
         """Pop ``count`` items; the first element is the top of stack."""
         if len(self._items) < count:
             raise StackUnderflow(f"need {count} items, have {len(self._items)}")
+        self._own()
         taken = self._items[-count:][::-1]
         del self._items[-count:]
         return taken
@@ -49,6 +80,7 @@ class Stack:
         """SWAPn: exchange the top with the item ``depth`` below it."""
         if len(self._items) <= depth:
             raise StackUnderflow(f"swap depth {depth} exceeds stack size")
+        self._own()
         self._items[-1], self._items[-1 - depth] = (
             self._items[-1 - depth],
             self._items[-1],

@@ -1,4 +1,4 @@
-"""The resumable EVM interpreter.
+"""The resumable, checkpointable EVM interpreter.
 
 :meth:`EVM.run` is a generator: it yields :mod:`repro.evm.events` whenever
 the contract touches shared state (SLOAD, SSTORE, BALANCE, value transfer)
@@ -6,6 +6,15 @@ or crosses a driver-registered *watchpoint* (used for the paper's release
 points), and receives the answers via ``send``.  The scheduler owns all
 policy — where reads come from, when writes become visible — which is
 exactly the separation the paper's fine-grained state-access control needs.
+
+The interpreter runs an explicit frame stack (rather than recursing through
+Python generators for nested CALLs) so that the complete machine state is
+a plain data structure.  That makes :meth:`EVM.checkpoint` possible: while
+the generator is suspended at a storage-read yield, the driver can take an
+O(1) copy-on-write snapshot of every frame (pc, stack, memory, pending
+output window) plus gas and logs, and later :meth:`EVM.resume` from it —
+the machinery behind DMVCC's resume-from-first-invalidated-read abort path
+(see docs/REEXECUTION.md).
 
 Gas model notes (documented deviations from mainnet, none of which affect
 scheduling behaviour):
@@ -19,7 +28,17 @@ scheduling behaviour):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Generator, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Generator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..core import words
 from ..core.errors import (
@@ -91,6 +110,79 @@ def valid_jumpdests(code: bytes) -> FrozenSet[int]:
     return result
 
 
+class _Frame:
+    """One call frame of the explicit interpreter stack.
+
+    ``out_off``/``out_len``/``token`` hold the pending CALL's output window
+    and driver frame token while a child frame executes, so the unwind step
+    after the child halts needs no extra bookkeeping.
+    """
+
+    __slots__ = (
+        "message",
+        "code",
+        "stack",
+        "memory",
+        "pc",
+        "self_address",
+        "watch",
+        "jumpdests",
+        "out_off",
+        "out_len",
+        "token",
+    )
+
+    def __init__(self, message: Message, code: bytes, watch: FrozenSet[int]) -> None:
+        self.message = message
+        self.code = code
+        self.stack = Stack()
+        self.memory = Memory()
+        self.pc = 0
+        self.self_address = message.to
+        self.watch = watch
+        self.jumpdests = valid_jumpdests(code)
+        self.out_off = 0
+        self.out_len = 0
+        self.token = 0
+
+
+@dataclass(frozen=True)
+class _FrameSnapshot:
+    """Copy-on-write image of one frame.  ``stack_items``/``memory_data``
+    are the live containers marked shared — never mutate them directly."""
+
+    message: Message
+    code: bytes
+    pc: int
+    stack_items: List[int]
+    memory_data: bytearray
+    out_off: int
+    out_len: int
+    token: int
+
+
+@dataclass(frozen=True)
+class VMCheckpoint:
+    """A suspended interpreter, frozen at a storage-read boundary.
+
+    ``event`` is the :class:`StorageRead` the VM is waiting on; resuming
+    re-yields it so the driver can answer with a freshly-resolved value.
+    Taking a checkpoint is O(frames): stacks and memories are shared
+    copy-on-write, so nothing is copied until one side mutates.
+    """
+
+    event: StorageRead
+    gas_limit: int
+    gas_left: int
+    steps: int
+    logs: Tuple[LogEntry, ...]
+    frames: Tuple[_FrameSnapshot, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+
 class EVM:
     """One EVM instance.  Instances are cheap; the paper's validator creates
     one per concurrently-executing transaction."""
@@ -107,9 +199,12 @@ class EVM:
         self._gas_limit = 0
         self._gas_left = 0
         self._logs: list = []
+        self._steps = 0
+        self._frames: List[_Frame] = []
+        self._checkpoint_ctx: Optional[StorageRead] = None
 
     # ------------------------------------------------------------------
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------
 
     def run(self, message: Message) -> Generator[VMEvent, object, ExecutionResult]:
@@ -122,22 +217,61 @@ class EVM:
         self._gas_limit = message.gas
         self._gas_left = message.gas
         self._logs = []
-        try:
-            status, return_data = yield from self._execute(message)
-            gas_used = self._gas_limit - self._gas_left
-            error = "execution reverted" if status is HaltReason.REVERT else None
-            return ExecutionResult(status, gas_used, return_data, self._logs, error)
-        except OutOfGas as exc:
-            return ExecutionResult(HaltReason.OUT_OF_GAS, self._gas_limit, b"", self._logs, str(exc))
-        except AssertionFailure as exc:
-            # INVALID consumes all gas, as on mainnet.
-            return ExecutionResult(HaltReason.ASSERT_FAIL, self._gas_limit, b"", self._logs, str(exc))
-        except (StackOverflow, StackUnderflow) as exc:
-            return ExecutionResult(HaltReason.STACK_ERROR, self._gas_limit, b"", self._logs, str(exc))
-        except InvalidJump as exc:
-            return ExecutionResult(HaltReason.BAD_JUMP, self._gas_limit, b"", self._logs, str(exc))
-        except (InvalidOpcode, CallDepthExceeded) as exc:
-            return ExecutionResult(HaltReason.INVALID, self._gas_limit, b"", self._logs, str(exc))
+        self._steps = 0
+        self._frames = []
+        self._checkpoint_ctx = None
+        return (yield from self._package(self._boot(message)))
+
+    def resume(
+        self, checkpoint: VMCheckpoint
+    ) -> Generator[VMEvent, object, ExecutionResult]:
+        """Continue execution from ``checkpoint``.
+
+        The first yielded event is the checkpoint's pending
+        :class:`StorageRead`; the driver answers it (possibly with a
+        different value than the original attempt saw) and execution
+        proceeds exactly as a fresh run would from that point.  The same
+        checkpoint can be resumed any number of times.
+        """
+        self._gas_limit = checkpoint.gas_limit
+        self._gas_left = checkpoint.gas_left
+        self._logs = list(checkpoint.logs)
+        self._steps = checkpoint.steps
+        self._checkpoint_ctx = None
+        self._frames = [self._restore_frame(snap) for snap in checkpoint.frames]
+        return (
+            yield from self._package(
+                self._run_frames(self._frames, checkpoint.event)
+            )
+        )
+
+    def checkpoint(self) -> Optional[VMCheckpoint]:
+        """Snapshot the suspended interpreter, or ``None`` when the current
+        suspension is not a checkpointable storage-read boundary (e.g. the
+        CALL funding micro-sequence or an SSTORE)."""
+        event = self._checkpoint_ctx
+        if event is None:
+            return None
+        return VMCheckpoint(
+            event=event,
+            gas_limit=self._gas_limit,
+            gas_left=self._gas_left,
+            steps=self._steps,
+            logs=tuple(self._logs),
+            frames=tuple(
+                _FrameSnapshot(
+                    message=frame.message,
+                    code=frame.code,
+                    pc=frame.pc,
+                    stack_items=frame.stack.snapshot(),
+                    memory_data=frame.memory.snapshot(),
+                    out_off=frame.out_off,
+                    out_len=frame.out_len,
+                    token=frame.token,
+                )
+                for frame in self._frames
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Gas
@@ -147,6 +281,12 @@ class EVM:
     def gas_used(self) -> int:
         return self._gas_limit - self._gas_left
 
+    @property
+    def steps(self) -> int:
+        """Instructions dispatched so far in this run (resume() starts from
+        the checkpoint's count, so the final total matches a fresh run)."""
+        return self._steps
+
     def _use_gas(self, amount: int) -> None:
         if amount > self._gas_left:
             self._gas_left = 0
@@ -154,10 +294,44 @@ class EVM:
         self._gas_left -= amount
 
     # ------------------------------------------------------------------
-    # Frame execution
+    # Result packaging
     # ------------------------------------------------------------------
 
-    def _execute(
+    def _package(
+        self, body: Generator[VMEvent, object, Tuple[HaltReason, bytes]]
+    ) -> Generator[VMEvent, object, ExecutionResult]:
+        try:
+            status, return_data = yield from body
+            gas_used = self._gas_limit - self._gas_left
+            error = "execution reverted" if status is HaltReason.REVERT else None
+            return ExecutionResult(
+                status, gas_used, return_data, self._logs, error, self._steps
+            )
+        except OutOfGas as exc:
+            return ExecutionResult(
+                HaltReason.OUT_OF_GAS, self._gas_limit, b"", self._logs, str(exc), self._steps
+            )
+        except AssertionFailure as exc:
+            # INVALID consumes all gas, as on mainnet.
+            return ExecutionResult(
+                HaltReason.ASSERT_FAIL, self._gas_limit, b"", self._logs, str(exc), self._steps
+            )
+        except (StackOverflow, StackUnderflow) as exc:
+            return ExecutionResult(
+                HaltReason.STACK_ERROR, self._gas_limit, b"", self._logs, str(exc), self._steps
+            )
+        except InvalidJump as exc:
+            return ExecutionResult(
+                HaltReason.BAD_JUMP, self._gas_limit, b"", self._logs, str(exc), self._steps
+            )
+        except (InvalidOpcode, CallDepthExceeded) as exc:
+            return ExecutionResult(
+                HaltReason.INVALID, self._gas_limit, b"", self._logs, str(exc), self._steps
+            )
+        finally:
+            self._checkpoint_ctx = None
+
+    def _boot(
         self, message: Message
     ) -> Generator[VMEvent, object, Tuple[HaltReason, bytes]]:
         if message.depth > CALL_DEPTH_LIMIT:
@@ -165,282 +339,371 @@ class EVM:
         code = self._resolve_code(message.to)
         if not code:
             return HaltReason.SUCCESS, b""
+        self._frames = [
+            _Frame(message, code, self._watchpoints.get(message.to, _EMPTY_WATCH))
+        ]
+        return (yield from self._run_frames(self._frames, None))
 
-        stack = Stack()
-        memory = Memory()
-        pc = 0
-        self_address = message.to
-        watch = self._watchpoints.get(self_address, _EMPTY_WATCH)
-        jumpdests = valid_jumpdests(code)
+    def _restore_frame(self, snap: _FrameSnapshot) -> _Frame:
+        frame = _Frame.__new__(_Frame)
+        frame.message = snap.message
+        frame.code = snap.code
+        frame.stack = Stack.from_snapshot(snap.stack_items)
+        frame.memory = Memory.from_snapshot(snap.memory_data)
+        frame.pc = snap.pc
+        frame.self_address = snap.message.to
+        frame.watch = self._watchpoints.get(snap.message.to, _EMPTY_WATCH)
+        frame.jumpdests = valid_jumpdests(snap.code)
+        frame.out_off = snap.out_off
+        frame.out_len = snap.out_len
+        frame.token = snap.token
+        return frame
 
+    # ------------------------------------------------------------------
+    # The frame machine
+    # ------------------------------------------------------------------
+
+    def _run_frames(
+        self, frames: List[_Frame], pending: Optional[StorageRead]
+    ) -> Generator[VMEvent, object, Tuple[HaltReason, bytes]]:
+        """Drive the explicit frame stack until the bottom frame halts.
+
+        ``pending`` (resume path) is a storage read the top frame is
+        suspended on: it is re-yielded first, and its answer applied via
+        the uniform read continuation (push value, advance pc).
+        """
         while True:
-            if pc >= len(code):
-                return HaltReason.SUCCESS, b""
-            byte = code[pc]
-            info = opcode_info(byte)
-            if info is None:
-                raise InvalidOpcode(f"undefined opcode {byte:#04x} at pc {pc}")
-            op = info.op
+            frame = frames[-1]
+            message = frame.message
+            code = frame.code
+            stack = frame.stack
+            memory = frame.memory
+            watch = frame.watch
+            jumpdests = frame.jumpdests
+            self_address = frame.self_address
+            pc = frame.pc
+            halt: Optional[Tuple[HaltReason, bytes]] = None
 
-            if pc in watch:
-                yield Watchpoint(self.gas_used, pc, self_address, self._gas_left)
+            if pending is not None:
+                event, pending = pending, None
+                self._checkpoint_ctx = event
+                value = yield event
+                self._checkpoint_ctx = None
+                stack.push(to_word(int(value)))  # type: ignore[arg-type]
+                pc += 1
 
-            self._use_gas(info.gas)
+            while True:
+                if pc >= len(code):
+                    halt = (HaltReason.SUCCESS, b"")
+                    break
+                byte = code[pc]
+                info = opcode_info(byte)
+                if info is None:
+                    raise InvalidOpcode(f"undefined opcode {byte:#04x} at pc {pc}")
+                op = info.op
 
-            # ---- control flow -------------------------------------------------
-            if op is Op.STOP:
-                return HaltReason.SUCCESS, b""
-            if op is Op.JUMP:
-                dest = stack.pop()
-                if dest not in jumpdests:
-                    raise InvalidJump(f"jump to {dest} from pc {pc}")
-                pc = dest
-                continue
-            if op is Op.JUMPI:
-                dest, cond = stack.pop(), stack.pop()
-                if cond != 0:
+                if pc in watch:
+                    yield Watchpoint(self.gas_used, pc, self_address, self._gas_left)
+
+                self._use_gas(info.gas)
+                self._steps += 1
+
+                # ---- control flow ---------------------------------------------
+                if op is Op.STOP:
+                    halt = (HaltReason.SUCCESS, b"")
+                    break
+                if op is Op.JUMP:
+                    dest = stack.pop()
                     if dest not in jumpdests:
-                        raise InvalidJump(f"jumpi to {dest} from pc {pc}")
+                        raise InvalidJump(f"jump to {dest} from pc {pc}")
                     pc = dest
                     continue
+                if op is Op.JUMPI:
+                    dest, cond = stack.pop(), stack.pop()
+                    if cond != 0:
+                        if dest not in jumpdests:
+                            raise InvalidJump(f"jumpi to {dest} from pc {pc}")
+                        pc = dest
+                        continue
+                    pc += 1
+                    continue
+                if op is Op.JUMPDEST:
+                    pc += 1
+                    continue
+                if op is Op.RETURN:
+                    offset, length = stack.pop(), stack.pop()
+                    self._use_gas(memory.expansion_cost(offset, length))
+                    halt = (HaltReason.SUCCESS, memory.read(offset, length))
+                    break
+                if op is Op.REVERT:
+                    offset, length = stack.pop(), stack.pop()
+                    self._use_gas(memory.expansion_cost(offset, length))
+                    halt = (HaltReason.REVERT, memory.read(offset, length))
+                    break
+                if op is Op.INVALID:
+                    raise AssertionFailure(f"INVALID at pc {pc}")
+
+                # ---- pushes / dups / swaps ------------------------------------
+                if info.immediate:
+                    operand = bytes_to_word(code[pc + 1 : pc + 1 + info.immediate])
+                    stack.push(operand)
+                    pc += 1 + info.immediate
+                    continue
+                if Op.DUP1 <= op <= Op.DUP16:
+                    stack.dup(int(op) - int(Op.DUP1) + 1)
+                    pc += 1
+                    continue
+                if Op.SWAP1 <= op <= Op.SWAP16:
+                    stack.swap(int(op) - int(Op.SWAP1) + 1)
+                    pc += 1
+                    continue
+
+                # ---- storage: the events the whole paper is about --------------
+                if op is Op.SLOAD:
+                    slot = stack.pop()
+                    frame.pc = pc
+                    event = StorageRead(self.gas_used, StateKey(self_address, slot), pc)
+                    self._checkpoint_ctx = event
+                    value = yield event
+                    self._checkpoint_ctx = None
+                    stack.push(to_word(int(value)))  # type: ignore[arg-type]
+                    pc += 1
+                    continue
+                if op is Op.SSTORE:
+                    slot, value = stack.pop(), stack.pop()
+                    self._use_gas(GAS_SSTORE_RESET)
+                    yield StorageWrite(self.gas_used, StateKey(self_address, slot), value, pc)
+                    pc += 1
+                    continue
+                if op is Op.BALANCE:
+                    address = Address(stack.pop() & _ADDRESS_MASK)
+                    frame.pc = pc
+                    event = StorageRead(self.gas_used, StateKey.balance(address), pc)
+                    self._checkpoint_ctx = event
+                    value = yield event
+                    self._checkpoint_ctx = None
+                    stack.push(to_word(int(value)))  # type: ignore[arg-type]
+                    pc += 1
+                    continue
+                if op is Op.SELFBALANCE:
+                    frame.pc = pc
+                    event = StorageRead(self.gas_used, StateKey.balance(self_address), pc)
+                    self._checkpoint_ctx = event
+                    value = yield event
+                    self._checkpoint_ctx = None
+                    stack.push(to_word(int(value)))  # type: ignore[arg-type]
+                    pc += 1
+                    continue
+
+                # ---- environment ----------------------------------------------
+                if op is Op.ADDRESS:
+                    stack.push(self_address.to_word())
+                elif op is Op.ORIGIN or op is Op.CALLER:
+                    stack.push(message.sender.to_word())
+                elif op is Op.CALLVALUE:
+                    stack.push(message.value)
+                elif op is Op.CALLDATALOAD:
+                    offset = stack.pop()
+                    chunk = message.data[offset : offset + WORD_BYTES]
+                    stack.push(bytes_to_word(chunk.ljust(WORD_BYTES, b"\x00")))
+                elif op is Op.CALLDATASIZE:
+                    stack.push(len(message.data))
+                elif op is Op.CALLDATACOPY:
+                    dest, src, length = stack.pop(), stack.pop(), stack.pop()
+                    self._use_gas(memory.expansion_cost(dest, length))
+                    self._use_gas(GAS_COPY_WORD * ((length + 31) // 32))
+                    chunk = message.data[src : src + length].ljust(length, b"\x00")
+                    memory.write(dest, chunk)
+                elif op is Op.TIMESTAMP:
+                    stack.push(self.block.timestamp)
+                elif op is Op.NUMBER:
+                    stack.push(self.block.number)
+                elif op is Op.PC:
+                    stack.push(pc)
+                elif op is Op.MSIZE:
+                    stack.push(len(memory))
+                elif op is Op.GAS:
+                    stack.push(self._gas_left)
+                elif op is Op.POP:
+                    stack.pop()
+
+                # ---- memory ---------------------------------------------------
+                elif op is Op.MLOAD:
+                    offset = stack.pop()
+                    self._use_gas(memory.expansion_cost(offset, WORD_BYTES))
+                    stack.push(memory.read_word(offset))
+                elif op is Op.MSTORE:
+                    offset, value = stack.pop(), stack.pop()
+                    self._use_gas(memory.expansion_cost(offset, WORD_BYTES))
+                    memory.write_word(offset, value)
+                elif op is Op.MSTORE8:
+                    offset, value = stack.pop(), stack.pop()
+                    self._use_gas(memory.expansion_cost(offset, 1))
+                    memory.write_byte(offset, value)
+
+                # ---- hashing --------------------------------------------------
+                elif op is Op.SHA3:
+                    offset, length = stack.pop(), stack.pop()
+                    self._use_gas(memory.expansion_cost(offset, length))
+                    self._use_gas(GAS_SHA3_WORD * ((length + 31) // 32))
+                    stack.push(bytes_to_word(keccak(memory.read(offset, length))))
+
+                # ---- arithmetic / logic ---------------------------------------
+                elif op is Op.ADD:
+                    stack.push(words.add(stack.pop(), stack.pop()))
+                elif op is Op.MUL:
+                    stack.push(words.mul(stack.pop(), stack.pop()))
+                elif op is Op.SUB:
+                    a, b = stack.pop(), stack.pop()
+                    stack.push(words.sub(a, b))
+                elif op is Op.DIV:
+                    a, b = stack.pop(), stack.pop()
+                    stack.push(words.div(a, b))
+                elif op is Op.SDIV:
+                    a, b = stack.pop(), stack.pop()
+                    stack.push(words.sdiv(a, b))
+                elif op is Op.MOD:
+                    a, b = stack.pop(), stack.pop()
+                    stack.push(words.mod(a, b))
+                elif op is Op.SMOD:
+                    a, b = stack.pop(), stack.pop()
+                    stack.push(words.smod(a, b))
+                elif op is Op.ADDMOD:
+                    a, b, n = stack.pop(), stack.pop(), stack.pop()
+                    stack.push(words.addmod(a, b, n))
+                elif op is Op.MULMOD:
+                    a, b, n = stack.pop(), stack.pop(), stack.pop()
+                    stack.push(words.mulmod(a, b, n))
+                elif op is Op.EXP:
+                    base, exponent = stack.pop(), stack.pop()
+                    self._use_gas(GAS_EXP_BYTE * ((exponent.bit_length() + 7) // 8))
+                    stack.push(words.exp(base, exponent))
+                elif op is Op.LT:
+                    a, b = stack.pop(), stack.pop()
+                    stack.push(words.lt(a, b))
+                elif op is Op.GT:
+                    a, b = stack.pop(), stack.pop()
+                    stack.push(words.gt(a, b))
+                elif op is Op.SLT:
+                    a, b = stack.pop(), stack.pop()
+                    stack.push(words.slt(a, b))
+                elif op is Op.SGT:
+                    a, b = stack.pop(), stack.pop()
+                    stack.push(words.sgt(a, b))
+                elif op is Op.EQ:
+                    stack.push(words.eq(stack.pop(), stack.pop()))
+                elif op is Op.ISZERO:
+                    stack.push(words.iszero(stack.pop()))
+                elif op is Op.AND:
+                    stack.push(stack.pop() & stack.pop())
+                elif op is Op.OR:
+                    stack.push(stack.pop() | stack.pop())
+                elif op is Op.XOR:
+                    stack.push(stack.pop() ^ stack.pop())
+                elif op is Op.NOT:
+                    stack.push(words.bitwise_not(stack.pop()))
+                elif op is Op.BYTE:
+                    index, value = stack.pop(), stack.pop()
+                    stack.push(words.byte(index, value))
+                elif op is Op.SHL:
+                    shift, value = stack.pop(), stack.pop()
+                    stack.push(words.shl(shift, value))
+                elif op is Op.SHR:
+                    shift, value = stack.pop(), stack.pop()
+                    stack.push(words.shr(shift, value))
+                elif op is Op.SAR:
+                    shift, value = stack.pop(), stack.pop()
+                    stack.push(words.sar(shift, value))
+
+                # ---- logs -----------------------------------------------------
+                elif Op.LOG0 <= op <= Op.LOG3:
+                    topic_count = int(op) - int(Op.LOG0)
+                    offset, length = stack.pop(), stack.pop()
+                    topics = tuple(stack.pop() for _ in range(topic_count))
+                    self._use_gas(memory.expansion_cost(offset, length))
+                    self._use_gas(GAS_LOG_DATA_BYTE * length)
+                    data = memory.read(offset, length)
+                    self._logs.append(LogEntry(self_address, topics, data))
+                    yield EmittedLog(self.gas_used, self_address, topics, data)
+
+                # ---- message call ---------------------------------------------
+                elif op is Op.CALL:
+                    _gas, to_word_, value, in_off, in_len, out_off, out_len = (
+                        stack.pop() for _ in range(7)
+                    )
+                    to = Address(to_word_ & _ADDRESS_MASK)
+                    self._use_gas(memory.expansion_cost(in_off, in_len))
+                    self._use_gas(memory.expansion_cost(out_off, out_len))
+                    if value > 0:
+                        self._use_gas(GAS_CALL_VALUE)
+                    data = memory.read(in_off, in_len)
+
+                    frame.pc = pc
+                    token = yield FrameCheckpoint(self.gas_used, message.depth + 1)
+                    if value > 0:
+                        sender_key = StateKey.balance(message.to)
+                        sender_balance = int((yield StorageRead(self.gas_used, sender_key)))  # type: ignore[arg-type]
+                        if sender_balance < value:
+                            yield FrameRevert(self.gas_used, int(token))  # type: ignore[arg-type]
+                            stack.push(0)
+                            pc += 1
+                            continue
+                        yield StorageWrite(self.gas_used, sender_key, sender_balance - value)
+                        to_key = StateKey.balance(to)
+                        to_balance = int((yield StorageRead(self.gas_used, to_key)))  # type: ignore[arg-type]
+                        yield StorageWrite(self.gas_used, to_key, to_balance + value)
+
+                    if message.depth + 1 > CALL_DEPTH_LIMIT:
+                        raise CallDepthExceeded(f"call depth {message.depth + 1}")
+                    inner_code = self._resolve_code(to)
+                    if not inner_code:
+                        yield FrameCommit(self.gas_used, int(token))  # type: ignore[arg-type]
+                        stack.push(1)
+                        pc += 1
+                        continue
+
+                    inner = Message(
+                        sender=message.to,
+                        to=to,
+                        value=value,
+                        data=data,
+                        gas=self._gas_left,
+                        depth=message.depth + 1,
+                    )
+                    frame.out_off = out_off
+                    frame.out_len = out_len
+                    frame.token = int(token)  # type: ignore[arg-type]
+                    frames.append(
+                        _Frame(
+                            inner,
+                            inner_code,
+                            self._watchpoints.get(to, _EMPTY_WATCH),
+                        )
+                    )
+                    break  # re-enter the outer loop on the child frame
+                else:  # pragma: no cover - table and dispatch are kept in sync
+                    raise InvalidOpcode(f"unhandled opcode {op.name}")
+
                 pc += 1
-                continue
-            if op is Op.JUMPDEST:
-                pc += 1
-                continue
-            if op is Op.RETURN:
-                offset, length = stack.pop(), stack.pop()
-                self._use_gas(memory.expansion_cost(offset, length))
-                return HaltReason.SUCCESS, memory.read(offset, length)
-            if op is Op.REVERT:
-                offset, length = stack.pop(), stack.pop()
-                self._use_gas(memory.expansion_cost(offset, length))
-                return HaltReason.REVERT, memory.read(offset, length)
-            if op is Op.INVALID:
-                raise AssertionFailure(f"INVALID at pc {pc}")
 
-            # ---- pushes / dups / swaps ----------------------------------------
-            if info.immediate:
-                operand = bytes_to_word(code[pc + 1 : pc + 1 + info.immediate])
-                stack.push(operand)
-                pc += 1 + info.immediate
-                continue
-            if Op.DUP1 <= op <= Op.DUP16:
-                stack.dup(int(op) - int(Op.DUP1) + 1)
-                pc += 1
-                continue
-            if Op.SWAP1 <= op <= Op.SWAP16:
-                stack.swap(int(op) - int(Op.SWAP1) + 1)
-                pc += 1
-                continue
+            if halt is None:
+                continue  # a child frame was pushed
 
-            # ---- storage: the events the whole paper is about ------------------
-            if op is Op.SLOAD:
-                slot = stack.pop()
-                value = yield StorageRead(self.gas_used, StateKey(self_address, slot), pc)
-                stack.push(to_word(int(value)))  # type: ignore[arg-type]
-                pc += 1
-                continue
-            if op is Op.SSTORE:
-                slot, value = stack.pop(), stack.pop()
-                self._use_gas(GAS_SSTORE_RESET)
-                yield StorageWrite(self.gas_used, StateKey(self_address, slot), value, pc)
-                pc += 1
-                continue
-            if op is Op.BALANCE:
-                address = Address(stack.pop() & _ADDRESS_MASK)
-                value = yield StorageRead(self.gas_used, StateKey.balance(address), pc)
-                stack.push(to_word(int(value)))  # type: ignore[arg-type]
-                pc += 1
-                continue
-            if op is Op.SELFBALANCE:
-                value = yield StorageRead(self.gas_used, StateKey.balance(self_address), pc)
-                stack.push(to_word(int(value)))  # type: ignore[arg-type]
-                pc += 1
-                continue
-
-            # ---- environment ----------------------------------------------------
-            if op is Op.ADDRESS:
-                stack.push(self_address.to_word())
-            elif op is Op.ORIGIN or op is Op.CALLER:
-                stack.push(message.sender.to_word())
-            elif op is Op.CALLVALUE:
-                stack.push(message.value)
-            elif op is Op.CALLDATALOAD:
-                offset = stack.pop()
-                chunk = message.data[offset : offset + WORD_BYTES]
-                stack.push(bytes_to_word(chunk.ljust(WORD_BYTES, b"\x00")))
-            elif op is Op.CALLDATASIZE:
-                stack.push(len(message.data))
-            elif op is Op.CALLDATACOPY:
-                dest, src, length = stack.pop(), stack.pop(), stack.pop()
-                self._use_gas(memory.expansion_cost(dest, length))
-                self._use_gas(GAS_COPY_WORD * ((length + 31) // 32))
-                chunk = message.data[src : src + length].ljust(length, b"\x00")
-                memory.write(dest, chunk)
-            elif op is Op.TIMESTAMP:
-                stack.push(self.block.timestamp)
-            elif op is Op.NUMBER:
-                stack.push(self.block.number)
-            elif op is Op.PC:
-                stack.push(pc)
-            elif op is Op.MSIZE:
-                stack.push(len(memory))
-            elif op is Op.GAS:
-                stack.push(self._gas_left)
-            elif op is Op.POP:
-                stack.pop()
-
-            # ---- memory ---------------------------------------------------------
-            elif op is Op.MLOAD:
-                offset = stack.pop()
-                self._use_gas(memory.expansion_cost(offset, WORD_BYTES))
-                stack.push(memory.read_word(offset))
-            elif op is Op.MSTORE:
-                offset, value = stack.pop(), stack.pop()
-                self._use_gas(memory.expansion_cost(offset, WORD_BYTES))
-                memory.write_word(offset, value)
-            elif op is Op.MSTORE8:
-                offset, value = stack.pop(), stack.pop()
-                self._use_gas(memory.expansion_cost(offset, 1))
-                memory.write_byte(offset, value)
-
-            # ---- hashing --------------------------------------------------------
-            elif op is Op.SHA3:
-                offset, length = stack.pop(), stack.pop()
-                self._use_gas(memory.expansion_cost(offset, length))
-                self._use_gas(GAS_SHA3_WORD * ((length + 31) // 32))
-                stack.push(bytes_to_word(keccak(memory.read(offset, length))))
-
-            # ---- arithmetic / logic --------------------------------------------
-            elif op is Op.ADD:
-                stack.push(words.add(stack.pop(), stack.pop()))
-            elif op is Op.MUL:
-                stack.push(words.mul(stack.pop(), stack.pop()))
-            elif op is Op.SUB:
-                a, b = stack.pop(), stack.pop()
-                stack.push(words.sub(a, b))
-            elif op is Op.DIV:
-                a, b = stack.pop(), stack.pop()
-                stack.push(words.div(a, b))
-            elif op is Op.SDIV:
-                a, b = stack.pop(), stack.pop()
-                stack.push(words.sdiv(a, b))
-            elif op is Op.MOD:
-                a, b = stack.pop(), stack.pop()
-                stack.push(words.mod(a, b))
-            elif op is Op.SMOD:
-                a, b = stack.pop(), stack.pop()
-                stack.push(words.smod(a, b))
-            elif op is Op.ADDMOD:
-                a, b, n = stack.pop(), stack.pop(), stack.pop()
-                stack.push(words.addmod(a, b, n))
-            elif op is Op.MULMOD:
-                a, b, n = stack.pop(), stack.pop(), stack.pop()
-                stack.push(words.mulmod(a, b, n))
-            elif op is Op.EXP:
-                base, exponent = stack.pop(), stack.pop()
-                self._use_gas(GAS_EXP_BYTE * ((exponent.bit_length() + 7) // 8))
-                stack.push(words.exp(base, exponent))
-            elif op is Op.LT:
-                a, b = stack.pop(), stack.pop()
-                stack.push(words.lt(a, b))
-            elif op is Op.GT:
-                a, b = stack.pop(), stack.pop()
-                stack.push(words.gt(a, b))
-            elif op is Op.SLT:
-                a, b = stack.pop(), stack.pop()
-                stack.push(words.slt(a, b))
-            elif op is Op.SGT:
-                a, b = stack.pop(), stack.pop()
-                stack.push(words.sgt(a, b))
-            elif op is Op.EQ:
-                stack.push(words.eq(stack.pop(), stack.pop()))
-            elif op is Op.ISZERO:
-                stack.push(words.iszero(stack.pop()))
-            elif op is Op.AND:
-                stack.push(stack.pop() & stack.pop())
-            elif op is Op.OR:
-                stack.push(stack.pop() | stack.pop())
-            elif op is Op.XOR:
-                stack.push(stack.pop() ^ stack.pop())
-            elif op is Op.NOT:
-                stack.push(words.bitwise_not(stack.pop()))
-            elif op is Op.BYTE:
-                index, value = stack.pop(), stack.pop()
-                stack.push(words.byte(index, value))
-            elif op is Op.SHL:
-                shift, value = stack.pop(), stack.pop()
-                stack.push(words.shl(shift, value))
-            elif op is Op.SHR:
-                shift, value = stack.pop(), stack.pop()
-                stack.push(words.shr(shift, value))
-            elif op is Op.SAR:
-                shift, value = stack.pop(), stack.pop()
-                stack.push(words.sar(shift, value))
-
-            # ---- logs -----------------------------------------------------------
-            elif Op.LOG0 <= op <= Op.LOG3:
-                topic_count = int(op) - int(Op.LOG0)
-                offset, length = stack.pop(), stack.pop()
-                topics = tuple(stack.pop() for _ in range(topic_count))
-                self._use_gas(memory.expansion_cost(offset, length))
-                self._use_gas(GAS_LOG_DATA_BYTE * length)
-                data = memory.read(offset, length)
-                self._logs.append(LogEntry(self_address, topics, data))
-                yield EmittedLog(self.gas_used, self_address, topics, data)
-
-            # ---- message call ---------------------------------------------------
-            elif op is Op.CALL:
-                status = yield from self._do_call(message, stack, memory)
-                stack.push(status)
-            else:  # pragma: no cover - table and dispatch are kept in sync
-                raise InvalidOpcode(f"unhandled opcode {op.name}")
-
-            pc += 1
-
-    # ------------------------------------------------------------------
-    # CALL
-    # ------------------------------------------------------------------
-
-    def _do_call(
-        self, message: Message, stack: Stack, memory: Memory
-    ) -> Generator[VMEvent, object, int]:
-        """Execute a nested CALL; returns 1 on success, 0 on failure."""
-        _gas, to_word_, value, in_off, in_len, out_off, out_len = (
-            stack.pop() for _ in range(7)
-        )
-        to = Address(to_word_ & _ADDRESS_MASK)
-        self._use_gas(memory.expansion_cost(in_off, in_len))
-        self._use_gas(memory.expansion_cost(out_off, out_len))
-        if value > 0:
-            self._use_gas(GAS_CALL_VALUE)
-        data = memory.read(in_off, in_len)
-
-        token = yield FrameCheckpoint(self.gas_used, message.depth + 1)
-        if value > 0:
-            sender_key = StateKey.balance(message.to)
-            sender_balance = int((yield StorageRead(self.gas_used, sender_key)))  # type: ignore[arg-type]
-            if sender_balance < value:
-                yield FrameRevert(self.gas_used, int(token))  # type: ignore[arg-type]
-                return 0
-            yield StorageWrite(self.gas_used, sender_key, sender_balance - value)
-            to_key = StateKey.balance(to)
-            to_balance = int((yield StorageRead(self.gas_used, to_key)))  # type: ignore[arg-type]
-            yield StorageWrite(self.gas_used, to_key, to_balance + value)
-
-        inner = Message(
-            sender=message.to,
-            to=to,
-            value=value,
-            data=data,
-            gas=self._gas_left,
-            depth=message.depth + 1,
-        )
-        status, return_data = yield from self._execute(inner)
-        if status is HaltReason.SUCCESS:
-            yield FrameCommit(self.gas_used, int(token))  # type: ignore[arg-type]
-            memory.write(out_off, return_data[:out_len].ljust(min(out_len, len(return_data)), b"\x00"))
-            return 1
-        yield FrameRevert(self.gas_used, int(token))  # type: ignore[arg-type]
-        return 0
+            status, return_data = halt
+            frames.pop()
+            if not frames:
+                return status, return_data
+            parent = frames[-1]
+            if status is HaltReason.SUCCESS:
+                yield FrameCommit(self.gas_used, parent.token)
+                parent.memory.write(
+                    parent.out_off,
+                    return_data[: parent.out_len].ljust(
+                        min(parent.out_len, len(return_data)), b"\x00"
+                    ),
+                )
+                parent.stack.push(1)
+            else:
+                yield FrameRevert(self.gas_used, parent.token)
+                parent.stack.push(0)
+            parent.pc += 1

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..analysis.csag import AccessType, CSAG, CSAGBuilder
+from ..analysis.csag import AccessType, CSAG, CSAGBuilder, CSAGCache
 from ..analysis.sag import PSAGCache
 from ..core.errors import SchedulingError
 from ..core.types import Address, StateKey
@@ -48,7 +48,13 @@ from ..sim.metrics import TxMetrics
 from ..sim.threadpool import ThreadPool
 from ..state.statedb import Snapshot
 from .base import BlockExecution, Executor, Receipt
-from .txprogram import StorageIncrement, TxResult, transaction_program
+from .txprogram import (
+    ExecutionMeter,
+    StorageIncrement,
+    TxResult,
+    resume_transaction_program,
+    transaction_program,
+)
 
 
 class _Status(Enum):
@@ -56,6 +62,68 @@ class _Status(Enum):
     READY = "ready"
     RUNNING = "running"
     DONE = "done"
+
+
+@dataclass
+class _ReadRecord:
+    """One resolved read of the current attempt, in program order.
+
+    The log is what makes aborts cheap: revalidation re-resolves every
+    record against the live access sequences, and resume finds the first
+    record whose resolution changed.  ``base`` is the value the resolution
+    produced (before any own-delta fold), which is exactly what a
+    re-resolution must reproduce for the read to still be valid.
+
+    Blind increment reads are logged for completeness but are always valid:
+    the static increment-site analysis guarantees their value feeds only the
+    paired ``+=`` (the driver stores the delta, not the absolute), so no
+    later version change can invalidate them.
+    """
+
+    key: StateKey
+    base: int
+    version_from: int
+    registered: bool
+    blind: bool = False
+    from_own_delta: bool = False
+    consumed_as_delta: bool = False
+    speculative: bool = False
+
+
+@dataclass
+class _AttemptCheckpoint:
+    """Driver-side image of one VM checkpoint.
+
+    ``read_index`` counts the read-log records already applied; resuming
+    from here replays nothing before record ``read_index`` and re-answers
+    that read first.  The dict copies freeze the attempt's buffered-write /
+    read bookkeeping at the same boundary.  ``gas_offset`` is the
+    transaction-cumulative gas at the suspended read, used to backdate the
+    resumed attempt's start time so simulated completion lands exactly
+    where a restart-free execution would.
+    """
+
+    read_index: int
+    vm: object  # repro.evm.vm.VMCheckpoint
+    gas_offset: int
+    w_abs: Dict[StateKey, int]
+    w_delta: Dict[StateKey, int]
+    pending_blind: Dict[StateKey, Tuple[int, int, int]]
+    registered_reads: Dict[StateKey, int]
+    frame_stack: List[Tuple[Dict, Dict, Dict]]
+    published: Dict[StateKey, Tuple[str, int]]
+    release_mode: bool
+    speculative_reads: int
+
+
+@dataclass
+class _ResumePlan:
+    """A pending resume decision: the checkpoint to restart from and the
+    re-validated versions of the kept read prefix."""
+
+    checkpoint: _AttemptCheckpoint
+    first_invalid: int
+    prefix_versions: List[int] = field(default_factory=list)
 
 
 @dataclass
@@ -76,12 +144,20 @@ class _TxState:
     pending_entry: Optional[object] = None
     w_abs: Dict[StateKey, int] = field(default_factory=dict)
     w_delta: Dict[StateKey, int] = field(default_factory=dict)
-    pending_blind: Dict[StateKey, Tuple[int, int]] = field(default_factory=dict)
+    pending_blind: Dict[StateKey, Tuple[int, int, int]] = field(default_factory=dict)
     registered_reads: Dict[StateKey, int] = field(default_factory=dict)
     published: Dict[StateKey, Tuple[str, int]] = field(default_factory=dict)
     frame_stack: List[Tuple[Dict, Dict, Dict]] = field(default_factory=list)
     speculative_reads: int = 0
     release_mode: bool = False  # past a release point with enough gas
+    # Incremental re-execution state:
+    read_log: List[_ReadRecord] = field(default_factory=list)
+    checkpoints: List[_AttemptCheckpoint] = field(default_factory=list)
+    checkpoint_stride: int = 1
+    meter: Optional[ExecutionMeter] = None
+    resume_from: Optional[_ResumePlan] = None
+    aborting: bool = False        # guards re-entrant abort cascades
+    abort_reentered: bool = False
 
     def reset_attempt(self) -> None:
         self.release_mode = False
@@ -94,6 +170,11 @@ class _TxState:
         self.registered_reads = {}
         self.published = {}
         self.frame_stack = []
+        self.read_log = []
+        self.checkpoints = []
+        self.checkpoint_stride = 1
+        self.meter = None
+        self.resume_from = None
 
 
 class DMVCCExecutor(Executor):
@@ -107,11 +188,19 @@ class DMVCCExecutor(Executor):
         enable_early_write: bool = True,
         enable_commutative: bool = True,
         psag_cache: Optional[PSAGCache] = None,
+        enable_checkpoint_resume: bool = True,
+        enable_revalidation: bool = True,
+        checkpoint_limit: int = 8,
+        csag_cache: Optional[CSAGCache] = None,
     ) -> None:
         super().__init__(gas_time_scale)
         self.enable_early_write = enable_early_write
         self.enable_commutative = enable_commutative
+        self.enable_checkpoint_resume = enable_checkpoint_resume
+        self.enable_revalidation = enable_revalidation
+        self.checkpoint_limit = max(checkpoint_limit, 1)
         self._psag_cache = psag_cache if psag_cache is not None else PSAGCache()
+        self._csag_cache = csag_cache if csag_cache is not None else CSAGCache()
         if not enable_early_write and not enable_commutative:
             self.name = "dmvcc-wv"  # write-versioning only
         elif not enable_early_write:
@@ -179,7 +268,8 @@ class _BlockRun:
         self.snapshot = snapshot
         self.resolve_code = code_resolver
         self.block = block if block is not None else BlockContext()
-        self.builder = CSAGBuilder(code_resolver, executor._psag_cache, self.block)
+        self.builder = CSAGBuilder(code_resolver, executor._psag_cache, self.block,
+                                   executor._csag_cache)
         if csags is None:
             csags = [self.builder.build(tx, snapshot) for tx in txs]
         self.csags = csags
@@ -335,6 +425,10 @@ class _BlockRun:
         metrics.utilisation = self.pool.utilisation(makespan)
         metrics.per_tx = self.per_tx
         metrics.rescues = self.rescues
+        metrics.replayed_instructions = sum(t.replayed_instructions for t in self.per_tx)
+        metrics.instructions_skipped = sum(t.instructions_skipped for t in self.per_tx)
+        metrics.resumes = sum(t.resumes for t in self.per_tx)
+        metrics.revalidation_hits = sum(t.revalidation_hits for t in self.per_tx)
         return BlockExecution(writes=writes, receipts=receipts, metrics=metrics)
 
     # ------------------------------------------------------------------
@@ -354,21 +448,27 @@ class _BlockRun:
                 return
             self._start(self.states[index])
 
+    def _watchpoints_for(self, state: _TxState):
+        code = self.resolve_code(state.tx.to)
+        if code and self.ex.enable_early_write:
+            _blind, _incs, release_pcs = self._contract_info(state.tx.to)
+            if release_pcs:
+                return {state.tx.to: release_pcs}
+        return None
+
     def _start(self, state: _TxState) -> None:
         now = self.loop.now
+        if state.resume_from is not None and self._begin_resume(state, now):
+            return
         state.reset_attempt()
         state.status = _Status.RUNNING
         state.attempts += 1
         state.thread = self.pool.try_occupy(now, label=f"T{state.index}")
         state.start_time = now
-        watchpoints = None
-        code = self.resolve_code(state.tx.to)
-        if code and self.ex.enable_early_write:
-            _blind, _incs, release_pcs = self._contract_info(state.tx.to)
-            if release_pcs:
-                watchpoints = {state.tx.to: release_pcs}
+        state.meter = ExecutionMeter()
         state.generator = transaction_program(
-            state.tx, self.resolve_code, block=self.block, watchpoints=watchpoints
+            state.tx, self.resolve_code, block=self.block,
+            watchpoints=self._watchpoints_for(state), meter=state.meter,
         )
         if state.attempts == 1:
             self.per_tx[state.index].start_time = now
@@ -378,6 +478,51 @@ class _BlockRun:
             self.obs.tx_start(now, state.index, attempt=state.attempts,
                               thread=state.thread if state.thread is not None else -1)
         self._advance(state, None)
+
+    def _begin_resume(self, state: _TxState, now: float) -> bool:
+        """Restart an aborted attempt from its armed checkpoint.  Returns
+        False (after cleaning up) when the kept prefix went stale while the
+        transaction was parked, sending the caller down the fresh path."""
+        plan = state.resume_from
+        state.resume_from = None
+        ck = plan.checkpoint
+        first_invalid, versions = self._validate_reads(state, ck.read_index)
+        if first_invalid is not None:
+            self._retract_published(state)
+            for key in state.registered_reads:
+                seq = self.sequences.get(key)
+                if seq is not None:
+                    entry = seq.entry(state.index)
+                    if entry is not None:
+                        entry.reset_read()
+            state.reset_attempt()
+            return False
+        prefix = state.read_log[: ck.read_index]
+        self._rerecord_reads(state, prefix, versions)
+        state.status = _Status.RUNNING
+        state.attempts += 1
+        state.thread = self.pool.try_occupy(now, label=f"T{state.index}")
+        # Backdate the start so the resumed attempt's events land exactly
+        # where a restart-free execution's would (gas is simulated time).
+        state.start_time = now - ck.gas_offset * self.ex.gas_time_scale
+        state.meter = ExecutionMeter()
+        state.generator = resume_transaction_program(
+            state.tx, ck.vm, self.resolve_code, block=self.block,
+            watchpoints=self._watchpoints_for(state), meter=state.meter,
+        )
+        per = self.per_tx[state.index]
+        per.resumes += 1
+        per.instructions_skipped += ck.vm.steps
+        if self.obs is not None:
+            self.obs.tx_reexecute(now, state.index, attempt=state.attempts)
+            self.obs.tx_resume(now, state.index, attempt=state.attempts,
+                               read_index=ck.read_index,
+                               instructions_skipped=ck.vm.steps)
+            self.obs.tx_start(now, state.index, attempt=state.attempts,
+                              thread=state.thread if state.thread is not None else -1)
+        self._reemit_reads(state, prefix, versions)
+        self._advance(state, None)
+        return True
 
     def _advance(self, state: _TxState, to_send: object) -> None:
         """Pull the next event from the generator and schedule its effect at
@@ -446,16 +591,23 @@ class _BlockRun:
         ):
             # Blind increment read: the value feeds only the paired +=, so
             # it needs no lock, registers no dependency, and cannot abort.
+            version = -1
+            from_own = False
             if key in state.w_delta:
                 answer = 0
+                from_own = True
             elif seq is not None:
                 res = seq.best_available_read(state.index)
                 answer = res.resolve_with_snapshot(self.snapshot.get(key))
+                version = res.version_from
             else:
                 answer = self.snapshot.get(key)
-            state.pending_blind[key] = (answer, event.pc)
+            state.pending_blind[key] = (answer, event.pc, len(state.read_log))
+            state.read_log.append(_ReadRecord(
+                key=key, base=answer, version_from=version,
+                registered=False, blind=True, from_own_delta=from_own,
+            ))
             if self.recorder is not None:
-                version = res.version_from if seq is not None else -1
                 self.recorder.read(state.index, key, version, answer,
                                    attempt=state.attempts, blind=True)
             return answer
@@ -464,6 +616,8 @@ class _BlockRun:
         # degraded to best-available for accesses the analysis missed).
         if seq is None:
             seq = self.sequences.sequence(key)
+        if self.ex.enable_checkpoint_resume:
+            self._maybe_checkpoint(state, event)
         speculative = False
         resolution = seq.resolve_read(state.index)
         if not resolution.ready:
@@ -479,6 +633,10 @@ class _BlockRun:
             value = base
         seq.record_read(state.index, resolution.version_from)
         state.registered_reads[key] = value
+        state.read_log.append(_ReadRecord(
+            key=key, base=base, version_from=resolution.version_from,
+            registered=True, speculative=speculative,
+        ))
         if self.obs is not None:
             writer = resolution.version_from
             if writer >= 0 and self.states[writer].status is not _Status.DONE:
@@ -494,6 +652,44 @@ class _BlockRun:
                            attempt=state.attempts, early=early,
                            speculative=speculative)
 
+    def _maybe_checkpoint(self, state: _TxState, event: StorageRead) -> None:
+        """Capture a resume point at this read boundary, if due.
+
+        Checkpoints are taken every ``checkpoint_stride`` registered reads;
+        when the retained count would exceed ``checkpoint_limit`` the list is
+        thinned to every other entry and the stride doubles, so memory stays
+        bounded while coverage stays geometric over the attempt's lifetime.
+        """
+        if state.meter is None:
+            return
+        read_index = len(state.read_log)
+        if read_index % state.checkpoint_stride != 0:
+            return
+        vm_ck = state.meter.checkpoint()
+        if vm_ck is None:
+            return  # suspended outside the VM (e.g. the funding prologue)
+        state.checkpoints.append(_AttemptCheckpoint(
+            read_index=read_index,
+            vm=vm_ck,
+            gas_offset=event.gas_used,
+            w_abs=dict(state.w_abs),
+            w_delta=dict(state.w_delta),
+            pending_blind=dict(state.pending_blind),
+            registered_reads=dict(state.registered_reads),
+            frame_stack=[(dict(a), dict(d), dict(r))
+                         for a, d, r in state.frame_stack],
+            published=dict(state.published),
+            release_mode=state.release_mode,
+            speculative_reads=state.speculative_reads,
+        ))
+        if len(state.checkpoints) > self.ex.checkpoint_limit:
+            del state.checkpoints[1::2]
+            state.checkpoint_stride *= 2
+        if self.obs is not None:
+            self.obs.checkpoint_taken(self.loop.now, state.index,
+                                      read_index=read_index,
+                                      retained=len(state.checkpoints))
+
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
@@ -502,11 +698,13 @@ class _BlockRun:
         key = event.key
         pending = state.pending_blind.pop(key, None)
         if pending is not None and self.ex.enable_commutative and key not in state.w_abs:
-            answer, read_pc = pending
+            answer, read_pc, log_index = pending
             _blind, increments, _rel = self._contract_info(state.tx.to)
             if increments.get(event.pc) == read_pc:
                 delta = (event.value - answer) % WORD_MOD
                 state.w_delta[key] = (state.w_delta.get(key, 0) + delta) % WORD_MOD
+                if 0 <= log_index < len(state.read_log):
+                    state.read_log[log_index].consumed_as_delta = True
                 if self.recorder is not None:
                     self.recorder.write(state.index, key, delta=delta,
                                         attempt=state.attempts)
@@ -537,6 +735,10 @@ class _BlockRun:
             base = resolution.resolve_with_snapshot(self.snapshot.get(key))
             seq.record_read(state.index, resolution.version_from)
             state.registered_reads[key] = base
+            state.read_log.append(_ReadRecord(
+                key=key, base=base, version_from=resolution.version_from,
+                registered=True, speculative=speculative,
+            ))
             state.w_abs[key] = (base + event.delta) % WORD_MOD
             if self.recorder is not None:
                 self._record_read(state, key, resolution, base, speculative)
@@ -650,6 +852,10 @@ class _BlockRun:
         self.per_tx[state.index].gas_used = result.gas_used
         self.per_tx[state.index].succeeded = result.success
         self.per_tx[state.index].attempts = state.attempts
+        if state.meter is not None:
+            self.per_tx[state.index].instructions_executed += state.meter.steps_executed
+            state.meter = None
+        self.per_tx[state.index].instructions_final = result.steps
 
         if result.success:
             for key, value in state.w_abs.items():
@@ -695,44 +901,90 @@ class _BlockRun:
     def _abort(self, index: int, trigger_key: StateKey, writer: int = -1) -> None:
         state = self.states[index]
         now = self.loop.now
+        if state.aborting:
+            # A suffix-retraction cascade circled back to the transaction
+            # being aborted.  Flag it — the outer call checks the flag and
+            # degrades to a full restart — and let that call finish.
+            state.abort_reentered = True
+            return
         if self.recorder is not None:
             self.recorder.abort(index, attempt=max(state.attempts, 1),
                                 key=trigger_key)
         if self.obs is not None:
             self.obs.tx_abort(now, index, attempt=max(state.attempts, 1),
                               key=trigger_key, writer=writer)
-        if state.status is _Status.READY:
-            self.queue.remove(index)
-        elif state.status is _Status.RUNNING:
-            if state.pending_entry is not None:
-                self.loop.cancel(state.pending_entry)
-                state.pending_entry = None
-            if state.generator is not None:
-                state.generator.close()
-            self.pool.release(state.thread, now)
-            state.thread = None
-        elif state.status is _Status.DONE:
-            state.result = None
-        elif state.status is _Status.WAITING:
-            # Nothing consumed yet in the *current* attempt; but a previous
-            # attempt's reads may still be recorded — fall through to reset.
-            pass
 
-        state.status = _Status.WAITING
-        self.per_tx[index].aborted_times += 1
+        # Revalidation fast path: a completed successful attempt whose whole
+        # read log still resolves to the same values remains serializable —
+        # reinstate its result as a fresh attempt with zero re-execution.
+        if (
+            self.ex.enable_revalidation
+            and state.status is _Status.DONE
+            and state.result is not None
+            and state.result.success
+            and self._try_revalidate(state)
+        ):
+            return
 
-        # Retract whatever this transaction made visible (cascades).
-        self._retract_published(state)
+        if state.resume_from is not None:
+            # Aborted again while parked for a resume: the plan below is
+            # recomputed against the (already truncated) log, so just drop
+            # the stale one.
+            state.resume_from = None
 
-        # Clear its recorded reads so future writes don't re-abort a
-        # transaction that is already going to re-execute.
-        for key in state.registered_reads:
-            seq = self.sequences.get(key)
-            if seq is not None:
-                entry = seq.entry(index)
-                if entry is not None:
-                    entry.reset_read()
-        state.reset_attempt()
+        state.aborting = True
+        state.abort_reentered = False
+        try:
+            if state.status is _Status.READY:
+                self.queue.remove(index)
+            elif state.status is _Status.RUNNING:
+                if state.pending_entry is not None:
+                    self.loop.cancel(state.pending_entry)
+                    state.pending_entry = None
+                if state.generator is not None:
+                    state.generator.close()
+                    state.generator = None
+                if state.meter is not None:
+                    self.per_tx[index].instructions_executed += state.meter.steps_executed
+                    state.meter = None
+                self.pool.release(state.thread, now)
+                state.thread = None
+            elif state.status is _Status.DONE:
+                state.result = None
+            elif state.status is _Status.WAITING:
+                # Nothing consumed yet in the *current* attempt; but a previous
+                # attempt's reads may still be recorded — fall through to reset.
+                pass
+
+            state.status = _Status.WAITING
+            self.per_tx[index].aborted_times += 1
+
+            plan = None
+            if self.ex.enable_checkpoint_resume and state.checkpoints:
+                plan = self._plan_resume(state)
+            if plan is not None:
+                # Retract only what came after the checkpoint; if the
+                # cascade came back to bite us, or shifted the kept prefix,
+                # fall back to retracting everything.
+                self._retract_suffix(state, plan)
+                if state.abort_reentered or self._prefix_invalid(state, plan):
+                    plan = None
+            if plan is not None:
+                self._arm_resume(state, plan)
+            else:
+                # Full restart: retract whatever this transaction made
+                # visible (cascades) and clear its recorded reads so future
+                # writes don't re-abort a transaction already re-executing.
+                self._retract_published(state)
+                for key in state.registered_reads:
+                    seq = self.sequences.get(key)
+                    if seq is not None:
+                        entry = seq.entry(index)
+                        if entry is not None:
+                            entry.reset_read()
+                state.reset_attempt()
+        finally:
+            state.aborting = False
 
         self.locks.release_all(index)
         if self.locks.refresh(index, self.sequences):
@@ -745,6 +997,186 @@ class _BlockRun:
             keys, blockers = self._wait_info(index)
             self.obs.version_wait_begin(now, index, keys=keys,
                                         blockers=blockers)
+
+    # ------------------------------------------------------------------
+    # Incremental re-execution: validation, revalidation, resume
+    # ------------------------------------------------------------------
+
+    def _validate_reads(
+        self, state: _TxState, limit: int
+    ) -> Tuple[Optional[int], List[int]]:
+        """Re-resolve the first ``limit`` read-log records against the live
+        access sequences.  Returns the index of the first record whose value
+        changed (or None when every record still holds) plus the re-resolved
+        version for each record of the valid prefix."""
+        versions: List[int] = []
+        for i, rec in enumerate(state.read_log[:limit]):
+            if rec.blind:
+                # Blind increment reads are value-insensitive (_ReadRecord):
+                # the driver publishes the delta, not the absolute.
+                versions.append(rec.version_from)
+                continue
+            seq = self.sequences.get(rec.key)
+            if seq is None:
+                return i, versions
+            view = seq.current_read_view(state.index, self.snapshot.get(rec.key))
+            if view is None or view[0] != rec.base:
+                return i, versions
+            versions.append(view[1])
+        return None, versions
+
+    def _rerecord_reads(
+        self, state: _TxState, records: List[_ReadRecord], versions: List[int]
+    ) -> None:
+        """Re-anchor the recorded read dependencies to the versions they
+        resolve to *now* (record_read keeps the oldest version, so the stale
+        registration must be reset first)."""
+        for key in {r.key for r in records if r.registered}:
+            seq = self.sequences.get(key)
+            if seq is not None:
+                entry = seq.entry(state.index)
+                if entry is not None:
+                    entry.reset_read()
+        for rec, version in zip(records, versions):
+            if rec.registered:
+                self.sequences.sequence(rec.key).record_read(state.index, version)
+                rec.version_from = version
+
+    def _reemit_reads(
+        self, state: _TxState, records: List[_ReadRecord], versions: List[int]
+    ) -> None:
+        """Emit the kept reads into the trace under the new attempt number so
+        the serializability oracle sees the attempt's true dependencies."""
+        if self.recorder is None:
+            return
+        for rec, version in zip(records, versions):
+            if rec.blind:
+                self.recorder.read(state.index, rec.key, version, rec.base,
+                                   attempt=state.attempts, blind=True)
+            else:
+                early = (version >= 0
+                         and self.states[version].status is not _Status.DONE)
+                self.recorder.read(state.index, rec.key, version, rec.base,
+                                   attempt=state.attempts, early=early,
+                                   speculative=rec.speculative)
+
+    def _try_revalidate(self, state: _TxState) -> bool:
+        first_invalid, versions = self._validate_reads(state, len(state.read_log))
+        if first_invalid is not None:
+            return False
+        state.attempts += 1
+        per = self.per_tx[state.index]
+        per.attempts = state.attempts
+        per.aborted_times += 1
+        per.revalidation_hits += 1
+        skipped = state.result.steps
+        per.instructions_skipped += skipped
+        self._rerecord_reads(state, state.read_log, versions)
+        if self.obs is not None:
+            self.obs.revalidation_hit(self.loop.now, state.index,
+                                      attempt=state.attempts,
+                                      instructions_skipped=skipped)
+        self._reemit_reads(state, state.read_log, versions)
+        if self.recorder is not None:
+            self.recorder.complete(state.index, attempt=state.attempts,
+                                   success=True,
+                                   gas_used=state.result.gas_used)
+        return True
+
+    def _plan_resume(self, state: _TxState) -> Optional[_ResumePlan]:
+        """Find the newest checkpoint at or before the first invalidated
+        read; everything up to it is salvageable."""
+        first_invalid, _ = self._validate_reads(state, len(state.read_log))
+        j = first_invalid if first_invalid is not None else len(state.read_log)
+        usable = [ck for ck in state.checkpoints if ck.read_index <= j]
+        if not usable:
+            return None
+        return _ResumePlan(checkpoint=usable[-1], first_invalid=j)
+
+    def _prefix_invalid(self, state: _TxState, plan: _ResumePlan) -> bool:
+        first_invalid, versions = self._validate_reads(
+            state, plan.checkpoint.read_index)
+        if first_invalid is not None:
+            return True
+        plan.prefix_versions = versions
+        return False
+
+    def _retract_suffix(self, state: _TxState, plan: _ResumePlan) -> None:
+        """Retract only the writes published after ``plan.checkpoint``.
+
+        A key the kept prefix had already published (with an older value)
+        gets that value reinstated — retract then republish — so prefix
+        readers can revalidate against the identical value instead of
+        cascading into full restarts.
+        """
+        keep = plan.checkpoint.published
+        published = list(state.published.items())
+        state.published = dict(keep)
+        for key, current in published:
+            kept = keep.get(key)
+            if kept == current:
+                continue  # unchanged since the checkpoint: leave it in place
+            seq = self.sequences.get(key)
+            if seq is None:
+                continue
+            victims = seq.retract(state.index)
+            if self.recorder is not None:
+                self.recorder.retract(
+                    state.index, key,
+                    tuple(v for v in victims if v != state.index),
+                )
+            allowed: List[int] = []
+            aborted: List[int] = []
+            if kept is not None:
+                kind, value = kept
+                if self.recorder is not None:
+                    self.recorder.publish(state.index, key, kind, value,
+                                          early=True)
+                if kind == "abs":
+                    allowed, aborted = seq.version_write(state.index, value=value)
+                else:
+                    allowed, aborted = seq.version_write(state.index, delta=value)
+            for victim in victims:
+                if victim != state.index:
+                    self._abort(victim, key, writer=state.index)
+            if kept is not None:
+                self._handle_wake_and_abort(key, allowed, aborted,
+                                            writer=state.index)
+
+    def _arm_resume(self, state: _TxState, plan: _ResumePlan) -> None:
+        """Park the transaction with a restored checkpoint image; the next
+        _start resumes the VM instead of re-executing from scratch."""
+        ck = plan.checkpoint
+        index = state.index
+        # Reads that exist only in the discarded suffix lose their recorded
+        # dependency; keys also read in the kept prefix keep their entry
+        # (the prefix re-record at start refreshes its version).
+        prefix_keys = {r.key for r in state.read_log[: ck.read_index]
+                       if r.registered}
+        for rec in state.read_log[ck.read_index:]:
+            if rec.registered and rec.key not in prefix_keys:
+                seq = self.sequences.get(rec.key)
+                if seq is not None:
+                    entry = seq.entry(index)
+                    if entry is not None:
+                        entry.reset_read()
+        del state.read_log[ck.read_index:]
+        state.checkpoints = [c for c in state.checkpoints
+                             if c.read_index <= ck.read_index]
+        # Restore the driver-side attempt image; the VM side is rebuilt by
+        # resume_transaction_program when the transaction next starts.
+        state.w_abs = dict(ck.w_abs)
+        state.w_delta = dict(ck.w_delta)
+        state.pending_blind = dict(ck.pending_blind)
+        state.registered_reads = dict(ck.registered_reads)
+        state.frame_stack = [(dict(a), dict(d), dict(r))
+                             for a, d, r in ck.frame_stack]
+        state.release_mode = ck.release_mode
+        state.speculative_reads = ck.speculative_reads
+        state.generator = None
+        state.meter = None
+        state.pending_entry = None
+        state.resume_from = plan
 
     def _retract_published(self, state: _TxState) -> None:
         published = list(state.published)

@@ -11,6 +11,15 @@ The recipient credit of a value transfer is emitted as a
 :class:`StorageIncrement` — a blind ``+= value`` that commutes with other
 credits.  Executors without commutativity support lower it to a
 read-modify-write.
+
+``resume_transaction_program`` is the incremental-re-execution counterpart:
+given a :class:`~repro.evm.vm.VMCheckpoint` captured by the driver mid-run,
+it rebuilds the event stream from that storage-read boundary onward.  The
+funding prologue is *not* replayed — it ran before the EVM started and its
+effects live in the driver's checkpointed bookkeeping.  An
+:class:`ExecutionMeter` gives the driver a live handle onto the VM for
+taking checkpoints and for counting the instructions each attempt actually
+dispatched (the replayed-work metric the re-execution benchmarks report).
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ from ..core.types import Address, StateKey
 from ..evm.environment import BlockContext, HaltReason, Message
 from ..evm.events import StorageRead, StorageWrite, VMEvent
 from ..evm.opcodes import intrinsic_gas
-from ..evm.vm import EVM, WatchMap
+from ..evm.vm import EVM, VMCheckpoint, WatchMap
 
 
 @dataclass(frozen=True)
@@ -67,13 +76,53 @@ class TxResult:
     gas_used: int            # transaction-total, intrinsic gas included
     return_data: bytes = b""
     error: Optional[str] = None
+    steps: int = 0           # EVM instructions on the final execution path
 
     @property
     def success(self) -> bool:
         return self.status.is_success
 
 
+class ExecutionMeter:
+    """Driver-side handle onto the live EVM of one transaction attempt.
+
+    ``checkpoint()`` snapshots the VM while its generator is suspended at a
+    storage read; ``steps_executed`` counts only the instructions *this*
+    attempt dispatched (a resumed attempt does not re-pay the prefix it
+    inherited from its checkpoint).
+    """
+
+    __slots__ = ("vm", "base_steps")
+
+    def __init__(self) -> None:
+        self.vm: Optional[EVM] = None
+        self.base_steps = 0
+
+    @property
+    def steps_executed(self) -> int:
+        if self.vm is None:
+            return 0
+        return self.vm.steps - self.base_steps
+
+    def checkpoint(self) -> Optional[VMCheckpoint]:
+        if self.vm is None:
+            return None
+        return self.vm.checkpoint()
+
+
 TxProgram = Generator[VMEvent, object, TxResult]
+
+
+def _pump_vm(gen, base: int):
+    """Re-yield a VM generator's events with ``gas_used`` offset by the
+    transaction's intrinsic gas; returns the VM's ExecutionResult."""
+    to_send: object = None
+    while True:
+        try:
+            event = gen.send(to_send)
+        except StopIteration as stop:
+            return stop.value
+        to_send = yield replace(event, gas_used=event.gas_used + base)
 
 
 def transaction_program(
@@ -81,6 +130,7 @@ def transaction_program(
     code_resolver: Callable[[Address], bytes],
     block: Optional[BlockContext] = None,
     watchpoints: Optional[WatchMap] = None,
+    meter: Optional[ExecutionMeter] = None,
 ) -> TxProgram:
     """Build the full event stream of one transaction.
 
@@ -111,6 +161,9 @@ def transaction_program(
         return TxResult(TxStatus.SUCCESS, base)
 
     evm = EVM(code_resolver, block=block, watchpoints=watchpoints)
+    if meter is not None:
+        meter.vm = evm
+        meter.base_steps = 0
     message = Message(
         sender=tx.sender,
         to=tx.to,
@@ -118,18 +171,41 @@ def transaction_program(
         data=tx.data,
         gas=tx.gas_limit - base,
     )
-    gen = evm.run(message)
-    to_send: object = None
-    while True:
-        try:
-            event = gen.send(to_send)
-        except StopIteration as stop:
-            result = stop.value
-            break
-        to_send = yield replace(event, gas_used=event.gas_used + base)
+    result = yield from _pump_vm(evm.run(message), base)
     return TxResult(
         _HALT_TO_STATUS[result.status],
         base + result.gas_used,
         result.return_data,
         result.error,
+        result.steps,
+    )
+
+
+def resume_transaction_program(
+    tx,
+    checkpoint: VMCheckpoint,
+    code_resolver: Callable[[Address], bytes],
+    block: Optional[BlockContext] = None,
+    watchpoints: Optional[WatchMap] = None,
+    meter: Optional[ExecutionMeter] = None,
+) -> TxProgram:
+    """Rebuild a transaction's event stream from a VM checkpoint.
+
+    The first yielded event is the checkpoint's pending storage read
+    (gas-offset like every other event); the intrinsic-gas and funding
+    prologue are not replayed.  Only meaningful for transactions that
+    reached EVM execution — plain transfers never produce checkpoints.
+    """
+    base = intrinsic_gas(tx.data)
+    evm = EVM(code_resolver, block=block, watchpoints=watchpoints)
+    if meter is not None:
+        meter.vm = evm
+        meter.base_steps = checkpoint.steps
+    result = yield from _pump_vm(evm.resume(checkpoint), base)
+    return TxResult(
+        _HALT_TO_STATUS[result.status],
+        base + result.gas_used,
+        result.return_data,
+        result.error,
+        result.steps,
     )

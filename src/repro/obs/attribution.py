@@ -16,10 +16,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.types import Address, StateKey
 from .events import (
+    CheckpointTaken,
     CommutativeMerge,
     EarlyReadServed,
     ObsEvent,
+    RevalidationHit,
     TxAbort,
+    TxResume,
     VersionWaitBegin,
     VersionWaitEnd,
 )
@@ -90,6 +93,11 @@ class AbortAttribution:
         self.aborts: List[AbortRecord] = []
         self.contention: Dict[StateKey, KeyContention] = {}
         self._open_waits: Dict[int, Tuple[float, Tuple[StateKey, ...]]] = {}
+        # Incremental re-execution savings (checkpoint/resume features):
+        self.resumes: int = 0
+        self.revalidation_hits: int = 0
+        self.instructions_skipped: int = 0
+        self.checkpoints_taken: int = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -142,6 +150,14 @@ class AbortAttribution:
             self._key_stats(event.key).early_reads += 1
         elif isinstance(event, CommutativeMerge) and event.key is not None:
             self._key_stats(event.key).merges += 1
+        elif isinstance(event, TxResume):
+            self.resumes += 1
+            self.instructions_skipped += event.instructions_skipped
+        elif isinstance(event, RevalidationHit):
+            self.revalidation_hits += 1
+            self.instructions_skipped += event.instructions_skipped
+        elif isinstance(event, CheckpointTaken):
+            self.checkpoints_taken += 1
 
     def finish(self, end_of_stream: Optional[float] = None) -> None:
         """Close version-waits still open when the stream ended (an abort
@@ -203,6 +219,13 @@ class AbortAttribution:
             f"{title}: {self.abort_count} abort(s) across "
             f"{sum(1 for s in self.contention.values() if s.aborts)} key(s)"
         ]
+        if self.resumes or self.revalidation_hits or self.checkpoints_taken:
+            lines.append(
+                f"  re-execution savings: {self.resumes} resume(s), "
+                f"{self.revalidation_hits} revalidation hit(s), "
+                f"{self.instructions_skipped} instruction(s) skipped "
+                f"({self.checkpoints_taken} checkpoint(s) taken)"
+            )
         if not hot:
             lines.append("  (no contention recorded)")
             return "\n".join(lines)

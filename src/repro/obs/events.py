@@ -208,6 +208,39 @@ class CommutativeMerge(ObsEvent):
     delta: int = 0
 
 
+# ---------------------------------------------------------------------------
+# Incremental re-execution (checkpoint / resume / revalidate)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CheckpointTaken(ObsEvent):
+    """The driver snapshotted the VM at a storage-read boundary.
+    ``read_index`` counts the reads already baked into the checkpoint;
+    ``retained`` is how many checkpoints the attempt holds after pruning."""
+
+    read_index: int = 0
+    retained: int = 0
+
+
+@dataclass(frozen=True)
+class TxResume(ObsEvent):
+    """An aborted transaction restarted from a checkpoint instead of from
+    scratch; ``instructions_skipped`` is the prefix it did not replay."""
+
+    attempt: int = 2
+    read_index: int = 0
+    instructions_skipped: int = 0
+
+
+@dataclass(frozen=True)
+class RevalidationHit(ObsEvent):
+    """An aborted transaction's whole read set re-resolved to identical
+    values: its completed result was reinstated with zero re-execution."""
+
+    attempt: int = 2
+    instructions_skipped: int = 0
+
+
 class EventBus:
     """Append-only, sequence-numbered sink of :class:`ObsEvent`."""
 
@@ -314,6 +347,22 @@ class EventBus:
                           delta: int) -> None:
         self.events.append(CommutativeMerge(self._next(), ts, tx, key, delta))
 
+    def checkpoint_taken(self, ts: float, tx: int, read_index: int,
+                         retained: int) -> None:
+        self.events.append(
+            CheckpointTaken(self._next(), ts, tx, read_index, retained))
+
+    def tx_resume(self, ts: float, tx: int, attempt: int = 2,
+                  read_index: int = 0,
+                  instructions_skipped: int = 0) -> None:
+        self.events.append(TxResume(
+            self._next(), ts, tx, attempt, read_index, instructions_skipped))
+
+    def revalidation_hit(self, ts: float, tx: int, attempt: int = 2,
+                         instructions_skipped: int = 0) -> None:
+        self.events.append(RevalidationHit(
+            self._next(), ts, tx, attempt, instructions_skipped))
+
     def summary(self) -> str:
         counts = {}
         for event in self.events:
@@ -346,6 +395,9 @@ class NullSink(EventBus):
     def release_point(self, *args, **kwargs) -> None: pass
     def early_read(self, *args, **kwargs) -> None: pass
     def commutative_merge(self, *args, **kwargs) -> None: pass
+    def checkpoint_taken(self, *args, **kwargs) -> None: pass
+    def tx_resume(self, *args, **kwargs) -> None: pass
+    def revalidation_hit(self, *args, **kwargs) -> None: pass
 
 
 NULL_BUS = NullSink()

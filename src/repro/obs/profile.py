@@ -56,6 +56,11 @@ class ProfileSection:
     timeline: Timeline
     aborts: int = 0
     matches_serial: bool = True
+    # Incremental re-execution savings (DMVCC checkpoint/resume):
+    resumes: int = 0
+    revalidation_hits: int = 0
+    instructions_skipped: int = 0
+    replayed_instructions: int = 0
 
     @property
     def label(self) -> str:
@@ -77,6 +82,12 @@ class ProfileReport:
         for section in self.sections:
             lines.append(f"  block {section.block}  "
                          + format_breakdown(section.timeline))
+            if section.resumes or section.revalidation_hits:
+                lines.append(
+                    f"    └ re-exec savings: {section.resumes} resume(s), "
+                    f"{section.revalidation_hits} revalidation hit(s), "
+                    f"{section.instructions_skipped} instr skipped, "
+                    f"{section.replayed_instructions} instr replayed")
 
         dmvcc_sections = [s for s in self.sections if s.scheduler == "dmvcc"]
         if dmvcc_sections:
@@ -151,7 +162,11 @@ def run_profile(
             timeline = build_timeline(bus)
             section = ProfileSection(
                 scheduler=name, block=block_index, timeline=timeline,
-                aborts=execution.metrics.aborts, matches_serial=matches)
+                aborts=execution.metrics.aborts, matches_serial=matches,
+                resumes=execution.metrics.resumes,
+                revalidation_hits=execution.metrics.revalidation_hits,
+                instructions_skipped=execution.metrics.instructions_skipped,
+                replayed_instructions=execution.metrics.replayed_instructions)
             report.sections.append(section)
             trace_sections.append((section.label, timeline, 0.0))
             if name in attributions:

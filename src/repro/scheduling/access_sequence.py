@@ -308,6 +308,39 @@ class AccessSequence:
                     victims.append(later.tx_index)
         return victims
 
+    def rollback_write(
+        self,
+        tx_index: int,
+        value: Optional[int] = None,
+        delta: Optional[int] = None,
+    ) -> Tuple[List[int], List[int], List[int]]:
+        """Replace ``T_{tx_index}``'s published version with an earlier one
+        from the same attempt (the incremental-abort path: a resume keeps
+        the checkpoint-time value of a key it had already re-published).
+
+        Equivalent to :meth:`retract` followed by :meth:`version_write`;
+        returns ``(victims, allowed, aborted)`` — the retraction's cascade
+        victims plus the re-publication's wake/abort sets.
+        """
+        victims = self.retract(tx_index)
+        allowed, aborted = self.version_write(tx_index, value=value, delta=delta)
+        return victims, allowed, aborted
+
+    def current_read_view(
+        self, tx_index: int, snapshot_value: int
+    ) -> Optional[Tuple[int, int]]:
+        """Re-resolve ``T_{tx_index}``'s read against the sequence as it
+        stands *now*: ``(value, version_from)``, or ``None`` when the read
+        is not resolvable without blocking.  The revalidation fast path
+        compares this against the value an aborted attempt recorded."""
+        resolution = self.resolve_read(tx_index)
+        if not resolution.ready:
+            return None
+        return (
+            resolution.resolve_with_snapshot(snapshot_value),
+            resolution.version_from,
+        )
+
     def reset_for_retry(self, tx_index: int) -> None:
         """Clear the read/write state of an aborted transaction's entry so
         its re-execution starts from a clean slate (the declared α of the

@@ -17,10 +17,21 @@ class TxMetrics:
     gas_used: int = 0
     succeeded: bool = True
     aborted_times: int = 0
+    # Incremental re-execution accounting (DMVCC checkpoint/resume):
+    instructions_executed: int = 0   # dispatched across every attempt
+    instructions_final: int = 0      # the committed attempt's logical path
+    instructions_skipped: int = 0    # avoided via resume / revalidation
+    resumes: int = 0                 # aborts recovered from a VM checkpoint
+    revalidation_hits: int = 0       # aborts recovered with zero re-execution
 
     @property
     def latency(self) -> float:
         return self.end_time - self.start_time
+
+    @property
+    def replayed_instructions(self) -> int:
+        """Instructions spent re-doing work an earlier attempt already did."""
+        return max(self.instructions_executed - self.instructions_final, 0)
 
 
 @dataclass
@@ -81,6 +92,11 @@ class BlockMetrics:
     deterministic_failures: int = 0  # reverts/asserts/oog: the contract's own doing
     rescues: int = 0          # scheduler wake-loss recoveries (should be 0)
     utilisation: float = 0.0
+    # Incremental re-execution totals (sums of the per_tx counters):
+    replayed_instructions: int = 0
+    instructions_skipped: int = 0
+    resumes: int = 0
+    revalidation_hits: int = 0
     per_tx: List[TxMetrics] = field(default_factory=list)
     oracle: Optional[OracleStats] = None  # set when a verify pass ran
 
@@ -107,6 +123,10 @@ class BlockMetrics:
         self.executions += other.executions
         self.aborts += other.aborts
         self.deterministic_failures += other.deterministic_failures
+        self.replayed_instructions += other.replayed_instructions
+        self.instructions_skipped += other.instructions_skipped
+        self.resumes += other.resumes
+        self.revalidation_hits += other.revalidation_hits
 
     def summary(self) -> str:
         return (

@@ -1,0 +1,371 @@
+"""Checkpoint/resume equivalence: a resumed run is indistinguishable from
+the fresh run it was snapshotted out of.
+
+The harness drives ``EVM.run`` by hand, answering storage reads from an
+overlay (with frame save/restore for nested-call revert isolation), and
+records the full (event, answer) script.  At every checkpointable
+StorageRead it also captures ``EVM.checkpoint()``.  Replaying any of those
+checkpoints with the recorded answers must re-yield exactly the script
+suffix and return an ExecutionResult equal — field for field, including
+``steps`` and ``gas_used`` — to the fresh run's.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Address, StateKey
+from repro.evm import EVM, Message, assemble
+from repro.evm.events import (
+    EmittedLog,
+    FrameCheckpoint,
+    FrameCommit,
+    FrameRevert,
+    StorageRead,
+    StorageWrite,
+    Watchpoint,
+)
+from repro.lang import compile_source
+
+CONTRACT = Address.derive("ckpt")
+SENDER = Address.derive("ckpt-sender")
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+def run_capturing(resolver, message, backing=None):
+    """Drive ``evm.run(message)``, capturing a checkpoint at every
+    checkpointable StorageRead.
+
+    Returns ``(result, script, checkpoints, writes)`` where ``script`` is
+    the ordered list of ``(event, answer)`` pairs, ``checkpoints`` is a
+    list of ``(script_position, VMCheckpoint)`` and ``writes`` the final
+    committed overlay.
+    """
+    backing = backing or {}
+    evm = EVM(resolver)
+    overlay = {}
+    saved = {}
+    next_token = 1
+    script = []
+    checkpoints = []
+    generator = evm.run(message)
+    to_send = None
+    while True:
+        try:
+            event = generator.send(to_send)
+        except StopIteration as stop:
+            return stop.value, script, checkpoints, overlay
+        if isinstance(event, StorageRead):
+            snapshot = evm.checkpoint()
+            if snapshot is not None:
+                checkpoints.append((len(script), snapshot))
+            answer = overlay.get(event.key, backing.get(event.key, 0))
+            script.append((event, answer))
+            to_send = answer
+        elif isinstance(event, StorageWrite):
+            overlay[event.key] = event.value
+            script.append((event, None))
+            to_send = None
+        elif isinstance(event, FrameCheckpoint):
+            token = next_token
+            next_token += 1
+            saved[token] = dict(overlay)
+            script.append((event, token))
+            to_send = token
+        elif isinstance(event, FrameCommit):
+            saved.pop(event.token, None)
+            script.append((event, None))
+            to_send = None
+        elif isinstance(event, FrameRevert):
+            overlay.clear()
+            overlay.update(saved.pop(event.token))
+            script.append((event, None))
+            to_send = None
+        elif isinstance(event, (Watchpoint, EmittedLog)):
+            script.append((event, None))
+            to_send = None
+        else:  # pragma: no cover - new event kinds must be handled here
+            raise AssertionError(f"unhandled event {event!r}")
+
+
+def replay_from(resolver, checkpoint, script, start):
+    """Resume ``checkpoint`` on a fresh EVM, answering every event with the
+    recorded answer and asserting the event stream matches the script
+    suffix exactly.  Returns the resumed ExecutionResult."""
+    evm = EVM(resolver)
+    generator = evm.resume(checkpoint)
+    position = start
+    to_send = None
+    while True:
+        try:
+            event = generator.send(to_send)
+        except StopIteration as stop:
+            assert position == len(script), (
+                f"resume halted after {position} events, fresh run saw "
+                f"{len(script)}"
+            )
+            return stop.value
+        recorded_event, answer = script[position]
+        assert event == recorded_event, (
+            f"event #{position} diverged: resumed {event!r} vs "
+            f"fresh {recorded_event!r}"
+        )
+        position += 1
+        to_send = answer
+
+
+# ----------------------------------------------------------------------
+# Random Minisol programs that actually read storage
+# ----------------------------------------------------------------------
+
+STORAGE_VARS = ("s0", "s1", "s2")
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        choice = draw(st.sampled_from(
+            ["lit", "a", "b", *STORAGE_VARS]))
+        if choice == "lit":
+            return str(draw(st.integers(0, 1_000)))
+        return choice
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(expressions(depth=depth + 1))
+    right = draw(expressions(depth=depth + 1))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def storage_programs(draw):
+    """A random Minisol function over three storage vars: assignments,
+    ``+=``, data-dependent ``if``s and bounded ``while`` loops — every
+    storage-var mention is an SLOAD, i.e. a checkpoint site."""
+    loop_counters = []
+
+    def statement(depth):
+        kinds = ["assign", "inc"]
+        if depth < 2:
+            kinds += ["if", "while"]
+        kind = draw(st.sampled_from(kinds))
+        if kind == "assign":
+            target = draw(st.sampled_from(STORAGE_VARS))
+            return f"{target} = {draw(expressions())};"
+        if kind == "inc":
+            target = draw(st.sampled_from(STORAGE_VARS))
+            return f"{target} += {draw(expressions())};"
+        if kind == "if":
+            cond = f"({draw(expressions())} < {draw(expressions())})"
+            body = " ".join(
+                statement(depth + 1)
+                for _ in range(draw(st.integers(1, 2))))
+            return f"if {cond} {{ {body} }}"
+        counter = f"i{len(loop_counters) + 1}"
+        loop_counters.append(counter)
+        bound = draw(st.integers(1, 3))
+        body = " ".join(
+            statement(depth + 1) for _ in range(draw(st.integers(1, 2))))
+        return (f"while ({counter} < {bound}) "
+                f"{{ {body} {counter} = {counter} + 1; }}")
+
+    statements = [
+        statement(0) for _ in range(draw(st.integers(1, 5)))]
+    # Guarantee at least one storage read so every program has a
+    # checkpoint site.
+    statements.append("s0 += s1;")
+    declarations = " ".join(f"uint {c} = 0;" for c in loop_counters)
+    body = "\n                ".join(statements)
+    return f"""
+        contract P {{
+            uint s0; uint s1; uint s2;
+            function f(uint a, uint b) public {{
+                {declarations}
+                {body}
+            }}
+        }}
+    """
+
+
+class TestCheckpointResumeProperty:
+    @given(
+        storage_programs(),
+        st.integers(0, 2**64),
+        st.integers(0, 2**64),
+        st.tuples(st.integers(0, 50), st.integers(0, 50), st.integers(0, 50)),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_resume_identical_to_fresh_run(self, source, a, b, initial):
+        """Resuming ANY checkpoint of a random program, fed the recorded
+        answers, re-yields the exact event suffix and an equal result."""
+        compiled = compile_source(source)
+
+        def resolver(address):
+            return compiled.code
+
+        backing = {
+            StateKey(CONTRACT, compiled.slot_of(var)): value
+            for var, value in zip(STORAGE_VARS, initial)
+        }
+        message = Message(
+            SENDER, CONTRACT, 0, compiled.encode_call("f", a, b), 10**7)
+        result, script, checkpoints, writes = run_capturing(
+            resolver, message, backing)
+        assert result.success, result
+        assert checkpoints, "every generated program reads storage"
+
+        for position, snapshot in checkpoints:
+            resumed = replay_from(resolver, snapshot, script, position)
+            assert resumed == result
+
+    @given(
+        storage_programs(),
+        st.integers(0, 2**64),
+        st.integers(0, 2**64),
+    )
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_checkpoint_survives_repeated_resume(self, source, a, b):
+        """Checkpoints are copy-on-write: resuming one must not corrupt it
+        for a second resume (DMVCC may retry from the same checkpoint)."""
+        compiled = compile_source(source)
+
+        def resolver(address):
+            return compiled.code
+
+        message = Message(
+            SENDER, CONTRACT, 0, compiled.encode_call("f", a, b), 10**7)
+        result, script, checkpoints, _writes = run_capturing(
+            resolver, message)
+        position, snapshot = checkpoints[0]
+        first = replay_from(resolver, snapshot, script, position)
+        second = replay_from(resolver, snapshot, script, position)
+        assert first == result
+        assert second == result
+
+
+class TestDivergentResume:
+    def test_resume_with_different_read_value(self):
+        """The production abort path re-answers the pending read with a
+        fresh resolution; downstream writes must reflect the new value."""
+        source = """
+            contract C {
+                uint s0; uint s1;
+                function f() public { s1 = s0 + 1; }
+            }
+        """
+        compiled = compile_source(source)
+
+        def resolver(address):
+            return compiled.code
+
+        key0 = StateKey(CONTRACT, compiled.slot_of("s0"))
+        key1 = StateKey(CONTRACT, compiled.slot_of("s1"))
+        message = Message(
+            SENDER, CONTRACT, 0, compiled.encode_call("f"), 10**7)
+        result, script, checkpoints, writes = run_capturing(
+            resolver, message, backing={key0: 5})
+        assert writes[key1] == 6
+
+        read_positions = [
+            (pos, ck) for pos, ck in checkpoints
+            if ck.event.key == key0
+        ]
+        assert read_positions
+        position, snapshot = read_positions[0]
+
+        evm = EVM(resolver)
+        generator = evm.resume(snapshot)
+        event = generator.send(None)
+        assert event == script[position][0]
+        replayed_writes = {}
+        to_send = 41  # a different resolution than the original 5
+        while True:
+            try:
+                event = generator.send(to_send)
+            except StopIteration as stop:
+                resumed = stop.value
+                break
+            if isinstance(event, StorageWrite):
+                replayed_writes[event.key] = event.value
+            to_send = None
+        assert resumed.success
+        assert replayed_writes[key1] == 42
+
+
+CALLER_ADDR = Address.derive("ckpt-outer")
+CALLEE_ADDR = Address.derive("ckpt-inner")
+
+# Callee: increment its own slot 0 (SLOAD inside the child frame — a
+# depth-2 checkpoint site) and return the new value.
+CALLEE = """
+    PUSH 0
+    SLOAD
+    PUSH 1
+    ADD
+    DUP1
+    PUSH 0
+    SSTORE
+    PUSH 0
+    MSTORE
+    PUSH 32
+    PUSH 0
+    RETURN
+"""
+
+
+def caller_program():
+    """Outer contract: CALL the callee, store the returned word at slot 1."""
+    return f"""
+        PUSH 32
+        PUSH 0
+        PUSH 0
+        PUSH 0
+        PUSH 0
+        PUSH {CALLEE_ADDR.to_word()}
+        PUSH 100000
+        CALL
+        PUSH 1
+        SSTORE
+        PUSH 0
+        MLOAD
+        PUSH 2
+        SSTORE
+    """
+
+
+class TestNestedCallCheckpoint:
+    def test_checkpoint_inside_child_frame(self):
+        caller_code = assemble(caller_program())
+        callee_code = assemble(CALLEE)
+
+        def resolver(address):
+            if address == CALLER_ADDR:
+                return caller_code
+            if address == CALLEE_ADDR:
+                return callee_code
+            return b""
+
+        backing = {StateKey(CALLEE_ADDR, 0): 9}
+        message = Message(SENDER, CALLER_ADDR, 0, b"", 10**6)
+        result, script, checkpoints, writes = run_capturing(
+            resolver, message, backing)
+        assert result.success
+        assert writes[StateKey(CALLEE_ADDR, 0)] == 10
+        assert writes[StateKey(CALLER_ADDR, 2)] == 10
+
+        nested = [
+            (pos, ck) for pos, ck in checkpoints if ck.depth == 2]
+        assert nested, "expected a checkpoint taken inside the child frame"
+        for position, snapshot in nested:
+            assert snapshot.event.key == StateKey(CALLEE_ADDR, 0)
+            resumed = replay_from(resolver, snapshot, script, position)
+            assert resumed == result

@@ -204,3 +204,109 @@ class TestReadResolutionProperties:
                 _allowed, aborted = seq.version_write(index, delta=value)
                 assert reader in aborted
                 return
+
+
+class TestRollbackWriteProperties:
+    """rollback_write(tx) — the suffix-retraction primitive used by the
+    incremental re-execution path — must be indistinguishable from the
+    two-step retract-then-republish it replaces."""
+
+    @staticmethod
+    def _publish(seq, script, published):
+        for index in sorted(published):
+            kind, value = script[index]
+            if kind == "write":
+                seq.version_write(index, value=value)
+            elif kind == "delta":
+                seq.version_write(index, delta=value)
+            elif kind == "skip":
+                seq.version_write(index, skipped=True)
+            else:
+                seq.record_read(index, SNAPSHOT_VERSION)
+
+    @staticmethod
+    def _observable(seq, population, snapshot_value):
+        """Everything the scheduler can see of a sequence."""
+        views = []
+        for reader in range(population + 2):
+            resolution = seq.resolve_read(reader)
+            views.append((
+                resolution.ready,
+                resolution.resolve_with_snapshot(snapshot_value)
+                if resolution.ready else None,
+                resolution.version_from,
+            ))
+            best = seq.best_available_read(reader)
+            views.append((
+                best.resolve_with_snapshot(snapshot_value),
+                best.version_from,
+            ))
+        views.append(seq.final_value(lambda key: snapshot_value))
+        views.append([
+            (e.tx_index, e.write_finished, e.write_skipped, e.write_value,
+             e.write_delta, e.read_done, e.read_version_from)
+            for e in seq.entries()
+        ])
+        return views
+
+    @given(
+        OPS,
+        st.integers(0, 500),
+        st.sampled_from(["abs", "delta"]),
+        st.integers(0, 1_000),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rollback_equals_retract_then_republish(
+        self, script, snapshot_value, kind, republish_value, data
+    ):
+        writer = data.draw(st.integers(0, len(script) - 1))
+        published = data.draw(st.sets(st.sampled_from(range(len(script)))))
+        published.add(writer)
+        # Later readers that may have consumed the writer's version:
+        extra_readers = data.draw(
+            st.sets(st.integers(len(script), len(script) + 3)))
+
+        combined = build_sequence(script)
+        two_step = build_sequence(script)
+        for seq in (combined, two_step):
+            self._publish(seq, script, published)
+            for reader in sorted(extra_readers):
+                resolution = seq.best_available_read(reader)
+                seq.record_read(reader, resolution.version_from)
+
+        value = republish_value if kind == "abs" else None
+        delta = republish_value if kind == "delta" else None
+        victims_a, allowed_a, aborted_a = combined.rollback_write(
+            writer, value=value, delta=delta)
+        victims_b = two_step.retract(writer)
+        allowed_b, aborted_b = two_step.version_write(
+            writer, value=value, delta=delta)
+
+        assert victims_a == victims_b
+        assert allowed_a == allowed_b
+        assert aborted_a == aborted_b
+        assert self._observable(combined, len(script) + 4, snapshot_value) \
+            == self._observable(two_step, len(script) + 4, snapshot_value)
+
+    @given(OPS, st.integers(0, 500), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_current_read_view_matches_resolution(
+        self, script, snapshot_value, data
+    ):
+        """current_read_view is exactly resolve_read's (value, version) pair
+        when ready and None otherwise — the revalidation fast path depends
+        on this equivalence."""
+        seq = build_sequence(script)
+        published = data.draw(st.sets(st.sampled_from(range(len(script)))))
+        self._publish(seq, script, published)
+        for reader in range(len(script) + 2):
+            view = seq.current_read_view(reader, snapshot_value)
+            resolution = seq.resolve_read(reader)
+            if not resolution.ready:
+                assert view is None
+            else:
+                assert view == (
+                    resolution.resolve_with_snapshot(snapshot_value),
+                    resolution.version_from,
+                )
