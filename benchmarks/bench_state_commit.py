@@ -1,0 +1,154 @@
+"""State-commitment benchmarks: batched overlay vs per-key commits, and
+flat-cache vs trie-walk reads, on an ERC20-shaped key distribution.
+
+The keys mirror what a block of token traffic actually touches: a handful
+of contracts, each with ``mapping(address => uint)`` balance slots derived
+via ``mapping_slot`` — 256-bit keccak-spread keys, exactly the shape that
+makes every trie path deep and disjoint.  The ≥3× hash-economy claim of
+the overlay pipeline is asserted here (and the root equivalence is fuzzed
+continuously by ``repro verify``).
+"""
+
+import random
+
+import pytest
+
+from repro.core import Address, StateKey, mapping_slot
+from repro.state import StateDB
+from repro.state.statedb import Snapshot
+
+from conftest import scaled
+
+TOKENS = [Address.derive(f"bench-commit-token-{i}") for i in range(4)]
+USERS = scaled(400, minimum=100)
+WRITES_PER_BLOCK = scaled(300, minimum=50)
+
+
+def _erc20_writes(rng, count, value_floor=1):
+    """One block's final write batch: token balance slots for random
+    (token, holder) pairs, plus a few native balances."""
+    writes = {}
+    while len(writes) < count:
+        token = rng.choice(TOKENS)
+        holder = Address.derive(f"bench-holder-{rng.randrange(USERS)}")
+        if rng.random() < 0.1:
+            key = StateKey.balance(holder)
+        else:
+            key = StateKey(token, mapping_slot(holder.to_word(), 0))
+        writes[key] = rng.randint(value_floor, 10**9)
+    return writes
+
+
+def _seeded_db(blocks=3):
+    rng = random.Random(1234)
+    db = StateDB()
+    for _ in range(blocks):
+        db.commit(_erc20_writes(rng, WRITES_PER_BLOCK))
+    return db, rng
+
+
+def bench_commit_batch_overlay(benchmark):
+    """Trie batch-commit through the dirty-node overlay (the default)."""
+    db, rng = _seeded_db()
+    batches = [_erc20_writes(rng, WRITES_PER_BLOCK) for _ in range(64)]
+    cursor = [0]
+
+    def commit():
+        db.commit(batches[cursor[0] % len(batches)])
+        cursor[0] += 1
+
+    benchmark(commit)
+    report = db.last_commit
+    benchmark.extra_info["nodes_sealed"] = report.nodes_sealed
+    benchmark.extra_info["hashes_per_commit"] = report.hashes_computed
+
+
+def bench_commit_per_key_legacy(benchmark):
+    """The legacy baseline: one hashed trie insert per written key."""
+    db, rng = _seeded_db()
+    batches = [_erc20_writes(rng, WRITES_PER_BLOCK) for _ in range(64)]
+    cursor = [0]
+
+    def commit():
+        db.commit(batches[cursor[0] % len(batches)], legacy=True)
+        cursor[0] += 1
+
+    benchmark(commit)
+    benchmark.extra_info["hashes_per_commit"] = db.last_commit.hashes_computed
+
+
+def bench_commit_hash_economy(benchmark):
+    """Asserts the acceptance claim: the overlay spends ≥3× fewer hash
+    invocations per block commit than the per-key baseline, sealing the
+    byte-identical root."""
+    rng = random.Random(99)
+    batch = _erc20_writes(rng, WRITES_PER_BLOCK)
+    db = _seeded_db()[0]
+    overlay_fork, legacy_fork = db.fork(), db.fork()
+    overlay_snap = overlay_fork.commit(batch)
+    legacy_snap = legacy_fork.commit(batch, legacy=True)
+    overlay_report = overlay_fork.last_commit
+    legacy_report = legacy_fork.last_commit
+    overlay_db = db
+    assert overlay_snap.root_hash == legacy_snap.root_hash
+    assert overlay_report.hashes_computed * 3 <= legacy_report.hashes_computed
+    benchmark.extra_info["claim"] = (
+        "overlay commit hashes >= 3x fewer than per-key baseline, "
+        "byte-identical root"
+    )
+    benchmark.extra_info["overlay_hashes"] = overlay_report.hashes_computed
+    benchmark.extra_info["legacy_hashes"] = legacy_report.hashes_computed
+    benchmark.extra_info["ratio"] = (
+        legacy_report.hashes_computed / overlay_report.hashes_computed
+    )
+    benchmark(lambda: overlay_db.fork().commit(batch))
+
+
+def bench_snapshot_reads_flat_cache(benchmark):
+    """SLOAD hot path with the flat layer: O(1) dict hits."""
+    db, rng = _seeded_db()
+    keys = list(db.latest._flat)
+    rng.shuffle(keys)
+    keys = keys[:500]
+    snap = db.latest
+
+    def read():
+        for key in keys:
+            snap.get(key)
+
+    benchmark(read)
+    total = snap.flat_hits + snap.flat_misses
+    benchmark.extra_info["flat_hit_rate"] = (
+        snap.flat_hits / total if total else 0.0
+    )
+
+
+def bench_snapshot_reads_trie_walk(benchmark):
+    """The replaced read path: a full nibble-walk node decode per SLOAD."""
+    db, rng = _seeded_db()
+    keys = list(db.latest._flat)
+    rng.shuffle(keys)
+    keys = keys[:500]
+    snap = db.latest
+
+    def read():
+        for key in keys:
+            snap.get_uncached(key)
+
+    benchmark(read)
+
+
+def bench_snapshot_reads_cold_lru(benchmark):
+    """Cold reads against a flat-less snapshot: first touch walks the trie,
+    repeats hit the bounded LRU."""
+    db, rng = _seeded_db()
+    keys = list(db.latest._flat)
+    rng.shuffle(keys)
+    keys = keys[:500]
+    snap = Snapshot(db.latest._trie, db.height)
+
+    def read():
+        for key in keys:
+            snap.get(key)
+
+    benchmark(read)

@@ -95,7 +95,7 @@ class Validator:
             for p in pooled
         ]
         execution = self._execute(txs, csags, timestamp)
-        snapshot = self.db.commit(execution.writes)
+        snapshot = self._commit(execution)
         block = make_block(
             number=snapshot.height,
             parent_hash=self._parent_hash(),
@@ -132,7 +132,7 @@ class Validator:
             else:
                 csags.append(builder.build_missing(tx, self.db.latest))
         execution = self._execute(txs, csags, block.header.timestamp)
-        snapshot = self.db.commit(execution.writes)
+        snapshot = self._commit(execution)
         if verify_root and snapshot.root_hash != block.header.state_root:
             self.stats.root_mismatches += 1
             raise InvalidBlock(
@@ -152,15 +152,28 @@ class Validator:
     def _parent_hash(self) -> bytes:
         return self.chain[-1].block_hash if self.chain else GENESIS_PARENT
 
+    def _commit(self, execution: BlockExecution):
+        """Seal the block's write batch and pull the state-layer accounting
+        (commit cost + flat-cache hit rates) into the block's metrics."""
+        snapshot = self.db.commit(execution.writes)
+        report = self.db.last_commit
+        metrics = execution.metrics
+        if report is not None:
+            metrics.commit_time = report.wall_time
+            metrics.commit_hashes = report.hashes_computed
+            metrics.commit_nodes_sealed = report.nodes_sealed
+        return snapshot
+
     def _execute(self, txs, csags, timestamp: int) -> BlockExecution:
         context = BlockContext(number=self.db.height + 1, timestamp=timestamp)
         snapshot = self.db.latest
+        hits, misses = snapshot.flat_hits, snapshot.flat_misses
         kwargs = {}
         # Serial/OCC schedulers need no analysis; the others accept the
         # pre-built C-SAGs.
         if self.executor.name.startswith(("dag", "dmvcc")):
             kwargs["csags"] = csags
-        return self.executor.execute_block(
+        execution = self.executor.execute_block(
             txs,
             snapshot,
             self.db.codes.code_of,
@@ -168,6 +181,11 @@ class Validator:
             block=context,
             **kwargs,
         )
+        # Flat-cache traffic this block generated against the snapshot it
+        # executed over (the snapshot's counters are cumulative).
+        execution.metrics.flat_hits = snapshot.flat_hits - hits
+        execution.metrics.flat_misses = snapshot.flat_misses - misses
+        return execution
 
     @property
     def height(self) -> int:

@@ -8,7 +8,16 @@ contention ranking (:mod:`.attribution`), and the ``repro profile`` driver
 """
 
 from .attribution import AbortAttribution, AbortRecord, KeyContention, contract_namer, format_key
-from .events import EventBus, NullSink, NULL_BUS, ObsEvent, SNAPSHOT_WRITER, UNKNOWN_WRITER
+from .events import (
+    CommitSealed,
+    CommitStarted,
+    EventBus,
+    NullSink,
+    NULL_BUS,
+    ObsEvent,
+    SNAPSHOT_WRITER,
+    UNKNOWN_WRITER,
+)
 from .export import build_chrome_trace, chrome_trace_events, render_gantt_ascii, write_chrome_trace
 from .timeline import (
     CATEGORIES,
@@ -26,7 +35,8 @@ from .profile import ProfileReport, ProfileSection, profile_to_file, run_profile
 
 __all__ = [
     "AbortAttribution", "AbortRecord", "KeyContention", "contract_namer",
-    "format_key", "EventBus", "NullSink", "NULL_BUS", "ObsEvent",
+    "format_key", "CommitSealed", "CommitStarted",
+    "EventBus", "NullSink", "NULL_BUS", "ObsEvent",
     "SNAPSHOT_WRITER", "UNKNOWN_WRITER", "build_chrome_trace",
     "chrome_trace_events", "render_gantt_ascii", "write_chrome_trace",
     "CATEGORIES", "EXEC", "LOCK_WAIT", "QUEUE_WAIT", "VERSION_WAIT",

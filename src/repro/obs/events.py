@@ -241,6 +241,36 @@ class RevalidationHit(ObsEvent):
     instructions_skipped: int = 0
 
 
+# ---------------------------------------------------------------------------
+# State commit (the batched overlay pipeline sealing snapshot S^l)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CommitStarted(ObsEvent):
+    """The commit phase began flushing a block's final write batch into the
+    state trie (``tx`` is -1; ``height`` is the snapshot being sealed)."""
+
+    height: int = 0
+    writes: int = 0
+
+
+@dataclass(frozen=True)
+class CommitSealed(ObsEvent):
+    """The new snapshot's root was sealed.  ``nodes_sealed`` and
+    ``hashes_computed`` account the overlay's single post-order seal pass;
+    ``wall_time`` is real seconds (commits run outside simulated time);
+    ``flat_hits``/``flat_misses`` are the parent snapshot's read-cache
+    counters accumulated while the block executed against it."""
+
+    height: int = 0
+    writes: int = 0
+    nodes_sealed: int = 0
+    hashes_computed: int = 0
+    wall_time: float = 0.0
+    flat_hits: int = 0
+    flat_misses: int = 0
+
+
 class EventBus:
     """Append-only, sequence-numbered sink of :class:`ObsEvent`."""
 
@@ -363,6 +393,17 @@ class EventBus:
         self.events.append(RevalidationHit(
             self._next(), ts, tx, attempt, instructions_skipped))
 
+    def commit_started(self, ts: float, height: int, writes: int) -> None:
+        self.events.append(CommitStarted(self._next(), ts, -1, height, writes))
+
+    def commit_sealed(self, ts: float, height: int, writes: int,
+                      nodes_sealed: int = 0, hashes_computed: int = 0,
+                      wall_time: float = 0.0, flat_hits: int = 0,
+                      flat_misses: int = 0) -> None:
+        self.events.append(CommitSealed(
+            self._next(), ts, -1, height, writes, nodes_sealed,
+            hashes_computed, wall_time, flat_hits, flat_misses))
+
     def summary(self) -> str:
         counts = {}
         for event in self.events:
@@ -398,6 +439,8 @@ class NullSink(EventBus):
     def checkpoint_taken(self, *args, **kwargs) -> None: pass
     def tx_resume(self, *args, **kwargs) -> None: pass
     def revalidation_hit(self, *args, **kwargs) -> None: pass
+    def commit_started(self, *args, **kwargs) -> None: pass
+    def commit_sealed(self, *args, **kwargs) -> None: pass
 
 
 NULL_BUS = NullSink()

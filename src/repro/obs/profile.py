@@ -76,6 +76,7 @@ class ProfileReport:
     trace: dict = field(default_factory=dict)
     namer: Optional[Callable] = None
     correctness_ok: bool = True
+    commits: List = field(default_factory=list)  # per-block CommitReport
 
     def render(self, top: int = 10) -> str:
         lines = ["== wait-time decomposition =="]
@@ -104,6 +105,19 @@ class ProfileReport:
                     lines.append(
                         f"  T{step.tx:<4} [{step.start:>10,.0f} → "
                         f"{step.end:>10,.0f}]  via {step.via}")
+
+        if self.commits:
+            lines.append("")
+            lines.append("== state commit (batched overlay) ==")
+            for commit in self.commits:
+                reads = commit.flat_hits + commit.flat_misses
+                rate = commit.flat_hits / reads if reads else 0.0
+                lines.append(
+                    f"  block {commit.height}: writes={commit.writes} "
+                    f"prunes={commit.deletes} sealed={commit.nodes_sealed} "
+                    f"hashes={commit.hashes_computed} "
+                    f"wall={commit.wall_time * 1e3:7.2f}ms  "
+                    f"flat-cache={rate:6.2%} of {reads} reads")
 
         for scheduler, attribution in self.attributions.items():
             lines.append("")
@@ -174,6 +188,7 @@ def run_profile(
                     attributions[name].feed(event)
 
         workload.db.commit(reference.writes)
+        report.commits.append(workload.db.last_commit)
 
     for name, attribution in attributions.items():
         attribution.finish()

@@ -97,6 +97,12 @@ class BlockMetrics:
     instructions_skipped: int = 0
     resumes: int = 0
     revalidation_hits: int = 0
+    # State-layer accounting (filled by the validator around commit):
+    commit_time: float = 0.0          # wall seconds sealing the snapshot
+    commit_hashes: int = 0            # node-hash invocations in the commit
+    commit_nodes_sealed: int = 0      # trie nodes persisted by the commit
+    flat_hits: int = 0                # snapshot reads served by the flat/LRU cache
+    flat_misses: int = 0              # snapshot reads that walked the trie
     per_tx: List[TxMetrics] = field(default_factory=list)
     oracle: Optional[OracleStats] = None  # set when a verify pass ran
 
@@ -127,6 +133,17 @@ class BlockMetrics:
         self.instructions_skipped += other.instructions_skipped
         self.resumes += other.resumes
         self.revalidation_hits += other.revalidation_hits
+        self.commit_time += other.commit_time
+        self.commit_hashes += other.commit_hashes
+        self.commit_nodes_sealed += other.commit_nodes_sealed
+        self.flat_hits += other.flat_hits
+        self.flat_misses += other.flat_misses
+
+    @property
+    def flat_hit_rate(self) -> float:
+        """Fraction of snapshot reads served without a trie walk."""
+        total = self.flat_hits + self.flat_misses
+        return self.flat_hits / total if total else 0.0
 
     def summary(self) -> str:
         return (

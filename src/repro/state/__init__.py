@@ -2,11 +2,12 @@
 
 from .account import AccountSummary, CodeRegistry, ContractMeta
 from .journal import OverlayReader, WriteJournal
-from .statedb import Snapshot, StateDB
+from .statedb import CommitReport, Snapshot, StateDB
 
 __all__ = [
     "AccountSummary",
     "CodeRegistry",
+    "CommitReport",
     "ContractMeta",
     "OverlayReader",
     "Snapshot",

@@ -11,10 +11,26 @@ Values are 256-bit words.  Zero-valued items are pruned from the trie, which
 makes the root hash canonical: writing an explicit zero and never writing at
 all produce identical roots — the property RQ1's Merkle-root comparison
 relies on.
+
+Two performance layers sit on top of the authenticated trie (see
+``docs/STATE.md``):
+
+* **Batched commits** — :meth:`StateDB.commit` applies the whole write
+  batch through a dirty-node overlay (:mod:`repro.trie.overlay`) and hashes
+  each touched node exactly once in a single seal pass.  The legacy per-key
+  path is kept callable behind ``legacy=True`` purely as a differential
+  oracle (``repro verify`` asserts both paths seal byte-identical roots).
+* **Flat read cache** — every :class:`Snapshot` carries a flat key→value
+  dict seeded from the commit's write batch on top of its parent's flat
+  layer, plus a bounded LRU for cold keys, so the SLOAD hot path is an O(1)
+  dict hit instead of an O(depth) trie walk.
 """
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..core.encoding import decode_int, encode_int
@@ -23,13 +39,57 @@ from ..core.types import Address, StateKey
 from ..trie.mpt import NodeStore, Trie
 from .account import AccountSummary, CodeRegistry, ContractMeta
 
+# Flat-layer sizing: the seeded dict is copied parent→child on every commit,
+# so it is capped (beyond the cap a fresh layer is seeded from the write
+# batch alone); cold keys resolved through the trie land in a bounded LRU.
+FLAT_LAYER_MAX = 1 << 16
+FLAT_LRU_SIZE = 4096
+
+_MISS = object()
+
+
+@dataclass
+class CommitReport:
+    """Everything one :meth:`StateDB.commit` did, for metrics and obs.
+
+    ``flat_hits``/``flat_misses`` are the *parent* snapshot's cumulative
+    read-cache counters at commit time — the reads served while this
+    block was executing against it.
+    """
+
+    height: int = 0
+    writes: int = 0            # batch entries with a non-zero value
+    deletes: int = 0           # batch entries pruning a slot (zero value)
+    nodes_sealed: int = 0      # trie nodes persisted by this commit
+    hashes_computed: int = 0   # node-hash invocations this commit paid
+    wall_time: float = 0.0     # seconds of real time in the commit
+    legacy: bool = False       # True when the per-key oracle path ran
+    root: bytes = b""
+    flat_hits: int = 0
+    flat_misses: int = 0
+
 
 class Snapshot:
-    """Read-only view of the state at one block height."""
+    """Read-only view of the state at one block height.
 
-    def __init__(self, trie: Trie, height: int) -> None:
+    Reads consult, in order: the flat layer (authoritative values seeded
+    from commit write batches), a bounded per-snapshot LRU of values already
+    resolved through the trie, and finally the trie itself.  ``flat_hits``
+    and ``flat_misses`` count cache hits (either layer) versus trie walks.
+    """
+
+    def __init__(
+        self,
+        trie: Trie,
+        height: int,
+        flat: Optional[Dict[StateKey, int]] = None,
+    ) -> None:
         self._trie = trie
         self.height = height
+        self._flat: Dict[StateKey, int] = flat if flat is not None else {}
+        self._lru: "OrderedDict[StateKey, int]" = OrderedDict()
+        self.flat_hits = 0
+        self.flat_misses = 0
 
     @property
     def root_hash(self) -> bytes:
@@ -37,6 +97,27 @@ class Snapshot:
 
     def get(self, key: StateKey) -> int:
         """Read one state item; absent items read as zero (EVM semantics)."""
+        value = self._flat.get(key, _MISS)
+        if value is not _MISS:
+            self.flat_hits += 1
+            return value
+        lru = self._lru
+        value = lru.get(key, _MISS)
+        if value is not _MISS:
+            lru.move_to_end(key)
+            self.flat_hits += 1
+            return value
+        self.flat_misses += 1
+        value = self.get_uncached(key)
+        lru[key] = value
+        if len(lru) > FLAT_LRU_SIZE:
+            lru.popitem(last=False)
+        return value
+
+    def get_uncached(self, key: StateKey) -> int:
+        """Read straight through the trie (an O(depth) nibble walk),
+        bypassing and not populating the flat/LRU layers.  The read path
+        the flat cache replaces; kept for benchmarks and oracles."""
         raw = self._trie.get(key.trie_key())
         return decode_int(raw) if raw is not None else 0
 
@@ -61,6 +142,8 @@ class StateDB:
         genesis = Trie(self._store)
         self._snapshots: List[Snapshot] = [Snapshot(genesis, 0)]
         self.codes = CodeRegistry()
+        self.obs = None  # optional EventBus: CommitStarted/CommitSealed
+        self.last_commit: Optional[CommitReport] = None
 
     # ------------------------------------------------------------------
     # Snapshot access
@@ -87,21 +170,83 @@ class StateDB:
     # Commit
     # ------------------------------------------------------------------
 
-    def commit(self, writes: Mapping[StateKey, int]) -> Snapshot:
+    def commit(self, writes: Mapping[StateKey, int], *, legacy: bool = False) -> Snapshot:
         """Apply a batch of final writes and seal a new snapshot.
 
         This is the paper's commit phase: the last write of every access
         sequence is flushed into the MPT and ``S^l`` is created.  Writes of
-        zero prune the slot so roots stay canonical.
+        zero prune the slot so roots stay canonical — the sealed root is a
+        pure function of the surviving contents, independent of batch
+        iteration order.
+
+        The default path routes the whole batch through the dirty-node
+        overlay (one hash per touched node, sealed post-order); pass
+        ``legacy=True`` to run the original one-``Trie.set``-per-key path —
+        kept callable exactly so ``repro verify`` can assert both paths
+        produce byte-identical roots on every fuzz block.
         """
-        trie = self._snapshots[-1]._trie.copy()
-        for key, value in sorted(writes.items()):
+        for key, value in writes.items():
             if value < 0:
                 raise StateError(f"negative value for {key}: {value}")
-            trie.set(key.trie_key(), encode_int(value))
-        snapshot = Snapshot(trie, self.height + 1)
+        parent = self._snapshots[-1]
+        height = parent.height + 1
+        obs = self.obs
+        if obs is not None:
+            obs.commit_started(0.0, height, len(writes))
+        start = time.perf_counter()
+        trie = parent._trie.copy()
+        store = trie.store
+        base_hashes = store.hash_count
+        report = CommitReport(
+            height=height,
+            legacy=legacy,
+            flat_hits=parent.flat_hits,
+            flat_misses=parent.flat_misses,
+        )
+        if legacy:
+            for key, value in sorted(writes.items()):
+                trie.set(key.trie_key(), encode_int(value))
+                if value:
+                    report.writes += 1
+                else:
+                    report.deletes += 1
+            report.nodes_sealed = store.hash_count - base_hashes
+        else:
+            stats = trie.commit_batch(
+                (key.trie_key(), encode_int(value)) for key, value in writes.items()
+            )
+            report.writes = stats.writes
+            report.deletes = stats.deletes
+            report.nodes_sealed = stats.nodes_sealed
+        report.hashes_computed = store.hash_count - base_hashes
+        report.wall_time = time.perf_counter() - start
+        report.root = trie.root_hash
+        snapshot = Snapshot(trie, height, flat=self._seed_flat(parent, writes))
         self._snapshots.append(snapshot)
+        self.last_commit = report
+        if obs is not None:
+            obs.commit_sealed(
+                report.wall_time, height, len(writes),
+                nodes_sealed=report.nodes_sealed,
+                hashes_computed=report.hashes_computed,
+                wall_time=report.wall_time,
+                flat_hits=report.flat_hits,
+                flat_misses=report.flat_misses,
+            )
         return snapshot
+
+    @staticmethod
+    def _seed_flat(parent: Snapshot, writes: Mapping[StateKey, int]) -> Dict[StateKey, int]:
+        """The child's flat layer: the parent's layer shadowed by the write
+        batch.  Beyond ``FLAT_LAYER_MAX`` the inherited layer is dropped
+        (reads fall back to the per-snapshot LRU and the trie) so the
+        parent→child copy stays bounded."""
+        if len(parent._flat) <= FLAT_LAYER_MAX:
+            flat = dict(parent._flat)
+        else:
+            flat = {}
+        flat.update(writes)
+        return flat
 
     def fork(self) -> "StateDB":
         """A logically independent StateDB starting from this one's history.
@@ -115,6 +260,8 @@ class StateDB:
         fork._store = self._store
         fork._snapshots = list(self._snapshots)
         fork.codes = self.codes
+        fork.obs = None
+        fork.last_commit = None
         return fork
 
     # ------------------------------------------------------------------
@@ -134,12 +281,15 @@ class StateDB:
         if len(self._snapshots) != 1:
             raise StateError("genesis can only be seeded on a fresh StateDB")
         trie = Trie(self._store)
+        flat: Dict[StateKey, int] = {}
         for address, balance in sorted(balances.items()):
             trie.set(StateKey.balance(address).trie_key(), encode_int(balance))
+            flat[StateKey.balance(address)] = balance
         for key, value in sorted((storage or {}).items()):
             if value:
                 trie.set(key.trie_key(), encode_int(value))
-        self._snapshots[0] = Snapshot(trie, 0)
+            flat[key] = value
+        self._snapshots[0] = Snapshot(trie, 0, flat=flat)
         return self._snapshots[0]
 
     def deploy_contract(self, address: Address, code: bytes, name: str = "") -> ContractMeta:

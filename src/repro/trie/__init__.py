@@ -2,16 +2,20 @@
 
 from .mpt import EMPTY_ROOT, NodeStore, Trie, verify_consistency
 from .nodes import BranchNode, ExtensionNode, LeafNode, decode_node, node_hash
+from .overlay import CommitStats, Overlay, apply_batch
 from .proof import MerkleProof, generate_proof, verify_proof
 
 __all__ = [
     "BranchNode",
+    "CommitStats",
     "EMPTY_ROOT",
     "ExtensionNode",
     "LeafNode",
     "MerkleProof",
     "NodeStore",
+    "Overlay",
     "Trie",
+    "apply_batch",
     "decode_node",
     "generate_proof",
     "node_hash",

@@ -32,14 +32,21 @@ EMPTY_ROOT = node_hash(LeafNode((), b""))  # sentinel; never stored
 
 
 class NodeStore:
-    """Content-addressed, append-only storage for encoded trie nodes."""
+    """Content-addressed, append-only storage for encoded trie nodes.
+
+    ``hash_count`` counts node-hash invocations (one per :meth:`put`); the
+    commit pipeline and the state-commit benchmarks read deltas of it to
+    compare the batched overlay path against the legacy per-key path.
+    """
 
     def __init__(self) -> None:
         self._nodes: Dict[bytes, bytes] = {}
+        self.hash_count = 0
 
     def put(self, node: TrieNode) -> bytes:
         encoded = node.encode()
         digest = node_hash(node)
+        self.hash_count += 1
         self._nodes[digest] = encoded
         return digest
 
@@ -66,6 +73,10 @@ class Trie:
     def __init__(self, store: Optional[NodeStore] = None, root: Optional[bytes] = None) -> None:
         self.store = store if store is not None else NodeStore()
         self.root: Optional[bytes] = root  # None encodes the empty trie
+        # Key count, maintained incrementally so ``len()`` never walks the
+        # trie.  ``None`` means unknown (a root adopted from elsewhere);
+        # it is derived lazily on first ``__len__`` and kept fresh after.
+        self._count: Optional[int] = 0 if root is None else None
 
     # ------------------------------------------------------------------
     # Public API
@@ -78,7 +89,9 @@ class Trie:
 
     def copy(self) -> "Trie":
         """Cheap fork sharing the node store (copy-on-write semantics)."""
-        return Trie(self.store, self.root)
+        fork = Trie(self.store, self.root)
+        fork._count = self._count
+        return fork
 
     def get(self, key: bytes) -> Optional[bytes]:
         """Look up ``key``; returns ``None`` when absent."""
@@ -95,6 +108,7 @@ class Trie:
         path = bytes_to_nibbles(key)
         if self.root is None:
             self.root = self.store.put(LeafNode(path, value))
+            self._bump(1)
         else:
             self.root = self._insert(self.store.get(self.root), path, value)
 
@@ -106,7 +120,29 @@ class Trie:
         if result is _UNCHANGED:
             return False
         self.root = result
+        self._bump(-1)
         return True
+
+    def commit_batch(self, items) -> "CommitStats":
+        """Apply a whole write batch through a dirty-node overlay and seal.
+
+        ``items`` maps byte keys to byte values (empty value deletes, as in
+        :meth:`set`); accepts any mapping or iterable of pairs.  Every path
+        node the batch touches is expanded into an unhashed in-memory dirty
+        node once, all writes mutate those dirty nodes in place (applied in
+        key order so shared prefixes are visited once), and hashing happens
+        exactly once per dirty node in a single post-order seal pass — the
+        sealed root is byte-identical to applying the same batch through
+        per-key :meth:`set`/:meth:`delete` calls, but intermediate tree
+        shapes are never hashed or persisted.
+        """
+        from .overlay import apply_batch
+
+        pairs = items.items() if hasattr(items, "items") else items
+        self.root, stats = apply_batch(self.store, self.root, pairs)
+        if self._count is not None:
+            self._count += stats.inserted - stats.deleted
+        return stats
 
     def items(self) -> Iterator[Tuple[bytes, bytes]]:
         """Iterate ``(key, value)`` pairs in lexicographic key order."""
@@ -115,10 +151,21 @@ class Trie:
         yield from self._walk(self.store.get(self.root), ())
 
     def __contains__(self, key: bytes) -> bool:
+        if self.root is None or self._count == 0:
+            return False
         return self.get(key) is not None
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.items())
+        """Key count without walking: maintained incrementally by ``set``,
+        ``delete``, and ``commit_batch``; derived once (then cached and kept
+        fresh) for tries adopted from a pre-existing root."""
+        if self._count is None:
+            self._count = sum(1 for _ in self.items())
+        return self._count
+
+    def _bump(self, delta: int) -> None:
+        if self._count is not None:
+            self._count += delta
 
     # ------------------------------------------------------------------
     # Lookup
@@ -162,6 +209,7 @@ class Trie:
         branch = BranchNode()
         branch = self._attach_tail(branch, node.path[shared:], node.value)
         branch = self._attach_tail(branch, path[shared:], value)
+        self._bump(1)
         branch_hash = self.store.put(branch)
         if shared:
             return self.store.put(ExtensionNode(path[:shared], branch_hash))
@@ -185,6 +233,7 @@ class Trie:
             tail_hash = node.child
         branch = branch.with_child(ext_nibble, tail_hash)
         branch = self._attach_tail(branch, path[shared:], value)
+        self._bump(1)
         branch_hash = self.store.put(branch)
         if shared:
             return self.store.put(ExtensionNode(path[:shared], branch_hash))
@@ -192,11 +241,14 @@ class Trie:
 
     def _insert_into_branch(self, node: BranchNode, path: Tuple[int, ...], value: bytes) -> bytes:
         if not path:
+            if node.value is None:
+                self._bump(1)
             return self.store.put(node.with_value(value))
         nibble, rest = path[0], path[1:]
         child = node.children[nibble]
         if child is None:
             child_hash = self.store.put(LeafNode(rest, value))
+            self._bump(1)
         else:
             child_hash = self._insert(self.store.get(child), rest, value)
         return self.store.put(node.with_child(nibble, child_hash))

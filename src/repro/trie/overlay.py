@@ -1,0 +1,328 @@
+"""Batched trie commits: a mutable dirty-node overlay with deferred hashing.
+
+The plain :class:`~repro.trie.mpt.Trie` hashes and persists every node on a
+key's path on *every* ``set`` — a block committing ``k`` writes of average
+depth ``d`` pays ``O(k·d)`` hash invocations, and every intermediate root it
+passes through leaves orphaned nodes in the :class:`NodeStore` forever.
+
+The overlay amortises both costs across the batch.  During a commit, the
+nodes a write touches are expanded exactly once into mutable, *unhashed*
+in-memory **dirty nodes**; every write of the block mutates those dirty
+nodes in place (shared prefixes are expanded a single time when writes are
+applied in nibble-path order); and hashing/serialisation happens exactly
+once per dirty node in a single post-order :meth:`Overlay.seal` pass.
+Intermediate tree shapes that never make it into a sealed root are never
+hashed and never persisted, so the node store stops accumulating garbage.
+
+The sealed root is byte-identical to the root the per-key path produces for
+the same contents — ``repro verify`` re-asserts this on every fuzz block,
+and the property tests in ``tests/trie/test_overlay.py`` drive both paths
+over random batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Union
+
+from .mpt import NodeStore
+from .nibbles import bytes_to_nibbles, common_prefix_length
+from .nodes import (
+    BRANCH_WIDTH,
+    BranchNode,
+    ExtensionNode,
+    LeafNode,
+    TrieNode,
+)
+
+Nibbles = Tuple[int, ...]
+
+
+@dataclass
+class CommitStats:
+    """Accounting for one batched commit.
+
+    ``inserted``/``deleted`` are *net key-count* deltas (an overwrite of an
+    existing key counts as neither), which is how :meth:`Trie.commit_batch`
+    maintains ``len(trie)`` without walking.  ``nodes_sealed`` and
+    ``hashes_computed`` are identical for the overlay (one hash per sealed
+    node) but are tracked separately so the legacy per-key path can report
+    through the same struct.
+    """
+
+    writes: int = 0            # non-empty values applied
+    deletes: int = 0           # empty values applied (slot prunes)
+    inserted: int = 0          # keys that did not exist before
+    deleted: int = 0           # keys that existed and were removed
+    nodes_sealed: int = 0      # dirty nodes persisted by seal()
+    hashes_computed: int = 0   # node-hash invocations
+
+
+class _DirtyLeaf:
+    __slots__ = ("path", "value")
+
+    def __init__(self, path: Nibbles, value: bytes) -> None:
+        self.path = path
+        self.value = value
+
+
+class _DirtyExtension:
+    __slots__ = ("path", "child")
+
+    def __init__(self, path: Nibbles, child: "_Ref") -> None:
+        self.path = path
+        self.child = child
+
+
+class _DirtyBranch:
+    __slots__ = ("children", "value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional[_Ref]] = [None] * BRANCH_WIDTH
+        self.value: Optional[bytes] = None
+
+
+_Dirty = Union[_DirtyLeaf, _DirtyExtension, _DirtyBranch]
+# A child reference inside the overlay: either a clean node's 32-byte hash
+# (still living only in the store) or an expanded dirty node.
+_Ref = Union[bytes, _Dirty]
+
+_UNCHANGED = object()
+
+
+def _to_dirty(node: TrieNode) -> _Dirty:
+    """Shallow-expand one clean node; children stay as hash references."""
+    if isinstance(node, LeafNode):
+        return _DirtyLeaf(node.path, node.value)
+    if isinstance(node, ExtensionNode):
+        return _DirtyExtension(node.path, node.child)
+    branch = _DirtyBranch()
+    branch.children = list(node.children)
+    branch.value = node.value
+    return branch
+
+
+class Overlay:
+    """One in-flight batched commit against a store-backed root.
+
+    Usage: construct over ``(store, root)``, call :meth:`set` for every
+    write of the batch (an empty value deletes, as in Ethereum), then call
+    :meth:`seal` once to hash and persist the dirty region and obtain the
+    new root.  Apply writes sorted by key so shared path prefixes are
+    expanded once.
+    """
+
+    def __init__(self, store: NodeStore, root: Optional[bytes]) -> None:
+        self.store = store
+        self._root: Optional[_Ref] = root
+        self.stats = CommitStats()
+        self._sealed = False
+
+    # ------------------------------------------------------------------
+    # Applying writes
+    # ------------------------------------------------------------------
+
+    def set(self, key: bytes, value: bytes) -> None:
+        """Stage one write; ``value == b""`` stages a deletion."""
+        if self._sealed:
+            raise RuntimeError("overlay already sealed")
+        path = bytes_to_nibbles(key)
+        if value == b"":
+            self._apply_delete(path)
+        else:
+            self._apply_insert(path, value)
+
+    def _apply_insert(self, path: Nibbles, value: bytes) -> None:
+        self.stats.writes += 1
+        if self._root is None:
+            self._root = _DirtyLeaf(path, value)
+            self.stats.inserted += 1
+            return
+        self._root = self._insert(self._expand(self._root), path, value)
+
+    def _apply_delete(self, path: Nibbles) -> None:
+        self.stats.deletes += 1
+        if self._root is None:
+            return
+        result = self._delete(self._expand(self._root), path)
+        if result is _UNCHANGED:
+            return
+        self.stats.deleted += 1
+        self._root = result
+
+    def _expand(self, ref: _Ref) -> _Dirty:
+        if isinstance(ref, bytes):
+            return _to_dirty(self.store.get(ref))
+        return ref
+
+    # ------------------------------------------------------------------
+    # Insertion (mirrors Trie._insert on mutable nodes)
+    # ------------------------------------------------------------------
+
+    def _insert(self, node: _Dirty, path: Nibbles, value: bytes) -> _Dirty:
+        if isinstance(node, _DirtyLeaf):
+            return self._insert_into_leaf(node, path, value)
+        if isinstance(node, _DirtyExtension):
+            return self._insert_into_extension(node, path, value)
+        return self._insert_into_branch(node, path, value)
+
+    def _insert_into_leaf(self, node: _DirtyLeaf, path: Nibbles, value: bytes) -> _Dirty:
+        if node.path == path:
+            node.value = value
+            return node
+        shared = common_prefix_length(node.path, path)
+        branch = _DirtyBranch()
+        self._attach_tail(branch, node.path[shared:], node.value)
+        self._attach_tail(branch, path[shared:], value)
+        self.stats.inserted += 1
+        if shared:
+            return _DirtyExtension(path[:shared], branch)
+        return branch
+
+    def _insert_into_extension(
+        self, node: _DirtyExtension, path: Nibbles, value: bytes
+    ) -> _Dirty:
+        shared = common_prefix_length(node.path, path)
+        if shared == len(node.path):
+            node.child = self._insert(self._expand(node.child), path[shared:], value)
+            return node
+        # The extension splits: the part of its path beyond the shared prefix
+        # moves below a new branch (same shape as Trie._insert_into_extension).
+        branch = _DirtyBranch()
+        ext_nibble = node.path[shared]
+        ext_tail = node.path[shared + 1 :]
+        if ext_tail:
+            branch.children[ext_nibble] = _DirtyExtension(ext_tail, node.child)
+        else:
+            branch.children[ext_nibble] = node.child
+        self._attach_tail(branch, path[shared:], value)
+        self.stats.inserted += 1
+        if shared:
+            return _DirtyExtension(path[:shared], branch)
+        return branch
+
+    def _insert_into_branch(self, node: _DirtyBranch, path: Nibbles, value: bytes) -> _Dirty:
+        if not path:
+            if node.value is None:
+                self.stats.inserted += 1
+            node.value = value
+            return node
+        nibble, rest = path[0], path[1:]
+        child = node.children[nibble]
+        if child is None:
+            node.children[nibble] = _DirtyLeaf(rest, value)
+            self.stats.inserted += 1
+        else:
+            node.children[nibble] = self._insert(self._expand(child), rest, value)
+        return node
+
+    @staticmethod
+    def _attach_tail(branch: _DirtyBranch, tail: Nibbles, value: bytes) -> None:
+        if not tail:
+            branch.value = value
+        else:
+            branch.children[tail[0]] = _DirtyLeaf(tail[1:], value)
+
+    # ------------------------------------------------------------------
+    # Deletion (mirrors Trie._delete on mutable nodes)
+    # ------------------------------------------------------------------
+
+    def _delete(self, node: _Dirty, path: Nibbles):
+        """Returns the replacement dirty node, ``None`` for an emptied
+        subtree, or ``_UNCHANGED`` when the key was absent."""
+        if isinstance(node, _DirtyLeaf):
+            return None if node.path == path else _UNCHANGED
+        if isinstance(node, _DirtyExtension):
+            prefix_len = len(node.path)
+            if path[:prefix_len] != node.path:
+                return _UNCHANGED
+            result = self._delete(self._expand(node.child), path[prefix_len:])
+            if result is _UNCHANGED:
+                return _UNCHANGED
+            if result is None:
+                return None
+            return self._normalise_extension(node.path, result)
+        # _DirtyBranch
+        if not path:
+            if node.value is None:
+                return _UNCHANGED
+            node.value = None
+            return self._normalise_branch(node)
+        child = node.children[path[0]]
+        if child is None:
+            return _UNCHANGED
+        result = self._delete(self._expand(child), path[1:])
+        if result is _UNCHANGED:
+            return _UNCHANGED
+        node.children[path[0]] = result
+        return self._normalise_branch(node)
+
+    def _normalise_extension(self, path: Nibbles, child: _Ref) -> _Dirty:
+        """Collapse extension→{extension,leaf} chains after a deletion."""
+        child = self._expand(child)
+        if isinstance(child, _DirtyLeaf):
+            return _DirtyLeaf(path + child.path, child.value)
+        if isinstance(child, _DirtyExtension):
+            return _DirtyExtension(path + child.path, child.child)
+        return _DirtyExtension(path, child)
+
+    def _normalise_branch(self, branch: _DirtyBranch):
+        """Shrink branches left with <2 references back to compact nodes."""
+        live = [(i, c) for i, c in enumerate(branch.children) if c is not None]
+        if branch.value is not None:
+            if not live:
+                return _DirtyLeaf((), branch.value)
+            return branch
+        if len(live) == 0:
+            return None
+        if len(live) == 1:
+            nibble, child = live[0]
+            return self._normalise_extension((nibble,), child)
+        return branch
+
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+
+    def seal(self) -> Optional[bytes]:
+        """Hash and persist every dirty node exactly once, post-order;
+        returns the new root hash (``None`` encodes the empty trie)."""
+        if self._sealed:
+            raise RuntimeError("overlay already sealed")
+        self._sealed = True
+        if self._root is None:
+            return None
+        root = self._seal_node(self._root)
+        return root
+
+    def _seal_node(self, ref: _Ref) -> bytes:
+        if isinstance(ref, bytes):
+            return ref  # clean subtree: already persisted under this hash
+        if isinstance(ref, _DirtyLeaf):
+            node: TrieNode = LeafNode(tuple(ref.path), ref.value)
+        elif isinstance(ref, _DirtyExtension):
+            node = ExtensionNode(tuple(ref.path), self._seal_node(ref.child))
+        else:
+            children = tuple(
+                self._seal_node(child) if child is not None else None
+                for child in ref.children
+            )
+            node = BranchNode(children, ref.value)
+        digest = self.store.put(node)
+        self.stats.nodes_sealed += 1
+        self.stats.hashes_computed += 1
+        return digest
+
+
+def apply_batch(
+    store: NodeStore,
+    root: Optional[bytes],
+    items: Iterable[Tuple[bytes, bytes]],
+) -> Tuple[Optional[bytes], CommitStats]:
+    """Convenience driver: apply ``items`` (sorted by key, so shared path
+    prefixes are expanded once) through an :class:`Overlay` and seal."""
+    overlay = Overlay(store, root)
+    for key, value in sorted(items):
+        overlay.set(key, value)
+    new_root = overlay.seal()
+    return new_root, overlay.stats

@@ -51,6 +51,21 @@ class Divergence:
 
 
 @dataclass
+class CommitMismatch:
+    """An overlay-sealed root that differed from the legacy per-key root."""
+
+    seed: int
+    overlay_root: str
+    legacy_root: str
+
+    def render(self) -> str:
+        return (
+            f"commit mismatch at seed={self.seed}: "
+            f"overlay={self.overlay_root[:16]} != legacy={self.legacy_root[:16]}"
+        )
+
+
+@dataclass
 class FuzzReport:
     """Aggregate outcome of one fuzzing campaign."""
 
@@ -58,18 +73,26 @@ class FuzzReport:
     checks: int = 0
     divergences: List[Divergence] = field(default_factory=list)
     stats: Dict[str, OracleStats] = field(default_factory=dict)
+    commit_checks: int = 0
+    commit_mismatches: List[CommitMismatch] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.divergences
+        return not self.divergences and not self.commit_mismatches
 
     def render(self) -> str:
         lines = [
             f"fuzzed {self.blocks} block(s), {self.checks} differential "
             f"check(s): {'all serializable' if self.ok else 'DIVERGED'}"
         ]
+        lines.append(
+            f"  [commit] {self.commit_checks} overlay-vs-legacy root "
+            f"check(s), {len(self.commit_mismatches)} mismatch(es)"
+        )
         for name in sorted(self.stats):
             lines.append(f"  [{name}] {self.stats[name].summary()}")
+        for mismatch in self.commit_mismatches:
+            lines.append("  " + mismatch.render())
         for divergence in self.divergences:
             lines.append("  " + divergence.render())
         return "\n".join(lines)
@@ -209,6 +232,27 @@ class DifferentialFuzzer:
         return txs
 
     # ------------------------------------------------------------------
+    # Commit-path differential
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_commit(workload, writes, seed, report, progress) -> None:
+        """Seal the block's write batch through both commit paths — the
+        dirty-node overlay and the legacy per-key trie inserts — on forks of
+        the same StateDB, and assert the roots are byte-identical."""
+        overlay_root = workload.db.fork().commit(writes).root_hash
+        legacy_root = workload.db.fork().commit(writes, legacy=True).root_hash
+        report.commit_checks += 1
+        if overlay_root != legacy_root:
+            report.commit_mismatches.append(CommitMismatch(
+                seed=seed,
+                overlay_root=overlay_root.hex(),
+                legacy_root=legacy_root.hex(),
+            ))
+            if progress is not None:
+                progress(f"commit-path root mismatch at seed {seed}")
+
+    # ------------------------------------------------------------------
     # Campaign
     # ------------------------------------------------------------------
 
@@ -233,6 +277,7 @@ class DifferentialFuzzer:
                 txs, snapshot, resolver, threads=1, block=block_ctx
             )
             report.blocks += 1
+            self._check_commit(workload, serial_out.writes, seed, report, progress)
             for name in self.factories:
                 executor = self.factories[name]()
                 verdict = self._run_pair(

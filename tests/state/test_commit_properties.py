@@ -1,0 +1,190 @@
+"""Commit-pipeline properties: canonical roots, zero-write pruning, the
+overlay/legacy differential, the flat read cache, and commit observability.
+
+The ``commit`` docstring has always claimed the sealed root is canonical —
+independent of write order, with zero-valued slots pruned; these tests pin
+that claim down for both commit paths.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Address, StateKey
+from repro.obs import CommitSealed, CommitStarted, EventBus
+from repro.state import StateDB
+from repro.state.statedb import FLAT_LRU_SIZE
+
+CONTRACT = Address.derive("props-contract")
+OTHER = Address.derive("props-other")
+
+WRITE_BATCHES = st.dictionaries(
+    st.integers(0, 400), st.integers(0, 2**64), min_size=0, max_size=40
+).map(lambda d: {StateKey(CONTRACT, slot): value for slot, value in d.items()})
+
+
+class TestCanonicalRoots:
+    @given(WRITE_BATCHES)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_writes_prune_slots(self, writes):
+        """A batch containing zeros seals the same root as the batch with
+        those keys never written at all, and the zero slots are truly gone
+        from the authenticated contents."""
+        with_zeros = StateDB()
+        with_zeros.commit(writes)
+        without = StateDB()
+        without.commit({k: v for k, v in writes.items() if v})
+        assert with_zeros.latest.root_hash == without.latest.root_hash
+        committed_keys = {key for key, _ in with_zeros.latest.items()}
+        for key, value in writes.items():
+            if value == 0:
+                assert key.trie_key() not in committed_keys
+            else:
+                assert key.trie_key() in committed_keys
+
+    @given(WRITE_BATCHES, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_commit_order_never_changes_root(self, writes, rng):
+        """The same batch presented in any iteration order — and under
+        either commit path — seals the same root."""
+        items = list(writes.items())
+        rng.shuffle(items)
+        overlay_sorted = StateDB()
+        overlay_sorted.commit(writes)
+        overlay_shuffled = StateDB()
+        overlay_shuffled.commit(dict(items))
+        legacy = StateDB()
+        legacy.commit(dict(items), legacy=True)
+        assert (
+            overlay_sorted.latest.root_hash
+            == overlay_shuffled.latest.root_hash
+            == legacy.latest.root_hash
+        )
+
+    @given(st.lists(WRITE_BATCHES, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_overlay_equals_legacy_across_chain(self, batches):
+        """Differential: a chain of commits through the overlay matches the
+        legacy per-key path block for block, byte for byte."""
+        overlay_db, legacy_db = StateDB(), StateDB()
+        for batch in batches:
+            overlay_db.commit(batch)
+            legacy_db.commit(batch, legacy=True)
+            assert overlay_db.latest.root_hash == legacy_db.latest.root_hash
+
+    def test_zero_only_batch_restores_prior_root(self):
+        db = StateDB()
+        root0 = db.latest.root_hash
+        key = StateKey(CONTRACT, 1)
+        db.commit({key: 7})
+        db.commit({key: 0})
+        assert db.latest.root_hash == root0
+        assert db.latest.get(key) == 0
+
+
+class TestFlatReadCache:
+    def test_committed_writes_are_flat_hits(self):
+        db = StateDB()
+        key = StateKey(CONTRACT, 3)
+        db.commit({key: 11})
+        snap = db.latest
+        assert snap.get(key) == 11
+        assert snap.flat_hits == 1 and snap.flat_misses == 0
+
+    def test_flat_layer_inherited_across_commits(self):
+        db = StateDB()
+        old = StateKey(CONTRACT, 1)
+        db.commit({old: 5})
+        db.commit({StateKey(CONTRACT, 2): 6})
+        snap = db.latest
+        assert snap.get(old) == 5
+        assert snap.flat_hits == 1  # served by the inherited flat layer
+
+    def test_zero_write_reads_zero_through_flat(self):
+        db = StateDB()
+        key = StateKey(CONTRACT, 9)
+        db.commit({key: 4})
+        db.commit({key: 0})
+        snap = db.latest
+        assert snap.get(key) == 0
+        assert snap.flat_hits == 1
+
+    def test_cold_key_misses_then_lru_hits(self):
+        db = StateDB()
+        db.seed_genesis({}, {StateKey(OTHER, 5): 42})
+        db.commit({StateKey(CONTRACT, 0): 1})
+        # A snapshot adopted bare from the trie has an empty flat layer, so
+        # the first read is a genuine cold miss and the repeat hits the LRU.
+        from repro.state.statedb import Snapshot
+
+        snap = Snapshot(db.latest._trie, db.height)
+        key = StateKey(OTHER, 5)
+        assert snap.get(key) == 42
+        assert snap.flat_misses == 1
+        assert snap.get(key) == 42
+        assert snap.flat_hits == 1  # LRU served the repeat
+
+    def test_lru_is_bounded(self):
+        from repro.state.statedb import Snapshot
+
+        db = StateDB()
+        db.commit({StateKey(CONTRACT, s): s + 1 for s in range(10)})
+        snap = Snapshot(db.latest._trie, db.height)
+        for s in range(FLAT_LRU_SIZE + 50):
+            snap.get(StateKey(CONTRACT, s))
+        assert len(snap._lru) <= FLAT_LRU_SIZE
+
+    def test_cached_reads_match_uncached(self):
+        db = StateDB()
+        writes = {StateKey(CONTRACT, s): (s * 7) % 5 for s in range(30)}
+        db.commit(writes)
+        snap = db.latest
+        for key in writes:
+            assert snap.get(key) == snap.get_uncached(key)
+
+
+class TestCommitReporting:
+    def test_report_fields(self):
+        db = StateDB()
+        db.commit({StateKey(CONTRACT, 0): 1, StateKey(CONTRACT, 1): 0})
+        report = db.last_commit
+        assert report.height == 1
+        assert report.writes == 1 and report.deletes == 1
+        assert report.nodes_sealed >= 1
+        assert report.hashes_computed == report.nodes_sealed
+        assert report.wall_time >= 0.0
+        assert report.root == db.latest.root_hash
+        assert not report.legacy
+
+    def test_legacy_report_flagged_and_costlier(self):
+        writes = {StateKey(CONTRACT, s): s + 1 for s in range(100)}
+        overlay_db, legacy_db = StateDB(), StateDB()
+        overlay_db.commit(writes)
+        legacy_db.commit(writes, legacy=True)
+        assert legacy_db.last_commit.legacy
+        assert (
+            overlay_db.last_commit.hashes_computed * 3
+            <= legacy_db.last_commit.hashes_computed
+        )
+
+    def test_commit_events_emitted(self):
+        db = StateDB()
+        bus = EventBus()
+        db.obs = bus
+        db.commit({StateKey(CONTRACT, 0): 1})
+        started = bus.of_type(CommitStarted)
+        sealed = bus.of_type(CommitSealed)
+        assert len(started) == 1 and len(sealed) == 1
+        assert started[0].height == sealed[0].height == 1
+        assert sealed[0].nodes_sealed >= 1
+        assert sealed[0].seq > started[0].seq
+
+    def test_negative_value_rejected_before_any_mutation(self):
+        from repro.core.errors import StateError
+
+        db = StateDB()
+        before = db.latest.root_hash
+        with pytest.raises(StateError):
+            db.commit({StateKey(CONTRACT, 0): 5, StateKey(CONTRACT, 1): -1})
+        assert db.height == 0
+        assert db.latest.root_hash == before

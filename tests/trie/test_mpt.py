@@ -142,6 +142,56 @@ class TestNodeStore:
         assert verify_consistency(trie) == 25
 
 
+class TestLenMaintenance:
+    """``len()`` is maintained incrementally — no full-trie walk."""
+
+    def test_len_tracks_updates_and_deletes(self):
+        trie = Trie()
+        for i in range(20):
+            trie.set(bytes([i]), b"v")
+        trie.set(bytes([3]), b"overwrite")   # update: no change
+        trie.set(bytes([5]), b"")            # empty value: delete
+        trie.delete(bytes([7]))
+        trie.delete(b"absent")               # miss: no change
+        assert len(trie) == 18
+
+    def test_len_never_walks_once_known(self):
+        trie = Trie()
+        for i in range(30):
+            trie.set(bytes([i, i]), b"v")
+        assert len(trie) == 30
+        # Regression: __len__ used to decode the entire trie on every call.
+        trie.store.get = None  # any node access would now raise TypeError
+        assert len(trie) == 30
+
+    def test_adopted_root_derives_count_lazily_then_maintains(self):
+        store = NodeStore()
+        builder = Trie(store)
+        for i in range(12):
+            builder.set(bytes([i]), b"v")
+        adopted = Trie(store, builder.root)
+        assert len(adopted) == 12            # one walk, then cached
+        adopted.set(bytes([99]), b"v")
+        adopted.delete(bytes([0]))
+        store.get = None
+        assert len(adopted) == 12
+
+    def test_copy_carries_count(self):
+        trie = Trie()
+        for i in range(5):
+            trie.set(bytes([i]), b"v")
+        assert len(trie) == 5
+        fork = trie.copy()
+        fork.set(bytes([9]), b"v")
+        assert len(fork) == 6
+        assert len(trie) == 5
+
+    def test_contains_on_empty_trie_skips_store(self):
+        trie = Trie()
+        trie.store.get = None
+        assert b"anything" not in trie
+
+
 KEYS = st.binary(min_size=1, max_size=6)
 VALUES = st.binary(min_size=1, max_size=16)
 
@@ -204,6 +254,10 @@ class TrieMachine(RuleBasedStateMachine):
     @rule(key=keys)
     def check_get(self, key):
         assert self.trie.get(key) == self.model.get(key)
+
+    @rule()
+    def check_len(self):
+        assert len(self.trie) == len(self.model)
 
     @rule()
     def check_root_canonical(self):

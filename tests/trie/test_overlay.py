@@ -1,0 +1,124 @@
+"""Dirty-node overlay commit tests: root equivalence, hashing economy,
+store-garbage elimination, and key-count accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trie import NodeStore, Overlay, Trie
+
+KEYS = st.binary(min_size=1, max_size=6)
+VALUES = st.binary(min_size=1, max_size=16)
+# A batch staging inserts, overwrites, and deletions (empty value = delete).
+BATCHES = st.dictionaries(KEYS, st.one_of(VALUES, st.just(b"")), max_size=40)
+
+
+def apply_legacy(trie, batch):
+    for key, value in sorted(batch.items()):
+        trie.set(key, value)
+
+
+class TestRootEquivalence:
+    @given(st.dictionaries(KEYS, VALUES, max_size=40), BATCHES)
+    @settings(max_examples=80, deadline=None)
+    def test_overlay_matches_per_key_path(self, base, batch):
+        legacy, overlay = Trie(), Trie()
+        apply_legacy(legacy, base)
+        apply_legacy(overlay, base)
+        apply_legacy(legacy, batch)
+        overlay.commit_batch(batch)
+        assert overlay.root_hash == legacy.root_hash
+        assert dict(overlay.items()) == dict(legacy.items())
+
+    @given(st.lists(BATCHES, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_sequential_batches(self, batches):
+        legacy, overlay = Trie(), Trie()
+        for batch in batches:
+            apply_legacy(legacy, batch)
+            overlay.commit_batch(batch)
+            assert overlay.root_hash == legacy.root_hash
+
+    def test_batch_iteration_order_irrelevant(self):
+        items = {bytes([i, 255 - i]): bytes([i]) for i in range(50)}
+        forward, backward = Trie(), Trie()
+        forward.commit_batch(items)
+        backward.commit_batch(list(items.items())[::-1])
+        assert forward.root_hash == backward.root_hash
+
+    def test_empty_batch_preserves_root(self):
+        trie = Trie()
+        trie.set(b"key", b"value")
+        before = trie.root_hash
+        stats = trie.commit_batch({})
+        assert trie.root_hash == before
+        assert stats.nodes_sealed == 0
+
+    def test_delete_everything_reaches_empty_root(self):
+        trie = Trie()
+        trie.commit_batch({b"a": b"1", b"ab": b"2", b"abc": b"3"})
+        trie.commit_batch({b"a": b"", b"ab": b"", b"abc": b""})
+        assert trie.root is None
+        assert len(trie) == 0
+
+    def test_delete_of_absent_key_is_noop(self):
+        trie = Trie()
+        trie.commit_batch({b"present": b"1"})
+        before = trie.root_hash
+        stats = trie.commit_batch({b"absent": b""})
+        assert trie.root_hash == before
+        assert stats.deleted == 0
+
+
+class TestHashingEconomy:
+    def _batch(self, n):
+        return {
+            i.to_bytes(4, "big") * 2: (i + 1).to_bytes(4, "big") for i in range(n)
+        }
+
+    def test_fewer_hashes_than_per_key(self):
+        batch = self._batch(200)
+        legacy_store, overlay_store = NodeStore(), NodeStore()
+        legacy, overlay = Trie(legacy_store), Trie(overlay_store)
+        apply_legacy(legacy, batch)
+        stats = overlay.commit_batch(batch)
+        assert overlay.root_hash == legacy.root_hash
+        assert stats.hashes_computed * 3 <= legacy_store.hash_count
+
+    def test_seal_hashes_each_dirty_node_once(self):
+        batch = self._batch(100)
+        store = NodeStore()
+        trie = Trie(store)
+        stats = trie.commit_batch(batch)
+        # One store put per sealed node, and nothing else was persisted.
+        assert stats.nodes_sealed == stats.hashes_computed == len(store)
+
+    def test_no_intermediate_garbage(self):
+        """Per-key inserts persist every intermediate root's path nodes;
+        the overlay persists only nodes reachable from the sealed root."""
+        batch = self._batch(150)
+        legacy_store, overlay_store = NodeStore(), NodeStore()
+        apply_legacy(Trie(legacy_store), batch)
+        Trie(overlay_store).commit_batch(batch)
+        assert len(overlay_store) < len(legacy_store) / 3
+
+
+class TestOverlayDirect:
+    def test_double_seal_rejected(self):
+        overlay = Overlay(NodeStore(), None)
+        overlay.set(b"k", b"v")
+        overlay.seal()
+        with pytest.raises(RuntimeError):
+            overlay.seal()
+        with pytest.raises(RuntimeError):
+            overlay.set(b"k2", b"v")
+
+    def test_stats_track_net_key_delta(self):
+        trie = Trie()
+        trie.commit_batch({b"a": b"1", b"b": b"2"})
+        stats = trie.commit_batch({b"a": b"new", b"b": b"", b"c": b"3"})
+        assert stats.inserted == 1      # c
+        assert stats.deleted == 1       # b
+        assert stats.writes == 2        # a, c
+        assert stats.deletes == 1       # b
+        assert len(trie) == 2
