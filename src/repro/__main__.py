@@ -9,6 +9,7 @@ ablation        DMVCC feature ablation
 analyze FILE    compile a Minisol file and print its P-SAG
 verify          differential fuzzing under the serializability oracle
 profile         event-traced execution: Chrome trace + wait decomposition
+db              inspect/maintain a durable node store (stats, fsck, compact)
 """
 
 from __future__ import annotations
@@ -124,9 +125,25 @@ def cmd_verify(args) -> int:
     serializability oracle; exits non-zero on any divergence."""
     from .verify import DifferentialFuzzer
 
-    if args.fuzz <= 0:
-        print("verify: --fuzz must be a positive block count", file=sys.stderr)
+    if args.fuzz <= 0 and args.crash_recovery <= 0:
+        print("verify: need --fuzz N > 0 and/or --crash-recovery N > 0",
+              file=sys.stderr)
         return 2
+    exit_code = 0
+    if args.crash_recovery > 0:
+        from .verify import run_crash_campaign
+
+        crash_report = run_crash_campaign(
+            args.crash_recovery,
+            base_seed=args.seed,
+            progress=(lambda line: print(line, file=sys.stderr))
+            if args.progress else None,
+        )
+        print(crash_report.render())
+        if not crash_report.ok:
+            exit_code = 1
+    if args.fuzz <= 0:
+        return exit_code
     factories = None
     if args.schedulers:
         from .verify.fuzz import default_executor_factories
@@ -146,6 +163,7 @@ def cmd_verify(args) -> int:
         factories=factories,
         txs_per_block=args.txs_per_block,
         minimize=not args.no_minimize,
+        backend=args.backend,
     )
     report = fuzzer.run(
         blocks=args.fuzz,
@@ -155,7 +173,7 @@ def cmd_verify(args) -> int:
     print(report.render())
     if args.artifacts_dir:
         _write_verify_artifacts(args.artifacts_dir, fuzzer, report)
-    return 0 if report.ok else 1
+    return exit_code if report.ok else 1
 
 
 def _write_verify_artifacts(directory: str, fuzzer, report) -> None:
@@ -217,6 +235,7 @@ def cmd_profile(args) -> int:
         schedulers=schedulers,
         contention=args.contention,
         config_overrides=_scaled_workload(args),
+        durable_dir=args.durable or None,
     )
     print(report.render(top=args.top))
     print(f"\ntrace written to {args.out} "
@@ -261,6 +280,15 @@ def main(argv=None) -> int:
     verify.add_argument("--schedulers", default="", metavar="NAMES",
                         help="comma-separated scheduler subset to fuzz "
                              "(default: all parallel executors)")
+    verify.add_argument("--backend", choices=["memory", "durable"],
+                        default="memory",
+                        help="also seal every fuzz block through the on-disk "
+                             "engine and assert roots byte-identical "
+                             "(durable)")
+    verify.add_argument("--crash-recovery", type=int, default=0, metavar="N",
+                        help="run N crash-recovery cases against the durable "
+                             "engine (fault-injected kill at a random byte "
+                             "offset, then recovery check)")
     verify.add_argument("--no-minimize", action="store_true",
                         help="skip greedy shrinking of diverging blocks")
     verify.add_argument("--progress", action="store_true",
@@ -289,7 +317,14 @@ def main(argv=None) -> int:
                          help="workload profile (default high)")
     profile.add_argument("--top", type=int, default=10,
                          help="hot keys to list in the attribution table")
+    profile.add_argument("--durable", default="", metavar="DIR",
+                         help="also commit every block to an on-disk mirror "
+                              "at DIR and report fsync/append/cache costs")
     profile.set_defaults(func=cmd_profile)
+
+    from .db.cli import add_db_parser
+
+    add_db_parser(sub)
 
     analyze = sub.add_parser("analyze", help="print a contract's P-SAG")
     analyze.add_argument("file")

@@ -162,6 +162,12 @@ class Validator:
             metrics.commit_time = report.wall_time
             metrics.commit_hashes = report.hashes_computed
             metrics.commit_nodes_sealed = report.nodes_sealed
+            if report.durable:
+                metrics.db_bytes_appended = report.bytes_appended
+                metrics.db_fsync_time = report.fsync_time
+                metrics.db_cache_hits = report.db_cache_hits
+                metrics.db_cache_misses = report.db_cache_misses
+                metrics.db_pruned_nodes = report.pruned_nodes
         return snapshot
 
     def _execute(self, txs, csags, timestamp: int) -> BlockExecution:

@@ -1,0 +1,38 @@
+"""repro.db — durable, crash-safe, prunable node storage under the trie.
+
+The subsystem in one paragraph: trie nodes are appended to a segmented log
+as CRC-framed records, a per-block *commit marker* makes everything before
+it durable (fsync happens there), opening a store replays the log to
+rebuild the hash→location index — truncating any torn tail past the last
+valid marker — and reference-counted compaction rewrites just the nodes
+reachable from roots inside a retention window, reclaiming the rest.  See
+``docs/STORAGE.md`` for the format and invariants.
+
+Everything above :class:`NodeBackend` is storage-agnostic:
+``StateDB()`` keeps the in-memory dict (:class:`MemoryBackend`) and
+``StateDB.open(path)`` swaps in :class:`DurableBackend` with no other code
+changes.
+"""
+
+from .backend import CommitIO, MemoryBackend, NodeBackend
+from .engine import (
+    CompactionReport,
+    DBStats,
+    DurableBackend,
+    FsckReport,
+)
+from .faults import FaultPlan, InjectedCrash
+from .log import SegmentedLog
+
+__all__ = [
+    "CommitIO",
+    "CompactionReport",
+    "DBStats",
+    "DurableBackend",
+    "FaultPlan",
+    "FsckReport",
+    "InjectedCrash",
+    "MemoryBackend",
+    "NodeBackend",
+    "SegmentedLog",
+]

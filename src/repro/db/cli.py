@@ -1,0 +1,76 @@
+"""``python -m repro db`` — operator tooling for the durable node store.
+
+Subcommands
+-----------
+stats PATH             segment/node/root/cache accounting
+fsck PATH              recovery replay + reachability/hash integrity walk
+compact PATH           reference-counted pruning outside the retention window
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .engine import DurableBackend
+
+
+def _open(args) -> DurableBackend:
+    return DurableBackend(args.path, retention=args.retention)
+
+
+def cmd_db_stats(args) -> int:
+    backend = _open(args)
+    try:
+        stats = backend.stats()
+        print(stats.render())
+        if backend.truncated_on_recovery:
+            print(
+                f"note: recovery dropped a {backend.truncated_on_recovery}-byte "
+                "torn tail on open",
+                file=sys.stderr,
+            )
+    finally:
+        backend.close()
+    return 0
+
+
+def cmd_db_fsck(args) -> int:
+    backend = _open(args)
+    try:
+        report = backend.fsck()
+        print(report.render())
+    finally:
+        backend.close()
+    return 0 if report.ok else 1
+
+
+def cmd_db_compact(args) -> int:
+    backend = _open(args)
+    try:
+        report = backend.compact()
+        print(report.render())
+        ok = backend.fsck().ok
+        if not ok:
+            print("compact: post-compaction fsck FAILED", file=sys.stderr)
+    finally:
+        backend.close()
+    return 0 if ok else 1
+
+
+def add_db_parser(sub) -> None:
+    """Attach the ``db`` subcommand tree to the top-level CLI parser."""
+    db = sub.add_parser(
+        "db", help="inspect and maintain a durable node store directory"
+    )
+    db_sub = db.add_subparsers(dest="db_command", required=True)
+    for name, func, help_text in (
+        ("stats", cmd_db_stats, "print segment/node/root/cache accounting"),
+        ("fsck", cmd_db_fsck, "verify every retained root's reachable nodes"),
+        ("compact", cmd_db_compact,
+         "prune nodes only reachable from expired roots"),
+    ):
+        cmd = db_sub.add_parser(name, help=help_text)
+        cmd.add_argument("path", help="store directory (as in StateDB.open)")
+        cmd.add_argument("--retention", type=int, default=64,
+                         help="roots to keep when compacting (default 64)")
+        cmd.set_defaults(func=func)

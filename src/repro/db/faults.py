@@ -1,0 +1,53 @@
+"""Fault injection for the storage engine.
+
+Crash-recovery testing needs to *cause* the failures the recovery path
+claims to survive.  A :class:`FaultPlan` attached to a
+:class:`~repro.db.log.SegmentedLog` makes the log misbehave in the three
+ways a real process death can:
+
+* ``crash_after_bytes=N`` — the next append that would push the total
+  bytes written past ``N`` writes only the part that fits (a torn record)
+  and raises :class:`InjectedCrash`, simulating the kernel persisting a
+  prefix of a write when the process dies mid-``write(2)``.
+* ``torn_tail_bytes=N`` — on close, the final ``N`` bytes of the active
+  segment are chopped off, simulating a tail that never reached the platter
+  because the last page was still dirty.
+* ``skip_fsync=True`` — ``fsync`` becomes a no-op, so a test can model the
+  window where data sits in the page cache only.
+
+The plan is plain data; all enforcement lives in the log layer, so the
+engine and everything above it exercise their *normal* code paths right up
+to the instant of the simulated crash — exactly what the crash-recovery
+fuzz campaign in :mod:`repro.verify.crash` relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import ReproError
+
+
+class InjectedCrash(ReproError):
+    """Raised by a fault-armed log at the simulated instant of death."""
+
+
+@dataclass
+class FaultPlan:
+    """What should go wrong, and when.  All fields default to 'nothing'."""
+
+    crash_after_bytes: Optional[int] = None  # budget of bytes before the crash
+    torn_tail_bytes: int = 0                 # chopped off the tail on close
+    skip_fsync: bool = False                 # fsync silently does nothing
+
+    @property
+    def armed(self) -> bool:
+        return (
+            self.crash_after_bytes is not None
+            or self.torn_tail_bytes > 0
+            or self.skip_fsync
+        )
+
+
+NO_FAULTS = FaultPlan()

@@ -9,6 +9,7 @@ contention ranking (:mod:`.attribution`), and the ``repro profile`` driver
 
 from .attribution import AbortAttribution, AbortRecord, KeyContention, contract_namer, format_key
 from .events import (
+    CommitPersisted,
     CommitSealed,
     CommitStarted,
     EventBus,
@@ -35,7 +36,7 @@ from .profile import ProfileReport, ProfileSection, profile_to_file, run_profile
 
 __all__ = [
     "AbortAttribution", "AbortRecord", "KeyContention", "contract_namer",
-    "format_key", "CommitSealed", "CommitStarted",
+    "format_key", "CommitPersisted", "CommitSealed", "CommitStarted",
     "EventBus", "NullSink", "NULL_BUS", "ObsEvent",
     "SNAPSHOT_WRITER", "UNKNOWN_WRITER", "build_chrome_trace",
     "chrome_trace_events", "render_gantt_ascii", "write_chrome_trace",

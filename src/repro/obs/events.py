@@ -271,6 +271,23 @@ class CommitSealed(ObsEvent):
     flat_misses: int = 0
 
 
+@dataclass(frozen=True)
+class CommitPersisted(ObsEvent):
+    """The durable backend made the sealed snapshot crash-safe: the commit
+    marker hit the log and was fsynced.  ``bytes_appended`` covers the
+    block's node records plus the marker; ``cache_hits``/``cache_misses``
+    are the node-cache traffic since the previous marker; ``pruned_nodes``
+    is non-zero when this commit triggered auto-compaction.  Only emitted
+    when the StateDB runs on the durable backend."""
+
+    height: int = 0
+    bytes_appended: int = 0
+    fsync_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    pruned_nodes: int = 0
+
+
 class EventBus:
     """Append-only, sequence-numbered sink of :class:`ObsEvent`."""
 
@@ -404,6 +421,14 @@ class EventBus:
             self._next(), ts, -1, height, writes, nodes_sealed,
             hashes_computed, wall_time, flat_hits, flat_misses))
 
+    def commit_persisted(self, ts: float, height: int,
+                         bytes_appended: int = 0, fsync_time: float = 0.0,
+                         cache_hits: int = 0, cache_misses: int = 0,
+                         pruned_nodes: int = 0) -> None:
+        self.events.append(CommitPersisted(
+            self._next(), ts, -1, height, bytes_appended, fsync_time,
+            cache_hits, cache_misses, pruned_nodes))
+
     def summary(self) -> str:
         counts = {}
         for event in self.events:
@@ -441,6 +466,7 @@ class NullSink(EventBus):
     def revalidation_hit(self, *args, **kwargs) -> None: pass
     def commit_started(self, *args, **kwargs) -> None: pass
     def commit_sealed(self, *args, **kwargs) -> None: pass
+    def commit_persisted(self, *args, **kwargs) -> None: pass
 
 
 NULL_BUS = NullSink()

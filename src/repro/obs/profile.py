@@ -118,6 +118,14 @@ class ProfileReport:
                     f"hashes={commit.hashes_computed} "
                     f"wall={commit.wall_time * 1e3:7.2f}ms  "
                     f"flat-cache={rate:6.2%} of {reads} reads")
+                if commit.durable:
+                    db_reads = commit.db_cache_hits + commit.db_cache_misses
+                    db_rate = commit.db_cache_hits / db_reads if db_reads else 0.0
+                    lines.append(
+                        f"    └ durable: appended={commit.bytes_appended}B "
+                        f"fsync={commit.fsync_time * 1e3:6.2f}ms "
+                        f"node-cache={db_rate:6.2%} of {db_reads} reads "
+                        f"pruned={commit.pruned_nodes}")
 
         for scheduler, attribution in self.attributions.items():
             lines.append("")
@@ -137,6 +145,7 @@ def run_profile(
     schedulers: Sequence[str] = PROFILE_SCHEDULERS,
     contention: str = "high",
     config_overrides: Optional[dict] = None,
+    durable_dir: Optional[str] = None,
 ) -> ProfileReport:
     """Execute ``blocks`` seeded blocks under every requested scheduler with
     event tracing on; returns the assembled :class:`ProfileReport` (the
@@ -152,6 +161,10 @@ def run_profile(
         raise ValueError(f"unknown scheduler(s): {', '.join(unknown)}")
 
     workload = Workload(config)
+    # With --durable, every block's write batch is also committed to an
+    # on-disk mirror of the workload state, so the state-commit section can
+    # report real fsync/append/cache costs alongside the in-memory seal.
+    mirror = workload.db.mirror_durable(durable_dir) if durable_dir else None
     report = ProfileReport(namer=contract_namer(workload.db))
     attributions = {s: AbortAttribution() for s in schedulers if s != "serial"}
     serial = SerialExecutor()
@@ -188,8 +201,16 @@ def run_profile(
                     attributions[name].feed(event)
 
         workload.db.commit(reference.writes)
-        report.commits.append(workload.db.last_commit)
+        if mirror is not None:
+            mirror.commit(reference.writes)
+            if mirror.latest.root_hash != workload.db.latest.root_hash:
+                report.correctness_ok = False
+            report.commits.append(mirror.last_commit)
+        else:
+            report.commits.append(workload.db.last_commit)
 
+    if mirror is not None:
+        mirror.close()
     for name, attribution in attributions.items():
         attribution.finish()
     report.attributions = attributions

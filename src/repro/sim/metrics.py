@@ -103,6 +103,12 @@ class BlockMetrics:
     commit_nodes_sealed: int = 0      # trie nodes persisted by the commit
     flat_hits: int = 0                # snapshot reads served by the flat/LRU cache
     flat_misses: int = 0              # snapshot reads that walked the trie
+    # Durable-backend accounting (zero when the StateDB runs in-memory):
+    db_bytes_appended: int = 0        # log bytes this block's commit appended
+    db_fsync_time: float = 0.0        # wall seconds inside fsync at the marker
+    db_cache_hits: int = 0            # node-cache hits since the previous marker
+    db_cache_misses: int = 0          # node-cache misses (disk reads)
+    db_pruned_nodes: int = 0          # nodes reclaimed by auto-compaction
     per_tx: List[TxMetrics] = field(default_factory=list)
     oracle: Optional[OracleStats] = None  # set when a verify pass ran
 

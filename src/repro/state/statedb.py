@@ -67,6 +67,13 @@ class CommitReport:
     root: bytes = b""
     flat_hits: int = 0
     flat_misses: int = 0
+    # Durable-backend accounting (zero when running in-memory):
+    durable: bool = False
+    bytes_appended: int = 0    # log bytes this commit added (nodes + marker)
+    fsync_time: float = 0.0    # seconds inside fsync at the commit marker
+    db_cache_hits: int = 0     # node-cache hits since the previous marker
+    db_cache_misses: int = 0   # node-cache misses (disk reads) since then
+    pruned_nodes: int = 0      # nodes reclaimed by auto-compaction, if any
 
 
 class Snapshot:
@@ -135,15 +142,82 @@ class Snapshot:
 
 
 class StateDB:
-    """Append-only chain of snapshots plus the contract-code registry."""
+    """Chain of snapshots plus the contract-code registry.
 
-    def __init__(self) -> None:
-        self._store = NodeStore()
+    ``StateDB()`` keeps every trie node in a process-lifetime dict exactly
+    as before; ``StateDB.open(path)`` routes the same write path through
+    the durable log-structured engine (``repro.db``), adds a commit marker
+    + fsync per block, and recovers the snapshot chain from the log on
+    reopen.  All sealing logic is shared — the roots are byte-identical
+    either way (``repro verify --backend durable`` fuzzes this).
+    """
+
+    def __init__(self, backend=None) -> None:
+        self._store = NodeStore(backend)
         genesis = Trie(self._store)
         self._snapshots: List[Snapshot] = [Snapshot(genesis, 0)]
         self.codes = CodeRegistry()
         self.obs = None  # optional EventBus: CommitStarted/CommitSealed
         self.last_commit: Optional[CommitReport] = None
+        self.auto_compact_every = 0  # durable only: compact every N commits
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        *,
+        retention: int = 64,
+        cache_nodes: int = 4096,
+        segment_bytes: int = 4 << 20,
+        auto_compact_every: int = 0,
+        faults=None,
+    ) -> "StateDB":
+        """Open (or create) a durable StateDB rooted at ``path``.
+
+        Opening is recovery: the node log is replayed, any torn tail past
+        the last valid commit marker is truncated away, and the snapshot
+        chain is rebuilt from the recovered commit markers.  Heights below
+        the pruning horizon are simply absent (``snapshot`` raises
+        :class:`UnknownSnapshotError` for them).
+        """
+        from ..db.engine import DurableBackend
+
+        backend = DurableBackend(
+            path,
+            retention=retention,
+            cache_nodes=cache_nodes,
+            segment_bytes=segment_bytes,
+            faults=faults,
+        )
+        db = cls(backend)
+        db.auto_compact_every = auto_compact_every
+        roots = backend.roots
+        if roots:
+            snaps: List[Snapshot] = []
+            if roots[0][0] == 1:
+                # Un-seeded genesis was never sealed with a marker; the
+                # empty trie at height 0 is reconstructible for free.
+                snaps.append(Snapshot(Trie(db._store), 0))
+            for height, root in roots:
+                snaps.append(Snapshot(Trie(db._store, root), height))
+            db._snapshots = snaps
+        return db
+
+    @property
+    def durable(self) -> bool:
+        return getattr(self._store.backend, "durable", False)
+
+    def close(self) -> None:
+        self._store.close()
+
+    def compact(self, retention: Optional[int] = None):
+        """Prune nodes only reachable from roots outside the retention
+        window (durable only); drops in-memory snapshots for the pruned
+        heights so reads can't chase reclaimed nodes."""
+        report = self._store.compact(retention)
+        kept = {h for h, _ in self._store.backend.roots}
+        self._snapshots = [s for s in self._snapshots if s.height in kept]
+        return report
 
     # ------------------------------------------------------------------
     # Snapshot access
@@ -159,9 +233,20 @@ class StateDB:
         return self._snapshots[-1]
 
     def snapshot(self, height: int) -> Snapshot:
-        if not 0 <= height < len(self._snapshots):
+        """Snapshot at ``height``.  After recovery or pruning the chain may
+        not start at genesis, so heights are mapped through the retained
+        base rather than indexed directly."""
+        base = self._snapshots[0].height
+        index = height - base
+        if not 0 <= index < len(self._snapshots):
             raise UnknownSnapshotError(f"no snapshot at height {height}")
-        return self._snapshots[height]
+        snapshot = self._snapshots[index]
+        if snapshot.height != height:  # non-contiguous retained chain
+            for candidate in self._snapshots:
+                if candidate.height == height:
+                    return candidate
+            raise UnknownSnapshotError(f"no snapshot at height {height}")
+        return snapshot
 
     def root_at(self, height: int) -> bytes:
         return self.snapshot(height).root_hash
@@ -219,6 +304,19 @@ class StateDB:
             report.deletes = stats.deletes
             report.nodes_sealed = stats.nodes_sealed
         report.hashes_computed = store.hash_count - base_hashes
+        io = self._store.commit_root(trie.root, height)
+        if io is not None:
+            report.durable = True
+            report.bytes_appended = io.bytes_appended
+            report.fsync_time = io.fsync_time
+            report.db_cache_hits = io.cache_hits
+            report.db_cache_misses = io.cache_misses
+        if (
+            io is not None
+            and self.auto_compact_every
+            and height % self.auto_compact_every == 0
+        ):
+            report.pruned_nodes = self.compact().nodes_pruned
         report.wall_time = time.perf_counter() - start
         report.root = trie.root_hash
         snapshot = Snapshot(trie, height, flat=self._seed_flat(parent, writes))
@@ -233,6 +331,15 @@ class StateDB:
                 flat_hits=report.flat_hits,
                 flat_misses=report.flat_misses,
             )
+            if io is not None:
+                obs.commit_persisted(
+                    report.wall_time, height,
+                    bytes_appended=io.bytes_appended,
+                    fsync_time=io.fsync_time,
+                    cache_hits=io.cache_hits,
+                    cache_misses=io.cache_misses,
+                    pruned_nodes=report.pruned_nodes,
+                )
         return snapshot
 
     @staticmethod
@@ -248,6 +355,26 @@ class StateDB:
         flat.update(writes)
         return flat
 
+    def mirror_durable(self, path: str, **open_kwargs) -> "StateDB":
+        """Open a fresh durable StateDB at ``path`` seeded with this DB's
+        latest snapshot contents and sharing its code registry.
+
+        The mirror's root is byte-identical to this DB's latest root (the
+        trie root is a pure function of the surviving contents), so
+        committing the same write batches to both keeps them root-equal —
+        how ``repro profile --durable`` measures on-disk commit costs on
+        the exact same workload.
+        """
+        mirror = StateDB.open(path, **open_kwargs)
+        if len(mirror._store.backend):
+            raise StateError(f"mirror target {path} is not a fresh store")
+        trie = Trie(mirror._store)
+        trie.commit_batch(self.latest.items())
+        mirror._store.commit_root(trie.root, self.height)
+        mirror._snapshots = [Snapshot(trie, self.height)]
+        mirror.codes = self.codes
+        return mirror
+
     def fork(self) -> "StateDB":
         """A logically independent StateDB starting from this one's history.
 
@@ -262,6 +389,7 @@ class StateDB:
         fork.codes = self.codes
         fork.obs = None
         fork.last_commit = None
+        fork.auto_compact_every = 0
         return fork
 
     # ------------------------------------------------------------------
@@ -289,6 +417,9 @@ class StateDB:
             if value:
                 trie.set(key.trie_key(), encode_int(value))
             flat[key] = value
+        # Durable stores seal genesis under a commit marker too, so a
+        # reopened chain recovers its seeded height-0 root.
+        self._store.commit_root(trie.root, 0)
         self._snapshots[0] = Snapshot(trie, 0, flat=flat)
         return self._snapshots[0]
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Dict, Iterator, Optional, Tuple
 
 from ..core.errors import MissingNodeError, TrieError
+from ..core.hashing import keccak
+from ..db.backend import MemoryBackend
 from .nibbles import bytes_to_nibbles, common_prefix_length, nibbles_to_bytes
 from .nodes import (
     BRANCH_WIDTH,
@@ -30,37 +32,75 @@ from .nodes import (
 
 EMPTY_ROOT = node_hash(LeafNode((), b""))  # sentinel; never stored
 
+# The put-side dedup memo (node → digest) is cleared wholesale once it
+# reaches this size, bounding the extra memory without LRU bookkeeping on
+# the hot path.
+MEMO_MAX = 1 << 15
+
 
 class NodeStore:
-    """Content-addressed, append-only storage for encoded trie nodes.
+    """Content-addressed storage for encoded trie nodes.
 
-    ``hash_count`` counts node-hash invocations (one per :meth:`put`); the
-    commit pipeline and the state-commit benchmarks read deltas of it to
-    compare the batched overlay path against the legacy per-key path.
+    Bytes live in a pluggable :class:`~repro.db.backend.NodeBackend`: the
+    in-memory dict by default (append-only, process lifetime) or the
+    durable log-structured engine (:class:`~repro.db.engine.DurableBackend`)
+    when the StateDB was opened on a path.
+
+    ``hash_count`` counts node-hash invocations; the commit pipeline and
+    the state-commit benchmarks read deltas of it to compare the batched
+    overlay path against the legacy per-key path.  :meth:`put` keeps a
+    value-keyed memo of nodes it has already hashed, so repeated puts of an
+    identical node are a dict hit — no re-encode, no re-hash, no re-store —
+    and ``dedup_hits`` counts them.
     """
 
-    def __init__(self) -> None:
-        self._nodes: Dict[bytes, bytes] = {}
+    def __init__(self, backend=None) -> None:
+        self.backend = backend if backend is not None else MemoryBackend()
         self.hash_count = 0
+        self.dedup_hits = 0
+        self._memo: Dict[TrieNode, bytes] = {}
 
     def put(self, node: TrieNode) -> bytes:
+        memo = self._memo
+        digest = memo.get(node)
+        if digest is not None:
+            self.dedup_hits += 1
+            return digest
         encoded = node.encode()
-        digest = node_hash(node)
+        digest = keccak(encoded)
         self.hash_count += 1
-        self._nodes[digest] = encoded
+        self.backend.put(digest, encoded)
+        if len(memo) >= MEMO_MAX:
+            memo.clear()
+        memo[node] = digest
         return digest
 
     def get(self, digest: bytes) -> TrieNode:
-        encoded = self._nodes.get(digest)
+        encoded = self.backend.get(digest)
         if encoded is None:
             raise MissingNodeError(f"missing trie node {digest.hex()}")
         return decode_node(encoded)
 
+    def commit_root(self, root: Optional[bytes], height: int):
+        """Record a durability boundary (no-op and ``None`` in-memory);
+        returns the backend's :class:`~repro.db.backend.CommitIO`."""
+        return self.backend.commit_root(root, height)
+
+    def compact(self, retention: Optional[int] = None):
+        """Prune the backend (durable only) and drop the put memo — memoised
+        digests may now point at nodes compaction reclaimed."""
+        report = self.backend.compact(retention)
+        self._memo.clear()
+        return report
+
+    def close(self) -> None:
+        self.backend.close()
+
     def __len__(self) -> int:
-        return len(self._nodes)
+        return len(self.backend)
 
     def __contains__(self, digest: bytes) -> bool:
-        return digest in self._nodes
+        return digest in self.backend
 
 
 class Trie:

@@ -11,12 +11,16 @@ instead of trusting the schedulers to be right:
   graph acyclicity, state-root and receipt equivalence, and early-write
   visibility hygiene (no committed read of a retracted version);
 * :mod:`.fuzz`   — differential fuzzing of Serial vs DAG vs OCC vs DMVCC
-  over randomized workloads, with greedy block minimization on divergence.
+  over randomized workloads, with greedy block minimization on divergence;
+* :mod:`.crash`  — crash-recovery fuzzing of the durable storage engine
+  (``repro.db``): seeded random blocks, a fault-injected crash at a random
+  byte offset, and a recovery check against an in-memory twin.
 """
 
 from .trace import TraceRecorder
 from .oracle import OracleReport, SerializabilityOracle, check_block
 from .fuzz import DifferentialFuzzer, FuzzReport
+from .crash import CrashReport, run_crash_campaign
 
 __all__ = [
     "TraceRecorder",
@@ -25,4 +29,6 @@ __all__ = [
     "check_block",
     "DifferentialFuzzer",
     "FuzzReport",
+    "CrashReport",
+    "run_crash_campaign",
 ]

@@ -66,6 +66,23 @@ class CommitMismatch:
 
 
 @dataclass
+class DurableMismatch:
+    """A durable-backend root that differed from the in-memory root, or a
+    recovery that failed to reproduce the sealed root byte-for-byte."""
+
+    seed: int
+    stage: str        # "commit" or "recovery"
+    durable_root: str
+    memory_root: str
+
+    def render(self) -> str:
+        return (
+            f"durable {self.stage} mismatch at seed={self.seed}: "
+            f"durable={self.durable_root[:16]} != memory={self.memory_root[:16]}"
+        )
+
+
+@dataclass
 class FuzzReport:
     """Aggregate outcome of one fuzzing campaign."""
 
@@ -75,10 +92,16 @@ class FuzzReport:
     stats: Dict[str, OracleStats] = field(default_factory=dict)
     commit_checks: int = 0
     commit_mismatches: List[CommitMismatch] = field(default_factory=list)
+    durable_checks: int = 0
+    durable_mismatches: List[DurableMismatch] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.divergences and not self.commit_mismatches
+        return (
+            not self.divergences
+            and not self.commit_mismatches
+            and not self.durable_mismatches
+        )
 
     def render(self) -> str:
         lines = [
@@ -89,9 +112,17 @@ class FuzzReport:
             f"  [commit] {self.commit_checks} overlay-vs-legacy root "
             f"check(s), {len(self.commit_mismatches)} mismatch(es)"
         )
+        if self.durable_checks:
+            lines.append(
+                f"  [durable] {self.durable_checks} on-disk-vs-memory root "
+                f"check(s) incl. reopen/recovery, "
+                f"{len(self.durable_mismatches)} mismatch(es)"
+            )
         for name in sorted(self.stats):
             lines.append(f"  [{name}] {self.stats[name].summary()}")
         for mismatch in self.commit_mismatches:
+            lines.append("  " + mismatch.render())
+        for mismatch in self.durable_mismatches:
             lines.append("  " + mismatch.render())
         for divergence in self.divergences:
             lines.append("  " + divergence.render())
@@ -119,11 +150,15 @@ class DifferentialFuzzer:
         txs_per_block: int = 24,
         minimize: bool = True,
         max_minimize_runs: int = 120,
+        backend: str = "memory",
     ) -> None:
+        if backend not in ("memory", "durable"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.factories = factories if factories is not None else default_executor_factories()
         self.txs_per_block = txs_per_block
         self.minimize = minimize
         self.max_minimize_runs = max_minimize_runs
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # Case generation
@@ -252,6 +287,62 @@ class DifferentialFuzzer:
             if progress is not None:
                 progress(f"commit-path root mismatch at seed {seed}")
 
+    @staticmethod
+    def _check_durable(workload, writes, seed, report, progress) -> None:
+        """Seal the same contents through the on-disk engine in a scratch
+        directory and assert three roots agree byte-for-byte: the durable
+        root, the in-memory root, and the root recovered by reopening the
+        store (a full log replay)."""
+        import shutil
+        import tempfile
+
+        from ..core.encoding import encode_int
+        from ..db.engine import DurableBackend
+        from ..trie.mpt import NodeStore, Trie
+
+        memory_root = workload.db.fork().commit(writes).root_hash
+        tmp = tempfile.mkdtemp(prefix="repro-verify-db-")
+        try:
+            store = NodeStore(DurableBackend(tmp))
+            trie = Trie(store)
+            trie.commit_batch(workload.db.latest.items())
+            store.commit_root(trie.root, 0)
+            trie.commit_batch(
+                (k.trie_key(), encode_int(v)) for k, v in writes.items()
+            )
+            store.commit_root(trie.root, 1)
+            durable_root = trie.root_hash
+            store.close()
+            report.durable_checks += 1
+            if durable_root != memory_root:
+                report.durable_mismatches.append(DurableMismatch(
+                    seed=seed, stage="commit",
+                    durable_root=durable_root.hex(),
+                    memory_root=memory_root.hex(),
+                ))
+                if progress is not None:
+                    progress(f"durable commit root mismatch at seed {seed}")
+                return
+            reopened = DurableBackend(tmp)
+            recovered = reopened.roots[-1][1]
+            recovered_trie = Trie(NodeStore(reopened), recovered)
+            recovered_root = recovered_trie.root_hash
+            # Recovery must also leave every node reachable, not just the
+            # root hash intact.
+            for _ in recovered_trie.items():
+                pass
+            reopened.close()
+            if recovered_root != memory_root:
+                report.durable_mismatches.append(DurableMismatch(
+                    seed=seed, stage="recovery",
+                    durable_root=recovered_root.hex(),
+                    memory_root=memory_root.hex(),
+                ))
+                if progress is not None:
+                    progress(f"durable recovery root mismatch at seed {seed}")
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
     # ------------------------------------------------------------------
     # Campaign
     # ------------------------------------------------------------------
@@ -278,6 +369,10 @@ class DifferentialFuzzer:
             )
             report.blocks += 1
             self._check_commit(workload, serial_out.writes, seed, report, progress)
+            if self.backend == "durable":
+                self._check_durable(
+                    workload, serial_out.writes, seed, report, progress
+                )
             for name in self.factories:
                 executor = self.factories[name]()
                 verdict = self._run_pair(

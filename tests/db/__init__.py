@@ -1,0 +1,1 @@
+"""Tests for the durable storage engine (``repro.db``)."""

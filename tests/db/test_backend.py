@@ -1,0 +1,131 @@
+"""NodeBackend contract: Memory/Durable parity, LRU cache, dedup puts."""
+
+import pytest
+
+from repro.core.hashing import keccak
+from repro.db.backend import MemoryBackend
+from repro.db.engine import DurableBackend
+
+
+def node(payload: bytes):
+    """A (digest, encoded) pair shaped like what NodeStore writes."""
+    return keccak(payload), payload
+
+
+class TestMemoryBackend:
+    def test_put_get_roundtrip(self):
+        backend = MemoryBackend()
+        digest, encoded = node(b"leaf-bytes")
+        assert backend.put(digest, encoded) is True
+        assert backend.get(digest) == encoded
+        assert digest in backend
+        assert len(backend) == 1
+
+    def test_put_dedups(self):
+        backend = MemoryBackend()
+        digest, encoded = node(b"leaf-bytes")
+        backend.put(digest, encoded)
+        assert backend.put(digest, encoded) is False
+        assert len(backend) == 1
+
+    def test_get_missing_returns_none(self):
+        backend = MemoryBackend()
+        assert backend.get(b"\x00" * 32) is None
+
+    def test_commit_root_is_a_noop(self):
+        backend = MemoryBackend()
+        assert backend.commit_root(b"\x11" * 32, 1) is None
+        assert backend.durable is False
+
+
+class TestParity:
+    """The durable backend must be observationally identical to memory."""
+
+    def test_same_answers_for_same_ops(self, tmp_path):
+        memory = MemoryBackend()
+        durable = DurableBackend(str(tmp_path))
+        pairs = [node(bytes([i]) * (10 + i)) for i in range(20)]
+        for digest, encoded in pairs:
+            assert memory.put(digest, encoded) == durable.put(digest, encoded)
+        for digest, encoded in pairs:
+            assert memory.get(digest) == durable.get(digest) == encoded
+        assert len(memory) == len(durable) == 20
+        durable.close()
+
+    def test_durable_survives_reopen_after_commit(self, tmp_path):
+        durable = DurableBackend(str(tmp_path))
+        pairs = [node(bytes([i]) * 12) for i in range(5)]
+        for digest, encoded in pairs:
+            durable.put(digest, encoded)
+        durable.commit_root(pairs[0][0], 1)
+        durable.close()
+
+        reopened = DurableBackend(str(tmp_path))
+        for digest, encoded in pairs:
+            assert reopened.get(digest) == encoded
+        assert reopened.roots == [(1, pairs[0][0])]
+        reopened.close()
+
+    def test_uncommitted_puts_vanish_on_reopen(self, tmp_path):
+        durable = DurableBackend(str(tmp_path))
+        digest, encoded = node(b"never-committed")
+        durable.put(digest, encoded)
+        durable.close()  # no commit marker ever written
+
+        reopened = DurableBackend(str(tmp_path))
+        assert reopened.get(digest) is None
+        assert len(reopened) == 0
+        reopened.close()
+
+
+class TestDurableDedup:
+    def test_second_put_appends_nothing(self, tmp_path):
+        durable = DurableBackend(str(tmp_path))
+        digest, encoded = node(b"shared-subtree")
+        assert durable.put(digest, encoded) is True
+        before = durable._log.appended_bytes
+        assert durable.put(digest, encoded) is False
+        assert durable._log.appended_bytes == before
+        durable.close()
+
+
+class TestCache:
+    def test_hit_miss_accounting(self, tmp_path):
+        durable = DurableBackend(str(tmp_path), cache_nodes=8)
+        digest, encoded = node(b"cached-node")
+        durable.put(digest, encoded)
+        durable.commit_root(digest, 1)
+        assert durable.get(digest) == encoded  # put() pre-warmed the cache
+        assert durable.cache_hits == 1 and durable.cache_misses == 0
+        durable.close()
+
+        # A cold open must miss once, then hit.
+        reopened = DurableBackend(str(tmp_path), cache_nodes=8)
+        assert reopened.get(digest) == encoded
+        assert reopened.get(digest) == encoded
+        assert reopened.cache_misses == 1 and reopened.cache_hits == 1
+        reopened.close()
+
+    def test_lru_eviction_is_bounded(self, tmp_path):
+        durable = DurableBackend(str(tmp_path), cache_nodes=2)
+        pairs = [node(bytes([i]) * 10) for i in range(4)]
+        for digest, encoded in pairs:
+            durable.put(digest, encoded)
+        assert len(durable._cache) == 2
+        durable.commit_root(pairs[0][0], 1)
+        # The evicted nodes still read correctly, via the log.
+        for digest, encoded in pairs:
+            assert durable.get(digest) == encoded
+        assert durable.cache_misses >= 2
+        durable.close()
+
+    def test_eviction_order_is_least_recently_used(self, tmp_path):
+        durable = DurableBackend(str(tmp_path), cache_nodes=2)
+        a, b, c = (node(bytes([i]) * 10) for i in range(3))
+        durable.put(*a)
+        durable.put(*b)
+        durable.get(a[0])       # refresh a: b is now the LRU entry
+        durable.put(*c)         # evicts b
+        assert a[0] in durable._cache and c[0] in durable._cache
+        assert b[0] not in durable._cache
+        durable.close()

@@ -1,0 +1,96 @@
+"""NodeStore dedup: repeated puts of identical nodes hash exactly once.
+
+Regression tests for the old behaviour where ``NodeStore.put`` re-encoded
+and re-hashed nodes that were already present, and for the commit
+pipeline's reliance on ``hash_count`` deltas staying meaningful under the
+memoisation.
+"""
+
+from repro.core.hashing import keccak
+from repro.core.types import Address, StateKey
+from repro.state import StateDB
+from repro.trie.mpt import NodeStore, Trie
+from repro.trie.nodes import LeafNode, node_hash
+
+
+class TestPutMemo:
+    def test_second_put_is_a_memo_hit(self):
+        store = NodeStore()
+        node = LeafNode((1, 2, 3), b"value")
+        first = store.put(node)
+        assert store.hash_count == 1 and store.dedup_hits == 0
+        second = store.put(LeafNode((1, 2, 3), b"value"))  # equal, not same
+        assert second == first
+        assert store.hash_count == 1
+        assert store.dedup_hits == 1
+
+    def test_memo_digest_matches_canonical_hash(self):
+        store = NodeStore()
+        node = LeafNode((0xA, 0xB), b"payload")
+        assert store.put(node) == node_hash(node) == keccak(node.encode())
+
+    def test_distinct_nodes_still_hash(self):
+        store = NodeStore()
+        store.put(LeafNode((1,), b"a"))
+        store.put(LeafNode((1,), b"b"))
+        assert store.hash_count == 2 and store.dedup_hits == 0
+
+    def test_rebuilding_identical_trie_is_hash_free(self):
+        store = NodeStore()
+        batch = {b"key-%02d" % i: b"v%d" % i for i in range(32)}
+        first = Trie(store)
+        first.commit_batch(batch)
+        hashes_after_first = store.hash_count
+
+        second = Trie(store)
+        second.commit_batch(batch)
+        assert second.root == first.root
+        assert store.hash_count == hashes_after_first
+        assert store.dedup_hits > 0
+
+
+class TestCommitPipelineDeltas:
+    """StateDB.commit reads ``hash_count`` deltas for its report; the memo
+    must keep those deltas consistent (never negative, never counting
+    work that was deduplicated) while roots stay correct."""
+
+    def test_identical_recommit_reports_zero_hashes(self):
+        db = StateDB()
+        batch = {StateKey(Address.derive("dedup"), s): 5 for s in range(8)}
+        db.commit(batch)
+        root = db.latest.root_hash
+        db.commit(batch)  # same writes again: trie shape unchanged
+        report = db.last_commit
+        assert db.latest.root_hash == root
+        assert report.hashes_computed == 0      # all memo hits
+        assert report.nodes_sealed > 0          # the overlay still sealed
+
+    def test_fresh_writes_still_accounted(self):
+        db = StateDB()
+        db.commit({StateKey(Address.derive("dedup"), 0): 1})
+        db.commit({StateKey(Address.derive("dedup"), 1): 2})
+        assert db.last_commit.hashes_computed > 0
+
+    def test_roots_unaffected_by_shared_store_history(self):
+        """Two dbs, one with a memo warmed by prior commits: same batch,
+        same root — dedup must never change commit results."""
+        warm = StateDB()
+        for value in (1, 2, 3):
+            warm.commit({StateKey(Address.derive("w"), 0): value})
+        cold = StateDB()
+        batch = {StateKey(Address.derive("w"), 0): 3,
+                 StateKey(Address.derive("x"), 4): 9}
+        warm.commit(batch)
+        for value in (1, 2, 3):
+            cold.commit({StateKey(Address.derive("w"), 0): value})
+        cold.commit(batch)
+        assert warm.latest.root_hash == cold.latest.root_hash
+
+    def test_legacy_path_also_dedups(self):
+        db = StateDB()
+        batch = {StateKey(Address.derive("legacy"), s): 7 for s in range(4)}
+        db.commit(batch, legacy=True)
+        first = db.last_commit.hashes_computed
+        db.commit(batch, legacy=True)
+        assert db.last_commit.hashes_computed < first
+        assert db.last_commit.root == db.root_at(1)
