@@ -1,0 +1,57 @@
+"""Adversarial scenario pack under each scheduler.
+
+Not a paper figure: the scenario corpus (mint storms, airdrop floods,
+flash-loan bundles, composition routes, re-entrancy, the abort-maximizer)
+models the application-inherent hot-key traffic Garamvölgyi et al. show
+dominates real Ethereum blocks.  Each benchmark executes one scenario
+block under DMVCC and reports the abort rate next to wall-clock cost, so
+regressions in either show up per scenario.
+"""
+
+import pytest
+
+from repro.executors import DMVCCExecutor, SerialExecutor
+from repro.workload import SCENARIO_NAMES, Workload, scenario_config
+
+from conftest import scaled
+
+SCENARIO_TXS = scaled(300)
+SCENARIO_WORKLOAD = dict(
+    users=scaled(400),
+    erc20_tokens=6,
+    dex_pools=4,
+    nft_collections=4,
+    icos=1,
+)
+
+
+@pytest.fixture(scope="module", params=sorted(SCENARIO_NAMES))
+def scenario_block(request):
+    name = request.param
+    workload = Workload(scenario_config(name, **SCENARIO_WORKLOAD))
+    txs = workload.transactions(SCENARIO_TXS)
+    reference = SerialExecutor().execute_block(
+        txs, workload.db.latest, workload.db.codes.code_of
+    )
+    return name, workload, txs, reference
+
+
+def bench_scenario_dmvcc(benchmark, scenario_block):
+    name, workload, txs, reference = scenario_block
+
+    def execute():
+        execution = DMVCCExecutor().execute_block(
+            txs, workload.db.latest, workload.db.codes.code_of, threads=16
+        )
+        assert execution.writes == reference.writes
+        return execution
+
+    execution = benchmark.pedantic(execute, rounds=2, iterations=1, warmup_rounds=0)
+    metrics = execution.metrics
+    benchmark.extra_info["scenario"] = name
+    benchmark.extra_info["aborts"] = metrics.aborts
+    benchmark.extra_info["abort_rate"] = round(metrics.abort_rate, 4)
+    print(
+        f"\n{name}: {metrics.aborts} aborts over {metrics.executions} "
+        f"executions (abort rate {metrics.abort_rate:.2%})"
+    )

@@ -8,6 +8,7 @@ rq1             Merkle-root correctness sweep
 ablation        DMVCC feature ablation
 analyze FILE    compile a Minisol file and print its P-SAG
 verify          differential fuzzing under the serializability oracle
+soak            long-running adversarial soak with crash injection
 profile         event-traced execution: Chrome trace + wait decomposition
 db              inspect/maintain a durable node store (stats, fsck, compact)
 """
@@ -159,11 +160,28 @@ def cmd_verify(args) -> int:
             )
             return 2
         factories = {name: available[name] for name in wanted}
+    scenarios = None
+    if args.scenarios:
+        from .workload.scenarios import SCENARIOS
+
+        wanted = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+        if wanted == ["all"]:
+            wanted = list(SCENARIOS)
+        unknown = [s for s in wanted if s not in SCENARIOS]
+        if unknown:
+            print(
+                f"verify: unknown scenario(s): {', '.join(unknown)} "
+                f"(choose from {', '.join(SCENARIOS)})",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios = wanted
     fuzzer = DifferentialFuzzer(
         factories=factories,
         txs_per_block=args.txs_per_block,
         minimize=not args.no_minimize,
         backend=args.backend,
+        scenarios=scenarios,
     )
     report = fuzzer.run(
         blocks=args.fuzz,
@@ -217,6 +235,50 @@ def _write_verify_artifacts(directory: str, fuzzer, report) -> None:
             document,
         )
     print(f"verify: artifacts written to {directory}", file=sys.stderr)
+
+
+def cmd_soak(args) -> int:
+    """Run the long-running adversarial soak: scenario traffic through the
+    validator over the durable engine with online oracle + root-parity
+    invariants, mid-stream crash injection, and periodic compaction."""
+    from .soak import run_soak
+    from .workload.scenarios import SCENARIOS
+
+    if args.scenario not in SCENARIOS:
+        print(
+            f"soak: unknown scenario {args.scenario!r} "
+            f"(choose from {', '.join(SCENARIOS)})",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = dict(
+        users=args.users,
+        erc20_tokens=args.tokens,
+        dex_pools=args.pools,
+        nft_collections=args.nfts,
+        icos=2,
+    )
+    report = run_soak(
+        blocks=args.blocks,
+        txs_per_block=args.txs,
+        crashes=args.crashes,
+        backend=args.backend,
+        scenario=args.scenario,
+        scheduler=args.scheduler,
+        threads=args.workers,
+        seed=args.seed,
+        compact_every=args.compact_every,
+        checkpoint_every=args.checkpoint_every,
+        durable_dir=args.dir or None,
+        workload_overrides=overrides,
+        progress=(lambda line: print(line, file=sys.stderr))
+        if args.progress else None,
+        report_path=args.report or None,
+    )
+    print(report.render())
+    if args.report:
+        print(f"soak: report written to {args.report}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def cmd_profile(args) -> int:
@@ -289,6 +351,10 @@ def main(argv=None) -> int:
                         help="run N crash-recovery cases against the durable "
                              "engine (fault-injected kill at a random byte "
                              "offset, then recovery check)")
+    verify.add_argument("--scenarios", default="", metavar="NAMES",
+                        help="comma-separated adversarial scenario presets "
+                             "to overlay on fuzz cases (or 'all'); see "
+                             "repro.workload.scenarios")
     verify.add_argument("--no-minimize", action="store_true",
                         help="skip greedy shrinking of diverging blocks")
     verify.add_argument("--progress", action="store_true",
@@ -297,6 +363,43 @@ def main(argv=None) -> int:
                         help="write oracle report + per-divergence event "
                              "traces here (for CI artifact upload)")
     verify.set_defaults(func=cmd_verify)
+
+    soak = sub.add_parser(
+        "soak", help="long-running adversarial soak: online oracle + root "
+                     "parity + crash-recovery over the durable engine"
+    )
+    soak.add_argument("--blocks", type=int, default=1_000,
+                      help="blocks to stream (default 1000)")
+    soak.add_argument("--txs", type=int, default=64,
+                      help="transactions per block (default 64)")
+    soak.add_argument("--crashes", type=int, default=3,
+                      help="mid-stream crash injections (default 3; "
+                           "requires --backend durable)")
+    soak.add_argument("--backend", choices=["memory", "durable"],
+                      default="durable")
+    soak.add_argument("--scenario", default="mix",
+                      help="scenario preset, or 'mix' to rotate over all "
+                           "of them (default mix)")
+    soak.add_argument("--scheduler", default="dmvcc",
+                      choices=["serial", "occ", "dag", "dmvcc"])
+    soak.add_argument("--workers", type=int, default=8,
+                      help="simulated threads (default 8)")
+    soak.add_argument("--seed", type=int, default=2023)
+    soak.add_argument("--compact-every", type=int, default=50,
+                      help="compact the durable store every N blocks "
+                           "(default 50; 0 disables)")
+    soak.add_argument("--checkpoint-every", type=int, default=25,
+                      help="sample trend metrics every N blocks (default 25)")
+    soak.add_argument("--users", type=int, default=400,
+                      help="workload users (default 400)")
+    soak.add_argument("--dir", default="",
+                      help="pin the durable store to this directory "
+                           "(kept afterwards; default: temp dir)")
+    soak.add_argument("--report", default="", metavar="PATH",
+                      help="write the stamped JSON soak report here")
+    soak.add_argument("--progress", action="store_true",
+                      help="print checkpoint lines to stderr")
+    soak.set_defaults(func=cmd_soak)
 
     profile = sub.add_parser(
         "profile", help="event-traced execution: Chrome trace (Perfetto) "

@@ -386,6 +386,42 @@ class CSAGBuilder:
             coarse_writes.add(StateKey.balance(tx.sender))
             coarse_writes.add(StateKey.balance(tx.to))
 
+        # Message calls cross contract boundaries the target's static
+        # analysis cannot see.  For every foreign contract the pre-execution
+        # actually reached, over-approximate with *all* of its access sites
+        # (any function — the dispatched callee selector is dynamic): a
+        # coarse analysis that missed these would make DAG-style scheduling
+        # unsound on cross-contract bundles, not merely imprecise.
+        if outcome is not None:
+            foreign = {
+                entry.key.address
+                for entry in outcome.trace
+                if entry.key.address != tx.to
+            }
+            for address in sorted(foreign):
+                foreign_code = self._resolve_code(address)
+                if not foreign_code:
+                    # Plain account: its concrete (balance) keys are the
+                    # finest — and only — units available.
+                    for entry in outcome.trace:
+                        if entry.key.address != address:
+                            continue
+                        if entry.kind == "write":
+                            coarse_writes.add(entry.key)
+                        else:
+                            coarse_reads.add(entry.key)
+                    continue
+                foreign_psag = self._cache.get(foreign_code)
+                for site in foreign_psag.analysis.access_sites.values():
+                    if site.kind == "balance_read":
+                        coarse_reads.add(("balance", "*"))
+                        continue
+                    unit = coarse_unit(address, site.key)
+                    if site.kind == "write":
+                        coarse_writes.add(unit)
+                    else:
+                        coarse_reads.add(unit)
+
         release_offsets = [
             ReleaseOffset(pc, base + gas, max(total_gas - (base + gas), 0))
             for pc, gas in releases

@@ -17,7 +17,9 @@ from .events import (
     NULL_BUS,
     ObsEvent,
     SNAPSHOT_WRITER,
+    SoakCheckpoint,
     UNKNOWN_WRITER,
+    WorkloadChunkCommitted,
 )
 from .export import build_chrome_trace, chrome_trace_events, render_gantt_ascii, write_chrome_trace
 from .timeline import (
@@ -38,7 +40,8 @@ __all__ = [
     "AbortAttribution", "AbortRecord", "KeyContention", "contract_namer",
     "format_key", "CommitPersisted", "CommitSealed", "CommitStarted",
     "EventBus", "NullSink", "NULL_BUS", "ObsEvent",
-    "SNAPSHOT_WRITER", "UNKNOWN_WRITER", "build_chrome_trace",
+    "SNAPSHOT_WRITER", "SoakCheckpoint", "UNKNOWN_WRITER",
+    "WorkloadChunkCommitted", "build_chrome_trace",
     "chrome_trace_events", "render_gantt_ascii", "write_chrome_trace",
     "CATEGORIES", "EXEC", "LOCK_WAIT", "QUEUE_WAIT", "VERSION_WAIT",
     "Span", "Timeline", "TxTimeline", "build_timeline", "format_breakdown",

@@ -288,6 +288,34 @@ class CommitPersisted(ObsEvent):
     pruned_nodes: int = 0
 
 
+@dataclass(frozen=True)
+class WorkloadChunkCommitted(ObsEvent):
+    """One chunk of a serially-committed workload stream was sealed
+    (``tx`` is -1).  Emitted by :meth:`Workload.commit_serially` so long
+    setup phases report progress instead of silently looping."""
+
+    height: int = 0
+    txs_committed: int = 0
+    txs_total: int = 0
+    root: bytes = b""
+
+
+@dataclass(frozen=True)
+class SoakCheckpoint(ObsEvent):
+    """Periodic heartbeat of the soak harness (``tx`` is -1): sustained
+    throughput, the abort-rate trend, db growth versus reclaim, and the
+    cost of the online serializability oracle, sampled every reporting
+    interval.  ``crashes`` counts the injected crashes recovered so far."""
+
+    block: int = 0
+    blocks_per_sec: float = 0.0
+    abort_rate: float = 0.0
+    db_bytes: int = 0
+    bytes_reclaimed: int = 0
+    oracle_time: float = 0.0
+    crashes: int = 0
+
+
 class EventBus:
     """Append-only, sequence-numbered sink of :class:`ObsEvent`."""
 
@@ -429,6 +457,19 @@ class EventBus:
             self._next(), ts, -1, height, bytes_appended, fsync_time,
             cache_hits, cache_misses, pruned_nodes))
 
+    def workload_chunk(self, ts: float, height: int, txs_committed: int,
+                       txs_total: int, root: bytes = b"") -> None:
+        self.events.append(WorkloadChunkCommitted(
+            self._next(), ts, -1, height, txs_committed, txs_total, root))
+
+    def soak_checkpoint(self, ts: float, block: int,
+                        blocks_per_sec: float = 0.0, abort_rate: float = 0.0,
+                        db_bytes: int = 0, bytes_reclaimed: int = 0,
+                        oracle_time: float = 0.0, crashes: int = 0) -> None:
+        self.events.append(SoakCheckpoint(
+            self._next(), ts, -1, block, blocks_per_sec, abort_rate,
+            db_bytes, bytes_reclaimed, oracle_time, crashes))
+
     def summary(self) -> str:
         counts = {}
         for event in self.events:
@@ -467,6 +508,8 @@ class NullSink(EventBus):
     def commit_started(self, *args, **kwargs) -> None: pass
     def commit_sealed(self, *args, **kwargs) -> None: pass
     def commit_persisted(self, *args, **kwargs) -> None: pass
+    def workload_chunk(self, *args, **kwargs) -> None: pass
+    def soak_checkpoint(self, *args, **kwargs) -> None: pass
 
 
 NULL_BUS = NullSink()

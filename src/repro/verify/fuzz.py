@@ -151,6 +151,7 @@ class DifferentialFuzzer:
         minimize: bool = True,
         max_minimize_runs: int = 120,
         backend: str = "memory",
+        scenarios: Optional[List[str]] = None,
     ) -> None:
         if backend not in ("memory", "durable"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -159,6 +160,16 @@ class DifferentialFuzzer:
         self.minimize = minimize
         self.max_minimize_runs = max_minimize_runs
         self.backend = backend
+        if scenarios:
+            from ..workload.scenarios import SCENARIOS
+
+            unknown = [s for s in scenarios if s not in SCENARIOS]
+            if unknown:
+                raise ValueError(
+                    f"unknown scenario(s): {', '.join(unknown)} "
+                    f"(choose from {', '.join(SCENARIOS)})"
+                )
+        self.scenarios: List[str] = list(scenarios or [])
 
     # ------------------------------------------------------------------
     # Case generation
@@ -197,6 +208,19 @@ class DifferentialFuzzer:
 
         rng = random.Random(seed)
         config = self._random_config(rng, seed)
+        if self.scenarios:
+            # Overlay one of the adversarial scenario presets on the
+            # randomized base config, keeping everything else seeded.
+            import dataclasses
+
+            from ..workload.scenarios import scenario_config
+
+            preset = scenario_config(rng.choice(self.scenarios))
+            config = dataclasses.replace(
+                config,
+                scenario=preset.scenario,
+                scenario_fraction=preset.scenario_fraction,
+            )
         workload = Workload(config)
         txs = workload.transactions(self.txs_per_block)
         threads = rng.choice([2, 3, 4, 8])

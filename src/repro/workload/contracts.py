@@ -178,6 +178,41 @@ contract ICO {
 }
 """
 
+# Airdrop claim floods are the canonical application-inherent hot spot on
+# mainnet (Garamvölgyi et al.): every claimant read-checks and decrements
+# the same ``remaining`` counter (θ, non-commutative) while the per-user
+# ``claimed`` flag and balance credit stay disjoint.
+AIRDROP_SOURCE = """
+contract Airdrop {
+    uint remaining;
+    uint claimAmount;
+    uint claims;
+    mapping(address => uint) claimed;
+    mapping(address => uint) balanceOf;
+
+    event Claimed(address, uint);
+
+    function fund(uint amount) public {
+        remaining += amount;
+    }
+
+    function claim() public {
+        require(claimed[msg.sender] == 0);
+        uint amount = claimAmount;
+        require(remaining >= amount);
+        remaining -= amount;
+        claimed[msg.sender] = 1;
+        balanceOf[msg.sender] += amount;
+        claims += 1;
+        emit Claimed(msg.sender, amount);
+    }
+
+    function left() public view returns (uint) {
+        return remaining;
+    }
+}
+"""
+
 COUNTER_SOURCE = """
 contract Counter {
     uint value;
@@ -282,6 +317,7 @@ contract Example {
 """
 
 ALL_SOURCES = {
+    "Airdrop": AIRDROP_SOURCE,
     "Auction": AUCTION_SOURCE,
     "ERC20": ERC20_SOURCE,
     "DEXPool": DEX_POOL_SOURCE,

@@ -67,6 +67,17 @@ class WorkloadConfig:
     seed: int = 2023
     user_funds: int = 1_000 * ETHER
     token_funds: int = 10**12
+    # Adversarial scenario overlay (see .scenarios).  ``scenario`` names one
+    # scenario, a comma-separated list, or "mix" to rotate over all of them;
+    # empty string disables the overlay entirely (pure mainnet mix).  Each
+    # transaction is drawn from the scenario with ``scenario_fraction``
+    # probability and from the base mix otherwise.
+    scenario: str = ""
+    scenario_fraction: float = 0.8
+    reentrancy_depth: int = 6        # max nested self-call depth
+    airdrop_amount: int = 50         # tokens per successful claim
+    composition_legs: int = 3        # pools chained per routed DeFi tx
+    abort_hot_keys: int = 8          # Example-contract keys the storm fights over
 
 
 @dataclass
@@ -94,6 +105,12 @@ class Workload:
         self.users = [Address.derive(f"user:{i}:{config.seed}") for i in range(config.users)]
         self.contracts = DeployedContracts()
         self.db = StateDB()
+        if config.scenario:
+            from .scenarios import ScenarioPack
+
+            self.scenarios: Optional[ScenarioPack] = ScenarioPack(self)
+        else:
+            self.scenarios = None
         self._compile()
         self._deploy()
         self._seed_state()
@@ -109,6 +126,8 @@ class Workload:
             "NFT": compile_source(NFT_SOURCE),
             "ICO": compile_source(ICO_SOURCE),
         }
+        if self.scenarios is not None:
+            self.scenarios.compile_extra(self.contracts.compiled)
 
     def _deploy(self) -> None:
         cfg = self.config
@@ -130,6 +149,8 @@ class Workload:
             self.db.deploy_contract(addr, compiled["ICO"].code, f"ICO-{i}")
             self.contracts.icos.append(addr)
         self.contracts.exchange = Address.derive(f"exchange:{cfg.seed}")
+        if self.scenarios is not None:
+            self.scenarios.deploy()
 
     def _seed_state(self) -> None:
         """Seed balances, token holdings, pool reserves, and ICO parameters
@@ -203,22 +224,51 @@ class Workload:
             storage[StateKey(collection, next_id_slot)] = premint
             self._nft_owners[collection] = owners
 
+        if self.scenarios is not None:
+            self.scenarios.seed(storage)
         self.db.seed_genesis(balances, storage)
 
     def commit_serially(self, txs: List[Transaction], chunk: int = 5_000) -> None:
         """Execute and commit transactions serially in chunked blocks.
 
         Used to advance the workload's chain (e.g. warming state between
-        generated blocks); raises if any setup transaction fails.
+        generated blocks); raises if any setup transaction fails.  Before
+        the first post-seed commit the genesis root is re-derived from the
+        snapshot's contents and asserted byte-identical (the root must be a
+        pure function of the seeded state, or later root-parity checks are
+        meaningless), and each chunk commit is surfaced through the DB's
+        obs bus instead of looping silently.
         """
+        from ..core.errors import StateError
+        from ..trie.mpt import Trie
+
+        if self.db.height == 0:
+            rebuilt = Trie(self.db._store)
+            rebuilt.commit_batch(self.db.latest.items())
+            if rebuilt.root_hash != self.db.latest.root_hash:
+                raise StateError(
+                    "post-seed root unstable: rebuilding the genesis trie "
+                    f"gave {rebuilt.root_hash.hex()[:12]}… instead of "
+                    f"{self.db.latest.root_hash.hex()[:12]}…"
+                )
         executor = SerialExecutor()
+        obs = self.db.obs
+        committed = 0
         for start in range(0, len(txs), chunk):
             block = txs[start : start + chunk]
             result = executor.execute_block(block, self.db.latest, self.db.codes.code_of)
             failed = [r for r in result.receipts if not r.result.success]
             if failed:
                 raise RuntimeError(f"workload setup tx failed: {failed[0]}")
-            self.db.commit(result.writes)
+            previous_root = self.db.latest.root_hash
+            snapshot = self.db.commit(result.writes)
+            if not result.writes and snapshot.root_hash != previous_root:
+                raise StateError("empty commit drifted the state root")
+            committed += len(block)
+            if obs is not None:
+                obs.workload_chunk(
+                    0.0, snapshot.height, committed, len(txs), snapshot.root_hash,
+                )
 
     # ------------------------------------------------------------------
     # Transaction stream
@@ -260,6 +310,10 @@ class Workload:
     def _one_transaction(self) -> Transaction:
         cfg = self.config
         rng = self.rng
+        if self.scenarios is not None:
+            scenario_tx = self.scenarios.maybe_transaction()
+            if scenario_tx is not None:
+                return scenario_tx
         hot = cfg.hot_access_prob > 0 and rng.random() < cfg.hot_access_prob
         if rng.random() >= cfg.contract_fraction:
             return self._ether_transfer(hot)

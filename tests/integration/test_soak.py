@@ -1,0 +1,114 @@
+"""Scaled-down soak runs: the CI-sized version of ``python -m repro soak``.
+
+The full acceptance run streams 1000 blocks; here we keep the same moving
+parts — durable backend, mid-stream crash + recovery, continuous oracle and
+root-parity checks, compaction, JSON report — at a size a test suite can
+afford.
+"""
+
+import json
+
+import pytest
+
+from repro.soak import SoakReport, run_soak
+
+SMALL = dict(users=48, erc20_tokens=2, dex_pools=2, nft_collections=2, icos=1)
+
+
+@pytest.fixture(scope="module")
+def soak_report(tmp_path_factory):
+    path = tmp_path_factory.mktemp("soak") / "soak.json"
+    report = run_soak(
+        blocks=14,
+        txs_per_block=16,
+        crashes=1,
+        backend="durable",
+        scenario="mix",
+        scheduler="dmvcc",
+        threads=4,
+        seed=77,
+        compact_every=6,
+        checkpoint_every=4,
+        workload_overrides=SMALL,
+        report_path=str(path),
+    )
+    return report, path
+
+
+class TestSoakRun:
+    def test_invariants_hold_throughout(self, soak_report):
+        report, _ = soak_report
+        assert report.ok, report.render()
+        assert report.oracle_violations == []
+        assert report.root_mismatches == []
+        assert report.recovery_failures == []
+
+    def test_every_block_checked(self, soak_report):
+        report, _ = soak_report
+        assert report.blocks == 14
+        assert report.txs == 14 * 16
+        # Every committed block gets both an oracle check and a root-parity
+        # comparison; the crash block is re-executed after recovery, so the
+        # counts may exceed the block count but never fall short.
+        assert report.oracle_checks >= report.blocks
+        assert report.root_parity_checks >= report.blocks
+
+    def test_crash_was_injected_and_recovered(self, soak_report):
+        report, _ = soak_report
+        assert report.crashes_scheduled == 1
+        # The fault either fired mid-append or the block squeaked through
+        # the budget — both paths must reopen and verify the recovered db.
+        assert report.crashes_fired + report.crash_survivals == 1
+        assert report.recoveries_ok == 1
+
+    def test_checkpoints_sampled(self, soak_report):
+        report, _ = soak_report
+        assert report.samples
+        assert all(s.block > 0 for s in report.samples)
+        assert report.db_bytes_appended > 0
+        assert report.compactions >= 1
+
+    def test_report_json_stamped(self, soak_report):
+        report, path = soak_report
+        payload = json.loads(path.read_text())
+        assert payload["repro_meta"]["schema_version"] == 1
+        assert payload["ok"] is True
+        assert payload["config"]["blocks"] == report.blocks
+        assert payload["config"]["backend"] == "durable"
+        assert payload["totals"]["txs"] == report.txs
+        assert payload["failures"]["oracle"] == []
+        assert len(payload["samples"]) == len(report.samples)
+
+
+class TestSoakValidation:
+    def test_memory_backend_rejects_crashes(self):
+        with pytest.raises(ValueError):
+            run_soak(blocks=3, crashes=1, backend="memory",
+                     workload_overrides=SMALL)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_soak(blocks=3, backend="papyrus", workload_overrides=SMALL)
+
+    def test_memory_backend_runs_without_crashes(self):
+        report = run_soak(
+            blocks=4, txs_per_block=8, crashes=0, backend="memory",
+            scenario="abort_storm", scheduler="dmvcc", threads=2, seed=5,
+            checkpoint_every=2, workload_overrides=SMALL,
+        )
+        assert isinstance(report, SoakReport)
+        assert report.ok, report.render()
+        assert report.crashes_scheduled == 0
+
+    def test_deterministic_reports(self, tmp_path):
+        kwargs = dict(
+            blocks=5, txs_per_block=8, crashes=0, backend="durable",
+            scenario="flash_loan", scheduler="serial", seed=9,
+            checkpoint_every=2, workload_overrides=SMALL,
+        )
+        a = run_soak(durable_dir=str(tmp_path / "a"), **kwargs)
+        b = run_soak(durable_dir=str(tmp_path / "b"), **kwargs)
+        assert a.ok and b.ok
+        assert a.aborts == b.aborts
+        assert a.txs == b.txs
+        assert a.db_bytes_appended == b.db_bytes_appended

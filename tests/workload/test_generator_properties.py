@@ -1,0 +1,208 @@
+"""Property tests for the workload generator: Zipf weights, hot-set and
+stream determinism, and per-scenario transaction-shape invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    SCENARIO_NAMES,
+    Workload,
+    WorkloadConfig,
+    scenario_config,
+)
+
+SMALL = dict(users=60, erc20_tokens=3, dex_pools=2, nft_collections=2, icos=1)
+
+# One shared instance: building a Workload compiles and seeds a full chain,
+# far too heavy to repeat per hypothesis example.
+_SHARED = Workload(WorkloadConfig(**SMALL))
+
+
+def _zipf(n, alpha):
+    # The cache is keyed by n alone (alpha is fixed per config in real use),
+    # so clear it when sweeping alpha.
+    _SHARED._zipf_cache.clear()
+    return _SHARED._zipf_weights(n, alpha)
+
+
+class TestZipfWeights:
+    """``_zipf_weights(n, alpha)`` returns *cumulative* rank weights."""
+
+    @given(
+        n=st.integers(min_value=1, max_value=64),
+        alpha=st.floats(min_value=0.0, max_value=3.0,
+                        allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cumulative_shape(self, n, alpha):
+        weights = _zipf(n, alpha)
+        assert len(weights) == n
+        assert weights[0] > 0
+        # Strictly increasing: every rank contributes positive mass.
+        assert all(a < b for a, b in zip(weights, weights[1:]))
+
+    @given(
+        n=st.integers(min_value=2, max_value=64),
+        alpha=st.floats(min_value=0.05, max_value=3.0,
+                        allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rank_mass_strictly_decreasing(self, n, alpha):
+        """Per-rank mass (the cumulative deltas) strictly decreases with
+        rank for any positive alpha — the defining Zipf property."""
+        weights = _zipf(n, alpha)
+        masses = [weights[0]] + [
+            b - a for a, b in zip(weights, weights[1:])
+        ]
+        assert all(m1 > m2 for m1, m2 in zip(masses, masses[1:]))
+
+    def test_zero_alpha_uniform_mass(self):
+        weights = _zipf(10, 0.0)
+        masses = [weights[0]] + [b - a for a, b in zip(weights, weights[1:])]
+        assert all(abs(m - 1.0) < 1e-12 for m in masses)
+
+    def test_normalized_share_matches_zipf_law(self):
+        """The top rank's normalized share equals 1/H_n under alpha=1."""
+        n = 16
+        weights = _zipf(n, 1.0)
+        harmonic = sum(1.0 / r for r in range(1, n + 1))
+        assert abs(weights[0] / weights[-1] - 1.0 / harmonic) < 1e-12
+
+    def test_cache_returns_same_object(self):
+        _SHARED._zipf_cache.clear()
+        assert _SHARED._zipf_weights(8, 1.1) is _SHARED._zipf_weights(8, 1.1)
+
+
+class TestHotSetDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_hot_sets_identical_under_seed(self, seed):
+        a = Workload(WorkloadConfig(**SMALL, seed=seed, hot_access_prob=0.5))
+        b = Workload(WorkloadConfig(**SMALL, seed=seed, hot_access_prob=0.5))
+        assert a._pick_hot(a.contracts.erc20) == b._pick_hot(b.contracts.erc20)
+        assert a._pick_hot(a.contracts.pools) == b._pick_hot(b.contracts.pools)
+        assert a.users == b.users
+        assert a.contracts.all_addresses() == b.contracts.all_addresses()
+
+    def test_hot_set_is_stable_prefix(self):
+        """The hot set is the deterministic head of the deployment order,
+        independent of how many transactions were drawn before asking."""
+        workload = Workload(
+            WorkloadConfig(**SMALL, hot_access_prob=0.5, hot_contract_count=2)
+        )
+        before = workload._pick_hot(workload.contracts.erc20)
+        workload.transactions(300)
+        assert workload._pick_hot(workload.contracts.erc20) == before
+        assert before == workload.contracts.erc20[:2]
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=8, deadline=None)
+    def test_scenario_streams_deterministic(self, seed):
+        a = Workload(scenario_config("mix", **SMALL, seed=seed))
+        b = Workload(scenario_config("mix", **SMALL, seed=seed))
+        assert a.transactions(120) == b.transactions(120)
+        assert a.db.latest.root_hash == b.db.latest.root_hash
+
+
+class TestScenarioTxShapes:
+    """Each preset generates transactions of its advertised shape."""
+
+    def _txs(self, name, count=300, **overrides):
+        workload = Workload(scenario_config(name, **SMALL, **overrides))
+        return workload, workload.transactions(count)
+
+    def test_mint_storm_hits_hot_collection(self):
+        workload, txs = self._txs("mint_storm")
+        mints = [t for t in txs if t.label == "nft:mint_storm"]
+        assert len(mints) > len(txs) * 0.6
+        hot = workload.contracts.nfts[0]
+        share = sum(1 for t in mints if t.to == hot) / len(mints)
+        assert share > 0.8
+        selector = workload.contracts.compiled["NFT"].abi("mint").selector
+        assert all(
+            int.from_bytes(t.data[:4], "big") == selector for t in mints
+        )
+
+    def test_airdrop_flood_single_contract_distinct_claimants(self):
+        workload, txs = self._txs("airdrop_flood")
+        claims = [t for t in txs if t.label.startswith("airdrop")]
+        assert len(claims) > len(txs) * 0.6
+        assert {t.to for t in claims} == {workload.scenarios.airdrop}
+        fresh = [t for t in claims if t.label == "airdrop:claim"]
+        # Fresh claims come from distinct, synthetic claimant accounts.
+        assert len({t.sender for t in fresh}) == len(fresh)
+        reclaims = [t for t in claims if t.label == "airdrop:reclaim"]
+        assert all(t.sender in {f.sender for f in fresh} for t in reclaims)
+
+    def test_flash_bundle_calldata_shape(self):
+        workload, txs = self._txs("flash_loan")
+        bundles = [t for t in txs if t.label == "flash:bundle"]
+        assert bundles
+        pools = set(workload.contracts.pools)
+        for tx in bundles:
+            assert tx.to == workload.scenarios.hub
+            assert len(tx.data) == 32 * 3  # two pool legs + amount
+            leg_a = int.from_bytes(tx.data[0:32], "big")
+            leg_b = int.from_bytes(tx.data[32:64], "big")
+            amount = int.from_bytes(tx.data[64:96], "big")
+            assert {leg_a, leg_b} <= {p.to_word() for p in pools}
+            assert amount >= 2
+
+    def test_composition_route_legs(self):
+        workload, txs = self._txs("defi_composition", composition_legs=3)
+        routes = [t for t in txs if t.label == "defi:route"]
+        assert routes
+        for tx in routes:
+            assert tx.to == workload.scenarios.router
+            assert len(tx.data) == 32 * 4  # three pool legs + amount
+
+    def test_reentrancy_depth_bounded(self):
+        workload, txs = self._txs("reentrancy", reentrancy_depth=5)
+        storms = [t for t in txs if t.label == "reentrancy:storm"]
+        assert storms
+        for tx in storms:
+            assert tx.to == workload.scenarios.reentrant
+            depth = int.from_bytes(tx.data, "big")
+            assert 1 <= depth <= 5
+
+    def test_abort_storm_pairs_set_then_update(self):
+        workload, txs = self._txs("abort_storm")
+        example = workload.contracts.compiled["Example"]
+        set_sel = example.abi("setA").selector
+        upd_sel = example.abi("UpdateB").selector
+        hot_words = {u.to_word() for u in workload.scenarios.hot_keys}
+        sets = [t for t in txs if t.label == "abort:set"]
+        updates = [t for t in txs if t.label == "abort:update"]
+        # A trailing set's update can still be queued when the stream cuts.
+        assert sets and len(updates) >= len(sets) - 1
+        for tx in sets + updates:
+            assert tx.to == workload.scenarios.example
+            selector = int.from_bytes(tx.data[:4], "big")
+            assert selector == (set_sel if tx.label == "abort:set" else upd_sel)
+            x = int.from_bytes(tx.data[4:36], "big")
+            assert x in hot_words
+        # Every setA(x, …) is *immediately* chased by an UpdateB(x, …) —
+        # the queued pair is drained before any other traffic, which is
+        # the adversarial ordering itself.
+        pairs = 0
+        for i, tx in enumerate(txs[:-1]):
+            if tx.label != "abort:set":
+                continue
+            follower = txs[i + 1]
+            assert follower.label == "abort:update"
+            assert follower.data[4:36] == tx.data[4:36]
+            pairs += 1
+        assert pairs > 0
+
+    def test_unknown_scenario_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            scenario_config("nope")
+        with pytest.raises(ValueError):
+            Workload(WorkloadConfig(**SMALL, scenario="bogus"))
+
+    def test_every_preset_registered(self):
+        from repro.workload import SCENARIOS
+
+        assert set(SCENARIO_NAMES) | {"mix"} == set(SCENARIOS)
