@@ -9,6 +9,8 @@ ablation        DMVCC feature ablation
 analyze FILE    compile a Minisol file and print its P-SAG
 verify          differential fuzzing under the serializability oracle
 soak            long-running adversarial soak with crash injection
+serve           streaming block pipeline: mempool ingestion, fee ordering,
+                backpressure, overlapped execute/seal/persist
 profile         event-traced execution: Chrome trace + wait decomposition
 db              inspect/maintain a durable node store (stats, fsck, compact)
 """
@@ -281,6 +283,55 @@ def cmd_soak(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    """Stream scenario traffic through the full block pipeline: mempool
+    admission with backpressure, fee-ordered packing, and overlapped
+    execute/seal/persist; optionally with the online oracle and
+    root-parity twin engaged (--check)."""
+    from .pipeline import run_serve
+    from .workload.scenarios import SCENARIOS
+
+    if args.scenario not in SCENARIOS:
+        print(
+            f"serve: unknown scenario {args.scenario!r} "
+            f"(choose from {', '.join(SCENARIOS)})",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = dict(
+        users=args.users,
+        erc20_tokens=args.tokens,
+        dex_pools=args.pools,
+        nft_collections=args.nfts,
+        icos=2,
+    )
+    report = run_serve(
+        blocks=args.blocks,
+        txs_per_block=args.txs,
+        scenario=args.scenario,
+        scheduler=args.scheduler,
+        threads=args.workers,
+        seed=args.seed,
+        backend=args.backend,
+        max_inflight=args.max_inflight,
+        pool_size=args.pool_size or None,
+        min_fee=args.min_fee,
+        per_sender_cap=args.sender_cap,
+        check=args.check,
+        fsync_delay=args.fsync_delay / 1e3,
+        durable_dir=args.dir or None,
+        workload_overrides=overrides,
+        progress=(lambda line: print(line, file=sys.stderr))
+        if args.progress else None,
+        progress_every=args.checkpoint_every,
+        report_path=args.report or None,
+    )
+    print(report.render())
+    if args.report:
+        print(f"serve: report written to {args.report}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_profile(args) -> int:
     """Run the schedulers with event tracing on; write a Perfetto-loadable
     Chrome trace and print the timeline/attribution report."""
@@ -298,6 +349,7 @@ def cmd_profile(args) -> int:
         contention=args.contention,
         config_overrides=_scaled_workload(args),
         durable_dir=args.durable or None,
+        pipeline_blocks=args.pipeline,
     )
     print(report.render(top=args.top))
     print(f"\ntrace written to {args.out} "
@@ -401,6 +453,54 @@ def main(argv=None) -> int:
                       help="print checkpoint lines to stderr")
     soak.set_defaults(func=cmd_soak)
 
+    serve = sub.add_parser(
+        "serve", help="streaming block pipeline: mempool ingestion, fee "
+                      "ordering, backpressure, overlapped "
+                      "execute/seal/persist"
+    )
+    serve.add_argument("--blocks", type=int, default=500,
+                       help="blocks to stream (default 500)")
+    serve.add_argument("--txs", type=int, default=32,
+                       help="target transactions per block (default 32)")
+    serve.add_argument("--scenario", default="mix",
+                       help="scenario preset, or 'mix' to rotate over all "
+                            "of them (default mix)")
+    serve.add_argument("--scheduler", default="dmvcc",
+                       choices=["serial", "occ", "dag", "dmvcc"])
+    serve.add_argument("--workers", type=int, default=8,
+                       help="simulated threads (default 8)")
+    serve.add_argument("--seed", type=int, default=2023)
+    serve.add_argument("--backend", choices=["memory", "durable"],
+                       default="durable")
+    serve.add_argument("--max-inflight", type=int, default=2,
+                       help="seal-queue depth; 0 runs strictly sequentially "
+                            "(default 2)")
+    serve.add_argument("--pool-size", type=int, default=0,
+                       help="mempool capacity (default: six blocks' worth)")
+    serve.add_argument("--min-fee", type=int, default=0,
+                       help="admission fee floor (default 0)")
+    serve.add_argument("--sender-cap", type=int, default=0,
+                       help="max pooled entries per sender (default: none)")
+    serve.add_argument("--check", action="store_true",
+                       help="keep the serializability oracle and the "
+                            "root-parity twin engaged while streaming")
+    serve.add_argument("--fsync-delay", type=float, default=0.0,
+                       metavar="MS",
+                       help="emulated extra fsync latency in milliseconds "
+                            "(benchmarking aid; default 0)")
+    serve.add_argument("--users", type=int, default=400,
+                       help="workload users (default 400)")
+    serve.add_argument("--dir", default="",
+                       help="pin the durable store to this directory "
+                            "(kept afterwards; default: temp dir)")
+    serve.add_argument("--report", default="", metavar="PATH",
+                       help="write the stamped JSON serve report here")
+    serve.add_argument("--checkpoint-every", type=int, default=50,
+                       help="progress line cadence in blocks (default 50)")
+    serve.add_argument("--progress", action="store_true",
+                       help="print progress lines to stderr")
+    serve.set_defaults(func=cmd_serve)
+
     profile = sub.add_parser(
         "profile", help="event-traced execution: Chrome trace (Perfetto) "
                         "+ wait decomposition + abort attribution"
@@ -423,6 +523,10 @@ def main(argv=None) -> int:
     profile.add_argument("--durable", default="", metavar="DIR",
                          help="also commit every block to an on-disk mirror "
                               "at DIR and report fsync/append/cache costs")
+    profile.add_argument("--pipeline", type=int, default=6, metavar="N",
+                         help="stream N blocks through the pipelined driver "
+                              "and report per-stage occupancy/latency "
+                              "(default 6; 0 skips)")
     profile.set_defaults(func=cmd_profile)
 
     from .db.cli import add_db_parser

@@ -16,10 +16,17 @@ from .network import (
     NetworkSimulation,
 )
 from .transaction import DEFAULT_GAS_LIMIT, Transaction
-from .txpool import Packer, PooledTransaction, TransactionPool
+from .txpool import (
+    AdmissionResult,
+    Packer,
+    PooledTransaction,
+    PoolStats,
+    TransactionPool,
+)
 from .validator import Validator, ValidatorStats
 
 __all__ = [
+    "AdmissionResult",
     "Block",
     "BlockHeader",
     "BlockRecord",
@@ -31,6 +38,7 @@ __all__ = [
     "NetworkSimulation",
     "Packer",
     "PoWSimulator",
+    "PoolStats",
     "PooledTransaction",
     "PropagationModel",
     "Transaction",

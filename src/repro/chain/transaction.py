@@ -30,6 +30,7 @@ class Transaction:
     data: bytes = b""
     gas_limit: int = DEFAULT_GAS_LIMIT
     nonce: int = 0
+    fee: int = 0  # priority fee the sender bids for inclusion
     label: str = field(default="", compare=False)  # debugging/metrics tag
 
     def __post_init__(self) -> None:
@@ -37,6 +38,10 @@ class Transaction:
             raise InvalidTransaction("negative value")
         if self.gas_limit <= 0:
             raise InvalidTransaction("gas limit must be positive")
+        if self.fee < 0:
+            raise InvalidTransaction("negative fee")
+        if self.nonce < 0:
+            raise InvalidTransaction("negative nonce")
 
     @property
     def tx_hash(self) -> bytes:
@@ -48,6 +53,7 @@ class Transaction:
                 self.data,
                 encode_int(self.gas_limit),
                 encode_int(self.nonce),
+                encode_int(self.fee),
             ])
         )
 

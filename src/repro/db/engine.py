@@ -152,10 +152,12 @@ class DurableBackend:
         segment_bytes: int = 4 << 20,
         retention: int = DEFAULT_RETENTION,
         faults: Optional[FaultPlan] = None,
+        fsync_delay: float = 0.0,
     ) -> None:
         self.retention = retention
         self._log = SegmentedLog(
-            directory, segment_bytes=segment_bytes, faults=faults
+            directory, segment_bytes=segment_bytes, faults=faults,
+            fsync_delay=fsync_delay,
         )
         self._index: Dict[bytes, _Loc] = {}
         self.roots: List[Tuple[int, Optional[bytes]]] = []

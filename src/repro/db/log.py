@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import time
 import zlib
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -60,6 +61,14 @@ class SegmentedLog:
     segment; reads open per-segment handles lazily.  ``appended_bytes``
     counts every byte this handle has appended — the engine diffs it to
     report per-commit I/O.
+
+    Reads and appends may come from different threads (the pipeline's
+    stream lane reads sealed trie nodes while the commit lane appends the
+    next batch), so everything touching the shared handles — the seek+read
+    pair on a per-segment reader, the writer swap on a roll, truncation —
+    runs under one internal lock.  The ``fsync`` syscall itself stays
+    *outside* the lock: it is the slow part the pipeline exists to overlap,
+    and only the single commit lane ever syncs or rolls the writer.
     """
 
     def __init__(
@@ -68,12 +77,22 @@ class SegmentedLog:
         *,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         faults: Optional[FaultPlan] = None,
+        fsync_delay: float = 0.0,
     ) -> None:
         self.directory = directory
         self.segment_bytes = segment_bytes
         self.faults = faults if faults is not None else NO_FAULTS
+        # Emulated extra fsync latency (seconds), for benchmarking.  The
+        # pure-Python execute/seal stages run ~100x slower than a compiled
+        # client while fsync runs at real-hardware speed, which shrinks the
+        # persist stage to noise; the delay restores a commodity-disk
+        # weight.  Implemented as a sleep *after* the real fsync, so the
+        # durability semantics are untouched and (sleep releases the GIL)
+        # the overlap a pipeline can claim against it is genuine.
+        self.fsync_delay = fsync_delay
         self.appended_bytes = 0
         self._crash_budget = self.faults.crash_after_bytes
+        self._lock = threading.RLock()
         os.makedirs(directory, exist_ok=True)
         self._readers: Dict[int, object] = {}
         ids = self._discover()
@@ -119,8 +138,9 @@ class SegmentedLog:
         return list(self._ids)
 
     def total_bytes(self) -> int:
-        self._writer.flush()
-        return sum(os.path.getsize(self.path(i)) for i in self._ids)
+        with self._lock:
+            self._writer.flush()
+            return sum(os.path.getsize(self.path(i)) for i in self._ids)
 
     # ------------------------------------------------------------------
     # Appending
@@ -146,19 +166,27 @@ class SegmentedLog:
 
     def append(self, kind: int, payload: bytes) -> Tuple[int, int]:
         """Append one record; returns ``(segment_id, payload_offset)``."""
-        offset = self._active_size
-        header = HEADER.pack(kind, len(payload), _crc(kind, payload))
-        self._write(header + payload)
-        return self._active_id, offset + HEADER.size
+        with self._lock:
+            offset = self._active_size
+            header = HEADER.pack(kind, len(payload), _crc(kind, payload))
+            self._write(header + payload)
+            return self._active_id, offset + HEADER.size
 
     def sync(self) -> float:
         """Flush and fsync the active segment; returns the fsync seconds
         (0.0 when the fault plan skips fsync)."""
-        self._writer.flush()
-        if self.faults.skip_fsync:
-            return 0.0
+        with self._lock:
+            self._writer.flush()
+            if self.faults.skip_fsync:
+                return 0.0
+            fd = self._writer.fileno()
+        # fsync outside the lock: concurrent reads of already-flushed bytes
+        # need not wait out the disk, and only this (commit-lane) thread
+        # ever rolls or closes the writer, so fd stays valid.
         start = time.perf_counter()
-        os.fsync(self._writer.fileno())
+        os.fsync(fd)
+        if self.fsync_delay:
+            time.sleep(self.fsync_delay)
         return time.perf_counter() - start
 
     def maybe_roll(self) -> bool:
@@ -170,26 +198,28 @@ class SegmentedLog:
         return True
 
     def roll(self) -> None:
-        self._writer.flush()
-        self._writer.close()
-        next_id = self._active_id + 1
-        self._create_segment(next_id)
-        self._ids.append(next_id)
-        self._open_writer(next_id)
+        with self._lock:
+            self._writer.flush()
+            self._writer.close()
+            next_id = self._active_id + 1
+            self._create_segment(next_id)
+            self._ids.append(next_id)
+            self._open_writer(next_id)
 
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
 
     def read(self, segment_id: int, offset: int, length: int) -> bytes:
-        if segment_id == self._active_id:
-            self._writer.flush()
-        reader = self._readers.get(segment_id)
-        if reader is None:
-            reader = open(self.path(segment_id), "rb")
-            self._readers[segment_id] = reader
-        reader.seek(offset)
-        data = reader.read(length)
+        with self._lock:
+            if segment_id == self._active_id:
+                self._writer.flush()
+            reader = self._readers.get(segment_id)
+            if reader is None:
+                reader = open(self.path(segment_id), "rb")
+                self._readers[segment_id] = reader
+            reader.seek(offset)
+            data = reader.read(length)
         if len(data) != length:
             raise LogError(
                 f"short read in segment {segment_id} at {offset} "
@@ -235,6 +265,10 @@ class SegmentedLog:
     def truncate_to(self, segment_id: int, offset: int) -> int:
         """Drop everything after ``offset`` in ``segment_id`` (deleting all
         later segments); returns the number of bytes removed."""
+        with self._lock:
+            return self._truncate_to(segment_id, offset)
+
+    def _truncate_to(self, segment_id: int, offset: int) -> int:
         self._writer.flush()
         self._writer.close()
         self._close_readers()
@@ -256,13 +290,14 @@ class SegmentedLog:
     def delete_segments_before(self, segment_id: int) -> int:
         """Unlink every segment older than ``segment_id`` (compaction's
         final step); returns the bytes reclaimed."""
-        self._close_readers()
-        reclaimed = 0
-        for sid in [i for i in self._ids if i < segment_id]:
-            reclaimed += os.path.getsize(self.path(sid))
-            os.remove(self.path(sid))
-            self._ids.remove(sid)
-        return reclaimed
+        with self._lock:
+            self._close_readers()
+            reclaimed = 0
+            for sid in [i for i in self._ids if i < segment_id]:
+                reclaimed += os.path.getsize(self.path(sid))
+                os.remove(self.path(sid))
+                self._ids.remove(sid)
+            return reclaimed
 
     def _close_readers(self) -> None:
         for reader in self._readers.values():
@@ -270,16 +305,17 @@ class SegmentedLog:
         self._readers.clear()
 
     def close(self) -> None:
-        self._writer.flush()
-        if self.faults.torn_tail_bytes:
-            size = os.path.getsize(self.path(self._active_id))
-            keep = max(size - self.faults.torn_tail_bytes, len(MAGIC))
-            self._writer.close()
-            with open(self.path(self._active_id), "r+b") as handle:
-                handle.truncate(keep)
-        else:
-            self._writer.close()
-        self._close_readers()
+        with self._lock:
+            self._writer.flush()
+            if self.faults.torn_tail_bytes:
+                size = os.path.getsize(self.path(self._active_id))
+                keep = max(size - self.faults.torn_tail_bytes, len(MAGIC))
+                self._writer.close()
+                with open(self.path(self._active_id), "r+b") as handle:
+                    handle.truncate(keep)
+            else:
+                self._writer.close()
+            self._close_readers()
 
 
 def encode_node_payload(digest: bytes, encoded: bytes) -> bytes:

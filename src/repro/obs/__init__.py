@@ -9,15 +9,19 @@ contention ranking (:mod:`.attribution`), and the ``repro profile`` driver
 
 from .attribution import AbortAttribution, AbortRecord, KeyContention, contract_namer, format_key
 from .events import (
+    BackpressureChanged,
     CommitPersisted,
     CommitSealed,
     CommitStarted,
     EventBus,
+    MempoolEvicted,
+    MempoolRejected,
     NullSink,
     NULL_BUS,
     ObsEvent,
     SNAPSHOT_WRITER,
     SoakCheckpoint,
+    StageCompleted,
     UNKNOWN_WRITER,
     WorkloadChunkCommitted,
 )
@@ -38,9 +42,10 @@ from .profile import ProfileReport, ProfileSection, profile_to_file, run_profile
 
 __all__ = [
     "AbortAttribution", "AbortRecord", "KeyContention", "contract_namer",
-    "format_key", "CommitPersisted", "CommitSealed", "CommitStarted",
-    "EventBus", "NullSink", "NULL_BUS", "ObsEvent",
-    "SNAPSHOT_WRITER", "SoakCheckpoint", "UNKNOWN_WRITER",
+    "format_key", "BackpressureChanged", "CommitPersisted", "CommitSealed",
+    "CommitStarted", "EventBus", "MempoolEvicted", "MempoolRejected",
+    "NullSink", "NULL_BUS", "ObsEvent",
+    "SNAPSHOT_WRITER", "SoakCheckpoint", "StageCompleted", "UNKNOWN_WRITER",
     "WorkloadChunkCommitted", "build_chrome_trace",
     "chrome_trace_events", "render_gantt_ascii", "write_chrome_trace",
     "CATEGORIES", "EXEC", "LOCK_WAIT", "QUEUE_WAIT", "VERSION_WAIT",

@@ -300,6 +300,56 @@ class WorkloadChunkCommitted(ObsEvent):
     root: bytes = b""
 
 
+# ---------------------------------------------------------------------------
+# Mempool & streaming pipeline (repro.chain.txpool / repro.pipeline)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MempoolEvicted(ObsEvent):
+    """A full mempool displaced an entry to admit a newcomer (``tx`` is
+    -1).  ``analysed`` says whether a built C-SAG was thrown away with it —
+    the waste the fee-priority victim choice exists to minimise."""
+
+    fee: int = 0
+    analysed: bool = False
+    reason: str = "capacity"
+    pool_size: int = 0
+
+
+@dataclass(frozen=True)
+class MempoolRejected(ObsEvent):
+    """Admission control refused a transaction (``tx`` is -1); ``reason``
+    is one of the :mod:`repro.chain.txpool` rejection codes."""
+
+    reason: str = ""
+    fee: int = 0
+
+
+@dataclass(frozen=True)
+class BackpressureChanged(ObsEvent):
+    """The pipeline's ingest throttle flipped (``tx`` is -1): ``engaged``
+    means the mempool crossed its high watermark and the stream is being
+    held back; disengaged means occupancy drained below the low
+    watermark."""
+
+    engaged: bool = False
+    pool_size: int = 0
+    capacity: int = 0
+
+
+@dataclass(frozen=True)
+class StageCompleted(ObsEvent):
+    """One pipeline stage finished its work for one block (``tx`` is -1).
+    ``latency`` is wall seconds the stage spent on the block; ``items`` is
+    stage-specific (transactions ingested/analysed/packed/executed, writes
+    sealed/persisted)."""
+
+    stage: str = ""
+    block: int = 0
+    latency: float = 0.0
+    items: int = 0
+
+
 @dataclass(frozen=True)
 class SoakCheckpoint(ObsEvent):
     """Periodic heartbeat of the soak harness (``tx`` is -1): sustained
@@ -462,6 +512,25 @@ class EventBus:
         self.events.append(WorkloadChunkCommitted(
             self._next(), ts, -1, height, txs_committed, txs_total, root))
 
+    def mempool_evicted(self, ts: float, fee: int = 0, analysed: bool = False,
+                        reason: str = "capacity", pool_size: int = 0) -> None:
+        self.events.append(MempoolEvicted(
+            self._next(), ts, -1, fee, analysed, reason, pool_size))
+
+    def mempool_rejected(self, ts: float, reason: str = "",
+                         fee: int = 0) -> None:
+        self.events.append(MempoolRejected(self._next(), ts, -1, reason, fee))
+
+    def backpressure_changed(self, ts: float, engaged: bool,
+                             pool_size: int = 0, capacity: int = 0) -> None:
+        self.events.append(BackpressureChanged(
+            self._next(), ts, -1, engaged, pool_size, capacity))
+
+    def stage_completed(self, ts: float, stage: str, block: int,
+                        latency: float = 0.0, items: int = 0) -> None:
+        self.events.append(StageCompleted(
+            self._next(), ts, -1, stage, block, latency, items))
+
     def soak_checkpoint(self, ts: float, block: int,
                         blocks_per_sec: float = 0.0, abort_rate: float = 0.0,
                         db_bytes: int = 0, bytes_reclaimed: int = 0,
@@ -509,6 +578,10 @@ class NullSink(EventBus):
     def commit_sealed(self, *args, **kwargs) -> None: pass
     def commit_persisted(self, *args, **kwargs) -> None: pass
     def workload_chunk(self, *args, **kwargs) -> None: pass
+    def mempool_evicted(self, *args, **kwargs) -> None: pass
+    def mempool_rejected(self, *args, **kwargs) -> None: pass
+    def backpressure_changed(self, *args, **kwargs) -> None: pass
+    def stage_completed(self, *args, **kwargs) -> None: pass
     def soak_checkpoint(self, *args, **kwargs) -> None: pass
 
 

@@ -77,6 +77,7 @@ class ProfileReport:
     namer: Optional[Callable] = None
     correctness_ok: bool = True
     commits: List = field(default_factory=list)  # per-block CommitReport
+    pipeline: Optional[object] = None  # PipelineReport, when profiled
 
     def render(self, top: int = 10) -> str:
         lines = ["== wait-time decomposition =="]
@@ -127,6 +128,12 @@ class ProfileReport:
                         f"node-cache={db_rate:6.2%} of {db_reads} reads "
                         f"pruned={commit.pruned_nodes}")
 
+        if self.pipeline is not None:
+            lines.append("")
+            lines.append("== streaming pipeline (stage occupancy/latency) ==")
+            for line in self.pipeline.render().splitlines():
+                lines.append(f"  {line}")
+
         for scheduler, attribution in self.attributions.items():
             lines.append("")
             lines.append(attribution.format_table(
@@ -146,10 +153,16 @@ def run_profile(
     contention: str = "high",
     config_overrides: Optional[dict] = None,
     durable_dir: Optional[str] = None,
+    pipeline_blocks: int = 6,
 ) -> ProfileReport:
     """Execute ``blocks`` seeded blocks under every requested scheduler with
     event tracing on; returns the assembled :class:`ProfileReport` (the
-    Chrome trace document is in ``report.trace``)."""
+    Chrome trace document is in ``report.trace``).
+
+    ``pipeline_blocks`` additionally streams that many blocks through the
+    :mod:`repro.pipeline` driver (DMVCC, in-memory) and surfaces per-stage
+    occupancy/latency in the report; 0 skips the section.
+    """
     overrides = dict(config_overrides or {})
     if contention == "high":
         config = high_contention_config(**overrides)
@@ -211,6 +224,33 @@ def run_profile(
 
     if mirror is not None:
         mirror.close()
+    if pipeline_blocks:
+        # Lazy import: repro.obs is imported by nearly everything, and the
+        # pipeline package sits above it in the layering.
+        from ..chain.txpool import Packer, TransactionPool
+        from ..pipeline import PipelinedValidator, WorkloadStream
+
+        stream_workload = Workload(config)
+        driver = PipelinedValidator(
+            "profile",
+            stream_workload.db.fork(),
+            factories["dmvcc"](),
+            threads=threads,
+            pool=TransactionPool(
+                max_size=txs_per_block * 6, nonce_tracking=True,
+                low_watermark=0.5,
+            ),
+            packer=Packer(max_txs=txs_per_block, order="fee"),
+            max_inflight=2,
+            ingest_rate=txs_per_block * 2,
+        )
+        source = WorkloadStream(
+            stream_workload, limit=pipeline_blocks * txs_per_block,
+        )
+        try:
+            report.pipeline = driver.run(source, pipeline_blocks)
+        finally:
+            driver.close()
     for name, attribution in attributions.items():
         attribution.finish()
     report.attributions = attributions

@@ -1,0 +1,277 @@
+"""``python -m repro serve`` — stream a scenario through the pipeline.
+
+The serving analogue of :mod:`repro.soak`: instead of feeding and
+proposing one block at a time, the scenario generator becomes a continuous
+:class:`~repro.pipeline.source.WorkloadStream` (nonce- and fee-stamped)
+pulled through the full mempool → analyse → pack → execute → seal →
+persist pipeline, with backpressure hysteresis at the front and a bounded
+seal queue in the middle.
+
+``--check`` keeps the PR-1/PR-6 invariants *online* while streaming:
+
+* **serializability oracle** — every block's parallel execution is
+  trace-recorded and differentially checked against a fresh serial run of
+  the same packed order over the same speculative
+  :class:`~repro.pipeline.view.PendingView` it executed against;
+* **root-parity twin** — an in-memory StateDB commits the same write
+  batches on the stream lane; as blocks seal on the commit lane (possibly
+  several blocks behind the speculative head) their headers' state roots
+  are compared against the twin's root at the same height — byte-for-byte,
+  pipelining notwithstanding.
+
+The defaults are sized so backpressure genuinely engages: the stream
+produces faster than a block consumes and the mempool is small enough to
+hit its high watermark within a few blocks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..chain.txpool import Packer, TransactionPool
+from ..executors.serial import SerialExecutor
+from ..soak import _executor_for
+from ..verify.oracle import SerializabilityOracle
+from ..verify.trace import TraceRecorder
+from ..workload.generator import Workload
+from ..workload.scenarios import scenario_config
+from .driver import PipelinedValidator, PipelineReport
+from .source import WorkloadStream
+
+
+@dataclass
+class ServeReport:
+    """One serve run: the pipeline's report plus the online invariants."""
+
+    scenario: str = ""
+    backend: str = "durable"
+    seed: int = 0
+    check: bool = False
+    pipeline: PipelineReport = field(default_factory=PipelineReport)
+    oracle_checks: int = 0
+    oracle_violations: List[str] = field(default_factory=list)
+    oracle_time: float = 0.0
+    root_parity_checks: int = 0
+    root_mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.oracle_violations or self.root_mismatches)
+
+    def render(self) -> str:
+        lines = [self.pipeline.render()]
+        if self.check:
+            verdict = "OK" if self.ok else "FAILED"
+            lines.append(
+                f"  oracle: {self.oracle_checks} online check(s), "
+                f"{len(self.oracle_violations)} violation(s), "
+                f"{self.oracle_time:.1f}s total"
+            )
+            lines.append(
+                f"  root parity: {self.root_parity_checks} sealed root(s) "
+                f"checked, {len(self.root_mismatches)} mismatch(es): {verdict}"
+            )
+            for detail in (
+                self.oracle_violations[:5] + self.root_mismatches[:5]
+            ):
+                lines.append(f"    {detail}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        data = self.pipeline.as_dict()
+        data["config"].update({
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "seed": self.seed,
+            "check": self.check,
+        })
+        data["invariants"] = {
+            "oracle_checks": self.oracle_checks,
+            "oracle_violations": self.oracle_violations,
+            "oracle_time_s": round(self.oracle_time, 2),
+            "root_parity_checks": self.root_parity_checks,
+            "root_mismatches": self.root_mismatches,
+        }
+        data["ok"] = self.ok
+        return data
+
+
+class _RecordingExecutor:
+    """Wrap an executor so each ``execute_block`` runs under a fresh
+    :class:`TraceRecorder`; the stream lane reads ``last_trace`` right
+    after the execute stage (same thread, so never racy)."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.last_trace: Optional[TraceRecorder] = None
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    def execute_block(self, *args, **kwargs):
+        recorder = TraceRecorder()
+        previous = self.inner.recorder
+        self.inner.recorder = recorder
+        try:
+            return self.inner.execute_block(*args, **kwargs)
+        finally:
+            self.inner.recorder = previous
+            self.last_trace = recorder
+
+
+def run_serve(
+    blocks: int = 500,
+    txs_per_block: int = 32,
+    scenario: str = "mix",
+    scheduler: str = "dmvcc",
+    threads: int = 8,
+    seed: int = 2023,
+    backend: str = "durable",
+    max_inflight: int = 2,
+    pool_size: Optional[int] = None,
+    min_fee: int = 0,
+    per_sender_cap: int = 0,
+    max_nonce_gap: Optional[int] = None,
+    high_watermark: float = 0.9,
+    low_watermark: float = 0.5,
+    ingest_rate: Optional[int] = None,
+    gas_limit: Optional[int] = None,
+    check: bool = False,
+    fsync_delay: float = 0.0,
+    durable_dir: Optional[str] = None,
+    workload_overrides: Optional[Dict] = None,
+    obs=None,
+    progress: Optional[Callable[[str], None]] = None,
+    progress_every: int = 50,
+    report_path: Optional[str] = None,
+) -> ServeReport:
+    """Stream ``blocks`` blocks of a scenario through the pipeline.
+
+    ``pool_size`` defaults to six blocks' worth, ``ingest_rate`` to two
+    blocks' worth per cycle, and the watermark band is wide (0.5–0.9): the
+    stream outruns consumption, occupancy climbs over the high watermark
+    within a few blocks, and draining back under the low watermark takes
+    several packed blocks — so ingest genuinely skips pull cycles, it does
+    not just toggle.  ``max_inflight=0`` runs the same loop strictly
+    sequentially.
+    """
+    if backend not in ("memory", "durable"):
+        raise ValueError(f"unknown backend {backend!r}")
+    import shutil
+    import tempfile
+
+    config = scenario_config(scenario, seed=seed, **(workload_overrides or {}))
+    workload = Workload(config)
+    twin = workload.db
+    own_dir = durable_dir is None
+    if backend == "durable":
+        directory = durable_dir or tempfile.mkdtemp(prefix="repro-serve-")
+        db = twin.mirror_durable(directory, fsync_delay=fsync_delay)
+    else:
+        directory = None
+        db = twin.fork()
+
+    executor = _executor_for(scheduler)
+    if check:
+        executor = _RecordingExecutor(executor)
+    pool = TransactionPool(
+        max_size=pool_size or txs_per_block * 6,
+        min_fee=min_fee,
+        per_sender_cap=per_sender_cap,
+        nonce_tracking=True,
+        max_nonce_gap=max_nonce_gap,
+        high_watermark=high_watermark,
+        low_watermark=low_watermark,
+        obs=obs,
+    )
+    packer = Packer(max_txs=txs_per_block, gas_limit=gas_limit, order="fee")
+    driver = PipelinedValidator(
+        "serve", db, executor, threads=threads,
+        pool=pool, packer=packer, max_inflight=max_inflight,
+        ingest_rate=ingest_rate or txs_per_block * 2, obs=obs,
+    )
+    source = WorkloadStream(workload, limit=blocks * txs_per_block)
+
+    report = ServeReport(
+        scenario=scenario, backend=backend, seed=seed, check=check,
+    )
+    serial = SerialExecutor()
+    twin_roots: Dict[int, bytes] = {}
+    parity_cursor = [0]  # index into driver.chain already compared
+
+    def check_sealed_roots() -> None:
+        """Compare every newly sealed header against the twin (online —
+        called from the stream lane each block and once after the drain)."""
+        with driver._lock:
+            headers = driver.chain[parity_cursor[0]:]
+        for header in headers:
+            parity_cursor[0] += 1
+            report.root_parity_checks += 1
+            expected = twin_roots.get(header.number)
+            if expected is None:
+                report.root_mismatches.append(
+                    f"block {header.number}: sealed with no twin root"
+                )
+            elif header.state_root != expected:
+                report.root_mismatches.append(
+                    f"block {header.number}: sealed root "
+                    f"{header.state_root.hex()[:16]} != twin "
+                    f"{expected.hex()[:16]}"
+                )
+
+    def on_block(height, view, txs, execution) -> None:
+        if check:
+            oracle_start = time.perf_counter()
+            serial_run = serial.execute_block(
+                txs, view, twin.codes.code_of, threads=1,
+            )
+            oracle = SerializabilityOracle(snapshot_get=view.get_uncached)
+            verdict = oracle.check(
+                trace=executor.last_trace,
+                parallel_writes=execution.writes,
+                parallel_receipts=execution.receipts,
+                serial_writes=serial_run.writes,
+                serial_receipts=serial_run.receipts,
+                scheduler=executor.name,
+            )
+            report.oracle_time += time.perf_counter() - oracle_start
+            report.oracle_checks += 1
+            if not verdict.ok:
+                for divergence in verdict.divergences[:3]:
+                    report.oracle_violations.append(
+                        f"block {height}: {divergence}"
+                    )
+            twin.commit(execution.writes)
+            twin_roots[height] = twin.latest.root_hash
+            check_sealed_roots()
+        if progress is not None and height % max(progress_every, 1) == 0:
+            progress(
+                f"block {height}/{blocks}: pool {len(driver.pool)}, "
+                f"{driver._report.queue_stalls} stall(s), "
+                f"{driver._report.backpressure_engagements} backpressure "
+                f"engagement(s)"
+            )
+
+    try:
+        report.pipeline = driver.run(source, blocks, on_block=on_block)
+        if check:
+            check_sealed_roots()  # headers sealed after the last on_block
+    finally:
+        driver.close()
+        db.close()
+        if backend == "durable" and own_dir:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    if report_path:
+        import os
+
+        from ..bench.reporting import save_results_json
+
+        parent = os.path.dirname(report_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        save_results_json(report_path, report.as_dict())
+    return report

@@ -1,0 +1,101 @@
+"""Transaction sources feeding the pipeline's ingest stage.
+
+A source is anything with ``pull(n) -> List[Transaction]`` (an empty list
+means the stream is exhausted *for now*; ``exhausted`` says whether it can
+ever produce again).  Ingest pulls, it is never pushed to — which is what
+makes backpressure a throttle instead of a drop: when the mempool is above
+its high watermark the driver simply stops pulling until occupancy drains
+below the low watermark, and the unpulled traffic waits in the source.
+
+:class:`WorkloadStream` adapts the PR-6 scenario generator into a mempool
+-shaped stream: the raw generator emits every transaction with ``nonce=0``
+and ``fee=0``, so the stream stamps each one with the sender's next nonce
+(a per-sender counter) and a seeded fee drawn from a skewed ladder (most
+senders bid low, a few bid aggressively — enough spread for fee ordering
+and fee-priority eviction to have something to decide).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..chain.transaction import Transaction
+from ..core.types import Address
+
+# Fee ladder: (weight, low, high) bands, roughly mainnet-shaped — a fat
+# band of minimal bidders, a mid band, and a thin band of fee outbidders.
+FEE_BANDS = ((70, 1, 10), (25, 10, 100), (5, 100, 1_000))
+
+
+class IteratorSource:
+    """Wrap any transaction iterable as a pull source."""
+
+    def __init__(self, txs: Iterable[Transaction]) -> None:
+        self._iter: Iterator[Transaction] = iter(txs)
+        self.exhausted = False
+        self.pulled = 0
+
+    def pull(self, n: int) -> List[Transaction]:
+        out: List[Transaction] = []
+        while len(out) < n:
+            try:
+                out.append(next(self._iter))
+            except StopIteration:
+                self.exhausted = True
+                break
+        self.pulled += len(out)
+        return out
+
+
+class WorkloadStream:
+    """A continuous, nonce- and fee-stamped stream over a Workload.
+
+    ``limit`` bounds the total transactions the stream will ever emit
+    (``None`` streams forever — the serve loop bounds by block count).
+    Stamping is deterministic: the fee RNG is seeded from the workload's
+    seed, and nonces are per-sender counters starting at ``base_nonce``.
+    """
+
+    def __init__(
+        self,
+        workload,
+        limit: Optional[int] = None,
+        fee_seed: Optional[int] = None,
+    ) -> None:
+        self.workload = workload
+        self.limit = limit
+        seed = fee_seed if fee_seed is not None else workload.config.seed ^ 0xFEE5
+        self._rng = random.Random(seed)
+        self._nonces: Dict[Address, int] = {}
+        self._cum_weights: List[int] = []
+        total = 0
+        for weight, _, _ in FEE_BANDS:
+            total += weight
+            self._cum_weights.append(total)
+        self.pulled = 0
+        self.exhausted = False
+
+    def _fee(self) -> int:
+        bands = [band for band in FEE_BANDS]
+        (_, low, high) = self._rng.choices(bands, cum_weights=self._cum_weights, k=1)[0]
+        return self._rng.randint(low, high)
+
+    def _stamp(self, tx: Transaction) -> Transaction:
+        nonce = self._nonces.get(tx.sender, 0)
+        self._nonces[tx.sender] = nonce + 1
+        return replace(tx, nonce=nonce, fee=self._fee())
+
+    def pull(self, n: int) -> List[Transaction]:
+        if self.limit is not None:
+            n = min(n, self.limit - self.pulled)
+        if n <= 0:
+            if self.limit is not None and self.pulled >= self.limit:
+                self.exhausted = True
+            return []
+        txs = [self._stamp(tx) for tx in self.workload.transactions(n)]
+        self.pulled += len(txs)
+        if self.limit is not None and self.pulled >= self.limit:
+            self.exhausted = True
+        return txs

@@ -171,6 +171,7 @@ class StateDB:
         segment_bytes: int = 4 << 20,
         auto_compact_every: int = 0,
         faults=None,
+        fsync_delay: float = 0.0,
     ) -> "StateDB":
         """Open (or create) a durable StateDB rooted at ``path``.
 
@@ -179,6 +180,9 @@ class StateDB:
         chain is rebuilt from the recovered commit markers.  Heights below
         the pruning horizon are simply absent (``snapshot`` raises
         :class:`UnknownSnapshotError` for them).
+
+        ``fsync_delay`` adds an emulated per-fsync latency (seconds) for
+        benchmarking — see :class:`~repro.db.log.SegmentedLog`.
         """
         from ..db.engine import DurableBackend
 
@@ -188,6 +192,7 @@ class StateDB:
             cache_nodes=cache_nodes,
             segment_bytes=segment_bytes,
             faults=faults,
+            fsync_delay=fsync_delay,
         )
         db = cls(backend)
         db.auto_compact_every = auto_compact_every

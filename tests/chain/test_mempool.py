@@ -1,0 +1,286 @@
+"""Mempool admission control, nonce tracking, and fee-priority eviction.
+
+The original FIFO pool behaviour is covered by ``test_txpool.py``; these
+tests cover the mempool upgrade: per-sender nonce validation at admission,
+replace-by-fee, fee floors and sender caps, the lowest-fee-unanalysed
+eviction policy (observable, never silent), watermark signals, and
+fee-ordered packing that preserves per-sender nonce order.
+"""
+
+import pytest
+
+from repro.chain import Packer, Transaction, TransactionPool
+from repro.chain.txpool import (
+    DUPLICATE,
+    DUPLICATE_NONCE,
+    NONCE_GAP,
+    POOL_FULL,
+    REPLACED,
+    SENDER_CAP,
+    STALE_NONCE,
+    UNDERPRICED,
+)
+from repro.core import Address
+from repro.obs import EventBus
+
+ALICE = Address.derive("alice")
+BOB = Address.derive("bob")
+CAROL = Address.derive("carol")
+
+
+def tx(sender=ALICE, nonce=0, fee=0, value=1, label=""):
+    return Transaction(
+        sender, BOB, value=value, nonce=nonce, fee=fee, label=label,
+    )
+
+
+class TestNonceTracking:
+    def test_stale_nonce_rejected(self):
+        pool = TransactionPool(nonce_tracking=True, base_nonce=lambda a: 5)
+        result = pool.add(tx(nonce=4))
+        assert not result
+        assert result.reason == STALE_NONCE
+        assert pool.stats.rejected[STALE_NONCE] == 1
+
+    def test_nonce_at_floor_accepted(self):
+        pool = TransactionPool(nonce_tracking=True, base_nonce=lambda a: 5)
+        assert pool.add(tx(nonce=5))
+        assert pool.floor_of(ALICE) == 5
+
+    def test_duplicate_nonce_without_better_fee_rejected(self):
+        pool = TransactionPool(nonce_tracking=True)
+        assert pool.add(tx(nonce=0, fee=10, value=1))
+        result = pool.add(tx(nonce=0, fee=10, value=2))
+        assert not result
+        assert result.reason == DUPLICATE_NONCE
+        assert len(pool) == 1
+
+    def test_replace_by_fee_wins_the_collision(self):
+        pool = TransactionPool(nonce_tracking=True)
+        first = tx(nonce=0, fee=10, value=1)
+        better = tx(nonce=0, fee=11, value=2)
+        assert pool.add(first)
+        result = pool.add(better)
+        assert result
+        assert result.reason == REPLACED
+        assert result.evicted == first.tx_hash
+        assert len(pool) == 1
+        assert better.tx_hash in pool
+        assert pool.stats.replacements == 1
+
+    def test_nonce_gap_beyond_bound_rejected(self):
+        pool = TransactionPool(nonce_tracking=True, max_nonce_gap=2)
+        assert pool.add(tx(nonce=2))  # floor 0, gap 2: allowed
+        result = pool.add(tx(nonce=3, value=2))
+        assert not result
+        assert result.reason == NONCE_GAP
+
+    def test_gap_unbounded_by_default(self):
+        pool = TransactionPool(nonce_tracking=True)
+        assert pool.add(tx(nonce=1_000))
+
+    def test_mark_included_advances_floor_and_drops_stale(self):
+        pool = TransactionPool(nonce_tracking=True)
+        old = tx(nonce=0)
+        nxt = tx(nonce=1, value=2)
+        pool.add(old)
+        pool.add(nxt)
+        included = tx(nonce=0, value=3, fee=1)
+        dropped = pool.mark_included([included])
+        assert pool.floor_of(ALICE) == 1
+        assert dropped == 1              # the nonce-0 entry is now stale
+        assert old.tx_hash not in pool
+        assert nxt.tx_hash in pool
+        assert not pool.add(tx(nonce=0, value=9))  # stale forever after
+
+    def test_per_sender_isolation(self):
+        pool = TransactionPool(nonce_tracking=True)
+        assert pool.add(tx(sender=ALICE, nonce=0))
+        assert pool.add(tx(sender=CAROL, nonce=0))
+        assert pool.floor_of(ALICE) == 0
+        assert pool.sender_count(ALICE) == 1
+        assert pool.sender_count(CAROL) == 1
+
+    def test_duplicate_hash_still_rejected_first(self):
+        pool = TransactionPool(nonce_tracking=True)
+        t = tx(nonce=0)
+        pool.add(t)
+        assert pool.add(t).reason == DUPLICATE
+
+
+class TestAdmissionPolicy:
+    def test_min_fee_floor(self):
+        pool = TransactionPool(min_fee=5)
+        result = pool.add(tx(fee=4))
+        assert not result
+        assert result.reason == UNDERPRICED
+        assert pool.add(tx(fee=5, value=2))
+
+    def test_sender_cap(self):
+        pool = TransactionPool(per_sender_cap=2)
+        assert pool.add(tx(value=1))
+        assert pool.add(tx(value=2))
+        result = pool.add(tx(value=3))
+        assert not result
+        assert result.reason == SENDER_CAP
+        assert pool.add(tx(sender=CAROL, value=1))  # other senders unaffected
+
+    def test_replacement_does_not_count_against_sender_cap(self):
+        pool = TransactionPool(nonce_tracking=True, per_sender_cap=1)
+        assert pool.add(tx(nonce=0, fee=1))
+        assert pool.add(tx(nonce=0, fee=2, value=2))  # replaces, same slot
+
+
+class TestEvictionPolicy:
+    def test_lowest_fee_unanalysed_evicted_first(self):
+        pool = TransactionPool(max_size=3)
+        cheap = tx(value=1, fee=1)
+        mid = tx(value=2, fee=5)
+        rich = tx(value=3, fee=9)
+        for t in (mid, cheap, rich):
+            assert pool.add(t)
+        newcomer = tx(value=4, fee=7)
+        result = pool.add(newcomer)
+        assert result
+        assert result.evicted == cheap.tx_hash
+        assert cheap.tx_hash not in pool
+        assert newcomer.tx_hash in pool
+        assert pool.stats.evictions == 1
+
+    def test_underbidding_newcomer_rejected_not_evicting(self):
+        pool = TransactionPool(max_size=2)
+        pool.add(tx(value=1, fee=5))
+        pool.add(tx(value=2, fee=6))
+        result = pool.add(tx(value=3, fee=4))
+        assert not result
+        assert result.reason == POOL_FULL
+        assert len(pool) == 2
+        assert pool.stats.rejected[POOL_FULL] == 1
+
+    def test_analysed_entries_survive_unanalysed_ones(self):
+        from repro.analysis import CSAGBuilder
+        from repro.state import StateDB
+
+        db = StateDB()
+        builder = CSAGBuilder(db.codes.code_of)
+        pool = TransactionPool(max_size=2)
+        analysed_tx = tx(value=1, fee=1)
+        pool.add(analysed_tx, builder.build(analysed_tx, db.latest))
+        unanalysed = tx(value=2, fee=3)  # higher fee but no C-SAG yet
+        pool.add(unanalysed)
+        result = pool.add(tx(value=3, fee=9))
+        assert result.evicted == unanalysed.tx_hash
+        assert analysed_tx.tx_hash in pool
+        assert pool.stats.evictions == 1
+        assert pool.stats.evicted_analysed == 0
+
+    def test_eviction_emits_obs_event_and_counts(self):
+        bus = EventBus()
+        pool = TransactionPool(max_size=1, obs=bus)
+        pool.add(tx(value=1, fee=1))
+        pool.add(tx(value=2, fee=2))
+        events = [e for e in bus.events if type(e).__name__ == "MempoolEvicted"]
+        assert len(events) == 1
+        assert events[0].fee == 1
+        assert events[0].reason == "capacity"
+        assert pool.stats.evictions == 1
+
+    def test_rejection_emits_obs_event(self):
+        bus = EventBus()
+        pool = TransactionPool(min_fee=10, obs=bus)
+        pool.add(tx(fee=1))
+        events = [e for e in bus.events if type(e).__name__ == "MempoolRejected"]
+        assert len(events) == 1
+        assert events[0].reason == UNDERPRICED
+
+    def test_stats_accounting_totals(self):
+        pool = TransactionPool(max_size=2, min_fee=2)
+        pool.add(tx(value=1, fee=2))
+        pool.add(tx(value=2, fee=3))
+        pool.add(tx(value=3, fee=1))    # underpriced
+        pool.add(tx(value=4, fee=9))    # evicts the fee-2 entry
+        stats = pool.stats
+        assert stats.received == 4
+        assert stats.admitted == 3
+        assert stats.evictions == 1
+        assert stats.rejected_total == 1
+        assert stats.as_dict()["rejected"] == {UNDERPRICED: 1}
+
+
+class TestWatermarks:
+    def test_watermark_signals(self):
+        pool = TransactionPool(
+            max_size=10, high_watermark=0.8, low_watermark=0.5,
+        )
+        for i in range(8):
+            pool.add(tx(value=i + 1))
+        assert pool.above_high
+        assert not pool.below_low
+        assert pool.saturation == pytest.approx(0.8)
+        for _ in range(3):
+            pool.take(1)
+        assert not pool.above_high
+        assert pool.below_low
+
+    def test_invalid_watermarks_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionPool(high_watermark=0.5, low_watermark=0.9)
+        with pytest.raises(ValueError):
+            TransactionPool(low_watermark=0.0)
+
+
+class TestFeeOrderedPacking:
+    def test_take_by_fee_highest_first(self):
+        pool = TransactionPool()
+        fees = [3, 9, 1, 7]
+        for i, fee in enumerate(fees):
+            pool.add(tx(value=i + 1, fee=fee))
+        taken = pool.take_by_fee(3)
+        assert [p.fee for p in taken] == [9, 7, 3]
+
+    def test_fee_order_never_breaks_sender_nonce_order(self):
+        pool = TransactionPool(nonce_tracking=True)
+        # Alice's later nonce bids higher than her earlier one; Carol
+        # outbids both.  Nonce order must win within a sender.
+        pool.add(tx(sender=ALICE, nonce=0, fee=1, value=1))
+        pool.add(tx(sender=ALICE, nonce=1, fee=50, value=2))
+        pool.add(tx(sender=CAROL, nonce=0, fee=10, value=3))
+        taken = pool.take_by_fee(3)
+        order = [(p.tx.sender, p.tx.nonce) for p in taken]
+        assert order.index((ALICE, 0)) < order.index((ALICE, 1))
+        assert order[0] == (CAROL, 0)  # highest eligible head bid
+
+    def test_gapped_nonce_parks_until_gap_fills(self):
+        pool = TransactionPool(nonce_tracking=True)
+        pool.add(tx(sender=ALICE, nonce=1, fee=99, value=1))
+        assert pool.take_by_fee(5) == []     # nonce 0 missing: parked
+        pool.add(tx(sender=ALICE, nonce=0, fee=1, value=2))
+        taken = pool.take_by_fee(5)
+        assert [p.tx.nonce for p in taken] == [0, 1]
+
+    def test_fee_packer_returns_overflow_to_pool(self):
+        pool = TransactionPool()
+        for i in range(4):
+            pool.add(tx(value=i + 1, fee=i))
+        packer = Packer(max_txs=4, gas_limit=21_000, order="fee")
+        packed = packer.pack(pool)
+        assert len(packed) == 1
+        assert packed[0].fee == 3
+        assert len(pool) == 3             # overflow reinserted, not lost
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            Packer(order="price")
+
+
+class TestTransactionFee:
+    def test_fee_participates_in_hash(self):
+        a = tx(fee=1)
+        b = tx(fee=2)
+        assert a.tx_hash != b.tx_hash
+
+    def test_negative_fee_rejected(self):
+        from repro.core.errors import InvalidTransaction
+
+        with pytest.raises(InvalidTransaction):
+            Transaction(ALICE, BOB, value=1, fee=-1)

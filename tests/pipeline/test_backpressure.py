@@ -1,0 +1,129 @@
+"""Backpressure and flow control: watermarks throttle, they never drop.
+
+A mempool crossing its high watermark must make the ingest stage *skip*
+pull cycles (hysteresis: resume only below the low watermark), not evict
+streamed work — every transaction the source hands over must eventually be
+sealed into a block.  The bounded seal queue is the other half of the
+story: a slow commit lane pushes back on the stream lane, which shows up
+as counted (and timed) queue stalls rather than unbounded memory growth.
+"""
+
+import pytest
+
+from repro.chain import Packer, TransactionPool
+from repro.executors import DMVCCExecutor
+from repro.obs import EventBus
+from repro.pipeline import PipelinedValidator, WorkloadStream
+from repro.workload import Workload, scenario_config
+
+SMALL = dict(users=32, erc20_tokens=2, dex_pools=1, nft_collections=1, icos=1)
+TXS_PER_BLOCK = 8
+
+
+def make_driver(
+    workload, *, pool_size, max_inflight=2, obs=None, high=0.75, low=0.5,
+    db=None,
+):
+    db = db if db is not None else workload.db.fork()
+    pool = TransactionPool(
+        max_size=pool_size,
+        nonce_tracking=True,
+        base_nonce=lambda a: db.latest.nonce_of(a),
+        high_watermark=high,
+        low_watermark=low,
+        obs=obs,
+    )
+    return PipelinedValidator(
+        "bp", db, DMVCCExecutor(), threads=4,
+        pool=pool, packer=Packer(max_txs=TXS_PER_BLOCK, order="fee"),
+        max_inflight=max_inflight, ingest_rate=TXS_PER_BLOCK * 2, obs=obs,
+    )
+
+
+@pytest.fixture(scope="module")
+def throttled_run():
+    # Ingest outruns packing two-to-one against a six-block pool, so the
+    # high watermark is crossed within a few cycles; draining back under
+    # the low watermark takes several packed blocks.
+    workload = Workload(scenario_config("mix", seed=23, **SMALL))
+    bus = EventBus()
+    source = WorkloadStream(workload, limit=20 * TXS_PER_BLOCK)
+    driver = make_driver(
+        workload, pool_size=TXS_PER_BLOCK * 6, obs=bus,
+    )
+    try:
+        report = driver.run(source, 64)
+    finally:
+        driver.close()
+    return driver, source, report, bus
+
+
+class TestWatermarkThrottling:
+    def test_backpressure_engages_and_skips_pulls(self, throttled_run):
+        _, _, report, _ = throttled_run
+        assert report.backpressure_engagements >= 1
+        assert report.throttled_pulls >= 1
+
+    def test_pool_never_overfills(self, throttled_run):
+        driver, _, report, _ = throttled_run
+        assert report.pool_peak <= driver.pool.max_size
+
+    def test_events_mirror_the_engagement_count(self, throttled_run):
+        _, _, report, bus = throttled_run
+        flips = [
+            e for e in bus.events
+            if type(e).__name__ == "BackpressureChanged"
+        ]
+        engages = [e for e in flips if e.engaged]
+        assert len(engages) == report.backpressure_engagements
+        # Hysteresis means strict alternation: engage, release, engage...
+        assert flips[0].engaged
+        for prev, cur in zip(flips, flips[1:]):
+            assert prev.engaged != cur.engaged
+        for event in engages:
+            assert event.pool_size >= 1
+            assert event.capacity == TXS_PER_BLOCK * 6
+
+
+class TestConservation:
+    def test_every_streamed_tx_is_sealed(self, throttled_run):
+        # Throttling must never lose work: the stream drains fully and
+        # every pulled transaction lands in exactly one sealed block.
+        driver, source, report, _ = throttled_run
+        assert source.exhausted
+        assert len(driver.pool) == 0
+        assert report.txs == source.pulled == 20 * TXS_PER_BLOCK
+        sealed = [
+            t.tx_hash for b in driver.blocks for t in b.transactions
+        ]
+        assert len(sealed) == len(set(sealed)) == source.pulled
+        assert driver.pool.stats.evictions == 0
+        assert driver.pool.stats.rejected_total == 0
+
+
+class TestQueueStalls:
+    def test_slow_commit_lane_stalls_the_stream_lane(self, tmp_path):
+        # A deliberately slow fsync (50ms emulated) against a one-deep
+        # seal queue: the stream lane finishes executing block N+1 before
+        # block N has persisted and must block on submit.
+        workload = Workload(scenario_config("mix", seed=29, **SMALL))
+        db = workload.db.mirror_durable(
+            str(tmp_path / "chain"), fsync_delay=0.05,
+        )
+        source = WorkloadStream(workload, limit=6 * TXS_PER_BLOCK)
+        driver = make_driver(
+            workload, pool_size=TXS_PER_BLOCK * 6, max_inflight=1, db=db,
+        )
+        try:
+            report = driver.run(source, 6)
+        finally:
+            driver.close()
+            db.close()
+        assert report.blocks == 6
+        assert report.queue_stalls >= 1
+        assert report.stall_time > 0.0
+        # The stall is the price of genuine overlap: execute and
+        # seal/persist ran concurrently for a measurable interval.
+        assert report.overlap_seconds > 0.0
+        persist = report.stages["persist"]
+        assert persist.max_latency >= 0.05

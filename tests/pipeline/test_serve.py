@@ -1,0 +1,123 @@
+"""Soak-style serve runs: the CI-sized version of ``python -m repro serve``.
+
+The acceptance run streams 500 blocks with the serializability oracle and
+a root-parity twin online; here we keep the same moving parts — durable
+backend, fee-ordered packing, backpressure, per-block oracle checks,
+sealed-root parity, JSON report — at a size a test suite can afford.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.pipeline import ServeReport, run_serve
+
+SMALL = dict(users=48, erc20_tokens=2, dex_pools=2, nft_collections=2, icos=1)
+BLOCKS = 12
+TXS_PER_BLOCK = 12
+
+
+@pytest.fixture(scope="module")
+def serve_report(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "serve.json"
+    report = run_serve(
+        blocks=BLOCKS,
+        txs_per_block=TXS_PER_BLOCK,
+        scenario="mix",
+        scheduler="dmvcc",
+        threads=4,
+        seed=91,
+        backend="durable",
+        max_inflight=2,
+        check=True,
+        workload_overrides=SMALL,
+        report_path=str(path),
+    )
+    return report, path
+
+
+class TestServeInvariants:
+    def test_run_is_clean(self, serve_report):
+        report, _ = serve_report
+        assert isinstance(report, ServeReport)
+        assert report.ok, report.render()
+        assert report.oracle_violations == []
+        assert report.root_mismatches == []
+
+    def test_every_block_checked(self, serve_report):
+        report, _ = serve_report
+        assert report.pipeline.blocks == BLOCKS
+        assert report.oracle_checks == BLOCKS
+        # Every sealed header is compared against the twin's root.
+        assert report.root_parity_checks == BLOCKS
+
+    def test_backpressure_engaged_during_the_run(self, serve_report):
+        # The serve defaults are tuned so the stream genuinely outruns
+        # consumption — a run that never throttles is not exercising the
+        # flow-control path the subsystem exists for.
+        report, _ = serve_report
+        assert report.pipeline.backpressure_engagements >= 1
+        assert report.pipeline.throttled_pulls >= 1
+
+    def test_report_json_round_trips(self, serve_report):
+        report, path = serve_report
+        payload = json.loads(path.read_text())
+        results = payload.get("results", payload)
+        assert results["ok"] is True
+        assert results["totals"]["blocks"] == BLOCKS
+        assert results["invariants"]["oracle_checks"] == BLOCKS
+        assert results["config"]["scenario"] == "mix"
+        assert set(results["stages"]) == {
+            "ingest", "analyse", "pack", "execute", "seal", "persist",
+        }
+
+    def test_render_mentions_invariants(self, serve_report):
+        report, _ = serve_report
+        rendered = report.render()
+        assert "oracle" in rendered
+        assert "root parity" in rendered
+        assert "OK" in rendered
+
+
+class TestServeModes:
+    def test_memory_backend_and_sequential_mode(self):
+        report = run_serve(
+            blocks=4, txs_per_block=8, scenario="mint_storm",
+            scheduler="dmvcc", threads=2, seed=17, backend="memory",
+            max_inflight=0, check=True, workload_overrides=SMALL,
+        )
+        assert report.ok, report.render()
+        assert not report.pipeline.pipelined
+        assert report.pipeline.blocks == 4
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_serve(blocks=1, backend="floppy")
+
+
+class TestServeCLI:
+    def test_cli_smoke(self, tmp_path, capsys):
+        path = tmp_path / "serve-cli.json"
+        code = main([
+            "serve",
+            "--blocks", "4",
+            "--txs", "8",
+            "--scenario", "mix",
+            "--scheduler", "dmvcc",
+            "--workers", "2",
+            "--seed", "3",
+            "--backend", "memory",
+            "--users", "48",
+            "--check",
+            "--report", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline" in out
+        assert path.exists()
+
+    def test_cli_rejects_unknown_scenario(self, capsys):
+        code = main(["serve", "--scenario", "nope"])
+        assert code != 0
+        assert "unknown scenario" in capsys.readouterr().err

@@ -1,0 +1,64 @@
+"""PendingView: speculative reads over sealed base + in-flight batches."""
+
+from repro.core import Address, StateKey
+from repro.pipeline import PendingView
+from repro.state import StateDB
+
+ALICE = Address.derive("alice")
+BOB = Address.derive("bob")
+
+K_A = StateKey.balance(ALICE)
+K_B = StateKey.balance(BOB)
+
+
+def seeded_db():
+    db = StateDB()
+    db.commit({K_A: 100, K_B: 50})
+    return db
+
+
+class TestPendingView:
+    def test_base_passthrough_when_no_batches(self):
+        db = seeded_db()
+        view = PendingView(db.latest)
+        assert view.get(K_A) == 100
+        assert view.height == db.latest.height
+        assert view.root_hash == db.latest.root_hash
+
+    def test_overlay_wins_over_base(self):
+        db = seeded_db()
+        view = PendingView(db.latest, [(2, {K_A: 70})])
+        assert view.get(K_A) == 70
+        assert view.get(K_B) == 50       # untouched key falls through
+        assert view.height == 2
+        assert view.pending_writes == 1
+
+    def test_later_batch_wins_over_earlier(self):
+        db = seeded_db()
+        view = PendingView(db.latest, [(2, {K_A: 70}), (3, {K_A: 60})])
+        assert view.get(K_A) == 60
+        assert view.height == 3
+
+    def test_batch_at_or_below_base_height_is_benign(self):
+        # The seal-lands-mid-capture race: the batch re-asserts exactly
+        # what the base already contains.
+        db = seeded_db()
+        sealed_height = db.latest.height
+        view = PendingView(db.latest, [(sealed_height, {K_A: 100})])
+        assert view.get(K_A) == 100
+        assert view.height == sealed_height
+
+    def test_counters_and_uncached_reads(self):
+        db = seeded_db()
+        view = PendingView(db.latest, [(2, {K_A: 70})])
+        view.get(K_A)
+        view.get(K_B)
+        assert view.flat_hits == 1
+        assert view.get_uncached(K_A) == 70
+        assert view.balance_of(ALICE) == 70
+        assert view.nonce_of(ALICE) == 0
+
+    def test_zero_value_write_shadows_base(self):
+        db = seeded_db()
+        view = PendingView(db.latest, [(2, {K_A: 0})])
+        assert view.get(K_A) == 0
