@@ -128,11 +128,28 @@ def cmd_verify(args) -> int:
     serializability oracle; exits non-zero on any divergence."""
     from .verify import DifferentialFuzzer
 
-    if args.fuzz <= 0 and args.crash_recovery <= 0:
-        print("verify: need --fuzz N > 0 and/or --crash-recovery N > 0",
-              file=sys.stderr)
+    if args.fuzz <= 0 and args.crash_recovery <= 0 and not args.substrate:
+        print("verify: need --fuzz N > 0, --crash-recovery N > 0, "
+              "and/or --substrate", file=sys.stderr)
         return 2
     exit_code = 0
+    if args.substrate:
+        from .verify import run_substrate_verify
+
+        substrate_report = run_substrate_verify(
+            scenarios=[s.strip() for s in args.scenarios.split(",")
+                       if s.strip() and s.strip() != "all"] or None,
+            schedulers=[s.strip() for s in args.schedulers.split(",")
+                        if s.strip()] or ("serial", "occ", "dag", "dmvcc"),
+            txs_per_block=args.txs_per_block,
+            workers=args.substrate_workers,
+            seed=args.seed & 0xFFFF,
+            progress=(lambda line: print(line, file=sys.stderr))
+            if args.progress else None,
+        )
+        print(substrate_report.render())
+        if not substrate_report.ok:
+            exit_code = 1
     if args.crash_recovery > 0:
         from .verify import run_crash_campaign
 
@@ -350,6 +367,8 @@ def cmd_profile(args) -> int:
         config_overrides=_scaled_workload(args),
         durable_dir=args.durable or None,
         pipeline_blocks=args.pipeline,
+        substrate=args.substrate,
+        substrate_workers=args.substrate_workers or None,
     )
     print(report.render(top=args.top))
     print(f"\ntrace written to {args.out} "
@@ -407,6 +426,15 @@ def main(argv=None) -> int:
                         help="comma-separated adversarial scenario presets "
                              "to overlay on fuzz cases (or 'all'); see "
                              "repro.workload.scenarios")
+    verify.add_argument("--substrate", action="store_true",
+                        help="sweep every scenario preset × scheduler on "
+                             "the real threads and processes backends and "
+                             "assert receipts/writes/roots byte-identical "
+                             "to the discrete-event simulator")
+    verify.add_argument("--substrate-workers", type=int, default=3,
+                        metavar="N",
+                        help="worker count for the --substrate sweep "
+                             "(default 3)")
     verify.add_argument("--no-minimize", action="store_true",
                         help="skip greedy shrinking of diverging blocks")
     verify.add_argument("--progress", action="store_true",
@@ -527,6 +555,17 @@ def main(argv=None) -> int:
                          help="stream N blocks through the pipelined driver "
                               "and report per-stage occupancy/latency "
                               "(default 6; 0 skips)")
+    profile.add_argument("--substrate",
+                         choices=["sim", "threads", "processes"],
+                         default="sim",
+                         help="execution backend: discrete-event simulator "
+                              "(default), real threading, or real "
+                              "multiprocessing workers; the wall-clock "
+                              "section shows real seconds per executor")
+    profile.add_argument("--substrate-workers", type=int, default=0,
+                         metavar="N",
+                         help="worker count for real backends "
+                              "(default: --workers)")
     profile.set_defaults(func=cmd_profile)
 
     from .db.cli import add_db_parser

@@ -13,13 +13,16 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import subprocess
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.metrics import BlockMetrics
 
 # Bump when the shape of emitted result JSON changes incompatibly.
-RESULTS_SCHEMA_VERSION = 1
+# v2: repro_meta gained host provenance (python, cpu_count, backend) so
+# wall-clock numbers from the execution substrates can be interpreted.
+RESULTS_SCHEMA_VERSION = 2
 
 
 def _git_commit() -> str:
@@ -55,24 +58,38 @@ def _git_commit() -> str:
     return "unknown"
 
 
-def stamp_results(document: dict) -> dict:
+def stamp_results(document: dict, backend: Optional[str] = None) -> dict:
     """Attach the provenance block to a result document, in place.
 
     Used both by :func:`save_results_json` and by the pytest-benchmark
     ``update_json`` hook, so ``bench_results.json`` and ad-hoc exports carry
     the same ``repro_meta``.
+
+    Besides the schema version and git commit, the stamp records the host
+    facts that wall-clock numbers cannot be read without: the Python
+    version, the machine's CPU count, and the execution ``backend`` the run
+    used (explicit argument, else ``REPRO_SUBSTRATE``, else "sim") — a
+    "processes beats threads" result means nothing if the archive doesn't
+    say the box had one core.
     """
+    if backend is None:
+        backend = os.environ.get("REPRO_SUBSTRATE", "").strip() or "sim"
     document["repro_meta"] = {
         "schema_version": RESULTS_SCHEMA_VERSION,
         "git_commit": _git_commit(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+        "backend": backend,
     }
     return document
 
 
-def save_results_json(path: str, payload: dict) -> dict:
+def save_results_json(path: str, payload: dict,
+                      backend: Optional[str] = None) -> dict:
     """Write ``payload`` to ``path`` as stamped, indented JSON; returns the
     stamped document."""
-    document = stamp_results(dict(payload))
+    document = stamp_results(dict(payload), backend=backend)
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, default=str)
     return document

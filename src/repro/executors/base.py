@@ -66,6 +66,10 @@ class Executor(ABC):
         # Same contract as the recorder: hook sites guard with
         # ``is not None``, so disabled tracing costs one branch per hook.
         self.obs = None
+        # Optional execution substrate (repro.substrate).  None defers to
+        # the environment-selected default (REPRO_SUBSTRATE), which is in
+        # turn None ≡ the sim backend.
+        self.substrate = None
 
     def attach_recorder(self, recorder) -> "Executor":
         """Attach a :class:`repro.verify.trace.TraceRecorder`; chainable."""
@@ -76,6 +80,26 @@ class Executor(ABC):
         """Attach a :class:`repro.obs.events.EventBus`; chainable."""
         self.obs = obs
         return self
+
+    def attach_substrate(self, substrate) -> "Executor":
+        """Attach a :class:`repro.substrate.Substrate`; chainable."""
+        self.substrate = substrate
+        return self
+
+    def _effective_substrate(self):
+        """The substrate this executor runs on: the attached one, else the
+        environment-selected default, else None (≡ sim)."""
+        if self.substrate is not None:
+            return self.substrate
+        from ..substrate.base import default_substrate  # lazy: avoids cycle
+        return default_substrate()
+
+    def _substrate_pool(self, threads: int):
+        """The real worker pool to run on, or None for the simulator path."""
+        substrate = self._effective_substrate()
+        if substrate is None:
+            return None
+        return substrate.acquire(threads)
 
     @abstractmethod
     def execute_block(

@@ -17,6 +17,7 @@ the RQ1 benchmark quantifies how often that occurs.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.csag import CSAG, CSAGBuilder
@@ -98,6 +99,12 @@ class DAGExecutor(Executor):
         csags: Optional[List[CSAG]] = None,
     ) -> BlockExecution:
         """Execute ``txs`` respecting the conflict DAG; see Executor."""
+        pool = self._substrate_pool(threads)
+        if pool is not None:
+            from ..substrate.coordinator import run_dag_real
+            return run_dag_real(self, pool, txs, snapshot, code_resolver,
+                                block, csags, threads=threads)
+        wall_start = perf_counter()
         if csags is None:
             builder = CSAGBuilder(code_resolver, block=block)
             csags = [builder.build(tx, snapshot) for tx in txs]
@@ -204,6 +211,7 @@ class DAGExecutor(Executor):
         metrics.makespan = makespan
         metrics.utilisation = pool.utilisation(makespan)
         metrics.per_tx = per_tx
+        metrics.wall_time = perf_counter() - wall_start
         return BlockExecution(writes=writes, receipts=final_receipts, metrics=metrics)
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..analysis.csag import AccessType, CSAG, CSAGBuilder, CSAGCache
@@ -255,6 +256,11 @@ class DMVCCExecutor(Executor):
         ``csags`` supplies pre-built analyses (the validator's pool path);
         when omitted they are refined here against ``snapshot``.
         """
+        pool = self._substrate_pool(threads)
+        if pool is not None:
+            from ..substrate.coordinator import run_dmvcc_real
+            return run_dmvcc_real(self, pool, txs, snapshot, code_resolver,
+                                  block, csags, threads=threads)
         run = _BlockRun(self, txs, snapshot, code_resolver, threads, block, csags)
         return run.execute()
 
@@ -381,6 +387,7 @@ class _BlockRun:
     # ------------------------------------------------------------------
 
     def execute(self) -> BlockExecution:
+        wall_start = perf_counter()
         if self.obs is not None:
             self.obs.block_start(0.0, scheduler=self.ex.name,
                                  threads=self.pool.size,
@@ -429,6 +436,7 @@ class _BlockRun:
         metrics.instructions_skipped = sum(t.instructions_skipped for t in self.per_tx)
         metrics.resumes = sum(t.resumes for t in self.per_tx)
         metrics.revalidation_hits = sum(t.revalidation_hits for t in self.per_tx)
+        metrics.wall_time = perf_counter() - wall_start
         return BlockExecution(writes=writes, receipts=receipts, metrics=metrics)
 
     # ------------------------------------------------------------------

@@ -22,6 +22,7 @@ weakness); validation is costed as free, which favours OCC.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.types import StateKey
@@ -105,6 +106,12 @@ class OCCExecutor(Executor):
         block: Optional[BlockContext] = None,
     ) -> BlockExecution:
         """Execute ``txs`` with optimistic rounds; see Executor."""
+        pool = self._substrate_pool(threads)
+        if pool is not None:
+            from ..substrate.coordinator import run_occ_real
+            return run_occ_real(self, pool, txs, snapshot, code_resolver,
+                                block, threads=threads)
+        wall_start = perf_counter()
         count = len(txs)
         recorder = self.recorder
         obs = self.obs
@@ -224,6 +231,7 @@ class OCCExecutor(Executor):
             min(1.0, metrics.serial_time / (clock * threads)) if clock else 0.0
         )
         metrics.per_tx = per_tx
+        metrics.wall_time = perf_counter() - wall_start
         return BlockExecution(
             writes=store.final_writes(), receipts=receipts, metrics=metrics
         )

@@ -8,6 +8,7 @@ defines the time baseline for speedups.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional
 
 from ..core.types import StateKey
@@ -93,7 +94,12 @@ class SerialExecutor(Executor):
         threads: int = 1,
         block: Optional[BlockContext] = None,
     ) -> BlockExecution:
-        """Execute ``txs`` one-by-one on a single simulated thread."""
+        """Execute ``txs`` one-by-one on a single simulated thread.
+
+        Serial execution never ships work to substrate workers — one
+        in-order stream gains nothing from them — but it still stamps the
+        effective backend so wall-vs-gas comparisons line up."""
+        wall_start = perf_counter()
         overlay = OverlayReader(snapshot.get)
         receipts: List[Receipt] = []
         clock = 0.0
@@ -129,4 +135,9 @@ class SerialExecutor(Executor):
         metrics = self._base_metrics(threads=1, receipts=receipts)
         metrics.makespan = clock
         metrics.utilisation = 1.0 if clock else 0.0
+        metrics.wall_time = perf_counter() - wall_start
+        substrate = self._effective_substrate()
+        if substrate is not None and substrate.kind != "sim":
+            metrics.backend = substrate.kind
+            metrics.workers = 1
         return BlockExecution(writes=overlay.pending, receipts=receipts, metrics=metrics)

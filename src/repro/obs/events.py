@@ -351,6 +351,16 @@ class StageCompleted(ObsEvent):
 
 
 @dataclass(frozen=True)
+class WorkerCrashed(ObsEvent):
+    """A real-substrate worker process died mid-block (``tx`` is -1) and was
+    respawned; ``lost`` counts the in-flight transactions whose attempts died
+    with it (each is re-dispatched as an abort)."""
+
+    worker: int = -1
+    lost: int = 0
+
+
+@dataclass(frozen=True)
 class SoakCheckpoint(ObsEvent):
     """Periodic heartbeat of the soak harness (``tx`` is -1): sustained
     throughput, the abort-rate trend, db growth versus reclaim, and the
@@ -531,6 +541,9 @@ class EventBus:
         self.events.append(StageCompleted(
             self._next(), ts, -1, stage, block, latency, items))
 
+    def worker_crashed(self, ts: float, worker: int, lost: int = 0) -> None:
+        self.events.append(WorkerCrashed(self._next(), ts, -1, worker, lost))
+
     def soak_checkpoint(self, ts: float, block: int,
                         blocks_per_sec: float = 0.0, abort_rate: float = 0.0,
                         db_bytes: int = 0, bytes_reclaimed: int = 0,
@@ -582,6 +595,7 @@ class NullSink(EventBus):
     def mempool_rejected(self, *args, **kwargs) -> None: pass
     def backpressure_changed(self, *args, **kwargs) -> None: pass
     def stage_completed(self, *args, **kwargs) -> None: pass
+    def worker_crashed(self, *args, **kwargs) -> None: pass
     def soak_checkpoint(self, *args, **kwargs) -> None: pass
 
 

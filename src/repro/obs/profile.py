@@ -61,6 +61,12 @@ class ProfileSection:
     revalidation_hits: int = 0
     instructions_skipped: int = 0
     replayed_instructions: int = 0
+    # Execution substrate: gas-clock (simulated makespan) next to the real
+    # seconds the block took on the selected backend.
+    backend: str = "sim"
+    workers: int = 0
+    wall_time: float = 0.0
+    view_misses: int = 0
 
     @property
     def label(self) -> str:
@@ -90,6 +96,31 @@ class ProfileReport:
                     f"{section.revalidation_hits} revalidation hit(s), "
                     f"{section.instructions_skipped} instr skipped, "
                     f"{section.replayed_instructions} instr replayed")
+
+        if self.sections:
+            lines.append("")
+            lines.append("== wall-clock vs gas-clock (per executor) ==")
+            for section in self.sections:
+                gas_clock = section.timeline.makespan
+                extra = ""
+                if section.backend != "sim":
+                    extra = (f"  backend={section.backend} "
+                             f"workers={section.workers} "
+                             f"view_misses={section.view_misses}")
+                if gas_clock > 0:
+                    rate = (gas_clock / section.wall_time
+                            if section.wall_time else 0.0)
+                    clock = (f"gas-clock {gas_clock:>12,.0f}  "
+                             f"wall {section.wall_time * 1e3:8.2f}ms  "
+                             f"({rate:,.0f} gas-units/s)")
+                else:
+                    # Real backends schedule in physical time only; there
+                    # is no simulated makespan to report.
+                    clock = (f"gas-clock {'—':>12s}  "
+                             f"wall {section.wall_time * 1e3:8.2f}ms")
+                lines.append(
+                    f"  {section.scheduler:7s} block {section.block}: "
+                    f"{clock}{extra}")
 
         dmvcc_sections = [s for s in self.sections if s.scheduler == "dmvcc"]
         if dmvcc_sections:
@@ -154,6 +185,8 @@ def run_profile(
     config_overrides: Optional[dict] = None,
     durable_dir: Optional[str] = None,
     pipeline_blocks: int = 6,
+    substrate: str = "sim",
+    substrate_workers: Optional[int] = None,
 ) -> ProfileReport:
     """Execute ``blocks`` seeded blocks under every requested scheduler with
     event tracing on; returns the assembled :class:`ProfileReport` (the
@@ -162,6 +195,11 @@ def run_profile(
     ``pipeline_blocks`` additionally streams that many blocks through the
     :mod:`repro.pipeline` driver (DMVCC, in-memory) and surfaces per-stage
     occupancy/latency in the report; 0 skips the section.
+
+    ``substrate`` selects the execution backend ("sim", "threads", or
+    "processes"); the wall-clock section then shows real parallel seconds
+    next to the simulated gas-clock, and the serial write-set check keeps
+    guarding correctness on the real backend too.
     """
     overrides = dict(config_overrides or {})
     if contention == "high":
@@ -172,6 +210,12 @@ def run_profile(
     unknown = [s for s in schedulers if s not in factories]
     if unknown:
         raise ValueError(f"unknown scheduler(s): {', '.join(unknown)}")
+
+    substrate_obj = None
+    if substrate != "sim":
+        from ..substrate import get_substrate
+
+        substrate_obj = get_substrate(substrate, workers=substrate_workers)
 
     workload = Workload(config)
     # With --durable, every block's write batch is also committed to an
@@ -192,6 +236,8 @@ def run_profile(
         for name in schedulers:
             bus = EventBus()
             executor = factories[name]().attach_obs(bus)
+            if substrate_obj is not None:
+                executor.attach_substrate(substrate_obj)
             execution = executor.execute_block(
                 txs, snapshot, workload.db.codes.code_of, threads=threads)
             matches = execution.writes == reference.writes
@@ -206,7 +252,11 @@ def run_profile(
                 resumes=execution.metrics.resumes,
                 revalidation_hits=execution.metrics.revalidation_hits,
                 instructions_skipped=execution.metrics.instructions_skipped,
-                replayed_instructions=execution.metrics.replayed_instructions)
+                replayed_instructions=execution.metrics.replayed_instructions,
+                backend=execution.metrics.backend,
+                workers=execution.metrics.workers,
+                wall_time=execution.metrics.wall_time,
+                view_misses=execution.metrics.view_misses)
             report.sections.append(section)
             trace_sections.append((section.label, timeline, 0.0))
             if name in attributions:
@@ -224,6 +274,8 @@ def run_profile(
 
     if mirror is not None:
         mirror.close()
+    if substrate_obj is not None:
+        substrate_obj.close()
     if pipeline_blocks:
         # Lazy import: repro.obs is imported by nearly everything, and the
         # pipeline package sits above it in the layering.

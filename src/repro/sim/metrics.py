@@ -92,6 +92,14 @@ class BlockMetrics:
     deterministic_failures: int = 0  # reverts/asserts/oog: the contract's own doing
     rescues: int = 0          # scheduler wake-loss recoveries (should be 0)
     utilisation: float = 0.0
+    # Execution-substrate accounting (repro.substrate): which backend the
+    # block actually ran on and what it cost in *wall* seconds (the sim
+    # backend parallelises in gas time; real backends in wall time).
+    backend: str = "sim"
+    workers: int = 0                  # real worker count (0 on the sim backend)
+    wall_time: float = 0.0            # wall seconds executing the block
+    view_misses: int = 0              # reads outside a shipped view (re-dispatches)
+    worker_crashes: int = 0           # workers lost and respawned mid-block
     # Incremental re-execution totals (sums of the per_tx counters):
     replayed_instructions: int = 0
     instructions_skipped: int = 0
@@ -144,6 +152,12 @@ class BlockMetrics:
         self.commit_nodes_sealed += other.commit_nodes_sealed
         self.flat_hits += other.flat_hits
         self.flat_misses += other.flat_misses
+        if other.backend != "sim":
+            self.backend = other.backend
+            self.workers = max(self.workers, other.workers)
+        self.wall_time += other.wall_time
+        self.view_misses += other.view_misses
+        self.worker_crashes += other.worker_crashes
 
     @property
     def flat_hit_rate(self) -> float:

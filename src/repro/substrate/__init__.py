@@ -1,0 +1,50 @@
+"""Pluggable execution substrates (see docs/SUBSTRATES.md).
+
+``sim`` (default) runs the discrete-event simulator; ``threads`` and
+``processes`` run transactions on real workers, coordinated by
+:mod:`repro.substrate.coordinator` through the same protocol machinery.
+"""
+
+from .base import (
+    ENV_SUBSTRATE,
+    ENV_WORKERS,
+    SUBSTRATE_KINDS,
+    ProcessesSubstrate,
+    SimSubstrate,
+    Substrate,
+    ThreadsSubstrate,
+    default_substrate,
+    get_substrate,
+)
+from .pools import PoolEvent, ProcessWorkerPool, ThreadWorkerPool, WorkerPool, make_pool
+from .tasks import (
+    READ_BLIND,
+    READ_LOWERED,
+    READ_REGISTERED,
+    TxOutcome,
+    TxTask,
+    execute_tx_task,
+)
+
+__all__ = [
+    "ENV_SUBSTRATE",
+    "ENV_WORKERS",
+    "READ_BLIND",
+    "READ_LOWERED",
+    "READ_REGISTERED",
+    "SUBSTRATE_KINDS",
+    "PoolEvent",
+    "ProcessWorkerPool",
+    "ProcessesSubstrate",
+    "SimSubstrate",
+    "Substrate",
+    "ThreadWorkerPool",
+    "ThreadsSubstrate",
+    "TxOutcome",
+    "TxTask",
+    "WorkerPool",
+    "default_substrate",
+    "execute_tx_task",
+    "get_substrate",
+    "make_pool",
+]

@@ -1,0 +1,406 @@
+"""Worker pools: real OS threads and real processes behind one interface.
+
+Both pools speak the same protocol: the coordinator ``submit``s
+:class:`~repro.substrate.tasks.TxTask`s to a *specific* worker (assignment
+is the coordinator's job — stable ``index % workers`` keeps runs
+reproducible and per-worker code caches effective), then ``collect``s
+:class:`PoolEvent`s.  ``submit`` only buffers; the batched send happens at
+the next ``collect`` (or an explicit ``flush``), so a burst of ready
+transactions costs one IPC message per worker, not one per task.
+
+Crash handling (processes only): each worker's ``Process.sentinel`` is
+waited on alongside its pipe, so a SIGKILL mid-task is detected even while
+other forked children hold inherited descriptors of the dead worker's pipe.
+On death the pool drains whatever outcomes the worker managed to send,
+respawns a fresh worker under the same id (with an empty code cache — the
+coordinator is told via the crash event so it re-ships code), and reports
+the in-flight tasks as ``lost`` for the coordinator to re-dispatch.
+
+``worker_delay`` sleeps that many seconds before each task — a test hook
+that widens the in-flight window so fault-injection tests can SIGKILL a
+worker *during* a block without racing it.  ``task_timeout`` bounds how
+long any dispatched task may stay unanswered before its worker is killed
+and treated as crashed (hung-worker recovery).
+
+Workers seed ``random`` from ``(seed, worker_id)`` at startup: transaction
+execution itself is deterministic, but any stochastic instrumentation a
+worker-side component picks up must not depend on which process it landed
+in beyond the stable assignment.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import SchedulingError
+from .tasks import TxOutcome, TxTask, execute_tx_task
+
+
+@dataclass(frozen=True)
+class PoolEvent:
+    """One thing that happened on the pool.
+
+    ``kind`` is ``"outcome"`` (a worker returned a task), ``"crash"`` (a
+    worker died; ``lost`` holds its unanswered tasks), or ``"error"`` (a
+    worker raised — a bug, not a protocol event).
+    """
+
+    kind: str
+    worker: int
+    outcome: Optional[TxOutcome] = None
+    lost: Tuple[TxTask, ...] = ()
+    message: str = ""
+
+
+def _seed_worker(seed: int, worker_id: int) -> None:
+    random.seed((seed & 0xFFFFFFFF) * 1_000_003 + worker_id)
+
+
+def _run_tasks(tasks, codes, worker_id, delay, emit) -> None:
+    for task in tasks:
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            outcome = execute_tx_task(task, codes, worker_id)
+        except BaseException as exc:  # noqa: BLE001 — reported, not swallowed
+            emit(("error", worker_id, f"{type(exc).__name__}: {exc}"))
+        else:
+            emit(("outcome", worker_id, outcome))
+
+
+class WorkerPool:
+    """Common bookkeeping: buffered submissions + in-flight tracking."""
+
+    kind = "?"
+
+    def __init__(self, size: int, seed: int = 0, worker_delay: float = 0.0,
+                 task_timeout: Optional[float] = None) -> None:
+        if size < 1:
+            raise ValueError("worker pool needs at least one worker")
+        self.size = size
+        self.seed = seed
+        self.worker_delay = worker_delay
+        self.task_timeout = task_timeout
+        self._pending: List[List[TxTask]] = [[] for _ in range(size)]
+        # worker -> {(index, ticket): task}; removed when the outcome lands.
+        self._inflight: List[Dict[Tuple[int, int], TxTask]] = [
+            {} for _ in range(size)
+        ]
+        self._dispatched_at: List[Dict[Tuple[int, int], float]] = [
+            {} for _ in range(size)
+        ]
+        self.crashes = 0
+
+    @property
+    def inflight_count(self) -> int:
+        # Every pending (buffered, unflushed) task is already registered in
+        # _inflight by submit(), so the in-flight maps alone are the count.
+        return sum(len(m) for m in self._inflight)
+
+    def submit(self, worker: int, task: TxTask) -> None:
+        self._pending[worker].append(task)
+        self._inflight[worker][(task.index, task.ticket)] = task
+
+    def _settle(self, worker: int, outcome: TxOutcome) -> None:
+        self._inflight[worker].pop((outcome.index, outcome.ticket), None)
+        self._dispatched_at[worker].pop((outcome.index, outcome.ticket), None)
+
+    # Subclasses implement flush/collect/close.
+
+    def flush(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def collect(self) -> List[PoolEvent]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ThreadWorkerPool(WorkerPool):
+    """Real ``threading`` workers — the GIL-bound baseline.
+
+    Same protocol and determinism story as the process pool, but state
+    crosses no process boundary: task/outcome objects travel by reference
+    through queues.  Pure-Python EVM execution holds the GIL, so this
+    backend demonstrates the *cost* of real threads without the win.
+    """
+
+    kind = "threads"
+
+    def __init__(self, size: int, seed: int = 0, worker_delay: float = 0.0,
+                 task_timeout: Optional[float] = None) -> None:
+        super().__init__(size, seed, worker_delay, task_timeout)
+        self._outbox: "queue.Queue" = queue.Queue()
+        self._inboxes: List["queue.Queue"] = []
+        self._threads: List[threading.Thread] = []
+        for worker_id in range(size):
+            inbox: "queue.Queue" = queue.Queue()
+            thread = threading.Thread(
+                target=self._worker_main,
+                args=(inbox, worker_id),
+                name=f"substrate-worker-{worker_id}",
+                daemon=True,
+            )
+            self._inboxes.append(inbox)
+            self._threads.append(thread)
+            thread.start()
+
+    def _worker_main(self, inbox: "queue.Queue", worker_id: int) -> None:
+        _seed_worker(self.seed, worker_id)
+        codes: Dict[object, bytes] = {}
+        while True:
+            message = inbox.get()
+            if message is None:
+                return
+            _run_tasks(message, codes, worker_id, self.worker_delay,
+                       self._outbox.put)
+
+    def flush(self) -> None:
+        for worker, tasks in enumerate(self._pending):
+            if tasks:
+                self._inboxes[worker].put(list(tasks))
+                tasks.clear()
+
+    def collect(self) -> List[PoolEvent]:
+        self.flush()
+        if self.inflight_count == 0:
+            return []
+        events: List[PoolEvent] = []
+        kind, worker, payload = self._outbox.get()
+        while True:
+            if kind == "outcome":
+                self._settle(worker, payload)
+                events.append(PoolEvent("outcome", worker, outcome=payload))
+            else:
+                events.append(PoolEvent("error", worker, message=payload))
+            try:
+                kind, worker, payload = self._outbox.get_nowait()
+            except queue.Empty:
+                return events
+
+    def close(self) -> None:
+        for inbox in self._inboxes:
+            inbox.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+
+
+class ProcessWorkerPool(WorkerPool):
+    """Real ``multiprocessing`` workers — actual parallel EVM execution.
+
+    One duplex pipe per worker; tasks and outcomes cross it pickled.  The
+    fork start method is preferred (cheap, inherits the code registry's
+    module state); crash detection rides on process sentinels, so it works
+    under fork despite sibling-inherited pipe descriptors.
+    """
+
+    kind = "processes"
+
+    def __init__(self, size: int, seed: int = 0, worker_delay: float = 0.0,
+                 task_timeout: Optional[float] = None,
+                 start_method: Optional[str] = None) -> None:
+        super().__init__(size, seed, worker_delay, task_timeout)
+        import multiprocessing as mp
+
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = mp.get_context(start_method)
+        self._conns: List[object] = [None] * size
+        self._procs: List[object] = [None] * size
+        for worker_id in range(size):
+            self._spawn(worker_id)
+
+    def _spawn(self, worker_id: int) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_process_worker_main,
+            args=(child, worker_id, self.seed, self.worker_delay),
+            name=f"substrate-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._conns[worker_id] = parent
+        self._procs[worker_id] = proc
+
+    def pid_of(self, worker: int) -> Optional[int]:
+        proc = self._procs[worker]
+        return proc.pid if proc is not None else None
+
+    def kill_worker(self, worker: int) -> None:
+        """SIGKILL a worker (fault-injection hook for tests)."""
+        import signal
+
+        pid = self.pid_of(worker)
+        if pid is not None:
+            os.kill(pid, signal.SIGKILL)
+
+    def flush(self) -> List[PoolEvent]:
+        events: List[PoolEvent] = []
+        now = time.monotonic()
+        for worker, tasks in enumerate(self._pending):
+            if not tasks:
+                continue
+            batch = list(tasks)
+            tasks.clear()
+            for task in batch:
+                self._dispatched_at[worker][(task.index, task.ticket)] = now
+            try:
+                self._conns[worker].send(("tasks", batch))
+            except (BrokenPipeError, OSError):
+                events.append(self._crash(worker))
+        return events
+
+    def collect(self) -> List[PoolEvent]:
+        events = self.flush()
+        if events or self.inflight_count == 0:
+            return events
+        from multiprocessing.connection import wait as conn_wait
+
+        while not events:
+            waitables = list(self._conns) + [
+                p.sentinel for p in self._procs if p is not None
+            ]
+            ready = conn_wait(waitables, timeout=0.2)
+            dead: List[int] = []
+            for obj in ready:
+                if obj in self._conns:
+                    worker = self._conns.index(obj)
+                    drained, died = self._drain(worker)
+                    events.extend(drained)
+                    if died:
+                        dead.append(worker)
+                else:  # a sentinel: the worker process exited
+                    for worker, proc in enumerate(self._procs):
+                        if proc is not None and proc.sentinel == obj:
+                            drained, _ = self._drain(worker)
+                            events.extend(drained)
+                            dead.append(worker)
+                            break
+            for worker in set(dead):
+                events.append(self._crash(worker))
+            events.extend(self._check_timeouts())
+            if self.inflight_count == 0:
+                break
+        return events
+
+    def _drain(self, worker: int) -> Tuple[List[PoolEvent], bool]:
+        """Pull every buffered message off a worker's pipe; returns the
+        events plus whether the pipe hit EOF (worker dead)."""
+        events: List[PoolEvent] = []
+        conn = self._conns[worker]
+        try:
+            while conn.poll():
+                kind, wid, payload = conn.recv()
+                if kind == "outcome":
+                    self._settle(worker, payload)
+                    events.append(PoolEvent("outcome", worker, outcome=payload))
+                else:
+                    events.append(PoolEvent("error", worker, message=payload))
+        except (EOFError, OSError):
+            return events, True
+        proc = self._procs[worker]
+        if proc is not None and not proc.is_alive():
+            return events, True
+        return events, False
+
+    def _crash(self, worker: int) -> PoolEvent:
+        """Respawn a dead worker and surface its unanswered tasks."""
+        self.crashes += 1
+        lost = tuple(self._inflight[worker].values())
+        self._inflight[worker].clear()
+        self._dispatched_at[worker].clear()
+        # Buffered-but-unflushed tasks are in ``lost`` too (submit registers
+        # them in-flight); drop the buffered copies so the respawned worker
+        # is not sent soon-to-be-stale duplicates.
+        self._pending[worker].clear()
+        proc = self._procs[worker]
+        if proc is not None:
+            proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        try:
+            self._conns[worker].close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        self._spawn(worker)
+        return PoolEvent("crash", worker, lost=lost)
+
+    def _check_timeouts(self) -> List[PoolEvent]:
+        if self.task_timeout is None:
+            return []
+        now = time.monotonic()
+        events: List[PoolEvent] = []
+        for worker in range(self.size):
+            stamps = self._dispatched_at[worker]
+            if stamps and now - min(stamps.values()) > self.task_timeout:
+                self.kill_worker(worker)
+                self._procs[worker].join(timeout=2.0)
+                events.append(self._crash(worker))
+        return events
+
+    def close(self) -> None:
+        for worker in range(self.size):
+            conn = self._conns[worker]
+            if conn is None:
+                continue
+            try:
+                conn.send(("exit", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker, proc in enumerate(self._procs):
+            if proc is None:
+                continue
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            try:
+                self._conns[worker].close()
+            except OSError:  # pragma: no cover
+                pass
+        self._procs = [None] * self.size
+        self._conns = [None] * self.size
+
+
+def _process_worker_main(conn, worker_id: int, seed: int, delay: float) -> None:
+    """Entry point of one worker process: recv task batches, send outcomes."""
+    _seed_worker(seed, worker_id)
+    codes: Dict[object, bytes] = {}
+    while True:
+        try:
+            kind, payload = conn.recv()
+        except (EOFError, OSError):
+            return
+        if kind == "exit":
+            return
+        if kind == "tasks":
+            _run_tasks(payload, codes, worker_id, delay, conn.send)
+        else:  # pragma: no cover - protocol violation
+            conn.send(("error", worker_id,
+                       f"unknown message kind {kind!r}"))
+            return
+
+
+def make_pool(kind: str, size: int, **options) -> WorkerPool:
+    if kind == "threads":
+        return ThreadWorkerPool(size, **options)
+    if kind == "processes":
+        return ProcessWorkerPool(size, **options)
+    raise SchedulingError(f"unknown worker pool kind {kind!r}")

@@ -1,0 +1,233 @@
+"""Picklable task protocol between a coordinator and its workers.
+
+A :class:`TxTask` carries everything a worker needs to run one transaction
+attempt *to completion* without talking back mid-flight: the transaction
+itself, a **read view** (the resolved value of every state key the
+coordinator predicts the attempt will read), the contract analysis lookups
+that drive blind-increment classification, and any contract code the worker
+has not cached yet.  The worker returns a :class:`TxOutcome`: the ordered
+read log (key, observed base, read kind), the buffered absolute and delta
+write sets, and the :class:`~repro.executors.txprogram.TxResult`.
+
+The worker-side driver (:func:`execute_tx_task`) mirrors the DMVCC
+simulator's read/write/increment/frame semantics exactly — own-write
+short-circuits, blind-increment pairing into commutative deltas, own-delta
+folding on registered reads, frame checkpoint/revert over the buffered
+write sets — so that validating the returned read log against the live
+access sequences is sufficient for deterministic serializability.  With
+``commutative=False`` the same driver serves the OCC/DAG/serial semantics
+(increments lowered to read-modify-write, no blind classification).
+
+A read outside the view cannot be answered locally; the worker stops and
+returns a ``need`` outcome naming the missing keys/codes, and the
+coordinator re-dispatches with an augmented view (the *NeedKeys* loop).
+This is how accesses the analysis missed are discovered across a process
+boundary — the in-process executors resolve them on the fly instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.types import Address, StateKey
+from ..core.words import WORD_MOD
+from ..evm.events import (
+    EmittedLog,
+    FrameCheckpoint,
+    FrameCommit,
+    FrameRevert,
+    StorageRead,
+    StorageWrite,
+    Watchpoint,
+)
+from ..executors.txprogram import StorageIncrement, TxResult, transaction_program
+
+# Read kinds in TxOutcome.reads — what the coordinator must do with each
+# record when the outcome comes back:
+READ_REGISTERED = 0   # versioned read: validate against the live sequences
+READ_BLIND = 1        # commutative blind-increment read: value-insensitive
+READ_LOWERED = 2      # increment lowered to read-modify-write: validate
+
+
+@dataclass(frozen=True)
+class TxTask:
+    """One transaction attempt shipped to a worker."""
+
+    index: int
+    attempt: int
+    ticket: int                      # per-tx dispatch counter (staleness guard)
+    tx: object                       # repro.chain.transaction.Transaction
+    view: Dict[StateKey, int]        # resolved values of the predicted reads
+    block: object                    # repro.evm.environment.BlockContext
+    commutative: bool = True
+    blind_pcs: frozenset = frozenset()       # pcs of blind increment reads (tx.to)
+    increment_sites: Dict[int, int] = field(default_factory=dict)  # write pc -> read pc
+    codes: Dict[Address, bytes] = field(default_factory=dict)      # cache warm-up
+
+
+@dataclass(frozen=True)
+class TxOutcome:
+    """What a worker sends back for one dispatched task."""
+
+    index: int
+    attempt: int
+    ticket: int
+    ok: bool
+    # ok=True:
+    result: Optional[TxResult] = None
+    reads: Tuple[Tuple[StateKey, int, int], ...] = ()   # (key, base, kind)
+    writes_abs: Tuple[Tuple[StateKey, int], ...] = ()
+    writes_delta: Tuple[Tuple[StateKey, int], ...] = ()
+    # ok=False (need): what was missing from the view / code cache.
+    missing_keys: Tuple[StateKey, ...] = ()
+    missing_codes: Tuple[Address, ...] = ()
+    worker: int = -1
+
+
+class MissingKey(Exception):
+    """A read fell outside the shipped view."""
+
+    def __init__(self, key: StateKey) -> None:
+        super().__init__(f"view miss: {key}")
+        self.key = key
+
+
+class MissingCode(Exception):
+    """A contract's code is not in the worker's cache yet."""
+
+    def __init__(self, address: Address) -> None:
+        super().__init__(f"code miss: {address}")
+        self.address = address
+
+
+def execute_tx_task(
+    task: TxTask, code_cache: Dict[Address, bytes], worker: int = -1
+) -> TxOutcome:
+    """Run one task against its view; the pure function workers execute.
+
+    ``code_cache`` is the worker's persistent address→code map (contract
+    code is immutable here, so entries never go stale); ``task.codes`` is
+    merged into it first.  Missing keys/codes produce a ``need`` outcome
+    instead of raising — the coordinator owns the retry.
+    """
+    code_cache.update(task.codes)
+
+    def resolve_code(address: Address) -> bytes:
+        try:
+            return code_cache[address]
+        except KeyError:
+            raise MissingCode(address) from None
+
+    view = task.view
+
+    def view_get(key: StateKey) -> int:
+        try:
+            return view[key]
+        except KeyError:
+            raise MissingKey(key) from None
+
+    w_abs: Dict[StateKey, int] = {}
+    w_delta: Dict[StateKey, int] = {}
+    registered: Dict[StateKey, int] = {}
+    pending_blind: Dict[StateKey, Tuple[int, int]] = {}
+    frames: List[Tuple[Dict, Dict, Dict]] = []
+    reads: List[Tuple[StateKey, int, int]] = []
+
+    program = transaction_program(task.tx, resolve_code, block=task.block)
+    to_send: object = None
+    try:
+        while True:
+            try:
+                event = program.send(to_send)
+            except StopIteration as stop:
+                result: TxResult = stop.value
+                break
+            to_send = None
+            if isinstance(event, StorageRead):
+                key = event.key
+                if key in w_abs:
+                    to_send = w_abs[key]
+                    continue
+                if (
+                    task.commutative
+                    and event.pc in task.blind_pcs
+                    and key not in registered
+                ):
+                    # Blind increment read: value feeds only the paired +=.
+                    if key in w_delta:
+                        answer = 0  # own pending delta: any base cancels out
+                    else:
+                        answer = view_get(key)
+                    pending_blind[key] = (answer, event.pc)
+                    reads.append((key, answer, READ_BLIND))
+                    to_send = answer
+                    continue
+                base = view_get(key)
+                if key in w_delta:
+                    # Own pending increments fold in; the write goes absolute.
+                    value = (base + w_delta.pop(key)) % WORD_MOD
+                    w_abs[key] = value
+                else:
+                    value = base
+                registered[key] = value
+                reads.append((key, base, READ_REGISTERED))
+                to_send = value
+            elif isinstance(event, StorageWrite):
+                key = event.key
+                pending = pending_blind.pop(key, None)
+                if (
+                    pending is not None
+                    and task.commutative
+                    and key not in w_abs
+                    and task.increment_sites.get(event.pc) == pending[1]
+                ):
+                    delta = (event.value - pending[0]) % WORD_MOD
+                    w_delta[key] = (w_delta.get(key, 0) + delta) % WORD_MOD
+                    continue
+                w_abs[key] = event.value
+                w_delta.pop(key, None)
+            elif isinstance(event, StorageIncrement):
+                key = event.key
+                if key in w_abs:
+                    w_abs[key] = (w_abs[key] + event.delta) % WORD_MOD
+                elif task.commutative:
+                    w_delta[key] = (w_delta.get(key, 0) + event.delta) % WORD_MOD
+                else:
+                    base = view_get(key)
+                    registered[key] = base
+                    reads.append((key, base, READ_LOWERED))
+                    w_abs[key] = (base + event.delta) % WORD_MOD
+            elif isinstance(event, FrameCheckpoint):
+                frames.append((dict(w_abs), dict(w_delta), dict(registered)))
+                to_send = len(frames)
+            elif isinstance(event, FrameCommit):
+                frames.pop()
+            elif isinstance(event, FrameRevert):
+                w_abs, w_delta, registered = frames.pop()
+            elif isinstance(event, (Watchpoint, EmittedLog)):
+                pass
+    except MissingKey as miss:
+        program.close()
+        return TxOutcome(
+            index=task.index, attempt=task.attempt, ticket=task.ticket,
+            ok=False, reads=tuple(reads), missing_keys=(miss.key,),
+            worker=worker,
+        )
+    except MissingCode as miss:
+        program.close()
+        return TxOutcome(
+            index=task.index, attempt=task.attempt, ticket=task.ticket,
+            ok=False, reads=tuple(reads), missing_codes=(miss.address,),
+            worker=worker,
+        )
+
+    if not result.success:
+        w_abs, w_delta = {}, {}
+    return TxOutcome(
+        index=task.index, attempt=task.attempt, ticket=task.ticket,
+        ok=True, result=result, reads=tuple(reads),
+        writes_abs=tuple(sorted(w_abs.items())),
+        writes_delta=tuple(sorted(w_delta.items())),
+        worker=worker,
+    )

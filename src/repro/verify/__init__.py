@@ -14,13 +14,18 @@ instead of trusting the schedulers to be right:
   over randomized workloads, with greedy block minimization on divergence;
 * :mod:`.crash`  — crash-recovery fuzzing of the durable storage engine
   (``repro.db``): seeded random blocks, a fault-injected crash at a random
-  byte offset, and a recovery check against an in-memory twin.
+  byte offset, and a recovery check against an in-memory twin;
+* :mod:`.substrate` — differential backend parity: every scenario preset ×
+  scheduler run on real threads and real multiprocessing workers must
+  reproduce the discrete-event simulator's receipts, writes, and sealed
+  root byte-for-byte.
 """
 
 from .trace import TraceRecorder
 from .oracle import OracleReport, SerializabilityOracle, check_block
 from .fuzz import DifferentialFuzzer, FuzzReport
 from .crash import CrashReport, run_crash_campaign
+from .substrate import SubstrateReport, run_substrate_verify
 
 __all__ = [
     "TraceRecorder",
@@ -31,4 +36,6 @@ __all__ = [
     "FuzzReport",
     "CrashReport",
     "run_crash_campaign",
+    "SubstrateReport",
+    "run_substrate_verify",
 ]

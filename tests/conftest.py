@@ -2,7 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``sim_clock``-marked tests when the environment routes every
+    executor onto a real backend (threads/processes).  Those tests assert
+    discrete-event-clock internals — makespan, early-write visibility,
+    mid-flight checkpoint resume — that real workers, which run each
+    transaction to completion off the simulated timeline, legitimately do
+    not reproduce.  The parity contract on real backends is receipts,
+    write sets, and roots, which the substrate suites cover."""
+    backend = os.environ.get("REPRO_SUBSTRATE", "sim")
+    if backend not in ("threads", "processes"):
+        return
+    skip = pytest.mark.skip(
+        reason=f"simulated-clock assertion; default substrate is {backend}")
+    for item in items:
+        if "sim_clock" in item.keywords:
+            item.add_marker(skip)
 
 from repro.chain.transaction import Transaction
 from repro.core import Address, StateKey, mapping_slot

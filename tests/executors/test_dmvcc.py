@@ -115,6 +115,7 @@ class TestCommutativeWrites:
         assert execution.writes[StateKey(counter, 0)] == sum(range(1, 9))
         assert execution.metrics.aborts == 0
 
+    @pytest.mark.sim_clock
     def test_commutative_increments_fully_parallel(self, counter_contract):
         """With commutativity, 8 blind increments on one counter must run
         with (near-)perfect parallelism; without it, they serialise."""
@@ -157,6 +158,7 @@ class TestCommutativeWrites:
 
 
 class TestEarlyWriteVisibility:
+    @pytest.mark.sim_clock
     def test_early_write_shortens_chains(self, nft_contract):
         """NFT mints chain on nextTokenId; the counter write happens well
         before transaction end, so early visibility must compress the

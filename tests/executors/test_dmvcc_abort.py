@@ -127,6 +127,7 @@ class TestAbortAndReExecute:
         assert first_attempts[0].version == -1
         assert first_attempts[0].value == 0
 
+    @pytest.mark.sim_clock
     def test_abort_retracts_early_visible_writes(self, sneak):
         """tx 2 published ``sink`` early; its abort must retract that
         version (naming its reader as a victim) before re-execution."""
@@ -168,6 +169,7 @@ class TestAbortAndReExecute:
         assert execution.writes[slot_key(sneak, "sink")] == 7
         assert execution.writes[slot_key(sneak, "out2")] == 7
 
+    @pytest.mark.sim_clock
     def test_oracle_classifies_the_leak_as_repaired(self, sneak):
         db = sneak_db(sneak)
         report, _ = check_block(

@@ -12,6 +12,7 @@ from .helpers import TOKEN, USERS, assert_serializable, token_db
 
 
 class TestEtherOnlyBlocks:
+    @pytest.mark.sim_clock
     def test_disjoint_transfers_fully_parallel(self, token_contract):
         db = token_db(token_contract)
         txs = [
@@ -22,6 +23,7 @@ class TestEtherOnlyBlocks:
         assert execution.metrics.speedup > 5.5  # essentially perfect
         assert execution.metrics.aborts == 0
 
+    @pytest.mark.sim_clock
     def test_fan_in_credits_commute(self, token_contract):
         """Everyone pays the same account: credits are ω̄, so the block
         still parallelises perfectly."""
@@ -91,6 +93,7 @@ class TestThreadLimits:
         execution = assert_serializable(DMVCCExecutor(), txs, db, 64)
         assert execution.metrics.utilisation <= 1.0
 
+    @pytest.mark.sim_clock
     def test_single_thread_equals_serial_time(self, token_contract):
         db = token_db(token_contract)
         txs = [
@@ -115,6 +118,7 @@ class TestThreadLimits:
 
 
 class TestMakespanSanity:
+    @pytest.mark.sim_clock
     def test_makespan_bounded_below_by_critical_tx(self, token_contract):
         db = token_db(token_contract)
         txs = [Transaction(USERS[i], USERS[i + 1], 10) for i in range(0, 8, 2)]

@@ -171,6 +171,7 @@ class TestCheckpointResumePath:
 
     CALLS = [("openGate",), ("sneakyWrite", 7), ("readBoth",)]
 
+    @pytest.mark.sim_clock
     def test_aborted_reader_resumes_from_checkpoint(self, compiled):
         db = make_db(compiled, storage={"stable": 100})
         txs = make_block(compiled, self.CALLS)
@@ -289,6 +290,7 @@ def abort_heavy_workload():
 
 
 class TestAbortHeavyWorkload:
+    @pytest.mark.sim_clock
     def test_features_cut_replay_and_stay_serializable(self):
         workload = abort_heavy_workload()
         txs = workload.transactions(120)

@@ -36,6 +36,7 @@ def cold():
     return workload, workload.transactions(250)
 
 
+@pytest.mark.sim_clock
 class TestSpeedupOrderings:
     def test_dmvcc_wins_high_contention(self, hot):
         workload, txs = hot
@@ -93,6 +94,7 @@ class TestAbortClaims:
         assert run(workload, txs, DAGExecutor, 16).aborts == 0
 
 
+@pytest.mark.sim_clock
 class TestFeatureContributions:
     def test_features_help_under_contention(self, hot):
         workload, txs = hot

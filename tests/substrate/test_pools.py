@@ -1,0 +1,135 @@
+"""Mechanics of the real worker pools: batching, collection, crash
+respawn, timeouts — independent of any executor."""
+
+import time
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey, mapping_slot
+from repro.core.errors import SchedulingError
+from repro.evm.environment import BlockContext
+from repro.lang import compile_source
+from repro.substrate import TxTask, execute_tx_task, make_pool
+from repro.workload import ERC20_SOURCE
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    """Eight independent ERC20 transfers, pre-resolved views."""
+    erc20 = compile_source(ERC20_SOURCE)
+    token = Address.derive("pool-token")
+    balance_of = erc20.slot_of("balanceOf")
+    built = []
+    for i in range(8):
+        sender = Address.derive(f"pool-sender-{i}")
+        receiver = Address.derive(f"pool-receiver-{i}")
+        sender_key = StateKey(token, mapping_slot(sender.to_word(), balance_of))
+        receiver_key = StateKey(
+            token, mapping_slot(receiver.to_word(), balance_of))
+        tx = Transaction(sender, token, 0,
+                         erc20.encode_call("transfer", receiver, 1 + i))
+        built.append(TxTask(
+            index=i, attempt=1, ticket=0, tx=tx,
+            view={sender_key: 100, receiver_key: 0},
+            block=BlockContext(), codes={token: erc20.code},
+        ))
+    return built
+
+
+def _collect_all(pool, expected):
+    outcomes = {}
+    deadline = time.monotonic() + 30.0
+    while len(outcomes) < expected:
+        assert time.monotonic() < deadline, "pool did not drain"
+        for event in pool.collect():
+            assert event.kind != "error", event.message
+            if event.kind == "outcome":
+                outcomes[event.outcome.index] = event.outcome
+    return outcomes
+
+
+@pytest.mark.parametrize("kind", ["threads", "processes"])
+def test_pool_round_trip_matches_direct_execution(kind, tasks):
+    """Outcomes collected through a pool equal running the task driver
+    directly — the transport adds nothing and loses nothing."""
+    with make_pool(kind, 3) as pool:
+        for task in tasks:
+            pool.submit(task.index % pool.size, task)
+        outcomes = _collect_all(pool, len(tasks))
+    assert sorted(outcomes) == [t.index for t in tasks]
+    for task in tasks:
+        direct = execute_tx_task(task, {})
+        outcome = outcomes[task.index]
+        assert outcome.ok and outcome.result.success
+        assert outcome.writes_abs == direct.writes_abs
+        assert outcome.reads == direct.reads
+        assert outcome.result.gas_used == direct.result.gas_used
+
+
+def test_submit_buffers_until_collect(tasks):
+    """submit() alone sends nothing; the batch goes out on collect()."""
+    with make_pool("threads", 2) as pool:
+        pool.submit(0, tasks[0])
+        assert pool.inflight_count == 1
+        outcomes = _collect_all(pool, 1)
+    assert outcomes[0].ok
+
+
+@pytest.mark.slow
+def test_process_crash_is_reported_and_worker_respawns(tasks):
+    """SIGKILL mid-task: the pool reports the crash with the lost tasks,
+    respawns the worker, and the re-dispatched tasks complete."""
+    with make_pool("processes", 2, worker_delay=0.2) as pool:
+        victim_pid = pool.pid_of(0)
+        for task in tasks[:4]:
+            pool.submit(task.index % 2, task)
+        pool.flush()
+        time.sleep(0.05)  # let the batch land before the kill
+        pool.kill_worker(0)
+
+        outcomes = {}
+        lost = []
+        deadline = time.monotonic() + 30.0
+        while len(outcomes) + len(lost) < 4:
+            assert time.monotonic() < deadline, "crash never surfaced"
+            for event in pool.collect():
+                if event.kind == "crash":
+                    assert event.worker == 0
+                    lost.extend(event.lost)
+                elif event.kind == "outcome":
+                    outcomes[event.outcome.index] = event.outcome
+        assert pool.crashes == 1
+        assert lost, "no tasks reported lost"
+        assert pool.pid_of(0) != victim_pid, "worker was not respawned"
+
+        # Re-dispatch the lost tasks; the fresh worker (empty code cache)
+        # must either run them (code travels in the task) and succeed.
+        for task in lost:
+            pool.submit(0, task)
+        outcomes.update(_collect_all(pool, 4 - len(outcomes)))
+    assert sorted(outcomes) == [0, 1, 2, 3]
+    assert all(o.ok and o.result.success for o in outcomes.values())
+
+
+@pytest.mark.slow
+def test_hung_worker_times_out_as_crash(tasks):
+    """A task that outlives task_timeout gets its worker killed and
+    reported as a crash (hung-worker recovery)."""
+    with make_pool("processes", 1, worker_delay=5.0,
+                   task_timeout=0.3) as pool:
+        pool.submit(0, tasks[0])
+        crashed = False
+        deadline = time.monotonic() + 30.0
+        while not crashed:
+            assert time.monotonic() < deadline, "timeout never fired"
+            for event in pool.collect():
+                if event.kind == "crash":
+                    crashed = True
+                    assert tasks[0] in event.lost
+        assert pool.crashes == 1
+
+
+def test_unknown_pool_kind_rejected():
+    with pytest.raises(SchedulingError):
+        make_pool("fibers", 2)

@@ -1,0 +1,133 @@
+"""Unit tests of the worker-side task driver (``execute_tx_task``).
+
+The driver is a pure function of (task, code cache); these tests pin the
+protocol the coordinators rely on: the NeedKeys loop for view misses, code
+misses, ticket echo, and empty write sets on failed transactions.
+"""
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey, mapping_slot
+from repro.evm.environment import BlockContext
+from repro.lang import compile_source
+from repro.substrate import (
+    READ_BLIND,
+    READ_LOWERED,
+    READ_REGISTERED,
+    TxTask,
+    execute_tx_task,
+)
+from repro.workload import ERC20_SOURCE
+
+
+@pytest.fixture(scope="module")
+def erc20():
+    return compile_source(ERC20_SOURCE)
+
+
+@pytest.fixture(scope="module")
+def setup(erc20):
+    token = Address.derive("task-token")
+    alice = Address.derive("task-alice")
+    bob = Address.derive("task-bob")
+    balance_of = erc20.slot_of("balanceOf")
+    alice_key = StateKey(token, mapping_slot(alice.to_word(), balance_of))
+    bob_key = StateKey(token, mapping_slot(bob.to_word(), balance_of))
+    return token, alice, bob, alice_key, bob_key
+
+
+def _transfer_task(erc20, setup, view, amount=5, ticket=0, codes=None):
+    token, alice, bob, _, _ = setup
+    tx = Transaction(alice, token, 0, erc20.encode_call("transfer", bob, amount))
+    return TxTask(
+        index=3, attempt=2, ticket=ticket, tx=tx, view=dict(view),
+        block=BlockContext(), commutative=True,
+        codes=codes if codes is not None else {token: erc20.code},
+    )
+
+
+def test_need_loop_converges_to_success(erc20, setup):
+    """An empty view produces need outcomes naming the missing keys; the
+    coordinator's augment-and-retry loop must converge to a success."""
+    _, _, _, alice_key, bob_key = setup
+    state = {alice_key: 100}
+    view = {}
+    for _ in range(10):
+        outcome = execute_tx_task(_transfer_task(erc20, setup, view), {})
+        if outcome.ok:
+            break
+        assert outcome.missing_keys, outcome
+        for key in outcome.missing_keys:
+            view[key] = state.get(key, 0)
+    else:
+        pytest.fail("NeedKeys loop did not converge")
+    assert outcome.result.success
+    writes = dict(outcome.writes_abs)
+    assert writes[alice_key] == 95
+    assert writes[bob_key] == 5
+    read_keys = [key for key, _base, _kind in outcome.reads]
+    assert alice_key in read_keys and bob_key in read_keys
+    assert all(kind in (READ_REGISTERED, READ_BLIND, READ_LOWERED)
+               for _k, _b, kind in outcome.reads)
+
+
+def test_missing_code_reported(erc20, setup):
+    """No cached code and none shipped: the worker must ask for it, not
+    crash — contract addresses come back in ``missing_codes``."""
+    token = setup[0]
+    outcome = execute_tx_task(_transfer_task(erc20, setup, {}, codes={}), {})
+    assert not outcome.ok
+    assert outcome.missing_codes == (token,)
+
+
+def test_code_cache_persists_across_tasks(erc20, setup):
+    """Shipping code once warms the worker cache; later tasks for the same
+    contract need no code attached."""
+    _, _, _, alice_key, bob_key = setup
+    view = {alice_key: 100, bob_key: 0}
+    cache = {}
+    first = execute_tx_task(_transfer_task(erc20, setup, view), cache)
+    assert first.ok and first.result.success
+    second = execute_tx_task(
+        _transfer_task(erc20, setup, view, codes={}), cache)
+    assert second.ok and second.result.success
+
+
+def test_failed_transaction_has_empty_writes(erc20, setup):
+    """A reverted transfer (insufficient balance) must surface its result
+    but buffer no writes — the coordinator commits nothing for it."""
+    _, _, _, alice_key, bob_key = setup
+    view = {alice_key: 1, bob_key: 0}
+    outcome = execute_tx_task(
+        _transfer_task(erc20, setup, view, amount=1_000), {})
+    assert outcome.ok
+    assert not outcome.result.success
+    assert outcome.writes_abs == () and outcome.writes_delta == ()
+
+
+def test_outcome_echoes_dispatch_identity(erc20, setup):
+    """index/attempt/ticket ride through unchanged — the coordinator's
+    staleness guard depends on the echo."""
+    _, _, _, alice_key, bob_key = setup
+    view = {alice_key: 100, bob_key: 0}
+    outcome = execute_tx_task(
+        _transfer_task(erc20, setup, view, ticket=17), {}, worker=5)
+    assert (outcome.index, outcome.attempt, outcome.ticket) == (3, 2, 17)
+    assert outcome.worker == 5
+
+
+def test_lowered_increments_without_commutativity(erc20, setup):
+    """With ``commutative=False`` every increment must lower to a
+    validated read-modify-write: no blind reads, no delta writes."""
+    _, _, _, alice_key, bob_key = setup
+    task = _transfer_task(erc20, setup, {alice_key: 100, bob_key: 0})
+    task = TxTask(
+        index=task.index, attempt=task.attempt, ticket=task.ticket,
+        tx=task.tx, view=task.view, block=task.block, commutative=False,
+        codes=task.codes,
+    )
+    outcome = execute_tx_task(task, {})
+    assert outcome.ok and outcome.result.success
+    assert outcome.writes_delta == ()
+    assert all(kind != READ_BLIND for _k, _b, kind in outcome.reads)
