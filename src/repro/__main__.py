@@ -18,6 +18,7 @@ db              inspect/maintain a durable node store (stats, fsck, compact)
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -374,6 +375,16 @@ def cmd_profile(args) -> int:
     print(f"\ntrace written to {args.out} "
           f"({len(report.trace['traceEvents'])} events) — load it at "
           f"https://ui.perfetto.dev or chrome://tracing")
+    if args.attribution_json:
+        payload = {
+            scheduler: attribution.to_json()
+            for scheduler, attribution in report.attributions.items()
+        }
+        with open(args.attribution_json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"abort attribution written to {args.attribution_json} "
+              f"(feed it to ConflictProfileStore.observe_json to seed a "
+              f"lane planner)")
     return 0 if report.correctness_ok else 1
 
 
@@ -548,6 +559,10 @@ def main(argv=None) -> int:
                          help="workload profile (default high)")
     profile.add_argument("--top", type=int, default=10,
                          help="hot keys to list in the attribution table")
+    profile.add_argument("--attribution-json", default="", metavar="PATH",
+                         help="also dump the per-scheduler abort attribution "
+                              "as JSON (ConflictProfileStore.observe_json-"
+                              "compatible)")
     profile.add_argument("--durable", default="", metavar="DIR",
                          help="also commit every block to an on-disk mirror "
                               "at DIR and report fsync/append/cache costs")

@@ -311,11 +311,24 @@ class TransactionPool:
     # Analysis & retrieval
     # ------------------------------------------------------------------
 
-    def analyse(self, builder: CSAGBuilder, snapshot: Snapshot) -> int:
-        """Build C-SAGs for every unanalysed transaction; returns how many."""
+    def analyse(self, builder: CSAGBuilder, snapshot: Snapshot,
+                stale_keys=None) -> int:
+        """Build C-SAGs for every unanalysed transaction; returns how many.
+
+        ``stale_keys`` (a set of :class:`StateKey`) additionally forces
+        re-analysis of already-analysed entries whose predicted reads touch
+        any of those keys — the pipeline passes the lane planner's learned
+        hot keys here, so predictions against contention-prone state are
+        refreshed against the newest sealed snapshot instead of riding a
+        stale cache into a mispredicted block.
+        """
         built = 0
         for pooled in self._pool.values():
             if pooled.csag is None:
+                pooled.csag = builder.build(pooled.tx, snapshot)
+                built += 1
+            elif stale_keys and not stale_keys.isdisjoint(
+                    pooled.csag.read_keys | pooled.csag.static_read_keys):
                 pooled.csag = builder.build(pooled.tx, snapshot)
                 built += 1
         return built

@@ -6,12 +6,27 @@ with its configured scheduler, and commits state snapshots.  Importing a
 foreign block looks up the cached C-SAGs; transactions missing from the
 local pool are either re-analysed on the fly or executed OCC-style with an
 empty ("missing") C-SAG — both paths the paper describes.
+
+Two scheduling extensions ride on top of the base workflow (see
+docs/SCHEDULING.md):
+
+* **mining with a lane planner** — ``propose_block`` hands the packed
+  draft to a :class:`~repro.scheduling.planner.LanePlanner` that reorders
+  it into low-conflict lanes and repairs stale C-SAG predictions before
+  execution; the executed abort attribution feeds the planner's learned
+  conflict profiles for the next block;
+* **the miner-produces/validator-replays split** — with
+  ``emit_schedules`` on, the realized happens-before order of every
+  proposed block is sealed into a :class:`BlockSidecar`, and
+  ``import_block(..., schedule=...)`` executes straight from that
+  artifact with conflict discovery disabled (zero aborts, zero
+  speculation), still verifying the sealed state root.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..analysis.csag import CSAG, CSAGBuilder
 from ..analysis.sag import PSAGCache
@@ -19,6 +34,8 @@ from ..core.errors import InvalidBlock
 from ..core.types import Address
 from ..evm.environment import BlockContext
 from ..executors.base import BlockExecution, Executor
+from ..scheduling.planner import LanePlan, LanePlanner
+from ..scheduling.schedule import BlockSidecar, Schedule
 from ..state.statedb import StateDB
 from .block import GENESIS_PARENT, Block, BlockHeader, make_block, validate_block_shape
 from .transaction import Transaction
@@ -33,10 +50,13 @@ class ValidatorStats:
     analysed_txs: int = 0
     proposed_blocks: int = 0
     imported_blocks: int = 0
+    replayed_blocks: int = 0
     missing_csags: int = 0
     reanalysed_csags: int = 0
     root_mismatches: int = 0
     executed_txs: int = 0
+    planner_repairs: int = 0
+    planner_reorders: int = 0
 
 
 class Validator:
@@ -51,6 +71,8 @@ class Validator:
         packer: Optional[Packer] = None,
         psag_cache: Optional[PSAGCache] = None,
         reanalyse_missing: bool = True,
+        planner: Optional[LanePlanner] = None,
+        emit_schedules: bool = False,
     ) -> None:
         self.name = name
         self.db = statedb
@@ -60,9 +82,14 @@ class Validator:
         self.packer = packer if packer is not None else Packer()
         self.psag_cache = psag_cache if psag_cache is not None else PSAGCache()
         self.reanalyse_missing = reanalyse_missing
+        self.planner = planner
+        self.emit_schedules = emit_schedules
         self.address = Address.derive(f"validator:{name}")
         self.stats = ValidatorStats()
         self.chain: List[BlockHeader] = []
+        # Schedule artifacts sealed alongside proposed blocks, by number.
+        self.sidecars: Dict[int, BlockSidecar] = {}
+        self.last_plan: Optional[LanePlan] = None
 
     # ------------------------------------------------------------------
     # Transaction intake (analysis happens here, offline)
@@ -86,7 +113,8 @@ class Validator:
     # ------------------------------------------------------------------
 
     def propose_block(self, timestamp: int = 0) -> "tuple[Block, BlockExecution]":
-        """Pack, execute, commit, and seal the next block."""
+        """Pack, (optionally) plan, execute, commit, and seal the next
+        block; with ``emit_schedules`` on, seal its schedule sidecar too."""
         pooled = self.packer.pack(self.pool)
         txs = [p.tx for p in pooled]
         csags = [
@@ -94,6 +122,15 @@ class Validator:
             else self._builder().build(p.tx, self.db.latest)
             for p in pooled
         ]
+        if self.planner is not None:
+            context = BlockContext(self.db.height + 1, timestamp)
+            plan = self.planner.plan(txs, csags, self.db.latest,
+                                     self._builder(context))
+            txs = plan.apply(txs)
+            csags = plan.apply(csags)
+            self.last_plan = plan
+            self.stats.planner_repairs += plan.repairs
+            self.stats.planner_reorders += int(plan.moved)
         execution = self._execute(txs, csags, timestamp)
         snapshot = self._commit(execution)
         block = make_block(
@@ -106,6 +143,9 @@ class Validator:
             gas_used=execution.metrics.total_gas,
         )
         self.chain.append(block.header)
+        if self.emit_schedules and execution.schedule is not None:
+            self.sidecars[block.number] = BlockSidecar(
+                block.header.block_hash, execution.schedule)
         self.stats.proposed_blocks += 1
         self.stats.executed_txs += len(txs)
         return block, execution
@@ -135,24 +175,58 @@ class Validator:
     # Importing
     # ------------------------------------------------------------------
 
-    def import_block(self, block: Block, verify_root: bool = True) -> BlockExecution:
-        """Execute and commit a block mined elsewhere."""
+    def import_block(
+        self,
+        block: Block,
+        verify_root: bool = True,
+        schedule: Optional[Union[Schedule, BlockSidecar]] = None,
+    ) -> BlockExecution:
+        """Execute and commit a block mined elsewhere.
+
+        With a ``schedule`` (the miner's sealed sidecar or bare
+        :class:`Schedule`), the block replays deterministically from the
+        fork-join artifact — no access-sequence speculation, no validation
+        rounds, no aborts — and the sealed state root still arbitrates:
+        a schedule that does not reproduce the header's root is rejected
+        exactly like a fresh-execution mismatch.
+        """
         if self.chain:
             validate_block_shape(block, self.chain[-1])
         txs = list(block.transactions)
-        cached, missing = self.pool.lookup_block(txs)
-        self.stats.missing_csags += missing
-        csags: List[CSAG] = []
-        builder = self._builder(BlockContext(block.number, block.header.timestamp))
-        for tx, csag in zip(txs, cached):
-            if csag is not None:
-                csags.append(csag)
-            elif self.reanalyse_missing:
-                csags.append(builder.build(tx, self.db.latest))
-                self.stats.reanalysed_csags += 1
-            else:
-                csags.append(builder.build_missing(tx, self.db.latest))
-        execution = self._execute(txs, csags, block.header.timestamp)
+        if schedule is not None:
+            if isinstance(schedule, BlockSidecar):
+                if schedule.block_hash != block.header.block_hash:
+                    raise InvalidBlock(
+                        f"{self.name}: sidecar is for block "
+                        f"{schedule.block_hash.hex()[:12]}, not "
+                        f"{block.header.block_hash.hex()[:12]}"
+                    )
+                schedule = schedule.schedule
+            if schedule.tx_count != len(txs):
+                raise InvalidBlock(
+                    f"{self.name}: schedule covers {schedule.tx_count} "
+                    f"transactions, block {block.number} has {len(txs)}"
+                )
+            # Replay needs no C-SAGs; just clear any pooled copies.
+            self.pool.lookup_block(txs)
+            execution = self._execute(txs, None, block.header.timestamp,
+                                      executor=self._replayer(schedule))
+            self.stats.replayed_blocks += 1
+        else:
+            cached, missing = self.pool.lookup_block(txs)
+            self.stats.missing_csags += missing
+            csags: List[CSAG] = []
+            builder = self._builder(
+                BlockContext(block.number, block.header.timestamp))
+            for tx, csag in zip(txs, cached):
+                if csag is not None:
+                    csags.append(csag)
+                elif self.reanalyse_missing:
+                    csags.append(builder.build(tx, self.db.latest))
+                    self.stats.reanalysed_csags += 1
+                else:
+                    csags.append(builder.build_missing(tx, self.db.latest))
+            execution = self._execute(txs, csags, block.header.timestamp)
         snapshot = self._commit(execution)
         if verify_root and snapshot.root_hash != block.header.state_root:
             self.stats.root_mismatches += 1
@@ -173,6 +247,17 @@ class Validator:
     def _parent_hash(self) -> bytes:
         return self.chain[-1].block_hash if self.chain else GENESIS_PARENT
 
+    def _replayer(self, schedule: Schedule) -> Executor:
+        """A schedule-replay executor inheriting this node's substrate."""
+        from ..executors.replay import ScheduleReplayExecutor
+
+        replayer = ScheduleReplayExecutor(
+            schedule, gas_time_scale=self.executor.gas_time_scale)
+        replayer.substrate = self.executor.substrate
+        replayer.obs = self.executor.obs
+        replayer.recorder = self.executor.recorder
+        return replayer
+
     def _commit(self, execution: BlockExecution):
         """Seal the block's write batch and pull the state-layer accounting
         (commit cost + flat-cache hit rates) into the block's metrics."""
@@ -191,23 +276,38 @@ class Validator:
                 metrics.db_pruned_nodes = report.pruned_nodes
         return snapshot
 
-    def _execute(self, txs, csags, timestamp: int) -> BlockExecution:
+    def _execute(self, txs, csags, timestamp: int,
+                 executor: Optional[Executor] = None) -> BlockExecution:
         context = BlockContext(number=self.db.height + 1, timestamp=timestamp)
         snapshot = self.db.latest
         hits, misses = snapshot.flat_hits, snapshot.flat_misses
+        if executor is None:
+            executor = self.executor
         kwargs = {}
-        # Serial/OCC schedulers need no analysis; the others accept the
-        # pre-built C-SAGs.
-        if self.executor.name.startswith(("dag", "dmvcc")):
+        # Serial/OCC/replay schedulers need no analysis; the others accept
+        # the pre-built C-SAGs.
+        if executor.name.startswith(("dag", "dmvcc")):
             kwargs["csags"] = csags
-        execution = self.executor.execute_block(
-            txs,
-            snapshot,
-            self.db.codes.code_of,
-            threads=self.threads,
-            block=context,
-            **kwargs,
-        )
+        emit = self.emit_schedules and executor is self.executor
+        with _trace_capture(executor, enabled=emit) as capture:
+            with _abort_capture(executor,
+                                enabled=self.planner is not None) as aborts:
+                execution = executor.execute_block(
+                    txs,
+                    snapshot,
+                    self.db.codes.code_of,
+                    threads=self.threads,
+                    block=context,
+                    **kwargs,
+                )
+        if emit:
+            schedule = Schedule.from_trace(
+                capture.trace(), len(txs), block_number=context.number,
+                producer=executor.name,
+            )
+            execution.schedule = schedule
+        if self.planner is not None:
+            self.planner.observe(aborts.attribution(), context.number)
         # Flat-cache traffic this block generated against the snapshot it
         # executed over (the snapshot's counters are cumulative).
         execution.metrics.flat_hits = snapshot.flat_hits - hits
@@ -220,3 +320,87 @@ class Validator:
 
     def state_root(self) -> bytes:
         return self.db.latest.root_hash
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation scopes (shared with the pipeline driver)
+# ---------------------------------------------------------------------------
+
+
+class _trace_capture:
+    """Borrow (or lend) the executor's trace-recorder slot for one block.
+
+    If a recorder is already attached (a verify pass), its stream is
+    shared and only the events appended during this block are exposed;
+    otherwise a fresh recorder is attached for the duration.
+    """
+
+    def __init__(self, executor: Executor, enabled: bool = True) -> None:
+        self.executor = executor
+        self.enabled = enabled
+        self._own: Optional[object] = None
+        self._start = 0
+
+    def __enter__(self) -> "_trace_capture":
+        if not self.enabled:
+            return self
+        from ..verify.trace import TraceRecorder
+
+        if self.executor.recorder is None:
+            self._own = TraceRecorder()
+            self.executor.recorder = self._own
+        else:
+            self._start = len(self.executor.recorder.events)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._own is not None and self.executor.recorder is self._own:
+            self.executor.recorder = None
+
+    def trace(self):
+        """The block's event stream (a TraceRecorder-shaped view)."""
+        from ..verify.trace import TraceRecorder
+
+        if self._own is not None:
+            return self._own
+        view = TraceRecorder()
+        recorder = self.executor.recorder
+        view.events = list(recorder.events[self._start:]) if recorder else []
+        return view
+
+
+class _abort_capture:
+    """Borrow (or lend) the executor's obs slot to collect this block's
+    abort/wait events for the planner's conflict profiles."""
+
+    def __init__(self, executor: Executor, enabled: bool = True) -> None:
+        self.executor = executor
+        self.enabled = enabled
+        self._own: Optional[object] = None
+        self._start = 0
+
+    def __enter__(self) -> "_abort_capture":
+        if not self.enabled:
+            return self
+        from ..obs.events import EventBus
+
+        if self.executor.obs is None:
+            self._own = EventBus()
+            self.executor.obs = self._own
+        else:
+            self._start = len(self.executor.obs.events)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._own is not None and self.executor.obs is self._own:
+            self.executor.obs = None
+
+    def attribution(self):
+        from ..obs.attribution import AbortAttribution
+
+        if not self.enabled:
+            return AbortAttribution()
+        bus = self._own if self._own is not None else self.executor.obs
+        events = bus.events if self._own is not None else \
+            bus.events[self._start:]
+        return AbortAttribution.from_events(events)

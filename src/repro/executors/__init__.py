@@ -26,5 +26,7 @@ __all__ = [
 from .dag import DAGExecutor, build_conflict_dag
 from .dmvcc import DMVCCExecutor
 from .occ import OCCExecutor
+from .replay import ScheduleReplayExecutor
 
-__all__ += ["DAGExecutor", "DMVCCExecutor", "OCCExecutor", "build_conflict_dag"]
+__all__ += ["DAGExecutor", "DMVCCExecutor", "OCCExecutor",
+            "ScheduleReplayExecutor", "build_conflict_dag"]

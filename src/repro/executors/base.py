@@ -45,6 +45,9 @@ class BlockExecution:
     writes: Dict[StateKey, int]
     receipts: List[Receipt]
     metrics: BlockMetrics
+    # Realized happens-before order (repro.scheduling.schedule.Schedule),
+    # filled only when the producing validator emits schedule artifacts.
+    schedule: Optional[object] = None
 
     @property
     def success_count(self) -> int:

@@ -93,9 +93,22 @@ class OCCExecutor(Executor):
 
     name = "occ"
 
-    def __init__(self, gas_time_scale: float = 1.0, max_rounds: int = 10_000) -> None:
+    def __init__(self, gas_time_scale: float = 1.0, max_rounds: int = 10_000,
+                 seed_views: bool = True, psag_cache=None) -> None:
         super().__init__(gas_time_scale)
         self.max_rounds = max_rounds
+        # Real-substrate view seeding (PR-8 follow-up): resolve the static
+        # P-SAG access sites per transaction and ship that key set with the
+        # first dispatch, instead of discovering every key through the
+        # NeedKeys → widen → re-dispatch loop.  OCC semantics are
+        # unchanged — a seeded view only changes how many round-trips the
+        # first attempt costs; ``bench_scheduling``/``bench_substrates``
+        # count ``view_misses`` with the seeding on and off.
+        self.seed_views = seed_views
+        if psag_cache is None:
+            from ..analysis.sag import PSAGCache
+            psag_cache = PSAGCache()
+        self.psag_cache = psag_cache
 
     def execute_block(
         self,

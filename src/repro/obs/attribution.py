@@ -205,6 +205,57 @@ class AbortAttribution:
         )
 
     # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Machine-readable export of the full attribution.
+
+        The shape is what
+        :meth:`repro.scheduling.profile.ConflictProfileStore.observe_json`
+        consumes, so a dumped artifact can seed a fresh validator's lane
+        planner offline (``repro profile --attribution-json``).
+        """
+        from ..scheduling.profile import key_to_json
+
+        return {
+            "abort_count": self.abort_count,
+            "aborts": [
+                {
+                    "ts": record.ts,
+                    "reader": record.reader,
+                    "writer": record.writer,
+                    "key": key_to_json(record.key)
+                    if record.key is not None else None,
+                    "attempt": record.attempt,
+                }
+                for record in self.aborts
+            ],
+            "contention": [
+                {
+                    "key": key_to_json(stats.key),
+                    "aborts": stats.aborts,
+                    "waits": stats.wait_count,
+                    "wait_time": stats.wait_time,
+                    "early_reads": stats.early_reads,
+                    "merges": stats.merges,
+                    "writers": sorted(stats.writers),
+                    "readers": sorted(stats.readers),
+                }
+                for stats in sorted(
+                    self.contention.values(),
+                    key=lambda s: (s.score, str(s.key)), reverse=True,
+                )
+            ],
+            "savings": {
+                "resumes": self.resumes,
+                "revalidation_hits": self.revalidation_hits,
+                "instructions_skipped": self.instructions_skipped,
+                "checkpoints_taken": self.checkpoints_taken,
+            },
+        }
+
+    # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
 

@@ -46,6 +46,8 @@ from ..chain.txpool import Packer, PoolStats, TransactionPool
 from ..core.types import Address, StateKey
 from ..evm.environment import BlockContext
 from ..executors.base import BlockExecution, Executor
+from ..scheduling.planner import LanePlanner
+from ..scheduling.schedule import BlockSidecar, Schedule
 from ..state.statedb import StateDB
 from .view import PendingView
 
@@ -112,6 +114,8 @@ class PipelineReport:
     executions: int = 0
     deterministic_failures: int = 0
     total_gas: int = 0
+    planner_repairs: int = 0       # C-SAGs re-refined against lane overlays
+    planner_reorders: int = 0      # blocks whose planned order moved txs
 
     @property
     def blocks_per_sec(self) -> float:
@@ -138,6 +142,11 @@ class PipelineReport:
             f"{self.deterministic_failures} deterministic revert(s)",
             "  stage      blocks   items      busy      mean       max   occupancy",
         ]
+        if self.planner_repairs or self.planner_reorders:
+            lines.insert(-1, (
+                f"  planner: {self.planner_repairs} prediction repair(s), "
+                f"{self.planner_reorders} reordered block(s)"
+            ))
         for name in STAGES:
             stage = self.stages.get(name)
             if stage is None:
@@ -183,6 +192,8 @@ class PipelineReport:
                 "executions": self.executions,
                 "deterministic_failures": self.deterministic_failures,
                 "total_gas": self.total_gas,
+                "planner_repairs": self.planner_repairs,
+                "planner_reorders": self.planner_reorders,
             },
             "stages": {
                 name: stage.as_dict(self.elapsed)
@@ -227,6 +238,8 @@ class PipelinedValidator:
         max_inflight: int = 2,
         ingest_rate: int = 0,
         obs=None,
+        planner: Optional[LanePlanner] = None,
+        emit_schedules: bool = False,
     ) -> None:
         if max_inflight < 0:
             raise ValueError("max_inflight must be >= 0")
@@ -248,9 +261,13 @@ class PipelinedValidator:
         self.obs = obs
         if self.pool.obs is None:
             self.pool.obs = obs
+        self.planner = planner
+        self.emit_schedules = emit_schedules
         self.address = Address.derive(f"validator:{name}")
         self.chain: List[BlockHeader] = []
         self.blocks: List[Block] = []
+        # Schedule artifacts sealed alongside produced blocks, by number.
+        self.sidecars: Dict[int, BlockSidecar] = {}
         self.execute_log: List[ExecuteRecord] = []
         self.stages: Dict[str, StageStats] = {
             name: StageStats(name) for name in STAGES
@@ -392,7 +409,12 @@ class PipelinedValidator:
     def _analyse(self) -> int:
         start = time.perf_counter()
         base = self.db.latest  # newest sealed snapshot (thread-safe read)
-        built = self.pool.analyse(self._builder(), base)
+        stale = None
+        if self.planner is not None:
+            # Learned hot keys: force re-analysis of pooled predictions that
+            # read contention-prone state, so they track the newest seal.
+            stale = {entry.key for entry in self.planner.profiles.hot_keys()}
+        built = self.pool.analyse(self._builder(), base, stale_keys=stale)
         latency = time.perf_counter() - start
         self.stages["analyse"].record(latency, built)
         self._emit_stage("analyse", latency, built)
@@ -422,20 +444,39 @@ class PipelinedValidator:
             p.csag if p.csag is not None else builder.build(p.tx, view)
             for p in pooled
         ]
+        report = self._report
+        if self.planner is not None and len(txs) > 1:
+            plan = self.planner.plan(txs, csags, view, builder)
+            # In-place so the caller's list (travels into the sealed block
+            # and the on_block hook) sees the planned order too.
+            txs[:] = plan.apply(txs)
+            csags = plan.apply(csags)
+            report.planner_repairs += plan.repairs
+            report.planner_reorders += int(plan.moved)
         kwargs = {}
         if self.executor.name.startswith(("dag", "dmvcc")):
             kwargs["csags"] = csags
-        execution = self.executor.execute_block(
-            txs,
-            view,
-            self.db.codes.code_of,
-            threads=self.threads,
-            block=BlockContext(number=height, timestamp=height),
-            **kwargs,
-        )
+        from ..chain.validator import _abort_capture, _trace_capture
+        with _trace_capture(self.executor, enabled=self.emit_schedules) as capture:
+            with _abort_capture(self.executor,
+                                enabled=self.planner is not None) as aborts:
+                execution = self.executor.execute_block(
+                    txs,
+                    view,
+                    self.db.codes.code_of,
+                    threads=self.threads,
+                    block=BlockContext(number=height, timestamp=height),
+                    **kwargs,
+                )
+        if self.emit_schedules:
+            execution.schedule = Schedule.from_trace(
+                capture.trace(), len(txs), block_number=height,
+                producer=self.executor.name,
+            )
+        if self.planner is not None:
+            self.planner.observe(aborts.attribution(), height)
         end = time.perf_counter()
         metrics = execution.metrics
-        report = self._report
         report.aborts += metrics.aborts
         report.executions += metrics.executions
         report.deterministic_failures += metrics.deterministic_failures
@@ -507,6 +548,9 @@ class PipelinedValidator:
         with self._lock:
             self.chain.append(block.header)
             self.blocks.append(block)
+            if job.execution.schedule is not None:
+                self.sidecars[block.number] = BlockSidecar(
+                    block.header.block_hash, job.execution.schedule)
             self._pending.pop(job.height, None)
         self._commit_intervals.append((start, end))
         self.stages["seal"].record(seal_latency, len(job.execution.writes))

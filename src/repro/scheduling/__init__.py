@@ -1,4 +1,5 @@
-"""DMVCC concurrency-control primitives: access sequences, locks, queues."""
+"""DMVCC concurrency-control primitives, conflict-aware lane planning,
+and the deterministic fork-join schedule artifact."""
 
 from .access_sequence import (
     SNAPSHOT_VERSION,
@@ -8,14 +9,25 @@ from .access_sequence import (
     ReadResolution,
 )
 from .locks import LockState, LockTable, ReadyQueue
+from .planner import LanePlan, LanePlanner
+from .profile import ConflictProfileStore, ContractHeat, KeyHeat
+from .schedule import BlockSidecar, Schedule, ScheduleEntry
 
 __all__ = [
     "AccessEntry",
     "AccessSequence",
     "AccessSequenceSet",
+    "BlockSidecar",
+    "ConflictProfileStore",
+    "ContractHeat",
+    "KeyHeat",
+    "LanePlan",
+    "LanePlanner",
     "LockState",
     "LockTable",
     "ReadResolution",
     "ReadyQueue",
     "SNAPSHOT_VERSION",
+    "Schedule",
+    "ScheduleEntry",
 ]

@@ -1,0 +1,193 @@
+"""Learned per-key conflict profiles (EWMA-decayed contention history).
+
+The obs subsystem attributes every abort to a (reader, writer, key) triple
+and every version-wait to the key that blocked it.  This module folds that
+per-block :class:`~repro.obs.attribution.AbortAttribution` into a store of
+per-key *heat* values that decay exponentially across blocks — a learned
+refinement of the static P-SAG: keys the analysis thinks are cold but the
+execution keeps fighting over surface here, and the lane planner treats
+them as contested even when no in-block write is predicted.
+
+The store consumes the same machine-readable artifact
+(:meth:`AbortAttribution.to_json`) the CLI exports, so an offline profile
+dump can seed a fresh validator's scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.types import Address, StateKey
+
+# One abort is worth this many version-waits when scoring heat: an abort
+# costs a re-execution, a wait merely delays a thread.
+ABORT_WEIGHT = 4.0
+WAIT_WEIGHT = 1.0
+
+
+def key_to_json(key: StateKey) -> dict:
+    return {"address": str(key.address), "slot": key.slot}
+
+
+def key_from_json(payload: dict) -> StateKey:
+    return StateKey(Address.from_hex(payload["address"]), payload["slot"])
+
+
+@dataclass
+class KeyHeat:
+    """Decayed contention state of one key."""
+
+    key: StateKey
+    heat: float = 0.0
+    aborts: int = 0          # lifetime totals (undecayed, for reporting)
+    waits: int = 0
+    last_block: int = -1
+
+    def as_json(self) -> dict:
+        return {
+            "key": key_to_json(self.key),
+            "heat": self.heat,
+            "aborts": self.aborts,
+            "waits": self.waits,
+            "last_block": self.last_block,
+        }
+
+
+@dataclass
+class ContractHeat:
+    """Aggregate heat of one contract (all its keys folded together)."""
+
+    address: Address
+    heat: float = 0.0
+    aborts: int = 0
+
+
+class ConflictProfileStore:
+    """Per-key and per-contract contention history, EWMA-decayed.
+
+    ``decay`` is the per-block survival factor: after each observed block,
+    every key's heat is multiplied by ``decay`` before the block's fresh
+    contention is added.  ``floor`` drops keys whose heat decayed below it
+    (bounds the store on long streams).
+    """
+
+    def __init__(self, decay: float = 0.7, floor: float = 0.05,
+                 hot_threshold: float = 1.0) -> None:
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1): {decay}")
+        self.decay = decay
+        self.floor = floor
+        self.hot_threshold = hot_threshold
+        self.keys: Dict[StateKey, KeyHeat] = {}
+        self.blocks_observed = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def _decay_all(self) -> None:
+        dead: List[StateKey] = []
+        for key, entry in self.keys.items():
+            entry.heat *= self.decay
+            if entry.heat < self.floor:
+                dead.append(key)
+        for key in dead:
+            del self.keys[key]
+
+    def _bump(self, key: StateKey, aborts: int, waits: int,
+              block_number: int) -> None:
+        entry = self.keys.get(key)
+        if entry is None:
+            entry = KeyHeat(key=key)
+            self.keys[key] = entry
+        entry.heat += ABORT_WEIGHT * aborts + WAIT_WEIGHT * waits
+        entry.aborts += aborts
+        entry.waits += waits
+        entry.last_block = block_number
+
+    def observe_block(self, attribution, block_number: int = -1) -> None:
+        """Fold one block's :class:`AbortAttribution` into the store."""
+        self._decay_all()
+        self.blocks_observed += 1
+        for key, stats in attribution.contention.items():
+            if stats.aborts or stats.wait_count:
+                self._bump(key, stats.aborts, stats.wait_count, block_number)
+
+    def observe_json(self, payload: dict, block_number: int = -1) -> None:
+        """Fold an exported ``AbortAttribution.to_json()`` artifact."""
+        self._decay_all()
+        self.blocks_observed += 1
+        for entry in payload.get("contention", ()):
+            aborts = int(entry.get("aborts", 0))
+            waits = int(entry.get("waits", 0))
+            if aborts or waits:
+                self._bump(key_from_json(entry["key"]), aborts, waits,
+                           block_number)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def heat(self, key: StateKey) -> float:
+        entry = self.keys.get(key)
+        return entry.heat if entry is not None else 0.0
+
+    def is_hot(self, key: StateKey) -> bool:
+        return self.heat(key) >= self.hot_threshold
+
+    def hot_keys(self, top: Optional[int] = None) -> List[KeyHeat]:
+        """Keys at or above the hot threshold, hottest first."""
+        ranked = sorted(
+            (e for e in self.keys.values() if e.heat >= self.hot_threshold),
+            key=lambda e: (-e.heat, str(e.key)),
+        )
+        return ranked if top is None else ranked[:top]
+
+    def contract_heat(self) -> List[ContractHeat]:
+        """Per-contract aggregate, hottest first."""
+        folded: Dict[Address, ContractHeat] = {}
+        for entry in self.keys.values():
+            agg = folded.get(entry.key.address)
+            if agg is None:
+                agg = ContractHeat(address=entry.key.address)
+                folded[entry.key.address] = agg
+            agg.heat += entry.heat
+            agg.aborts += entry.aborts
+        return sorted(folded.values(), key=lambda c: (-c.heat, str(c.address)))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "decay": self.decay,
+            "floor": self.floor,
+            "hot_threshold": self.hot_threshold,
+            "blocks_observed": self.blocks_observed,
+            "keys": [e.as_json() for e in sorted(
+                self.keys.values(), key=lambda e: (-e.heat, str(e.key)))],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ConflictProfileStore":
+        store = cls(
+            decay=payload.get("decay", 0.7),
+            floor=payload.get("floor", 0.05),
+            hot_threshold=payload.get("hot_threshold", 1.0),
+        )
+        store.blocks_observed = payload.get("blocks_observed", 0)
+        for entry in payload.get("keys", ()):
+            key = key_from_json(entry["key"])
+            store.keys[key] = KeyHeat(
+                key=key,
+                heat=float(entry.get("heat", 0.0)),
+                aborts=int(entry.get("aborts", 0)),
+                waits=int(entry.get("waits", 0)),
+                last_block=int(entry.get("last_block", -1)),
+            )
+        return store

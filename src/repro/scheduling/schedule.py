@@ -1,0 +1,251 @@
+"""The deterministic fork-join schedule artifact (miner → validator).
+
+After speculatively executing a block, the miner's realized happens-before
+order — which writer's version every committed read observed, and the
+per-key writer chains — is compacted into a :class:`Schedule`: one entry
+per transaction carrying its *gating predecessors* plus the key sets its
+committed attempt touched.  A validator replays the block straight from
+the artifact with conflict discovery disabled: no access-sequence
+speculation, no validation, no aborts — each transaction starts only once
+its predecessors committed, so every read resolves to exactly the version
+the miner's execution observed (Dickerson & Herlihy's and Anjana et al.'s
+miner-produces/validator-replays pattern; see PAPERS.md).
+
+Edge construction uses the per-key transitive reduction: the committed
+writers of each key form a chain (each gated on the previous), and every
+other toucher of the key gates on the *last* writer below its own index.
+Gating a reader on that single writer is sufficient — the chain supplies
+the earlier writers transitively — and keeps the artifact linear in the
+number of accesses rather than quadratic.
+
+The artifact is deterministic: it is a pure function of the committed
+execution, which PR 8 guarantees is byte-identical across the sim,
+threads, and processes substrates — so all three emit the same
+``Schedule`` (covered by ``tests/scheduling/test_schedule_replay.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.hashing import keccak
+from ..core.types import StateKey
+from .profile import key_from_json, key_to_json
+
+SCHEDULE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One transaction's slot in the fork-join plan.
+
+    ``preds`` are the block indices that must *commit* before this
+    transaction may start; ``reads``/``writes`` are the committed
+    attempt's realized key sets (the replay coordinator ships exactly
+    these keys in the dispatch view, so real backends replay with zero
+    view misses).
+    """
+
+    index: int
+    preds: Tuple[int, ...]
+    reads: Tuple[StateKey, ...]
+    writes: Tuple[StateKey, ...]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A block's deterministic fork-join execution plan."""
+
+    entries: Tuple[ScheduleEntry, ...]
+    block_number: int = 0
+    producer: str = ""           # scheduler name that discovered the order
+
+    @property
+    def tx_count(self) -> int:
+        return len(self.entries)
+
+    def preds(self) -> List[Tuple[int, ...]]:
+        return [e.preds for e in self.entries]
+
+    def depth(self) -> int:
+        """Length of the longest dependency chain (the fork-join critical
+        path in transactions)."""
+        depth: List[int] = []
+        for entry in self.entries:
+            depth.append(1 + max((depth[p] for p in entry.preds), default=0))
+        return max(depth, default=0)
+
+    def lanes(self) -> List[List[int]]:
+        """Topological levels: transactions in the same lane share no
+        (transitive) dependency and may run concurrently."""
+        level: List[int] = []
+        for entry in self.entries:
+            level.append(1 + max((level[p] for p in entry.preds), default=-1))
+        lanes: List[List[int]] = [[] for _ in range(max(level, default=-1) + 1)]
+        for index, lv in enumerate(level):
+            lanes[lv].append(index)
+        return lanes
+
+    # ------------------------------------------------------------------
+    # Construction from a recorded execution
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace, tx_count: int, block_number: int = 0,
+                   producer: str = "") -> "Schedule":
+        """Compact a :class:`~repro.verify.trace.TraceRecorder` stream into
+        the fork-join artifact.
+
+        Only each transaction's *final* attempt matters (earlier attempts
+        were undone by aborts); failed transactions publish nothing but
+        still gate on their read dependencies — they must observe the same
+        versions to deterministically fail again on replay.
+        """
+        from ..verify.trace import (
+            CompleteEvent,
+            PublishEvent,
+            ReadEvent,
+            RetractEvent,
+            WriteEvent,
+        )
+
+        finals = trace.final_attempts()
+        success: Dict[int, bool] = {}
+        reads: List[Set[StateKey]] = [set() for _ in range(tx_count)]
+        writes: List[Set[StateKey]] = [set() for _ in range(tx_count)]
+        # Writes made visible to the shared store, net of retractions —
+        # the real-substrate coordinators record publishes (not buffered
+        # WriteEvents), so the surviving publish set is the committed
+        # write set on those paths.
+        published: List[Set[StateKey]] = [set() for _ in range(tx_count)]
+        for event in trace.events:
+            if isinstance(event, ReadEvent):
+                if event.attempt == finals.get(event.tx, 1):
+                    reads[event.tx].add(event.key)
+            elif isinstance(event, WriteEvent):
+                if event.attempt == finals.get(event.tx, 1):
+                    writes[event.tx].add(event.key)
+            elif isinstance(event, PublishEvent):
+                published[event.tx].add(event.key)
+            elif isinstance(event, RetractEvent):
+                published[event.tx].discard(event.key)
+            elif isinstance(event, CompleteEvent):
+                # The last CompleteEvent per tx describes the committed
+                # outcome; keep overwriting in stream order.
+                success[event.tx] = event.success
+
+        for index in range(tx_count):
+            writes[index] |= published[index]
+        committed: List[Set[StateKey]] = [
+            writes[i] if success.get(i, True) else set()
+            for i in range(tx_count)
+        ]
+        writers_of: Dict[StateKey, List[int]] = {}
+        for index in range(tx_count):
+            for key in committed[index]:
+                writers_of.setdefault(key, []).append(index)
+        for chain in writers_of.values():
+            chain.sort()
+
+        def last_writer_below(key: StateKey, index: int) -> int:
+            best = -1
+            for writer in writers_of.get(key, ()):
+                if writer >= index:
+                    break
+                best = writer
+            return best
+
+        entries: List[ScheduleEntry] = []
+        for index in range(tx_count):
+            preds: Set[int] = set()
+            for key in reads[index] | writes[index]:
+                writer = last_writer_below(key, index)
+                if writer >= 0:
+                    preds.add(writer)
+            entries.append(ScheduleEntry(
+                index=index,
+                preds=tuple(sorted(preds)),
+                reads=tuple(sorted(reads[index] | writes[index],
+                                   key=lambda k: (str(k.address), k.slot))),
+                writes=tuple(sorted(committed[index],
+                                    key=lambda k: (str(k.address), k.slot))),
+            ))
+        return cls(entries=tuple(entries), block_number=block_number,
+                   producer=producer)
+
+    # ------------------------------------------------------------------
+    # Serialization / identity
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "version": SCHEDULE_VERSION,
+            "block_number": self.block_number,
+            "producer": self.producer,
+            "tx_count": self.tx_count,
+            "depth": self.depth(),
+            "entries": [
+                {
+                    "index": e.index,
+                    "preds": list(e.preds),
+                    "reads": [key_to_json(k) for k in e.reads],
+                    "writes": [key_to_json(k) for k in e.writes],
+                }
+                for e in self.entries
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Schedule":
+        entries = tuple(
+            ScheduleEntry(
+                index=e["index"],
+                preds=tuple(e["preds"]),
+                reads=tuple(key_from_json(k) for k in e["reads"]),
+                writes=tuple(key_from_json(k) for k in e["writes"]),
+            )
+            for e in payload["entries"]
+        )
+        return cls(entries=entries,
+                   block_number=payload.get("block_number", 0),
+                   producer=payload.get("producer", ""))
+
+    def digest(self) -> bytes:
+        """Content identity of the artifact (canonical-JSON keccak)."""
+        canonical = json.dumps(self.to_json(), sort_keys=True,
+                               separators=(",", ":"))
+        return keccak(canonical.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class BlockSidecar:
+    """The schedule artifact sealed next to a block (not in its header —
+    the schedule is advisory for validators, never consensus-critical:
+    replaying it must produce the header's ``state_root`` or the block is
+    rejected exactly as a fresh execution mismatch would be)."""
+
+    block_hash: bytes
+    schedule: Schedule
+
+    def digest(self) -> bytes:
+        return keccak(self.block_hash + self.schedule.digest())
+
+    def to_json(self) -> dict:
+        return {
+            "block_hash": self.block_hash.hex(),
+            "digest": self.digest().hex(),
+            "schedule": self.schedule.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "BlockSidecar":
+        sidecar = cls(
+            block_hash=bytes.fromhex(payload["block_hash"]),
+            schedule=Schedule.from_json(payload["schedule"]),
+        )
+        want = payload.get("digest")
+        if want is not None and sidecar.digest().hex() != want:
+            raise ValueError("block sidecar digest mismatch")
+        return sidecar

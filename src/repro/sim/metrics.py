@@ -100,6 +100,8 @@ class BlockMetrics:
     wall_time: float = 0.0            # wall seconds executing the block
     view_misses: int = 0              # reads outside a shipped view (re-dispatches)
     worker_crashes: int = 0           # workers lost and respawned mid-block
+    replayed: bool = False            # executed from a sealed Schedule artifact
+    seeded_views: int = 0             # dispatch views pre-seeded from static analysis
     # Incremental re-execution totals (sums of the per_tx counters):
     replayed_instructions: int = 0
     instructions_skipped: int = 0

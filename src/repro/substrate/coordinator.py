@@ -723,6 +723,24 @@ def run_occ_real(executor, pool, txs, snapshot, code_resolver,
         _balance_keys(tx) | dispatcher.extra_keys[i]
         for i, tx in enumerate(txs)
     ]
+    # Seed first-dispatch views from the static P-SAG key resolution
+    # (cheap: symbolic evaluation, no pre-execution).  OCC carries no
+    # C-SAGs by design, but shipping the *predicted* key set up front
+    # collapses the view-miss → re-dispatch discovery loop that otherwise
+    # costs one worker round-trip per missing key cluster.
+    seeded = 0
+    if getattr(executor, "seed_views", False):
+        from ..analysis.csag import _static_key_sets
+        psag_cache = executor.psag_cache
+        for i, tx in enumerate(txs):
+            code = code_resolver(tx.to)
+            if not code:
+                continue
+            reads, writes = _static_key_sets(
+                tx, snapshot, psag_cache.get(code), block)
+            fresh = (reads | writes) - known[i]
+            seeded += len(fresh)
+            known[i] |= fresh
     results: List[Optional[object]] = [None] * count
     observed: List[Dict[StateKey, Tuple[int, int]]] = [{} for _ in range(count)]
     write_sets: List[Dict[StateKey, int]] = [{} for _ in range(count)]
@@ -876,6 +894,7 @@ def run_occ_real(executor, pool, txs, snapshot, code_resolver,
             final[key] = versions[max(versions)]
     metrics = executor._base_metrics(lanes, receipts)
     metrics.per_tx = per_tx
+    metrics.seeded_views = seeded
     _stamp(metrics, pool, dispatcher, wall)
     return BlockExecution(writes=final, receipts=receipts, metrics=metrics)
 
@@ -1035,6 +1054,156 @@ def run_dag_real(executor, pool, txs, snapshot, code_resolver,
         writes[key] = max(entries, key=lambda e: e[0])[1]
     metrics = executor._base_metrics(lanes, final_receipts)
     metrics.per_tx = per_tx
+    _stamp(metrics, pool, dispatcher, wall)
+    return BlockExecution(writes=writes, receipts=final_receipts,
+                          metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
+# Schedule replay: fork-join gating from a sealed artifact
+# ---------------------------------------------------------------------------
+
+
+def run_replay_real(executor, pool, txs, snapshot, code_resolver,
+                    block, schedule, threads: int = 0) -> BlockExecution:
+    """Deterministic schedule replay over real workers.
+
+    The sealed :class:`~repro.scheduling.schedule.Schedule` supplies both
+    the gating predecessors *and* each transaction's realized key set, so
+    the dispatch view ships exactly the keys the committed execution
+    touched — conflict discovery, validation, and view-miss learning are
+    all structurally idle (``view_misses`` stays 0 on a faithful replay;
+    the NeedKeys path remains as a backstop and would merely re-dispatch,
+    never diverge).  Worker crashes re-dispatch the lost transactions with
+    identical views, so results are byte-identical even mid-kill."""
+    t0 = perf_counter()
+    lanes = max(1, threads) if threads else pool.size
+    block = block if block is not None else BlockContext()
+    count = len(txs)
+    recorder = executor.recorder
+    obs = executor.obs
+    deps = [set(e.preds) for e in schedule.entries]
+    dependents: List[List[int]] = [[] for _ in txs]
+    remaining = [len(d) for d in deps]
+    for j, dset in enumerate(deps):
+        for i in dset:
+            dependents[i].append(j)
+
+    dispatcher = _Dispatcher(pool, code_resolver)
+    dispatcher.size_for(count)
+    versions: Dict[StateKey, List[Tuple[int, int]]] = {}
+    receipts: List[Optional[Receipt]] = [None] * count
+    per_tx = [TxMetrics(index=i) for i in range(count)]
+
+    def resolve(key: StateKey, index: int) -> Tuple[int, int]:
+        best: Optional[Tuple[int, int]] = None
+        for writer, value in versions.get(key, ()):
+            if writer < index and (best is None or writer > best[0]):
+                best = (writer, value)
+        if best is not None:
+            return best[1], best[0]
+        return snapshot.get(key), -1
+
+    if obs is not None:
+        obs.block_start(0.0, scheduler=executor.name, threads=lanes,
+                        tx_count=count)
+
+    def dispatch(index: int) -> None:
+        keys = (set(schedule.entries[index].reads)
+                | _balance_keys(txs[index])
+                | dispatcher.extra_keys[index])
+        view = {key: resolve(key, index)[0] for key in keys}
+        if obs is not None:
+            obs.tx_start(perf_counter() - t0, index,
+                         thread=dispatcher.worker_for(index))
+        dispatcher.dispatch(txs[index], index, 1, view, block,
+                            commutative=False)
+
+    outstanding = 0
+    ready: List[int] = []
+
+    def pump() -> None:
+        nonlocal outstanding
+        while ready and outstanding < lanes:
+            dispatch(heapq.heappop(ready))
+            outstanding += 1
+
+    for index in range(count):
+        if remaining[index] == 0:
+            if obs is not None:
+                obs.tx_ready(0.0, index)
+            heapq.heappush(ready, index)
+    pump()
+
+    while outstanding:
+        for event in pool.collect():
+            if event.kind == "error":
+                _raise_worker_error(event)
+            if event.kind == "crash":
+                dispatcher.on_crash(event)
+                if obs is not None:
+                    obs.worker_crashed(perf_counter() - t0,
+                                       worker=event.worker,
+                                       lost=len(event.lost))
+                for task in event.lost:
+                    if task.ticket == dispatcher.tickets[task.index]:
+                        dispatch(task.index)
+                continue
+            outcome = event.outcome
+            if dispatcher.is_stale(outcome):
+                continue
+            index = outcome.index
+            if not outcome.ok:
+                dispatcher.learn(outcome, txs[index].to)
+                dispatch(index)
+                continue
+            result = outcome.result
+            now = perf_counter() - t0
+            if recorder is not None:
+                for key, base, kind in outcome.reads:
+                    recorder.read(index, key, resolve(key, index)[1], base,
+                                  blind=kind != 0)
+                for key, value in outcome.writes_abs:
+                    recorder.write(index, key, value=value)
+            if result.success:
+                for key, value in outcome.writes_abs:
+                    versions.setdefault(key, []).append((index, value))
+                    if recorder is not None:
+                        recorder.publish(index, key, "abs", value)
+            if recorder is not None:
+                recorder.complete(index, success=result.success,
+                                  gas_used=result.gas_used)
+            receipts[index] = Receipt(index=index, result=result)
+            per_tx[index].end_time = now
+            per_tx[index].gas_used = result.gas_used
+            per_tx[index].succeeded = result.success
+            if obs is not None:
+                obs.tx_end(now, index, success=result.success,
+                           gas_used=result.gas_used)
+            outstanding -= 1
+            for dep in dependents[index]:
+                remaining[dep] -= 1
+                if remaining[dep] == 0:
+                    if obs is not None:
+                        obs.tx_ready(perf_counter() - t0, dep)
+                    heapq.heappush(ready, dep)
+            pump()
+
+    final_receipts = [r for r in receipts if r is not None]
+    if len(final_receipts) != count:
+        missing = [i for i, r in enumerate(receipts) if r is None]
+        raise RuntimeError(f"schedule replay deadlocked; unfinished: {missing}")
+
+    wall = perf_counter() - t0
+    if obs is not None:
+        obs.block_end(wall, makespan=0.0)
+
+    writes: Dict[StateKey, int] = {}
+    for key, entries in versions.items():
+        writes[key] = max(entries, key=lambda e: e[0])[1]
+    metrics = executor._base_metrics(lanes, final_receipts)
+    metrics.per_tx = per_tx
+    metrics.replayed = True
     _stamp(metrics, pool, dispatcher, wall)
     return BlockExecution(writes=writes, receipts=final_receipts,
                           metrics=metrics)

@@ -273,6 +273,68 @@ class TestFeeOrderedPacking:
             Packer(order="price")
 
 
+class TestFeePackingUnderLanePlanning:
+    """Regression line for the Packer(order="fee") × LanePlanner
+    interaction: lane planning may interleave lanes, but it must keep fee
+    order stable *within* a lane and never reorder one sender's nonces —
+    a fee-packed draft that goes through the planner still seals a
+    nonce-valid block."""
+
+    @staticmethod
+    def _planned(pool, max_txs=16):
+        from repro.analysis.csag import CSAG, PredictedAccess
+        from repro.core import StateKey
+        from repro.scheduling import LanePlanner
+
+        packer = Packer(max_txs=max_txs, order="fee")
+        pooled = packer.pack(pool)
+        txs = [p.tx for p in pooled]
+        # Synthetic C-SAGs: every tx writes its sender's value-keyed slot,
+        # and same-value txs contend on a shared slot — enough structure
+        # to force real lanes without running the EVM.
+        csags = [
+            CSAG(accesses=[
+                PredictedAccess("write", StateKey(BOB, p.tx.value % 3), 0, 1),
+            ])
+            for p in pooled
+        ]
+        plan = LanePlanner().plan(txs, csags)
+        return txs, plan
+
+    def test_sender_nonces_monotone_in_planned_order(self):
+        pool = TransactionPool(nonce_tracking=True)
+        # Interleaved fees so fee packing shuffles senders aggressively.
+        for nonce in range(4):
+            pool.add(tx(sender=ALICE, nonce=nonce, fee=10 - nonce, value=nonce))
+            pool.add(tx(sender=CAROL, nonce=nonce, fee=nonce, value=nonce + 1))
+        txs, plan = self._planned(pool)
+        planned = [txs[i] for i in plan.order]
+        for sender in (ALICE, CAROL):
+            nonces = [t.nonce for t in planned if t.sender == sender]
+            assert nonces == sorted(nonces), (
+                f"planner broke {sender} nonce order: {nonces}")
+
+    def test_fee_order_stable_within_each_lane(self):
+        pool = TransactionPool()
+        for i, fee in enumerate([9, 3, 7, 1, 8, 2]):
+            pool.add(tx(sender=Address.derive(f"fee-sender-{i}"),
+                        fee=fee, value=i))
+        txs, plan = self._planned(pool)
+        # Packed order is fee-descending; within a lane the planner must
+        # preserve packed (= fee) order.
+        for lane in plan.lanes:
+            fees = [txs[i].fee for i in lane]
+            assert fees == sorted(fees, reverse=True), (
+                f"lane reordered fees: {fees}")
+
+    def test_planned_order_is_permutation_of_packed(self):
+        pool = TransactionPool(nonce_tracking=True)
+        for nonce in range(5):
+            pool.add(tx(sender=ALICE, nonce=nonce, fee=nonce, value=nonce))
+        txs, plan = self._planned(pool)
+        assert sorted(plan.order) == list(range(len(txs)))
+
+
 class TestTransactionFee:
     def test_fee_participates_in_hash(self):
         a = tx(fee=1)

@@ -1,0 +1,142 @@
+"""ConflictProfileStore: EWMA decay, hot-key promotion, persistence."""
+
+import pytest
+
+from repro.core import Address, StateKey
+from repro.obs.attribution import AbortAttribution
+from repro.obs.events import EventBus
+from repro.scheduling import ConflictProfileStore
+from repro.scheduling.profile import (
+    ABORT_WEIGHT,
+    WAIT_WEIGHT,
+    key_from_json,
+    key_to_json,
+)
+
+CONTRACT = Address.derive("profiled")
+K1 = StateKey(CONTRACT, 1)
+K2 = StateKey(CONTRACT, 2)
+
+
+def attribution_with(aborts=0, waits=0, key=K1):
+    """A real AbortAttribution built from a synthetic event stream."""
+    bus = EventBus()
+    for i in range(aborts):
+        bus.tx_abort(float(i), i + 1, attempt=1, key=key, writer=0)
+    for i in range(waits):
+        bus.version_wait_begin(float(i), i + 1, keys=(key,), blockers=(0,))
+        bus.version_wait_end(float(i) + 1.0, i + 1)
+    return AbortAttribution.from_events(bus.events)
+
+
+class TestKeyJson:
+    def test_round_trip(self):
+        assert key_from_json(key_to_json(K1)) == K1
+
+    def test_shape(self):
+        payload = key_to_json(K2)
+        assert set(payload) == {"address", "slot"}
+
+
+class TestHeatAccumulation:
+    def test_abort_heat(self):
+        store = ConflictProfileStore()
+        store.observe_block(attribution_with(aborts=2), block_number=1)
+        assert store.heat(K1) == pytest.approx(2 * ABORT_WEIGHT)
+
+    def test_wait_heat(self):
+        store = ConflictProfileStore()
+        store.observe_block(attribution_with(waits=3), block_number=1)
+        assert store.heat(K1) == pytest.approx(3 * WAIT_WEIGHT)
+
+    def test_aborts_outweigh_waits(self):
+        store = ConflictProfileStore()
+        store.observe_block(attribution_with(aborts=1, waits=1))
+        assert store.heat(K1) > 2 * WAIT_WEIGHT
+
+    def test_unseen_key_is_cold(self):
+        store = ConflictProfileStore()
+        store.observe_block(attribution_with(aborts=5, key=K1))
+        assert store.heat(K2) == 0.0
+        assert not store.is_hot(K2)
+
+
+class TestDecay:
+    def test_heat_decays_across_blocks(self):
+        store = ConflictProfileStore(decay=0.5)
+        store.observe_block(attribution_with(aborts=2), block_number=1)
+        hot = store.heat(K1)
+        store.observe_block(AbortAttribution(), block_number=2)
+        assert store.heat(K1) == pytest.approx(hot * 0.5)
+
+    def test_floor_prunes_cold_keys(self):
+        store = ConflictProfileStore(decay=0.1, floor=0.5)
+        store.observe_block(attribution_with(aborts=1), block_number=1)
+        for n in range(2, 8):
+            store.observe_block(AbortAttribution(), block_number=n)
+        assert K1 not in store.keys
+        assert store.heat(K1) == 0.0
+
+    def test_fresh_contention_resets_the_clock(self):
+        store = ConflictProfileStore(decay=0.5)
+        store.observe_block(attribution_with(aborts=1), block_number=1)
+        store.observe_block(attribution_with(aborts=1), block_number=2)
+        # decayed old heat + fresh heat > fresh heat alone
+        assert store.heat(K1) > ABORT_WEIGHT
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValueError):
+            ConflictProfileStore(decay=1.0)
+
+
+class TestHotKeys:
+    def test_threshold(self):
+        store = ConflictProfileStore(hot_threshold=ABORT_WEIGHT + 1)
+        store.observe_block(attribution_with(aborts=1, key=K1))
+        assert not store.is_hot(K1)
+        store.observe_block(attribution_with(aborts=2, key=K1))
+        assert store.is_hot(K1)
+
+    def test_ranking_hottest_first(self):
+        store = ConflictProfileStore()
+        store.observe_block(attribution_with(aborts=1, key=K1))
+        store.observe_block(attribution_with(aborts=5, key=K2))
+        ranked = store.hot_keys()
+        assert [e.key for e in ranked][0] == K2
+
+    def test_contract_heat_folds_keys(self):
+        store = ConflictProfileStore()
+        store.observe_block(attribution_with(aborts=1, key=K1))
+        store.observe_block(attribution_with(aborts=1, key=K2))
+        contracts = store.contract_heat()
+        assert len(contracts) == 1
+        assert contracts[0].address == CONTRACT
+        assert contracts[0].aborts == 2
+
+
+class TestPersistence:
+    def test_store_json_round_trip(self):
+        store = ConflictProfileStore(decay=0.6, floor=0.1, hot_threshold=2.0)
+        store.observe_block(attribution_with(aborts=3, waits=2), block_number=7)
+        clone = ConflictProfileStore.from_json(store.to_json())
+        assert clone.decay == store.decay
+        assert clone.heat(K1) == pytest.approx(store.heat(K1))
+        assert clone.keys[K1].last_block == 7
+
+    def test_observe_json_consumes_attribution_export(self):
+        attribution = attribution_with(aborts=2, waits=1)
+        direct = ConflictProfileStore()
+        direct.observe_block(attribution, block_number=3)
+        via_json = ConflictProfileStore()
+        via_json.observe_json(attribution.to_json(), block_number=3)
+        assert via_json.heat(K1) == pytest.approx(direct.heat(K1))
+        assert via_json.keys[K1].aborts == direct.keys[K1].aborts
+
+    def test_attribution_json_shape(self):
+        payload = attribution_with(aborts=1, waits=1).to_json()
+        assert payload["abort_count"] == 1
+        entry = payload["contention"][0]
+        assert key_from_json(entry["key"]) == K1
+        assert entry["aborts"] == 1
+        assert entry["waits"] == 1
+        assert "savings" in payload
