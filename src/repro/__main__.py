@@ -129,11 +129,27 @@ def cmd_verify(args) -> int:
     serializability oracle; exits non-zero on any divergence."""
     from .verify import DifferentialFuzzer
 
-    if args.fuzz <= 0 and args.crash_recovery <= 0 and not args.substrate:
+    if (args.fuzz <= 0 and args.crash_recovery <= 0 and not args.substrate
+            and args.shards <= 0):
         print("verify: need --fuzz N > 0, --crash-recovery N > 0, "
-              "and/or --substrate", file=sys.stderr)
+              "--substrate, and/or --shards N", file=sys.stderr)
         return 2
     exit_code = 0
+    if args.shards > 0:
+        from .verify.shard import run_shard_verify
+
+        shard_report = run_shard_verify(
+            shards=args.shards,
+            scenarios=[s.strip() for s in args.scenarios.split(",")
+                       if s.strip() and s.strip() != "all"] or None,
+            txs_per_block=args.txs_per_block,
+            seed=args.seed & 0xFFFF,
+            progress=(lambda line: print(line, file=sys.stderr))
+            if args.progress else None,
+        )
+        print(shard_report.render())
+        if not shard_report.ok:
+            exit_code = 1
     if args.substrate:
         from .verify import run_substrate_verify
 
@@ -339,6 +355,7 @@ def cmd_serve(args) -> int:
         fsync_delay=args.fsync_delay / 1e3,
         durable_dir=args.dir or None,
         workload_overrides=overrides,
+        profile_db=args.profile_db or None,
         progress=(lambda line: print(line, file=sys.stderr))
         if args.progress else None,
         progress_every=args.checkpoint_every,
@@ -442,6 +459,11 @@ def main(argv=None) -> int:
                              "the real threads and processes backends and "
                              "assert receipts/writes/roots byte-identical "
                              "to the discrete-event simulator")
+    verify.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="run the sharded-execution parity sweep with N "
+                             "shards: every scenario preset × substrate "
+                             "backend, sharded DMVCC vs the serial "
+                             "reference, plain and merge-declared")
     verify.add_argument("--substrate-workers", type=int, default=3,
                         metavar="N",
                         help="worker count for the --substrate sweep "
@@ -472,7 +494,7 @@ def main(argv=None) -> int:
                       help="scenario preset, or 'mix' to rotate over all "
                            "of them (default mix)")
     soak.add_argument("--scheduler", default="dmvcc",
-                      choices=["serial", "occ", "dag", "dmvcc"])
+                      choices=["serial", "occ", "dag", "dmvcc", "sharded"])
     soak.add_argument("--workers", type=int, default=8,
                       help="simulated threads (default 8)")
     soak.add_argument("--seed", type=int, default=2023)
@@ -505,7 +527,11 @@ def main(argv=None) -> int:
                        help="scenario preset, or 'mix' to rotate over all "
                             "of them (default mix)")
     serve.add_argument("--scheduler", default="dmvcc",
-                       choices=["serial", "occ", "dag", "dmvcc"])
+                       choices=["serial", "occ", "dag", "dmvcc", "sharded"])
+    serve.add_argument("--profile-db", default="", metavar="PATH",
+                       help="persist the lane planner's learned conflict "
+                            "profiles here (loaded on start when present, "
+                            "saved on drain — restart continuity)")
     serve.add_argument("--workers", type=int, default=8,
                        help="simulated threads (default 8)")
     serve.add_argument("--seed", type=int, default=2023)

@@ -22,7 +22,9 @@ from ..sim.metrics import BlockMetrics
 # Bump when the shape of emitted result JSON changes incompatibly.
 # v2: repro_meta gained host provenance (python, cpu_count, backend) so
 # wall-clock numbers from the execution substrates can be interpreted.
-RESULTS_SCHEMA_VERSION = 2
+# v3: repro_meta gained sharding provenance (shards, merge_ops) so a
+# sharded or merge-declared result can never be mistaken for a plain run.
+RESULTS_SCHEMA_VERSION = 3
 
 
 def _git_commit() -> str:
@@ -58,7 +60,9 @@ def _git_commit() -> str:
     return "unknown"
 
 
-def stamp_results(document: dict, backend: Optional[str] = None) -> dict:
+def stamp_results(document: dict, backend: Optional[str] = None,
+                  shards: int = 0,
+                  merge_ops: Optional[Sequence[str]] = None) -> dict:
     """Attach the provenance block to a result document, in place.
 
     Used both by :func:`save_results_json` and by the pytest-benchmark
@@ -70,7 +74,9 @@ def stamp_results(document: dict, backend: Optional[str] = None) -> dict:
     version, the machine's CPU count, and the execution ``backend`` the run
     used (explicit argument, else ``REPRO_SUBSTRATE``, else "sim") — a
     "processes beats threads" result means nothing if the archive doesn't
-    say the box had one core.
+    say the box had one core.  Sharded runs additionally record the shard
+    count and the declared merge-operation kinds (sorted, deduplicated):
+    ``shards=0`` / ``merge_ops=[]`` is the unsharded, undeclared baseline.
     """
     if backend is None:
         backend = os.environ.get("REPRO_SUBSTRATE", "").strip() or "sim"
@@ -81,15 +87,20 @@ def stamp_results(document: dict, backend: Optional[str] = None) -> dict:
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count() or 1,
         "backend": backend,
+        "shards": max(0, int(shards)),
+        "merge_ops": sorted(set(merge_ops)) if merge_ops else [],
     }
     return document
 
 
 def save_results_json(path: str, payload: dict,
-                      backend: Optional[str] = None) -> dict:
+                      backend: Optional[str] = None,
+                      shards: int = 0,
+                      merge_ops: Optional[Sequence[str]] = None) -> dict:
     """Write ``payload`` to ``path`` as stamped, indented JSON; returns the
     stamped document."""
-    document = stamp_results(dict(payload), backend=backend)
+    document = stamp_results(dict(payload), backend=backend, shards=shards,
+                             merge_ops=merge_ops)
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, default=str)
     return document

@@ -35,6 +35,7 @@ from ..core.types import Address
 from ..evm.environment import BlockContext
 from ..executors.base import BlockExecution, Executor
 from ..scheduling.planner import LanePlan, LanePlanner
+from ..scheduling.profile import ConflictProfileStore
 from ..scheduling.schedule import BlockSidecar, Schedule
 from ..state.statedb import StateDB
 from .block import GENESIS_PARENT, Block, BlockHeader, make_block, validate_block_shape
@@ -73,6 +74,7 @@ class Validator:
         reanalyse_missing: bool = True,
         planner: Optional[LanePlanner] = None,
         emit_schedules: bool = False,
+        profile_path: Optional[str] = None,
     ) -> None:
         self.name = name
         self.db = statedb
@@ -84,6 +86,16 @@ class Validator:
         self.reanalyse_missing = reanalyse_missing
         self.planner = planner
         self.emit_schedules = emit_schedules
+        # Restart continuity for the learned conflict profiles: when a
+        # profile DB path is given and already exists, the planner resumes
+        # with the heat it had learned in the previous run instead of
+        # re-paying the warm-up aborts; save_profiles() writes it back.
+        self.profile_path = profile_path
+        if profile_path is not None and self.planner is not None:
+            try:
+                self.planner.profiles = ConflictProfileStore.load(profile_path)
+            except OSError:
+                pass  # first run: nothing persisted yet
         self.address = Address.derive(f"validator:{name}")
         self.stats = ValidatorStats()
         self.chain: List[BlockHeader] = []
@@ -149,6 +161,15 @@ class Validator:
         self.stats.proposed_blocks += 1
         self.stats.executed_txs += len(txs)
         return block, execution
+
+    def save_profiles(self) -> bool:
+        """Persist the planner's learned conflict profiles to the
+        validator's profile DB path; returns whether anything was written
+        (no-op without a planner or a configured path)."""
+        if self.profile_path is None or self.planner is None:
+            return False
+        self.planner.profiles.save(self.profile_path)
+        return True
 
     def adopt_statedb(self, statedb: StateDB) -> None:
         """Swap in a recovered StateDB and keep proposing from it.

@@ -73,6 +73,10 @@ class Executor(ABC):
         # the environment-selected default (REPRO_SUBSTRATE), which is in
         # turn None ≡ the sim backend.
         self.substrate = None
+        # Optional declared-operation merge registry
+        # (repro.state.merge.MergeRegistry).  None or empty keeps the
+        # paper's original blind-increment-only semantics.
+        self.merges = None
 
     def attach_recorder(self, recorder) -> "Executor":
         """Attach a :class:`repro.verify.trace.TraceRecorder`; chainable."""
@@ -87,6 +91,11 @@ class Executor(ABC):
     def attach_substrate(self, substrate) -> "Executor":
         """Attach a :class:`repro.substrate.Substrate`; chainable."""
         self.substrate = substrate
+        return self
+
+    def attach_merges(self, merges) -> "Executor":
+        """Attach a :class:`repro.state.merge.MergeRegistry`; chainable."""
+        self.merges = merges
         return self
 
     def _effective_substrate(self):

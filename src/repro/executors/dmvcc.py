@@ -47,6 +47,7 @@ from ..scheduling.locks import LockTable, ReadyQueue
 from ..sim.clock import EventLoop
 from ..sim.metrics import TxMetrics
 from ..sim.threadpool import ThreadPool
+from ..state.merge import MergeOp
 from ..state.statedb import Snapshot
 from .base import BlockExecution, Executor, Receipt
 from .txprogram import (
@@ -79,6 +80,15 @@ class _ReadRecord:
     the static increment-site analysis guarantees their value feeds only the
     paired ``+=`` (the driver stores the delta, not the absolute), so no
     later version change can invalidate them.
+
+    Merge-declared reads (``merge_spec`` set) sit in between: the value
+    feeds only the declared bounds guard plus the declared operation, so a
+    base drift is tolerable as long as the guard's *verdict* is unchanged.
+    ``merge_operand`` is the operand of the operation the read fed (filled
+    when the paired write arrives; None means the guard failed or never
+    ran, degrading the record to strict value equality), and ``merge_own``
+    is the transaction's own pending delta at read time, needed to rebuild
+    the observed value from a re-resolved base.
     """
 
     key: StateKey
@@ -89,6 +99,17 @@ class _ReadRecord:
     from_own_delta: bool = False
     consumed_as_delta: bool = False
     speculative: bool = False
+    merge_spec: Optional[object] = None
+    merge_operand: Optional[int] = None
+    merge_own: int = 0
+    # Read-log length when the operand was attached: operands attached by
+    # writes past a resume checkpoint are cleared on resume (the write
+    # re-executes and re-derives its delta).
+    merge_attached_at: int = 0
+    # An abort was skipped while this record had no operand yet (the
+    # transaction was still running): the paired write and the completion
+    # hook must re-validate it against the live view.
+    merge_recheck: bool = False
 
 
 @dataclass
@@ -159,6 +180,9 @@ class _TxState:
     resume_from: Optional[_ResumePlan] = None
     aborting: bool = False        # guards re-entrant abort cascades
     abort_reentered: bool = False
+    # Set by the merge attach-time recheck when a deferred guard's verdict
+    # flipped: _process aborts the transaction once the generator suspends.
+    merge_self_abort: Optional[StateKey] = None
 
     def reset_attempt(self) -> None:
         self.release_mode = False
@@ -176,6 +200,7 @@ class _TxState:
         self.checkpoint_stride = 1
         self.meter = None
         self.resume_from = None
+        self.merge_self_abort = None
 
 
 class DMVCCExecutor(Executor):
@@ -202,6 +227,9 @@ class DMVCCExecutor(Executor):
         self.checkpoint_limit = max(checkpoint_limit, 1)
         self._psag_cache = psag_cache if psag_cache is not None else PSAGCache()
         self._csag_cache = csag_cache if csag_cache is not None else CSAGCache()
+        # Side channel for the sharded executor: the last block's declared
+        # merge activity (guarded reads + intents), see _BlockRun.execute.
+        self.last_merge_activity = None
         if not enable_early_write and not enable_commutative:
             self.name = "dmvcc-wv"  # write-versioning only
         elif not enable_early_write:
@@ -256,7 +284,10 @@ class DMVCCExecutor(Executor):
         ``csags`` supplies pre-built analyses (the validator's pool path);
         when omitted they are refined here against ``snapshot``.
         """
-        pool = self._substrate_pool(threads)
+        # Declared-merge interception lives in the simulator driver; with a
+        # non-empty registry attached the real-substrate coordinator (which
+        # knows nothing about merge specs) is bypassed for correctness.
+        pool = None if self.merges else self._substrate_pool(threads)
         if pool is not None:
             from ..substrate.coordinator import run_dmvcc_real
             return run_dmvcc_real(self, pool, txs, snapshot, code_resolver,
@@ -296,6 +327,11 @@ class _BlockRun:
         self.rescues = 0
         self._dispatch_scheduled = False
         self.recorder = executor.recorder
+        # Declared-operation merge registry (None ≡ paper semantics).  The
+        # noCW ablation disables it together with blind increments.
+        merges = executor.merges if executor.enable_commutative else None
+        self.merges = merges if merges else None
+        self.merge_tolerated = 0
         # Per-contract static analysis lookups.
         self._blind_pcs: Dict[Address, FrozenSet[int]] = {}
         self._increment_map: Dict[Address, Dict[int, int]] = {}
@@ -330,6 +366,12 @@ class _BlockRun:
                 declared = self._declared(access_type)
                 self.sequences.sequence(key).insert_predicted(i, declared)
                 if declared in (AccessType.READ, AccessType.READ_WRITE):
+                    if (self.merges is not None
+                            and self.merges.lookup(key) is not None):
+                        # Merge-declared keys never gate the start: their
+                        # reads are answered from any available fold and
+                        # validated by guard outcome, not exact value.
+                        continue
                     needed.add(key)
             state = _TxState(index=i, tx=tx, csag=csag, needed_keys=needed)
             self.states.append(state)
@@ -437,7 +479,44 @@ class _BlockRun:
         metrics.resumes = sum(t.resumes for t in self.per_tx)
         metrics.revalidation_hits = sum(t.revalidation_hits for t in self.per_tx)
         metrics.wall_time = perf_counter() - wall_start
+        self.ex.last_merge_activity = self._merge_activity()
+        if self.merges is not None:
+            metrics.merge_tolerated = self.merge_tolerated
+            metrics.merge_intents = len(self.ex.last_merge_activity["intents"])
         return BlockExecution(writes=writes, receipts=receipts, metrics=metrics)
+
+    def _merge_activity(self):
+        """Side channel for the sharded executor's seal validation.
+
+        ``reads`` lists every registered read of a declared key as
+        ``(index, key, observed, own_delta, operand, outcome)`` — operand
+        and outcome are None for records demanding strict value equality —
+        and ``intents`` lists each successful transaction's net delta per
+        declared key.  The cross-shard reducer replays the global-order
+        fold through these to prove (or refute) that sharded guard verdicts
+        match the serial reference.
+        """
+        if self.merges is None:
+            return None
+        reads = []
+        intents = []
+        for s in self.states:
+            for rec in s.read_log:
+                if not rec.registered or self.merges.lookup(rec.key) is None:
+                    continue
+                observed = (rec.base + rec.merge_own) % WORD_MOD
+                if rec.merge_spec is not None and rec.merge_operand is not None:
+                    outcome = rec.merge_spec.outcome(observed, rec.merge_operand)
+                    reads.append((s.index, rec.key, observed, rec.merge_own,
+                                  rec.merge_operand, outcome))
+                else:
+                    reads.append((s.index, rec.key, observed, rec.merge_own,
+                                  None, None))
+            if s.result is not None and s.result.success:
+                for key, delta in s.w_delta.items():
+                    if self.merges.lookup(key) is not None:
+                        intents.append((s.index, key, delta))
+        return {"reads": reads, "intents": intents}
 
     # ------------------------------------------------------------------
     # Dispatch / stepping
@@ -571,12 +650,31 @@ class _BlockRun:
             state.frame_stack.pop()
         elif isinstance(event, FrameRevert):
             w_abs, w_delta, reads = state.frame_stack.pop()
+            if self.merges is not None:
+                # A revert throws away operations the merge records already
+                # absorbed operands for; those guards' verdicts no longer
+                # describe the surviving behaviour, so degrade every record
+                # of a rolled-back declared key to strict value equality.
+                for key in set(state.w_delta) | set(w_delta) | \
+                        set(state.registered_reads) | set(reads):
+                    if (state.w_delta.get(key) == w_delta.get(key)
+                            and state.registered_reads.get(key) == reads.get(key)):
+                        continue
+                    if self.merges.lookup(key) is None:
+                        continue
+                    for rec in state.read_log:
+                        if rec.key == key:
+                            rec.merge_spec = None
             state.w_abs, state.w_delta = w_abs, w_delta
             state.registered_reads = reads
         elif isinstance(event, EmittedLog):
             pass
         else:  # pragma: no cover
             raise SchedulingError(f"unexpected event {event!r}")
+        if state.merge_self_abort is not None and state.status is _Status.RUNNING:
+            key = state.merge_self_abort
+            state.merge_self_abort = None
+            self._abort(state.index, key)
         # The event handler may have aborted this very transaction through a
         # cascade; never advance a dead generator.
         if state.status is _Status.RUNNING and state.generator is not None:
@@ -620,6 +718,11 @@ class _BlockRun:
                                    attempt=state.attempts, blind=True)
             return answer
 
+        if self.merges is not None:
+            spec = self.merges.lookup(key)
+            if spec is not None and spec.op.delta_encodable:
+                return self._on_merge_read(state, event, seq, spec)
+
         # Registered read: resolve the proper version (blocking resolution
         # degraded to best-available for accesses the analysis missed).
         if seq is None:
@@ -649,6 +752,41 @@ class _BlockRun:
             writer = resolution.version_from
             if writer >= 0 and self.states[writer].status is not _Status.DONE:
                 self.obs.early_read(self.loop.now, state.index, key, writer)
+        if self.recorder is not None:
+            self._record_read(state, key, resolution, base, speculative)
+        return value
+
+    def _on_merge_read(self, state: _TxState, event: StorageRead, seq, spec) -> int:
+        """Read of a declared ADD/SUB merge key: never blocks.
+
+        The declaration promises the value feeds only the declared guard and
+        operation, so the read is answered from the best fold available right
+        now and validated later by guard *outcome* instead of exact value
+        (see _validate_reads / _merge_skip_abort).  The read is still
+        registered in the access sequence so on-the-fly version insertions
+        find it and trigger the outcome recheck.
+        """
+        key = event.key
+        if seq is None:
+            seq = self.sequences.sequence(key)
+        if self.ex.enable_checkpoint_resume:
+            self._maybe_checkpoint(state, event)
+        speculative = False
+        resolution = seq.resolve_read(state.index)
+        if not resolution.ready:
+            resolution = seq.best_available_read(state.index)
+            state.speculative_reads += 1
+            speculative = True
+        base = resolution.resolve_with_snapshot(self.snapshot.get(key))
+        own = state.w_delta.get(key, 0)
+        value = (base + own) % WORD_MOD
+        seq.record_read(state.index, resolution.version_from)
+        state.registered_reads[key] = value
+        state.read_log.append(_ReadRecord(
+            key=key, base=base, version_from=resolution.version_from,
+            registered=True, speculative=speculative,
+            merge_spec=spec, merge_own=own,
+        ))
         if self.recorder is not None:
             self._record_read(state, key, resolution, base, speculative)
         return value
@@ -717,11 +855,78 @@ class _BlockRun:
                     self.recorder.write(state.index, key, delta=delta,
                                         attempt=state.attempts)
                 return
+        if self.merges is not None and key not in state.w_abs:
+            spec = self.merges.lookup(key)
+            if (spec is not None and spec.op.delta_encodable
+                    and self._merge_write(state, key, spec, event.value)):
+                return
+        if self.merges is not None and self.merges.lookup(key) is not None:
+            # A declared key degrading to an absolute write (no preceding
+            # merge read, repeated op per read, …): its published value now
+            # depends on the exact bases read, so every merge record of the
+            # key loses outcome tolerance and reverts to strict equality.
+            for rec in state.read_log:
+                if rec.key == key:
+                    rec.merge_spec = None
         state.w_abs[key] = event.value
         state.w_delta.pop(key, None)
         if self.recorder is not None:
             self.recorder.write(state.index, key, value=event.value,
                                 attempt=state.attempts)
+
+    def _merge_write(self, state: _TxState, key: StateKey, spec, value: int) -> bool:
+        """Convert an absolute write of a declared ADD/SUB key into a delta
+        intent against the value the program believes the key holds.  Returns
+        False (caller falls back to an absolute write) when there is no
+        believed value or the last merge read already fed an operation."""
+        believed = state.registered_reads.get(key)
+        if believed is None:
+            return False
+        # The operand covers the whole guarded-op instance: every merge
+        # read of the key since the last write fed either the guard or the
+        # operation itself, and under the declaration both share the
+        # operand.  An empty group means a write without a fresh read
+        # (a second op reusing one read) — not the declared shape.
+        group: List[_ReadRecord] = []
+        for rec in reversed(state.read_log):
+            if rec.key != key or rec.merge_spec is None:
+                continue
+            if rec.merge_operand is not None:
+                break
+            group.append(rec)
+        if not group:
+            return False
+        delta = (value - believed) % WORD_MOD
+        operand = (-delta) % WORD_MOD if spec.op is MergeOp.SUB else delta
+        recheck = False
+        for rec in group:
+            rec.merge_operand = operand
+            rec.merge_attached_at = len(state.read_log)
+            recheck = recheck or rec.merge_recheck
+        state.w_delta[key] = (state.w_delta.get(key, 0) + delta) % WORD_MOD
+        state.registered_reads[key] = value
+        if recheck:
+            # An abort was deferred while the operand was unknown; now that
+            # the guard's operand exists, settle the verdict against the
+            # live view.  An unresolvable view stays flagged for the
+            # completion hook; a flipped verdict aborts once the generator
+            # suspends (_process checks merge_self_abort).
+            seq = self.sequences.get(key)
+            view = (seq.current_read_view(state.index, self.snapshot.get(key))
+                    if seq is not None else None)
+            if view is not None:
+                for rec in group:
+                    if not rec.merge_recheck:
+                        continue
+                    if view[0] == rec.base or self._merge_outcome_stable(rec, view[0]):
+                        rec.merge_recheck = False
+                    else:
+                        state.merge_self_abort = key
+                        break
+        if self.recorder is not None:
+            self.recorder.write(state.index, key, delta=delta,
+                                attempt=state.attempts)
+        return True
 
     def _on_increment(self, state: _TxState, event: StorageIncrement) -> None:
         key = event.key
@@ -824,6 +1029,8 @@ class _BlockRun:
         writer: int = -1,
     ) -> None:
         for victim in aborted:
+            if self._merge_skip_abort(victim, key):
+                continue
             self._abort(victim, key, writer=writer)
         seq = self.sequences.sequence(key)
         for index in sorted(set(allowed) | set(aborted)):
@@ -845,6 +1052,72 @@ class _BlockRun:
             else:
                 self.locks.grant(index, key)
 
+    def _merge_deferred_invalid(self, state: _TxState) -> Optional[StateKey]:
+        """Settle any merge records whose abort was deferred while their
+        operand was unknown; returns the first key that fails (outcome drift
+        with an operand, strict drift without, or a still-unresolvable
+        view) or None when the attempt may commit."""
+        for rec in state.read_log:
+            if not rec.merge_recheck:
+                continue
+            rec.merge_recheck = False
+            seq = self.sequences.get(rec.key)
+            view = (seq.current_read_view(state.index, self.snapshot.get(rec.key))
+                    if seq is not None else None)
+            if view is None:
+                return rec.key
+            if view[0] == rec.base:
+                continue
+            if not self._merge_outcome_stable(rec, view[0]):
+                return rec.key
+        return None
+
+    def _merge_skip_abort(self, victim: int, key: StateKey) -> bool:
+        """Outcome-stable abort tolerance (the merge algebra's payoff).
+
+        When a late-arriving version of a declared merge key would abort a
+        reader, re-evaluate every guard that reader ran on the key against
+        the drifted base: if all verdicts are unchanged the reader's
+        behaviour is byte-identical (the value feeds nothing else under the
+        declaration), so the abort is skipped outright — no re-execution,
+        no attempt bump.  Any unfinished earlier writer (view is None) or
+        operand-less record falls back to the normal abort path.
+        """
+        if self.merges is None:
+            return False
+        spec = self.merges.lookup(key)
+        if spec is None or not spec.op.delta_encodable:
+            return False
+        state = self.states[victim]
+        records = [r for r in state.read_log if r.key == key and r.registered]
+        if not records:
+            return False
+        seq = self.sequences.get(key)
+        if seq is None:
+            return False
+        running = state.status is _Status.RUNNING
+        view = seq.current_read_view(victim, self.snapshot.get(key))
+        deferred: List[_ReadRecord] = []
+        for rec in records:
+            if rec.merge_operand is None:
+                if running:
+                    # The paired write hasn't happened yet, so the operand
+                    # is unknown; defer the verdict check to the write's
+                    # attach hook (or the completion hook).
+                    deferred.append(rec)
+                    continue
+                return False
+            if view is None:
+                return False
+            if view[0] != rec.base and not self._merge_outcome_stable(rec, view[0]):
+                return False
+        for rec in deferred:
+            rec.merge_recheck = True
+        self.merge_tolerated += 1
+        if self.obs is not None:
+            self.obs.merge_tolerated(self.loop.now, victim, key)
+        return True
+
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
@@ -852,6 +1125,14 @@ class _BlockRun:
     def _complete(self, state: _TxState, result: TxResult) -> None:
         now = self.loop.now
         state.pending_entry = None
+        if self.merges is not None:
+            stale = self._merge_deferred_invalid(state)
+            if stale is not None:
+                # A deferred merge recheck never settled (or settled stale):
+                # this attempt must not commit.  Abort it like any other
+                # conflict; the generator is already exhausted.
+                self._abort(state.index, stale)
+                return
         self.pool.release(state.thread, now)
         state.thread = None
         state.status = _Status.DONE
@@ -1028,10 +1309,25 @@ class _BlockRun:
             if seq is None:
                 return i, versions
             view = seq.current_read_view(state.index, self.snapshot.get(rec.key))
-            if view is None or view[0] != rec.base:
+            if view is None:
+                return i, versions
+            if view[0] != rec.base and not self._merge_outcome_stable(rec, view[0]):
                 return i, versions
             versions.append(view[1])
         return None, versions
+
+    @staticmethod
+    def _merge_outcome_stable(rec: _ReadRecord, new_base: int) -> bool:
+        """Whether a merge record tolerates its base drifting to
+        ``new_base``: the declared guard must reach the same verdict on the
+        observed value it would now see.  Records without an operand (the
+        guard failed, or the op never ran) demand exact equality."""
+        if rec.merge_spec is None or rec.merge_operand is None:
+            return False
+        old_value = (rec.base + rec.merge_own) % WORD_MOD
+        new_value = (new_base + rec.merge_own) % WORD_MOD
+        return (rec.merge_spec.outcome(old_value, rec.merge_operand)
+                == rec.merge_spec.outcome(new_value, rec.merge_operand))
 
     def _rerecord_reads(
         self, state: _TxState, records: List[_ReadRecord], versions: List[int]
@@ -1145,7 +1441,7 @@ class _BlockRun:
                 else:
                     allowed, aborted = seq.version_write(state.index, delta=value)
             for victim in victims:
-                if victim != state.index:
+                if victim != state.index and not self._merge_skip_abort(victim, key):
                     self._abort(victim, key, writer=state.index)
             if kept is not None:
                 self._handle_wake_and_abort(key, allowed, aborted,
@@ -1169,6 +1465,9 @@ class _BlockRun:
                     if entry is not None:
                         entry.reset_read()
         del state.read_log[ck.read_index:]
+        for rec in state.read_log:
+            if rec.merge_operand is not None and rec.merge_attached_at > ck.read_index:
+                rec.merge_operand = None
         state.checkpoints = [c for c in state.checkpoints
                              if c.read_index <= ck.read_index]
         # Restore the driver-side attempt image; the VM side is rebuilt by
@@ -1200,5 +1499,5 @@ class _BlockRun:
                     tuple(v for v in victims if v != state.index),
                 )
             for victim in victims:
-                if victim != state.index:
+                if victim != state.index and not self._merge_skip_abort(victim, key):
                     self._abort(victim, key, writer=state.index)

@@ -208,6 +208,55 @@ class CommutativeMerge(ObsEvent):
     delta: int = 0
 
 
+@dataclass(frozen=True)
+class MergeTolerated(ObsEvent):
+    """An abort on a declared merge key was skipped because every guard the
+    reader ran on the key keeps its verdict under the drifted base (the
+    declared-operation algebra, repro.state.merge)."""
+
+    key: Optional[StateKey] = None
+
+
+# ---------------------------------------------------------------------------
+# Sharded execution (repro.shard)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardPlanned(ObsEvent):
+    """The shard classifier split a block (``tx`` is -1): ``locals_per_shard``
+    counts phase-1 transactions per shard, ``cross`` the phase-2 handoffs."""
+
+    shards: int = 0
+    locals_per_shard: Tuple[int, ...] = ()
+    cross: int = 0
+
+
+@dataclass(frozen=True)
+class HandoffCommitted(ObsEvent):
+    """A cross-shard transaction's phase-2 handoff validated against the
+    merged overlay and committed in global order."""
+
+    requeued: bool = False
+
+
+@dataclass(frozen=True)
+class HandoffRequeued(ObsEvent):
+    """A cross-shard transaction's speculative phase-1 run read values the
+    merged overlay contradicts; it was deterministically re-executed against
+    the overlay.  ``key`` is the first conflicting item."""
+
+    key: Optional[StateKey] = None
+
+
+@dataclass(frozen=True)
+class ShardFallback(ObsEvent):
+    """The sharded executor detected a footprint escape it cannot commit
+    soundly and re-ran the whole block on the unsharded reference path
+    (``tx`` is -1); ``reason`` names the violated invariant."""
+
+    reason: str = ""
+
+
 # ---------------------------------------------------------------------------
 # Incremental re-execution (checkpoint / resume / revalidate)
 # ---------------------------------------------------------------------------
@@ -482,6 +531,26 @@ class EventBus:
                           delta: int) -> None:
         self.events.append(CommutativeMerge(self._next(), ts, tx, key, delta))
 
+    def merge_tolerated(self, ts: float, tx: int, key: StateKey) -> None:
+        self.events.append(MergeTolerated(self._next(), ts, tx, key))
+
+    def shard_planned(self, ts: float, shards: int,
+                      locals_per_shard: Tuple[int, ...] = (),
+                      cross: int = 0) -> None:
+        self.events.append(ShardPlanned(
+            self._next(), ts, -1, shards, locals_per_shard, cross))
+
+    def handoff_committed(self, ts: float, tx: int,
+                          requeued: bool = False) -> None:
+        self.events.append(HandoffCommitted(self._next(), ts, tx, requeued))
+
+    def handoff_requeued(self, ts: float, tx: int,
+                         key: Optional[StateKey] = None) -> None:
+        self.events.append(HandoffRequeued(self._next(), ts, tx, key))
+
+    def shard_fallback(self, ts: float, reason: str = "") -> None:
+        self.events.append(ShardFallback(self._next(), ts, -1, reason))
+
     def checkpoint_taken(self, ts: float, tx: int, read_index: int,
                          retained: int) -> None:
         self.events.append(
@@ -584,6 +653,11 @@ class NullSink(EventBus):
     def release_point(self, *args, **kwargs) -> None: pass
     def early_read(self, *args, **kwargs) -> None: pass
     def commutative_merge(self, *args, **kwargs) -> None: pass
+    def merge_tolerated(self, *args, **kwargs) -> None: pass
+    def shard_planned(self, *args, **kwargs) -> None: pass
+    def handoff_committed(self, *args, **kwargs) -> None: pass
+    def handoff_requeued(self, *args, **kwargs) -> None: pass
+    def shard_fallback(self, *args, **kwargs) -> None: pass
     def checkpoint_taken(self, *args, **kwargs) -> None: pass
     def tx_resume(self, *args, **kwargs) -> None: pass
     def revalidation_hit(self, *args, **kwargs) -> None: pass

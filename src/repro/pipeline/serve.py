@@ -111,6 +111,14 @@ class _RecordingExecutor:
     def name(self) -> str:
         return self.inner.name
 
+    @property
+    def obs(self):
+        return self.inner.obs
+
+    @obs.setter
+    def obs(self, bus) -> None:
+        self.inner.obs = bus
+
     def execute_block(self, *args, **kwargs):
         recorder = TraceRecorder()
         previous = self.inner.recorder
@@ -143,6 +151,7 @@ def run_serve(
     fsync_delay: float = 0.0,
     durable_dir: Optional[str] = None,
     workload_overrides: Optional[Dict] = None,
+    profile_db: Optional[str] = None,
     obs=None,
     progress: Optional[Callable[[str], None]] = None,
     progress_every: int = 50,
@@ -177,6 +186,19 @@ def run_serve(
     executor = _executor_for(scheduler)
     if check:
         executor = _RecordingExecutor(executor)
+    # Learned-profile continuity across serve runs: with --profile-db the
+    # lane planner boots from the persisted heat (if any) and writes the
+    # updated store back when the stream drains.
+    planner = None
+    if profile_db:
+        from ..scheduling.planner import LanePlanner
+        from ..scheduling.profile import ConflictProfileStore
+
+        try:
+            profiles = ConflictProfileStore.load(profile_db)
+        except OSError:
+            profiles = ConflictProfileStore()
+        planner = LanePlanner(profiles=profiles)
     pool = TransactionPool(
         max_size=pool_size or txs_per_block * 6,
         min_fee=min_fee,
@@ -192,6 +214,7 @@ def run_serve(
         "serve", db, executor, threads=threads,
         pool=pool, packer=packer, max_inflight=max_inflight,
         ingest_rate=ingest_rate or txs_per_block * 2, obs=obs,
+        planner=planner,
     )
     source = WorkloadStream(workload, limit=blocks * txs_per_block)
 
@@ -261,6 +284,8 @@ def run_serve(
             check_sealed_roots()  # headers sealed after the last on_block
     finally:
         driver.close()
+        if planner is not None:
+            planner.profiles.save(profile_db)
         db.close()
         if backend == "durable" and own_dir:
             shutil.rmtree(directory, ignore_errors=True)

@@ -173,6 +173,27 @@ class ConflictProfileStore:
                 self.keys.values(), key=lambda e: (-e.heat, str(e.key)))],
         }
 
+    def save(self, path) -> None:
+        """Atomically persist the store as JSON (restart continuity: a
+        validator reloading this file resumes planning with the heat it
+        had learned, instead of re-paying the warm-up aborts)."""
+        import json
+        import os
+
+        payload = json.dumps(self.to_json(), indent=2, sort_keys=True)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path) -> "ConflictProfileStore":
+        """Inverse of :meth:`save`; raises ``OSError`` when absent."""
+        import json
+
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))
+
     @classmethod
     def from_json(cls, payload: dict) -> "ConflictProfileStore":
         store = cls(

@@ -1,0 +1,19 @@
+"""Sharded execution: hash-partitioned DMVCC with ordered cross handoff.
+
+See :mod:`repro.shard.executor` for the protocol composition and
+``docs/SHARDING.md`` for the design rationale and correctness argument.
+"""
+
+from .classifier import ShardPlan, classify_block
+from .executor import ShardedDMVCCExecutor
+from .partition import home_shard, shard_of, shard_of_key, shards_touched
+
+__all__ = [
+    "ShardPlan",
+    "ShardedDMVCCExecutor",
+    "classify_block",
+    "home_shard",
+    "shard_of",
+    "shard_of_key",
+    "shards_touched",
+]

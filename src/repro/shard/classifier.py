@@ -1,0 +1,140 @@
+"""Static shard-membership classification from P-SAG/C-SAG footprints.
+
+Shard membership is decided *up front* from the refined access graphs, the
+same artifacts DMVCC schedules from: a transaction whose predicted
+footprint lives entirely in one shard is local to it; everything else —
+multi-shard footprints, unreliable predictions, and transactions entangled
+with earlier cross-shard work — goes to the ordered phase-2 handoff.
+
+Keys covered by a declared merge operation (:mod:`repro.state.merge`) are
+*excluded* from the membership footprint: merge intents are folded at seal
+regardless of which shard logged them, so a hot declared counter (an ERC-20
+total supply, a fee sink) stops serialising otherwise-disjoint shards.
+The full footprint — declared keys included — is still used for the
+entanglement sweep, because a cross-shard transaction that *absolutely*
+writes a declared key does order against local intents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.types import StateKey
+from .partition import shard_of
+
+# Phase-2 classification reasons (kept as strings for metrics/obs labels).
+REASON_UNRELIABLE = "unreliable-prediction"
+REASON_MULTI_SHARD = "multi-shard-footprint"
+REASON_ENTANGLED = "entangled-with-cross"
+
+
+@dataclass
+class ShardPlan:
+    """Static assignment of one block's transactions to shards.
+
+    ``locals_`` maps shard id → transaction indices local to it (block
+    order preserved); ``cross`` lists phase-2 transactions in block order.
+    ``reasons`` records, for each cross transaction, why it escaped.
+    """
+
+    shards: int
+    locals_: Dict[int, List[int]] = field(default_factory=dict)
+    cross: List[int] = field(default_factory=list)
+    reasons: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def local_count(self) -> int:
+        return sum(len(v) for v in self.locals_.values())
+
+    @property
+    def cross_count(self) -> int:
+        return len(self.cross)
+
+    def local_counts(self) -> Tuple[int, ...]:
+        return tuple(len(self.locals_.get(s, [])) for s in range(self.shards))
+
+
+def _footprints(tx, csag, merges) -> "Tuple[Set[StateKey], Set[StateKey], Set[StateKey]]":
+    """(reads, writes, membership) for one transaction.
+
+    reads/writes are the *full* predicted footprints (static supersets
+    included, balance keys for value transfers added); membership drops
+    keys under a declared merge operation.
+    """
+    reads: Set[StateKey] = set()
+    writes: Set[StateKey] = set()
+    if csag is not None:
+        reads |= csag.read_keys | csag.static_read_keys
+        writes |= csag.write_keys | csag.static_write_keys
+    if tx.value > 0:
+        sender_bal = StateKey.balance(tx.sender)
+        to_bal = StateKey.balance(tx.to)
+        reads.add(sender_bal)
+        writes.add(sender_bal)
+        writes.add(to_bal)
+    membership = reads | writes
+    if merges is not None and merges:
+        membership = {k for k in membership if merges.lookup(k) is None}
+    return reads, writes, membership
+
+
+def _reliable(csag) -> bool:
+    """Whether the refined trace can be trusted for placement.
+
+    ``missing`` means no analysis ran at all; ``predicted_success`` False
+    means pre-execution reverted against the snapshot, so the realized
+    footprint under in-block state may be arbitrarily different."""
+    return csag is not None and not csag.missing and csag.predicted_success
+
+
+def _placement_shard(keys: Set[StateKey], shards: int) -> int:
+    """Deterministic home shard for a key set: the smallest key decides."""
+    if not keys:
+        return 0
+    anchor = min(keys, key=lambda k: (k.address.value, k.slot))
+    return shard_of(anchor.address, shards)
+
+
+def classify_block(
+    txs: Sequence,
+    csags: Optional[Sequence],
+    shards: int,
+    merges=None,
+) -> ShardPlan:
+    """Partition a block into per-shard local streams plus a cross list.
+
+    One forward sweep in block order.  A transaction is cross when its
+    prediction is unreliable, its membership footprint spans shards, or its
+    full footprint conflicts with the accumulated footprint of earlier
+    cross transactions (W∩(R₂∪W₂) or R∩W₂ non-empty) — the latter keeps
+    every handoff-ordered dependency inside phase 2, where global block
+    order is enforced.
+    """
+    plan = ShardPlan(shards=shards, locals_={s: [] for s in range(shards)})
+    cross_reads: Set[StateKey] = set()
+    cross_writes: Set[StateKey] = set()
+    for index, tx in enumerate(txs):
+        csag = csags[index] if csags is not None and index < len(csags) else None
+        reads, writes, membership = _footprints(tx, csag, merges)
+        reason: Optional[str] = None
+        if not _reliable(csag):
+            reason = REASON_UNRELIABLE
+        else:
+            owners = {shard_of(k.address, shards) for k in membership}
+            if len(owners) > 1:
+                reason = REASON_MULTI_SHARD
+            elif (writes & (cross_reads | cross_writes)) or (reads & cross_writes):
+                reason = REASON_ENTANGLED
+        if reason is None:
+            # Declared merge keys never *constrain* placement, but when the
+            # whole footprint is declared they still *guide* it — otherwise
+            # every all-declared transaction would pile onto shard 0.
+            placement = membership if membership else (writes | reads)
+            plan.locals_[_placement_shard(placement, shards)].append(index)
+        else:
+            plan.cross.append(index)
+            plan.reasons[index] = reason
+            cross_reads |= reads
+            cross_writes |= writes
+    return plan

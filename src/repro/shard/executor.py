@@ -1,0 +1,469 @@
+"""Sharded DMVCC: one protocol instance per shard, two-phase cross handoff.
+
+Phase 1 runs one full DMVCC instance per shard over that shard's local
+transactions against the pre-block snapshot, while cross-shard
+transactions pre-execute speculatively against the same snapshot with
+their foreign reads recorded.  Phase 2 walks the cross transactions in
+global block order: a speculation whose recorded reads still hold against
+the committed overlay is committed as-is; one that drifted is aborted and
+requeued — re-executed deterministically against the overlay — before the
+walk continues.
+
+Declared merge keys (:mod:`repro.state.merge`) never serialise shards.
+Each shard logs per-transaction *intents* (deltas) instead of absolute
+values; sealing folds every key's events — phase-1 intents plus phase-2
+absolute writes — in global index order, which is exactly the serial
+outcome: an absolute write at index ``q`` replaces the fold prefix, later
+intents add on top.
+
+Sharding is an optimisation, never a semantics change: a set of *realized*
+escape checks compares what actually happened against what static
+placement assumed, and any violation triggers a deterministic whole-block
+fallback to the unsharded reference executor.  Sealed roots and receipts
+are byte-identical to unsharded DMVCC by construction — either the checks
+pass and the composition is serial-equivalent, or the block reruns
+unsharded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.csag import CSAG, CSAGBuilder, CSAGCache
+from ..analysis.sag import PSAGCache
+from ..core.types import StateKey
+from ..core.words import WORD_MOD
+from ..evm.environment import BlockContext
+from ..executors.base import BlockExecution, Executor, Receipt
+from ..executors.dmvcc import DMVCCExecutor
+from ..executors.serial import run_tx_serially
+from ..state.statedb import Snapshot
+from ..substrate.base import get_substrate
+from ..verify.trace import ReadEvent, TraceRecorder, WriteEvent
+from .classifier import ShardPlan, classify_block
+from .parallel import run_shard_jobs
+
+# Fallback reasons (metrics/obs labels).
+FALLBACK_CROSS_RUN = "cross-run-overlap"
+FALLBACK_HANDOFF_ORDER = "handoff-order-violation"
+FALLBACK_MERGE_GUARD = "merge-guard-divergence"
+
+
+class _RecordingReader:
+    """Snapshot reader that remembers the first value observed per key."""
+
+    __slots__ = ("base", "seen")
+
+    def __init__(self, base) -> None:
+        self.base = base
+        self.seen: Dict[StateKey, int] = {}
+
+    def __call__(self, key: StateKey) -> int:
+        value = self.base(key)
+        if key not in self.seen:
+            self.seen[key] = value
+        return value
+
+
+@dataclass
+class ShardRunResult:
+    """Everything one shard's phase-1 DMVCC instance produced.
+
+    Footprints and merge activity are already re-keyed to *global* block
+    indices so the reducer never sees shard-local numbering.
+    """
+
+    shard: int
+    local_indices: List[int]
+    execution: BlockExecution
+    reads_by_tx: Dict[int, Set[StateKey]] = field(default_factory=dict)
+    writes_by_tx: Dict[int, Set[StateKey]] = field(default_factory=dict)
+    abs_written: Set[StateKey] = field(default_factory=set)
+    intents: List[Tuple[int, StateKey, int]] = field(default_factory=list)
+    merge_reads: List[Tuple] = field(default_factory=list)
+
+
+def _run_one_shard(
+    shard: int,
+    local_indices: List[int],
+    txs: List,
+    csags: List[CSAG],
+    snapshot: Snapshot,
+    code_resolver,
+    threads: int,
+    block: Optional[BlockContext],
+    merges,
+    gas_time_scale: float,
+) -> ShardRunResult:
+    """Execute one shard's local stream under a fresh DMVCC instance.
+
+    Runs with private analysis caches so concurrent shard dispatch never
+    mutates shared state, and always on the simulator path (the substrate
+    seam sits *around* shards, not inside them).
+    """
+    inner = DMVCCExecutor(
+        gas_time_scale=gas_time_scale,
+        psag_cache=PSAGCache(),
+        csag_cache=CSAGCache(),
+    )
+    inner.attach_substrate(get_substrate("sim"))
+    if merges is not None:
+        inner.attach_merges(merges)
+    recorder = TraceRecorder()
+    inner.attach_recorder(recorder)
+    execution = inner.execute_block(
+        txs, snapshot, code_resolver, threads=threads, block=block, csags=csags,
+    )
+    result = ShardRunResult(shard=shard, local_indices=local_indices,
+                            execution=execution)
+    finals = recorder.final_attempts()
+    for event in recorder.events:
+        if isinstance(event, ReadEvent):
+            if event.blind or event.attempt != finals.get(event.tx, 1):
+                continue
+            g = local_indices[event.tx]
+            result.reads_by_tx.setdefault(g, set()).add(event.key)
+        elif isinstance(event, WriteEvent):
+            if event.attempt != finals.get(event.tx, 1):
+                continue
+            g = local_indices[event.tx]
+            result.writes_by_tx.setdefault(g, set()).add(event.key)
+            if event.value is not None:
+                result.abs_written.add(event.key)
+    activity = inner.last_merge_activity
+    if activity is not None:
+        for local, key, delta in activity["intents"]:
+            result.intents.append((local_indices[local], key, delta))
+        for local, key, observed, own, operand, outcome in activity["reads"]:
+            result.merge_reads.append(
+                (local_indices[local], key, observed, own, operand, outcome))
+    return result
+
+
+class _ShardEscape(Exception):
+    """Raised when a realized escape check fails; carries the reason."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ShardedDMVCCExecutor(Executor):
+    """N-way hash-partitioned DMVCC with ordered cross-shard handoff."""
+
+    name = "dmvcc-sharded"
+
+    def __init__(
+        self,
+        shards: int = 4,
+        gas_time_scale: float = 1.0,
+        psag_cache: Optional[PSAGCache] = None,
+        csag_cache: Optional[CSAGCache] = None,
+    ) -> None:
+        super().__init__(gas_time_scale)
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        self.shards = shards
+        self._psag_cache = psag_cache if psag_cache is not None else PSAGCache()
+        self._csag_cache = csag_cache if csag_cache is not None else CSAGCache()
+        # The unsharded reference this executor must match byte-for-byte;
+        # also the deterministic fallback when an escape check fires.
+        self._reference = DMVCCExecutor(
+            gas_time_scale=gas_time_scale,
+            psag_cache=self._psag_cache,
+            csag_cache=self._csag_cache,
+        )
+        self.last_plan: Optional[ShardPlan] = None
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def execute_block(
+        self,
+        txs: List,
+        snapshot: Snapshot,
+        code_resolver,
+        threads: int = 1,
+        block: Optional[BlockContext] = None,
+        csags: Optional[List[CSAG]] = None,
+    ) -> BlockExecution:
+        wall_start = perf_counter()
+        if csags is None:
+            builder = CSAGBuilder(code_resolver, self._psag_cache,
+                                  block if block is not None else BlockContext(),
+                                  self._csag_cache)
+            csags = [builder.build(tx, snapshot) for tx in txs]
+        if self.shards <= 1 or len(txs) <= 1:
+            execution = self._run_reference(txs, snapshot, code_resolver,
+                                            threads, block, csags)
+            execution.metrics.shards = max(self.shards, 1)
+            execution.metrics.wall_time = perf_counter() - wall_start
+            return execution
+
+        plan = classify_block(txs, csags, self.shards, merges=self.merges)
+        self.last_plan = plan
+        if self.obs is not None:
+            self.obs.shard_planned(0.0, self.shards,
+                                   locals_per_shard=plan.local_counts(),
+                                   cross=plan.cross_count)
+        try:
+            execution = self._run_sharded(plan, txs, csags, snapshot,
+                                          code_resolver, threads, block)
+        except _ShardEscape as escape:
+            if self.obs is not None:
+                self.obs.shard_fallback(0.0, reason=escape.reason)
+            execution = self._run_reference(txs, snapshot, code_resolver,
+                                            threads, block, csags)
+            execution.metrics.shards = self.shards
+            execution.metrics.cross_shard_txs = plan.cross_count
+            execution.metrics.shard_fallbacks = 1
+        execution.metrics.wall_time = perf_counter() - wall_start
+        return execution
+
+    def _run_reference(self, txs, snapshot, code_resolver, threads, block,
+                       csags) -> BlockExecution:
+        """The unsharded DMVCC reference (also the fallback path)."""
+        ref = self._reference
+        ref.merges = self.merges
+        ref.obs = self.obs
+        ref.recorder = self.recorder
+        ref.substrate = get_substrate("sim")
+        return ref.execute_block(txs, snapshot, code_resolver,
+                                 threads=threads, block=block, csags=csags)
+
+    # ------------------------------------------------------------------
+    # The sharded path
+    # ------------------------------------------------------------------
+
+    def _run_sharded(
+        self,
+        plan: ShardPlan,
+        txs: List,
+        csags: List[CSAG],
+        snapshot: Snapshot,
+        code_resolver,
+        threads: int,
+        block: Optional[BlockContext],
+    ) -> BlockExecution:
+        merges = self.merges if self.merges else None
+        per_shard_threads = max(1, threads // self.shards)
+
+        # ---- Phase 1a: per-shard DMVCC instances --------------------
+        jobs = []
+        for shard in range(self.shards):
+            local = plan.locals_.get(shard, [])
+            if not local:
+                continue
+            shard_txs = [txs[i] for i in local]
+            shard_csags = [csags[i] for i in local]
+            jobs.append((lambda s=shard, li=list(local), st=shard_txs,
+                         sc=shard_csags: _run_one_shard(
+                             s, li, st, sc, snapshot, code_resolver,
+                             per_shard_threads, block, merges,
+                             self.gas_time_scale)))
+        substrate = self._effective_substrate()
+        kind = substrate.kind if substrate is not None else "sim"
+        runs: List[ShardRunResult] = run_shard_jobs(jobs, kind)
+
+        # ---- Phase 1b: speculative cross pre-execution --------------
+        spec_runs: Dict[int, Tuple] = {}
+        spec_gas = 0
+        for q in plan.cross:
+            reader = _RecordingReader(snapshot.get)
+            result, writes = run_tx_serially(txs[q], reader, code_resolver, block)
+            spec_runs[q] = (result, writes, reader.seen)
+            spec_gas += result.gas_used
+
+        # ---- Classification: declared pure-merge keys ---------------
+        # A declared key stays on the merge channel only while every
+        # shard-run write to it was a delta; one absolute write degrades it
+        # to an ordinary key (handled by the overlap checks below).
+        abs_everywhere: Set[StateKey] = set()
+        for run in runs:
+            abs_everywhere |= run.abs_written
+        pure_merge: Set[StateKey] = set()
+        if merges is not None:
+            for run in runs:
+                for _, key, _ in run.intents:
+                    if key not in abs_everywhere:
+                        spec = merges.lookup(key)
+                        if spec is not None and spec.op.delta_encodable:
+                            pure_merge.add(key)
+            for reads in (r.merge_reads for r in runs):
+                for _, key, *_ in reads:
+                    if key not in abs_everywhere:
+                        spec = merges.lookup(key)
+                        if spec is not None and spec.op.delta_encodable:
+                            pure_merge.add(key)
+
+        # ---- Escape check (a): realized cross-run overlap -----------
+        writer_runs: Dict[StateKey, Set[int]] = {}
+        reader_runs: Dict[StateKey, Set[int]] = {}
+        local_writers: Dict[StateKey, List[int]] = {}
+        local_readers: Dict[StateKey, List[int]] = {}
+        for run in runs:
+            for g, keys in run.writes_by_tx.items():
+                for key in keys:
+                    writer_runs.setdefault(key, set()).add(run.shard)
+                    local_writers.setdefault(key, []).append(g)
+            for g, keys in run.reads_by_tx.items():
+                for key in keys:
+                    reader_runs.setdefault(key, set()).add(run.shard)
+                    local_readers.setdefault(key, []).append(g)
+        for key, writers in writer_runs.items():
+            if key in pure_merge:
+                continue
+            if len(writers) > 1:
+                raise _ShardEscape(FALLBACK_CROSS_RUN)
+            if reader_runs.get(key, set()) - writers:
+                raise _ShardEscape(FALLBACK_CROSS_RUN)
+
+        # ---- Per-key event folds for declared merge keys ------------
+        events: Dict[StateKey, List[Tuple[int, str, int]]] = {}
+        for run in runs:
+            for g, key, delta in run.intents:
+                if key in pure_merge:
+                    events.setdefault(key, []).append((g, "delta", delta))
+
+        def prefix_fold(key: StateKey, upto: int) -> int:
+            value = snapshot.get(key)
+            for idx, fold_kind, payload in sorted(events.get(key, [])):
+                if idx >= upto:
+                    break
+                if fold_kind == "abs":
+                    value = payload % WORD_MOD
+                else:
+                    value = (value + payload) % WORD_MOD
+            return value
+
+        # ---- Phase 1 layer: shard-final values, merge keys excluded -
+        phase1_layer: Dict[StateKey, int] = {}
+        for run in runs:
+            for key, value in run.execution.writes.items():
+                if key not in pure_merge:
+                    phase1_layer[key] = value
+
+        # ---- Phase 2: ordered handoff commit ------------------------
+        phase2_writes: Dict[StateKey, int] = {}
+        cross_receipts: Dict[int, Receipt] = {}
+        cross_footprints: Dict[int, Tuple[Set[StateKey], Set[StateKey]]] = {}
+        requeues = 0
+        tail_gas = 0
+        clock = max((r.execution.metrics.makespan for r in runs), default=0.0)
+        clock = max(clock, spec_gas * self.gas_time_scale)
+
+        def overlay_read_at(q: int):
+            def read(key: StateKey) -> int:
+                if key in pure_merge:
+                    return prefix_fold(key, q)
+                if key in phase2_writes:
+                    return phase2_writes[key]
+                if key in phase1_layer:
+                    return phase1_layer[key]
+                return snapshot.get(key)
+            return read
+
+        for q in plan.cross:
+            result, writes, seen = spec_runs[q]
+            reader_at_q = overlay_read_at(q)
+            valid = all(reader_at_q(key) == value for key, value in seen.items())
+            attempts = 1
+            if not valid:
+                # Deterministic abort-and-requeue: rerun against the
+                # committed overlay; its reads are trivially consistent.
+                requeues += 1
+                attempts = 2
+                rerun_reader = _RecordingReader(reader_at_q)
+                result, writes = run_tx_serially(txs[q], rerun_reader,
+                                                 code_resolver, block)
+                seen = rerun_reader.seen
+                tail_gas += result.gas_used
+                if self.obs is not None:
+                    mismatch = next((k for k in seen), None)
+                    self.obs.handoff_requeued(clock, q, key=mismatch)
+            for key, value in writes.items():
+                if key in pure_merge:
+                    events.setdefault(key, []).append((q, "abs", value))
+                else:
+                    phase2_writes[key] = value
+            cross_receipts[q] = Receipt(index=q, result=result, attempts=attempts)
+            cross_footprints[q] = (set(seen), set(writes))
+            if self.obs is not None:
+                self.obs.handoff_committed(clock, q, requeued=attempts > 1)
+
+        # ---- Escape check (b): handoff order vs later locals --------
+        # A cross transaction at q must not have read or written (for
+        # non-merge keys) anything a local transaction at p > q realized a
+        # conflicting access on — serial order says the local effect comes
+        # after.  Static classification prevents this up front; realized
+        # divergence from the prediction is what lands here.
+        for q in plan.cross:
+            cross_reads, cross_writes = cross_footprints[q]
+            for key in cross_writes:
+                if key in pure_merge:
+                    continue
+                if any(p > q for p in local_writers.get(key, ())):
+                    raise _ShardEscape(FALLBACK_HANDOFF_ORDER)
+                if any(p > q for p in local_readers.get(key, ())):
+                    raise _ShardEscape(FALLBACK_HANDOFF_ORDER)
+            for key in cross_reads:
+                if key in pure_merge:
+                    continue
+                if any(p > q for p in local_writers.get(key, ())):
+                    raise _ShardEscape(FALLBACK_HANDOFF_ORDER)
+
+        # ---- Escape check (c): guarded-read seal validation ---------
+        # Every registered read of a declared merge key must reach the
+        # same verdict against the *global* fold prefix as it did inside
+        # its shard; an operand-less (strict) record demands exact value
+        # equality instead.
+        if merges is not None:
+            for run in runs:
+                for g, key, observed, own, operand, outcome in run.merge_reads:
+                    if key not in pure_merge:
+                        continue
+                    base = prefix_fold(key, g)
+                    if operand is not None:
+                        spec = merges.lookup(key)
+                        if spec.outcome((base + own) % WORD_MOD,
+                                        operand) != outcome:
+                            raise _ShardEscape(FALLBACK_MERGE_GUARD)
+                    elif (base + own) % WORD_MOD != observed:
+                        raise _ShardEscape(FALLBACK_MERGE_GUARD)
+
+        # ---- Seal: compose the block write set ----------------------
+        final_writes: Dict[StateKey, int] = dict(phase1_layer)
+        final_writes.update(phase2_writes)
+        for key in sorted(events, key=lambda k: (k.address.value, k.slot)):
+            final_writes[key] = prefix_fold(key, len(txs))
+
+        receipts: List[Receipt] = []
+        for run in runs:
+            for receipt in run.execution.receipts:
+                receipts.append(Receipt(index=run.local_indices[receipt.index],
+                                        result=receipt.result,
+                                        attempts=receipt.attempts))
+        receipts.extend(cross_receipts.values())
+        receipts.sort(key=lambda r: r.index)
+
+        metrics = self._base_metrics(threads=threads, receipts=receipts)
+        metrics.makespan = clock + tail_gas * self.gas_time_scale
+        metrics.shards = self.shards
+        metrics.cross_shard_txs = plan.cross_count
+        metrics.handoff_requeues = requeues
+        for run in runs:
+            inner = run.execution.metrics
+            metrics.merge_intents += inner.merge_intents
+            metrics.merge_tolerated += inner.merge_tolerated
+            metrics.resumes += inner.resumes
+            metrics.revalidation_hits += inner.revalidation_hits
+            metrics.replayed_instructions += inner.replayed_instructions
+            metrics.instructions_skipped += inner.instructions_skipped
+        if metrics.makespan > 0:
+            metrics.utilisation = min(
+                1.0, metrics.serial_time / (metrics.makespan * threads))
+        return BlockExecution(writes=final_writes, receipts=receipts,
+                              metrics=metrics)

@@ -1,0 +1,106 @@
+"""Shard-job dispatch across substrate backends.
+
+A shard job is a zero-argument callable returning a picklable result
+(:class:`repro.shard.executor.ShardRunResult`).  Dispatch is coarse —
+one worker per shard, the whole phase-1 run shipped at once — which is the
+granularity where process parallelism actually pays: per-transaction task
+shipping is what :mod:`repro.substrate.coordinator` does *inside* a
+protocol instance; here the protocol instances themselves are the tasks.
+
+* ``sim`` (or no substrate): jobs run sequentially in-process; parallelism
+  is accounted in simulated gas time by the caller.
+* ``threads``: jobs run on real threads (GIL-bound, but I/O and native
+  hashing overlap).
+* ``processes``: jobs run in forked children, one per shard, inheriting
+  the snapshot and code resolver through fork-copied memory and piping the
+  picklable result back.  Any failure — no fork on the platform, a child
+  crash, an unpicklable result — degrades that job (or the whole batch) to
+  in-process execution: dispatch is an optimisation, never a correctness
+  dependency.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+# Seconds to wait for one forked shard before giving up and re-running the
+# job in-process.  Shard runs are CPU-bound and bounded by block gas, so a
+# stuck child means the fork itself went wrong, not the workload.
+FORK_TIMEOUT = 300.0
+
+# Fork-inherited job table: set immediately before forking, read by the
+# children through copy-on-write memory (the jobs close over unpicklable
+# objects — snapshots, code resolvers — that never cross a pipe).
+_FORK_JOBS: Optional[Sequence[Callable]] = None
+
+
+def _child_main(index: int, conn) -> None:  # pragma: no cover - child process
+    try:
+        result = _FORK_JOBS[index]()
+        conn.send(("ok", result))
+    except BaseException as exc:
+        try:
+            conn.send(("err", repr(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _run_forked(jobs: Sequence[Callable]) -> List:
+    global _FORK_JOBS
+    ctx = multiprocessing.get_context("fork")  # raises where fork is absent
+    _FORK_JOBS = jobs
+    children = []
+    try:
+        for index in range(len(jobs)):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_child_main, args=(index, child_conn))
+            proc.start()
+            child_conn.close()
+            children.append((proc, parent_conn))
+        results: List = []
+        for index, (proc, conn) in enumerate(children):
+            payload = None
+            if conn.poll(FORK_TIMEOUT):
+                try:
+                    payload = conn.recv()
+                except EOFError:
+                    payload = None
+            if payload is not None and payload[0] == "ok":
+                results.append(payload[1])
+            else:
+                # Child died, timed out, or errored: redo locally.
+                results.append(jobs[index]())
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck child
+                proc.terminate()
+                proc.join(timeout=5.0)
+        return results
+    finally:
+        _FORK_JOBS = None
+        for proc, conn in children:
+            conn.close()
+            if proc.is_alive():  # pragma: no cover - cleanup path
+                proc.terminate()
+
+
+def run_shard_jobs(jobs: Sequence[Callable], kind: str) -> List:
+    """Run every job and return their results in job order."""
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if len(jobs) == 1 or kind == "sim":
+        return [job() for job in jobs]
+    if kind == "processes":
+        try:
+            return _run_forked(jobs)
+        except (ValueError, OSError):
+            return [job() for job in jobs]
+    if kind == "threads":
+        with ThreadPoolExecutor(max_workers=len(jobs)) as pool:
+            futures = [pool.submit(job) for job in jobs]
+            return [future.result() for future in futures]
+    return [job() for job in jobs]

@@ -1,0 +1,50 @@
+"""Hash partitioning of accounts and storage across execution shards.
+
+A state key belongs to the shard of its *address* — keccak of the account
+bytes modulo the shard count, the SeirChain ``SvmExecutor`` idiom — so a
+contract's whole storage lives in one shard and a transaction that touches
+a single contract (plus same-shard balances) is shard-local.  Partitioning
+by address rather than by key keeps footprint classification cheap (one
+hash per account, cached) and matches how deployments pin contracts to
+shards in practice.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Optional, Set
+
+from ..core.hashing import keccak
+from ..core.types import Address, StateKey
+
+
+@lru_cache(maxsize=65536)
+def _address_digest(address: Address) -> int:
+    return int.from_bytes(keccak(address.to_bytes())[-8:], "big")
+
+
+def shard_of(address: Address, shards: int) -> int:
+    """The shard owning ``address`` (and every storage slot under it)."""
+    if shards <= 1:
+        return 0
+    return _address_digest(address) % shards
+
+
+def shard_of_key(key: StateKey, shards: int) -> int:
+    return shard_of(key.address, shards)
+
+
+def home_shard(keys: Iterable[StateKey], shards: int) -> Optional[int]:
+    """The single shard owning every key, or None when they span shards."""
+    home: Optional[int] = None
+    for key in keys:
+        s = shard_of(key.address, shards)
+        if home is None:
+            home = s
+        elif s != home:
+            return None
+    return home
+
+
+def shards_touched(keys: Iterable[StateKey], shards: int) -> Set[int]:
+    return {shard_of(key.address, shards) for key in keys}

@@ -196,12 +196,14 @@ class SoakReport:
 
 def _executor_for(scheduler: str):
     from .executors import DAGExecutor, DMVCCExecutor, OCCExecutor
+    from .shard import ShardedDMVCCExecutor
 
     factories = {
         "serial": SerialExecutor,
         "occ": OCCExecutor,
         "dag": DAGExecutor,
         "dmvcc": DMVCCExecutor,
+        "sharded": ShardedDMVCCExecutor,
     }
     try:
         return factories[scheduler]()

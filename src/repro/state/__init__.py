@@ -1,7 +1,8 @@
-"""Accounts, snapshots, and the per-block StateDB."""
+"""Accounts, snapshots, the per-block StateDB, and the merge algebra."""
 
 from .account import AccountSummary, CodeRegistry, ContractMeta
 from .journal import OverlayReader, WriteJournal
+from .merge import MergeOp, MergeRegistry, MergeSpec
 from .statedb import CommitReport, Snapshot, StateDB
 
 __all__ = [
@@ -9,6 +10,9 @@ __all__ = [
     "CodeRegistry",
     "CommitReport",
     "ContractMeta",
+    "MergeOp",
+    "MergeRegistry",
+    "MergeSpec",
     "OverlayReader",
     "Snapshot",
     "StateDB",

@@ -1,0 +1,156 @@
+"""Differential parity sweep for sharded execution (``repro verify --shards``).
+
+For every scenario preset × substrate backend, the sharded executor's
+receipts, write sets, and sealed roots must be byte-identical to the
+unsharded serial reference — both with an empty merge registry and with
+the workload's declared-operation registry attached.  Sharding (like the
+substrate seam) is an optimisation the consensus outputs must never see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..executors.serial import SerialExecutor
+from ..substrate import SUBSTRATE_KINDS, get_substrate
+from ..workload import Workload
+from ..workload.scenarios import SCENARIO_NAMES, scenario_config
+from .substrate import PARITY_WORKLOAD, receipt_digest
+
+SHARD_BACKENDS = SUBSTRATE_KINDS  # sim included: it is the default seam
+
+
+@dataclass
+class ShardCase:
+    """One (scenario, backend, merge-mode) sharded run vs the serial twin."""
+
+    scenario: str
+    backend: str
+    merges: bool
+    shards: int
+    ok: bool = True
+    mismatches: List[str] = field(default_factory=list)
+    cross_shard_txs: int = 0
+    handoff_requeues: int = 0
+    shard_fallbacks: int = 0
+
+    @property
+    def label(self) -> str:
+        mode = "declared" if self.merges else "plain"
+        return f"{self.scenario}/{self.backend}/{mode}"
+
+
+@dataclass
+class ShardReport:
+    """Everything one ``verify --shards`` sweep concluded."""
+
+    shards: int = 0
+    txs_per_block: int = 0
+    cases: List[ShardCase] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    @property
+    def failures(self) -> List[ShardCase]:
+        return [case for case in self.cases if not case.ok]
+
+    def render(self) -> str:
+        lines = [
+            f"shard parity: {len(self.cases)} case(s), "
+            f"{self.shards} shard(s), {self.txs_per_block} txs/block"
+        ]
+        for case in self.cases:
+            status = "OK " if case.ok else "FAIL"
+            lines.append(
+                f"  [{status}] {case.scenario:18s} {case.backend:10s} "
+                f"{'declared' if case.merges else 'plain':8s} "
+                f"cross={case.cross_shard_txs:<3d} "
+                f"requeues={case.handoff_requeues:<3d} "
+                f"fallbacks={case.shard_fallbacks}"
+            )
+            for mismatch in case.mismatches:
+                lines.append(f"         ! {mismatch}")
+        verdict = "OK" if self.ok else f"{len(self.failures)} case(s) DIVERGED"
+        lines.append(f"shard parity: {verdict}")
+        return "\n".join(lines)
+
+
+def _compare(case: ShardCase, workload, base, other) -> None:
+    base_digest = receipt_digest(base)
+    other_digest = receipt_digest(other)
+    if base_digest != other_digest:
+        bad = [i for i, (a, b) in enumerate(zip(base_digest, other_digest))
+               if a != b]
+        case.mismatches.append(
+            f"receipts diverge at indices {bad[:8]}"
+            + ("…" if len(bad) > 8 else ""))
+    if base.writes != other.writes:
+        keys = {k for k in set(base.writes) | set(other.writes)
+                if base.writes.get(k) != other.writes.get(k)}
+        case.mismatches.append(f"write sets diverge on {len(keys)} key(s)")
+    base_root = workload.db.fork().commit(base.writes).root_hash
+    other_root = workload.db.fork().commit(other.writes).root_hash
+    if base_root != other_root:
+        case.mismatches.append(
+            f"sealed roots diverge: {base_root.hex()[:16]} != "
+            f"{other_root.hex()[:16]}")
+    case.ok = not case.mismatches
+
+
+def run_shard_verify(
+    shards: int = 4,
+    scenarios: Optional[Sequence[str]] = None,
+    backends: Sequence[str] = SHARD_BACKENDS,
+    txs_per_block: int = 48,
+    threads: int = 8,
+    workers: int = 2,
+    seed: int = 7,
+    workload_overrides: Optional[dict] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ShardReport:
+    """Sweep scenario × backend × merge-mode; every sharded run must
+    reproduce the serial baseline's receipts, writes, and sealed root."""
+    from ..shard.executor import ShardedDMVCCExecutor
+
+    scenario_names = tuple(scenarios) if scenarios else SCENARIO_NAMES
+    overrides = dict(PARITY_WORKLOAD)
+    overrides.update(workload_overrides or {})
+    overrides.setdefault("shard_count", shards)
+
+    report = ShardReport(shards=shards, txs_per_block=txs_per_block)
+    substrates = {kind: get_substrate(kind, workers=workers)
+                  for kind in backends}
+    try:
+        for scenario in scenario_names:
+            workload = Workload(
+                scenario_config(scenario, seed=seed, **overrides))
+            txs = workload.transactions(txs_per_block)
+            snapshot = workload.db.latest
+            resolver = workload.db.codes.code_of
+            base = SerialExecutor().execute_block(txs, snapshot, resolver)
+            registry = workload.declared_merges()
+            for kind in backends:
+                for merges in (False, True):
+                    case = ShardCase(scenario=scenario, backend=kind,
+                                     merges=merges, shards=shards)
+                    executor = ShardedDMVCCExecutor(shards=shards)
+                    executor.attach_substrate(substrates[kind])
+                    if merges:
+                        executor.attach_merges(registry)
+                    execution = executor.execute_block(
+                        txs, snapshot, resolver, threads=threads)
+                    case.cross_shard_txs = execution.metrics.cross_shard_txs
+                    case.handoff_requeues = execution.metrics.handoff_requeues
+                    case.shard_fallbacks = execution.metrics.shard_fallbacks
+                    _compare(case, workload, base, execution)
+                    report.cases.append(case)
+                    if progress is not None:
+                        progress(f"shard: {case.label} "
+                                 + ("ok" if case.ok else "DIVERGED"))
+    finally:
+        for substrate in substrates.values():
+            substrate.close()
+    return report

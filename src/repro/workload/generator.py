@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..chain.transaction import Transaction
-from ..core.types import Address
+from ..core.types import Address, StateKey
 from ..executors.serial import SerialExecutor
 from ..lang.compiler import CompiledContract, compile_source
 from ..state.statedb import StateDB
@@ -74,6 +74,10 @@ class WorkloadConfig:
     # probability and from the base mix otherwise.
     scenario: str = ""
     scenario_fraction: float = 0.8
+    # Cross-shard storm (repro.shard): the shard count the storm assumes
+    # and the fraction of its traffic that deliberately spans shards.
+    shard_count: int = 4
+    cross_shard_ratio: float = 0.15
     reentrancy_depth: int = 6        # max nested self-call depth
     airdrop_amount: int = 50         # tokens per successful claim
     composition_legs: int = 3        # pools chained per routed DeFi tx
@@ -269,6 +273,37 @@ class Workload:
                 obs.workload_chunk(
                     0.0, snapshot.height, committed, len(txs), snapshot.root_hash,
                 )
+
+    def declared_merges(self):
+        """A :class:`~repro.state.merge.MergeRegistry` declaring this
+        workload's provably commutative keys.
+
+        Only ERC-20 balances and total supplies qualify: their values feed
+        nothing but the declared bounds guard (``balance >= amount``) and
+        the ``±`` arithmetic itself, which is exactly what outcome-stable
+        merge validation covers.  Everything else stays undeclared — NFT id
+        counters pick derived storage keys, AMM reserves price the opposite
+        side, ICO counters gate a cap — so declaring them would change
+        semantics (a wrong declaration, the contract author's liability).
+        """
+        from ..core.hashing import mapping_slot
+        from ..state.merge import MergeOp, MergeRegistry
+
+        registry = MergeRegistry()
+        erc20 = self.contracts.compiled["ERC20"]
+        bal_slot = erc20.slot_of("balanceOf")
+        supply_slot = erc20.slot_of("totalSupply")
+        holders = list(self.users)
+        if self.contracts.exchange is not None:
+            holders.append(self.contracts.exchange)
+        for token in self.contracts.erc20:
+            registry.declare(StateKey(token, supply_slot), MergeOp.SUB, lower=0)
+            for holder in holders:
+                registry.declare(
+                    StateKey(token, mapping_slot(holder.to_word(), bal_slot)),
+                    MergeOp.SUB, lower=0,
+                )
+        return registry
 
     # ------------------------------------------------------------------
     # Transaction stream

@@ -29,6 +29,12 @@ corpus:
   and ``UpdateB(x, y)`` pairs on the paper's Fig. 1 contract so nearly
   every pre-executed C-SAG is invalidated by the transaction right before
   it — deliberately maximizing aborts.
+* **cross_shard_storm** — shardable base traffic (single-token ERC-20
+  transfers spread uniformly over many tokens) laced with a controlled
+  fraction of deliberately cross-shard transactions: Ether transfers
+  between accounts hashed to different shards and routed swaps through
+  pools on different shards.  Exercises the two-phase handoff of
+  :mod:`repro.shard` at a tunable cross rate.
 
 The contracts the scenarios need beyond the base mix are one Minisol
 source (``Airdrop``, :mod:`.contracts`), the paper's ``Example`` contract,
@@ -53,6 +59,7 @@ SCENARIO_NAMES = (
     "defi_composition",
     "reentrancy",
     "abort_storm",
+    "cross_shard_storm",
 )
 
 # Deep hub inventory in every pool, so bundles never fail on balance.
@@ -383,6 +390,46 @@ class ScenarioPack:
             label="reentrancy:storm",
         )
 
+    def _tx_cross_shard_storm(self) -> Transaction:
+        """Mostly shard-local ERC-20 transfers, salted with deliberate
+        cross-shard traffic at the configured ``cross_shard_ratio``."""
+        from ..shard.partition import shard_of
+
+        w = self.w
+        rng = w.rng
+        cfg = w.config
+        shards = max(2, cfg.shard_count)
+        if rng.random() < cfg.cross_shard_ratio:
+            if rng.random() < 0.6 or len(w.contracts.pools) < 2:
+                # Ether transfer across the partition boundary: sender and
+                # recipient balances live in different shards.
+                sender = w._user()
+                recipient = w._recipient(sender)
+                for _ in range(16):
+                    if shard_of(recipient, shards) != shard_of(sender, shards):
+                        break
+                    recipient = w._recipient(sender)
+                return Transaction(
+                    sender, recipient, rng.randint(1, 10**9),
+                    label="storm:cross_ether",
+                )
+            # Routed swap through two pools hashed to different shards.
+            pools = self._pick_pools(2)
+            for _ in range(16):
+                if shard_of(pools[0], shards) != shard_of(pools[1], shards):
+                    break
+                pools = self._pick_pools(2)
+            data = self._route_data(pools, rng.randint(2, 400))
+            return Transaction(w._user(), self.router, 0, data,
+                               label="storm:cross_route")
+        # Shard-local: a transfer inside one uniformly chosen token.
+        erc20 = w.contracts.compiled["ERC20"]
+        sender = w._user()
+        token = rng.choice(w.contracts.erc20)
+        data = erc20.encode_call(
+            "transfer", w._recipient(sender), rng.randint(1, 1_000))
+        return Transaction(sender, token, 0, data, label="storm:local")
+
     def _tx_abort_storm(self) -> Transaction:
         """Deliberately ordered conflicting pairs: ``setA(x, v)`` flips the
         branch class of ``A[x]``, and the ``UpdateB(x, y)`` queued right
@@ -471,6 +518,21 @@ def abort_storm_config(**overrides):
     return WorkloadConfig(**defaults)
 
 
+def cross_shard_storm_config(**overrides):
+    """Shardable traffic with a controlled cross-shard fraction."""
+    from .generator import WorkloadConfig
+
+    defaults = dict(
+        scenario="cross_shard_storm",
+        scenario_fraction=0.95,
+        erc20_tokens=16,
+        zipf_alpha=0.0,       # uniform token choice spreads load over shards
+        hot_access_prob=0.0,
+    )
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
 def soak_mix_config(**overrides):
     """Every adversarial scenario rotating over one chain — the soak diet."""
     from .generator import WorkloadConfig
@@ -487,6 +549,7 @@ SCENARIOS = {
     "defi_composition": defi_composition_config,
     "reentrancy": reentrancy_config,
     "abort_storm": abort_storm_config,
+    "cross_shard_storm": cross_shard_storm_config,
     "mix": soak_mix_config,
 }
 

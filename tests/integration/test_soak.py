@@ -71,7 +71,9 @@ class TestSoakRun:
     def test_report_json_stamped(self, soak_report):
         report, path = soak_report
         payload = json.loads(path.read_text())
-        assert payload["repro_meta"]["schema_version"] == 2
+        assert payload["repro_meta"]["schema_version"] == 3
+        assert payload["repro_meta"]["shards"] == 0
+        assert payload["repro_meta"]["merge_ops"] == []
         assert payload["repro_meta"]["cpu_count"] >= 1
         assert payload["repro_meta"]["python"]
         assert payload["ok"] is True

@@ -96,6 +96,60 @@ class TestServeModes:
             run_serve(blocks=1, backend="floppy")
 
 
+class TestProfileDB:
+    def test_profile_db_persists_and_reloads(self, tmp_path):
+        """Two serve runs against the same --profile-db: the first writes
+        the learned store, the second boots from it and keeps learning
+        (restart continuity for the lane planner)."""
+        import json as _json
+
+        from repro.scheduling import ConflictProfileStore
+
+        path = tmp_path / "profiles.json"
+        run_serve(
+            blocks=4, txs_per_block=8, scenario="abort_storm",
+            scheduler="dmvcc", threads=4, seed=23, backend="memory",
+            workload_overrides=SMALL, profile_db=str(path),
+        )
+        assert path.exists()
+        first = ConflictProfileStore.load(path)
+        assert first.blocks_observed == 4
+
+        run_serve(
+            blocks=4, txs_per_block=8, scenario="abort_storm",
+            scheduler="dmvcc", threads=4, seed=24, backend="memory",
+            workload_overrides=SMALL, profile_db=str(path),
+        )
+        second = ConflictProfileStore.load(path)
+        assert second.blocks_observed == 8  # resumed, not restarted
+        payload = _json.loads(path.read_text())
+        assert "keys" in payload
+
+    def test_profile_db_with_oracle_check(self, tmp_path):
+        """--check wraps the executor in the trace recorder; the planner's
+        abort capture must still reach the inner executor's obs slot."""
+        from repro.scheduling import ConflictProfileStore
+
+        path = tmp_path / "checked-profiles.json"
+        report = run_serve(
+            blocks=3, txs_per_block=8, scenario="abort_storm",
+            scheduler="dmvcc", threads=4, seed=29, backend="memory",
+            check=True, workload_overrides=SMALL, profile_db=str(path),
+        )
+        assert report.ok, report.render()
+        assert ConflictProfileStore.load(path).blocks_observed == 3
+
+    def test_cli_profile_db_flag(self, tmp_path):
+        path = tmp_path / "cli-profiles.json"
+        code = main([
+            "serve", "--blocks", "3", "--txs", "6", "--scenario", "mix",
+            "--workers", "2", "--seed", "5", "--backend", "memory",
+            "--users", "48", "--profile-db", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+
+
 class TestServeCLI:
     def test_cli_smoke(self, tmp_path, capsys):
         path = tmp_path / "serve-cli.json"

@@ -140,3 +140,49 @@ class TestPersistence:
         assert entry["aborts"] == 1
         assert entry["waits"] == 1
         assert "savings" in payload
+
+    def test_save_load_file_round_trip(self, tmp_path):
+        path = tmp_path / "profiles.json"
+        store = ConflictProfileStore(decay=0.6, hot_threshold=2.0)
+        store.observe_block(attribution_with(aborts=3, waits=1),
+                            block_number=9)
+        store.save(path)
+        loaded = ConflictProfileStore.load(path)
+        assert loaded.heat(K1) == pytest.approx(store.heat(K1))
+        assert loaded.hot_threshold == 2.0
+        assert loaded.blocks_observed == store.blocks_observed
+        assert not (tmp_path / "profiles.json.tmp").exists()  # atomic write
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            ConflictProfileStore.load(tmp_path / "absent.json")
+
+    def test_restart_continuity_via_validator(self, tmp_path):
+        """A validator restarted on the same --profile-db resumes with the
+        heat its predecessor learned (no warm-up from zero)."""
+        from repro.executors.serial import SerialExecutor
+        from repro.scheduling import LanePlanner
+        from repro.chain.validator import Validator
+        from repro.state import StateDB
+
+        path = str(tmp_path / "profile-db.json")
+        first = Validator("v1", StateDB(), SerialExecutor(),
+                          planner=LanePlanner(), profile_path=path)
+        first.planner.observe(attribution_with(aborts=4), block_number=1)
+        assert first.save_profiles()
+        heat = first.planner.profiles.heat(K1)
+        assert heat > 0
+
+        second = Validator("v2", StateDB(), SerialExecutor(),
+                           planner=LanePlanner(), profile_path=path)
+        assert second.planner.profiles.heat(K1) == pytest.approx(heat)
+        assert second.planner.profiles.is_hot(K1)
+
+    def test_validator_without_planner_is_noop(self, tmp_path):
+        from repro.executors.serial import SerialExecutor
+        from repro.chain.validator import Validator
+        from repro.state import StateDB
+
+        v = Validator("v", StateDB(), SerialExecutor(),
+                      profile_path=str(tmp_path / "p.json"))
+        assert not v.save_profiles()

@@ -1,0 +1,131 @@
+"""Static shard classification: membership, escape reasons, determinism."""
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from repro.chain.transaction import Transaction
+from repro.core import Address, StateKey
+from repro.shard import classify_block, shard_of
+from repro.shard.classifier import (
+    REASON_ENTANGLED,
+    REASON_MULTI_SHARD,
+    REASON_UNRELIABLE,
+)
+from repro.state.merge import MergeOp, MergeRegistry
+
+
+@dataclass
+class _FakeCSAG:
+    """Just the classifier-visible surface of a refined C-SAG."""
+
+    read_keys: Set[StateKey] = field(default_factory=set)
+    write_keys: Set[StateKey] = field(default_factory=set)
+    static_read_keys: Set[StateKey] = field(default_factory=set)
+    static_write_keys: Set[StateKey] = field(default_factory=set)
+    missing: bool = False
+    predicted_success: bool = True
+
+
+def _addr_on_shard(shard: int, shards: int = 4, hint: str = "c") -> Address:
+    for i in range(10_000):
+        address = Address.derive(f"{hint}-{i}")
+        if shard_of(address, shards) == shard:
+            return address
+    raise AssertionError("no address found for shard")
+
+
+def _tx(i: int) -> Transaction:
+    return Transaction(sender=Address.derive(f"s{i}"),
+                       to=Address.derive(f"t{i}"), value=0)
+
+
+class TestClassification:
+    def test_every_tx_assigned_exactly_once(self):
+        txs = [_tx(i) for i in range(8)]
+        csags = [_FakeCSAG(write_keys={StateKey(Address.derive(f"k{i}"), 0)})
+                 for i in range(8)]
+        plan = classify_block(txs, csags, shards=4)
+        seen = sorted(i for lane in plan.locals_.values() for i in lane)
+        seen += plan.cross
+        assert sorted(seen) == list(range(8))
+        assert len(plan.local_counts()) == 4
+
+    def test_single_shard_footprint_is_local_on_its_shard(self):
+        address = _addr_on_shard(2)
+        csag = _FakeCSAG(write_keys={StateKey(address, 0), StateKey(address, 7)})
+        plan = classify_block([_tx(0)], [csag], shards=4)
+        assert plan.locals_[2] == [0]
+        assert plan.cross == []
+
+    def test_multi_shard_footprint_goes_cross(self):
+        a = _addr_on_shard(0, hint="ma")
+        b = _addr_on_shard(3, hint="mb")
+        csag = _FakeCSAG(write_keys={StateKey(a, 0), StateKey(b, 0)})
+        plan = classify_block([_tx(0)], [csag], shards=4)
+        assert plan.cross == [0]
+        assert plan.reasons[0] == REASON_MULTI_SHARD
+
+    def test_unreliable_prediction_goes_cross(self):
+        for csag in (None, _FakeCSAG(missing=True),
+                     _FakeCSAG(predicted_success=False)):
+            plan = classify_block([_tx(0)], [csag], shards=4)
+            assert plan.cross == [0]
+            assert plan.reasons[0] == REASON_UNRELIABLE
+
+    def test_entanglement_with_earlier_cross_write(self):
+        """A local-looking tx reading a key an earlier cross tx writes must
+        join phase 2 — its value depends on handoff order."""
+        a = _addr_on_shard(0, hint="ea")
+        b = _addr_on_shard(1, hint="eb")
+        contested = StateKey(a, 5)
+        cross_csag = _FakeCSAG(write_keys={contested, StateKey(b, 0)})
+        local_csag = _FakeCSAG(read_keys={contested},
+                               write_keys={StateKey(a, 9)})
+        plan = classify_block([_tx(0), _tx(1)], [cross_csag, local_csag],
+                              shards=4)
+        assert plan.cross == [0, 1]
+        assert plan.reasons[1] == REASON_ENTANGLED
+
+    def test_declared_merge_keys_do_not_split_membership(self):
+        """A hot declared counter on a foreign shard must not force a tx
+        cross: merge intents fold at seal regardless of the logging shard."""
+        home = _addr_on_shard(1, hint="da")
+        foreign = _addr_on_shard(2, hint="db")
+        counter = StateKey(foreign, 1)
+        registry = MergeRegistry()
+        registry.declare(counter, MergeOp.ADD, lower=0)
+        csag = _FakeCSAG(read_keys={counter},
+                         write_keys={counter, StateKey(home, 3)})
+        without = classify_block([_tx(0)], [csag], shards=4)
+        assert without.cross == [0]  # undeclared: genuinely multi-shard
+        with_merges = classify_block([_tx(0)], [csag], shards=4,
+                                     merges=registry)
+        assert with_merges.cross == []
+        assert with_merges.locals_[1] == [0]
+
+    def test_all_declared_footprint_still_spreads_placement(self):
+        """When the entire footprint is declared, placement falls back to
+        the full footprint instead of defaulting everything to shard 0."""
+        foreign = _addr_on_shard(3, hint="fa")
+        counter = StateKey(foreign, 1)
+        registry = MergeRegistry()
+        registry.declare(counter, MergeOp.ADD, lower=0)
+        csag = _FakeCSAG(write_keys={counter})
+        plan = classify_block([_tx(0)], [csag], shards=4, merges=registry)
+        assert plan.locals_[3] == [0]
+
+    def test_value_transfer_adds_balance_keys(self):
+        sender = _addr_on_shard(0, hint="vs")
+        to = _addr_on_shard(2, hint="vt")
+        tx = Transaction(sender=sender, to=to, value=5)
+        plan = classify_block([tx], [_FakeCSAG()], shards=4)
+        assert plan.cross == [0]
+        assert plan.reasons[0] == REASON_MULTI_SHARD
+
+    def test_deterministic(self):
+        txs = [_tx(i) for i in range(12)]
+        csags = [_FakeCSAG(write_keys={StateKey(Address.derive(f"d{i % 5}"), i)})
+                 for i in range(12)]
+        a = classify_block(txs, csags, shards=4)
+        b = classify_block(txs, csags, shards=4)
+        assert a.locals_ == b.locals_ and a.cross == b.cross

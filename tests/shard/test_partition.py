@@ -1,0 +1,41 @@
+"""Hash partitioning: deterministic, total, and reasonably spread."""
+
+from repro.core import Address, StateKey
+from repro.shard import home_shard, shard_of, shard_of_key, shards_touched
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        for i in range(200):
+            address = Address.derive(f"acct-{i}")
+            for shards in (1, 2, 4, 7, 16):
+                home = shard_of(address, shards)
+                assert 0 <= home < shards
+                assert home == shard_of(address, shards)
+
+    def test_single_shard_collapses_to_zero(self):
+        address = Address.derive("anyone")
+        assert shard_of(address, 1) == 0
+        assert shard_of(address, 0) == 0
+
+    def test_key_partitioning_follows_address(self):
+        """Every slot of a contract lives on the contract's shard — a
+        transaction touching one contract is single-shard by construction."""
+        address = Address.derive("token")
+        for slot in (0, 1, 2**255, 17):
+            assert shard_of_key(StateKey(address, slot), 4) == shard_of(address, 4)
+
+    def test_all_shards_reachable(self):
+        """keccak spreads addresses: with enough accounts every shard gets
+        members (guards against a modulo-of-zero-bytes style bug)."""
+        for shards in (2, 4, 8):
+            homes = {shard_of(Address.derive(f"user-{i}"), shards)
+                     for i in range(256)}
+            assert homes == set(range(shards))
+
+    def test_home_and_touched_helpers_agree(self):
+        a, b = Address.derive("home-a"), Address.derive("home-b")
+        keys = {StateKey(a, 0), StateKey(a, 5), StateKey(b, 1)}
+        touched = shards_touched(keys, 8)
+        assert touched == {shard_of(a, 8), shard_of(b, 8)}
+        assert home_shard({StateKey(a, 0)}, 8) == shard_of(a, 8)

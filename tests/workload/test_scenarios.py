@@ -19,8 +19,11 @@ from repro.workload import (
 
 SMALL = dict(users=60, erc20_tokens=3, dex_pools=2, nft_collections=2, icos=1)
 
-# Labels whose serial revert is part of the scenario's design.
-EXPECTED_REVERTS = {"airdrop:reclaim"}
+# Labels whose serial revert is part of the scenario's design.  A
+# cross-shard routed swap can legitimately revert once drifting reserves
+# round an intermediate leg's output to zero — mispredicted txs are
+# exactly what the sharded executor's cross lane exists to absorb.
+EXPECTED_REVERTS = {"airdrop:reclaim", "storm:cross_route"}
 
 
 def _preset_workload(name, seed=11):
